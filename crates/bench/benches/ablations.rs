@@ -1,0 +1,146 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! group times the paper's choice against its alternative on identical
+//! inputs. The *quality* comparison of the same ablations lives in the
+//! `ablation_study` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fieldswap_core::{augment_corpus_with, EngineOptions, FieldSwapConfig, PairStrategy};
+use fieldswap_datagen::{generate, Domain};
+use fieldswap_docmodel::NeighborMetric;
+use fieldswap_keyphrase::{
+    infer_key_phrases, Aggregation, ImportanceModel, InferenceConfig, ModelConfig, Sparsify,
+};
+use fieldswap_nn::sparsemax;
+
+fn neighbor_metric(c: &mut Criterion) {
+    let corpus = generate(Domain::Earnings, 1, 2);
+    let doc = &corpus.documents[0];
+    let a = doc.annotations[0];
+    let mut g = c.benchmark_group("ablation/neighbor_metric");
+    g.bench_function("off_axis", |b| {
+        b.iter(|| black_box(doc.neighbors_by_metric(a.start, a.end, 100, NeighborMetric::OffAxis)))
+    });
+    g.bench_function("euclidean", |b| {
+        b.iter(|| {
+            black_box(doc.neighbors_by_metric(a.start, a.end, 100, NeighborMetric::Euclidean))
+        })
+    });
+    g.finish();
+}
+
+fn sparsify(c: &mut Criterion) {
+    let scores: Vec<f32> = (0..100).map(|i| ((i * 61 % 100) as f32) / 40.0 - 1.0).collect();
+    let mut g = c.benchmark_group("ablation/sparsify");
+    g.bench_function("sparsemax", |b| b.iter(|| black_box(sparsemax(&scores))));
+    g.bench_function("top_k", |b| {
+        b.iter(|| {
+            let mut s: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+            s.sort_by(|a, b| b.1.total_cmp(&a.1));
+            s.truncate(5);
+            black_box(s)
+        })
+    });
+    g.finish();
+}
+
+fn trained_model() -> (ImportanceModel, fieldswap_docmodel::Corpus) {
+    let corpus = generate(Domain::Invoices, 2, 25);
+    let mut model = ImportanceModel::new(
+        ModelConfig {
+            neighbors: 12,
+            epochs: 1,
+            ..ModelConfig::tiny()
+        },
+        corpus.schema.len(),
+        1,
+    );
+    model.train(&corpus, 1);
+    (model, corpus)
+}
+
+fn aggregation(c: &mut Criterion) {
+    let (model, _) = trained_model();
+    let target = generate(Domain::Fara, 3, 10);
+    let mut g = c.benchmark_group("ablation/aggregation");
+    g.sample_size(10);
+    g.bench_function("noisy_or", |b| {
+        let cfg = InferenceConfig {
+            aggregation: Aggregation::NoisyOr,
+            ..InferenceConfig::default()
+        };
+        b.iter(|| black_box(infer_key_phrases(&model, &target, &cfg)))
+    });
+    g.bench_function("mean", |b| {
+        let cfg = InferenceConfig {
+            aggregation: Aggregation::Mean,
+            ..InferenceConfig::default()
+        };
+        b.iter(|| black_box(infer_key_phrases(&model, &target, &cfg)))
+    });
+    g.finish();
+}
+
+fn sparsify_pipeline(c: &mut Criterion) {
+    let (model, _) = trained_model();
+    let target = generate(Domain::Fara, 6, 8);
+    let mut g = c.benchmark_group("ablation/sparsify_pipeline");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("sparsemax", Sparsify::Sparsemax),
+        ("top_k_5", Sparsify::TopK(5)),
+    ] {
+        let cfg = InferenceConfig {
+            sparsify: mode,
+            ..InferenceConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(infer_key_phrases(&model, &target, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn gt_exclusion(c: &mut Criterion) {
+    let (model, _) = trained_model();
+    let target = generate(Domain::Brokerage, 4, 10);
+    let mut g = c.benchmark_group("ablation/gt_exclusion");
+    g.sample_size(10);
+    for (name, on) in [("on", true), ("off", false)] {
+        let cfg = InferenceConfig {
+            exclude_ground_truth: on,
+            ..InferenceConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(infer_key_phrases(&model, &target, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn discard_rule(c: &mut Criterion) {
+    let corpus = generate(Domain::Earnings, 5, 5);
+    let mut config = FieldSwapConfig::new(corpus.schema.len());
+    for (name, phrases) in Domain::Earnings.generator().phrase_bank() {
+        let id = corpus.schema.field_id(&name).unwrap();
+        config.set_phrases(id, phrases);
+    }
+    config.set_pairs(PairStrategy::TypeToType.build(&corpus.schema, &config));
+    let mut g = c.benchmark_group("ablation/discard_rule");
+    g.sample_size(10);
+    for (name, on) in [("on", true), ("off", false)] {
+        let opts = EngineOptions {
+            discard_unchanged: on,
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(augment_corpus_with(&corpus, &config, &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = neighbor_metric, sparsify, aggregation, sparsify_pipeline, gt_exclusion, discard_rule
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! `augment_json` — a file-in / file-out CLI around the FieldSwap engine,
+//! for users who bring their own OCR output rather than the built-in
+//! generators.
+//!
+//! ```sh
+//! # Produce a demo corpus + config to look at:
+//! cargo run --release -p fieldswap-bench --bin augment_json -- --demo /tmp/fs
+//! # Augment it:
+//! cargo run --release -p fieldswap-bench --bin augment_json -- \
+//!     --corpus /tmp/fs/corpus.json --config /tmp/fs/config.json \
+//!     --out /tmp/fs/augmented.json
+//! ```
+//!
+//! The corpus JSON is the serde form of [`fieldswap_docmodel::Corpus`]
+//! (schema + documents with tokens/bboxes/lines/annotations); the config
+//! JSON is the serde form of [`fieldswap_core::FieldSwapConfig`].
+
+use fieldswap_core::{augment_corpus, FieldSwapConfig, PairStrategy};
+use fieldswap_datagen::{generate, Domain};
+use fieldswap_docmodel::Corpus;
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: augment_json --corpus CORPUS.json --config CONFIG.json --out OUT.json");
+    eprintln!("       augment_json --corpus CORPUS.json --strategy t2t|f2f|a2a --out OUT.json");
+    eprintln!("         (--strategy derives phrases from field names when no --config is given)");
+    eprintln!("       augment_json --demo DIR        write a demo corpus + config into DIR");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut corpus_path = None;
+    let mut config_path = None;
+    let mut out_path = None;
+    let mut strategy = None;
+    let mut demo_dir = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--corpus" => {
+                i += 1;
+                corpus_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--config" => {
+                i += 1;
+                config_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--strategy" => {
+                i += 1;
+                strategy = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--demo" => {
+                i += 1;
+                demo_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(dir) = demo_dir {
+        write_demo(Path::new(&dir));
+        return;
+    }
+    let (Some(corpus_path), Some(out_path)) = (corpus_path, out_path) else {
+        usage()
+    };
+
+    let corpus_json = std::fs::read_to_string(&corpus_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {corpus_path}: {e}");
+        exit(1)
+    });
+    let mut corpus: Corpus = serde_json::from_str(&corpus_json).unwrap_or_else(|e| {
+        eprintln!("{corpus_path} is not a corpus JSON: {e}");
+        exit(1)
+    });
+    corpus.schema.rebuild_index();
+    for (k, d) in corpus.documents.iter().enumerate() {
+        if let Err(e) = d.validate() {
+            eprintln!("document {k} ({}) is invalid: {e}", d.id);
+            exit(1)
+        }
+    }
+
+    let config = match (config_path, strategy) {
+        (Some(p), _) => {
+            let s = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+                eprintln!("cannot read {p}: {e}");
+                exit(1)
+            });
+            FieldSwapConfig::from_json(&s).unwrap_or_else(|e| {
+                eprintln!("{p} is not a FieldSwap config: {e}");
+                exit(1)
+            })
+        }
+        (None, Some(strat)) => {
+            // Zero-annotation path: phrases from field names.
+            let mut config = fieldswap_keyphrase::config_from_schema(&corpus.schema);
+            let strategy = match strat.as_str() {
+                "f2f" => PairStrategy::FieldToField,
+                "t2t" => PairStrategy::TypeToType,
+                "a2a" => PairStrategy::AllToAll,
+                _ => usage(),
+            };
+            config.set_pairs(strategy.build(&corpus.schema, &config));
+            config
+        }
+        (None, None) => usage(),
+    };
+
+    let (synthetics, stats) = augment_corpus(&corpus, &config);
+    eprintln!(
+        "{} documents in, {} synthetics out ({} discarded as unchanged, {} productive pairs)",
+        corpus.len(),
+        stats.generated,
+        stats.discarded_unchanged,
+        stats.productive_pairs
+    );
+    let out = Corpus::new(corpus.schema.clone(), synthetics);
+    let json = serde_json::to_string(&out).expect("corpus serializes");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        exit(1)
+    });
+    eprintln!("wrote {out_path}");
+}
+
+fn write_demo(dir: &Path) {
+    std::fs::create_dir_all(dir).expect("create demo dir");
+    let corpus = generate(Domain::Earnings, 1, 5);
+    let mut config = FieldSwapConfig::new(corpus.schema.len());
+    for (name, phrases) in Domain::Earnings.generator().phrase_bank() {
+        let id = corpus.schema.field_id(&name).unwrap();
+        config.set_phrases(id, phrases);
+    }
+    config.set_pairs(PairStrategy::TypeToType.build(&corpus.schema, &config));
+    std::fs::write(
+        dir.join("corpus.json"),
+        serde_json::to_string_pretty(&corpus).unwrap(),
+    )
+    .expect("write corpus");
+    std::fs::write(dir.join("config.json"), config.to_json()).expect("write config");
+    eprintln!(
+        "wrote {}/corpus.json (5 earnings docs) and {}/config.json",
+        dir.display(),
+        dir.display()
+    );
+}

@@ -1,0 +1,67 @@
+//! Regenerates **Fig. 4**: mean macro-F1 learning curves per domain and
+//! training set size, for the baseline, automatic FieldSwap
+//! (field-to-field, type-to-type), and — on Earnings and Loan Payments —
+//! the human-expert configuration.
+//!
+//! Shape expectations from the paper (Section IV-C1): FieldSwap is
+//! neutral-or-better everywhere; biggest gains on Earnings (4–11 macro-F1
+//! points), smallest on FARA; type-to-type wins at 10 documents,
+//! field-to-field catches up at 50–100; human expert >= automatic.
+
+use fieldswap_bench::{BinArgs, TablePrinter};
+use fieldswap_datagen::Domain;
+use fieldswap_eval::{Arm, Harness, PointSummary};
+
+fn main() {
+    let args = BinArgs::parse();
+    let sizes = [10usize, 50, 100];
+    let mut harness = Harness::new(args.harness_options());
+    let mut all: Vec<PointSummary> = Vec::new();
+
+    println!(
+        "Fig. 4 — mean macro-F1 ({} protocol, {} samples x {} trials)\n",
+        if args.full { "full" } else { "quick" },
+        harness.options().n_samples,
+        harness.options().n_trials
+    );
+
+    for domain in args.domains() {
+        let mut arms = vec![Arm::Baseline, Arm::AutoFieldToField, Arm::AutoTypeToType];
+        if matches!(domain, Domain::Earnings | Domain::LoanPayments) {
+            arms.push(Arm::HumanExpert);
+        }
+        println!("== {} ==", domain.name());
+        let t = TablePrinter::new(&[
+            ("train size", 10),
+            ("arm", 28),
+            ("macro-F1", 9),
+            ("Δ vs baseline", 13),
+            ("synthetics", 10),
+        ]);
+        for &size in &sizes {
+            let mut baseline_f1 = None;
+            for &arm in &arms {
+                let p = harness.run_point(domain, size, arm);
+                if arm == Arm::Baseline {
+                    baseline_f1 = Some(p.macro_f1);
+                }
+                let delta = baseline_f1
+                    .map(|b| format!("{:+.2}", p.macro_f1 - b))
+                    .unwrap_or_default();
+                t.row(&[
+                    size.to_string(),
+                    p.arm.clone(),
+                    format!("{:.2}", p.macro_f1),
+                    delta,
+                    format!("{:.0}", p.synthetics),
+                ]);
+                all.push(p);
+            }
+        }
+        println!();
+    }
+
+    println!("paper shape check (Section IV-C1): gains of 1-4 (FCC), 2-5 (Brokerage), 4-11 (Earnings) macro-F1 points;");
+    println!("t2t > f2f at 10 docs; f2f matches or passes t2t at 50-100; expert >= automatic.");
+    args.maybe_write_json(&all);
+}

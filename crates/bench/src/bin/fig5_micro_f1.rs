@@ -1,0 +1,62 @@
+//! Regenerates **Fig. 5**: mean micro-F1 learning curves — the same
+//! protocol as Fig. 4 but instance-weighted instead of field-weighted.
+//!
+//! Shape expectation (Section IV-C1, "Macro-F1 vs Micro-F1"): the same
+//! pattern as Fig. 4 persists but gains are smaller, because the largest
+//! improvements come from rare fields, which macro-F1 amplifies and
+//! micro-F1 discounts.
+
+use fieldswap_bench::{BinArgs, TablePrinter};
+use fieldswap_datagen::Domain;
+use fieldswap_eval::{Arm, Harness, PointSummary};
+
+fn main() {
+    let args = BinArgs::parse();
+    let sizes = [10usize, 50, 100];
+    let mut harness = Harness::new(args.harness_options());
+    let mut all: Vec<PointSummary> = Vec::new();
+
+    println!(
+        "Fig. 5 — mean micro-F1 ({} protocol, {} samples x {} trials)\n",
+        if args.full { "full" } else { "quick" },
+        harness.options().n_samples,
+        harness.options().n_trials
+    );
+
+    for domain in args.domains() {
+        let mut arms = vec![Arm::Baseline, Arm::AutoFieldToField, Arm::AutoTypeToType];
+        if matches!(domain, Domain::Earnings | Domain::LoanPayments) {
+            arms.push(Arm::HumanExpert);
+        }
+        println!("== {} ==", domain.name());
+        let t = TablePrinter::new(&[
+            ("train size", 10),
+            ("arm", 28),
+            ("micro-F1", 9),
+            ("Δ vs baseline", 13),
+        ]);
+        for &size in &sizes {
+            let mut baseline_f1 = None;
+            for &arm in &arms {
+                let p = harness.run_point(domain, size, arm);
+                if arm == Arm::Baseline {
+                    baseline_f1 = Some(p.micro_f1);
+                }
+                let delta = baseline_f1
+                    .map(|b| format!("{:+.2}", p.micro_f1 - b))
+                    .unwrap_or_default();
+                t.row(&[
+                    size.to_string(),
+                    p.arm.clone(),
+                    format!("{:.2}", p.micro_f1),
+                    delta,
+                ]);
+                all.push(p);
+            }
+        }
+        println!();
+    }
+    println!("paper shape check: micro-F1 gains smaller than macro-F1 gains (2-5 Earnings, 1-5 Brokerage);");
+    println!("rare fields drive the macro advantage.");
+    args.maybe_write_json(&all);
+}

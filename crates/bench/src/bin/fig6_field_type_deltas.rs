@@ -1,0 +1,104 @@
+//! Regenerates **Fig. 6**: box plots of per-field F1 differences
+//! (FieldSwap type-to-type minus baseline) grouped by field base type, on
+//! the Loan Payments (6a) and Earnings (6b) domains, pooled over all
+//! training set sizes.
+//!
+//! Shape expectations (Section IV-C3): on Loan Payments the gains
+//! concentrate in *date* and *money* fields while *string* and *address*
+//! fields are neutral-to-negative under the automatic setting; on
+//! Earnings, *address* and *string* fields show positive gains. The
+//! *number* type is omitted (only two number fields exist across all five
+//! domains — the paper calls the results unrepresentative).
+
+use fieldswap_bench::{BinArgs, TablePrinter};
+use fieldswap_datagen::Domain;
+use fieldswap_docmodel::BaseType;
+use fieldswap_eval::metrics::mean;
+use fieldswap_eval::{Arm, BoxStats, Harness};
+use std::collections::HashMap;
+
+fn main() {
+    let args = BinArgs::parse();
+    let sizes = [10usize, 50, 100];
+    let mut harness = Harness::new(args.harness_options());
+    let domains = match args.domain {
+        Some(d) => vec![d],
+        None => vec![Domain::LoanPayments, Domain::Earnings],
+    };
+
+    println!(
+        "Fig. 6 — per-field F1 delta (FieldSwap t2t − baseline) by base type ({} protocol)\n",
+        if args.full { "full" } else { "quick" }
+    );
+
+    let mut json_out: Vec<(String, String, BoxStats)> = Vec::new();
+    for domain in domains {
+        let schema = harness.domain_data(domain).0.schema.clone();
+        // Pool per-field deltas over all sizes.
+        let mut deltas_by_type: HashMap<BaseType, Vec<f64>> = HashMap::new();
+        let mut per_field_rows: Vec<(String, BaseType, f64)> = Vec::new();
+        for &size in &sizes {
+            let base = harness.run_point(domain, size, Arm::Baseline);
+            let swap = harness.run_point(domain, size, Arm::AutoTypeToType);
+            for (id, def) in schema.iter() {
+                let f = id as usize;
+                let b: Vec<f64> = base.runs.iter().filter_map(|r| r.per_field_f1[f]).collect();
+                let s: Vec<f64> = swap.runs.iter().filter_map(|r| r.per_field_f1[f]).collect();
+                let (Some(bm), Some(sm)) = (mean(&b), mean(&s)) else {
+                    continue;
+                };
+                deltas_by_type
+                    .entry(def.base_type)
+                    .or_default()
+                    .push(sm - bm);
+                per_field_rows.push((format!("{}@{size}", def.name), def.base_type, sm - bm));
+            }
+        }
+
+        println!("== {} ==", domain.name());
+        let t = TablePrinter::new(&[
+            ("type", 9),
+            ("n", 4),
+            ("median", 8),
+            ("q1", 8),
+            ("q3", 8),
+            ("whiskers", 18),
+            ("outliers", 12),
+        ]);
+        for ty in BaseType::ALL {
+            if ty == BaseType::Number {
+                continue; // unrepresentative (paper, Section IV-C3)
+            }
+            let Some(d) = deltas_by_type.get(&ty) else {
+                continue;
+            };
+            let Some(b) = BoxStats::compute(d) else {
+                continue;
+            };
+            t.row(&[
+                ty.to_string(),
+                b.n.to_string(),
+                format!("{:+.2}", b.median),
+                format!("{:+.2}", b.q1),
+                format!("{:+.2}", b.q3),
+                format!("[{:+.1}, {:+.1}]", b.whisker_lo, b.whisker_hi),
+                format!("{}", b.outliers.len()),
+            ]);
+            json_out.push((domain.name().to_string(), ty.to_string(), b));
+        }
+        // Largest negative fields, for the discussion section.
+        per_field_rows.sort_by(|a, b| a.2.total_cmp(&b.2));
+        println!("\nmost negative fields:");
+        for (name, ty, d) in per_field_rows.iter().take(4) {
+            println!("  {name} ({ty}): {d:+.2}");
+        }
+        println!("most positive fields:");
+        for (name, ty, d) in per_field_rows.iter().rev().take(4) {
+            println!("  {name} ({ty}): {d:+.2}");
+        }
+        println!();
+    }
+    println!("paper shape: Loan Payments gains in date/money, string/address neutral-to-negative;");
+    println!("Earnings address/string positive (Fig. 6a/6b).");
+    args.maybe_write_json(&json_out);
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Table III**: the average number of FieldSwap synthetic
+//! documents per document type, training-set size, and strategy
+//! (field-to-field / type-to-type / human expert).
+//!
+//! Shape expectations: type-to-type generates roughly 3–10x more
+//! synthetics than field-to-field; counts grow with training-set size;
+//! human-expert counts sit between the two (Table III, Section IV-C1).
+
+use fieldswap_bench::{paper, BinArgs, TablePrinter};
+use fieldswap_datagen::Domain;
+use fieldswap_eval::{Arm, Harness};
+
+fn main() {
+    let args = BinArgs::parse();
+    let sizes = [10usize, 50, 100];
+    let mut harness = Harness::new(args.harness_options());
+
+    println!(
+        "Table III — Avg. number of synthetic documents ({} protocol, {} samples)\n",
+        if args.full { "full" } else { "quick" },
+        harness.options().n_samples
+    );
+    let t = TablePrinter::new(&[
+        ("Domain", 22),
+        ("Train Size", 11),
+        ("f2f", 9),
+        ("t2t", 9),
+        ("expert", 9),
+        ("t2t/f2f", 8),
+    ]);
+    let mut rows = Vec::new();
+    for domain in args.domains() {
+        for &size in &sizes {
+            let f2f = harness.count_synthetics(domain, size, Arm::AutoFieldToField);
+            let t2t = harness.count_synthetics(domain, size, Arm::AutoTypeToType);
+            let expert = if matches!(domain, Domain::Earnings | Domain::LoanPayments) {
+                Some(harness.count_synthetics(domain, size, Arm::HumanExpert))
+            } else {
+                None
+            };
+            let ratio = if f2f > 0.0 { t2t / f2f } else { f64::NAN };
+            t.row(&[
+                domain.name().to_string(),
+                size.to_string(),
+                format!("{f2f:.0}"),
+                format!("{t2t:.0}"),
+                expert.map_or("-".into(), |e| format!("{e:.0}")),
+                format!("{ratio:.1}x"),
+            ]);
+            rows.push((domain.name().to_string(), size, f2f, t2t, expert));
+        }
+    }
+
+    println!("\npaper (Table III):");
+    let t = TablePrinter::new(&[
+        ("Domain", 22),
+        ("Train Size", 11),
+        ("f2f", 9),
+        ("t2t", 9),
+        ("expert", 9),
+    ]);
+    for (d, size, f2f, t2t, ex) in paper::TABLE3 {
+        t.row(&[
+            d.to_string(),
+            size.to_string(),
+            f2f.to_string(),
+            t2t.to_string(),
+            ex.map_or("-".into(), |e| e.to_string()),
+        ]);
+    }
+    args.maybe_write_json(&rows);
+}

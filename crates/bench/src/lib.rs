@@ -1,0 +1,241 @@
+//! # fieldswap-bench
+//!
+//! Benchmarks and the table/figure regeneration binaries for the
+//! FieldSwap paper. Each binary under `src/bin/` reproduces one table or
+//! figure of the evaluation section (see `DESIGN.md` for the experiment
+//! index) and prints paper-reported values next to measured ones.
+//!
+//! Binaries accept:
+//! * `--full` — the paper's full 3x3 protocol on full test sets (slow);
+//!   the default is the reduced quick protocol.
+//! * `--domain <name>` — restrict to one domain (`fara`, `fcc`,
+//!   `brokerage`, `earnings`, `loan`).
+//! * `--seed <n>` — override the master seed.
+//! * `--json <path>` — also dump results as JSON.
+
+use fieldswap_datagen::Domain;
+use fieldswap_eval::HarnessOptions;
+
+/// Command-line options shared by the regeneration binaries.
+#[derive(Debug, Clone)]
+pub struct BinArgs {
+    /// Paper protocol (3x3, full test sets) instead of the quick one.
+    pub full: bool,
+    /// Optional domain filter.
+    pub domain: Option<Domain>,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Override: document samples per point.
+    pub samples: Option<usize>,
+    /// Override: training trials per sample.
+    pub trials: Option<usize>,
+    /// Override: test-set cap (0 = full).
+    pub test_cap: Option<usize>,
+}
+
+impl BinArgs {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage
+    /// message.
+    pub fn parse() -> Self {
+        let mut out = Self {
+            full: false,
+            domain: None,
+            seed: 0x5EED,
+            json: None,
+            samples: None,
+            trials: None,
+            test_cap: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => out.full = true,
+                "--quick" => out.full = false,
+                "--domain" => {
+                    i += 1;
+                    let name = args.get(i).unwrap_or_else(|| usage("missing domain"));
+                    out.domain = Some(parse_domain(name).unwrap_or_else(|| usage("bad domain")));
+                }
+                "--seed" => {
+                    i += 1;
+                    let v = args.get(i).unwrap_or_else(|| usage("missing seed"));
+                    out.seed = v.parse().unwrap_or_else(|_| usage("bad seed"));
+                }
+                "--json" => {
+                    i += 1;
+                    out.json = Some(args.get(i).unwrap_or_else(|| usage("missing path")).clone());
+                }
+                "--samples" => {
+                    i += 1;
+                    let v = args.get(i).unwrap_or_else(|| usage("missing samples"));
+                    out.samples = Some(v.parse().unwrap_or_else(|_| usage("bad samples")));
+                }
+                "--trials" => {
+                    i += 1;
+                    let v = args.get(i).unwrap_or_else(|| usage("missing trials"));
+                    out.trials = Some(v.parse().unwrap_or_else(|_| usage("bad trials")));
+                }
+                "--testcap" => {
+                    i += 1;
+                    let v = args.get(i).unwrap_or_else(|| usage("missing testcap"));
+                    out.test_cap = Some(v.parse().unwrap_or_else(|_| usage("bad testcap")));
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Harness options for the chosen protocol, with any command-line
+    /// overrides applied.
+    pub fn harness_options(&self) -> HarnessOptions {
+        let mut o = if self.full {
+            HarnessOptions::full()
+        } else {
+            HarnessOptions::quick()
+        };
+        o.seed = self.seed;
+        if let Some(s) = self.samples {
+            o.n_samples = s;
+        }
+        if let Some(t) = self.trials {
+            o.n_trials = t;
+        }
+        if let Some(c) = self.test_cap {
+            o.test_cap = c;
+        }
+        o
+    }
+
+    /// The domains to run: the filter, or all five evaluation domains.
+    pub fn domains(&self) -> Vec<Domain> {
+        match self.domain {
+            Some(d) => vec![d],
+            None => Domain::EVAL.to_vec(),
+        }
+    }
+
+    /// Writes `value` to the `--json` path when given.
+    pub fn maybe_write_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let s = serde_json::to_string_pretty(value).expect("serializable");
+            std::fs::write(path, s).expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn parse_domain(name: &str) -> Option<Domain> {
+    match name.to_lowercase().as_str() {
+        "fara" => Some(Domain::Fara),
+        "fcc" | "fcc_forms" | "fccforms" => Some(Domain::FccForms),
+        "brokerage" => Some(Domain::Brokerage),
+        "earnings" => Some(Domain::Earnings),
+        "loan" | "loan_payments" | "loanpayments" => Some(Domain::LoanPayments),
+        "invoices" => Some(Domain::Invoices),
+        _ => None,
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N]");
+    std::process::exit(2)
+}
+
+/// Fixed-width table printer.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Creates a printer and prints the header row + rule.
+    pub fn new(headers: &[(&str, usize)]) -> Self {
+        let widths: Vec<usize> = headers.iter().map(|(_, w)| *w).collect();
+        let p = Self { widths };
+        p.row(&headers.iter().map(|(h, _)| h.to_string()).collect::<Vec<_>>());
+        println!("{}", "-".repeat(p.widths.iter().sum::<usize>() + 2 * p.widths.len()));
+        p
+    }
+
+    /// Prints one row.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let w = self.widths.get(i).copied().unwrap_or(12);
+            line.push_str(&format!("{c:<w$}  "));
+        }
+        println!("{}", line.trim_end());
+    }
+}
+
+/// Paper-reported reference values, transcribed from the evaluation
+/// section so binaries can print paper-vs-measured side by side.
+pub mod paper {
+    /// Table III: (domain, size, field-to-field, type-to-type,
+    /// human-expert or None).
+    pub const TABLE3: [(&str, usize, usize, usize, Option<usize>); 15] = [
+        ("FARA", 10, 2, 5, None),
+        ("FARA", 50, 176, 374, None),
+        ("FARA", 100, 592, 1616, None),
+        ("FCC Forms", 10, 246, 842, None),
+        ("FCC Forms", 50, 1663, 5755, None),
+        ("FCC Forms", 100, 3310, 11346, None),
+        ("Brokerage Statements", 10, 256, 1266, None),
+        ("Brokerage Statements", 50, 1486, 7994, None),
+        ("Brokerage Statements", 100, 2917, 16590, None),
+        ("Loan Payments", 10, 435, 2378, Some(1136)),
+        ("Loan Payments", 50, 2699, 18118, Some(5933)),
+        ("Loan Payments", 100, 6083, 38081, Some(11682)),
+        ("Earnings", 10, 197, 1542, Some(366)),
+        ("Earnings", 50, 1345, 11643, Some(1862)),
+        ("Earnings", 100, 2717, 26001, Some(3707)),
+    ];
+
+    /// Table IV (Earnings @ 50 docs): field, document frequency,
+    /// F1 automatic, F1 human expert.
+    pub const TABLE4: [(&str, f64, f64, f64); 4] = [
+        ("year_to_date.sales_pay", 0.039, 27.91, 56.27),
+        ("current.sales_pay", 0.0285, 17.97, 46.23),
+        ("year_to_date.pto_pay", 0.159, 50.30, 66.78),
+        ("current.pto_pay", 0.095, 14.36, 28.18),
+    ];
+
+    /// Headline macro-F1 improvement ranges from Section IV-C1, per
+    /// domain: (domain, min gain, max gain) in F1 points.
+    pub const FIG4_GAINS: [(&str, f64, f64); 3] = [
+        ("FCC Forms", 1.0, 4.0),
+        ("Brokerage Statements", 2.0, 5.0),
+        ("Earnings", 4.0, 11.0),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_domain_aliases() {
+        assert_eq!(parse_domain("earnings"), Some(Domain::Earnings));
+        assert_eq!(parse_domain("LOAN"), Some(Domain::LoanPayments));
+        assert_eq!(parse_domain("fcc_forms"), Some(Domain::FccForms));
+        assert_eq!(parse_domain("nope"), None);
+    }
+
+    #[test]
+    fn paper_tables_well_formed() {
+        assert_eq!(paper::TABLE3.len(), 15);
+        // t2t always exceeds f2f in the paper's Table III.
+        for (_, _, f2f, t2t, _) in paper::TABLE3 {
+            assert!(t2t > f2f);
+        }
+        for (_, freq, auto, expert) in paper::TABLE4 {
+            assert!(freq < 0.2);
+            assert!(expert > auto);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The FieldSwap configuration: per-field key phrases and the
+//! source→target pair list. Serializable so that human-expert
+//! configurations can be stored and reviewed as JSON files (Section III).
+
+use fieldswap_docmodel::FieldId;
+use serde::{Deserialize, Serialize};
+
+/// The two inputs that govern FieldSwap augmentation (Section II): valid
+/// key phrases per field, and the source→target field pairs eligible for
+/// swapping.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FieldSwapConfig {
+    /// `phrases[f]` — the valid key phrases for field `f`, ordered by
+    /// preference (inferred phrases come ranked by importance).
+    phrases: Vec<Vec<String>>,
+    /// Source→target pairs. May include self-pairs `(f, f)` — the
+    /// field-to-field case.
+    pairs: Vec<(FieldId, FieldId)>,
+}
+
+impl FieldSwapConfig {
+    /// An empty configuration for a schema with `n_fields` fields.
+    pub fn new(n_fields: usize) -> Self {
+        Self {
+            phrases: vec![Vec::new(); n_fields],
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Number of fields the configuration covers.
+    pub fn n_fields(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// Sets the key phrases for `field`, normalizing each phrase
+    /// (lowercase, trimmed, inner whitespace collapsed) and dropping empty
+    /// ones and duplicates.
+    pub fn set_phrases(&mut self, field: FieldId, phrases: Vec<String>) {
+        let mut out: Vec<String> = Vec::with_capacity(phrases.len());
+        for p in phrases {
+            let norm = normalize_phrase(&p);
+            if !norm.is_empty() && !out.contains(&norm) {
+                out.push(norm);
+            }
+        }
+        self.phrases[field as usize] = out;
+    }
+
+    /// Adds a single phrase for `field` (normalized, deduplicated).
+    pub fn add_phrase(&mut self, field: FieldId, phrase: &str) {
+        let norm = normalize_phrase(phrase);
+        if !norm.is_empty() && !self.phrases[field as usize].contains(&norm) {
+            self.phrases[field as usize].push(norm);
+        }
+    }
+
+    /// The key phrases configured for `field`.
+    pub fn phrases(&self, field: FieldId) -> &[String] {
+        &self.phrases[field as usize]
+    }
+
+    /// Whether the field has at least one key phrase.
+    pub fn has_phrases(&self, field: FieldId) -> bool {
+        !self.phrases[field as usize].is_empty()
+    }
+
+    /// Removes all phrases for `field`, excluding it from augmentation —
+    /// what a human expert does for fields without clear key phrases
+    /// (Section III).
+    pub fn exclude_field(&mut self, field: FieldId) {
+        self.phrases[field as usize].clear();
+        self.pairs.retain(|&(s, t)| s != field && t != field);
+    }
+
+    /// Replaces the pair list.
+    pub fn set_pairs(&mut self, pairs: Vec<(FieldId, FieldId)>) {
+        self.pairs = pairs;
+    }
+
+    /// The source→target pairs.
+    pub fn pairs(&self) -> &[(FieldId, FieldId)] {
+        &self.pairs
+    }
+
+    /// Fields that participate in at least one pair and have phrases.
+    pub fn active_fields(&self) -> Vec<FieldId> {
+        let mut fields: Vec<FieldId> = self
+            .pairs
+            .iter()
+            .flat_map(|&(s, t)| [s, t])
+            .filter(|&f| self.has_phrases(f))
+            .collect();
+        fields.sort_unstable();
+        fields.dedup();
+        fields
+    }
+
+    /// Serializes to pretty JSON (for storing expert configurations).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Normalizes a phrase for matching: lowercase, trim, collapse internal
+/// whitespace, strip leading/trailing punctuation from each word (the
+/// paper's post-processing of OCR-line phrases, Section II-A3).
+pub fn normalize_phrase(p: &str) -> String {
+    p.split_whitespace()
+        .map(|w| w.trim_matches(|c: char| c.is_ascii_punctuation()).to_lowercase())
+        .filter(|w| !w.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_phrase_cleans() {
+        assert_eq!(normalize_phrase("  Amount Due: "), "amount due");
+        assert_eq!(normalize_phrase("TOTAL"), "total");
+        assert_eq!(normalize_phrase("(Base   Salary)"), "base salary");
+        assert_eq!(normalize_phrase("::"), "");
+    }
+
+    #[test]
+    fn set_phrases_dedups_and_drops_empty() {
+        let mut c = FieldSwapConfig::new(2);
+        c.set_phrases(
+            0,
+            vec!["Total".into(), "total".into(), "  ".into(), "Amount Due".into()],
+        );
+        assert_eq!(c.phrases(0), &["total".to_string(), "amount due".to_string()]);
+        assert!(c.has_phrases(0));
+        assert!(!c.has_phrases(1));
+    }
+
+    #[test]
+    fn add_phrase_appends_once() {
+        let mut c = FieldSwapConfig::new(1);
+        c.add_phrase(0, "Net Pay");
+        c.add_phrase(0, "net pay");
+        c.add_phrase(0, "Take Home");
+        assert_eq!(c.phrases(0).len(), 2);
+    }
+
+    #[test]
+    fn exclude_field_clears_phrases_and_pairs() {
+        let mut c = FieldSwapConfig::new(3);
+        c.add_phrase(0, "a");
+        c.add_phrase(1, "b");
+        c.set_pairs(vec![(0, 1), (1, 0), (1, 2), (2, 2)]);
+        c.exclude_field(1);
+        assert!(!c.has_phrases(1));
+        assert_eq!(c.pairs(), &[(2, 2)]);
+    }
+
+    #[test]
+    fn active_fields_requires_phrases_and_pairs() {
+        let mut c = FieldSwapConfig::new(4);
+        c.add_phrase(0, "a");
+        c.add_phrase(1, "b");
+        c.add_phrase(3, "d");
+        c.set_pairs(vec![(0, 1), (2, 0)]);
+        // 2 has no phrases; 3 has phrases but no pairs.
+        assert_eq!(c.active_fields(), vec![0, 1]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut c = FieldSwapConfig::new(2);
+        c.add_phrase(0, "Total Due");
+        c.set_pairs(vec![(0, 1)]);
+        let j = c.to_json();
+        let back = FieldSwapConfig::from_json(&j).unwrap();
+        assert_eq!(c, back);
+    }
+}

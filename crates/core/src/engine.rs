@@ -1,0 +1,448 @@
+//! The document-level augmentation engine (Section II-C).
+//!
+//! For each document in the training data and each source→target pair
+//! `(S, T)`: if the document contains a labeled instance of `S` *and* an
+//! occurrence of one of `S`'s key phrases, then for every key phrase of `T`
+//! we emit one synthetic document in which all matching `S` phrases are
+//! replaced by that `T` phrase and all `S` instances are relabeled to `T`.
+//! Synthetics whose token text is unchanged by the replacement are
+//! discarded — the guard that suppresses contradictory same-phrase swaps.
+
+use crate::config::FieldSwapConfig;
+use crate::matcher::{find_phrase_matches, PhraseMatch};
+use fieldswap_docmodel::{BBox, Corpus, Document, EntitySpan, FieldId, Token};
+
+/// Engine behavior knobs. The defaults implement the paper exactly; the
+/// alternatives exist for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Discard synthetics whose token text is unchanged by the swap
+    /// (Section II-C — the guard against same-phrase contradictory
+    /// swaps). Disabling this is the `discard_rule` ablation.
+    pub discard_unchanged: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            discard_unchanged: true,
+        }
+    }
+}
+
+/// Counters describing one augmentation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AugmentStats {
+    /// Synthetic documents produced.
+    pub generated: usize,
+    /// Candidates discarded because the replacement left the text
+    /// unchanged (source phrase == target phrase).
+    pub discarded_unchanged: usize,
+    /// `(source, target)` pair applications that produced at least one
+    /// synthetic.
+    pub productive_pairs: usize,
+}
+
+/// Augments a whole corpus: applies [`augment_document`] to every document
+/// and aggregates statistics. Synthetic documents do not include the
+/// originals; train on the union (Fig. 3, step 3).
+pub fn augment_corpus(corpus: &Corpus, config: &FieldSwapConfig) -> (Vec<Document>, AugmentStats) {
+    augment_corpus_with(corpus, config, &EngineOptions::default())
+}
+
+/// [`augment_corpus`] with explicit engine options.
+pub fn augment_corpus_with(
+    corpus: &Corpus,
+    config: &FieldSwapConfig,
+    opts: &EngineOptions,
+) -> (Vec<Document>, AugmentStats) {
+    let mut synthetics = Vec::new();
+    let mut stats = AugmentStats::default();
+    for doc in &corpus.documents {
+        let (mut docs, s) = augment_document_with(doc, config, opts);
+        stats.generated += s.generated;
+        stats.discarded_unchanged += s.discarded_unchanged;
+        stats.productive_pairs += s.productive_pairs;
+        synthetics.append(&mut docs);
+    }
+    (synthetics, stats)
+}
+
+/// Generates all synthetic variants of one document under `config`.
+pub fn augment_document(doc: &Document, config: &FieldSwapConfig) -> (Vec<Document>, AugmentStats) {
+    augment_document_with(doc, config, &EngineOptions::default())
+}
+
+/// [`augment_document`] with explicit engine options.
+pub fn augment_document_with(
+    doc: &Document,
+    config: &FieldSwapConfig,
+    opts: &EngineOptions,
+) -> (Vec<Document>, AugmentStats) {
+    let mut out = Vec::new();
+    let mut stats = AugmentStats::default();
+    for &(source, target) in config.pairs() {
+        if !doc.has_field(source) {
+            continue;
+        }
+        // Find occurrences of any source key phrase. The paper replaces
+        // "all matching source key phrases"; occurrences of different
+        // source phrases are all rewritten in the same synthetic.
+        let mut matches: Vec<PhraseMatch> = Vec::new();
+        for phrase in config.phrases(source) {
+            matches.extend(find_phrase_matches(doc, phrase));
+        }
+        if matches.is_empty() {
+            continue;
+        }
+        matches.sort_by_key(|m| m.start);
+        matches.dedup();
+        // Drop overlapping matches (e.g. "base" inside "base salary"):
+        // keep the earliest-starting, longest occurrence.
+        let matches = drop_overlaps(matches);
+
+        let mut produced = false;
+        for (pi, target_phrase) in config.phrases(target).iter().enumerate() {
+            match swap(doc, &matches, source, target, target_phrase, pi, opts) {
+                Some(synth) => {
+                    out.push(synth);
+                    stats.generated += 1;
+                    produced = true;
+                }
+                None => stats.discarded_unchanged += 1,
+            }
+        }
+        if produced {
+            stats.productive_pairs += 1;
+        }
+    }
+    (out, stats)
+}
+
+fn drop_overlaps(matches: Vec<PhraseMatch>) -> Vec<PhraseMatch> {
+    let mut out: Vec<PhraseMatch> = Vec::with_capacity(matches.len());
+    for m in matches {
+        match out.last_mut() {
+            Some(last) if m.start < last.end => {
+                // Overlap: prefer the longer occurrence.
+                if m.end - m.start > last.end - last.start {
+                    *last = m;
+                }
+            }
+            _ => out.push(m),
+        }
+    }
+    out
+}
+
+/// Builds the synthetic document: replaces every match with
+/// `target_phrase` tokens, relabels `source` annotations as `target`, and
+/// re-runs line detection. Returns `None` when the text is unchanged.
+/// Shared with the cross-domain extension (`crate::crossdomain`).
+pub(crate) fn swap(
+    doc: &Document,
+    matches: &[PhraseMatch],
+    source: FieldId,
+    target: FieldId,
+    target_phrase: &str,
+    phrase_index: usize,
+    opts: &EngineOptions,
+) -> Option<Document> {
+    let new_words: Vec<&str> = target_phrase.split_whitespace().collect();
+    debug_assert!(!new_words.is_empty());
+
+    // Unchanged-text check: every match already reads as the target phrase.
+    let unchanged = matches.iter().all(|m| {
+        let old: Vec<String> = (m.start..m.end)
+            .map(|t| crate::config::normalize_phrase(&doc.tokens[t as usize].text))
+            .collect();
+        old.join(" ") == target_phrase
+    });
+    if unchanged && opts.discard_unchanged {
+        return None;
+    }
+
+    // Rebuild the token list, tracking the old→new index mapping so that
+    // annotations (which never overlap matches) can be shifted.
+    let mut tokens: Vec<Token> = Vec::with_capacity(doc.tokens.len());
+    let mut index_map: Vec<Option<u32>> = vec![None; doc.tokens.len()];
+    let mut next_match = 0usize;
+    let mut i = 0u32;
+    let n = doc.tokens.len() as u32;
+    while i < n {
+        if next_match < matches.len() && matches[next_match].start == i {
+            let m = matches[next_match];
+            next_match += 1;
+            // Lay the replacement phrase out from the old occurrence's
+            // top-left corner, estimating character width from the old
+            // tokens so the new phrase sits in the same visual slot.
+            let first = &doc.tokens[m.start as usize].bbox;
+            let old_chars: usize = (m.start..m.end)
+                .map(|t| doc.tokens[t as usize].text.chars().count())
+                .sum();
+            let old_width: f32 = doc.tokens[m.end as usize - 1].bbox.x1 - first.x0;
+            let char_w = if old_chars > 0 {
+                (old_width / old_chars as f32).clamp(4.0, 12.0)
+            } else {
+                7.0
+            };
+            let mut x = first.x0;
+            for w in &new_words {
+                let width = w.chars().count() as f32 * char_w;
+                tokens.push(Token::new(
+                    *w,
+                    BBox::new(x, first.y0, x + width, first.y1),
+                ));
+                x += width + char_w * 0.7;
+            }
+            i = m.end;
+            continue;
+        }
+        index_map[i as usize] = Some(tokens.len() as u32);
+        tokens.push(doc.tokens[i as usize].clone());
+        i += 1;
+    }
+
+    // Shift and relabel annotations. Annotations never overlap matches
+    // (the matcher excludes labeled tokens), so the whole span maps.
+    let mut annotations = Vec::with_capacity(doc.annotations.len());
+    for a in &doc.annotations {
+        let Some(new_start) = index_map[a.start as usize] else {
+            debug_assert!(false, "annotation overlapped a phrase match");
+            continue;
+        };
+        let new_end = new_start + (a.end - a.start);
+        let field = if a.field == source { target } else { a.field };
+        annotations.push(EntitySpan::new(field, new_start, new_end));
+    }
+    annotations.sort_by_key(|a| (a.start, a.end));
+
+    let mut synth = Document {
+        id: format!("{}+swap{}-{}p{}", doc.id, source, target, phrase_index),
+        tokens,
+        lines: Vec::new(),
+        annotations,
+    };
+    fieldswap_ocr::detect_lines(&mut synth);
+    debug_assert!(synth.validate().is_ok());
+    Some(synth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{DocumentBuilder, Schema};
+
+    /// A paystub-like snippet mirroring the paper's Fig. 1:
+    /// "Base Salary  $3,308.62" with the amount labeled `current.salary`
+    /// (field 0) and an "Overtime  $120.00" row labeled field 1.
+    fn fig1_doc() -> Document {
+        let mut b = DocumentBuilder::new("paystub");
+        let push = |text: &str, x: f32, y: f32, b: &mut DocumentBuilder| {
+            let w = 8.0 * text.len() as f32;
+            b.push_token(Token::new(text, BBox::new(x, y, x + w, y + 12.0)));
+        };
+        push("Base", 10.0, 10.0, &mut b); // 0
+        push("Salary", 60.0, 10.0, &mut b); // 1
+        push("$3,308.62", 300.0, 10.0, &mut b); // 2
+        push("Overtime", 10.0, 40.0, &mut b); // 3
+        push("$120.00", 300.0, 40.0, &mut b); // 4
+        b.push_annotation(EntitySpan::new(0, 2, 3)); // current.salary
+        b.push_annotation(EntitySpan::new(1, 4, 5)); // current.overtime
+        let mut d = b.build();
+        fieldswap_ocr::detect_lines(&mut d);
+        d
+    }
+
+    fn fig1_config() -> FieldSwapConfig {
+        let mut c = FieldSwapConfig::new(2);
+        c.set_phrases(0, vec!["Base Salary".into(), "Base".into()]);
+        c.set_phrases(1, vec!["Overtime".into()]);
+        c
+    }
+
+    #[test]
+    fn field_to_field_swap_keeps_label() {
+        // Fig. 1 bottom-left: replace "Base Salary" with "Base"; the
+        // label on $3,308.62 stays current.salary.
+        let doc = fig1_doc();
+        let mut config = fig1_config();
+        config.set_pairs(vec![(0, 0)]);
+        let (synths, stats) = augment_document(&doc, &config);
+        // Two target phrases: "base salary" (unchanged → discard) and
+        // "base" (valid).
+        assert_eq!(stats.generated, 1);
+        assert_eq!(stats.discarded_unchanged, 1);
+        let s = &synths[0];
+        let text: Vec<&str> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(text, vec!["base", "$3,308.62", "Overtime", "$120.00"]);
+        let salary = s.annotations.iter().find(|a| a.field == 0).unwrap();
+        assert_eq!(s.span_text(salary.start, salary.end), "$3,308.62");
+    }
+
+    #[test]
+    fn cross_field_swap_relabels() {
+        // Fig. 1 bottom-right: replace "Base Salary" with "Overtime" and
+        // relabel $3,308.62 as current.overtime.
+        let doc = fig1_doc();
+        let mut config = fig1_config();
+        config.set_pairs(vec![(0, 1)]);
+        let (synths, stats) = augment_document(&doc, &config);
+        assert_eq!(stats.generated, 1);
+        let s = &synths[0];
+        // Both money values are now labeled field 1.
+        let fields: Vec<FieldId> = s.annotations.iter().map(|a| a.field).collect();
+        assert_eq!(fields, vec![1, 1]);
+        let texts: Vec<&str> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["overtime", "$3,308.62", "Overtime", "$120.00"]);
+    }
+
+    #[test]
+    fn no_source_instance_no_synthetic() {
+        let mut doc = fig1_doc();
+        doc.annotations.retain(|a| a.field != 0);
+        let mut config = fig1_config();
+        config.set_pairs(vec![(0, 1)]);
+        let (synths, _) = augment_document(&doc, &config);
+        assert!(synths.is_empty());
+    }
+
+    #[test]
+    fn no_phrase_occurrence_no_synthetic() {
+        // Source field labeled but its phrase absent from the page.
+        let doc = fig1_doc();
+        let mut config = FieldSwapConfig::new(2);
+        config.set_phrases(0, vec!["Gross Pay".into()]);
+        config.set_phrases(1, vec!["Overtime".into()]);
+        config.set_pairs(vec![(0, 1)]);
+        let (synths, _) = augment_document(&doc, &config);
+        assert!(synths.is_empty());
+    }
+
+    #[test]
+    fn same_phrase_swap_discarded() {
+        // Contradictory-pair guard: if S and T share the phrase, the
+        // synthetic text is unchanged and must be discarded.
+        let doc = fig1_doc();
+        let mut config = FieldSwapConfig::new(2);
+        config.set_phrases(0, vec!["Overtime".into()]); // pretend
+        config.set_phrases(1, vec!["Overtime".into()]);
+        config.set_pairs(vec![(1, 0)]);
+        let (synths, stats) = augment_document(&doc, &config);
+        assert!(synths.is_empty());
+        assert_eq!(stats.discarded_unchanged, 1);
+    }
+
+    #[test]
+    fn replacement_preserves_geometry_slot() {
+        let doc = fig1_doc();
+        let mut config = fig1_config();
+        config.set_pairs(vec![(0, 1)]);
+        let (synths, _) = augment_document(&doc, &config);
+        let s = &synths[0];
+        // New phrase starts at the old phrase's top-left corner.
+        assert_eq!(s.tokens[0].bbox.x0, doc.tokens[0].bbox.x0);
+        assert_eq!(s.tokens[0].bbox.y0, doc.tokens[0].bbox.y0);
+        // Value stays put.
+        let v = s.annotations.iter().find(|a| a.start == 1).unwrap();
+        assert_eq!(s.tokens[v.start as usize].bbox, doc.tokens[2].bbox);
+    }
+
+    #[test]
+    fn longer_replacement_phrase_expands_tokens() {
+        let doc = fig1_doc();
+        let mut config = FieldSwapConfig::new(2);
+        config.set_phrases(0, vec!["Base Salary".into()]);
+        config.set_phrases(1, vec!["Paid Time Off".into()]);
+        config.set_pairs(vec![(0, 1)]);
+        let (synths, _) = augment_document(&doc, &config);
+        let s = &synths[0];
+        assert_eq!(s.tokens.len(), 6); // 3-word phrase replaces 2 words
+        assert!(s.validate().is_ok());
+        // Annotation indices shifted correctly.
+        let salary = s.annotations.iter().find(|a| a.field == 1 && a.start == 3).unwrap();
+        assert_eq!(s.span_text(salary.start, salary.end), "$3,308.62");
+    }
+
+    #[test]
+    fn all_occurrences_replaced() {
+        // Two "Base Salary" occurrences (e.g. a summary repeating a row).
+        let mut b = DocumentBuilder::new("d");
+        for (i, (t, x, y)) in [
+            ("Base", 10.0, 10.0),
+            ("Salary", 60.0, 10.0),
+            ("$1.00", 300.0, 10.0),
+            ("Base", 10.0, 40.0),
+            ("Salary", 60.0, 40.0),
+            ("$2.00", 300.0, 40.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let w = 8.0 * t.len() as f32;
+            b.push_token(Token::new(*t, BBox::new(*x, *y, *x + w, *y + 12.0)));
+            if i == 2 || i == 5 {
+                b.push_annotation(EntitySpan::new(0, i as u32, i as u32 + 1));
+            }
+        }
+        let mut doc = b.build();
+        fieldswap_ocr::detect_lines(&mut doc);
+        let mut config = FieldSwapConfig::new(2);
+        config.set_phrases(0, vec!["Base Salary".into()]);
+        config.set_phrases(1, vec!["Bonus".into()]);
+        config.set_pairs(vec![(0, 1)]);
+        let (synths, _) = augment_document(&doc, &config);
+        let s = &synths[0];
+        let bonus_count = s.tokens.iter().filter(|t| t.text == "bonus").count();
+        assert_eq!(bonus_count, 2);
+        assert!(s.annotations.iter().all(|a| a.field == 1));
+    }
+
+    #[test]
+    fn one_synthetic_per_target_phrase() {
+        let doc = fig1_doc();
+        let mut config = FieldSwapConfig::new(2);
+        config.set_phrases(0, vec!["Base Salary".into()]);
+        config.set_phrases(1, vec!["Overtime".into(), "OT Pay".into(), "Extra Hours".into()]);
+        config.set_pairs(vec![(0, 1)]);
+        let (synths, stats) = augment_document(&doc, &config);
+        assert_eq!(synths.len(), 3);
+        assert_eq!(stats.generated, 3);
+        // Distinct ids for downstream bookkeeping.
+        let ids: std::collections::HashSet<_> = synths.iter().map(|s| s.id.clone()).collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn augment_corpus_aggregates() {
+        let schema = Schema::new(
+            "t",
+            vec![
+                fieldswap_docmodel::FieldDef::new("a", fieldswap_docmodel::BaseType::Money),
+                fieldswap_docmodel::FieldDef::new("b", fieldswap_docmodel::BaseType::Money),
+            ],
+        );
+        let corpus = Corpus::new(schema, vec![fig1_doc(), fig1_doc()]);
+        let mut config = fig1_config();
+        config.set_pairs(vec![(0, 1), (1, 0)]);
+        let (synths, stats) = augment_corpus(&corpus, &config);
+        assert_eq!(synths.len(), stats.generated);
+        assert!(stats.generated >= 4, "got {stats:?}");
+    }
+
+    #[test]
+    fn overlap_resolution_prefers_longer_phrase() {
+        // "Base" is a phrase of field 0 and also a prefix of "Base Salary".
+        let doc = fig1_doc();
+        let mut config = FieldSwapConfig::new(2);
+        config.set_phrases(0, vec!["Base".into(), "Base Salary".into()]);
+        config.set_phrases(1, vec!["Bonus".into()]);
+        config.set_pairs(vec![(0, 1)]);
+        let (synths, _) = augment_document(&doc, &config);
+        let s = &synths[0];
+        let texts: Vec<&str> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+        // The full "Base Salary" is replaced once, not "Base" alone
+        // leaving a dangling "Salary".
+        assert_eq!(texts, vec!["bonus", "$3,308.62", "Overtime", "$120.00"]);
+    }
+}

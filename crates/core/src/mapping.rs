@@ -1,0 +1,145 @@
+//! Source→target field-pair mapping strategies (Section II-B).
+
+use crate::config::FieldSwapConfig;
+use fieldswap_docmodel::{FieldId, Schema};
+
+/// How to build the list of source→target field pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairStrategy {
+    /// Swap only within a field: `S == T`. Lowest risk of bad synthetics,
+    /// but rare fields — the ones most worth augmenting — gain the least.
+    FieldToField,
+    /// Swap between any two fields sharing a base type (a field is also
+    /// mapped to itself, matching the paper's implementation note). More
+    /// synthetics (3–10x in Table III), at the cost of occasional
+    /// contradictory examples.
+    TypeToType,
+    /// Swap between any pair of fields. The paper found this "nearly
+    /// always worse" than type-to-type; included for the ablation.
+    AllToAll,
+}
+
+impl PairStrategy {
+    /// Builds the pair list for `schema`, restricted to fields that have
+    /// at least one key phrase in `config` (fields without phrases can be
+    /// neither sources nor targets).
+    pub fn build(&self, schema: &Schema, config: &FieldSwapConfig) -> Vec<(FieldId, FieldId)> {
+        let eligible: Vec<FieldId> = schema
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|&id| config.has_phrases(id))
+            .collect();
+        let mut pairs = Vec::new();
+        match self {
+            PairStrategy::FieldToField => {
+                for &f in &eligible {
+                    pairs.push((f, f));
+                }
+            }
+            PairStrategy::TypeToType => {
+                for &s in &eligible {
+                    for &t in &eligible {
+                        if schema.field(s).base_type == schema.field(t).base_type {
+                            pairs.push((s, t));
+                        }
+                    }
+                }
+            }
+            PairStrategy::AllToAll => {
+                for &s in &eligible {
+                    for &t in &eligible {
+                        pairs.push((s, t));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Builds a human-expert pair list: type-to-type pairs with a caller-
+/// supplied pruning predicate removing pairs "most likely to appear in
+/// different tables or sections of the document" (Section III). `keep`
+/// receives `(source, target)` and returns whether to keep the pair.
+pub fn expert_pairs<F>(
+    schema: &Schema,
+    config: &FieldSwapConfig,
+    mut keep: F,
+) -> Vec<(FieldId, FieldId)>
+where
+    F: FnMut(FieldId, FieldId) -> bool,
+{
+    PairStrategy::TypeToType
+        .build(schema, config)
+        .into_iter()
+        .filter(|&(s, t)| keep(s, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{BaseType, FieldDef};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                FieldDef::new("m1", BaseType::Money),
+                FieldDef::new("m2", BaseType::Money),
+                FieldDef::new("d1", BaseType::Date),
+                FieldDef::new("s1", BaseType::String),
+            ],
+        )
+    }
+
+    fn config_with_phrases(fields: &[FieldId]) -> FieldSwapConfig {
+        let mut c = FieldSwapConfig::new(4);
+        for &f in fields {
+            c.add_phrase(f, "phrase");
+        }
+        c
+    }
+
+    #[test]
+    fn field_to_field_is_self_pairs() {
+        let c = config_with_phrases(&[0, 1, 2]);
+        let pairs = PairStrategy::FieldToField.build(&schema(), &c);
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn type_to_type_groups_by_base_type() {
+        let c = config_with_phrases(&[0, 1, 2, 3]);
+        let pairs = PairStrategy::TypeToType.build(&schema(), &c);
+        // Money block: (0,0),(0,1),(1,0),(1,1); date self; string self.
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 0)));
+        assert!(pairs.contains(&(0, 0)));
+        assert!(!pairs.contains(&(0, 2)), "money -> date is not allowed");
+        assert_eq!(pairs.len(), 4 + 1 + 1);
+    }
+
+    #[test]
+    fn all_to_all_crosses_types() {
+        let c = config_with_phrases(&[0, 2]);
+        let pairs = PairStrategy::AllToAll.build(&schema(), &c);
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn fields_without_phrases_excluded() {
+        let c = config_with_phrases(&[0]);
+        let pairs = PairStrategy::TypeToType.build(&schema(), &c);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn expert_pairs_prunes() {
+        let c = config_with_phrases(&[0, 1]);
+        // Prune the cross pairs, keep self pairs.
+        let pairs = expert_pairs(&schema(), &c, |s, t| s == t);
+        assert_eq!(pairs, vec![(0, 0), (1, 1)]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Key-phrase matching inside documents.
+//!
+//! A phrase matches a run of consecutive tokens *on one OCR line* whose
+//! normalized texts equal the phrase's words. Restricting matches to a
+//! single line mirrors the paper's observation that "an important phrase
+//! typically resides within a single line" (Section II-A3) and prevents
+//! false matches across column boundaries.
+
+use fieldswap_docmodel::Document;
+
+/// A phrase occurrence: the contiguous token-id range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhraseMatch {
+    /// First token of the occurrence (inclusive).
+    pub start: u32,
+    /// One-past-last token (exclusive).
+    pub end: u32,
+}
+
+/// Normalizes a token for matching: lowercase with leading/trailing
+/// punctuation stripped (so `"Total:"` matches the phrase word `total`).
+fn norm_token(text: &str) -> String {
+    text.trim_matches(|c: char| c.is_ascii_punctuation())
+        .to_lowercase()
+}
+
+/// Finds all occurrences of `phrase` (already normalized, space-separated
+/// words) in `doc`. Matches are restricted to single OCR lines and to
+/// windows whose token ids are contiguous (which holds for text emitted in
+/// reading order). Overlapping annotations are excluded: a field *value*
+/// can never be treated as a key phrase occurrence (Section II-A5).
+pub fn find_phrase_matches(doc: &Document, phrase: &str) -> Vec<PhraseMatch> {
+    let words: Vec<&str> = phrase.split_whitespace().collect();
+    if words.is_empty() {
+        return Vec::new();
+    }
+    let labeled = doc.labeled_token_set();
+    let mut out = Vec::new();
+    for line in &doc.lines {
+        if line.tokens.len() < words.len() {
+            continue;
+        }
+        for w in line.tokens.windows(words.len()) {
+            // Window ids must be contiguous so the match is a clean
+            // replaceable token range.
+            if !w.windows(2).all(|p| p[1] == p[0] + 1) {
+                continue;
+            }
+            let matches = w
+                .iter()
+                .zip(&words)
+                .all(|(&tid, &word)| norm_token(&doc.tokens[tid as usize].text) == word);
+            if !matches {
+                continue;
+            }
+            if w.iter().any(|&tid| labeled[tid as usize]) {
+                continue;
+            }
+            out.push(PhraseMatch {
+                start: w[0],
+                end: w[w.len() - 1] + 1,
+            });
+        }
+    }
+    out.sort_by_key(|m| m.start);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{BBox, DocumentBuilder, EntitySpan, Token};
+
+    fn doc(rows: &[&str]) -> Document {
+        let mut b = DocumentBuilder::new("t");
+        for (r, row) in rows.iter().enumerate() {
+            let mut x = 10.0;
+            for w in row.split_whitespace() {
+                let width = 8.0 * w.len() as f32;
+                b.push_token(Token::new(
+                    w,
+                    BBox::new(x, 30.0 * r as f32, x + width, 30.0 * r as f32 + 12.0),
+                ));
+                x += width + 5.0;
+            }
+        }
+        let mut d = b.build();
+        fieldswap_ocr::detect_lines(&mut d);
+        d
+    }
+
+    #[test]
+    fn single_word_match() {
+        let d = doc(&["Overtime $120.00", "Bonus $50.00"]);
+        let m = find_phrase_matches(&d, "overtime");
+        assert_eq!(m.len(), 1);
+        assert_eq!((m[0].start, m[0].end), (0, 1));
+    }
+
+    #[test]
+    fn multi_word_match() {
+        let d = doc(&["Base Salary $3,308.62"]);
+        let m = find_phrase_matches(&d, "base salary");
+        assert_eq!(m.len(), 1);
+        assert_eq!((m[0].start, m[0].end), (0, 2));
+    }
+
+    #[test]
+    fn punctuation_insensitive() {
+        let d = doc(&["Total: $99.00"]);
+        assert_eq!(find_phrase_matches(&d, "total").len(), 1);
+    }
+
+    #[test]
+    fn no_cross_row_match() {
+        let d = doc(&["Base", "Salary"]);
+        assert!(find_phrase_matches(&d, "base salary").is_empty());
+    }
+
+    #[test]
+    fn multiple_occurrences_sorted() {
+        let d = doc(&["Bonus $1.00", "Bonus $2.00"]);
+        let m = find_phrase_matches(&d, "bonus");
+        assert_eq!(m.len(), 2);
+        assert!(m[0].start < m[1].start);
+    }
+
+    #[test]
+    fn labeled_tokens_never_match() {
+        let mut d = doc(&["Overtime Overtime"]);
+        // Label the second "Overtime" as a field value.
+        d.annotations = vec![EntitySpan::new(0, 1, 2)];
+        let m = find_phrase_matches(&d, "overtime");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].start, 0);
+    }
+
+    #[test]
+    fn empty_phrase_matches_nothing() {
+        let d = doc(&["Total $1.00"]);
+        assert!(find_phrase_matches(&d, "").is_empty());
+        assert!(find_phrase_matches(&d, "   ").is_empty());
+    }
+
+    #[test]
+    fn proptest_constructed_occurrences_found() {
+        use proptest::prelude::*;
+        use proptest::test_runner::{Config, TestRunner};
+        let mut runner = TestRunner::new(Config::with_cases(48));
+        let words = ["total", "due", "amount", "pay", "xzxz"];
+        runner
+            .run(
+                &(
+                    proptest::collection::vec(0usize..words.len(), 1..3), // phrase
+                    proptest::collection::vec(0usize..words.len(), 0..8), // prefix row
+                    1usize..4,                                            // occurrences
+                ),
+                |(phrase_idx, prefix_idx, occurrences)| {
+                    let phrase_words: Vec<&str> =
+                        phrase_idx.iter().map(|&i| words[i]).collect();
+                    let phrase = phrase_words.join(" ");
+                    // Build rows: a prefix row of filler, then N rows each
+                    // containing exactly the phrase.
+                    let mut rows: Vec<String> = Vec::new();
+                    let prefix: Vec<&str> = prefix_idx.iter().map(|&i| words[i]).collect();
+                    if !prefix.is_empty() {
+                        // Guard: the filler row must not itself contain the
+                        // phrase as a subsequence of adjacent words.
+                        let joined = prefix.join(" ");
+                        if joined.contains(&phrase) {
+                            return Ok(());
+                        }
+                        rows.push(joined);
+                    }
+                    for _ in 0..occurrences {
+                        rows.push(phrase.clone());
+                    }
+                    let row_refs: Vec<&str> = rows.iter().map(String::as_str).collect();
+                    let d = doc(&row_refs);
+                    let found = find_phrase_matches(&d, &phrase);
+                    prop_assert!(
+                        found.len() >= occurrences,
+                        "phrase {:?}: found {} < constructed {}",
+                        phrase,
+                        found.len(),
+                        occurrences
+                    );
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let d = doc(&["AMOUNT DUE $5.00"]);
+        assert_eq!(find_phrase_matches(&d, "amount due").len(), 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Value swapping — the Section II-C extension the paper leaves to future
+//! work: "When swapping the key phrases for a pair of fields, should we
+//! also swap the values for these fields so that the model is not
+//! confused by the augmented examples having values too different from
+//! the original examples?"
+//!
+//! This module implements that extension: a [`ValueBank`] collects the
+//! observed surface forms of each field's values across a corpus, and
+//! [`apply_value_swap`] rewrites a synthetic document's relabeled
+//! instances with values drawn from the *target* field's bank. Combined
+//! with the phrase-swap engine this yields synthetics whose value
+//! distributions match the target field (e.g. `tax_due` magnitudes
+//! instead of `total_due` magnitudes).
+
+use fieldswap_docmodel::{BBox, Corpus, Document, EntitySpan, FieldId, Token};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Observed value surface forms per field: each entry is the word
+/// sequence of one labeled instance.
+#[derive(Debug, Clone, Default)]
+pub struct ValueBank {
+    values: Vec<Vec<Vec<String>>>,
+}
+
+impl ValueBank {
+    /// Collects every labeled value in `corpus`, grouped by field.
+    pub fn collect(corpus: &Corpus) -> Self {
+        let mut values: Vec<Vec<Vec<String>>> = vec![Vec::new(); corpus.schema.len()];
+        for doc in &corpus.documents {
+            for a in &doc.annotations {
+                let words: Vec<String> = (a.start..a.end)
+                    .map(|t| doc.tokens[t as usize].text.clone())
+                    .collect();
+                values[a.field as usize].push(words);
+            }
+        }
+        Self { values }
+    }
+
+    /// Number of collected values for `field`.
+    pub fn count(&self, field: FieldId) -> usize {
+        self.values[field as usize].len()
+    }
+
+    /// A deterministic sample from `field`'s bank, or `None` when empty.
+    pub fn sample(&self, field: FieldId, rng: &mut StdRng) -> Option<&[String]> {
+        let bank = &self.values[field as usize];
+        if bank.is_empty() {
+            None
+        } else {
+            Some(&bank[rng.gen_range(0..bank.len())])
+        }
+    }
+}
+
+/// Replaces the token range `[start, end)` of `doc` with `words`, laid
+/// out from the old range's top-left corner, shifting annotations and
+/// re-detecting lines. The replaced range may itself be annotated; its
+/// annotation (if any) is resized to cover the new words.
+pub fn replace_range(doc: &Document, start: u32, end: u32, words: &[String]) -> Document {
+    assert!(start < end && end <= doc.tokens.len() as u32);
+    assert!(!words.is_empty(), "cannot replace with nothing");
+    let first = doc.tokens[start as usize].bbox;
+    let old_chars: usize = (start..end)
+        .map(|t| doc.tokens[t as usize].text.chars().count())
+        .sum();
+    let old_width = doc.tokens[end as usize - 1].bbox.x1 - first.x0;
+    let char_w = if old_chars > 0 {
+        (old_width / old_chars as f32).clamp(4.0, 12.0)
+    } else {
+        7.0
+    };
+
+    let mut tokens: Vec<Token> = Vec::with_capacity(doc.tokens.len());
+    tokens.extend_from_slice(&doc.tokens[..start as usize]);
+    let mut x = first.x0;
+    for w in words {
+        let width = w.chars().count() as f32 * char_w;
+        tokens.push(Token::new(w.clone(), BBox::new(x, first.y0, x + width, first.y1)));
+        x += width + char_w * 0.7;
+    }
+    tokens.extend_from_slice(&doc.tokens[end as usize..]);
+
+    let delta = words.len() as i64 - (end - start) as i64;
+    let shift = |t: u32| -> u32 {
+        if t <= start {
+            t
+        } else {
+            (t as i64 + delta) as u32
+        }
+    };
+    let mut annotations = Vec::with_capacity(doc.annotations.len());
+    for a in &doc.annotations {
+        if a.start == start && a.end == end {
+            // The replaced value itself: resize to the new words.
+            annotations.push(EntitySpan::new(a.field, start, start + words.len() as u32));
+        } else {
+            debug_assert!(a.end <= start || a.start >= end, "partial overlap");
+            annotations.push(EntitySpan::new(a.field, shift(a.start), shift(a.end)));
+        }
+    }
+    annotations.sort_by_key(|a| (a.start, a.end));
+
+    let mut out = Document {
+        id: doc.id.clone(),
+        tokens,
+        lines: Vec::new(),
+        annotations,
+    };
+    fieldswap_ocr::detect_lines(&mut out);
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+/// Rewrites every instance of `field` in `doc` with a value sampled from
+/// `bank`. Returns the original document unchanged when the bank has no
+/// values for the field.
+pub fn apply_value_swap(doc: &Document, field: FieldId, bank: &ValueBank, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = doc.clone();
+    loop {
+        // Re-find one span of `field` each round: replacement shifts
+        // indices, so spans are processed one at a time. Spans already
+        // matching a bank entry verbatim still get rewritten (cheap, and
+        // keeps the logic simple); termination is by index progression.
+        let spans: Vec<EntitySpan> = current.spans_of(field).copied().collect();
+        let mut changed = false;
+        for s in spans {
+            let Some(words) = bank.sample(field, &mut rng) else {
+                return current;
+            };
+            let existing: Vec<String> = (s.start..s.end)
+                .map(|t| current.tokens[t as usize].text.clone())
+                .collect();
+            if existing == words {
+                continue;
+            }
+            current = replace_range(&current, s.start, s.end, words);
+            changed = true;
+            break; // spans moved; re-scan
+        }
+        if !changed {
+            return current;
+        }
+    }
+}
+
+/// Rewrites every labeled instance in `doc` with a value sampled from its
+/// own field's bank (fields with empty banks are left untouched). For
+/// FieldSwap synthetics this gives the relabeled instances values typical
+/// of their *new* field — the full Section II-C value-swap extension.
+pub fn apply_value_swap_all(doc: &Document, bank: &ValueBank, seed: u64) -> Document {
+    let mut fields: Vec<FieldId> = doc.annotations.iter().map(|a| a.field).collect();
+    fields.sort_unstable();
+    fields.dedup();
+    let mut current = doc.clone();
+    for (k, f) in fields.into_iter().enumerate() {
+        current = apply_value_swap(&current, f, bank, seed.wrapping_add(k as u64));
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{DocumentBuilder, FieldDef, Schema};
+
+    fn doc(rows: &[(&str, Option<u16>)]) -> Document {
+        let mut b = DocumentBuilder::new("t");
+        let mut i = 0u32;
+        for (r, (text, field)) in rows.iter().enumerate() {
+            let start = i;
+            for w in text.split_whitespace() {
+                let x = 10.0 + 60.0 * (i - start) as f32;
+                let y = 30.0 * r as f32;
+                b.push_token(Token::new(w, BBox::new(x, y, x + 50.0, y + 12.0)));
+                i += 1;
+            }
+            if let Some(f) = field {
+                b.push_annotation(EntitySpan::new(*f, start, i));
+            }
+        }
+        let mut d = b.build();
+        fieldswap_ocr::detect_lines(&mut d);
+        d
+    }
+
+    fn words(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn replace_range_same_length() {
+        let d = doc(&[("Total $5.00", Some(0))]);
+        // Annotation covers both tokens (0..2); replace token 1 is inside
+        // the annotation -> use the full span.
+        let out = replace_range(&d, 0, 2, &words(&["Total", "$9.99"]));
+        assert_eq!(out.tokens[1].text, "$9.99");
+        assert_eq!(out.annotations[0], EntitySpan::new(0, 0, 2));
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn replace_range_grows_and_shifts() {
+        let d = doc(&[("Name Alice", Some(0)), ("Total $5.00", Some(1))]);
+        // Replace the first row's value span (tokens 0..2 labeled 0).
+        let out = replace_range(&d, 0, 2, &words(&["Very", "Long", "Name"]));
+        assert_eq!(out.tokens.len(), 5);
+        let a0 = out.annotations.iter().find(|a| a.field == 0).unwrap();
+        assert_eq!((a0.start, a0.end), (0, 3));
+        let a1 = out.annotations.iter().find(|a| a.field == 1).unwrap();
+        assert_eq!((a1.start, a1.end), (3, 5));
+        assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn bank_collects_per_field() {
+        let schema = Schema::new(
+            "t",
+            vec![
+                FieldDef::new("a", fieldswap_docmodel::BaseType::Money),
+                FieldDef::new("b", fieldswap_docmodel::BaseType::Money),
+            ],
+        );
+        let corpus = Corpus::new(
+            schema,
+            vec![doc(&[("$1.00", Some(0))]), doc(&[("$2.00", Some(0)), ("$3.00", Some(1))])],
+        );
+        let bank = ValueBank::collect(&corpus);
+        assert_eq!(bank.count(0), 2);
+        assert_eq!(bank.count(1), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(bank.sample(0, &mut rng).is_some());
+    }
+
+    #[test]
+    fn value_swap_rewrites_instances() {
+        let schema = Schema::new(
+            "t",
+            vec![FieldDef::new("a", fieldswap_docmodel::BaseType::Money)],
+        );
+        let corpus = Corpus::new(schema, vec![doc(&[("$777.77", Some(0))])]);
+        let bank = ValueBank::collect(&corpus);
+        let target = doc(&[("label text", None), ("$1.23", Some(0))]);
+        let out = apply_value_swap(&target, 0, &bank, 42);
+        let a = out.annotations[0];
+        assert_eq!(out.span_text(a.start, a.end), "$777.77");
+        // Unlabeled text untouched.
+        assert_eq!(out.tokens[0].text, "label");
+    }
+
+    #[test]
+    fn empty_bank_is_identity() {
+        let schema = Schema::new(
+            "t",
+            vec![FieldDef::new("a", fieldswap_docmodel::BaseType::Money)],
+        );
+        let corpus = Corpus::new(schema, vec![]);
+        let bank = ValueBank::collect(&corpus);
+        let target = doc(&[("$1.23", Some(0))]);
+        let out = apply_value_swap(&target, 0, &bank, 1);
+        assert_eq!(out, target);
+    }
+
+    #[test]
+    fn value_swap_is_deterministic() {
+        let schema = Schema::new(
+            "t",
+            vec![FieldDef::new("a", fieldswap_docmodel::BaseType::Money)],
+        );
+        let corpus = Corpus::new(
+            schema,
+            vec![doc(&[("$1.00", Some(0))]), doc(&[("$2.00", Some(0))])],
+        );
+        let bank = ValueBank::collect(&corpus);
+        let target = doc(&[("$9.99", Some(0))]);
+        let a = apply_value_swap(&target, 0, &bank, 7);
+        let b = apply_value_swap(&target, 0, &bank, 7);
+        assert_eq!(a, b);
+    }
+}

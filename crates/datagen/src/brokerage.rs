@@ -1,0 +1,300 @@
+//! The **Brokerage Statements** corpus: 18 fields — 5 money, 4 date,
+//! 2 address, 7 string (Table II). A summary-style statement with an
+//! account-value section and identity blocks.
+
+use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::layout::PageBuilder;
+use crate::values;
+use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const ID_BEGIN_VALUE: usize = 0;
+const ID_END_VALUE: usize = 1;
+const ID_DEPOSITS: usize = 2;
+const ID_WITHDRAWALS: usize = 3;
+const ID_CHANGE: usize = 4;
+const ID_PERIOD_START: usize = 5;
+const ID_PERIOD_END: usize = 6;
+const ID_STMT_DATE: usize = 7;
+const ID_OPENED_DATE: usize = 8;
+const ID_HOLDER_NAME: usize = 9;
+const ID_ACCOUNT_NUMBER: usize = 10;
+const ID_FIRM_NAME: usize = 11;
+const ID_ADVISOR_NAME: usize = 12;
+const ID_ACCOUNT_TYPE: usize = 13;
+const ID_PORTFOLIO_ID: usize = 14;
+const ID_TAX_ID: usize = 15;
+const ID_HOLDER_ADDRESS: usize = 16;
+const ID_FIRM_ADDRESS: usize = 17;
+
+const SPECS: [FieldSpec; 18] = [
+    FieldSpec::new(
+        "beginning_value",
+        BaseType::Money,
+        &["Beginning Value", "Opening Balance", "Beginning Balance"],
+        0.95,
+    ),
+    FieldSpec::new(
+        "ending_value",
+        BaseType::Money,
+        &["Ending Value", "Closing Balance", "Ending Balance"],
+        0.97,
+    ),
+    FieldSpec::new(
+        "total_deposits",
+        BaseType::Money,
+        &["Deposits", "Total Deposits", "Contributions"],
+        0.7,
+    ),
+    FieldSpec::new(
+        "total_withdrawals",
+        BaseType::Money,
+        &["Withdrawals", "Total Withdrawals", "Distributions"],
+        0.55,
+    ),
+    FieldSpec::new(
+        "change_in_value",
+        BaseType::Money,
+        &["Change in Value", "Net Change", "Gain Loss"],
+        0.75,
+    ),
+    FieldSpec::new(
+        "period_start",
+        BaseType::Date,
+        &["Period Start", "Statement Period Begin", "From"],
+        0.9,
+    ),
+    FieldSpec::new(
+        "period_end",
+        BaseType::Date,
+        &["Period End", "Statement Period End", "Through"],
+        0.9,
+    ),
+    FieldSpec::new(
+        "statement_date",
+        BaseType::Date,
+        &["Statement Date", "As Of"],
+        0.85,
+    ),
+    FieldSpec::new(
+        "account_opened_date",
+        BaseType::Date,
+        &["Account Opened", "Open Date"],
+        0.25,
+    ),
+    FieldSpec::new(
+        "account_holder_name",
+        BaseType::String,
+        &["Account Holder", "Prepared For", "Account Owner"],
+        0.97,
+    ),
+    FieldSpec::new(
+        "account_number",
+        BaseType::String,
+        &["Account Number", "Account No", "Acct Number"],
+        0.95,
+    ),
+    // Firm name sits in the page masthead without a phrase.
+    FieldSpec::new("firm_name", BaseType::String, &[], 0.95),
+    FieldSpec::new(
+        "advisor_name",
+        BaseType::String,
+        &["Financial Advisor", "Your Advisor", "Advisor"],
+        0.6,
+    ),
+    FieldSpec::new(
+        "account_type",
+        BaseType::String,
+        &["Account Type"],
+        0.7,
+    ),
+    FieldSpec::new(
+        "portfolio_id",
+        BaseType::String,
+        &["Portfolio ID", "Portfolio Number"],
+        0.3,
+    ),
+    FieldSpec::new("tax_id", BaseType::String, &["Tax ID", "TIN"], 0.35),
+    FieldSpec::new("account_holder_address", BaseType::Address, &[], 0.9),
+    FieldSpec::new("firm_address", BaseType::Address, &[], 0.85),
+];
+
+/// Generator for the Brokerage Statements domain.
+pub struct BrokerageGen;
+
+impl DomainGenerator for BrokerageGen {
+    fn domain(&self) -> Domain {
+        Domain::Brokerage
+    }
+
+    fn schema(&self) -> Schema {
+        schema_from_specs("brokerage", &SPECS)
+    }
+
+    fn field_specs(&self) -> &'static [FieldSpec] {
+        &SPECS
+    }
+
+    fn generate(&self, seed: u64, n: usize, opts: &GenOptions) -> Corpus {
+        drive(Domain::Brokerage, &SPECS, 2, seed, n, opts, render)
+    }
+}
+
+fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Document {
+    let sp = &SPECS;
+    let mut p = PageBuilder::new(id, vendor.style);
+    let f = |i: usize| i as FieldId;
+
+    // --- Masthead: firm name + address (phrase-less).
+    if present[ID_FIRM_NAME] {
+        p.labeled_text(20.0, &values::company_name(rng), f(ID_FIRM_NAME));
+        p.newline();
+    }
+    if present[ID_FIRM_ADDRESS] {
+        let street = values::street_line(rng);
+        let city = values::city_line(rng);
+        p.address_block(20.0, None, &[&street, &city], Some(f(ID_FIRM_ADDRESS)));
+    }
+    p.text(650.0, "Brokerage Account Statement");
+    p.vspace(14.0);
+
+    // --- Account identity block.
+    if present[ID_HOLDER_NAME] {
+        p.kv_row(
+            40.0,
+            vendor.phrase(sp, ID_HOLDER_NAME),
+            360.0,
+            &values::person_name(rng),
+            Some(f(ID_HOLDER_NAME)),
+        );
+    }
+    if present[ID_HOLDER_ADDRESS] {
+        let street = values::street_line(rng);
+        let city = values::city_line(rng);
+        p.address_block(40.0, None, &[&street, &city], Some(f(ID_HOLDER_ADDRESS)));
+    }
+    for &(fid, gen_kind) in &[
+        (ID_ACCOUNT_NUMBER, 0u8),
+        (ID_ACCOUNT_TYPE, 1),
+        (ID_ADVISOR_NAME, 2),
+        (ID_PORTFOLIO_ID, 0),
+        (ID_TAX_ID, 3),
+    ] {
+        if !present[fid] {
+            continue;
+        }
+        let v = match gen_kind {
+            0 => values::id_number(rng),
+            1 => ["Individual", "Joint", "IRA", "Roth IRA"][rng.gen_range(0..4)].to_string(),
+            2 => values::person_name(rng),
+            _ => format!("{:02}-{:07}", rng.gen_range(10..99), rng.gen_range(0..10_000_000)),
+        };
+        if vendor.variant == 0 {
+            p.kv_row(40.0, vendor.phrase(sp, fid), 360.0, &v, Some(f(fid)));
+        } else {
+            p.kv_stacked(40.0, vendor.phrase(sp, fid), &v, Some(f(fid)));
+        }
+    }
+    p.vspace(12.0);
+
+    // --- Statement period dates.
+    let date_style = (vendor.id % 3) as u8;
+    for &fid in &[ID_PERIOD_START, ID_PERIOD_END, ID_STMT_DATE, ID_OPENED_DATE] {
+        if present[fid] {
+            p.kv_row(
+                40.0,
+                vendor.phrase(sp, fid),
+                360.0,
+                &values::date(rng, date_style),
+                Some(f(fid)),
+            );
+        }
+    }
+    p.vspace(14.0);
+
+    // --- Account value summary.
+    p.text(40.0, "Account Value Summary");
+    p.newline();
+    let begin = rng.gen_range(100_000..90_000_000i64);
+    let deposits = rng.gen_range(0..2_000_000i64);
+    let withdrawals = rng.gen_range(0..1_500_000i64);
+    let change = rng.gen_range(-3_000_000..5_000_000i64);
+    let end = begin + deposits - withdrawals + change;
+    let rows: [(usize, i64); 5] = [
+        (ID_BEGIN_VALUE, begin),
+        (ID_DEPOSITS, deposits),
+        (ID_WITHDRAWALS, withdrawals),
+        (ID_CHANGE, change),
+        (ID_END_VALUE, end),
+    ];
+    let vx = if vendor.variant == 0 { 420.0 } else { 500.0 };
+    for (fid, cents) in rows {
+        if present[fid] {
+            p.kv_row(
+                60.0,
+                vendor.phrase(sp, fid),
+                vx,
+                &values::format_money(cents, true),
+                Some(f(fid)),
+            );
+        }
+    }
+
+    // --- Holdings distractor table (unlabeled).
+    p.vspace(14.0);
+    p.text(40.0, "Top Holdings");
+    p.newline();
+    for _ in 0..rng.gen_range(2..5) {
+        let sym = values::short_code(rng);
+        let qty = values::small_number(rng);
+        let val = values::money(rng, 10_000, 5_000_000, true);
+        p.kv_row(60.0, &sym, 300.0, &qty, None);
+        // Place the value on the previous row's right; simpler: own row.
+        p.kv_row(60.0, "", vx, &val, None);
+    }
+    p.vspace(10.0);
+    p.text(40.0, "Values are estimates and may not reflect final settlement");
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::GenOptions;
+
+    #[test]
+    fn schema_shape() {
+        let s = BrokerageGen.schema();
+        assert_eq!(s.len(), 18);
+        assert_eq!(s.type_histogram(), [2, 4, 5, 0, 7]);
+    }
+
+    #[test]
+    fn generates_valid_docs() {
+        let c = BrokerageGen.generate(4, 15, &GenOptions::default());
+        for d in &c.documents {
+            assert!(d.validate().is_ok());
+            assert!(!d.annotations.is_empty());
+        }
+    }
+
+    #[test]
+    fn money_fields_anchored_strings_mixed() {
+        let anchored_money = SPECS
+            .iter()
+            .filter(|f| f.base_type == BaseType::Money)
+            .all(|f| !f.phrases.is_empty());
+        assert!(anchored_money);
+        assert!(SPECS
+            .iter()
+            .any(|f| f.base_type == BaseType::String && f.phrases.is_empty()));
+    }
+
+    #[test]
+    fn ending_value_usually_present() {
+        let c = BrokerageGen.generate(8, 60, &GenOptions::default());
+        let fid = c.schema.field_id("ending_value").unwrap();
+        assert!(c.field_frequency(fid) > 0.85);
+    }
+}

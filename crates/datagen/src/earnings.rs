@@ -1,0 +1,387 @@
+//! The **Earnings** (paystub) corpus: 23 fields — 15 money, 3 date, 2
+//! address, 3 string (Table II) — dominated by a tabular earnings section
+//! with *Current* and *Year-to-Date* columns whose rows share a single
+//! key phrase. This is the domain where the paper observes the largest
+//! FieldSwap gains (Fig. 4) and the contradictory-pair hazard
+//! (`current.X` vs `year_to_date.X`, Section II-B).
+//!
+//! Rare fields reproduce Table IV: `current.sales_pay` (~2.9% of
+//! documents), `year_to_date.sales_pay` (~3.9%), `current.pto_pay`
+//! (~9.5%), `year_to_date.pto_pay` (~15.9%).
+
+use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::layout::PageBuilder;
+use crate::values;
+use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The seven pay types rendered as table rows; each contributes a
+/// `current.*` and a `year_to_date.*` money field. Field ids are laid out
+/// as: pay pair `k` → current = `2k`, ytd = `2k + 1`.
+const PAY_TYPES: [(&str, &[&str], f64, f64); 7] = [
+    // (stem, phrase bank, current presence, ytd presence)
+    ("base_salary", &["Base Salary", "Regular Pay", "Base", "Salary", "Regular Earnings"], 0.97, 0.97),
+    ("overtime", &["Overtime", "OT Pay", "Overtime Pay", "OT Earnings"], 0.55, 0.62),
+    ("bonus", &["Bonus", "Incentive Pay", "Bonus Pay", "Discretionary Bonus"], 0.42, 0.50),
+    ("commission", &["Commission", "Comm Earnings", "Commission Pay"], 0.30, 0.34),
+    ("vacation", &["Vacation", "Vacation Pay", "Vacation Earnings"], 0.33, 0.40),
+    ("pto_pay", &["PTO", "PTO Pay", "Paid Time Off", "PTO Earnings"], 0.095, 0.159),
+    ("sales_pay", &["Sales Pay", "Sales Incentive", "Sales Earnings"], 0.0285, 0.039),
+];
+
+
+
+/// Remaining fields, ids continuing after the pay pairs:
+/// 14 net_pay, 15..=17 dates, 18 employee_name, 19 employee_id,
+/// 20 employer_name, 21 employee_address, 22 employer_address.
+const ID_NET_PAY: usize = 14;
+const ID_PERIOD_START: usize = 15;
+const ID_PERIOD_END: usize = 16;
+const ID_PAY_DATE: usize = 17;
+const ID_EMPLOYEE_NAME: usize = 18;
+const ID_EMPLOYEE_ID: usize = 19;
+const ID_EMPLOYER_NAME: usize = 20;
+const ID_EMPLOYEE_ADDRESS: usize = 21;
+const ID_EMPLOYER_ADDRESS: usize = 22;
+
+fn build_specs() -> Vec<FieldSpec> {
+    let mut specs = Vec::with_capacity(23);
+    for (stem, bank, cur_p, ytd_p) in PAY_TYPES {
+        // current.* and year_to_date.* share the same phrase bank: the
+        // table row label. This is precisely the contradictory-pair setup.
+        specs.push(FieldSpec {
+            name: leak(format!("current.{stem}")),
+            base_type: BaseType::Money,
+            phrases: bank,
+            presence: cur_p,
+        });
+        specs.push(FieldSpec {
+            name: leak(format!("year_to_date.{stem}")),
+            base_type: BaseType::Money,
+            phrases: bank,
+            presence: ytd_p,
+        });
+    }
+    specs.push(FieldSpec::new(
+        "net_pay",
+        BaseType::Money,
+        &["Net Pay", "Take Home Pay", "Net Amount"],
+        0.98,
+    ));
+    specs.push(FieldSpec::new(
+        "period_start",
+        BaseType::Date,
+        &["Period Start", "Pay Period Begin", "Period Beginning"],
+        0.95,
+    ));
+    specs.push(FieldSpec::new(
+        "period_end",
+        BaseType::Date,
+        &["Period End", "Pay Period End", "Period Ending"],
+        0.95,
+    ));
+    specs.push(FieldSpec::new(
+        "pay_date",
+        BaseType::Date,
+        &["Pay Date", "Check Date", "Payment Date"],
+        0.92,
+    ));
+    specs.push(FieldSpec::new(
+        "employee_name",
+        BaseType::String,
+        &["Employee", "Employee Name"],
+        0.98,
+    ));
+    specs.push(FieldSpec::new(
+        "employee_id",
+        BaseType::String,
+        &["Employee ID", "Emp ID", "Employee No"],
+        0.8,
+    ));
+    // The employer name sits in the page header with no introducing phrase
+    // (Section II-A5: fields like company name lack key phrases).
+    specs.push(FieldSpec::new("employer_name", BaseType::String, &[], 0.95));
+    specs.push(FieldSpec::new(
+        "employee_address",
+        BaseType::Address,
+        &["Employee Address", "Mailing Address", "Home Address"],
+        0.85,
+    ));
+    specs.push(FieldSpec::new("employer_address", BaseType::Address, &[], 0.9));
+    specs
+}
+
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+fn specs() -> &'static [FieldSpec] {
+    use std::sync::OnceLock;
+    static SPECS: OnceLock<Vec<FieldSpec>> = OnceLock::new();
+    SPECS.get_or_init(build_specs)
+}
+
+/// Generator for the Earnings domain.
+pub struct EarningsGen;
+
+impl DomainGenerator for EarningsGen {
+    fn domain(&self) -> Domain {
+        Domain::Earnings
+    }
+
+    fn schema(&self) -> Schema {
+        schema_from_specs("earnings", specs())
+    }
+
+    fn field_specs(&self) -> &'static [FieldSpec] {
+        specs()
+    }
+
+    fn generate(&self, seed: u64, n: usize, opts: &GenOptions) -> Corpus {
+        drive(Domain::Earnings, specs(), 2, seed, n, opts, render)
+    }
+}
+
+fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Document {
+    let specs = specs();
+    let mut p = PageBuilder::new(id, vendor.style);
+    let f = |i: usize| i as FieldId;
+
+    // --- Header: employer name + address, top-left corner, no phrases.
+    if present[ID_EMPLOYER_NAME] {
+        p.labeled_text(20.0, &values::company_name(rng), f(ID_EMPLOYER_NAME));
+        p.newline();
+    }
+    if present[ID_EMPLOYER_ADDRESS] {
+        let street = values::street_line(rng);
+        let city = values::city_line(rng);
+        p.address_block(20.0, None, &[&street, &city], Some(f(ID_EMPLOYER_ADDRESS)));
+    }
+    p.text(620.0, "Earnings Statement");
+    p.vspace(14.0);
+
+    // --- Pay period dates: kv rows or stacked depending on variant.
+    let date_style = (vendor.id % 3) as u8;
+    let date_fields = [ID_PERIOD_START, ID_PERIOD_END, ID_PAY_DATE];
+    if vendor.variant == 0 {
+        for (k, &fid) in date_fields.iter().enumerate() {
+            if present[fid] {
+                p.kv_row(
+                    40.0 + 250.0 * k as f32,
+                    vendor.phrase(specs, fid),
+                    40.0 + 250.0 * k as f32 + 120.0,
+                    &values::date(rng, date_style),
+                    Some(f(fid)),
+                );
+            }
+        }
+    } else {
+        for &fid in &date_fields {
+            if present[fid] {
+                p.kv_row(
+                    40.0,
+                    vendor.phrase(specs, fid),
+                    320.0,
+                    &values::date(rng, date_style),
+                    Some(f(fid)),
+                );
+            }
+        }
+    }
+    p.vspace(10.0);
+
+    // --- Employee block.
+    if present[ID_EMPLOYEE_NAME] {
+        p.kv_row(
+            40.0,
+            vendor.phrase(specs, ID_EMPLOYEE_NAME),
+            320.0,
+            &values::person_name(rng),
+            Some(f(ID_EMPLOYEE_NAME)),
+        );
+    }
+    if present[ID_EMPLOYEE_ID] {
+        p.kv_row(
+            40.0,
+            vendor.phrase(specs, ID_EMPLOYEE_ID),
+            320.0,
+            &values::id_number(rng),
+            Some(f(ID_EMPLOYEE_ID)),
+        );
+    }
+    if present[ID_EMPLOYEE_ADDRESS] {
+        p.text(40.0, vendor.phrase(specs, ID_EMPLOYEE_ADDRESS));
+        p.newline();
+        let street = values::street_line(rng);
+        let city = values::city_line(rng);
+        p.address_block(40.0, None, &[&street, &city], Some(f(ID_EMPLOYEE_ADDRESS)));
+    }
+    p.vspace(16.0);
+
+    // --- Earnings table: Current and YTD columns share one row phrase.
+    // Column positions vary per vendor so absolute-position features
+    // cannot be memorized from a handful of templates.
+    let jit = (vendor.id % 11) as f32 * 9.0;
+    let (cur_x, ytd_x) = if vendor.variant == 0 {
+        (420.0 + jit, 640.0 + jit)
+    } else {
+        (480.0 + jit, 720.0 + jit)
+    };
+    let headers: Vec<(f32, &str)> = vec![
+        (40.0, "Earnings"),
+        (cur_x, if vendor.id.is_multiple_of(2) { "Current" } else { "This Period" }),
+        (ytd_x, if vendor.id.is_multiple_of(2) { "YTD" } else { "Year To Date" }),
+    ];
+    let mut rows = Vec::new();
+    let mut cur_total = 0i64;
+    for (k, (_stem, _bank, _, _)) in PAY_TYPES.iter().enumerate() {
+        let cur_id = 2 * k;
+        let ytd_id = 2 * k + 1;
+        if !present[cur_id] && !present[ytd_id] {
+            continue;
+        }
+        let cur_cents = rng.gen_range(8_000..600_000i64);
+        let ytd_cents = cur_cents * rng.gen_range(2..20);
+        cur_total += if present[cur_id] { cur_cents } else { 0 };
+        let mut cells = Vec::new();
+        if present[cur_id] {
+            cells.push((cur_x, values::format_money(cur_cents, true), Some(f(cur_id))));
+        } else {
+            cells.push((cur_x, "--".to_string(), None));
+        }
+        if present[ytd_id] {
+            cells.push((ytd_x, values::format_money(ytd_cents, true), Some(f(ytd_id))));
+        } else {
+            cells.push((ytd_x, "--".to_string(), None));
+        }
+        rows.push((vendor.phrase(specs, cur_id).to_string(), cells));
+    }
+    p.table(40.0, &headers, &rows);
+    p.vspace(10.0);
+
+    // --- Deductions distractor rows: unlabeled money values that create
+    // spurious-correlation hazards for position-reliant models.
+    for phrase in ["Federal Tax", "State Tax", "Medicare"] {
+        if rng.gen_bool(0.7) {
+            p.kv_row(
+                40.0,
+                phrase,
+                cur_x,
+                &values::money(rng, 1_000, 90_000, true),
+                None,
+            );
+        }
+    }
+    p.vspace(8.0);
+
+    if present[ID_NET_PAY] {
+        let net = (cur_total - rng.gen_range(1_000..50_000i64)).max(1_000);
+        p.kv_row(
+            40.0,
+            vendor.phrase(specs, ID_NET_PAY),
+            cur_x,
+            &values::format_money(net, true),
+            Some(f(ID_NET_PAY)),
+        );
+    }
+
+    // --- Footer distractor.
+    p.vspace(20.0);
+    p.text(
+        40.0,
+        "This statement is provided for your records Keep it with your tax documents",
+    );
+
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::GenOptions;
+
+    #[test]
+    fn schema_shape() {
+        let s = EarningsGen.schema();
+        assert_eq!(s.len(), 23);
+        assert_eq!(s.type_histogram(), [2, 3, 15, 0, 3]);
+        assert_eq!(s.field_id("current.sales_pay"), Some(12));
+        assert_eq!(s.field_id("year_to_date.sales_pay"), Some(13));
+    }
+
+    #[test]
+    fn contradictory_pairs_share_phrase_bank() {
+        let specs = EarningsGen.field_specs();
+        let cur = specs.iter().find(|f| f.name == "current.overtime").unwrap();
+        let ytd = specs
+            .iter()
+            .find(|f| f.name == "year_to_date.overtime")
+            .unwrap();
+        assert_eq!(cur.phrases, ytd.phrases);
+    }
+
+    #[test]
+    fn rare_field_frequencies_track_table4() {
+        let c = EarningsGen.generate(3, 1200, &GenOptions::default());
+        let s = c.schema.clone();
+        let freq = |name: &str| c.field_frequency(s.field_id(name).unwrap());
+        let sales_ytd = freq("year_to_date.sales_pay");
+        assert!(
+            (0.01..0.09).contains(&sales_ytd),
+            "ytd.sales_pay frequency {sales_ytd}"
+        );
+        let base = freq("current.base_salary");
+        assert!(base > 0.9, "base salary frequency {base}");
+    }
+
+    #[test]
+    fn current_and_ytd_values_on_same_row() {
+        let c = EarningsGen.generate(5, 30, &GenOptions::default());
+        let s = &c.schema;
+        let cur = s.field_id("current.base_salary").unwrap();
+        let ytd = s.field_id("year_to_date.base_salary").unwrap();
+        let mut checked = false;
+        for d in &c.documents {
+            let (Some(a), Some(b)) = (d.spans_of(cur).next(), d.spans_of(ytd).next()) else {
+                continue;
+            };
+            let ya = d.tokens[a.start as usize].bbox.center().y;
+            let yb = d.tokens[b.start as usize].bbox.center().y;
+            assert!((ya - yb).abs() < 2.0, "row misalignment {ya} vs {yb}");
+            // current column left of ytd column
+            assert!(d.tokens[a.start as usize].bbox.x0 < d.tokens[b.start as usize].bbox.x0);
+            checked = true;
+        }
+        assert!(checked);
+    }
+
+    #[test]
+    fn employer_name_has_no_phrase() {
+        let specs = EarningsGen.field_specs();
+        let emp = specs.iter().find(|f| f.name == "employer_name").unwrap();
+        assert!(emp.phrases.is_empty());
+    }
+
+    #[test]
+    fn key_phrases_appear_near_values() {
+        // The vendor's chosen phrase must be present in the document text
+        // whenever the field is.
+        let c = EarningsGen.generate(9, 20, &GenOptions::default());
+        let s = &c.schema;
+        let net = s.field_id("net_pay").unwrap();
+        for d in &c.documents {
+            if d.has_field(net) {
+                let text: Vec<String> = d.tokens.iter().map(|t| t.lower()).collect();
+                let joined = text.join(" ");
+                assert!(
+                    joined.contains("net pay")
+                        || joined.contains("take home pay")
+                        || joined.contains("net amount"),
+                    "no net-pay phrase in {}",
+                    d.id
+                );
+            }
+        }
+    }
+}

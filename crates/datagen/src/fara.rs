@@ -1,0 +1,209 @@
+//! The **FARA** corpus: 6 fields — 1 date, 1 number, 4 string (Table II).
+//! Modeled on Foreign Agents Registration Act filing cover pages. The
+//! paper notes this domain benefits least from FieldSwap: 4 of 6 fields are
+//! strings (weakly suited to swapping) and the remaining two have distinct
+//! base types, so they are never swappable with each other.
+
+use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::layout::PageBuilder;
+use crate::values;
+use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const ID_REGISTRANT: usize = 0;
+const ID_PRINCIPAL: usize = 1;
+const ID_COUNTRY: usize = 2;
+const ID_SIGNER: usize = 3;
+const ID_REG_NUMBER: usize = 4;
+const ID_STAMP_DATE: usize = 5;
+
+const COUNTRIES: [&str; 10] = [
+    "Norway", "Japan", "Brazil", "Kenya", "Portugal", "Chile", "Vietnam", "Morocco", "Iceland",
+    "Jordan",
+];
+
+const SPECS: [FieldSpec; 6] = [
+    FieldSpec::new(
+        "registrant_name",
+        BaseType::String,
+        &["Name of Registrant", "Registrant"],
+        0.97,
+    ),
+    FieldSpec::new(
+        "foreign_principal_name",
+        BaseType::String,
+        &["Name of Foreign Principal", "Foreign Principal"],
+        0.9,
+    ),
+    FieldSpec::new(
+        "foreign_principal_country",
+        BaseType::String,
+        &["Country", "Country of Foreign Principal"],
+        0.85,
+    ),
+    // Signatures often appear without a nearby label.
+    FieldSpec::new("signer_name", BaseType::String, &[], 0.7),
+    FieldSpec::new(
+        "registration_number",
+        BaseType::Number,
+        &["Registration No", "Registration Number", "Reg No"],
+        0.95,
+    ),
+    FieldSpec::new(
+        "date_stamped",
+        BaseType::Date,
+        &["Date Stamped", "Received", "Date"],
+        0.9,
+    ),
+];
+
+/// Generator for the FARA domain.
+pub struct FaraGen;
+
+impl DomainGenerator for FaraGen {
+    fn domain(&self) -> Domain {
+        Domain::Fara
+    }
+
+    fn schema(&self) -> Schema {
+        schema_from_specs("fara", &SPECS)
+    }
+
+    fn field_specs(&self) -> &'static [FieldSpec] {
+        &SPECS
+    }
+
+    fn generate(&self, seed: u64, n: usize, opts: &GenOptions) -> Corpus {
+        // FARA filings are scanned paper forms; unless the caller asks for
+        // a specific noise profile, apply the mild scanner-noise default.
+        // This is what keeps FieldSwap gains modest on this domain, as in
+        // the paper: corrupted key phrases anchor (and swap) less cleanly.
+        let mut opts = opts.clone();
+        if opts.noise == fieldswap_ocr::NoiseParams::default() {
+            opts.noise = fieldswap_ocr::NoiseParams {
+                token_error_rate: 0.04,
+                char_sub_rate: 0.4,
+                char_del_rate: 0.1,
+            };
+        }
+        drive(Domain::Fara, &SPECS, 2, seed, n, &opts, render)
+    }
+}
+
+fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Document {
+    let sp = &SPECS;
+    let mut p = PageBuilder::new(id, vendor.style);
+    let f = |i: usize| i as FieldId;
+
+    p.text(260.0, "U.S. Department of Justice");
+    p.newline();
+    p.text(220.0, "Exhibit to Registration Statement");
+    p.newline();
+    p.text(200.0, "Pursuant to the Foreign Agents Registration Act");
+    p.vspace(18.0);
+
+    let date_style = (vendor.id % 3) as u8;
+    if present[ID_STAMP_DATE] {
+        p.kv_row(
+            640.0,
+            vendor.phrase(sp, ID_STAMP_DATE),
+            800.0,
+            &values::date(rng, date_style),
+            Some(f(ID_STAMP_DATE)),
+        );
+    }
+    if present[ID_REG_NUMBER] {
+        p.kv_row(
+            640.0,
+            vendor.phrase(sp, ID_REG_NUMBER),
+            800.0,
+            &rng.gen_range(1000..9999).to_string(),
+            Some(f(ID_REG_NUMBER)),
+        );
+    }
+    p.vspace(12.0);
+
+    // Real FARA items bury the label inside a numbered legalese line,
+    // which dilutes the anchor the way the paper describes for this
+    // domain's string fields.
+    let stacked = vendor.variant == 0;
+    let mut item_no = 1usize;
+    let mut kv = |p: &mut PageBuilder, fid: usize, value: String| {
+        let label = format!(
+            "{item_no}. {} as required under the Act",
+            vendor.phrase(sp, fid)
+        );
+        item_no += 1;
+        if stacked {
+            p.kv_stacked(40.0, &label, &value, Some(f(fid)));
+        } else {
+            p.kv_row(40.0, &label, 560.0, &value, Some(f(fid)));
+        }
+    };
+    if present[ID_REGISTRANT] {
+        let v = values::company_name(rng);
+        kv(&mut p, ID_REGISTRANT, v);
+    }
+    if present[ID_PRINCIPAL] {
+        let v = format!("Ministry of Trade of {}", COUNTRIES[rng.gen_range(0..COUNTRIES.len())]);
+        kv(&mut p, ID_PRINCIPAL, v);
+    }
+    if present[ID_COUNTRY] {
+        let v = COUNTRIES[rng.gen_range(0..COUNTRIES.len())].to_string();
+        kv(&mut p, ID_COUNTRY, v);
+    }
+    p.vspace(20.0);
+    p.text(
+        40.0,
+        "In accordance with the requirements of the Act the undersigned swears",
+    );
+    p.newline();
+    p.text(40.0, "that the contents of this statement are true and correct");
+    p.vspace(16.0);
+    if present[ID_SIGNER] {
+        // Signature block: bare name above a "Signature" rule, no phrase
+        // introducing the *name* itself.
+        p.labeled_text(560.0, &values::person_name(rng), f(ID_SIGNER));
+        p.newline();
+        p.text(560.0, "Signature");
+        p.newline();
+    }
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::GenOptions;
+
+    #[test]
+    fn schema_shape() {
+        let s = FaraGen.schema();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.type_histogram(), [0, 1, 0, 1, 4]);
+    }
+
+    #[test]
+    fn date_and_number_not_same_type() {
+        // The paper: the two non-string fields belong to different base
+        // types and are thus not swappable with each other.
+        let s = FaraGen.schema();
+        let d = s.field(s.field_id("date_stamped").unwrap()).base_type;
+        let n = s.field(s.field_id("registration_number").unwrap()).base_type;
+        assert_ne!(d, n);
+    }
+
+    #[test]
+    fn generates_valid_docs() {
+        let c = FaraGen.generate(3, 12, &GenOptions::default());
+        for d in &c.documents {
+            assert!(d.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn signer_is_phrase_less() {
+        assert!(SPECS[ID_SIGNER].phrases.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! The **FCC Forms** corpus: 13 fields — 2 money, 4 date, 1 address,
+//! 1 number, 5 string (Table II). A government-form layout with numbered
+//! items and stacked label/value pairs, modeled after public FCC filing
+//! cover sheets.
+
+use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::layout::PageBuilder;
+use crate::values;
+use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const ID_APPLICANT_NAME: usize = 0;
+const ID_CALL_SIGN: usize = 1;
+const ID_CONTACT_NAME: usize = 2;
+const ID_SERVICE_TYPE: usize = 3;
+const ID_FACILITY_ID: usize = 4;
+const ID_FILE_NUMBER: usize = 5;
+const ID_DATE_FILED: usize = 6;
+const ID_PERIOD_START: usize = 7;
+const ID_PERIOD_END: usize = 8;
+const ID_CERT_DATE: usize = 9;
+const ID_APPLICATION_FEE: usize = 10;
+const ID_TOTAL_FEE: usize = 11;
+const ID_CONTACT_ADDRESS: usize = 12;
+
+const SPECS: [FieldSpec; 13] = [
+    FieldSpec::new(
+        "applicant_name",
+        BaseType::String,
+        &["Applicant Name", "Name of Applicant", "Licensee Name"],
+        0.97,
+    ),
+    FieldSpec::new(
+        "call_sign",
+        BaseType::String,
+        &["Call Sign", "Station Call Sign"],
+        0.8,
+    ),
+    FieldSpec::new(
+        "contact_name",
+        BaseType::String,
+        &["Contact Name", "Contact Representative", "Attention"],
+        0.75,
+    ),
+    FieldSpec::new(
+        "service_type",
+        BaseType::String,
+        &["Radio Service", "Service Type"],
+        0.7,
+    ),
+    FieldSpec::new(
+        "facility_id",
+        BaseType::String,
+        &["Facility ID", "Facility Identifier"],
+        0.55,
+    ),
+    FieldSpec::new(
+        "file_number",
+        BaseType::Number,
+        &["File Number", "File No", "Application File Number"],
+        0.9,
+    ),
+    FieldSpec::new(
+        "date_filed",
+        BaseType::Date,
+        &["Date Filed", "Filing Date", "Submitted On"],
+        0.92,
+    ),
+    FieldSpec::new(
+        "period_start",
+        BaseType::Date,
+        &["License Period From", "Term Begin", "Effective Date"],
+        0.6,
+    ),
+    FieldSpec::new(
+        "period_end",
+        BaseType::Date,
+        &["License Period To", "Term End", "Expiration Date"],
+        0.65,
+    ),
+    FieldSpec::new(
+        "certification_date",
+        BaseType::Date,
+        &["Certification Date", "Date Certified", "Signed On"],
+        0.7,
+    ),
+    FieldSpec::new(
+        "application_fee",
+        BaseType::Money,
+        &["Application Fee", "Filing Fee"],
+        0.75,
+    ),
+    FieldSpec::new(
+        "total_fee",
+        BaseType::Money,
+        &["Total Fee", "Total Amount Paid", "Fee Total"],
+        0.8,
+    ),
+    FieldSpec::new(
+        "contact_address",
+        BaseType::Address,
+        &["Contact Address", "Mailing Address"],
+        0.85,
+    ),
+];
+
+/// Generator for the FCC Forms domain.
+pub struct FccGen;
+
+impl DomainGenerator for FccGen {
+    fn domain(&self) -> Domain {
+        Domain::FccForms
+    }
+
+    fn schema(&self) -> Schema {
+        schema_from_specs("fcc", &SPECS)
+    }
+
+    fn field_specs(&self) -> &'static [FieldSpec] {
+        &SPECS
+    }
+
+    fn generate(&self, seed: u64, n: usize, opts: &GenOptions) -> Corpus {
+        drive(Domain::FccForms, &SPECS, 2, seed, n, opts, render)
+    }
+}
+
+fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Document {
+    let sp = &SPECS;
+    let mut p = PageBuilder::new(id, vendor.style);
+    let f = |i: usize| i as FieldId;
+
+    p.text(300.0, "Federal Communications Commission");
+    p.newline();
+    p.text(380.0, "Application Cover Sheet");
+    p.vspace(16.0);
+
+    // Government forms commonly stack the label above the value inside a
+    // numbered box; variant 1 uses side-by-side rows instead.
+    let stacked = vendor.variant == 0;
+    let mut item = 1usize;
+    let emit = |p: &mut PageBuilder, item: &mut usize, fid: usize, value: String| {
+        let phrase = vendor.phrase(sp, fid);
+        let label = format!("{item}. {phrase}");
+        if stacked {
+            p.kv_stacked(40.0, &label, &value, Some(f(fid)));
+        } else {
+            p.kv_row(40.0, &label, 420.0, &value, Some(f(fid)));
+        }
+        *item += 1;
+    };
+
+    if present[ID_APPLICANT_NAME] {
+        let v = if rng.gen_bool(0.5) {
+            values::company_name(rng)
+        } else {
+            values::person_name(rng)
+        };
+        emit(&mut p, &mut item, ID_APPLICANT_NAME, v);
+    }
+    if present[ID_FILE_NUMBER] {
+        emit(&mut p, &mut item, ID_FILE_NUMBER, rng.gen_range(1_000_000..9_999_999).to_string());
+    }
+    if present[ID_CALL_SIGN] {
+        let v = format!(
+            "{}{}",
+            ["K", "W"][rng.gen_range(0..2)],
+            values::short_code(rng)
+        );
+        emit(&mut p, &mut item, ID_CALL_SIGN, v);
+    }
+    if present[ID_SERVICE_TYPE] {
+        let v = ["FM Broadcast", "AM Broadcast", "Land Mobile", "Microwave"]
+            [rng.gen_range(0..4)]
+        .to_string();
+        emit(&mut p, &mut item, ID_SERVICE_TYPE, v);
+    }
+    if present[ID_FACILITY_ID] {
+        emit(&mut p, &mut item, ID_FACILITY_ID, format!("F{}", rng.gen_range(10_000..99_999)));
+    }
+    let date_style = (vendor.id % 3) as u8;
+    for &fid in &[ID_DATE_FILED, ID_PERIOD_START, ID_PERIOD_END] {
+        if present[fid] {
+            let v = values::date(rng, date_style);
+            emit(&mut p, &mut item, fid, v);
+        }
+    }
+    if present[ID_CONTACT_NAME] {
+        let v = values::person_name(rng);
+        emit(&mut p, &mut item, ID_CONTACT_NAME, v);
+    }
+    if present[ID_CONTACT_ADDRESS] {
+        // Address rendered as a block under its item label.
+        let label = format!("{item}. {}", vendor.phrase(sp, ID_CONTACT_ADDRESS));
+        p.text(40.0, &label);
+        p.newline();
+        let street = values::street_line(rng);
+        let city = values::city_line(rng);
+        p.address_block(60.0, None, &[&street, &city], Some(f(ID_CONTACT_ADDRESS)));
+        item += 1;
+    }
+    p.vspace(10.0);
+
+    // Fee section.
+    for &fid in &[ID_APPLICATION_FEE, ID_TOTAL_FEE] {
+        if present[fid] {
+            let v = values::money(rng, 5_000, 500_000, true);
+            emit(&mut p, &mut item, fid, v);
+        }
+    }
+    if present[ID_CERT_DATE] {
+        p.vspace(8.0);
+        p.text(40.0, "I certify that the statements made herein are true");
+        p.newline();
+        let v = values::date(rng, date_style);
+        emit(&mut p, &mut item, ID_CERT_DATE, v);
+    }
+    let _ = item;
+    p.vspace(12.0);
+    p.text(40.0, "FCC Form Approved OMB Control Number 3060");
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::GenOptions;
+
+    #[test]
+    fn schema_shape() {
+        let s = FccGen.schema();
+        assert_eq!(s.len(), 13);
+        assert_eq!(s.type_histogram(), [1, 4, 2, 1, 5]);
+    }
+
+    #[test]
+    fn generates_valid_docs() {
+        let c = FccGen.generate(2, 15, &GenOptions::default());
+        for d in &c.documents {
+            assert!(d.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn numbered_item_labels_present() {
+        let c = FccGen.generate(6, 5, &GenOptions::default());
+        let d = &c.documents[0];
+        let has_numbered = d.tokens.iter().any(|t| t.text.ends_with('.') && t.text.len() <= 3
+            && t.text.trim_end_matches('.').chars().all(|c| c.is_ascii_digit()));
+        assert!(has_numbered, "expected numbered form items");
+    }
+
+    #[test]
+    fn all_fields_have_phrases() {
+        // FCC forms label everything; no phrase-less fields here.
+        assert!(SPECS.iter().all(|f| !f.phrases.is_empty()));
+    }
+}

@@ -1,0 +1,216 @@
+//! The **Invoices** corpus: the *out-of-domain* document type used to
+//! pre-train the key-phrase importance model (Section IV-B: "trained on an
+//! out-of-domain document type (invoices) with approximately 5000 training
+//! documents"). It is never used for evaluation; it exists so that the
+//! importance model learns domain-transferable relative-position cues.
+
+use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::layout::PageBuilder;
+use crate::values;
+use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const ID_INVOICE_NUMBER: usize = 0;
+const ID_PO_NUMBER: usize = 1;
+const ID_INVOICE_DATE: usize = 2;
+const ID_DUE_DATE: usize = 3;
+const ID_SUBTOTAL: usize = 4;
+const ID_TAX: usize = 5;
+const ID_TOTAL_DUE: usize = 6;
+const ID_SUPPLIER_NAME: usize = 7;
+const ID_CUSTOMER_NAME: usize = 8;
+const ID_CUSTOMER_ADDRESS: usize = 9;
+
+const SPECS: [FieldSpec; 10] = [
+    FieldSpec::new(
+        "invoice_number",
+        BaseType::String,
+        &["Invoice Number", "Invoice No", "Invoice #"],
+        0.95,
+    ),
+    FieldSpec::new("po_number", BaseType::String, &["PO Number", "Purchase Order"], 0.5),
+    FieldSpec::new(
+        "invoice_date",
+        BaseType::Date,
+        &["Invoice Date", "Date of Invoice", "Issued"],
+        0.95,
+    ),
+    FieldSpec::new(
+        "due_date",
+        BaseType::Date,
+        &["Due Date", "Payment Due", "Pay By"],
+        0.85,
+    ),
+    FieldSpec::new("subtotal", BaseType::Money, &["Subtotal", "Sub Total"], 0.8),
+    FieldSpec::new("tax", BaseType::Money, &["Tax", "Sales Tax", "VAT"], 0.75),
+    FieldSpec::new(
+        "total_due",
+        BaseType::Money,
+        &["Total", "Amount Due", "Total Due", "Balance Due"],
+        0.97,
+    ),
+    FieldSpec::new("supplier_name", BaseType::String, &[], 0.95),
+    FieldSpec::new(
+        "customer_name",
+        BaseType::String,
+        &["Bill To", "Customer", "Sold To"],
+        0.9,
+    ),
+    FieldSpec::new("customer_address", BaseType::Address, &[], 0.85),
+];
+
+/// Generator for the out-of-domain Invoices corpus.
+pub struct InvoicesGen;
+
+impl DomainGenerator for InvoicesGen {
+    fn domain(&self) -> Domain {
+        Domain::Invoices
+    }
+
+    fn schema(&self) -> Schema {
+        schema_from_specs("invoices", &SPECS)
+    }
+
+    fn field_specs(&self) -> &'static [FieldSpec] {
+        &SPECS
+    }
+
+    fn generate(&self, seed: u64, n: usize, opts: &GenOptions) -> Corpus {
+        drive(Domain::Invoices, &SPECS, 2, seed, n, opts, render)
+    }
+}
+
+fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Document {
+    let sp = &SPECS;
+    let mut p = PageBuilder::new(id, vendor.style);
+    let f = |i: usize| i as FieldId;
+
+    if present[ID_SUPPLIER_NAME] {
+        p.labeled_text(20.0, &values::company_name(rng), f(ID_SUPPLIER_NAME));
+        p.newline();
+    }
+    p.text(700.0, "INVOICE");
+    p.vspace(14.0);
+
+    let date_style = (vendor.id % 3) as u8;
+    let stacked = vendor.variant == 0;
+    let kv = |p: &mut PageBuilder, fid: usize, value: String, x: f32| {
+        if stacked {
+            p.kv_stacked(x, vendor.phrase(sp, fid), &value, Some(f(fid)));
+        } else {
+            p.kv_row(x, vendor.phrase(sp, fid), x + 260.0, &value, Some(f(fid)));
+        }
+    };
+    if present[ID_INVOICE_NUMBER] {
+        let v = values::id_number(rng);
+        kv(&mut p, ID_INVOICE_NUMBER, v, 40.0);
+    }
+    if present[ID_PO_NUMBER] {
+        let v = values::id_number(rng);
+        kv(&mut p, ID_PO_NUMBER, v, 40.0);
+    }
+    if present[ID_INVOICE_DATE] {
+        let v = values::date(rng, date_style);
+        kv(&mut p, ID_INVOICE_DATE, v, 40.0);
+    }
+    if present[ID_DUE_DATE] {
+        let v = values::date(rng, date_style);
+        kv(&mut p, ID_DUE_DATE, v, 40.0);
+    }
+    p.vspace(8.0);
+
+    if present[ID_CUSTOMER_NAME] {
+        p.text(40.0, vendor.phrase(sp, ID_CUSTOMER_NAME));
+        p.newline();
+        p.labeled_text(60.0, &values::person_name(rng), f(ID_CUSTOMER_NAME));
+        p.newline();
+    }
+    if present[ID_CUSTOMER_ADDRESS] {
+        let street = values::street_line(rng);
+        let city = values::city_line(rng);
+        p.address_block(60.0, None, &[&street, &city], Some(f(ID_CUSTOMER_ADDRESS)));
+    }
+    p.vspace(12.0);
+
+    // Line-item distractor table.
+    p.table(
+        40.0,
+        &[(400.0, "Qty"), (520.0, "Unit Price"), (700.0, "Amount")],
+        &(0..rng.gen_range(2..6))
+            .map(|_| {
+                (
+                    format!(
+                        "{} {}",
+                        ["Consulting", "Hardware", "Support", "License", "Shipping"]
+                            [rng.gen_range(0..5)],
+                        values::short_code(rng)
+                    ),
+                    vec![
+                        (400.0, values::small_number(rng), None),
+                        (520.0, values::money(rng, 500, 90_000, true), None),
+                        (700.0, values::money(rng, 500, 900_000, true), None),
+                    ],
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    p.vspace(10.0);
+
+    let sub = rng.gen_range(10_000..2_000_000i64);
+    let tax = sub / rng.gen_range(8..20);
+    let rows = [
+        (ID_SUBTOTAL, sub),
+        (ID_TAX, tax),
+        (ID_TOTAL_DUE, sub + tax),
+    ];
+    for (fid, cents) in rows {
+        if present[fid] {
+            p.kv_row(
+                520.0,
+                vendor.phrase(sp, fid),
+                700.0,
+                &values::format_money(cents, true),
+                Some(f(fid)),
+            );
+        }
+    }
+    p.vspace(12.0);
+    p.text(40.0, "Thank you for your business Payment terms net 30");
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::GenOptions;
+
+    #[test]
+    fn schema_has_ten_fields() {
+        assert_eq!(InvoicesGen.schema().len(), 10);
+    }
+
+    #[test]
+    fn disjoint_from_eval_domains() {
+        // Out-of-domain means a schema different from every eval domain.
+        let inv = InvoicesGen.schema();
+        for d in Domain::EVAL {
+            assert_ne!(inv.domain, d.generator().schema().domain);
+        }
+    }
+
+    #[test]
+    fn generates_valid_docs() {
+        let c = InvoicesGen.generate(12, 10, &GenOptions::default());
+        for d in &c.documents {
+            assert!(d.validate().is_ok());
+            assert!(!d.annotations.is_empty());
+        }
+    }
+
+    #[test]
+    fn total_due_has_rich_synonym_bank() {
+        let total = SPECS.iter().find(|f| f.name == "total_due").unwrap();
+        assert!(total.phrases.len() >= 3);
+    }
+}

@@ -1,0 +1,326 @@
+//! The page builder: a small layout engine the corpus generators use to
+//! render text into positioned tokens.
+//!
+//! Pages are nominally 1000 units wide. A [`PageBuilder`] keeps a vertical
+//! cursor and offers primitives shared by all domain generators:
+//!
+//! * [`PageBuilder::text`] — place a run of words starting at an x offset;
+//! * [`PageBuilder::kv_row`] — a label phrase with a value on the same row
+//!   (value right-aligned at a column position);
+//! * [`PageBuilder::kv_stacked`] — a label phrase with the value directly
+//!   below it (vertical anchoring);
+//! * [`PageBuilder::table`] — a header row of column phrases plus data rows
+//!   whose first cell is a row-label phrase (the Earnings layout);
+//! * [`PageBuilder::address_block`] — multi-line address values.
+//!
+//! Labels are attached by passing a [`FieldId`] with the value; the builder
+//! records [`EntitySpan`]s over the produced tokens.
+
+use fieldswap_docmodel::{BBox, DocumentBuilder, EntitySpan, FieldId, Token};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-vendor typography and spacing parameters. Randomized once per vendor
+/// so that documents from the same vendor share geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct Style {
+    /// Average character width in page units.
+    pub char_w: f32,
+    /// Token height in page units.
+    pub line_h: f32,
+    /// Vertical gap between rows.
+    pub row_gap: f32,
+    /// Gap between adjacent words.
+    pub word_gap: f32,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Self {
+            char_w: 7.0,
+            line_h: 12.0,
+            row_gap: 6.0,
+            word_gap: 5.0,
+        }
+    }
+}
+
+impl Style {
+    /// Samples a vendor style with mild jitter around the defaults.
+    pub fn sample(rng: &mut StdRng) -> Self {
+        Self {
+            char_w: rng.gen_range(6.0..8.5),
+            line_h: rng.gen_range(10.0..14.0),
+            row_gap: rng.gen_range(4.0..10.0),
+            word_gap: rng.gen_range(4.0..7.0),
+        }
+    }
+}
+
+/// One table row passed to [`PageBuilder::table`]: the row-label phrase
+/// plus `(x, value, field)` cells.
+pub type TableRow = (String, Vec<(f32, String, Option<FieldId>)>);
+
+/// Incrementally renders one page of positioned tokens.
+pub struct PageBuilder {
+    doc: DocumentBuilder,
+    style: Style,
+    /// Current vertical cursor (top of the next row).
+    pub y: f32,
+}
+
+impl PageBuilder {
+    /// Starts a page for document `id` with the given style.
+    pub fn new(id: impl Into<String>, style: Style) -> Self {
+        Self {
+            doc: DocumentBuilder::new(id),
+            style,
+            y: 20.0,
+        }
+    }
+
+    /// The style in use.
+    pub fn style(&self) -> Style {
+        self.style
+    }
+
+    /// Advances the vertical cursor by one row (token height + row gap).
+    pub fn newline(&mut self) {
+        self.y += self.style.line_h + self.style.row_gap;
+    }
+
+    /// Advances the cursor by `dy` page units (section breaks).
+    pub fn vspace(&mut self, dy: f32) {
+        self.y += dy;
+    }
+
+    /// Places the whitespace-separated words of `text` starting at `x` on
+    /// the current row. Returns the `(start, end)` token-id range.
+    /// Does NOT advance the cursor.
+    pub fn text(&mut self, x: f32, text: &str) -> (u32, u32) {
+        let start = self.doc.next_token_id();
+        let mut cx = x;
+        for word in text.split_whitespace() {
+            let w = word.chars().count() as f32 * self.style.char_w;
+            let bbox = BBox::new(cx, self.y, cx + w, self.y + self.style.line_h);
+            self.doc.push_token(Token::new(word, bbox));
+            cx += w + self.style.word_gap;
+        }
+        (start, self.doc.next_token_id())
+    }
+
+    /// Places `text` and labels the produced tokens with `field`.
+    pub fn labeled_text(&mut self, x: f32, text: &str, field: FieldId) -> (u32, u32) {
+        let (start, end) = self.text(x, text);
+        if start < end {
+            self.doc.push_annotation(EntitySpan::new(field, start, end));
+        }
+        (start, end)
+    }
+
+    /// A key-value row: label phrase at `label_x`, value at `value_x`, same
+    /// row; the value is labeled with `field` when given. Advances the
+    /// cursor.
+    pub fn kv_row(&mut self, label_x: f32, phrase: &str, value_x: f32, value: &str, field: Option<FieldId>) {
+        if !phrase.is_empty() {
+            self.text(label_x, phrase);
+        }
+        match field {
+            Some(f) => self.labeled_text(value_x, value, f),
+            None => self.text(value_x, value),
+        };
+        self.newline();
+    }
+
+    /// A stacked key-value: label phrase on one row, value directly beneath
+    /// it. Advances the cursor past both rows.
+    pub fn kv_stacked(&mut self, x: f32, phrase: &str, value: &str, field: Option<FieldId>) {
+        self.text(x, phrase);
+        self.newline();
+        match field {
+            Some(f) => self.labeled_text(x, value, f),
+            None => self.text(x, value),
+        };
+        self.newline();
+    }
+
+    /// A table: a header row of `(x, phrase)` column headers, then data
+    /// rows. Each data row is a row-label phrase at `row_label_x` plus
+    /// `(x, value, field)` cells. Advances the cursor past all rows.
+    pub fn table(
+        &mut self,
+        row_label_x: f32,
+        headers: &[(f32, &str)],
+        rows: &[TableRow],
+    ) {
+        for (x, h) in headers {
+            self.text(*x, h);
+        }
+        self.newline();
+        for (label, cells) in rows {
+            self.text(row_label_x, label);
+            for (x, value, field) in cells {
+                match field {
+                    Some(f) => self.labeled_text(*x, value, *f),
+                    None => self.text(*x, value),
+                };
+            }
+            self.newline();
+        }
+    }
+
+    /// A multi-line address block at `x`: each line is placed on its own
+    /// row and the whole block may be labeled as one field. If both
+    /// `name_field` and a leading name line are given, the name line gets
+    /// its own label.
+    pub fn address_block(
+        &mut self,
+        x: f32,
+        name: Option<(&str, Option<FieldId>)>,
+        lines: &[&str],
+        field: Option<FieldId>,
+    ) {
+        if let Some((name_text, name_field)) = name {
+            match name_field {
+                Some(f) => self.labeled_text(x, name_text, f),
+                None => self.text(x, name_text),
+            };
+            self.newline();
+        }
+        // An address spans multiple OCR rows but is one logical value; the
+        // token-range label must be contiguous, which it is because we emit
+        // lines back-to-back.
+        let mut start = None;
+        let mut end = 0;
+        for line in lines {
+            let (s, e) = self.text(x, line);
+            start.get_or_insert(s);
+            end = e;
+            self.newline();
+        }
+        if let (Some(f), Some(s)) = (field, start) {
+            if s < end {
+                self.doc.push_annotation(EntitySpan::new(f, s, end));
+            }
+        }
+    }
+
+    /// Finishes the page: builds the document and runs OCR line detection.
+    pub fn finish(self) -> fieldswap_docmodel::Document {
+        let mut doc = self.doc.build();
+        fieldswap_ocr::detect_lines(&mut doc);
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn text_places_words_left_to_right() {
+        let mut p = PageBuilder::new("t", Style::default());
+        let (s, e) = p.text(10.0, "Amount Due");
+        assert_eq!((s, e), (0, 2));
+        let d = p.finish();
+        assert_eq!(d.tokens[0].text, "Amount");
+        assert_eq!(d.tokens[1].text, "Due");
+        assert!(d.tokens[1].bbox.x0 > d.tokens[0].bbox.x1);
+        assert_eq!(d.tokens[0].bbox.y0, d.tokens[1].bbox.y0);
+    }
+
+    #[test]
+    fn kv_row_labels_value_only() {
+        let mut p = PageBuilder::new("t", Style::default());
+        p.kv_row(10.0, "Total Due", 300.0, "$1,250.00", Some(3));
+        let d = p.finish();
+        assert_eq!(d.annotations.len(), 1);
+        let a = d.annotations[0];
+        assert_eq!(a.field, 3);
+        assert_eq!(d.span_text(a.start, a.end), "$1,250.00");
+    }
+
+    #[test]
+    fn kv_stacked_value_below_label() {
+        let mut p = PageBuilder::new("t", Style::default());
+        p.kv_stacked(10.0, "Invoice Date", "01/31/2024", Some(1));
+        let d = p.finish();
+        let a = d.annotations[0];
+        let label_y = d.tokens[0].bbox.y0;
+        let value_y = d.tokens[a.start as usize].bbox.y0;
+        assert!(value_y > label_y);
+        // Vertically aligned at the same x.
+        assert_eq!(d.tokens[0].bbox.x0, d.tokens[a.start as usize].bbox.x0);
+    }
+
+    #[test]
+    fn table_layout_labels_cells() {
+        let mut p = PageBuilder::new("t", Style::default());
+        p.table(
+            10.0,
+            &[(300.0, "Current"), (500.0, "YTD")],
+            &[
+                (
+                    "Base Salary".to_string(),
+                    vec![
+                        (300.0, "$3,308.62".to_string(), Some(0)),
+                        (500.0, "$39,703.44".to_string(), Some(1)),
+                    ],
+                ),
+                (
+                    "Overtime".to_string(),
+                    vec![
+                        (300.0, "$120.00".to_string(), Some(2)),
+                        (500.0, "$890.10".to_string(), Some(3)),
+                    ],
+                ),
+            ],
+        );
+        let d = p.finish();
+        assert_eq!(d.annotations.len(), 4);
+        let fields: Vec<FieldId> = d.annotations.iter().map(|a| a.field).collect();
+        assert_eq!(fields, vec![0, 1, 2, 3]);
+        // Row labels are unlabeled tokens.
+        assert_eq!(d.span_text(d.annotations[0].start, d.annotations[0].end), "$3,308.62");
+    }
+
+    #[test]
+    fn address_block_single_span() {
+        let mut p = PageBuilder::new("t", Style::default());
+        p.address_block(
+            10.0,
+            Some(("Acme Inc.", Some(0))),
+            &["4821 Oak St", "Madison, WA 98101"],
+            Some(1),
+        );
+        let d = p.finish();
+        assert_eq!(d.annotations.len(), 2);
+        let addr = d.annotations.iter().find(|a| a.field == 1).unwrap();
+        assert_eq!(
+            d.span_text(addr.start, addr.end),
+            "4821 Oak St Madison, WA 98101"
+        );
+        // Address spans two OCR lines.
+        assert!(d.line_of(addr.start).unwrap() != d.line_of(addr.end - 1).unwrap());
+    }
+
+    #[test]
+    fn style_sampling_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let s = Style::sample(&mut rng);
+            assert!(s.char_w >= 6.0 && s.char_w < 8.5);
+            assert!(s.line_h >= 10.0 && s.line_h < 14.0);
+        }
+    }
+
+    #[test]
+    fn finish_runs_line_detection() {
+        let mut p = PageBuilder::new("t", Style::default());
+        p.kv_row(10.0, "A", 200.0, "B", None);
+        p.kv_row(10.0, "C", 200.0, "D", None);
+        let d = p.finish();
+        assert!(!d.lines.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! The **Loan Payments** corpus: 35 fields — 20 money, 5 date, 3 address,
+//! 7 string (Table II). The largest schema in the paper.
+//!
+//! Design notes tied to the paper's Fig. 6a: the *date* and *money* fields
+//! carry clear key phrases (FieldSwap helps), while most *string* and
+//! *address* fields are deliberately phrase-less or only weakly anchored —
+//! the regime in which automatic FieldSwap infers spurious phrases and can
+//! hurt, and which the human-expert configuration fixes by excluding those
+//! fields.
+
+use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::layout::PageBuilder;
+use crate::values;
+use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+// Money pairs rendered in an activity table (current / year-to-date), ids
+// 0..8: pair k → current = 2k, ytd = 2k + 1.
+const PAY_PAIRS: [(&str, &[&str], f64, f64); 4] = [
+    ("principal", &["Principal", "Principal Paid", "Principal Amount"], 0.95, 0.9),
+    ("interest", &["Interest", "Interest Paid", "Interest Amount"], 0.95, 0.9),
+    ("escrow", &["Escrow", "Escrow Payment", "Escrow Amount"], 0.7, 0.65),
+    ("fees", &["Fees", "Fees Charged", "Other Fees"], 0.4, 0.45),
+];
+
+const N_PAIR: usize = PAY_PAIRS.len() * 2; // 8
+
+// Singles: 12 more money fields (ids 8..20).
+const MONEY_SINGLES: [(&str, &[&str], f64); 12] = [
+    ("total_due", &["Total Due", "Amount Due", "Total Amount Due"], 0.97),
+    ("past_due", &["Past Due", "Past Due Amount", "Overdue Amount"], 0.35),
+    ("late_fee", &["Late Fee", "Late Charge"], 0.45),
+    ("outstanding_principal", &["Outstanding Principal", "Principal Balance", "Unpaid Principal"], 0.9),
+    ("escrow_balance", &["Escrow Balance"], 0.6),
+    ("suspense_balance", &["Suspense Balance", "Unapplied Balance"], 0.2),
+    ("unapplied_funds", &["Unapplied Funds"], 0.18),
+    ("regular_payment", &["Regular Payment", "Monthly Payment", "Regular Monthly Payment"], 0.9),
+    ("optional_insurance", &["Optional Insurance", "Insurance Premium"], 0.25),
+    ("last_payment_amount", &["Last Payment", "Last Payment Amount", "Amount Received"], 0.75),
+    ("payoff_amount", &["Payoff Amount", "Payoff Quote"], 0.3),
+    ("deferred_balance", &["Deferred Balance", "Deferred Amount"], 0.15),
+];
+
+const ID_MONEY_SINGLE0: usize = N_PAIR; // 8
+const ID_STMT_DATE: usize = 20;
+const ID_DUE_DATE: usize = 21;
+const ID_LAST_PAYMENT_DATE: usize = 22;
+const ID_MATURITY_DATE: usize = 23;
+const ID_NEXT_PAYMENT_DATE: usize = 24;
+const ID_BORROWER_NAME: usize = 25;
+const ID_CO_BORROWER: usize = 26;
+const ID_LOAN_NUMBER: usize = 27;
+const ID_SERVICER_NAME: usize = 28;
+const ID_LOAN_TYPE: usize = 29;
+const ID_ACCOUNT_STATUS: usize = 30;
+const ID_PHONE: usize = 31;
+const ID_BORROWER_ADDRESS: usize = 32;
+const ID_PROPERTY_ADDRESS: usize = 33;
+const ID_SERVICER_ADDRESS: usize = 34;
+
+fn build_specs() -> Vec<FieldSpec> {
+    let mut specs = Vec::with_capacity(35);
+    for (stem, bank, cur_p, ytd_p) in PAY_PAIRS {
+        specs.push(FieldSpec {
+            name: leak(format!("current.{stem}")),
+            base_type: BaseType::Money,
+            phrases: bank,
+            presence: cur_p,
+        });
+        specs.push(FieldSpec {
+            name: leak(format!("year_to_date.{stem}")),
+            base_type: BaseType::Money,
+            phrases: bank,
+            presence: ytd_p,
+        });
+    }
+    for (name, bank, p) in MONEY_SINGLES {
+        specs.push(FieldSpec::new(name, BaseType::Money, bank, p));
+    }
+    specs.push(FieldSpec::new(
+        "statement_date",
+        BaseType::Date,
+        &["Statement Date", "Statement Issued"],
+        0.95,
+    ));
+    specs.push(FieldSpec::new(
+        "payment_due_date",
+        BaseType::Date,
+        &["Due Date", "Payment Due Date", "Payment Due"],
+        0.95,
+    ));
+    specs.push(FieldSpec::new(
+        "last_payment_date",
+        BaseType::Date,
+        &["Last Payment Date", "Date Received"],
+        0.7,
+    ));
+    specs.push(FieldSpec::new(
+        "maturity_date",
+        BaseType::Date,
+        &["Maturity Date", "Loan Maturity"],
+        0.4,
+    ));
+    specs.push(FieldSpec::new(
+        "next_payment_date",
+        BaseType::Date,
+        &["Next Payment Date", "Next Due Date"],
+        0.5,
+    ));
+    // Strings: mostly phrase-less or weakly anchored (Fig. 6a regime).
+    specs.push(FieldSpec::new("borrower_name", BaseType::String, &[], 0.97));
+    specs.push(FieldSpec::new("co_borrower_name", BaseType::String, &[], 0.25));
+    specs.push(FieldSpec::new(
+        "loan_number",
+        BaseType::String,
+        &["Loan Number", "Loan No", "Account Number"],
+        0.95,
+    ));
+    specs.push(FieldSpec::new("servicer_name", BaseType::String, &[], 0.9));
+    specs.push(FieldSpec::new(
+        "loan_type",
+        BaseType::String,
+        &["Loan Type"],
+        0.5,
+    ));
+    specs.push(FieldSpec::new("account_status", BaseType::String, &[], 0.3));
+    specs.push(FieldSpec::new("customer_service_phone", BaseType::String, &[], 0.6));
+    specs.push(FieldSpec::new("borrower_address", BaseType::Address, &[], 0.95));
+    specs.push(FieldSpec::new(
+        "property_address",
+        BaseType::Address,
+        &["Property Address", "Property"],
+        0.85,
+    ));
+    specs.push(FieldSpec::new("servicer_address", BaseType::Address, &[], 0.8));
+    specs
+}
+
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+fn specs() -> &'static [FieldSpec] {
+    use std::sync::OnceLock;
+    static SPECS: OnceLock<Vec<FieldSpec>> = OnceLock::new();
+    SPECS.get_or_init(build_specs)
+}
+
+/// Generator for the Loan Payments domain.
+pub struct LoanGen;
+
+impl DomainGenerator for LoanGen {
+    fn domain(&self) -> Domain {
+        Domain::LoanPayments
+    }
+
+    fn schema(&self) -> Schema {
+        schema_from_specs("loan", specs())
+    }
+
+    fn field_specs(&self) -> &'static [FieldSpec] {
+        specs()
+    }
+
+    fn generate(&self, seed: u64, n: usize, opts: &GenOptions) -> Corpus {
+        drive(Domain::LoanPayments, specs(), 2, seed, n, opts, render)
+    }
+}
+
+fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Document {
+    let sp = specs();
+    let mut p = PageBuilder::new(id, vendor.style);
+    let f = |i: usize| i as FieldId;
+
+    // --- Servicer header (phrase-less name + address, top-left).
+    if present[ID_SERVICER_NAME] {
+        p.labeled_text(20.0, &values::company_name(rng), f(ID_SERVICER_NAME));
+        p.newline();
+    }
+    if present[ID_SERVICER_ADDRESS] {
+        let street = values::street_line(rng);
+        let city = values::city_line(rng);
+        p.address_block(20.0, None, &[&street, &city], Some(f(ID_SERVICER_ADDRESS)));
+    }
+    p.text(640.0, "Mortgage Statement");
+    if present[ID_PHONE] {
+        let phone = format!(
+            "1-800-{:03}-{:04}",
+            rng.gen_range(200..999),
+            rng.gen_range(0..10000)
+        );
+        let (s, e) = p.text(640.0 - 0.0, "Customer Service");
+        let _ = (s, e);
+        p.newline();
+        p.labeled_text(640.0, &phone, f(ID_PHONE));
+        p.newline();
+    }
+    p.vspace(10.0);
+
+    // --- Borrower block (phrase-less name over address).
+    if present[ID_BORROWER_NAME] {
+        p.labeled_text(40.0, &values::person_name(rng), f(ID_BORROWER_NAME));
+        p.newline();
+        if present[ID_CO_BORROWER] {
+            p.labeled_text(40.0, &values::person_name(rng), f(ID_CO_BORROWER));
+            p.newline();
+        }
+    }
+    if present[ID_BORROWER_ADDRESS] {
+        let street = values::street_line(rng);
+        let city = values::city_line(rng);
+        p.address_block(40.0, None, &[&street, &city], Some(f(ID_BORROWER_ADDRESS)));
+    }
+    p.vspace(8.0);
+
+    // --- Loan identity block (anchored).
+    if present[ID_LOAN_NUMBER] {
+        p.kv_row(
+            40.0,
+            vendor.phrase(sp, ID_LOAN_NUMBER),
+            340.0,
+            &values::id_number(rng),
+            Some(f(ID_LOAN_NUMBER)),
+        );
+    }
+    if present[ID_LOAN_TYPE] {
+        let ty = ["Fixed 30yr", "Fixed 15yr", "ARM 5/1", "FHA"][rng.gen_range(0..4)];
+        p.kv_row(40.0, vendor.phrase(sp, ID_LOAN_TYPE), 340.0, ty, Some(f(ID_LOAN_TYPE)));
+    }
+    if present[ID_ACCOUNT_STATUS] {
+        let st = ["Current", "Delinquent", "In Grace Period"][rng.gen_range(0..3)];
+        p.kv_row(40.0, "", 340.0, st, Some(f(ID_ACCOUNT_STATUS)));
+    }
+    if present[ID_PROPERTY_ADDRESS] {
+        p.text(40.0, vendor.phrase(sp, ID_PROPERTY_ADDRESS));
+        p.newline();
+        let street = values::street_line(rng);
+        let city = values::city_line(rng);
+        p.address_block(40.0, None, &[&street, &city], Some(f(ID_PROPERTY_ADDRESS)));
+    }
+    p.vspace(12.0);
+
+    // --- Date row(s).
+    let date_style = (vendor.id % 3) as u8;
+    for &fid in &[
+        ID_STMT_DATE,
+        ID_DUE_DATE,
+        ID_LAST_PAYMENT_DATE,
+        ID_MATURITY_DATE,
+        ID_NEXT_PAYMENT_DATE,
+    ] {
+        if present[fid] {
+            if vendor.variant == 0 {
+                p.kv_row(
+                    40.0,
+                    vendor.phrase(sp, fid),
+                    380.0,
+                    &values::date(rng, date_style),
+                    Some(f(fid)),
+                );
+            } else {
+                p.kv_stacked(
+                    40.0,
+                    vendor.phrase(sp, fid),
+                    &values::date(rng, date_style),
+                    Some(f(fid)),
+                );
+            }
+        }
+    }
+    p.vspace(12.0);
+
+    // --- Payment activity table: Current / Year to Date columns.
+    let jit = (vendor.id % 11) as f32 * 9.0;
+    let (cur_x, ytd_x) = if vendor.variant == 0 {
+        (460.0 + jit, 680.0 + jit)
+    } else {
+        (500.0 + jit, 740.0 + jit)
+    };
+    let headers: Vec<(f32, &str)> = vec![
+        (40.0, "Activity"),
+        (cur_x, "This Period"),
+        (ytd_x, "Year to Date"),
+    ];
+    let mut rows = Vec::new();
+    for (k, _) in PAY_PAIRS.iter().enumerate() {
+        let cur_id = 2 * k;
+        let ytd_id = 2 * k + 1;
+        if !present[cur_id] && !present[ytd_id] {
+            continue;
+        }
+        let cur = rng.gen_range(5_000..400_000i64);
+        let ytd = cur * rng.gen_range(2..12);
+        let mut cells = Vec::new();
+        if present[cur_id] {
+            cells.push((cur_x, values::format_money(cur, true), Some(f(cur_id))));
+        } else {
+            cells.push((cur_x, "--".to_string(), None));
+        }
+        if present[ytd_id] {
+            cells.push((ytd_x, values::format_money(ytd, true), Some(f(ytd_id))));
+        } else {
+            cells.push((ytd_x, "--".to_string(), None));
+        }
+        rows.push((vendor.phrase(sp, cur_id).to_string(), cells));
+    }
+    p.table(40.0, &headers, &rows);
+    p.vspace(12.0);
+
+    // --- Money singles as kv rows, split across two columns to vary
+    // positions between vendors.
+    for (k, (_name, _bank, _p)) in MONEY_SINGLES.iter().enumerate() {
+        let fid = ID_MONEY_SINGLE0 + k;
+        if !present[fid] {
+            continue;
+        }
+        let cents = rng.gen_range(1_000..3_000_000i64);
+        let (lx, vx) = if vendor.variant == 0 || k % 2 == 0 {
+            (40.0, 380.0)
+        } else {
+            (520.0, 860.0)
+        };
+        p.kv_row(
+            lx,
+            vendor.phrase(sp, fid),
+            vx,
+            &values::format_money(cents, true),
+            Some(f(fid)),
+        );
+    }
+
+    // --- Footer distractor.
+    p.vspace(18.0);
+    p.text(
+        40.0,
+        "Please detach and return the bottom portion with your payment",
+    );
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::GenOptions;
+
+    #[test]
+    fn schema_shape() {
+        let s = LoanGen.schema();
+        assert_eq!(s.len(), 35);
+        assert_eq!(s.type_histogram(), [3, 5, 20, 0, 7]);
+    }
+
+    #[test]
+    fn string_fields_mostly_phrase_less() {
+        let sp = LoanGen.field_specs();
+        let phrase_less: usize = sp
+            .iter()
+            .filter(|f| f.base_type == BaseType::String && f.phrases.is_empty())
+            .count();
+        assert!(phrase_less >= 4, "Fig 6a regime needs phrase-less strings");
+    }
+
+    #[test]
+    fn money_fields_all_anchored() {
+        let sp = LoanGen.field_specs();
+        assert!(sp
+            .iter()
+            .filter(|f| f.base_type == BaseType::Money)
+            .all(|f| !f.phrases.is_empty()));
+    }
+
+    #[test]
+    fn generates_valid_docs_with_labels() {
+        let c = LoanGen.generate(1, 20, &GenOptions::default());
+        for d in &c.documents {
+            assert!(d.validate().is_ok());
+            assert!(!d.annotations.is_empty());
+        }
+    }
+
+    #[test]
+    fn total_due_phrase_present_when_field_is() {
+        let c = LoanGen.generate(2, 25, &GenOptions::default());
+        let fid = c.schema.field_id("total_due").unwrap();
+        for d in &c.documents {
+            if d.has_field(fid) {
+                let joined = d
+                    .tokens
+                    .iter()
+                    .map(|t| t.lower())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                assert!(
+                    joined.contains("total due")
+                        || joined.contains("amount due")
+                        || joined.contains("total amount due")
+                );
+            }
+        }
+    }
+}

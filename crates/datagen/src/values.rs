@@ -1,0 +1,204 @@
+//! Value fakers: deterministic random generators for the surface forms of
+//! the five base types (money amounts, dates, numbers, addresses, names).
+
+use rand::Rng;
+
+/// Formats `cents` as a US money string, e.g. `"$3,308.62"`.
+pub fn format_money(cents: i64, with_symbol: bool) -> String {
+    let negative = cents < 0;
+    let cents = cents.unsigned_abs();
+    let dollars = cents / 100;
+    let rem = cents % 100;
+    let mut int = String::new();
+    let s = dollars.to_string();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            int.push(',');
+        }
+        int.push(c);
+    }
+    let sym = if with_symbol { "$" } else { "" };
+    let sign = if negative { "-" } else { "" };
+    format!("{sign}{sym}{int}.{rem:02}")
+}
+
+/// A random money value in `[lo_cents, hi_cents]`.
+pub fn money<R: Rng>(rng: &mut R, lo_cents: i64, hi_cents: i64, with_symbol: bool) -> String {
+    format_money(rng.gen_range(lo_cents..=hi_cents), with_symbol)
+}
+
+/// A random date. `style` 0 → `MM/DD/YYYY`, 1 → `YYYY-MM-DD`,
+/// 2 → `Mon DD, YYYY` (multi-token; caller splits on spaces).
+pub fn date<R: Rng>(rng: &mut R, style: u8) -> String {
+    let year = rng.gen_range(2018..=2025);
+    let month = rng.gen_range(1..=12u32);
+    let day = rng.gen_range(1..=28u32);
+    match style {
+        0 => format!("{month:02}/{day:02}/{year}"),
+        1 => format!("{year}-{month:02}-{day:02}"),
+        _ => {
+            const MON: [&str; 12] = [
+                "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
+                "Dec",
+            ];
+            format!("{} {day}, {year}", MON[(month - 1) as usize])
+        }
+    }
+}
+
+const FIRST_NAMES: [&str; 24] = [
+    "Alice", "Bruno", "Carla", "Deshawn", "Elena", "Farid", "Grace", "Hiro", "Ines", "Jonas",
+    "Kavya", "Liam", "Mona", "Noah", "Olga", "Pedro", "Quinn", "Rosa", "Sven", "Tara", "Umar",
+    "Vera", "Wendy", "Xenia",
+];
+
+const LAST_NAMES: [&str; 24] = [
+    "Abbott", "Berg", "Castillo", "Dimitrov", "Eng", "Fischer", "Garza", "Huang", "Ivanov",
+    "Jensen", "Kim", "Lopez", "Meyer", "Novak", "Okafor", "Park", "Quist", "Rivera", "Sato",
+    "Torres", "Ueda", "Vance", "Wang", "Yilmaz",
+];
+
+const COMPANY_STEMS: [&str; 16] = [
+    "Acme", "Borealis", "Cobalt", "Dynamo", "Evergreen", "Fairview", "Granite", "Horizon",
+    "Ironwood", "Juniper", "Keystone", "Lumen", "Meridian", "Northgate", "Orchard", "Pinnacle",
+];
+
+const COMPANY_SUFFIXES: [&str; 6] = ["Inc.", "LLC", "Corp.", "Group", "Holdings", "Partners"];
+
+const STREET_NAMES: [&str; 12] = [
+    "Oak", "Maple", "Cedar", "Elm", "Pine", "Birch", "Walnut", "Chestnut", "Spruce", "Willow",
+    "Aspen", "Magnolia",
+];
+
+const STREET_KINDS: [&str; 5] = ["St", "Ave", "Blvd", "Rd", "Ln"];
+
+const CITIES: [(&str, &str); 10] = [
+    ("Springfield", "IL"),
+    ("Riverton", "CA"),
+    ("Lakewood", "OH"),
+    ("Fairmont", "NY"),
+    ("Georgetown", "TX"),
+    ("Bristol", "PA"),
+    ("Clayton", "NC"),
+    ("Madison", "WA"),
+    ("Franklin", "MA"),
+    ("Auburn", "GA"),
+];
+
+/// A random person name, `"First Last"`.
+pub fn person_name<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+        LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+    )
+}
+
+/// A random company name, e.g. `"Keystone Holdings"`.
+pub fn company_name<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} {}",
+        COMPANY_STEMS[rng.gen_range(0..COMPANY_STEMS.len())],
+        COMPANY_SUFFIXES[rng.gen_range(0..COMPANY_SUFFIXES.len())]
+    )
+}
+
+/// A random one-line street address, e.g. `"4821 Oak St"`.
+pub fn street_line<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} {} {}",
+        rng.gen_range(100..9999),
+        STREET_NAMES[rng.gen_range(0..STREET_NAMES.len())],
+        STREET_KINDS[rng.gen_range(0..STREET_KINDS.len())]
+    )
+}
+
+/// A random city line, e.g. `"Madison, WA 98101"`.
+pub fn city_line<R: Rng>(rng: &mut R) -> String {
+    let (city, state) = CITIES[rng.gen_range(0..CITIES.len())];
+    format!("{city}, {state} {:05}", rng.gen_range(10000..99999))
+}
+
+/// A random identifier such as an account or case number, e.g. `"4471-0092"`.
+pub fn id_number<R: Rng>(rng: &mut R) -> String {
+    format!("{:04}-{:04}", rng.gen_range(0..10000), rng.gen_range(0..10000))
+}
+
+/// A random small integer rendered as text (counts, quantities).
+pub fn small_number<R: Rng>(rng: &mut R) -> String {
+    rng.gen_range(1..500).to_string()
+}
+
+/// A random short code of uppercase letters + digits, e.g. `"KX42"`.
+pub fn short_code<R: Rng>(rng: &mut R) -> String {
+    let letters = b"ABCDEFGHJKLMNPQRSTUVWXYZ";
+    format!(
+        "{}{}{}{}",
+        letters[rng.gen_range(0..letters.len())] as char,
+        letters[rng.gen_range(0..letters.len())] as char,
+        rng.gen_range(0..10),
+        rng.gen_range(0..10)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn format_money_groups_thousands() {
+        assert_eq!(format_money(330_862, true), "$3,308.62");
+        assert_eq!(format_money(5, true), "$0.05");
+        assert_eq!(format_money(123_456_789, false), "1,234,567.89");
+        assert_eq!(format_money(-9_900, true), "-$99.00");
+        assert_eq!(format_money(10_000_000, true), "$100,000.00");
+    }
+
+    #[test]
+    fn money_in_range() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = money(&mut r, 100, 200, true);
+            assert!(s.starts_with("$1") || s == "$2.00", "{s}");
+        }
+    }
+
+    #[test]
+    fn date_styles_parse() {
+        let mut r = rng();
+        let d0 = date(&mut r, 0);
+        assert_eq!(d0.split('/').count(), 3);
+        let d1 = date(&mut r, 1);
+        assert_eq!(d1.split('-').count(), 3);
+        let d2 = date(&mut r, 2);
+        assert_eq!(d2.split(' ').count(), 3);
+    }
+
+    #[test]
+    fn names_non_empty_and_deterministic() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+        assert!(company_name(&mut a).contains(' '));
+        assert!(!street_line(&mut a).is_empty());
+        assert!(city_line(&mut a).contains(','));
+    }
+
+    #[test]
+    fn ids_and_codes_have_expected_shape() {
+        let mut r = rng();
+        let id = id_number(&mut r);
+        assert_eq!(id.len(), 9);
+        assert_eq!(&id[4..5], "-");
+        let code = short_code(&mut r);
+        assert_eq!(code.len(), 4);
+        let n: u32 = small_number(&mut r).parse().unwrap();
+        assert!((1..500).contains(&n));
+    }
+}

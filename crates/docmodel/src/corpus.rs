@@ -1,0 +1,171 @@
+//! Corpora: collections of documents sharing one schema, plus the sampling
+//! helpers the experiment protocol needs (random training subsets of size N
+//! drawn from a larger pool).
+
+use crate::document::Document;
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// A collection of documents of one document type, together with the
+/// domain's schema. The paper splits each domain into a large training pool
+/// and a fixed hold-out test set (Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The domain schema shared by all documents.
+    pub schema: Schema,
+    /// Documents in the corpus.
+    pub documents: Vec<Document>,
+}
+
+impl Corpus {
+    /// Creates a corpus.
+    pub fn new(schema: Schema, documents: Vec<Document>) -> Self {
+        Self { schema, documents }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Fraction of documents that contain at least one instance of `field`
+    /// — the "Frequency" column of the paper's Table IV.
+    pub fn field_frequency(&self, field: crate::schema::FieldId) -> f64 {
+        if self.documents.is_empty() {
+            return 0.0;
+        }
+        let with = self.documents.iter().filter(|d| d.has_field(field)).count();
+        with as f64 / self.documents.len() as f64
+    }
+
+    /// Selects the documents at `indices` into a new corpus (cloning them).
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Corpus {
+        Corpus {
+            schema: self.schema.clone(),
+            documents: indices.iter().map(|&i| self.documents[i].clone()).collect(),
+        }
+    }
+
+    /// Total number of annotations across all documents.
+    pub fn total_annotations(&self) -> usize {
+        self.documents.iter().map(|d| d.annotations.len()).sum()
+    }
+}
+
+/// Specification of a deterministic train/validation split, mirroring the
+/// paper's 90%/10% fine-tuning split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitSpec {
+    /// Fraction of documents assigned to the training part, in `(0, 1]`.
+    pub train_fraction: f64,
+}
+
+impl Default for SplitSpec {
+    fn default() -> Self {
+        Self { train_fraction: 0.9 }
+    }
+}
+
+impl SplitSpec {
+    /// Splits `n` document indices (already shuffled by the caller) into
+    /// train and validation index lists. The train part always receives at
+    /// least one document; the validation part receives the remainder (which
+    /// may be empty for tiny `n`).
+    pub fn split(&self, n: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(self.train_fraction > 0.0 && self.train_fraction <= 1.0);
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let train_n = ((n as f64 * self.train_fraction).round() as usize).clamp(1, n);
+        ((0..train_n).collect(), (train_n..n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DocumentBuilder;
+    use crate::geometry::BBox;
+    use crate::label::EntitySpan;
+    use crate::schema::{BaseType, FieldDef};
+    use crate::token::Token;
+
+    fn doc(id: &str, fields: &[u16]) -> Document {
+        let mut b = DocumentBuilder::new(id);
+        for (i, f) in fields.iter().enumerate() {
+            let y = 20.0 * i as f32;
+            b.push_token(Token::new("v", BBox::new(0.0, y, 10.0, y + 10.0)));
+            b.push_annotation(EntitySpan::new(*f, i as u32, i as u32 + 1));
+        }
+        if fields.is_empty() {
+            b.push_token(Token::new("x", BBox::new(0.0, 0.0, 10.0, 10.0)));
+        }
+        b.build()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                FieldDef::new("a", BaseType::Money),
+                FieldDef::new("b", BaseType::Date),
+            ],
+        )
+    }
+
+    #[test]
+    fn field_frequency_counts_documents_not_instances() {
+        let c = Corpus::new(
+            schema(),
+            vec![doc("1", &[0, 0]), doc("2", &[0]), doc("3", &[1]), doc("4", &[])],
+        );
+        assert!((c.field_frequency(0) - 0.5).abs() < 1e-12);
+        assert!((c.field_frequency(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus_frequency_is_zero() {
+        let c = Corpus::new(schema(), vec![]);
+        assert_eq!(c.field_frequency(0), 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn subset_clones_selected() {
+        let c = Corpus::new(schema(), vec![doc("1", &[0]), doc("2", &[1]), doc("3", &[])]);
+        let s = c.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.documents[0].id, "3");
+        assert_eq!(s.documents[1].id, "1");
+    }
+
+    #[test]
+    fn total_annotations_sums() {
+        let c = Corpus::new(schema(), vec![doc("1", &[0, 1]), doc("2", &[0])]);
+        assert_eq!(c.total_annotations(), 3);
+    }
+
+    #[test]
+    fn split_spec_default_90_10() {
+        let (tr, va) = SplitSpec::default().split(10);
+        assert_eq!(tr.len(), 9);
+        assert_eq!(va.len(), 1);
+    }
+
+    #[test]
+    fn split_spec_small_n_keeps_one_train() {
+        let (tr, va) = SplitSpec { train_fraction: 0.5 }.split(1);
+        assert_eq!(tr.len(), 1);
+        assert!(va.is_empty());
+        let (tr, va) = SplitSpec::default().split(0);
+        assert!(tr.is_empty() && va.is_empty());
+    }
+}

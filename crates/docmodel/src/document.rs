@@ -1,0 +1,344 @@
+//! Documents: positioned tokens + detected lines + labeled entity spans,
+//! plus a builder used by the corpus generators and the FieldSwap engine.
+
+use crate::geometry::{off_axis_distance, BBox};
+use crate::label::EntitySpan;
+use crate::line::Line;
+use crate::schema::FieldId;
+use crate::token::Token;
+use serde::{Deserialize, Serialize};
+
+/// Distance metric for neighbor selection. The paper uses [`NeighborMetric::OffAxis`]
+/// (`|dx| * |dy|`, favoring horizontally/vertically aligned tokens);
+/// Euclidean is the ablation baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighborMetric {
+    /// The paper's `|dx| * |dy|` metric.
+    OffAxis,
+    /// Straight-line distance.
+    Euclidean,
+}
+
+/// A single form-like document as seen after OCR: tokens with bounding
+/// boxes, line groupings, and (for labeled corpora) entity spans.
+///
+/// Invariants maintained by [`DocumentBuilder`] and the OCR layer:
+/// * `annotations` are sorted by `start` and never overlap;
+/// * every annotation's token range lies within `tokens`;
+/// * every line's token ids lie within `tokens`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Document {
+    /// Stable identifier, unique within a corpus (e.g. `"earnings-00042"`).
+    pub id: String,
+    /// All OCR tokens in reading order (top-to-bottom, left-to-right).
+    pub tokens: Vec<Token>,
+    /// OCR line groupings over `tokens`.
+    pub lines: Vec<Line>,
+    /// Labeled field instances. Empty for unlabeled documents.
+    pub annotations: Vec<EntitySpan>,
+}
+
+impl Document {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The annotations labeling `field`, in document order.
+    pub fn spans_of(&self, field: FieldId) -> impl Iterator<Item = &EntitySpan> {
+        self.annotations.iter().filter(move |s| s.field == field)
+    }
+
+    /// Whether any annotation labels `field`.
+    pub fn has_field(&self, field: FieldId) -> bool {
+        self.annotations.iter().any(|s| s.field == field)
+    }
+
+    /// The set of distinct fields annotated in this document, sorted.
+    pub fn present_fields(&self) -> Vec<FieldId> {
+        let mut fields: Vec<FieldId> = self.annotations.iter().map(|s| s.field).collect();
+        fields.sort_unstable();
+        fields.dedup();
+        fields
+    }
+
+    /// The text of the token range `[start, end)` joined with single spaces.
+    pub fn span_text(&self, start: u32, end: u32) -> String {
+        self.tokens[start as usize..end as usize]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Union bounding box of the token range `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics on an empty or out-of-range span.
+    pub fn span_bbox(&self, start: u32, end: u32) -> BBox {
+        assert!(start < end, "empty span");
+        let mut b = self.tokens[start as usize].bbox;
+        for t in &self.tokens[start as usize + 1..end as usize] {
+            b = b.union(&t.bbox);
+        }
+        b
+    }
+
+    /// The line index containing `token`, if lines were detected.
+    pub fn line_of(&self, token: u32) -> Option<usize> {
+        self.lines.iter().position(|l| l.contains(token))
+    }
+
+    /// Ids of tokens labeled by *any* annotation. Used by key-phrase
+    /// inference to exclude field values from candidate key phrases
+    /// (Section II-A5).
+    pub fn labeled_token_set(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.tokens.len()];
+        for s in &self.annotations {
+            for t in s.start..s.end {
+                mask[t as usize] = true;
+            }
+        }
+        mask
+    }
+
+    /// The `t` nearest tokens to `anchor` (a token range's center) by
+    /// off-axis distance, excluding tokens in `[ex_start, ex_end)`.
+    /// Returned ids are sorted by increasing distance.
+    pub fn neighbors_by_off_axis(&self, ex_start: u32, ex_end: u32, t: usize) -> Vec<u32> {
+        self.neighbors_by_metric(ex_start, ex_end, t, NeighborMetric::OffAxis)
+    }
+
+    /// The `t` nearest tokens under a chosen distance metric — the
+    /// ablation hook for the paper's off-axis choice (Section II-A2).
+    pub fn neighbors_by_metric(
+        &self,
+        ex_start: u32,
+        ex_end: u32,
+        t: usize,
+        metric: NeighborMetric,
+    ) -> Vec<u32> {
+        let anchor = self.span_bbox(ex_start, ex_end).center();
+        let mut scored: Vec<(f32, u32)> = self
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as u32) < ex_start || (*i as u32) >= ex_end)
+            .map(|(i, tok)| {
+                let c = tok.bbox.center();
+                let d = match metric {
+                    NeighborMetric::OffAxis => off_axis_distance(anchor, c),
+                    NeighborMetric::Euclidean => anchor.euclidean(&c),
+                };
+                (d, i as u32)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored.truncate(t);
+        scored.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Checks the structural invariants listed on the type. Used by tests
+    /// and debug assertions in the augmentation engine.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.tokens.len() as u32;
+        let mut prev_end = 0u32;
+        for (i, s) in self.annotations.iter().enumerate() {
+            if s.end > n {
+                return Err(format!("annotation {i} range {}..{} exceeds {n}", s.start, s.end));
+            }
+            if i > 0 && s.start < prev_end {
+                return Err(format!("annotation {i} overlaps previous (start {})", s.start));
+            }
+            prev_end = s.end;
+        }
+        for (i, l) in self.lines.iter().enumerate() {
+            if l.tokens.iter().any(|&t| t >= n) {
+                return Err(format!("line {i} references token out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Document`]s. Generators place tokens and attach
+/// labels; annotations are sorted and checked on [`DocumentBuilder::build`].
+#[derive(Debug, Default)]
+pub struct DocumentBuilder {
+    id: String,
+    tokens: Vec<Token>,
+    annotations: Vec<EntitySpan>,
+}
+
+impl DocumentBuilder {
+    /// Starts a builder for a document with the given id.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            tokens: Vec::new(),
+            annotations: Vec::new(),
+        }
+    }
+
+    /// Number of tokens added so far (the id the next token will get).
+    pub fn next_token_id(&self) -> u32 {
+        self.tokens.len() as u32
+    }
+
+    /// Appends a token, returning its id.
+    pub fn push_token(&mut self, token: Token) -> u32 {
+        let id = self.tokens.len() as u32;
+        self.tokens.push(token);
+        id
+    }
+
+    /// Appends a labeled span over already-pushed tokens.
+    pub fn push_annotation(&mut self, span: EntitySpan) {
+        debug_assert!(span.end <= self.tokens.len() as u32);
+        self.annotations.push(span);
+    }
+
+    /// Finishes the document. Lines are left empty — the OCR layer detects
+    /// them from geometry.
+    ///
+    /// # Panics
+    /// Panics if annotations overlap or exceed the token range (generator
+    /// bugs).
+    pub fn build(mut self) -> Document {
+        self.annotations.sort_by_key(|s| (s.start, s.end));
+        let doc = Document {
+            id: self.id,
+            tokens: self.tokens,
+            lines: Vec::new(),
+            annotations: self.annotations,
+        };
+        if let Err(e) = doc.validate() {
+            panic!("invalid document from builder: {e}");
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    fn tok(text: &str, x: f32, y: f32) -> Token {
+        Token::new(text, BBox::new(x, y, x + 10.0 * text.len() as f32, y + 12.0))
+    }
+
+    fn sample() -> Document {
+        let mut b = DocumentBuilder::new("doc-1");
+        b.push_token(tok("Base", 10.0, 10.0)); // 0
+        b.push_token(tok("Salary", 60.0, 10.0)); // 1
+        b.push_token(tok("$3,308.62", 300.0, 10.0)); // 2
+        b.push_token(tok("Overtime", 10.0, 40.0)); // 3
+        b.push_token(tok("$120.00", 300.0, 40.0)); // 4
+        b.push_annotation(EntitySpan::new(0, 2, 3));
+        b.push_annotation(EntitySpan::new(1, 4, 5));
+        b.build()
+    }
+
+    #[test]
+    fn builder_sorts_and_validates() {
+        let d = sample();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.annotations.len(), 2);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn span_text_joins() {
+        let d = sample();
+        assert_eq!(d.span_text(0, 2), "Base Salary");
+        assert_eq!(d.span_text(2, 3), "$3,308.62");
+    }
+
+    #[test]
+    fn span_bbox_unions() {
+        let d = sample();
+        let b = d.span_bbox(0, 2);
+        assert_eq!(b.x0, 10.0);
+        assert!(b.x1 >= 60.0);
+    }
+
+    #[test]
+    fn field_queries() {
+        let d = sample();
+        assert!(d.has_field(0));
+        assert!(d.has_field(1));
+        assert!(!d.has_field(2));
+        assert_eq!(d.present_fields(), vec![0, 1]);
+        assert_eq!(d.spans_of(0).count(), 1);
+    }
+
+    #[test]
+    fn labeled_token_set_marks_values() {
+        let d = sample();
+        assert_eq!(d.labeled_token_set(), vec![false, false, true, false, true]);
+    }
+
+    #[test]
+    fn neighbors_prefer_axis_aligned() {
+        let d = sample();
+        // Neighbors of the salary amount (token 2). "Overtime"(3) is
+        // diagonal; $120.00(4) is vertically aligned; Base/Salary(0,1) are
+        // horizontally aligned.
+        let n = d.neighbors_by_off_axis(2, 3, 3);
+        assert_eq!(n.len(), 3);
+        assert!(n.contains(&0) || n.contains(&1));
+        assert!(n.contains(&4));
+        // Candidate's own tokens excluded.
+        assert!(!n.contains(&2));
+    }
+
+    #[test]
+    fn neighbors_truncate_to_t() {
+        let d = sample();
+        assert_eq!(d.neighbors_by_off_axis(2, 3, 2).len(), 2);
+        assert_eq!(d.neighbors_by_off_axis(2, 3, 100).len(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let mut d = sample();
+        d.annotations = vec![EntitySpan::new(0, 0, 3), EntitySpan::new(1, 2, 4)];
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut d = sample();
+        d.annotations = vec![EntitySpan::new(0, 4, 9)];
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn line_of_finds_line() {
+        let mut d = sample();
+        d.lines = vec![
+            Line::new(vec![0, 1, 2], BBox::new(10.0, 10.0, 390.0, 22.0)),
+            Line::new(vec![3, 4], BBox::new(10.0, 40.0, 370.0, 52.0)),
+        ];
+        assert_eq!(d.line_of(1), Some(0));
+        assert_eq!(d.line_of(4), Some(1));
+    }
+
+    #[test]
+    fn euclidean_vs_off_axis_sanity() {
+        // Confirms the doc-level neighbor ordering actually uses off-axis.
+        let a = Point::new(0.0, 0.0);
+        let close_diag = Point::new(20.0, 20.0); // euclid ~28, off-axis 400
+        let far_aligned = Point::new(0.0, 200.0); // euclid 200, off-axis 0
+        assert!(
+            off_axis_distance(a, far_aligned) < off_axis_distance(a, close_diag),
+            "aligned beats diagonal under off-axis"
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Planar geometry primitives: points, axis-aligned bounding boxes, and the
+//! paper's *off-axis distance* metric.
+//!
+//! All coordinates are in an abstract page space with the origin at the
+//! top-left corner: `x` grows rightwards, `y` grows downwards. The corpus
+//! generators lay out pages nominally 1000 units wide.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in page space.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (grows rightwards).
+    pub x: f32,
+    /// Vertical coordinate (grows downwards).
+    pub y: f32,
+}
+
+impl Point {
+    /// Creates a point from `x`/`y` coordinates.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn euclidean(&self, other: &Point) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// The paper's off-axis distance (Section II-A2): `|ax - bx| * |ay - by|`.
+///
+/// Points that share an x- or y-axis have distance 0; diagonally displaced
+/// points have a large distance. This is the metric used to pick the `t`
+/// nearest *neighboring tokens* of a field-instance candidate, since the
+/// tokens that identify a field (its key phrase) are almost always
+/// horizontally or vertically aligned with the field's value.
+pub fn off_axis_distance(a: Point, b: Point) -> f32 {
+    (a.x - b.x).abs() * (a.y - b.y).abs()
+}
+
+/// An axis-aligned bounding box. `x0 <= x1` and `y0 <= y1` by construction
+/// through [`BBox::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge.
+    pub x0: f32,
+    /// Top edge.
+    pub y0: f32,
+    /// Right edge (`>= x0`).
+    pub x1: f32,
+    /// Bottom edge (`>= y0`).
+    pub y1: f32,
+}
+
+impl BBox {
+    /// Creates a bounding box, normalizing the corner order so that
+    /// `(x0, y0)` is the top-left and `(x1, y1)` the bottom-right corner.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        Self {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// A zero-area box located at `p`.
+    pub fn at_point(p: Point) -> Self {
+        Self::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// Box width (always non-negative).
+    pub fn width(&self) -> f32 {
+        self.x1 - self.x0
+    }
+
+    /// Box height (always non-negative).
+    pub fn height(&self) -> f32 {
+        self.y1 - self.y0
+    }
+
+    /// Area of the box.
+    pub fn area(&self) -> f32 {
+        self.width() * self.height()
+    }
+
+    /// Center point of the box.
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) * 0.5, (self.y0 + self.y1) * 0.5)
+    }
+
+    /// Whether `p` lies inside the box (inclusive of the boundary).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// Whether this box and `other` overlap (inclusive of shared edges).
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// The smallest box containing both `self` and `other`.
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Length of the vertical overlap between the two boxes' y-extents, or 0
+    /// if they do not overlap vertically. Line detection groups tokens whose
+    /// vertical overlap ratio is high.
+    pub fn y_overlap(&self, other: &BBox) -> f32 {
+        (self.y1.min(other.y1) - self.y0.max(other.y0)).max(0.0)
+    }
+
+    /// Vertical intersection-over-union of the two boxes' y-extents, in
+    /// `[0, 1]`. Returns 0 when both boxes have zero height.
+    pub fn y_iou(&self, other: &BBox) -> f32 {
+        let inter = self.y_overlap(other);
+        let union = (self.y1.max(other.y1) - self.y0.min(other.y0)).max(f32::EPSILON);
+        inter / union
+    }
+
+    /// Horizontal gap between the two boxes (0 when they overlap in x).
+    pub fn x_gap(&self, other: &BBox) -> f32 {
+        if self.x1 < other.x0 {
+            other.x0 - self.x1
+        } else if other.x1 < self.x0 {
+            self.x0 - other.x1
+        } else {
+            0.0
+        }
+    }
+
+    /// Translates the box by `(dx, dy)`.
+    pub fn translated(&self, dx: f32, dy: f32) -> BBox {
+        BBox {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bbox_normalizes_corners() {
+        let b = BBox::new(10.0, 20.0, 2.0, 5.0);
+        assert_eq!(b.x0, 2.0);
+        assert_eq!(b.y0, 5.0);
+        assert_eq!(b.x1, 10.0);
+        assert_eq!(b.y1, 20.0);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let b = BBox::new(0.0, 0.0, 10.0, 4.0);
+        let c = b.center();
+        assert_eq!(c, Point::new(5.0, 2.0));
+    }
+
+    #[test]
+    fn off_axis_zero_when_axis_aligned() {
+        let a = Point::new(5.0, 7.0);
+        assert_eq!(off_axis_distance(a, Point::new(5.0, 100.0)), 0.0);
+        assert_eq!(off_axis_distance(a, Point::new(-30.0, 7.0)), 0.0);
+    }
+
+    #[test]
+    fn off_axis_large_when_diagonal() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 10.0);
+        assert_eq!(off_axis_distance(a, b), 100.0);
+        // A closer-by-euclidean but diagonal point can be farther by
+        // off-axis distance than a distant but aligned point.
+        let aligned_far = Point::new(0.0, 500.0);
+        assert!(off_axis_distance(a, aligned_far) < off_axis_distance(a, b));
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let b = BBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(10.0, 10.0)));
+        assert!(!b.contains(Point::new(10.1, 10.0)));
+    }
+
+    #[test]
+    fn intersects_shared_edge() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BBox::new(10.0, 0.0, 20.0, 10.0);
+        assert!(a.intersects(&b));
+        let c = BBox::new(10.5, 0.0, 20.0, 10.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = BBox::new(0.0, 0.0, 5.0, 5.0);
+        let b = BBox::new(3.0, -2.0, 9.0, 4.0);
+        let u = a.union(&b);
+        assert_eq!(u, BBox::new(0.0, -2.0, 9.0, 5.0));
+    }
+
+    #[test]
+    fn y_overlap_and_iou() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BBox::new(50.0, 5.0, 60.0, 15.0);
+        assert_eq!(a.y_overlap(&b), 5.0);
+        assert!((a.y_iou(&b) - 5.0 / 15.0).abs() < 1e-6);
+        let c = BBox::new(0.0, 20.0, 10.0, 30.0);
+        assert_eq!(a.y_overlap(&c), 0.0);
+        assert_eq!(a.y_iou(&c), 0.0);
+    }
+
+    #[test]
+    fn x_gap_directions() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let right = BBox::new(15.0, 0.0, 20.0, 10.0);
+        let left = BBox::new(-20.0, 0.0, -12.0, 10.0);
+        let overlapping = BBox::new(5.0, 0.0, 20.0, 10.0);
+        assert_eq!(a.x_gap(&right), 5.0);
+        assert_eq!(a.x_gap(&left), 12.0);
+        assert_eq!(a.x_gap(&overlapping), 0.0);
+    }
+
+    #[test]
+    fn translated_moves_box() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0).translated(3.0, -2.0);
+        assert_eq!(a, BBox::new(3.0, -2.0, 13.0, 8.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bbox_invariant(x0 in -1e3f32..1e3, y0 in -1e3f32..1e3,
+                               x1 in -1e3f32..1e3, y1 in -1e3f32..1e3) {
+            let b = BBox::new(x0, y0, x1, y1);
+            prop_assert!(b.x0 <= b.x1);
+            prop_assert!(b.y0 <= b.y1);
+            prop_assert!(b.width() >= 0.0);
+            prop_assert!(b.height() >= 0.0);
+            prop_assert!(b.contains(b.center()));
+        }
+
+        #[test]
+        fn prop_off_axis_symmetric(ax in -1e3f32..1e3, ay in -1e3f32..1e3,
+                                   bx in -1e3f32..1e3, by in -1e3f32..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let d1 = off_axis_distance(a, b);
+            let d2 = off_axis_distance(b, a);
+            prop_assert!((d1 - d2).abs() <= 1e-3 * d1.abs().max(1.0));
+            prop_assert!(d1 >= 0.0);
+        }
+
+        #[test]
+        fn prop_union_contains_centers(a0 in -100f32..100.0, a1 in -100f32..100.0,
+                                       b0 in -100f32..100.0, b1 in -100f32..100.0) {
+            let a = BBox::new(a0, a0, a1, a1);
+            let b = BBox::new(b0, b0, b1, b1);
+            let u = a.union(&b);
+            prop_assert!(u.contains(a.center()));
+            prop_assert!(u.contains(b.center()));
+        }
+
+        #[test]
+        fn prop_y_iou_bounded(a0 in -100f32..100.0, a1 in -100f32..100.0,
+                              b0 in -100f32..100.0, b1 in -100f32..100.0) {
+            let a = BBox::new(0.0, a0, 10.0, a1);
+            let b = BBox::new(0.0, b0, 10.0, b1);
+            let iou = a.y_iou(&b);
+            prop_assert!((0.0..=1.0).contains(&iou));
+        }
+    }
+}

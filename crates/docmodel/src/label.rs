@@ -1,0 +1,79 @@
+//! Ground-truth and predicted annotations: entity spans tying contiguous
+//! token ranges to schema fields.
+
+use crate::schema::FieldId;
+use serde::{Deserialize, Serialize};
+
+/// A labeled field instance: the half-open token range `[start, end)` holds
+/// the value of `field`. Spans never overlap within a document and are kept
+/// sorted by `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntitySpan {
+    /// The labeled field.
+    pub field: FieldId,
+    /// First token index of the value (inclusive).
+    pub start: u32,
+    /// One-past-last token index of the value (exclusive).
+    pub end: u32,
+}
+
+impl EntitySpan {
+    /// Creates a span.
+    ///
+    /// # Panics
+    /// Panics when `start >= end` — empty spans are never meaningful.
+    pub fn new(field: FieldId, start: u32, end: u32) -> Self {
+        assert!(start < end, "empty entity span {start}..{end}");
+        Self { field, start, end }
+    }
+
+    /// Number of tokens covered by the span.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Spans are non-empty by construction; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `token` lies inside the span.
+    pub fn contains(&self, token: u32) -> bool {
+        token >= self.start && token < self.end
+    }
+
+    /// Whether the two spans cover at least one common token.
+    pub fn overlaps(&self, other: &EntitySpan) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_contains() {
+        let s = EntitySpan::new(3, 5, 8);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(5));
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = EntitySpan::new(0, 2, 6);
+        assert!(a.overlaps(&EntitySpan::new(1, 5, 9)));
+        assert!(a.overlaps(&EntitySpan::new(1, 3, 4)));
+        assert!(!a.overlaps(&EntitySpan::new(1, 6, 9)));
+        assert!(!a.overlaps(&EntitySpan::new(1, 0, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty entity span")]
+    fn empty_span_panics() {
+        EntitySpan::new(0, 4, 4);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # fieldswap-docmodel
+//!
+//! The shared document model for the FieldSwap reproduction.
+//!
+//! Form-like documents (invoices, paystubs, brokerage statements, ...) are
+//! modeled as a flat list of positioned [`Token`]s, grouped into visual
+//! [`Line`]s, annotated with labeled [`EntitySpan`]s that tie token ranges to
+//! fields of a [`Schema`]. Every other crate in the workspace — the simulated
+//! OCR layer, the corpus generators, the key-phrase inference pipeline, the
+//! FieldSwap augmenter, and the sequence-labeling backbone — speaks this
+//! vocabulary.
+//!
+//! The geometry module also provides the paper's *off-axis distance*
+//! (Section II-A2): `|ax - bx| * |ay - by|`, which is ~0 for horizontally or
+//! vertically aligned points and large for diagonally displaced ones.
+
+pub mod corpus;
+pub mod document;
+pub mod geometry;
+pub mod label;
+pub mod line;
+pub mod schema;
+pub mod token;
+
+pub use corpus::{Corpus, SplitSpec};
+pub use document::{Document, DocumentBuilder, NeighborMetric};
+pub use geometry::{off_axis_distance, BBox, Point};
+pub use label::EntitySpan;
+pub use line::Line;
+pub use schema::{BaseType, FieldDef, FieldId, Schema};
+pub use token::{Token, TokenId};

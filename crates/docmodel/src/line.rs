@@ -1,0 +1,61 @@
+//! Visual lines: groups of tokens on the same y-axis, as detected by the
+//! (simulated) OCR service. Key-phrase inference expands important tokens to
+//! the full OCR line they live on (Section II-A3).
+
+use crate::geometry::BBox;
+use serde::{Deserialize, Serialize};
+
+/// A detected line of text: the token ids it contains, in left-to-right
+/// order, plus the union bounding box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Line {
+    /// Token ids belonging to this line, sorted by x-position.
+    pub tokens: Vec<u32>,
+    /// Union bounding box of the member tokens.
+    pub bbox: BBox,
+}
+
+impl Line {
+    /// Creates a line.
+    ///
+    /// # Panics
+    /// Panics on an empty token list — OCR never emits empty lines.
+    pub fn new(tokens: Vec<u32>, bbox: BBox) -> Self {
+        assert!(!tokens.is_empty(), "empty OCR line");
+        Self { tokens, bbox }
+    }
+
+    /// Number of tokens on the line.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Lines are non-empty by construction; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the line contains `token`.
+    pub fn contains(&self, token: u32) -> bool {
+        self.tokens.contains(&token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let l = Line::new(vec![3, 4, 5], BBox::new(0.0, 0.0, 100.0, 12.0));
+        assert_eq!(l.len(), 3);
+        assert!(l.contains(4));
+        assert!(!l.contains(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty OCR line")]
+    fn empty_line_panics() {
+        Line::new(vec![], BBox::default());
+    }
+}

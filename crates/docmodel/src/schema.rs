@@ -1,0 +1,245 @@
+//! Extraction schemas: the predefined set of fields a document type exposes,
+//! each categorized into one of five base types (Section I of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a field within its schema.
+pub type FieldId = u16;
+
+/// The five base types the paper assigns to every field. `String` is the
+/// catch-all for anything that is not a date, number, money amount, or
+/// address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BaseType {
+    /// Multi-line postal addresses.
+    Address,
+    /// Calendar dates in any surface format.
+    Date,
+    /// Currency amounts.
+    Money,
+    /// Plain numbers (counts, identifiers rendered numerically).
+    Number,
+    /// The catch-all for any other value.
+    String,
+}
+
+impl BaseType {
+    /// All base types in the paper's canonical (Table II) column order.
+    pub const ALL: [BaseType; 5] = [
+        BaseType::Address,
+        BaseType::Date,
+        BaseType::Money,
+        BaseType::Number,
+        BaseType::String,
+    ];
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BaseType::Address => "address",
+            BaseType::Date => "date",
+            BaseType::Money => "money",
+            BaseType::Number => "number",
+            BaseType::String => "string",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Definition of a single schema field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Dotted human-readable name, e.g. `current.salary`.
+    pub name: String,
+    /// The field's base type.
+    pub base_type: BaseType,
+}
+
+impl FieldDef {
+    /// Creates a field definition.
+    pub fn new(name: impl Into<String>, base_type: BaseType) -> Self {
+        Self {
+            name: name.into(),
+            base_type,
+        }
+    }
+}
+
+/// An extraction schema: the blueprint of fields for one document type
+/// (domain). Field ids are indices into the schema's field list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Name of the document type, e.g. `"earnings"`.
+    pub domain: String,
+    fields: Vec<FieldDef>,
+    #[serde(skip)]
+    by_name: HashMap<String, FieldId>,
+}
+
+impl Schema {
+    /// Builds a schema from a domain name and field definitions.
+    ///
+    /// # Panics
+    /// Panics if two fields share a name or if there are more than
+    /// `FieldId::MAX` fields — schemas are static program data, so a
+    /// duplicate is a programming error.
+    pub fn new(domain: impl Into<String>, fields: Vec<FieldDef>) -> Self {
+        assert!(fields.len() <= FieldId::MAX as usize, "too many fields");
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            let prev = by_name.insert(f.name.clone(), i as FieldId);
+            assert!(prev.is_none(), "duplicate field name: {}", f.name);
+        }
+        Self {
+            domain: domain.into(),
+            fields,
+            by_name,
+        }
+    }
+
+    /// Number of fields in the schema.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The definition for `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn field(&self, id: FieldId) -> &FieldDef {
+        &self.fields[id as usize]
+    }
+
+    /// Looks a field up by name.
+    pub fn field_id(&self, name: &str) -> Option<FieldId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates `(id, def)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, &FieldDef)> {
+        self.fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as FieldId, f))
+    }
+
+    /// All field ids with the given base type.
+    pub fn fields_of_type(&self, ty: BaseType) -> Vec<FieldId> {
+        self.iter()
+            .filter(|(_, f)| f.base_type == ty)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Count of fields per base type, in [`BaseType::ALL`] order — the rows
+    /// of the paper's Table II.
+    pub fn type_histogram(&self) -> [usize; 5] {
+        let mut h = [0usize; 5];
+        for f in &self.fields {
+            let idx = BaseType::ALL.iter().position(|t| *t == f.base_type).unwrap();
+            h[idx] += 1;
+        }
+        h
+    }
+
+    /// Rebuilds the name index after deserialization (serde skips it).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i as FieldId))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(
+            "paystub",
+            vec![
+                FieldDef::new("current.salary", BaseType::Money),
+                FieldDef::new("current.bonus", BaseType::Money),
+                FieldDef::new("period_start", BaseType::Date),
+                FieldDef::new("employee_name", BaseType::String),
+                FieldDef::new("employee_address", BaseType::Address),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = sample();
+        let id = s.field_id("current.bonus").unwrap();
+        assert_eq!(s.field(id).name, "current.bonus");
+        assert_eq!(s.field(id).base_type, BaseType::Money);
+        assert!(s.field_id("nope").is_none());
+    }
+
+    #[test]
+    fn fields_of_type_filters() {
+        let s = sample();
+        let money = s.fields_of_type(BaseType::Money);
+        assert_eq!(money.len(), 2);
+        assert_eq!(s.fields_of_type(BaseType::Number), Vec::<FieldId>::new());
+    }
+
+    #[test]
+    fn type_histogram_matches_table2_order() {
+        let s = sample();
+        // [address, date, money, number, string]
+        assert_eq!(s.type_histogram(), [1, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn duplicate_names_panic() {
+        Schema::new(
+            "x",
+            vec![
+                FieldDef::new("a", BaseType::Money),
+                FieldDef::new("a", BaseType::Date),
+            ],
+        );
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let s = sample();
+        let names: Vec<_> = s.iter().map(|(_, f)| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "current.salary",
+                "current.bonus",
+                "period_start",
+                "employee_name",
+                "employee_address"
+            ]
+        );
+    }
+
+    #[test]
+    fn display_base_types() {
+        let strs: Vec<String> = BaseType::ALL.iter().map(|t| t.to_string()).collect();
+        assert_eq!(strs, vec!["address", "date", "money", "number", "string"]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new("empty", vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.type_histogram(), [0; 5]);
+    }
+}

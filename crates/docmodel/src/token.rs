@@ -1,0 +1,109 @@
+//! Tokens: the atomic text elements an OCR engine emits.
+
+use crate::geometry::BBox;
+use serde::{Deserialize, Serialize};
+
+/// Index of a token within its document's token list.
+pub type TokenId = u32;
+
+/// A single OCR text element: a run of non-whitespace characters together
+/// with its bounding box on the page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// The token text as recognized by the (simulated) OCR engine.
+    pub text: String,
+    /// Spatial position of the token on the page.
+    pub bbox: BBox,
+}
+
+impl Token {
+    /// Creates a token from text and its bounding box.
+    pub fn new(text: impl Into<String>, bbox: BBox) -> Self {
+        Self {
+            text: text.into(),
+            bbox,
+        }
+    }
+
+    /// Lowercased text, used pervasively for phrase matching and features.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// Whether every character is an ASCII digit (after stripping common
+    /// numeric punctuation). `"1,234.56"` and `"42"` are numeric; `"Q4"` is
+    /// not.
+    pub fn is_numeric(&self) -> bool {
+        let stripped: String = self
+            .text
+            .chars()
+            .filter(|c| !matches!(c, ',' | '.' | '$' | '(' | ')' | '-' | '%'))
+            .collect();
+        !stripped.is_empty() && stripped.chars().all(|c| c.is_ascii_digit())
+    }
+
+    /// A coarse shape signature: `X` for uppercase, `x` for lowercase, `9`
+    /// for digits, other characters kept as-is, with runs collapsed.
+    /// `"Amount"` → `"Xx"`, `"$3,308.62"` → `"$9,9.9"`.
+    pub fn shape(&self) -> String {
+        let mut out = String::new();
+        let mut last = '\0';
+        for c in self.text.chars() {
+            let s = if c.is_ascii_uppercase() {
+                'X'
+            } else if c.is_ascii_lowercase() {
+                'x'
+            } else if c.is_ascii_digit() {
+                '9'
+            } else {
+                c
+            };
+            if s != last {
+                out.push(s);
+                last = s;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(text: &str) -> Token {
+        Token::new(text, BBox::new(0.0, 0.0, 10.0, 10.0))
+    }
+
+    #[test]
+    fn lower_lowercases() {
+        assert_eq!(tok("Amount").lower(), "amount");
+        assert_eq!(tok("YTD").lower(), "ytd");
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(tok("42").is_numeric());
+        assert!(tok("1,234.56").is_numeric());
+        assert!(tok("$3,308.62").is_numeric());
+        assert!(tok("(12.00)").is_numeric());
+        assert!(!tok("Q4").is_numeric());
+        assert!(!tok("Amount").is_numeric());
+        assert!(!tok("--").is_numeric());
+        assert!(!tok("").is_numeric());
+    }
+
+    #[test]
+    fn shape_collapses_runs() {
+        assert_eq!(tok("Amount").shape(), "Xx");
+        assert_eq!(tok("YTD").shape(), "X");
+        assert_eq!(tok("$3,308.62").shape(), "$9,9.9");
+        assert_eq!(tok("2024-01-31").shape(), "9-9-9");
+        assert_eq!(tok("a1B2").shape(), "x9X9");
+    }
+
+    #[test]
+    fn shape_of_empty_is_empty() {
+        assert_eq!(tok("").shape(), "");
+    }
+}

@@ -1,0 +1,137 @@
+//! Box-plot statistics for the per-field delta analysis of Fig. 6:
+//! quartiles, whiskers at 1.5 x IQR, median, and outliers — matching the
+//! figure's caption exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus outliers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Lowest datum within `q1 - 1.5 * IQR`.
+    pub whisker_lo: f64,
+    /// Highest datum within `q3 + 1.5 * IQR`.
+    pub whisker_hi: f64,
+    /// Data outside the whiskers.
+    pub outliers: Vec<f64>,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Linear-interpolation percentile of a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    let frac = idx - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+impl BoxStats {
+    /// Computes box-plot statistics. Returns `None` for empty input.
+    pub fn compute(data: &[f64]) -> Option<BoxStats> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let q1 = percentile(&sorted, 0.25);
+        let median = percentile(&sorted, 0.5);
+        let q3 = percentile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers extend from the box to the furthest datum inside the
+        // fences; clamp to the box edges (interpolated quartiles can have
+        // no datum between them and the fence).
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0])
+            .min(q1);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(*sorted.last().unwrap())
+            .max(q3);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Some(BoxStats {
+            q1,
+            median,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+            n: data.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxStats::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value_degenerate() {
+        let b = BoxStats::compute(&[5.0]).unwrap();
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 5.0);
+        assert_eq!(b.q3, 5.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn known_quartiles() {
+        let b = BoxStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 5.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn detects_outlier() {
+        let b = BoxStats::compute(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 100.0]).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_hi < 100.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_invariants(data in proptest::collection::vec(-50f64..50.0, 1..100)) {
+            let b = BoxStats::compute(&data).unwrap();
+            prop_assert!(b.q1 <= b.median && b.median <= b.q3);
+            prop_assert!(b.whisker_lo <= b.q1 + 1e-9);
+            prop_assert!(b.whisker_hi >= b.q3 - 1e-9);
+            prop_assert_eq!(b.n, data.len());
+            // Outliers lie strictly outside the whiskers.
+            for o in &b.outliers {
+                prop_assert!(*o < b.whisker_lo || *o > b.whisker_hi);
+            }
+        }
+    }
+}

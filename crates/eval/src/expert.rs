@@ -1,0 +1,169 @@
+//! Human-expert FieldSwap configurations (paper Section III).
+//!
+//! The paper evaluates the human-expert setting on two domains, Earnings
+//! and Loan Payments. The expert:
+//!
+//! * writes down the key phrases observed in ~10 training documents, plus
+//!   phrases from domain knowledge for rare fields that may be absent from
+//!   the sample — here the generator's own phrase banks play the role of
+//!   that domain knowledge (they are exactly what an expert inspecting the
+//!   corpus would record);
+//! * excludes fields without clear key phrases (company names, corner
+//!   address blocks, signature names);
+//! * starts from type-to-type pairs and prunes those likely to live in
+//!   different tables or sections — here: table pay-items never pair with
+//!   summary singles, and `current.*` never pairs with `year_to_date.*`
+//!   (the contradictory-pair hazard of Section II-B).
+
+use fieldswap_core::{mapping, FieldSwapConfig};
+use fieldswap_datagen::Domain;
+use fieldswap_docmodel::Schema;
+
+/// Builds the expert configuration for `domain`. Supported for
+/// [`Domain::Earnings`] and [`Domain::LoanPayments`] (the two domains the
+/// paper's expert covered); other domains return `None`.
+pub fn expert_config(domain: Domain, schema: &Schema) -> Option<FieldSwapConfig> {
+    match domain {
+        Domain::Earnings | Domain::LoanPayments => {}
+        _ => return None,
+    }
+    let mut config = FieldSwapConfig::new(schema.len());
+    // The expert's phrase list: the generator phrase banks (what a human
+    // reading the corpus would observe/know), *excluding* fields without
+    // clear key phrases.
+    for (name, phrases) in domain.generator().phrase_bank() {
+        let id = schema.field_id(&name)?;
+        if phrases.is_empty() {
+            continue; // phrase-less field: excluded entirely
+        }
+        config.set_phrases(id, phrases);
+    }
+    // Extra exclusions by domain knowledge: weakly-anchored fields whose
+    // automatic phrases tend to be spurious.
+    for name in weakly_anchored(domain) {
+        if let Some(id) = schema.field_id(name) {
+            config.exclude_field(id);
+        }
+    }
+    // Pairs: type-to-type, pruned.
+    let pairs = mapping::expert_pairs(schema, &config, |s, t| {
+        keep_pair(domain, schema, s, t)
+    });
+    config.set_pairs(pairs);
+    Some(config)
+}
+
+fn weakly_anchored(domain: Domain) -> &'static [&'static str] {
+    match domain {
+        // The Earnings employee-address phrase ("Employee Address" etc.)
+        // is a real anchor; nothing further to exclude beyond the
+        // phrase-less fields.
+        Domain::Earnings => &[],
+        // Loan: `loan_type` values sit in a crowded identity block where
+        // swapped phrases produce confusing neighbors; `property_address`
+        // is the only anchored address and has no same-type partner left
+        // after exclusions.
+        Domain::LoanPayments => &["loan_type"],
+        _ => &[],
+    }
+}
+
+/// The expert's pair-pruning rule.
+fn keep_pair(domain: Domain, schema: &Schema, s: fieldswap_docmodel::FieldId, t: fieldswap_docmodel::FieldId) -> bool {
+    let sn = &schema.field(s).name;
+    let tn = &schema.field(t).name;
+    match domain {
+        Domain::Earnings | Domain::LoanPayments => {
+            let s_cur = sn.starts_with("current.");
+            let s_ytd = sn.starts_with("year_to_date.");
+            let t_cur = tn.starts_with("current.");
+            let t_ytd = tn.starts_with("year_to_date.");
+            // Never swap across the Current / Year-to-Date columns: the
+            // row phrase is shared, so the synthetic would be mislabeled
+            // (the paper's contradictory-pair example).
+            if (s_cur && t_ytd) || (s_ytd && t_cur) {
+                return false;
+            }
+            // Table pay items and summary singles live in different
+            // sections; don't pair a table field with a non-table field.
+            let s_table = s_cur || s_ytd;
+            let t_table = t_cur || t_ytd;
+            if s_table != t_table {
+                return false;
+            }
+            true
+        }
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_core::PairStrategy;
+
+    #[test]
+    fn unsupported_domains_return_none() {
+        let schema = Domain::Fara.generator().schema();
+        assert!(expert_config(Domain::Fara, &schema).is_none());
+    }
+
+    #[test]
+    fn earnings_expert_excludes_phrase_less_fields() {
+        let schema = Domain::Earnings.generator().schema();
+        let c = expert_config(Domain::Earnings, &schema).unwrap();
+        let employer = schema.field_id("employer_name").unwrap();
+        assert!(!c.has_phrases(employer));
+        assert!(c.pairs().iter().all(|&(s, t)| s != employer && t != employer));
+        // Anchored fields keep phrases.
+        let net = schema.field_id("net_pay").unwrap();
+        assert!(c.has_phrases(net));
+    }
+
+    #[test]
+    fn earnings_expert_prunes_current_vs_ytd() {
+        let schema = Domain::Earnings.generator().schema();
+        let c = expert_config(Domain::Earnings, &schema).unwrap();
+        let cur = schema.field_id("current.overtime").unwrap();
+        let ytd = schema.field_id("year_to_date.overtime").unwrap();
+        assert!(!c.pairs().contains(&(cur, ytd)));
+        assert!(!c.pairs().contains(&(ytd, cur)));
+        // Within-column cross-field pairs survive.
+        let cur_bonus = schema.field_id("current.bonus").unwrap();
+        assert!(c.pairs().contains(&(cur, cur_bonus)));
+        // Self-pairs survive.
+        assert!(c.pairs().contains(&(cur, cur)));
+    }
+
+    #[test]
+    fn earnings_expert_separates_table_from_summary() {
+        let schema = Domain::Earnings.generator().schema();
+        let c = expert_config(Domain::Earnings, &schema).unwrap();
+        let cur = schema.field_id("current.base_salary").unwrap();
+        let net = schema.field_id("net_pay").unwrap();
+        assert!(!c.pairs().contains(&(cur, net)));
+        assert!(!c.pairs().contains(&(net, cur)));
+    }
+
+    #[test]
+    fn expert_includes_rare_field_phrases() {
+        // The crucial Table IV mechanism: phrases for rare fields are
+        // available even when a 10-doc sample contains no instance.
+        let schema = Domain::Earnings.generator().schema();
+        let c = expert_config(Domain::Earnings, &schema).unwrap();
+        let sales = schema.field_id("current.sales_pay").unwrap();
+        assert!(c.has_phrases(sales));
+        assert!(c.phrases(sales).iter().any(|p| p.contains("sales")));
+    }
+
+    #[test]
+    fn loan_expert_smaller_than_type_to_type() {
+        let schema = Domain::LoanPayments.generator().schema();
+        let c = expert_config(Domain::LoanPayments, &schema).unwrap();
+        // Build the unpruned type-to-type pair list over the same phrases.
+        let mut auto = c.clone();
+        auto.set_pairs(PairStrategy::TypeToType.build(&schema, &auto));
+        assert!(c.pairs().len() < auto.pairs().len());
+        assert!(!c.pairs().is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # fieldswap-eval
+//!
+//! The evaluation harness reproducing the paper's experimental protocol
+//! (Section IV):
+//!
+//! * **Metrics** ([`metrics`]) — per-field precision/recall/F1 under exact
+//!   span matching, plus macro- and micro-averaged F1.
+//! * **Human expert** ([`expert`]) — curated FieldSwap configurations for
+//!   the Earnings and Loan Payments domains: oracle key phrases (including
+//!   phrases for rare fields absent from small training samples),
+//!   exclusion of phrase-less fields, and pruned type-to-type pairs
+//!   (Section III).
+//! * **Runner** ([`runner`]) — one experiment = (domain, train size, arm,
+//!   sample seed, trial seed): sample N documents from the pool, infer or
+//!   load key phrases, build pairs, augment, train the backbone, evaluate
+//!   on the fixed hold-out test set. The protocol layer repeats each point
+//!   over 3 document samples x 3 training trials and averages (Section
+//!   IV-B, "Evaluation").
+//! * **Box-plot statistics** ([`boxplot`]) — quartiles, 1.5-IQR whiskers,
+//!   and outliers for the per-field delta analysis of Fig. 6.
+
+pub mod boxplot;
+pub mod expert;
+pub mod metrics;
+pub mod runner;
+
+pub use boxplot::BoxStats;
+pub use expert::expert_config;
+pub use metrics::{evaluate, EvalResult, FieldScore};
+pub use runner::{Arm, ExperimentResult, Harness, HarnessOptions, PointSummary};

@@ -1,0 +1,270 @@
+//! End-to-end extraction metrics: per-field precision/recall/F1 under
+//! exact span matching, macro-F1 (mean over fields with test support —
+//! the paper's headline metric, sensitive to rare fields), and micro-F1
+//! (instance-weighted).
+
+use fieldswap_docmodel::{Corpus, EntitySpan, FieldId};
+use fieldswap_extract::Extractor;
+use serde::{Deserialize, Serialize};
+
+/// Counts and scores for one field.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FieldScore {
+    /// Exact-match true positives.
+    pub tp: usize,
+    /// Predicted spans with no exact gold match.
+    pub fp: usize,
+    /// Gold spans with no exact predicted match.
+    pub fn_: usize,
+}
+
+impl FieldScore {
+    /// Precision in `[0, 1]`; 0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall in `[0, 1]`; 0 when there is no gold.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 in `[0, 1]`.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Gold support (number of gold instances).
+    pub fn support(&self) -> usize {
+        self.tp + self.fn_
+    }
+}
+
+/// Aggregated evaluation over a test corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Per-field counts, indexed by field id.
+    pub fields: Vec<FieldScore>,
+}
+
+impl EvalResult {
+    /// Macro-F1 in points (0–100): the unweighted mean F1 over fields
+    /// with gold support in the test set.
+    pub fn macro_f1(&self) -> f64 {
+        let supported: Vec<&FieldScore> =
+            self.fields.iter().filter(|f| f.support() > 0).collect();
+        if supported.is_empty() {
+            return 0.0;
+        }
+        100.0 * supported.iter().map(|f| f.f1()).sum::<f64>() / supported.len() as f64
+    }
+
+    /// Micro-F1 in points (0–100): F1 of the pooled counts.
+    pub fn micro_f1(&self) -> f64 {
+        let total = self.fields.iter().fold(FieldScore::default(), |a, f| FieldScore {
+            tp: a.tp + f.tp,
+            fp: a.fp + f.fp,
+            fn_: a.fn_ + f.fn_,
+        });
+        100.0 * total.f1()
+    }
+
+    /// Per-field F1 in points, `None` for fields without test support.
+    pub fn per_field_f1(&self) -> Vec<Option<f64>> {
+        self.fields
+            .iter()
+            .map(|f| {
+                if f.support() > 0 {
+                    Some(100.0 * f.f1())
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+/// Scores `predictions` against `gold` for a document, updating `fields`.
+pub fn score_document(
+    gold: &[EntitySpan],
+    predictions: &[EntitySpan],
+    fields: &mut [FieldScore],
+) {
+    for p in predictions {
+        if gold.contains(p) {
+            fields[p.field as usize].tp += 1;
+        } else {
+            fields[p.field as usize].fp += 1;
+        }
+    }
+    for g in gold {
+        if !predictions.contains(g) {
+            fields[g.field as usize].fn_ += 1;
+        }
+    }
+}
+
+/// Evaluates a trained extractor end-to-end on `test`.
+pub fn evaluate(extractor: &Extractor, test: &Corpus) -> EvalResult {
+    let mut fields = vec![FieldScore::default(); test.schema.len()];
+    for doc in &test.documents {
+        let pred = extractor.predict(doc);
+        score_document(&doc.annotations, &pred, &mut fields);
+    }
+    EvalResult { fields }
+}
+
+/// Evaluates a fixed prediction function (used by tests and ablations).
+pub fn evaluate_with<F>(test: &Corpus, mut predict: F) -> EvalResult
+where
+    F: FnMut(&fieldswap_docmodel::Document) -> Vec<EntitySpan>,
+{
+    let mut fields = vec![FieldScore::default(); test.schema.len()];
+    for doc in &test.documents {
+        let pred = predict(doc);
+        score_document(&doc.annotations, &pred, &mut fields);
+    }
+    EvalResult { fields }
+}
+
+/// Mean of a sample, `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Which field ids have gold support anywhere in the corpus.
+pub fn supported_fields(corpus: &Corpus) -> Vec<FieldId> {
+    let mut out = Vec::new();
+    for (id, _) in corpus.schema.iter() {
+        if corpus.documents.iter().any(|d| d.has_field(id)) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_score_math() {
+        let s = FieldScore { tp: 3, fp: 1, fn_: 2 };
+        assert!((s.precision() - 0.75).abs() < 1e-12);
+        assert!((s.recall() - 0.6).abs() < 1e-12);
+        let f1 = 2.0 * 0.75 * 0.6 / 1.35;
+        assert!((s.f1() - f1).abs() < 1e-12);
+        assert_eq!(s.support(), 5);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let s = FieldScore::default();
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn score_document_counts() {
+        let gold = vec![EntitySpan::new(0, 0, 2), EntitySpan::new(1, 3, 4)];
+        let pred = vec![EntitySpan::new(0, 0, 2), EntitySpan::new(1, 5, 6)];
+        let mut fields = vec![FieldScore::default(); 2];
+        score_document(&gold, &pred, &mut fields);
+        assert_eq!(fields[0], FieldScore { tp: 1, fp: 0, fn_: 0 });
+        assert_eq!(fields[1], FieldScore { tp: 0, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn near_miss_is_both_fp_and_fn() {
+        // Span boundary off by one: penalized on both sides (exact match).
+        let gold = vec![EntitySpan::new(0, 0, 3)];
+        let pred = vec![EntitySpan::new(0, 0, 2)];
+        let mut fields = vec![FieldScore::default(); 1];
+        score_document(&gold, &pred, &mut fields);
+        assert_eq!(fields[0], FieldScore { tp: 0, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn macro_ignores_unsupported_fields() {
+        let r = EvalResult {
+            fields: vec![
+                FieldScore { tp: 1, fp: 0, fn_: 0 }, // F1 = 1
+                FieldScore::default(),               // no support
+                FieldScore { tp: 0, fp: 0, fn_: 1 }, // F1 = 0
+            ],
+        };
+        assert!((r.macro_f1() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micro_pools_counts() {
+        let r = EvalResult {
+            fields: vec![
+                FieldScore { tp: 8, fp: 2, fn_: 0 },
+                FieldScore { tp: 0, fp: 0, fn_: 10 },
+            ],
+        };
+        // p = 8/10, r = 8/18.
+        let p: f64 = 0.8;
+        let rc: f64 = 8.0 / 18.0;
+        let f1 = 100.0 * 2.0 * p * rc / (p + rc);
+        assert!((r.micro_f1() - f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn macro_rewards_rare_fields_more_than_micro() {
+        // A rare field improving lifts macro more than micro — the
+        // paper's rationale for reporting macro (Section IV-C1).
+        let before = EvalResult {
+            fields: vec![
+                FieldScore { tp: 90, fp: 5, fn_: 5 }, // frequent, good
+                FieldScore { tp: 0, fp: 0, fn_: 2 },  // rare, broken
+            ],
+        };
+        let after = EvalResult {
+            fields: vec![
+                FieldScore { tp: 90, fp: 5, fn_: 5 },
+                FieldScore { tp: 2, fp: 0, fn_: 0 }, // rare fixed
+            ],
+        };
+        let macro_gain = after.macro_f1() - before.macro_f1();
+        let micro_gain = after.micro_f1() - before.micro_f1();
+        assert!(macro_gain > micro_gain);
+        assert!(macro_gain > 40.0);
+    }
+
+    #[test]
+    fn per_field_f1_reports_option() {
+        let r = EvalResult {
+            fields: vec![FieldScore { tp: 1, fp: 0, fn_: 0 }, FieldScore::default()],
+        };
+        let per = r.per_field_f1();
+        assert_eq!(per[0], Some(100.0));
+        assert_eq!(per[1], None);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+}

@@ -1,0 +1,477 @@
+//! The experiment runner: the paper's protocol (Section IV-B) end to end.
+//!
+//! One *experiment* is `(domain, train size, arm, sample, trial)`:
+//!
+//! 1. sample `N` documents from the domain's training pool (3 different
+//!    samples per point);
+//! 2. obtain a FieldSwap configuration — inferred automatically from the
+//!    sample via the pre-trained importance model, or supplied by the
+//!    human expert;
+//! 3. augment the sample with FieldSwap;
+//! 4. train the sequence-labeling backbone on originals + synthetics
+//!    (3 training trials per sample, varying only the training seed; both
+//!    arms get the same per-epoch document budget — the "same training
+//!    time" control);
+//! 5. evaluate end-to-end on the fixed hold-out test set.
+//!
+//! Shared state — the importance model pre-trained on out-of-domain
+//! invoices, the unsupervised lexicon, the per-domain pools/test sets, and
+//! the per-(domain, size, sample) inferred phrase cache — lives in
+//! [`Harness`].
+
+use crate::expert::expert_config;
+use crate::metrics::{evaluate, EvalResult};
+use fieldswap_core::{augment_corpus, FieldSwapConfig, PairStrategy};
+use fieldswap_datagen::{generate, Domain};
+use fieldswap_docmodel::Corpus;
+use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
+use fieldswap_keyphrase::{infer_key_phrases, ImportanceModel, InferenceConfig, ModelConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The experimental arms of Fig. 4 / Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arm {
+    /// No augmentation.
+    Baseline,
+    /// FieldSwap with automatically inferred phrases, field-to-field.
+    AutoFieldToField,
+    /// FieldSwap with automatically inferred phrases, type-to-type.
+    AutoTypeToType,
+    /// FieldSwap with automatically inferred phrases, all-to-all (the
+    /// ablation the paper reports as "nearly always worse").
+    AutoAllToAll,
+    /// FieldSwap with the human-expert configuration (Earnings and Loan
+    /// Payments only).
+    HumanExpert,
+    /// Extension (paper Section VI): phrases derived from field *names*
+    /// by the simulated-LLM expander — zero annotations needed.
+    NameDerived,
+    /// Extension (paper Section II-C): type-to-type FieldSwap with the
+    /// value-swap post-pass — relabeled instances receive values sampled
+    /// from the target field's observed values.
+    TypeToTypeValueSwap,
+}
+
+impl Arm {
+    /// Label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Arm::Baseline => "baseline",
+            Arm::AutoFieldToField => "fieldswap (field-to-field)",
+            Arm::AutoTypeToType => "fieldswap (type-to-type)",
+            Arm::AutoAllToAll => "fieldswap (all-to-all)",
+            Arm::HumanExpert => "fieldswap (human expert)",
+            Arm::NameDerived => "fieldswap (name-derived phrases)",
+            Arm::TypeToTypeValueSwap => "fieldswap (t2t + value swap)",
+        }
+    }
+}
+
+/// Harness-level knobs. `quick()` trades protocol fidelity for wall-clock
+/// time; `full()` follows the paper's 3x3 protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOptions {
+    /// Document samples per (domain, size) point (paper: 3).
+    pub n_samples: usize,
+    /// Training trials per sample (paper: 3).
+    pub n_trials: usize,
+    /// Size of the invoice corpus used to pre-train the importance model.
+    pub pretrain_docs: usize,
+    /// Size of the unlabeled corpus for the lexicon pass.
+    pub lexicon_docs: usize,
+    /// Neighbors per candidate in the importance model (paper: 100).
+    pub neighbors: usize,
+    /// Cap on test-set size (0 = the full Table I test set).
+    pub test_cap: usize,
+    /// Backbone training epochs.
+    pub epochs: usize,
+    /// Synthetic documents per original per epoch (the baseline repeats
+    /// originals to match total updates).
+    pub synth_ratio: f32,
+    /// Cap on synthetic documents fed to training (0 = no cap); the
+    /// per-epoch budget already equalizes exposure, this only bounds
+    /// feature-extraction memory.
+    pub synthetic_cap: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl HarnessOptions {
+    /// The paper's protocol: 3 samples x 3 trials, full test sets.
+    pub fn full() -> Self {
+        Self {
+            n_samples: 3,
+            n_trials: 3,
+            pretrain_docs: 400,
+            lexicon_docs: 1000,
+            neighbors: 100,
+            test_cap: 0,
+            epochs: 8,
+            synth_ratio: 2.0,
+            synthetic_cap: 4000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A reduced 1x1 protocol for smoke runs and benches.
+    pub fn quick() -> Self {
+        Self {
+            n_samples: 1,
+            n_trials: 1,
+            pretrain_docs: 80,
+            lexicon_docs: 200,
+            neighbors: 24,
+            test_cap: 120,
+            epochs: 5,
+            synth_ratio: 2.0,
+            synthetic_cap: 1500,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The outcome of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Macro-F1 in points on the hold-out test set.
+    pub macro_f1: f64,
+    /// Micro-F1 in points.
+    pub micro_f1: f64,
+    /// Per-field F1 in points (`None` where the test set has no gold).
+    pub per_field_f1: Vec<Option<f64>>,
+    /// Synthetic documents generated by FieldSwap for this run.
+    pub n_synthetics: usize,
+    /// Training sample size (original documents).
+    pub n_train_docs: usize,
+}
+
+/// Mean macro/micro-F1 over the protocol's repeated runs at one point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointSummary {
+    /// Domain name (paper spelling).
+    pub domain: String,
+    /// Training set size.
+    pub size: usize,
+    /// Arm label.
+    pub arm: String,
+    /// Mean macro-F1 over all runs.
+    pub macro_f1: f64,
+    /// Mean micro-F1 over all runs.
+    pub micro_f1: f64,
+    /// Mean number of synthetic documents.
+    pub synthetics: f64,
+    /// All individual runs.
+    pub runs: Vec<ExperimentResult>,
+}
+
+/// Shared experiment state. Create one and reuse it for a whole sweep —
+/// pre-training and corpus generation happen once.
+pub struct Harness {
+    opts: HarnessOptions,
+    importance: ImportanceModel,
+    lexicon: Lexicon,
+    /// (pool, test) per domain.
+    data: HashMap<Domain, (Corpus, Corpus)>,
+    /// Inferred phrase configs per (domain, size, sample).
+    phrase_cache: HashMap<(Domain, usize, usize), FieldSwapConfig>,
+}
+
+impl Harness {
+    /// Builds the harness: generates the invoice pre-training corpus,
+    /// trains the importance model, and runs the unsupervised lexicon
+    /// pass (all out-of-domain, per Section IV-B).
+    pub fn new(opts: HarnessOptions) -> Self {
+        let pretrain = generate(Domain::Invoices, opts.seed ^ 0xABCD, opts.pretrain_docs);
+        let model_cfg = ModelConfig {
+            neighbors: opts.neighbors,
+            epochs: 2,
+            ..ModelConfig::default()
+        };
+        let mut importance = ImportanceModel::new(model_cfg, pretrain.schema.len(), opts.seed);
+        importance.train(&pretrain, opts.seed ^ 0xF00D);
+        let lexicon_corpus = generate(Domain::Invoices, opts.seed ^ 0x1E81C0, opts.lexicon_docs);
+        let lexicon = Lexicon::pretrain(&lexicon_corpus.documents);
+        Self {
+            opts,
+            importance,
+            lexicon,
+            data: HashMap::new(),
+            phrase_cache: HashMap::new(),
+        }
+    }
+
+    /// The harness options.
+    pub fn options(&self) -> &HarnessOptions {
+        &self.opts
+    }
+
+    /// The (pool, test) corpora for a domain, generated on first use at
+    /// the paper's Table I sizes (test capped per options).
+    pub fn domain_data(&mut self, domain: Domain) -> &(Corpus, Corpus) {
+        let opts = self.opts;
+        self.data.entry(domain).or_insert_with(|| {
+            let (pool, mut test) = fieldswap_datagen::generate_paper_splits(domain, opts.seed);
+            if opts.test_cap > 0 && test.len() > opts.test_cap {
+                test.documents.truncate(opts.test_cap);
+            }
+            (pool, test)
+        })
+    }
+
+    /// The training sample for `(domain, size, sample_idx)`: a seeded
+    /// random subset of the pool.
+    pub fn sample(&mut self, domain: Domain, size: usize, sample_idx: usize) -> Corpus {
+        let seed = self
+            .opts
+            .seed
+            .wrapping_mul(31)
+            .wrapping_add((domain as u64) << 24)
+            .wrapping_add((size as u64) << 8)
+            .wrapping_add(sample_idx as u64);
+        let (pool, _) = self.domain_data(domain);
+        let mut indices: Vec<usize> = (0..pool.len()).collect();
+        indices.shuffle(&mut StdRng::seed_from_u64(seed));
+        indices.truncate(size.min(pool.len()));
+        pool.subset(&indices)
+    }
+
+    /// Automatically inferred key phrases for a sample (cached across
+    /// arms and trials; the paper infers once per training set).
+    fn inferred_phrases(&mut self, domain: Domain, size: usize, sample_idx: usize) -> FieldSwapConfig {
+        if let Some(c) = self.phrase_cache.get(&(domain, size, sample_idx)) {
+            return c.clone();
+        }
+        let sample = self.sample(domain, size, sample_idx);
+        let ranked = infer_key_phrases(&self.importance, &sample, &InferenceConfig::default());
+        let config = fieldswap_keyphrase::pipeline::to_fieldswap_config(&ranked);
+        self.phrase_cache
+            .insert((domain, size, sample_idx), config.clone());
+        config
+    }
+
+    /// The FieldSwap configuration for an arm, or `None` for the baseline
+    /// (and for the expert arm on unsupported domains).
+    pub fn arm_config(
+        &mut self,
+        domain: Domain,
+        size: usize,
+        sample_idx: usize,
+        arm: Arm,
+    ) -> Option<FieldSwapConfig> {
+        let schema = self.domain_data(domain).0.schema.clone();
+        match arm {
+            Arm::Baseline => None,
+            Arm::HumanExpert => expert_config(domain, &schema),
+            Arm::NameDerived => {
+                let mut config = fieldswap_keyphrase::config_from_schema(&schema);
+                config.set_pairs(PairStrategy::TypeToType.build(&schema, &config));
+                Some(config)
+            }
+            Arm::AutoFieldToField
+            | Arm::AutoTypeToType
+            | Arm::AutoAllToAll
+            | Arm::TypeToTypeValueSwap => {
+                let mut config = self.inferred_phrases(domain, size, sample_idx);
+                let strategy = match arm {
+                    Arm::AutoFieldToField => PairStrategy::FieldToField,
+                    Arm::AutoAllToAll => PairStrategy::AllToAll,
+                    _ => PairStrategy::TypeToType,
+                };
+                config.set_pairs(strategy.build(&schema, &config));
+                Some(config)
+            }
+        }
+    }
+
+    /// Runs one experiment.
+    pub fn run_single(
+        &mut self,
+        domain: Domain,
+        size: usize,
+        arm: Arm,
+        sample_idx: usize,
+        trial_idx: usize,
+    ) -> ExperimentResult {
+        let sample = self.sample(domain, size, sample_idx);
+        let config = self.arm_config(domain, size, sample_idx, arm);
+        let (mut synthetics, _stats) = match &config {
+            Some(c) => augment_corpus(&sample, c),
+            None => (Vec::new(), Default::default()),
+        };
+        if arm == Arm::TypeToTypeValueSwap {
+            // The Section II-C extension: give relabeled instances values
+            // drawn from their new field's observed value bank.
+            let bank = fieldswap_core::ValueBank::collect(&sample);
+            synthetics = synthetics
+                .iter()
+                .enumerate()
+                .map(|(k, s)| {
+                    fieldswap_core::apply_value_swap_all(s, &bank, self.opts.seed ^ k as u64)
+                })
+                .collect();
+        }
+        if self.opts.synthetic_cap > 0 && synthetics.len() > self.opts.synthetic_cap {
+            let mut rng = StdRng::seed_from_u64(self.opts.seed ^ 0xCA9);
+            synthetics.shuffle(&mut rng);
+            synthetics.truncate(self.opts.synthetic_cap);
+        }
+        let n_synthetics = synthetics.len();
+        let train_cfg = TrainConfig {
+            epochs: self.opts.epochs,
+            synth_ratio: self.opts.synth_ratio,
+            seed: self
+                .opts
+                .seed
+                .wrapping_add(trial_idx as u64)
+                .wrapping_add((sample_idx as u64) << 32),
+        };
+        let schema = sample.schema.clone();
+        let extractor = Extractor::train_on(
+            &schema,
+            self.lexicon.clone(),
+            &sample,
+            &synthetics,
+            &train_cfg,
+        );
+        let test = &self.domain_data(domain).1;
+        let eval: EvalResult = evaluate(&extractor, test);
+        ExperimentResult {
+            macro_f1: eval.macro_f1(),
+            micro_f1: eval.micro_f1(),
+            per_field_f1: eval.per_field_f1(),
+            n_synthetics,
+            n_train_docs: size,
+        }
+    }
+
+    /// Runs the full protocol for one `(domain, size, arm)` point:
+    /// `n_samples x n_trials` experiments, averaged.
+    pub fn run_point(&mut self, domain: Domain, size: usize, arm: Arm) -> PointSummary {
+        let mut runs = Vec::new();
+        for sample_idx in 0..self.opts.n_samples {
+            for trial_idx in 0..self.opts.n_trials {
+                runs.push(self.run_single(domain, size, arm, sample_idx, trial_idx));
+            }
+        }
+        let n = runs.len() as f64;
+        PointSummary {
+            domain: domain.name().to_string(),
+            size,
+            arm: arm.label().to_string(),
+            macro_f1: runs.iter().map(|r| r.macro_f1).sum::<f64>() / n,
+            micro_f1: runs.iter().map(|r| r.micro_f1).sum::<f64>() / n,
+            synthetics: runs.iter().map(|r| r.n_synthetics as f64).sum::<f64>() / n,
+            runs,
+        }
+    }
+
+    /// Counts synthetic documents for one point without training — the
+    /// Table III measurement (averaged over samples).
+    pub fn count_synthetics(&mut self, domain: Domain, size: usize, arm: Arm) -> f64 {
+        let mut total = 0usize;
+        let n = self.opts.n_samples;
+        for sample_idx in 0..n {
+            let sample = self.sample(domain, size, sample_idx);
+            if let Some(c) = self.arm_config(domain, size, sample_idx, arm) {
+                let (synths, _) = augment_corpus(&sample, &c);
+                total += synths.len();
+            }
+        }
+        total as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> HarnessOptions {
+        HarnessOptions {
+            n_samples: 1,
+            n_trials: 1,
+            pretrain_docs: 30,
+            lexicon_docs: 50,
+            neighbors: 12,
+            test_cap: 40,
+            epochs: 3,
+            synth_ratio: 2.0,
+            synthetic_cap: 300,
+            seed: 0x7E57,
+        }
+    }
+
+    #[test]
+    fn baseline_experiment_runs() {
+        let mut h = Harness::new(tiny_options());
+        let r = h.run_single(Domain::Fara, 10, Arm::Baseline, 0, 0);
+        assert_eq!(r.n_synthetics, 0);
+        assert_eq!(r.n_train_docs, 10);
+        assert!(r.macro_f1 >= 0.0 && r.macro_f1 <= 100.0);
+        assert!(r.micro_f1 >= 0.0 && r.micro_f1 <= 100.0);
+    }
+
+    #[test]
+    fn augmented_arm_generates_synthetics() {
+        let mut h = Harness::new(tiny_options());
+        let r = h.run_single(Domain::Earnings, 10, Arm::HumanExpert, 0, 0);
+        assert!(r.n_synthetics > 0, "expert arm produced no synthetics");
+    }
+
+    #[test]
+    fn type_to_type_produces_more_than_field_to_field() {
+        let mut h = Harness::new(tiny_options());
+        let f2f = h.count_synthetics(Domain::Earnings, 20, Arm::AutoFieldToField);
+        let t2t = h.count_synthetics(Domain::Earnings, 20, Arm::AutoTypeToType);
+        assert!(
+            t2t > f2f,
+            "t2t ({t2t}) should generate more synthetics than f2f ({f2f})"
+        );
+    }
+
+    #[test]
+    fn samples_are_deterministic_and_distinct() {
+        let mut h = Harness::new(tiny_options());
+        let a = h.sample(Domain::Fara, 10, 0);
+        let b = h.sample(Domain::Fara, 10, 0);
+        let c = h.sample(Domain::Fara, 10, 1);
+        assert_eq!(a.documents, b.documents);
+        assert_ne!(a.documents, c.documents);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn expert_arm_unsupported_domain_falls_back_to_none() {
+        let mut h = Harness::new(tiny_options());
+        assert!(h.arm_config(Domain::Fara, 10, 0, Arm::HumanExpert).is_none());
+        assert!(h.arm_config(Domain::Fara, 10, 0, Arm::Baseline).is_none());
+    }
+
+    #[test]
+    fn phrase_cache_hits() {
+        let mut h = Harness::new(tiny_options());
+        let a = h.arm_config(Domain::Fara, 10, 0, Arm::AutoTypeToType);
+        let b = h.arm_config(Domain::Fara, 10, 0, Arm::AutoFieldToField);
+        // Same inferred phrases behind both arms.
+        let (a, b) = (a.unwrap(), b.unwrap());
+        for f in 0..a.n_fields() {
+            assert_eq!(a.phrases(f as u16), b.phrases(f as u16));
+        }
+        assert_eq!(h.phrase_cache.len(), 1);
+    }
+
+    #[test]
+    fn run_point_averages_runs() {
+        let mut opts = tiny_options();
+        opts.n_trials = 2;
+        let mut h = Harness::new(opts);
+        let p = h.run_point(Domain::Fara, 10, Arm::Baseline);
+        assert_eq!(p.runs.len(), 2);
+        let mean = (p.runs[0].macro_f1 + p.runs[1].macro_f1) / 2.0;
+        assert!((p.macro_f1 - mean).abs() < 1e-9);
+        assert_eq!(p.domain, "FARA");
+    }
+}

@@ -1,0 +1,330 @@
+//! Per-token feature extraction for the sequence labeler.
+//!
+//! Features are hashed into `u64` ids; the model maps `(feature, tag)`
+//! pairs into its weight table. The extractor pre-computes document-level
+//! structure (line membership, left-neighbor chains, vertical alignment)
+//! once, then emits each token's features.
+
+use crate::lexicon::Lexicon;
+use fieldswap_docmodel::{BaseType, Document};
+use fieldswap_ocr::candidate_matches_type;
+
+/// Bitmask of base types a token could plausibly belong to. Used to gate
+/// the tag space per token: a word is never a money amount.
+pub fn type_gate(text: &str) -> u8 {
+    let mut mask = 0u8;
+    // Address and String fields mix arbitrary tokens; always allowed.
+    mask |= 1 << BaseType::Address as u8;
+    mask |= 1 << BaseType::String as u8;
+    let numeric_ish = text.chars().any(|c| c.is_ascii_digit());
+    if candidate_matches_type(text, BaseType::Money) {
+        mask |= 1 << BaseType::Money as u8;
+    }
+    if candidate_matches_type(text, BaseType::Date) || numeric_ish {
+        mask |= 1 << BaseType::Date as u8;
+    }
+    if numeric_ish {
+        mask |= 1 << BaseType::Number as u8;
+        // Bare numbers also appear inside money columns without symbols.
+        mask |= 1 << BaseType::Money as u8;
+    }
+    mask
+}
+
+/// Whether the gate `mask` admits `ty`.
+pub fn gate_allows(mask: u8, ty: BaseType) -> bool {
+    mask & (1 << ty as u8) != 0
+}
+
+fn fnv1a(s: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+fn feat(kind: u8, payload: &str) -> u64 {
+    let mut buf = Vec::with_capacity(payload.len() + 1);
+    buf.push(kind);
+    buf.extend_from_slice(payload.as_bytes());
+    fnv1a(&buf)
+}
+
+fn norm(text: &str) -> String {
+    text.trim_matches(|c: char| c.is_ascii_punctuation())
+        .to_lowercase()
+}
+
+fn shape(text: &str) -> String {
+    let mut out = String::new();
+    let mut last = '\0';
+    for c in text.chars() {
+        let s = if c.is_ascii_uppercase() {
+            'X'
+        } else if c.is_ascii_lowercase() {
+            'x'
+        } else if c.is_ascii_digit() {
+            '9'
+        } else {
+            c
+        };
+        if s != last {
+            out.push(s);
+            last = s;
+        }
+    }
+    out
+}
+
+/// Pre-computed document structure + per-token feature lists.
+pub struct DocFeatures {
+    /// `features[t]` — hashed feature ids for token `t`.
+    pub features: Vec<Vec<u64>>,
+    /// `gates[t]` — base-type bitmask for token `t`.
+    pub gates: Vec<u8>,
+}
+
+/// Extracts features for every token of `doc`.
+pub fn extract(doc: &Document, lexicon: &Lexicon) -> DocFeatures {
+    let n = doc.tokens.len();
+    // line_of[t] and position within line.
+    let mut line_of = vec![usize::MAX; n];
+    let mut pos_in_line = vec![0usize; n];
+    for (li, line) in doc.lines.iter().enumerate() {
+        for (pi, &t) in line.tokens.iter().enumerate() {
+            line_of[t as usize] = li;
+            pos_in_line[t as usize] = pi;
+        }
+    }
+    // Nearest token vertically above each token (same column band).
+    let above = compute_above(doc);
+
+    let mut features = Vec::with_capacity(n);
+    let mut gates = Vec::with_capacity(n);
+    for t in 0..n {
+        let tok = &doc.tokens[t];
+        let text = tok.text.as_str();
+        let lower = norm(text);
+        let mut fs: Vec<u64> = Vec::with_capacity(28);
+        fs.push(feat(0, "bias"));
+        fs.push(feat(1, &lower));
+        fs.push(feat(2, &shape(text)));
+        // Affixes.
+        if lower.len() >= 3 {
+            fs.push(feat(3, &lower[..3]));
+            fs.push(feat(4, &lower[lower.len() - 3..]));
+        }
+        // Value-type flags.
+        let gate = type_gate(text);
+        fs.push(feat(5, &format!("gate{gate}")));
+        // DF bucket from unsupervised pre-training.
+        fs.push(feat(6, &format!("df{}", lexicon.df_bucket(text))));
+
+        // Same-line left context: the 3 nearest tokens to the left, plus
+        // their joined text (the key-phrase anchor for kv rows).
+        if line_of[t] != usize::MAX {
+            let line = &doc.lines[line_of[t]];
+            let p = pos_in_line[t];
+            let mut left_words: Vec<String> = Vec::new();
+            for k in 1..=3usize {
+                if p >= k {
+                    let lt = line.tokens[p - k] as usize;
+                    let w = norm(&doc.tokens[lt].text);
+                    fs.push(feat(7 + k as u8, &w));
+                    left_words.push(w);
+                }
+            }
+            if !left_words.is_empty() {
+                left_words.reverse();
+                fs.push(feat(11, &left_words.join(" ")));
+                // Conjunction with the left phrase's DF bucket: phrase-like
+                // left context is a strong anchor.
+                let df = lexicon.df_bucket(&left_words[left_words.len() - 1]);
+                fs.push(feat(12, &format!("{}|df{df}", left_words.join(" "))));
+            }
+            // Right neighbor on the line (values left of their labels in
+            // some layouts).
+            if p + 1 < line.tokens.len() {
+                let rt = line.tokens[p + 1] as usize;
+                fs.push(feat(13, &norm(&doc.tokens[rt].text)));
+            }
+            // First token of the line (the row label in tables).
+            let first = line.tokens[0] as usize;
+            if first != t {
+                fs.push(feat(14, &norm(&doc.tokens[first].text)));
+                // Row label + column bucket: the feature that reads a
+                // table cell as (row phrase, column).
+                let col = (tok.bbox.center().x / 125.0) as usize;
+                fs.push(feat(15, &format!("{}|c{col}", norm(&doc.tokens[first].text))));
+                // Row label bigram (e.g. "base salary").
+                if line.tokens.len() > 1 && line.tokens[1] as usize != t {
+                    let second = norm(&doc.tokens[line.tokens[1] as usize].text);
+                    fs.push(feat(
+                        22,
+                        &format!("{} {}", norm(&doc.tokens[first].text), second),
+                    ));
+                }
+            }
+            // Line length bucket.
+            fs.push(feat(16, &format!("ll{}", line.tokens.len().min(8))));
+        }
+
+        // Vertically-above context (stacked label/value layouts and table
+        // column headers).
+        if let Some(a) = above[t] {
+            fs.push(feat(17, &norm(&doc.tokens[a as usize].text)));
+            // Above + its left neighbor (two-word stacked labels).
+            if line_of[a as usize] != usize::MAX {
+                let aline = &doc.lines[line_of[a as usize]];
+                let ap = pos_in_line[a as usize];
+                if ap >= 1 {
+                    let prev = norm(&doc.tokens[aline.tokens[ap - 1] as usize].text);
+                    fs.push(feat(
+                        18,
+                        &format!("{} {}", prev, norm(&doc.tokens[a as usize].text)),
+                    ));
+                }
+            }
+        }
+
+        // Absolute layout: page-grid cell and line index bucket — the
+        // memorization-prone features FieldSwap regularizes.
+        let c = tok.bbox.center();
+        let gx = (c.x / 125.0) as usize;
+        let gy = (c.y / 100.0) as usize;
+        fs.push(feat(19, &format!("g{gx}-{gy}")));
+        if line_of[t] != usize::MAX {
+            fs.push(feat(20, &format!("li{}", line_of[t].min(30))));
+        }
+        fs.push(feat(21, &format!("x{gx}")));
+
+        features.push(fs);
+        gates.push(gate);
+    }
+    DocFeatures { features, gates }
+}
+
+/// For each token, the nearest token strictly above it whose x-extent
+/// overlaps (a column-aligned predecessor).
+fn compute_above(doc: &Document) -> Vec<Option<u32>> {
+    let n = doc.tokens.len();
+    let mut above: Vec<Option<u32>> = vec![None; n];
+    // Scan all pairs: O(n^2) worst case but documents are a few hundred
+    // tokens.
+    for (t, slot) in above.iter_mut().enumerate() {
+        let tb = &doc.tokens[t].bbox;
+        let mut best: Option<(f32, u32)> = None;
+        for o in 0..n {
+            if o == t {
+                continue;
+            }
+            let ob = &doc.tokens[o].bbox;
+            // Strictly above with horizontal overlap.
+            if ob.y1 <= tb.y0 && ob.x0 < tb.x1 && tb.x0 < ob.x1 {
+                let dy = tb.y0 - ob.y1;
+                if best.is_none_or(|(bd, _)| dy < bd) {
+                    best = Some((dy, o as u32));
+                }
+            }
+        }
+        *slot = best.map(|(_, o)| o);
+    }
+    above
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{BBox, DocumentBuilder, Token};
+
+    fn doc(rows: &[&str]) -> Document {
+        let mut b = DocumentBuilder::new("t");
+        for (r, row) in rows.iter().enumerate() {
+            let mut x = 10.0;
+            for w in row.split_whitespace() {
+                let width = 8.0 * w.len() as f32;
+                b.push_token(Token::new(
+                    w,
+                    BBox::new(x, 30.0 * r as f32, x + width, 30.0 * r as f32 + 12.0),
+                ));
+                x += width + 5.0;
+            }
+        }
+        let mut d = b.build();
+        fieldswap_ocr::detect_lines(&mut d);
+        d
+    }
+
+    #[test]
+    fn gate_masks() {
+        assert!(gate_allows(type_gate("$5.00"), BaseType::Money));
+        assert!(!gate_allows(type_gate("Amount"), BaseType::Money));
+        assert!(gate_allows(type_gate("Amount"), BaseType::String));
+        assert!(gate_allows(type_gate("Amount"), BaseType::Address));
+        assert!(gate_allows(type_gate("01/02/2024"), BaseType::Date));
+        assert!(gate_allows(type_gate("42"), BaseType::Number));
+        assert!(!gate_allows(type_gate("word"), BaseType::Number));
+    }
+
+    #[test]
+    fn features_nonempty_for_all_tokens() {
+        let d = doc(&["Amount Due $5.00", "Date 01/02/2024"]);
+        let f = extract(&d, &Lexicon::empty());
+        assert_eq!(f.features.len(), d.tokens.len());
+        assert!(f.features.iter().all(|fs| fs.len() >= 6));
+    }
+
+    #[test]
+    fn left_context_features_differ_by_anchor() {
+        // Same value token, different left phrases -> different feature
+        // sets (this is what key-phrase swapping changes).
+        let d1 = doc(&["Base Salary $5.00"]);
+        let d2 = doc(&["Overtime Pay $5.00"]);
+        let f1 = &extract(&d1, &Lexicon::empty()).features[2];
+        let f2 = &extract(&d2, &Lexicon::empty()).features[2];
+        assert_ne!(f1, f2);
+        // But the lexical features of the token itself are shared.
+        let shared: Vec<_> = f1.iter().filter(|x| f2.contains(x)).collect();
+        assert!(!shared.is_empty());
+    }
+
+    #[test]
+    fn above_feature_links_stacked_label() {
+        let d = doc(&["Invoice Date", "01/02/2024"]);
+        // Token 2 = the date, directly below "Invoice"(0)/"Date"(1).
+        let above = compute_above(&d);
+        assert!(above[2].is_some());
+        let a = above[2].unwrap() as usize;
+        assert!(a == 0 || a == 1);
+    }
+
+    #[test]
+    fn above_ignores_non_overlapping_columns() {
+        let mut b = DocumentBuilder::new("t");
+        b.push_token(Token::new("Left", BBox::new(0.0, 0.0, 30.0, 12.0)));
+        b.push_token(Token::new("Right", BBox::new(500.0, 30.0, 540.0, 42.0)));
+        let d = b.build();
+        let above = compute_above(&d);
+        assert_eq!(above[1], None);
+    }
+
+    #[test]
+    fn deterministic_hashes() {
+        let d = doc(&["Total $9.99"]);
+        let a = extract(&d, &Lexicon::empty());
+        let b = extract(&d, &Lexicon::empty());
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn df_bucket_changes_features() {
+        let d = doc(&["Total $9.99"]);
+        let empty = extract(&d, &Lexicon::empty());
+        let corpus = fieldswap_datagen::generate(fieldswap_datagen::Domain::Invoices, 1, 50);
+        let lex = Lexicon::pretrain(&corpus.documents);
+        let trained = extract(&d, &lex);
+        assert_ne!(empty.features[0], trained.features[0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Unsupervised pre-training: a corpus lexicon of token document
+//! frequencies.
+//!
+//! The paper pre-trains its sequence labeler on ~30k unlabeled
+//! out-of-domain documents before fine-tuning. The property that transfer
+//! buys a form extractor is a prior over which tokens are *template*
+//! vocabulary (stable across documents — key phrases, section headers) and
+//! which are *values* (variable — names, amounts, dates). This module
+//! reproduces that prior directly: an unlabeled corpus pass computes each
+//! normalized token's document frequency, which becomes a bucketed feature
+//! at fine-tuning time. High-DF tokens near a candidate are phrase-like
+//! anchors; low-DF tokens are value-like.
+
+use fieldswap_docmodel::Document;
+use std::collections::HashMap;
+
+/// A document-frequency lexicon learned from unlabeled documents.
+#[derive(Debug, Clone, Default)]
+pub struct Lexicon {
+    df: HashMap<String, u32>,
+    n_docs: u32,
+}
+
+fn norm(text: &str) -> String {
+    text.trim_matches(|c: char| c.is_ascii_punctuation())
+        .to_lowercase()
+}
+
+impl Lexicon {
+    /// An empty lexicon (all tokens unknown — DF bucket 0).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Learns document frequencies from an unlabeled corpus. Numeric-ish
+    /// tokens are skipped — they are values by construction.
+    pub fn pretrain<'a>(docs: impl IntoIterator<Item = &'a Document>) -> Self {
+        let mut df: HashMap<String, u32> = HashMap::new();
+        let mut n_docs = 0u32;
+        for doc in docs {
+            n_docs += 1;
+            let mut seen: Vec<String> = Vec::new();
+            for t in &doc.tokens {
+                if t.text.chars().any(|c| c.is_ascii_digit()) {
+                    continue;
+                }
+                let k = norm(&t.text);
+                if k.is_empty() || seen.contains(&k) {
+                    continue;
+                }
+                seen.push(k);
+            }
+            for k in seen {
+                *df.entry(k).or_insert(0) += 1;
+            }
+        }
+        Self { df, n_docs }
+    }
+
+    /// Rebuilds a lexicon from serialized `(token, count)` entries.
+    pub fn from_raw(n_docs: u32, entries: Vec<(String, u32)>) -> Self {
+        Self {
+            df: entries.into_iter().collect(),
+            n_docs,
+        }
+    }
+
+    /// The raw `(token, document count)` entries, sorted by token (for
+    /// deterministic serialization).
+    pub fn entries(&self) -> Vec<(String, u32)> {
+        let mut out: Vec<(String, u32)> =
+            self.df.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort();
+        out
+    }
+
+    /// Number of documents the lexicon was trained on.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Number of distinct tokens tracked.
+    pub fn vocab_size(&self) -> usize {
+        self.df.len()
+    }
+
+    /// The DF bucket for a token, 0..=4:
+    /// 0 unknown, 1 rare (<1%), 2 occasional (<10%), 3 common (<50%),
+    /// 4 template vocabulary (>=50% of documents).
+    pub fn df_bucket(&self, text: &str) -> u8 {
+        if self.n_docs == 0 {
+            return 0;
+        }
+        let Some(&c) = self.df.get(&norm(text)) else {
+            return 0;
+        };
+        let f = f64::from(c) / f64::from(self.n_docs);
+        if f >= 0.5 {
+            4
+        } else if f >= 0.1 {
+            3
+        } else if f >= 0.01 {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_datagen::{generate, Domain};
+
+    #[test]
+    fn empty_lexicon_returns_zero() {
+        let l = Lexicon::empty();
+        assert_eq!(l.df_bucket("total"), 0);
+        assert_eq!(l.n_docs(), 0);
+    }
+
+    #[test]
+    fn template_words_get_high_buckets() {
+        let corpus = generate(Domain::Invoices, 3, 120);
+        let l = Lexicon::pretrain(&corpus.documents);
+        assert_eq!(l.n_docs(), 120);
+        // "INVOICE" header appears on every document.
+        assert_eq!(l.df_bucket("INVOICE"), 4);
+        // A random value-ish word should be rarer than the header.
+        assert!(l.df_bucket("Alice") < 4);
+        // Unknown garbage.
+        assert_eq!(l.df_bucket("zzzzqqq"), 0);
+    }
+
+    #[test]
+    fn numeric_tokens_ignored() {
+        let corpus = generate(Domain::Invoices, 5, 40);
+        let l = Lexicon::pretrain(&corpus.documents);
+        assert_eq!(l.df_bucket("$1,234.56"), 0);
+        assert_eq!(l.df_bucket("01/02/2024"), 0);
+    }
+
+    #[test]
+    fn normalization_case_and_punct() {
+        let corpus = generate(Domain::Invoices, 7, 60);
+        let l = Lexicon::pretrain(&corpus.documents);
+        assert_eq!(l.df_bucket("invoice"), l.df_bucket("INVOICE:"));
+    }
+
+    #[test]
+    fn buckets_are_monotone_in_frequency() {
+        let corpus = generate(Domain::Earnings, 9, 100);
+        let l = Lexicon::pretrain(&corpus.documents);
+        // "Earnings" (every doc header) >= "Overtime" (55-62% of docs)
+        // >= "Sales" (rare).
+        let high = l.df_bucket("Earnings");
+        let mid = l.df_bucket("Overtime");
+        let low = l.df_bucket("Sales");
+        assert!(high >= mid, "{high} {mid}");
+        assert!(mid >= low, "{mid} {low}");
+        assert!(high == 4);
+    }
+}

@@ -1,0 +1,624 @@
+//! The averaged structured perceptron with Viterbi decoding.
+//!
+//! Emission scores hash `(feature, tag)` pairs into a fixed weight table;
+//! transition scores live in a dense `n_tags x n_tags` table but only
+//! legal BIOES transitions are ever visited. Training follows the classic
+//! collins-perceptron recipe with lazy averaging; inference applies the
+//! schema's single-instance constraint by keeping the best-scoring span
+//! per field (Section II-C: constraints at inference time only).
+
+use crate::features::{extract, gate_allows, DocFeatures};
+use crate::lexicon::Lexicon;
+use crate::tags::{TagId, TagSet};
+use fieldswap_docmodel::{BaseType, Corpus, Document, EntitySpan, Schema};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// log2 of the emission weight-table size (2^20 = ~1M buckets).
+const WEIGHT_BITS: u32 = 20;
+const WEIGHT_DIM: usize = 1 << WEIGHT_BITS;
+
+/// Training configuration.
+///
+/// Every epoch visits **all original documents once** plus
+/// `synth_ratio x N` synthetic documents drawn round-robin from the
+/// synthetic pool. The baseline (no synthetics) instead repeats its
+/// originals `1 + synth_ratio` times per epoch, so both arms perform the
+/// same number of weight updates — the reproduction of the paper's "train
+/// both models for the same amount of time" control (Section IV-B).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Synthetic documents per original document per epoch.
+    pub synth_ratio: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            synth_ratio: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A fast profile for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            epochs: 3,
+            synth_ratio: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The sequence-labeling extractor.
+pub struct Extractor {
+    tags: TagSet,
+    /// Field base types, indexed by field id (for tag gating).
+    field_types: Vec<BaseType>,
+    /// Emission weights, hashed by (feature, tag).
+    w: Vec<f32>,
+    /// Lazy-averaging accumulator for `w`.
+    w_acc: Vec<f64>,
+    /// Transition weights `[prev * n_tags + next]`.
+    trans: Vec<f32>,
+    trans_acc: Vec<f64>,
+    /// Update counter for averaging.
+    step: u64,
+    /// Whether `finalize_average` has been applied.
+    averaged: bool,
+    lexicon: Lexicon,
+}
+
+#[inline]
+fn bucket(feature: u64, tag: TagId) -> usize {
+    // Mix the tag into the feature hash (splitmix-style finalizer).
+    let mut z = feature ^ (u64::from(tag)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    (z as usize) & (WEIGHT_DIM - 1)
+}
+
+impl Extractor {
+    /// An untrained extractor for `schema`, with `lexicon` providing the
+    /// pre-trained document-frequency features.
+    pub fn new(schema: &Schema, lexicon: Lexicon) -> Self {
+        let tags = TagSet::new(schema.len());
+        let n_tags = tags.len();
+        Self {
+            tags,
+            field_types: schema.iter().map(|(_, f)| f.base_type).collect(),
+            w: vec![0.0; WEIGHT_DIM],
+            w_acc: vec![0.0; WEIGHT_DIM],
+            trans: vec![0.0; n_tags * n_tags],
+            trans_acc: vec![0.0; n_tags * n_tags],
+            step: 0,
+            averaged: false,
+            lexicon: Lexicon::empty(),
+        }
+        .with_lexicon(lexicon)
+    }
+
+    fn with_lexicon(mut self, lexicon: Lexicon) -> Self {
+        self.lexicon = lexicon;
+        self
+    }
+
+    /// The tag set in use.
+    pub fn tag_set(&self) -> &TagSet {
+        &self.tags
+    }
+
+    fn emission(&self, features: &[u64], tag: TagId) -> f32 {
+        features.iter().map(|&f| self.w[bucket(f, tag)]).sum()
+    }
+
+    /// Whether `tag` is admissible for a token with gate `mask`.
+    fn tag_allowed(&self, tag: TagId, mask: u8) -> bool {
+        match self.tags.parts(tag) {
+            None => true,
+            Some((f, _)) => gate_allows(mask, self.field_types[f as usize]),
+        }
+    }
+
+    /// Viterbi decoding over the legal-transition structure. Returns the
+    /// best tag sequence and its per-token emission scores.
+    fn viterbi(&self, feats: &DocFeatures) -> Vec<TagId> {
+        let n = feats.features.len();
+        let n_tags = self.tags.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        const NEG: f32 = -1e30;
+        let mut score = vec![NEG; n_tags];
+        let mut back: Vec<Vec<u16>> = Vec::with_capacity(n);
+
+        // Emission cache per position, gated.
+        let emis = |t: usize, tag: TagId| -> f32 {
+            if self.tag_allowed(tag, feats.gates[t]) {
+                self.emission(&feats.features[t], tag)
+            } else {
+                NEG
+            }
+        };
+
+        for tag in 0..n_tags as u16 {
+            if self.tags.can_start(tag) {
+                score[tag as usize] = emis(0, tag);
+            }
+        }
+        back.push(vec![0; n_tags]);
+
+        for t in 1..n {
+            let mut next = vec![NEG; n_tags];
+            let mut bp = vec![0u16; n_tags];
+            for tag in 0..n_tags as u16 {
+                let e = emis(t, tag);
+                if e <= NEG {
+                    continue;
+                }
+                let mut best = NEG;
+                let mut best_prev = 0u16;
+                for &prev in self.tags.prev_allowed(tag) {
+                    let s = score[prev as usize];
+                    if s <= NEG {
+                        continue;
+                    }
+                    let cand = s + self.trans[prev as usize * n_tags + tag as usize];
+                    if cand > best {
+                        best = cand;
+                        best_prev = prev;
+                    }
+                }
+                if best > NEG {
+                    next[tag as usize] = best + e;
+                    bp[tag as usize] = best_prev;
+                }
+            }
+            score = next;
+            back.push(bp);
+        }
+
+        // Pick the best legal final tag.
+        let mut best_tag = 0u16;
+        let mut best = NEG;
+        for tag in 0..n_tags as u16 {
+            if self.tags.can_end(tag) && score[tag as usize] > best {
+                best = score[tag as usize];
+                best_tag = tag;
+            }
+        }
+        let mut tags = vec![0u16; n];
+        tags[n - 1] = best_tag;
+        for t in (1..n).rev() {
+            tags[t - 1] = back[t][tags[t] as usize];
+        }
+        tags
+    }
+
+    fn update(&mut self, feats: &DocFeatures, gold: &[TagId], pred: &[TagId]) {
+        self.step += 1;
+        let n_tags = self.tags.len();
+        let step = self.step as f64;
+        for t in 0..gold.len() {
+            if gold[t] != pred[t] {
+                for &f in &feats.features[t] {
+                    let bg = bucket(f, gold[t]);
+                    self.w[bg] += 1.0;
+                    self.w_acc[bg] += step;
+                    let bp = bucket(f, pred[t]);
+                    self.w[bp] -= 1.0;
+                    self.w_acc[bp] -= step;
+                }
+            }
+            if t > 0 && (gold[t] != pred[t] || gold[t - 1] != pred[t - 1]) {
+                let ig = gold[t - 1] as usize * n_tags + gold[t] as usize;
+                self.trans[ig] += 1.0;
+                self.trans_acc[ig] += step;
+                let ip = pred[t - 1] as usize * n_tags + pred[t] as usize;
+                self.trans[ip] -= 1.0;
+                self.trans_acc[ip] -= step;
+            }
+        }
+    }
+
+    /// Trains on a plain document list: every epoch visits every document
+    /// once (shuffled). See [`Extractor::train_mixed`] for the
+    /// originals-plus-synthetics protocol. Applies lazy weight averaging
+    /// at the end; the extractor cannot be trained further afterwards.
+    pub fn train(&mut self, docs: &[&Document], cfg: &TrainConfig) {
+        self.train_mixed(docs, &[], cfg);
+    }
+
+    /// Trains with the update-equalized mixing protocol described on
+    /// [`TrainConfig`].
+    pub fn train_mixed(
+        &mut self,
+        originals: &[&Document],
+        synthetics: &[&Document],
+        cfg: &TrainConfig,
+    ) {
+        assert!(!self.averaged, "extractor already finalized");
+        let n = originals.len();
+        if n == 0 {
+            self.finalize_average();
+            return;
+        }
+        let feats_orig: Vec<DocFeatures> =
+            originals.iter().map(|d| extract(d, &self.lexicon)).collect();
+        let golds_orig: Vec<Vec<TagId>> = originals.iter().map(|d| self.tags.encode(d)).collect();
+        // Synthetic features are extracted lazily per epoch slice and
+        // cached, so huge synthetic pools cost only what is visited.
+        let mut feats_synth: Vec<Option<(DocFeatures, Vec<TagId>)>> =
+            (0..synthetics.len()).map(|_| None).collect();
+        let per_epoch_synths = if synthetics.is_empty() {
+            0
+        } else {
+            ((cfg.synth_ratio * n as f32).round() as usize).max(1).min(synthetics.len().max(1) * cfg.epochs)
+        };
+        let extra_repeats = if synthetics.is_empty() {
+            // Baseline equalization: the same number of updates via
+            // repeated passes over the originals.
+            cfg.synth_ratio.round() as usize
+        } else {
+            0
+        };
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut synth_order: Vec<usize> = (0..synthetics.len()).collect();
+        synth_order.shuffle(&mut rng);
+        let mut synth_cursor = 0usize;
+
+        for _ in 0..cfg.epochs {
+            // Plan: (is_synth, index) entries.
+            let mut plan: Vec<(bool, usize)> = Vec::with_capacity(n * (1 + extra_repeats) + per_epoch_synths);
+            for r in 0..=extra_repeats {
+                let _ = r;
+                for i in 0..n {
+                    plan.push((false, i));
+                }
+            }
+            for _ in 0..per_epoch_synths {
+                plan.push((true, synth_order[synth_cursor % synth_order.len().max(1)]));
+                synth_cursor += 1;
+            }
+            plan.shuffle(&mut rng);
+            for (is_synth, i) in plan {
+                if is_synth {
+                    if feats_synth[i].is_none() {
+                        let f = extract(synthetics[i], &self.lexicon);
+                        let g = self.tags.encode(synthetics[i]);
+                        feats_synth[i] = Some((f, g));
+                    }
+                    let (f, g) = feats_synth[i].as_ref().unwrap();
+                    let pred = self.viterbi(f);
+                    if &pred != g {
+                        self.update(f, g, &pred);
+                    }
+                } else {
+                    let pred = self.viterbi(&feats_orig[i]);
+                    if pred != golds_orig[i] {
+                        self.update(&feats_orig[i], &golds_orig[i], &pred);
+                    }
+                }
+            }
+        }
+        self.finalize_average();
+    }
+
+    /// Applies the perceptron averaging: `w_avg = w - acc / (step + 1)`.
+    fn finalize_average(&mut self) {
+        let denom = (self.step + 1) as f64;
+        for (w, acc) in self.w.iter_mut().zip(&self.w_acc) {
+            *w -= (acc / denom) as f32;
+        }
+        for (w, acc) in self.trans.iter_mut().zip(&self.trans_acc) {
+            *w -= (acc / denom) as f32;
+        }
+        self.averaged = true;
+    }
+
+    /// Extracts entity spans from a document, applying the schema
+    /// constraint that each field keeps only its best-scoring instance
+    /// (fields in all five paper domains are single-instance).
+    pub fn predict(&self, doc: &Document) -> Vec<EntitySpan> {
+        let feats = extract(doc, &self.lexicon);
+        let tags = self.viterbi(&feats);
+        let spans = self.tags.decode(&tags);
+        self.apply_schema_constraints(&feats, spans)
+    }
+
+    /// Raw (unconstrained) prediction, for diagnostics and ablations.
+    pub fn predict_unconstrained(&self, doc: &Document) -> Vec<EntitySpan> {
+        let feats = extract(doc, &self.lexicon);
+        let tags = self.viterbi(&feats);
+        self.tags.decode(&tags)
+    }
+
+    fn apply_schema_constraints(
+        &self,
+        feats: &DocFeatures,
+        spans: Vec<EntitySpan>,
+    ) -> Vec<EntitySpan> {
+        // Score each span by its mean emission margin and keep the best
+        // span per field.
+        let mut best: std::collections::HashMap<u16, (f32, EntitySpan)> =
+            std::collections::HashMap::new();
+        for s in spans {
+            let mut score = 0.0f32;
+            for t in s.start..s.end {
+                let part = match (t == s.start, t + 1 == s.end) {
+                    (true, true) => 3,  // S
+                    (true, false) => 0, // B
+                    (false, true) => 2, // E
+                    (false, false) => 1,
+                };
+                let tag = self.tags.tag(s.field, part);
+                score += self.emission(&feats.features[t as usize], tag);
+            }
+            score /= (s.end - s.start) as f32;
+            match best.get(&s.field) {
+                Some((b, _)) if *b >= score => {}
+                _ => {
+                    best.insert(s.field, (score, s));
+                }
+            }
+        }
+        let mut out: Vec<EntitySpan> = best.into_values().map(|(_, s)| s).collect();
+        out.sort_by_key(|s| (s.start, s.end));
+        out
+    }
+
+    /// Decomposes a finalized extractor into its serializable parts.
+    ///
+    /// # Panics
+    /// Panics when training has not been finalized.
+    pub fn to_parts(&self) -> crate::serialize::ModelParts {
+        assert!(self.averaged, "serialize only finalized extractors");
+        crate::serialize::ModelParts {
+            n_fields: self.tags.n_fields(),
+            field_types: self
+                .field_types
+                .iter()
+                .map(|t| BaseType::ALL.iter().position(|x| x == t).unwrap() as u8)
+                .collect(),
+            weights: self.w.clone(),
+            transitions: self.trans.clone(),
+            lexicon_docs: self.lexicon.n_docs(),
+            lexicon_entries: self.lexicon.entries(),
+        }
+    }
+
+    /// Reassembles an extractor from serialized parts. The result is
+    /// finalized (ready for prediction, not further training).
+    pub fn from_parts(parts: crate::serialize::ModelParts) -> Extractor {
+        let tags = TagSet::new(parts.n_fields);
+        let n_tags = tags.len();
+        Extractor {
+            tags,
+            field_types: parts
+                .field_types
+                .iter()
+                .map(|&t| BaseType::ALL[t as usize])
+                .collect(),
+            w: parts.weights,
+            w_acc: Vec::new(),
+            trans: parts.transitions,
+            trans_acc: vec![0.0; n_tags * n_tags],
+            step: 0,
+            averaged: true,
+            lexicon: crate::serialize::lexicon_from_entries(
+                parts.lexicon_docs,
+                parts.lexicon_entries,
+            ),
+        }
+    }
+
+    /// Convenience: trains a fresh extractor on a corpus plus synthetic
+    /// documents.
+    pub fn train_on(
+        schema: &Schema,
+        lexicon: Lexicon,
+        originals: &Corpus,
+        synthetics: &[Document],
+        cfg: &TrainConfig,
+    ) -> Extractor {
+        let mut ex = Extractor::new(schema, lexicon);
+        let orig: Vec<&Document> = originals.documents.iter().collect();
+        let synth: Vec<&Document> = synthetics.iter().collect();
+        ex.train_mixed(&orig, &synth, cfg);
+        ex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_datagen::{generate, Domain};
+
+    fn exact_match_rate(ex: &Extractor, test: &Corpus) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for d in &test.documents {
+            let pred = ex.predict(d);
+            for a in &d.annotations {
+                total += 1;
+                if pred.contains(a) {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn learns_invoices_with_enough_data() {
+        let train = generate(Domain::Invoices, 1, 120);
+        let test = generate(Domain::Invoices, 2, 30);
+        let lex = Lexicon::pretrain(&train.documents);
+        let ex = Extractor::train_on(
+            &train.schema,
+            lex,
+            &train,
+            &[],
+            &TrainConfig {
+                epochs: 5,
+                synth_ratio: 2.0,
+                seed: 1,
+            },
+        );
+        let rate = exact_match_rate(&ex, &test);
+        assert!(rate > 0.5, "exact-match rate too low: {rate}");
+    }
+
+    #[test]
+    fn small_training_set_underperforms_large() {
+        let pool = generate(Domain::Earnings, 3, 150);
+        let test = generate(Domain::Earnings, 4, 30);
+        let lex = Lexicon::pretrain(&pool.documents);
+        let small = Corpus::new(pool.schema.clone(), pool.documents[..10].to_vec());
+        let cfg = TrainConfig {
+            epochs: 5,
+            synth_ratio: 0.0,
+            seed: 2,
+        };
+        let ex_small = Extractor::train_on(&small.schema, lex.clone(), &small, &[], &cfg);
+        let ex_large = Extractor::train_on(&pool.schema, lex, &pool, &[], &cfg);
+        let r_small = exact_match_rate(&ex_small, &test);
+        let r_large = exact_match_rate(&ex_large, &test);
+        assert!(
+            r_large > r_small,
+            "150 docs ({r_large}) should beat 10 docs ({r_small})"
+        );
+    }
+
+    #[test]
+    fn predictions_are_valid_spans() {
+        let train = generate(Domain::Fara, 5, 40);
+        let lex = Lexicon::empty();
+        let ex = Extractor::train_on(&train.schema, lex, &train, &[], &TrainConfig::tiny());
+        for d in &train.documents[..10] {
+            let pred = ex.predict(d);
+            for s in &pred {
+                assert!(s.end <= d.tokens.len() as u32);
+                assert!((s.field as usize) < train.schema.len());
+            }
+            // Constraint: at most one span per field.
+            let mut fields: Vec<u16> = pred.iter().map(|s| s.field).collect();
+            fields.sort_unstable();
+            let before = fields.len();
+            fields.dedup();
+            assert_eq!(fields.len(), before, "duplicate field instances");
+        }
+    }
+
+    #[test]
+    fn gating_blocks_impossible_tags() {
+        let train = generate(Domain::Earnings, 7, 60);
+        let lex = Lexicon::empty();
+        let ex = Extractor::train_on(&train.schema, lex, &train, &[], &TrainConfig::tiny());
+        let money_fields: Vec<u16> = train
+            .schema
+            .iter()
+            .filter(|(_, f)| f.base_type == BaseType::Money)
+            .map(|(id, _)| id)
+            .collect();
+        for d in &train.documents[..10] {
+            for s in ex.predict(d) {
+                if money_fields.contains(&s.field) {
+                    // Every predicted money span must be numeric-ish.
+                    for t in s.start..s.end {
+                        let text = &d.tokens[t as usize].text;
+                        assert!(
+                            gate_allows(crate::features::type_gate(text), BaseType::Money),
+                            "money field predicted over non-money token {text:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let train = generate(Domain::Fara, 9, 20);
+        let run = || {
+            let ex = Extractor::train_on(
+                &train.schema,
+                Lexicon::empty(),
+                &train,
+                &[],
+                &TrainConfig::tiny(),
+            );
+            ex.predict(&train.documents[0])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_document_predicts_nothing() {
+        let train = generate(Domain::Fara, 9, 10);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::empty(),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        let empty = Document {
+            id: "empty".into(),
+            ..Default::default()
+        };
+        assert!(ex.predict(&empty).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already finalized")]
+    fn double_train_panics() {
+        let train = generate(Domain::Fara, 9, 5);
+        let mut ex = Extractor::new(&train.schema, Lexicon::empty());
+        let docs: Vec<&Document> = train.documents.iter().collect();
+        ex.train(&docs, &TrainConfig::tiny());
+        ex.train(&docs, &TrainConfig::tiny());
+    }
+
+    #[test]
+    fn augmentation_with_oracle_phrases_helps_rare_field() {
+        // End-to-end sanity of the FieldSwap premise on a tiny scale:
+        // with 15 training docs, rare fields have few examples; swapping
+        // in type-to-type synthetics should not hurt and usually helps.
+        use fieldswap_core::{augment_corpus, FieldSwapConfig, PairStrategy};
+        let pool = generate(Domain::Earnings, 13, 15);
+        let test = generate(Domain::Earnings, 14, 40);
+        let lex = Lexicon::pretrain(&pool.documents);
+        let mut config = FieldSwapConfig::new(pool.schema.len());
+        for (name, phrases) in Domain::Earnings.generator().phrase_bank() {
+            let id = pool.schema.field_id(&name).unwrap();
+            config.set_phrases(id, phrases);
+        }
+        config.set_pairs(PairStrategy::TypeToType.build(&pool.schema, &config));
+        let (synths, stats) = augment_corpus(&pool, &config);
+        assert!(stats.generated > 0);
+        let cfg = TrainConfig {
+            epochs: 4,
+            synth_ratio: 2.0,
+            seed: 3,
+        };
+        let base = Extractor::train_on(&pool.schema, lex.clone(), &pool, &[], &cfg);
+        let aug = Extractor::train_on(&pool.schema, lex, &pool, &synths, &cfg);
+        let r_base = exact_match_rate(&base, &test);
+        let r_aug = exact_match_rate(&aug, &test);
+        // Allow slack — this is a sanity check, not the experiment.
+        assert!(
+            r_aug + 0.05 >= r_base,
+            "augmentation should be ~neutral or better: base {r_base} aug {r_aug}"
+        );
+    }
+}

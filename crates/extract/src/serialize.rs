@@ -1,0 +1,260 @@
+//! Binary serialization of trained extractors.
+//!
+//! Trained models are plain weight tables, so the format is a small
+//! length-prefixed binary layout (magic + version + dimensions + f32
+//! arrays + the lexicon). No external serialization crate is needed, and
+//! round-tripping is exact (bit-identical predictions).
+
+use crate::lexicon::Lexicon;
+use crate::model::Extractor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"FSEXTRC1";
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a serialized extractor or is corrupt.
+    Format(String),
+}
+
+impl From<io::Error> for ModelIoError {
+    fn from(e: io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelIoError::Format(m) => write!(f, "bad model format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_f32s<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
+    write_u64(w, xs.len() as u64)?;
+    for x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(r: &mut R) -> Result<Vec<f32>, ModelIoError> {
+    let n = read_u64(r)? as usize;
+    if n > 1 << 28 {
+        return Err(ModelIoError::Format(format!("array too large: {n}")));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_string<R: Read>(r: &mut R) -> Result<String, ModelIoError> {
+    let n = read_u64(r)? as usize;
+    if n > 1 << 20 {
+        return Err(ModelIoError::Format(format!("string too large: {n}")));
+    }
+    let mut b = vec![0u8; n];
+    r.read_exact(&mut b)?;
+    String::from_utf8(b).map_err(|e| ModelIoError::Format(e.to_string()))
+}
+
+/// Serializable snapshot of the extractor internals, produced by
+/// [`Extractor::to_parts`] and consumed by [`Extractor::from_parts`].
+pub struct ModelParts {
+    /// Number of schema fields.
+    pub n_fields: usize,
+    /// Field base types as `u8` discriminants (BaseType::ALL order).
+    pub field_types: Vec<u8>,
+    /// Emission weight table.
+    pub weights: Vec<f32>,
+    /// Transition weight table.
+    pub transitions: Vec<f32>,
+    /// DF lexicon entries `(token, count)` plus the doc count.
+    pub lexicon_docs: u32,
+    /// Lexicon token/count pairs.
+    pub lexicon_entries: Vec<(String, u32)>,
+}
+
+impl ModelParts {
+    /// Writes the parts to `w` in the binary format.
+    pub fn write<W: Write>(&self, w: &mut W) -> Result<(), ModelIoError> {
+        w.write_all(MAGIC)?;
+        write_u64(w, self.n_fields as u64)?;
+        write_u64(w, self.field_types.len() as u64)?;
+        w.write_all(&self.field_types)?;
+        write_f32s(w, &self.weights)?;
+        write_f32s(w, &self.transitions)?;
+        write_u64(w, u64::from(self.lexicon_docs))?;
+        write_u64(w, self.lexicon_entries.len() as u64)?;
+        for (tok, count) in &self.lexicon_entries {
+            write_string(w, tok)?;
+            write_u64(w, u64::from(*count))?;
+        }
+        Ok(())
+    }
+
+    /// Reads parts from `r`, validating the header.
+    pub fn read<R: Read>(r: &mut R) -> Result<ModelParts, ModelIoError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ModelIoError::Format("bad magic".into()));
+        }
+        let n_fields = read_u64(r)? as usize;
+        let nt = read_u64(r)? as usize;
+        if nt != n_fields {
+            return Err(ModelIoError::Format(format!(
+                "field-type count {nt} != field count {n_fields}"
+            )));
+        }
+        let mut field_types = vec![0u8; nt];
+        r.read_exact(&mut field_types)?;
+        if field_types.iter().any(|&t| t > 4) {
+            return Err(ModelIoError::Format("bad base-type discriminant".into()));
+        }
+        let weights = read_f32s(r)?;
+        let transitions = read_f32s(r)?;
+        let expected_tags = 1 + 4 * n_fields;
+        if transitions.len() != expected_tags * expected_tags {
+            return Err(ModelIoError::Format(format!(
+                "transition table size {} != {}",
+                transitions.len(),
+                expected_tags * expected_tags
+            )));
+        }
+        let lexicon_docs = read_u64(r)? as u32;
+        let n_entries = read_u64(r)? as usize;
+        if n_entries > 1 << 24 {
+            return Err(ModelIoError::Format("lexicon too large".into()));
+        }
+        let mut lexicon_entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let tok = read_string(r)?;
+            let count = read_u64(r)? as u32;
+            lexicon_entries.push((tok, count));
+        }
+        Ok(ModelParts {
+            n_fields,
+            field_types,
+            weights,
+            transitions,
+            lexicon_docs,
+            lexicon_entries,
+        })
+    }
+}
+
+/// Rebuilds a lexicon from serialized entries.
+pub fn lexicon_from_entries(n_docs: u32, entries: Vec<(String, u32)>) -> Lexicon {
+    Lexicon::from_raw(n_docs, entries)
+}
+
+impl Extractor {
+    /// Serializes the trained model to a byte vector.
+    ///
+    /// # Panics
+    /// Panics when called on an extractor that has not finished training
+    /// (averaging not applied) — persisting a half-trained model is a
+    /// programming error.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let parts = self.to_parts();
+        let mut out = Vec::new();
+        parts.write(&mut out).expect("writing to Vec cannot fail");
+        out
+    }
+
+    /// Deserializes a model previously produced by
+    /// [`Extractor::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Extractor, ModelIoError> {
+        let mut cursor = bytes;
+        let parts = ModelParts::read(&mut cursor)?;
+        Ok(Extractor::from_parts(parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TrainConfig;
+    use fieldswap_datagen::{generate, Domain};
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let train = generate(Domain::Fara, 7, 25);
+        let test = generate(Domain::Fara, 8, 10);
+        let lex = Lexicon::pretrain(&train.documents);
+        let ex = Extractor::train_on(&train.schema, lex, &train, &[], &TrainConfig::tiny());
+        let bytes = ex.to_bytes();
+        let back = Extractor::from_bytes(&bytes).unwrap();
+        for d in &test.documents {
+            assert_eq!(ex.predict(d), back.predict(d), "prediction drift on {}", d.id);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Extractor::from_bytes(b"not a model").is_err());
+        assert!(Extractor::from_bytes(b"").is_err());
+        // Right magic, truncated body.
+        assert!(Extractor::from_bytes(b"FSEXTRC1\x01").is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_field_types() {
+        let train = generate(Domain::Fara, 9, 5);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::empty(),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        let mut bytes = ex.to_bytes();
+        // Corrupt a base-type discriminant (first byte after magic +
+        // 2 u64 lengths = 8 + 8 + 8 = offset 24).
+        bytes[24] = 99;
+        assert!(Extractor::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn serialized_size_is_reasonable() {
+        let train = generate(Domain::Fara, 10, 5);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::empty(),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        let bytes = ex.to_bytes();
+        // 1M-bucket weight table of f32 dominates: ~4 MiB + small extras.
+        assert!(bytes.len() > 4 << 20);
+        assert!(bytes.len() < 8 << 20);
+    }
+}

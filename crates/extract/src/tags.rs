@@ -1,0 +1,312 @@
+//! The BIOES tag space over a schema's fields, with the legal-transition
+//! structure used by Viterbi decoding.
+
+use fieldswap_docmodel::{Document, EntitySpan, FieldId};
+
+/// Tag id. `0` is `O` (outside); field `f` owns the block
+/// `1 + 4f .. 1 + 4f + 4` = `[B, I, E, S]`.
+pub type TagId = u16;
+
+/// The BIOES tag set for a schema with `n_fields` fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagSet {
+    n_fields: usize,
+    /// `prev_allowed[t]` — tags that may legally precede `t`.
+    prev_allowed: Vec<Vec<TagId>>,
+}
+
+/// Offsets within a field's tag block.
+const B: u16 = 0;
+const I: u16 = 1;
+const E: u16 = 2;
+const S: u16 = 3;
+
+impl TagSet {
+    /// Builds the tag set and transition structure for `n_fields`.
+    pub fn new(n_fields: usize) -> Self {
+        let n_tags = 1 + 4 * n_fields;
+        let mut prev_allowed: Vec<Vec<TagId>> = vec![Vec::new(); n_tags];
+        // "Boundary" tags are those that may end an entity or be outside:
+        // O, every E_f, every S_f. They may be followed by O, any B_g, any
+        // S_g. Inside a field f, B_f -> I_f | E_f and I_f -> I_f | E_f.
+        let mut boundary: Vec<TagId> = vec![0];
+        for f in 0..n_fields as u16 {
+            boundary.push(Self::tag_of_parts(f, E));
+            boundary.push(Self::tag_of_parts(f, S));
+        }
+        // O, B_g, S_g can follow any boundary tag.
+        for &prev in &boundary {
+            prev_allowed[0].push(prev);
+            for g in 0..n_fields as u16 {
+                prev_allowed[Self::tag_of_parts(g, B) as usize].push(prev);
+                prev_allowed[Self::tag_of_parts(g, S) as usize].push(prev);
+            }
+        }
+        // I_f, E_f can follow B_f or I_f.
+        for f in 0..n_fields as u16 {
+            for inside in [I, E] {
+                let t = Self::tag_of_parts(f, inside) as usize;
+                prev_allowed[t].push(Self::tag_of_parts(f, B));
+                prev_allowed[t].push(Self::tag_of_parts(f, I));
+            }
+        }
+        Self {
+            n_fields,
+            prev_allowed,
+        }
+    }
+
+    /// Number of tags (`1 + 4 * n_fields`).
+    pub fn len(&self) -> usize {
+        1 + 4 * self.n_fields
+    }
+
+    /// Tag sets are never empty (`O` always exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of fields.
+    pub fn n_fields(&self) -> usize {
+        self.n_fields
+    }
+
+    fn tag_of_parts(field: u16, part: u16) -> TagId {
+        1 + 4 * field + part
+    }
+
+    /// The `B`/`I`/`E`/`S` tag for `field` (part in `0..4`).
+    pub fn tag(&self, field: FieldId, part: u16) -> TagId {
+        debug_assert!(part < 4);
+        Self::tag_of_parts(field, part)
+    }
+
+    /// Decomposes a tag into `(field, part)`; `None` for `O`.
+    pub fn parts(&self, tag: TagId) -> Option<(FieldId, u16)> {
+        if tag == 0 {
+            None
+        } else {
+            Some(((tag - 1) / 4, (tag - 1) % 4))
+        }
+    }
+
+    /// The tags that may legally precede `tag`.
+    pub fn prev_allowed(&self, tag: TagId) -> &[TagId] {
+        &self.prev_allowed[tag as usize]
+    }
+
+    /// Whether `tag` may legally start a sequence (O, B, S).
+    pub fn can_start(&self, tag: TagId) -> bool {
+        match self.parts(tag) {
+            None => true,
+            Some((_, p)) => p == B || p == S,
+        }
+    }
+
+    /// Whether `tag` may legally end a sequence (O, E, S).
+    pub fn can_end(&self, tag: TagId) -> bool {
+        match self.parts(tag) {
+            None => true,
+            Some((_, p)) => p == E || p == S,
+        }
+    }
+
+    /// Encodes a document's annotations as a gold tag sequence.
+    pub fn encode(&self, doc: &Document) -> Vec<TagId> {
+        let mut tags = vec![0; doc.tokens.len()];
+        for a in &doc.annotations {
+            let len = a.end - a.start;
+            if len == 1 {
+                tags[a.start as usize] = self.tag(a.field, S);
+            } else {
+                tags[a.start as usize] = self.tag(a.field, B);
+                for t in a.start + 1..a.end - 1 {
+                    tags[t as usize] = self.tag(a.field, I);
+                }
+                tags[a.end as usize - 1] = self.tag(a.field, E);
+            }
+        }
+        tags
+    }
+
+    /// Decodes a tag sequence back into entity spans. Tolerant of
+    /// ill-formed sequences (unclosed `B`/`I` runs emit the span seen so
+    /// far), though Viterbi with the legal-transition structure never
+    /// produces them.
+    pub fn decode(&self, tags: &[TagId]) -> Vec<EntitySpan> {
+        let mut out = Vec::new();
+        let mut open: Option<(FieldId, u32)> = None;
+        for (i, &t) in tags.iter().enumerate() {
+            let i = i as u32;
+            match self.parts(t) {
+                None => {
+                    if let Some((f, s)) = open.take() {
+                        out.push(EntitySpan::new(f, s, i));
+                    }
+                }
+                Some((f, S)) => {
+                    if let Some((pf, s)) = open.take() {
+                        out.push(EntitySpan::new(pf, s, i));
+                    }
+                    out.push(EntitySpan::new(f, i, i + 1));
+                }
+                Some((f, B)) => {
+                    if let Some((pf, s)) = open.take() {
+                        out.push(EntitySpan::new(pf, s, i));
+                    }
+                    open = Some((f, i));
+                }
+                Some((f, I)) | Some((f, E)) => {
+                    match open {
+                        Some((pf, _)) if pf == f => {
+                            if self.parts(t) == Some((f, E)) {
+                                let (pf, s) = open.take().unwrap();
+                                out.push(EntitySpan::new(pf, s, i + 1));
+                            }
+                        }
+                        _ => {
+                            // Ill-formed: treat as a fresh single/begin.
+                            if let Some((pf, s)) = open.take() {
+                                out.push(EntitySpan::new(pf, s, i));
+                            }
+                            if self.parts(t) == Some((f, E)) {
+                                out.push(EntitySpan::new(f, i, i + 1));
+                            } else {
+                                open = Some((f, i));
+                            }
+                        }
+                    }
+                }
+                Some(_) => unreachable!(),
+            }
+        }
+        if let Some((f, s)) = open {
+            out.push(EntitySpan::new(f, s, tags.len() as u32));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{BBox, DocumentBuilder, Token};
+
+    fn doc_with_spans(n_tokens: u32, spans: &[(FieldId, u32, u32)]) -> Document {
+        let mut b = DocumentBuilder::new("t");
+        for i in 0..n_tokens {
+            b.push_token(Token::new(
+                format!("t{i}"),
+                BBox::new(10.0 * i as f32, 0.0, 10.0 * i as f32 + 8.0, 10.0),
+            ));
+        }
+        for &(f, s, e) in spans {
+            b.push_annotation(EntitySpan::new(f, s, e));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn tag_count() {
+        assert_eq!(TagSet::new(3).len(), 13);
+        assert_eq!(TagSet::new(0).len(), 1);
+    }
+
+    #[test]
+    fn encode_single_and_multi() {
+        let ts = TagSet::new(2);
+        let d = doc_with_spans(6, &[(0, 1, 2), (1, 3, 6)]);
+        let tags = ts.encode(&d);
+        assert_eq!(tags[0], 0);
+        assert_eq!(ts.parts(tags[1]), Some((0, S)));
+        assert_eq!(ts.parts(tags[3]), Some((1, B)));
+        assert_eq!(ts.parts(tags[4]), Some((1, I)));
+        assert_eq!(ts.parts(tags[5]), Some((1, E)));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ts = TagSet::new(3);
+        let spans = [(0u16, 0u32, 2u32), (2, 3, 4), (1, 5, 8)];
+        let d = doc_with_spans(9, &spans);
+        let decoded = ts.decode(&ts.encode(&d));
+        assert_eq!(decoded, d.annotations);
+    }
+
+    #[test]
+    fn decode_tolerates_unclosed_run() {
+        let ts = TagSet::new(1);
+        // B I with no E at the end.
+        let tags = vec![ts.tag(0, B), ts.tag(0, I)];
+        let spans = ts.decode(&tags);
+        assert_eq!(spans, vec![EntitySpan::new(0, 0, 2)]);
+    }
+
+    #[test]
+    fn transition_structure() {
+        let ts = TagSet::new(2);
+        let b0 = ts.tag(0, B);
+        let i0 = ts.tag(0, I);
+        let e0 = ts.tag(0, E);
+        let s1 = ts.tag(1, S);
+        // I_0 can follow B_0 and I_0 only.
+        assert_eq!(ts.prev_allowed(i0), &[b0, i0]);
+        // B_0 can follow O, E_*, S_*.
+        assert!(ts.prev_allowed(b0).contains(&0));
+        assert!(ts.prev_allowed(b0).contains(&e0));
+        assert!(ts.prev_allowed(b0).contains(&s1));
+        assert!(!ts.prev_allowed(b0).contains(&i0));
+    }
+
+    #[test]
+    fn start_end_legality() {
+        let ts = TagSet::new(1);
+        assert!(ts.can_start(0));
+        assert!(ts.can_start(ts.tag(0, B)));
+        assert!(ts.can_start(ts.tag(0, S)));
+        assert!(!ts.can_start(ts.tag(0, I)));
+        assert!(!ts.can_start(ts.tag(0, E)));
+        assert!(ts.can_end(0));
+        assert!(!ts.can_end(ts.tag(0, B)));
+        assert!(ts.can_end(ts.tag(0, E)));
+    }
+
+    #[test]
+    fn proptest_encode_decode_round_trip() {
+        use proptest::prelude::*;
+        use proptest::test_runner::{Config, TestRunner};
+        let mut runner = TestRunner::new(Config::with_cases(64));
+        runner
+            .run(
+                &(1usize..5, proptest::collection::vec((0u16..4, 1u32..4), 0..6)),
+                |(n_fields, raw_spans)| {
+                    let ts = TagSet::new(n_fields);
+                    // Lay the raw (field, len) list out as non-overlapping
+                    // spans with 1-token gaps.
+                    let mut spans = Vec::new();
+                    let mut cursor = 0u32;
+                    for (f, len) in raw_spans {
+                        let f = f % n_fields as u16;
+                        spans.push((f, cursor, cursor + len));
+                        cursor += len + 1;
+                    }
+                    let d = doc_with_spans(cursor.max(1), &spans);
+                    let decoded = ts.decode(&ts.encode(&d));
+                    prop_assert_eq!(decoded, d.annotations);
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let ts = TagSet::new(5);
+        for f in 0..5u16 {
+            for p in 0..4u16 {
+                assert_eq!(ts.parts(ts.tag(f, p)), Some((f, p)));
+            }
+        }
+        assert_eq!(ts.parts(0), None);
+    }
+}

@@ -1,0 +1,6 @@
+//! # fieldswap-integration
+//!
+//! This crate exists only to host the workspace-level integration tests
+//! (`tests/` at the repository root) and the runnable examples
+//! (`examples/` at the repository root). It re-exports nothing; each test
+//! and example depends on the workspace crates directly.

@@ -1,0 +1,143 @@
+//! Feature extraction for the importance model: hashed token-text ids and
+//! quantized relative-position buckets.
+
+use fieldswap_docmodel::{BBox, Point};
+
+/// Vocabulary size of the hashed text embedding table.
+pub const TEXT_VOCAB: usize = 4096;
+/// Number of buckets per relative-position axis.
+pub const POS_AXIS_BUCKETS: usize = 16;
+/// Size of the relative-position embedding table.
+pub const POS_VOCAB: usize = POS_AXIS_BUCKETS * POS_AXIS_BUCKETS;
+/// Size of the absolute candidate-position embedding table (page split
+/// into an 8x8 grid).
+pub const CAND_POS_VOCAB: usize = 64;
+
+/// FNV-1a 64-bit hash of a string.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+/// Hashed embedding id for a token's text. Case- and punctuation-
+/// normalized so `"Total:"` and `"total"` share an id. Numeric tokens are
+/// collapsed to their shape so that amounts share representation.
+pub fn text_id(text: &str) -> usize {
+    let norm: String = text
+        .trim_matches(|c: char| c.is_ascii_punctuation())
+        .to_lowercase();
+    let key = if norm.chars().any(|c| c.is_ascii_digit()) {
+        // Collapse digits: "3,308.62" -> "9,9.9"-style shape.
+        let mut out = String::new();
+        let mut last = '\0';
+        for c in norm.chars() {
+            let s = if c.is_ascii_digit() { '9' } else { c };
+            if s != last || s != '9' {
+                out.push(s);
+            }
+            last = s;
+        }
+        out
+    } else {
+        norm
+    };
+    (fnv1a(&key) % TEXT_VOCAB as u64) as usize
+}
+
+/// Quantizes one relative offset into `POS_AXIS_BUCKETS` signed-log
+/// buckets: bucket 8 is "same position", buckets above/below encode
+/// increasing positive/negative distance at log scale.
+fn axis_bucket(d: f32) -> usize {
+    let half = (POS_AXIS_BUCKETS / 2) as i64; // 8
+    let mag = (d.abs() / 8.0).max(1.0).log2().round() as i64; // 0..~7
+    let mag = mag.min(half - 1);
+    let b = if d >= 0.0 { half + mag } else { half - 1 - mag };
+    b.clamp(0, POS_AXIS_BUCKETS as i64 - 1) as usize
+}
+
+/// Relative-position embedding id for a neighbor at `n` relative to the
+/// candidate center `c`.
+pub fn rel_pos_id(c: Point, n: Point) -> usize {
+    let bx = axis_bucket(n.x - c.x);
+    let by = axis_bucket(n.y - c.y);
+    by * POS_AXIS_BUCKETS + bx
+}
+
+/// Absolute candidate-position embedding id: which cell of an 8x8 page
+/// grid the candidate center falls in (page nominally 1000 x 1400 units).
+pub fn cand_pos_id(bbox: &BBox) -> usize {
+    let c = bbox.center();
+    let gx = ((c.x / 1000.0 * 8.0) as usize).min(7);
+    let gy = ((c.y / 1400.0 * 8.0) as usize).min(7);
+    gy * 8 + gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_id_case_and_punct_insensitive() {
+        assert_eq!(text_id("Total:"), text_id("total"));
+        assert_eq!(text_id("(Due)"), text_id("due"));
+        assert_ne!(text_id("total"), text_id("subtotal"));
+    }
+
+    #[test]
+    fn numeric_tokens_share_shape_id() {
+        assert_eq!(text_id("$3,308.62"), text_id("$1,234.56"));
+        assert_eq!(text_id("42"), text_id("7"));
+        assert_ne!(text_id("42"), text_id("amount"));
+    }
+
+    #[test]
+    fn text_id_in_vocab() {
+        for s in ["a", "total due", "$9.99", "XyZ", ""] {
+            assert!(text_id(s) < TEXT_VOCAB);
+        }
+    }
+
+    #[test]
+    fn rel_pos_distinguishes_directions() {
+        let c = Point::new(500.0, 500.0);
+        let left = rel_pos_id(c, Point::new(300.0, 500.0));
+        let right = rel_pos_id(c, Point::new(700.0, 500.0));
+        let above = rel_pos_id(c, Point::new(500.0, 300.0));
+        let below = rel_pos_id(c, Point::new(500.0, 700.0));
+        let all = [left, right, above, below];
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), 4, "{all:?}");
+    }
+
+    #[test]
+    fn rel_pos_translation_invariant() {
+        let a = rel_pos_id(Point::new(100.0, 100.0), Point::new(50.0, 100.0));
+        let b = rel_pos_id(Point::new(900.0, 1300.0), Point::new(850.0, 1300.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rel_pos_log_scale_merges_far_offsets() {
+        let c = Point::new(0.0, 0.0);
+        // 400 vs 500 away should often share a bucket; 8 vs 400 must not.
+        let near = rel_pos_id(c, Point::new(8.0, 0.0));
+        let far = rel_pos_id(c, Point::new(400.0, 0.0));
+        assert_ne!(near, far);
+        assert!(rel_pos_id(c, Point::new(400.0, 0.0)) < POS_VOCAB);
+    }
+
+    #[test]
+    fn cand_pos_grid() {
+        let tl = cand_pos_id(&BBox::new(0.0, 0.0, 10.0, 10.0));
+        let br = cand_pos_id(&BBox::new(990.0, 1390.0, 1000.0, 1400.0));
+        assert_eq!(tl, 0);
+        assert_eq!(br, 63);
+        // Out-of-range coordinates clamp.
+        let out = cand_pos_id(&BBox::new(5000.0, 9000.0, 5010.0, 9010.0));
+        assert_eq!(out, 63);
+    }
+}

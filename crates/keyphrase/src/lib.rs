@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # fieldswap-keyphrase
+//!
+//! Automatic key-phrase inference (paper Section II-A).
+//!
+//! The pipeline, end to end:
+//!
+//! 1. **Candidate neighbors** — for each labeled field instance, take the
+//!    `t` closest tokens by *off-axis distance* (Section II-A2).
+//! 2. **Importance model** (the [`model`] module) — the candidate-based binary
+//!    classifier of Fig. 2: per-neighbor text + relative-position
+//!    embeddings, a self-attention encoder, max-pooling into a
+//!    *Neighborhood Encoding*, and binary field heads. It is trained on an
+//!    out-of-domain corpus (invoices) and applied unchanged to the target
+//!    domain; relative-position cues transfer across domains.
+//! 3. **Importance scores** — cosine similarity between the Neighborhood
+//!    Encoding and each individual neighbor encoding, sparsified with
+//!    *sparsemax* to pick the important tokens.
+//! 4. **Phrase expansion** ([`pipeline`]) — important tokens grow to their
+//!    full OCR line (Section II-A3), scored by the mean token importance,
+//!    with leading/trailing punctuation cleaned.
+//! 5. **Aggregation** — per (field, phrase) noisy-or combination (Eq. 1),
+//!    ground-truth-token exclusion, importance threshold θ, and top-k
+//!    ranking (Sections II-A4 and II-A5).
+
+pub mod features;
+pub mod mining;
+pub mod model;
+pub mod namegen;
+pub mod pipeline;
+
+pub use model::{ImportanceModel, ModelConfig, TrainReport};
+pub use mining::{expand_with_unlabeled, mine_template_phrases, MiningConfig};
+pub use namegen::{config_from_schema, phrases_from_name};
+pub use pipeline::{infer_key_phrases, Aggregation, InferenceConfig, RankedPhrase, Sparsify};

@@ -1,0 +1,235 @@
+//! Semi-supervised key-phrase mining — the paper's final future-work
+//! question: "Can we extract key phrases from an unlabeled corpus to
+//! facilitate semi-supervised learning?" (Section VI).
+//!
+//! The approach implemented here expands a seed configuration (inferred
+//! from a small labeled set, or name-derived) using a large *unlabeled*
+//! corpus of the same document type:
+//!
+//! 1. **Template-phrase mining** — collect every short OCR line that
+//!    recurs across many unlabeled documents. Recurring lines are template
+//!    vocabulary (key phrases, section headers); one-off lines are values.
+//! 2. **Seed-anchored expansion** — a mined phrase is attributed to a
+//!    field when it shares a content word with one of the field's seed
+//!    phrases (`"overtime"` seed admits the mined `"overtime pay"`) and is
+//!    not already a phrase of a *different* field (which would create
+//!    contradictory swaps).
+//!
+//! The result is a richer synonym bank than the labeled sample alone can
+//! provide — exactly what rare fields need — at zero additional labeling
+//! cost.
+
+use fieldswap_core::config::normalize_phrase;
+use fieldswap_core::FieldSwapConfig;
+use fieldswap_docmodel::Document;
+use std::collections::HashMap;
+
+/// Knobs for the unlabeled-corpus mining pass.
+#[derive(Debug, Clone, Copy)]
+pub struct MiningConfig {
+    /// A line must appear in at least this fraction of the unlabeled
+    /// documents to count as template vocabulary.
+    pub min_doc_fraction: f64,
+    /// Maximum words in a mined phrase (key phrases are short).
+    pub max_words: usize,
+    /// Cap on phrases added per field.
+    pub max_new_phrases_per_field: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        Self {
+            min_doc_fraction: 0.05,
+            max_words: 4,
+            max_new_phrases_per_field: 3,
+        }
+    }
+}
+
+/// Words too generic to anchor a phrase to a field on their own.
+const STOPWORDS: [&str; 14] = [
+    "the", "of", "a", "an", "to", "and", "or", "for", "date", "number", "no", "total", "name",
+    "amount",
+];
+
+/// Mines recurring template phrases from unlabeled documents: normalized
+/// line texts with their document frequencies, sorted by frequency.
+pub fn mine_template_phrases(
+    docs: &[Document],
+    cfg: &MiningConfig,
+) -> Vec<(String, usize)> {
+    let mut df: HashMap<String, usize> = HashMap::new();
+    for doc in docs {
+        let mut seen: Vec<String> = Vec::new();
+        for line in &doc.lines {
+            if line.tokens.len() > cfg.max_words {
+                continue;
+            }
+            // Lines containing digits are value-bearing, not phrases.
+            if line
+                .tokens
+                .iter()
+                .any(|&t| doc.tokens[t as usize].text.chars().any(|c| c.is_ascii_digit()))
+            {
+                continue;
+            }
+            let words: Vec<&str> = line
+                .tokens
+                .iter()
+                .map(|&t| doc.tokens[t as usize].text.as_str())
+                .collect();
+            let phrase = normalize_phrase(&words.join(" "));
+            if phrase.is_empty() || seen.contains(&phrase) {
+                continue;
+            }
+            seen.push(phrase);
+        }
+        for p in seen {
+            *df.entry(p).or_insert(0) += 1;
+        }
+    }
+    let min_docs = ((docs.len() as f64) * cfg.min_doc_fraction).ceil() as usize;
+    let mut out: Vec<(String, usize)> = df
+        .into_iter()
+        .filter(|(_, c)| *c >= min_docs.max(2))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Expands `seed` with mined phrases: a mined phrase joins field `f` when
+/// it shares a non-stopword content word with one of `f`'s seed phrases
+/// and no *other* field's seeds claim it. Returns the expanded config and
+/// the number of phrases added.
+pub fn expand_with_unlabeled(
+    seed: &FieldSwapConfig,
+    unlabeled: &[Document],
+    cfg: &MiningConfig,
+) -> (FieldSwapConfig, usize) {
+    let mined = mine_template_phrases(unlabeled, cfg);
+    let mut expanded = seed.clone();
+    let mut added = 0usize;
+    let mut added_per_field = vec![0usize; seed.n_fields()];
+
+    for (phrase, _df) in &mined {
+        let words: Vec<&str> = phrase
+            .split_whitespace()
+            .filter(|w| !STOPWORDS.contains(w))
+            .collect();
+        if words.is_empty() {
+            continue;
+        }
+        // Fields whose seeds share a content word with the mined phrase.
+        let mut claimants: Vec<u16> = Vec::new();
+        for f in 0..seed.n_fields() as u16 {
+            let claims = seed.phrases(f).iter().any(|sp| {
+                sp.split_whitespace().any(|sw| words.contains(&sw))
+            });
+            if claims {
+                claimants.push(f);
+            }
+        }
+        // Unambiguous attribution only; shared-word phrases across fields
+        // would recreate the contradictory-pair hazard. Fields that share
+        // banks (current.X / year_to_date.X) both claim — allow up to 2
+        // claimants when they already share a seed phrase.
+        let attribute_to: Vec<u16> = match claimants.len() {
+            1 => claimants,
+            2 => {
+                let (a, b) = (claimants[0], claimants[1]);
+                let share_seed = seed.phrases(a).iter().any(|p| seed.phrases(b).contains(p));
+                if share_seed {
+                    claimants
+                } else {
+                    continue;
+                }
+            }
+            _ => continue,
+        };
+        for f in attribute_to {
+            if added_per_field[f as usize] >= cfg.max_new_phrases_per_field {
+                continue;
+            }
+            if !expanded.phrases(f).contains(phrase) {
+                expanded.add_phrase(f, phrase);
+                added_per_field[f as usize] += 1;
+                added += 1;
+            }
+        }
+    }
+    (expanded, added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_datagen::{generate, Domain};
+
+    #[test]
+    fn mining_finds_recurring_template_lines() {
+        let corpus = generate(Domain::Earnings, 55, 80);
+        let mined = mine_template_phrases(&corpus.documents, &MiningConfig::default());
+        assert!(!mined.is_empty());
+        let phrases: Vec<&str> = mined.iter().map(|(p, _)| p.as_str()).collect();
+        // The per-document header recurs everywhere.
+        assert!(phrases.contains(&"earnings statement"));
+        // Frequencies sorted descending.
+        for w in mined.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // No numeric value lines.
+        assert!(mined.iter().all(|(p, _)| !p.chars().any(|c| c.is_ascii_digit())));
+    }
+
+    #[test]
+    fn expansion_adds_synonyms_for_seeded_fields() {
+        let corpus = generate(Domain::Earnings, 56, 120);
+        let schema = &corpus.schema;
+        // Seed: one phrase per pay field, as a tiny labeled set would give.
+        let mut seed = FieldSwapConfig::new(schema.len());
+        let overtime_cur = schema.field_id("current.overtime").unwrap();
+        let overtime_ytd = schema.field_id("year_to_date.overtime").unwrap();
+        seed.set_phrases(overtime_cur, vec!["Overtime".into()]);
+        seed.set_phrases(overtime_ytd, vec!["Overtime".into()]);
+        let (expanded, added) =
+            expand_with_unlabeled(&seed, &corpus.documents, &MiningConfig::default());
+        assert!(added > 0, "nothing mined");
+        // The mined bank should now include a multi-word overtime synonym
+        // that actually occurs in the corpus ("overtime pay"/"ot pay"...).
+        let bank = expanded.phrases(overtime_cur);
+        assert!(
+            bank.len() > 1,
+            "no expansion for overtime: {bank:?}"
+        );
+        assert!(bank.iter().all(|p| p.contains("overtime") || p.contains("ot")));
+    }
+
+    #[test]
+    fn ambiguous_phrases_not_attributed() {
+        let corpus = generate(Domain::Earnings, 57, 60);
+        let schema = &corpus.schema;
+        let mut seed = FieldSwapConfig::new(schema.len());
+        // Two unrelated fields whose seeds share the word "pay": the mined
+        // phrase "net pay" must not join the PTO field.
+        let net = schema.field_id("net_pay").unwrap();
+        let pto = schema.field_id("current.pto_pay").unwrap();
+        seed.set_phrases(net, vec!["net pay".into()]);
+        seed.set_phrases(pto, vec!["pto pay".into()]);
+        let (expanded, _) =
+            expand_with_unlabeled(&seed, &corpus.documents, &MiningConfig::default());
+        assert!(
+            !expanded.phrases(pto).iter().any(|p| p == "net pay"),
+            "ambiguous mined phrase leaked: {:?}",
+            expanded.phrases(pto)
+        );
+    }
+
+    #[test]
+    fn empty_unlabeled_corpus_is_identity() {
+        let mut seed = FieldSwapConfig::new(3);
+        seed.add_phrase(0, "total due");
+        let (expanded, added) = expand_with_unlabeled(&seed, &[], &MiningConfig::default());
+        assert_eq!(added, 0);
+        assert_eq!(expanded, seed);
+    }
+}

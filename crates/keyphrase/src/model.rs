@@ -1,0 +1,457 @@
+//! The candidate-based importance model (paper Fig. 2).
+//!
+//! For a base-type candidate (e.g. the amount `$3,308.62`), the model:
+//!
+//! 1. encodes each of the `t` nearest neighboring tokens by concatenating a
+//!    hashed **text embedding** and a quantized **relative-position
+//!    embedding**, passed through a dense+ReLU projection;
+//! 2. contextualizes neighbors with one **self-attention** layer;
+//! 3. **max-pools** the contextualized neighbor encodings into a single
+//!    *Neighborhood Encoding*;
+//! 4. concatenates a **candidate position embedding** and applies a linear
+//!    head producing one **binary logit per field** of the training
+//!    schema.
+//!
+//! At transfer time only the intermediate encodings matter: the importance
+//! score of neighbor `i` is `cosine(NeighborhoodEncoding, H_i)` where
+//! `H_i` is that neighbor's contextualized encoding — exactly the
+//! manipulation the paper performs on the model's intermediate outputs.
+
+use crate::features::{cand_pos_id, rel_pos_id, text_id, CAND_POS_VOCAB, POS_VOCAB, TEXT_VOCAB};
+use fieldswap_docmodel::{Corpus, Document, NeighborMetric};
+use fieldswap_nn::{cosine_similarity, Adam, Init, Optimizer, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Embedding/encoder width.
+    pub dim: usize,
+    /// Candidate-position embedding width.
+    pub cand_dim: usize,
+    /// Number of neighboring tokens per candidate (the paper uses 100).
+    pub neighbors: usize,
+    /// Training epochs over the pre-training corpus.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Max candidates sampled per document during training (cost control).
+    pub max_candidates_per_doc: usize,
+    /// Neighbor-selection metric (the paper uses off-axis distance; the
+    /// Euclidean variant exists for the ablation bench).
+    pub neighbor_metric: NeighborMetric,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            dim: 24,
+            cand_dim: 8,
+            neighbors: 100,
+            epochs: 2,
+            lr: 0.01,
+            max_candidates_per_doc: 24,
+            neighbor_metric: NeighborMetric::OffAxis,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A small, fast profile for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            dim: 12,
+            cand_dim: 4,
+            neighbors: 16,
+            epochs: 1,
+            lr: 0.02,
+            max_candidates_per_doc: 8,
+            neighbor_metric: NeighborMetric::OffAxis,
+        }
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss of the first epoch.
+    pub first_epoch_loss: f32,
+    /// Mean loss of the last epoch.
+    pub last_epoch_loss: f32,
+    /// Total candidate examples seen per epoch.
+    pub examples_per_epoch: usize,
+}
+
+/// The trained importance model.
+pub struct ImportanceModel {
+    cfg: ModelConfig,
+    params: ParamStore,
+    emb_text: fieldswap_nn::ParamId,
+    emb_pos: fieldswap_nn::ParamId,
+    emb_cand: fieldswap_nn::ParamId,
+    // The paper concatenates text and position embeddings before the
+    // dense projection; `[T | P] @ W` is computed as
+    // `T @ w_enc_text + P @ w_enc_pos`, which is the identical linear map
+    // with the weight matrix split in half.
+    w_enc_text: fieldswap_nn::ParamId,
+    w_enc_pos: fieldswap_nn::ParamId,
+    b_enc: fieldswap_nn::ParamId,
+    wq: fieldswap_nn::ParamId,
+    wk: fieldswap_nn::ParamId,
+    wv: fieldswap_nn::ParamId,
+    w_head: fieldswap_nn::ParamId,
+    n_fields: usize,
+}
+
+/// One candidate's extracted features.
+struct CandFeatures {
+    text_ids: Vec<usize>,
+    pos_ids: Vec<usize>,
+    cand_pos: usize,
+    /// Ids of the neighbor tokens, aligned with `text_ids`/`pos_ids`.
+    neighbor_tokens: Vec<u32>,
+}
+
+impl ImportanceModel {
+    /// Initializes an untrained model for a schema with `n_fields` output
+    /// heads.
+    pub fn new(cfg: ModelConfig, n_fields: usize, seed: u64) -> Self {
+        let d = cfg.dim;
+        let mut params = ParamStore::new(seed);
+        let emb_text = params.tensor("emb_text", TEXT_VOCAB, d, Init::Uniform(0.2));
+        let emb_pos = params.tensor("emb_pos", POS_VOCAB, d, Init::Uniform(0.2));
+        let emb_cand = params.tensor("emb_cand", CAND_POS_VOCAB, cfg.cand_dim, Init::Uniform(0.2));
+        let w_enc_text = params.tensor("w_enc_text", d, d, Init::Xavier);
+        let w_enc_pos = params.tensor("w_enc_pos", d, d, Init::Xavier);
+        let b_enc = params.tensor("b_enc", 1, d, Init::Zeros);
+        let wq = params.tensor("wq", d, d, Init::Xavier);
+        let wk = params.tensor("wk", d, d, Init::Xavier);
+        let wv = params.tensor("wv", d, d, Init::Xavier);
+        let w_head = params.tensor("w_head", d + cfg.cand_dim, n_fields, Init::Xavier);
+        Self {
+            cfg,
+            params,
+            emb_text,
+            emb_pos,
+            emb_cand,
+            w_enc_text,
+            w_enc_pos,
+            b_enc,
+            wq,
+            wk,
+            wv,
+            w_head,
+            n_fields,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn extract(&self, doc: &Document, start: u32, end: u32) -> CandFeatures {
+        let center = doc.span_bbox(start, end).center();
+        let neighbor_tokens =
+            doc.neighbors_by_metric(start, end, self.cfg.neighbors, self.cfg.neighbor_metric);
+        let mut text_ids = Vec::with_capacity(neighbor_tokens.len());
+        let mut pos_ids = Vec::with_capacity(neighbor_tokens.len());
+        for &t in &neighbor_tokens {
+            let tok = &doc.tokens[t as usize];
+            text_ids.push(text_id(&tok.text));
+            pos_ids.push(rel_pos_id(center, tok.bbox.center()));
+        }
+        CandFeatures {
+            text_ids,
+            pos_ids,
+            cand_pos: cand_pos_id(&doc.span_bbox(start, end)),
+            neighbor_tokens,
+        }
+    }
+
+    /// Runs the forward pass, returning `(tape, per-neighbor encoder
+    /// output, neighborhood-encoding node, logits node)`. The per-neighbor
+    /// node is the *pre-attention* encoding: self-attention mixes rows
+    /// toward their mean, so the post-attention rows all resemble the
+    /// pooled vector and carry no per-neighbor contrast; the encoder
+    /// output is what distinguishes one neighbor from another.
+    fn forward(&self, f: &CandFeatures) -> Option<(Tape, fieldswap_nn::NodeId, fieldswap_nn::NodeId, fieldswap_nn::NodeId)> {
+        if f.text_ids.is_empty() {
+            return None;
+        }
+        let d = self.cfg.dim;
+        let mut tape = Tape::new();
+        let te = tape.gather(&self.params, self.emb_text, &f.text_ids);
+        let pe = tape.gather(&self.params, self.emb_pos, &f.pos_ids);
+        let wt = tape.param(&self.params, self.w_enc_text);
+        let wp = tape.param(&self.params, self.w_enc_pos);
+        let be = tape.param(&self.params, self.b_enc);
+        let ht = tape.matmul(te, wt);
+        let hp = tape.matmul(pe, wp);
+        let h = tape.add(ht, hp);
+        let h = tape.add_row(h, be);
+        let h = tape.relu(h);
+        // Self-attention.
+        let q = {
+            let w = tape.param(&self.params, self.wq);
+            tape.matmul(h, w)
+        };
+        let k = {
+            let w = tape.param(&self.params, self.wk);
+            tape.matmul(h, w)
+        };
+        let v = {
+            let w = tape.param(&self.params, self.wv);
+            tape.matmul(h, w)
+        };
+        let kt = tape.transpose(k);
+        let scores = tape.matmul(q, kt);
+        let scores = tape.scale(scores, 1.0 / (d as f32).sqrt());
+        let att = tape.softmax(scores);
+        let ctx = tape.matmul(att, v);
+        // Neighborhood encoding.
+        let pooled = tape.max_pool(ctx);
+        // Candidate position embedding + head.
+        let ce = tape.gather(&self.params, self.emb_cand, &[f.cand_pos]);
+        let feat = tape.concat_cols(pooled, ce);
+        let wh = tape.param(&self.params, self.w_head);
+        let logits = tape.matmul(feat, wh);
+        Some((tape, h, pooled, logits))
+    }
+
+    /// Trains on `corpus` (the out-of-domain pre-training corpus).
+    /// Candidates are the ground-truth field instances (positives for
+    /// their field) plus base-type annotator spans that match no ground
+    /// truth (all-zero targets).
+    pub fn train(&mut self, corpus: &Corpus, seed: u64) -> TrainReport {
+        assert_eq!(self.n_fields, corpus.schema.len(), "head/schema mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut first = 0.0f64;
+        let mut last = 0.0f64;
+        let mut per_epoch = 0usize;
+        for epoch in 0..self.cfg.epochs {
+            let mut order: Vec<usize> = (0..corpus.documents.len()).collect();
+            order.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            let mut count = 0usize;
+            for &di in &order {
+                let doc = &corpus.documents[di];
+                let cands = self.training_candidates(doc, &mut rng);
+                for (start, end, targets) in cands {
+                    let feats = self.extract(doc, start, end);
+                    let Some((mut tape, _ctx, _pooled, logits)) = self.forward(&feats) else {
+                        continue;
+                    };
+                    let loss = tape.bce_with_logits(logits, &targets);
+                    total += f64::from(tape.value(loss).data()[0]);
+                    count += 1;
+                    tape.backward(loss, &mut self.params);
+                    opt.step(&mut self.params);
+                }
+            }
+            let mean = if count > 0 { total / count as f64 } else { 0.0 };
+            if epoch == 0 {
+                first = mean;
+            }
+            last = mean;
+            per_epoch = count;
+        }
+        TrainReport {
+            first_epoch_loss: first as f32,
+            last_epoch_loss: last as f32,
+            examples_per_epoch: per_epoch,
+        }
+    }
+
+    /// Builds `(start, end, multi-hot target)` training candidates for one
+    /// document: all ground-truth spans plus annotator spans that overlap
+    /// no ground truth (sampled down to the configured budget).
+    fn training_candidates(
+        &self,
+        doc: &Document,
+        rng: &mut StdRng,
+    ) -> Vec<(u32, u32, Vec<f32>)> {
+        let mut out: Vec<(u32, u32, Vec<f32>)> = Vec::new();
+        for a in &doc.annotations {
+            let mut t = vec![0.0; self.n_fields];
+            t[a.field as usize] = 1.0;
+            out.push((a.start, a.end, t));
+        }
+        let mut negatives: Vec<(u32, u32)> = fieldswap_ocr::annotate_candidates(doc)
+            .into_iter()
+            .filter(|c| {
+                !doc.annotations
+                    .iter()
+                    .any(|a| a.start < c.end && c.start < a.end)
+            })
+            .map(|c| (c.start, c.end))
+            .collect();
+        negatives.shuffle(rng);
+        let neg_budget = self
+            .cfg
+            .max_candidates_per_doc
+            .saturating_sub(out.len())
+            .min(negatives.len());
+        for (s, e) in negatives.into_iter().take(neg_budget) {
+            out.push((s, e, vec![0.0; self.n_fields]));
+        }
+        out.shuffle(rng);
+        out.truncate(self.cfg.max_candidates_per_doc);
+        out
+    }
+
+    /// Computes, for the candidate span `[start, end)` of `doc`, each
+    /// neighboring token's importance score: the cosine similarity between
+    /// the Neighborhood Encoding and that neighbor's contextualized
+    /// encoding. Returns `(token id, score)` pairs.
+    pub fn neighbor_importance(&self, doc: &Document, start: u32, end: u32) -> Vec<(u32, f32)> {
+        let feats = self.extract(doc, start, end);
+        let Some((tape, enc, pooled, _logits)) = self.forward(&feats) else {
+            return Vec::new();
+        };
+        let pooled_v = tape.value(pooled).row(0).to_vec();
+        let ctx_v = tape.value(enc);
+        feats
+            .neighbor_tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, cosine_similarity(&pooled_v, ctx_v.row(i))))
+            .collect()
+    }
+
+    /// Field logits for a candidate (used by tests and diagnostics).
+    pub fn predict_logits(&self, doc: &Document, start: u32, end: u32) -> Vec<f32> {
+        let feats = self.extract(doc, start, end);
+        match self.forward(&feats) {
+            Some((tape, _, _, logits)) => tape.value(logits).row(0).to_vec(),
+            None => vec![0.0; self.n_fields],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_datagen::{generate, Domain};
+
+    fn tiny_model_and_corpus() -> (ImportanceModel, Corpus) {
+        let corpus = generate(Domain::Invoices, 42, 30);
+        let model = ImportanceModel::new(ModelConfig::tiny(), corpus.schema.len(), 7);
+        (model, corpus)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (mut model, corpus) = tiny_model_and_corpus();
+        let mut cfg = ModelConfig::tiny();
+        cfg.epochs = 3;
+        model.cfg = cfg;
+        let report = model.train(&corpus, 1);
+        assert!(report.examples_per_epoch > 50);
+        assert!(
+            report.last_epoch_loss < report.first_epoch_loss,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn neighbor_importance_returns_scores_for_neighbors() {
+        let (model, corpus) = tiny_model_and_corpus();
+        let doc = corpus
+            .documents
+            .iter()
+            .find(|d| !d.annotations.is_empty())
+            .unwrap();
+        let a = doc.annotations[0];
+        let scores = model.neighbor_importance(doc, a.start, a.end);
+        assert!(!scores.is_empty());
+        assert!(scores.len() <= model.config().neighbors);
+        for (t, s) in &scores {
+            assert!((*t as usize) < doc.tokens.len());
+            assert!((-1.0..=1.0).contains(s), "cosine out of range: {s}");
+        }
+        // The candidate's own tokens are not neighbors.
+        assert!(scores.iter().all(|(t, _)| *t < a.start || *t >= a.end));
+    }
+
+    #[test]
+    fn trained_model_scores_key_phrase_above_median() {
+        // After training on invoices, the anchoring phrase tokens of a
+        // money field should rank above the median neighbor.
+        let corpus = generate(Domain::Invoices, 11, 120);
+        let mut model = ImportanceModel::new(
+            ModelConfig {
+                epochs: 2,
+                ..ModelConfig::tiny()
+            },
+            corpus.schema.len(),
+            7,
+        );
+        model.train(&corpus, 3);
+        let total_due = corpus.schema.field_id("total_due").unwrap();
+        let mut wins = 0usize;
+        let mut cases = 0usize;
+        for doc in corpus.documents.iter().take(40) {
+            let Some(a) = doc.spans_of(total_due).next().copied() else {
+                continue;
+            };
+            let scores = model.neighbor_importance(doc, a.start, a.end);
+            if scores.len() < 4 {
+                continue;
+            }
+            let mut sorted: Vec<f32> = scores.iter().map(|(_, s)| *s).collect();
+            sorted.sort_by(f32::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            // Phrase tokens: any neighbor whose text is part of a
+            // total-due synonym.
+            let phrase_scores: Vec<f32> = scores
+                .iter()
+                .filter(|(t, _)| {
+                    let txt = doc.tokens[*t as usize].lower();
+                    ["total", "amount", "due", "balance"].contains(&txt.trim_end_matches(':'))
+                })
+                .map(|(_, s)| *s)
+                .collect();
+            if phrase_scores.is_empty() {
+                continue;
+            }
+            cases += 1;
+            let best_phrase = phrase_scores.iter().copied().fold(f32::MIN, f32::max);
+            if best_phrase >= median {
+                wins += 1;
+            }
+        }
+        assert!(cases >= 10, "too few evaluable cases: {cases}");
+        assert!(
+            wins * 2 > cases,
+            "phrase tokens should beat the median in most cases: {wins}/{cases}"
+        );
+    }
+
+    #[test]
+    fn predict_logits_has_field_arity() {
+        let (model, corpus) = tiny_model_and_corpus();
+        let doc = &corpus.documents[0];
+        let a = doc.annotations[0];
+        assert_eq!(
+            model.predict_logits(doc, a.start, a.end).len(),
+            corpus.schema.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let corpus = generate(Domain::Invoices, 5, 10);
+        let run = || {
+            let mut m = ImportanceModel::new(ModelConfig::tiny(), corpus.schema.len(), 9);
+            m.train(&corpus, 2);
+            let d = &corpus.documents[0];
+            let a = d.annotations[0];
+            m.neighbor_importance(d, a.start, a.end)
+        };
+        assert_eq!(run(), run());
+    }
+}

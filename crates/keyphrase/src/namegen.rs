@@ -1,0 +1,178 @@
+//! Key phrases derived from field *names* — an implementation of the
+//! paper's future-work question: "Is it possible to use a large language
+//! model (LLM) instead of a human expert to generate a set of key phrases
+//! based on field names or descriptions?" (Section VI).
+//!
+//! In this offline reproduction the LLM is simulated with a deterministic
+//! rule-based expander: field names are split on schema punctuation,
+//! prefix qualifiers (`current.`, `year_to_date.`) are handled, the words
+//! are title-cased, and a small domain thesaurus contributes common
+//! synonyms (`total` → `amount due`, `date` variants, etc.). The output
+//! plugs into a [`FieldSwapConfig`] exactly like expert phrases, giving a
+//! zero-annotation configuration: no labeled examples are needed at all.
+
+use fieldswap_core::FieldSwapConfig;
+use fieldswap_docmodel::Schema;
+
+/// Thesaurus of word-level expansions applied to name-derived phrases.
+const THESAURUS: [(&str, &[&str]); 10] = [
+    ("total", &["total due", "amount due"]),
+    ("due", &["due", "owed"]),
+    ("pay", &["pay", "payment"]),
+    ("number", &["number", "no"]),
+    ("id", &["id", "identifier"]),
+    ("start", &["start", "begin", "beginning"]),
+    ("end", &["end", "ending"]),
+    ("salary", &["salary", "base salary"]),
+    ("fee", &["fee", "charge"]),
+    ("address", &["address", "mailing address"]),
+];
+
+/// Derives candidate key phrases for one field name. The first phrase is
+/// the title-cased name itself (qualifier stripped); thesaurus expansions
+/// and a qualifier-suffixed variant follow. Returns an empty list for
+/// names with no alphabetic content.
+pub fn phrases_from_name(name: &str) -> Vec<String> {
+    // Strip the "current." / "year_to_date." style qualifier; the table
+    // row phrase is the unqualified stem.
+    let stem = name.rsplit('.').next().unwrap_or(name);
+    let words: Vec<String> = stem
+        .split(['_', '.', '-'])
+        .filter(|w| !w.is_empty() && w.chars().any(|c| c.is_alphabetic()))
+        .map(str::to_lowercase)
+        .collect();
+    if words.is_empty() {
+        return Vec::new();
+    }
+    let base = words.join(" ");
+    let mut out = vec![base.clone()];
+    // Thesaurus: replace each word that has expansions, one at a time.
+    // Multi-word substitutions can duplicate a following word ("total" ->
+    // "amount due" in "total due" gives "amount due due"); adjacent
+    // duplicates are collapsed.
+    for (i, w) in words.iter().enumerate() {
+        if let Some((_, subs)) = THESAURUS.iter().find(|(k, _)| k == w) {
+            for sub in *subs {
+                let mut alt = words.clone();
+                alt[i] = (*sub).to_string();
+                let phrase = collapse_adjacent_duplicates(&alt.join(" "));
+                if !out.contains(&phrase) {
+                    out.push(phrase);
+                }
+            }
+        }
+    }
+    // A shortened variant dropping a leading generic word ("employee
+    // name" -> "name" is too generic, but "pay period start" -> "period
+    // start" is useful). Only drop when 3+ words remain informative.
+    if words.len() >= 3 {
+        let short = words[1..].join(" ");
+        if !out.contains(&short) {
+            out.push(short);
+        }
+    }
+    out.truncate(4);
+    out
+}
+
+/// Collapses adjacent repeated words: `"amount due due"` → `"amount due"`.
+fn collapse_adjacent_duplicates(phrase: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    for w in phrase.split_whitespace() {
+        if out.last() != Some(&w) {
+            out.push(w);
+        }
+    }
+    out.join(" ")
+}
+
+/// Builds a complete zero-annotation FieldSwap configuration from a
+/// schema: phrases from names, for every field. The caller chooses the
+/// pair strategy afterwards.
+pub fn config_from_schema(schema: &Schema) -> FieldSwapConfig {
+    let mut config = FieldSwapConfig::new(schema.len());
+    for (id, def) in schema.iter() {
+        config.set_phrases(id, phrases_from_name(&def.name));
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{BaseType, FieldDef};
+
+    #[test]
+    fn strips_qualifier_and_title_cases() {
+        let p = phrases_from_name("current.base_salary");
+        assert_eq!(p[0], "base salary");
+        assert!(!p.iter().any(|x| x.contains("current")));
+    }
+
+    #[test]
+    fn thesaurus_expands() {
+        let p = phrases_from_name("total_due");
+        assert!(p.contains(&"total due".to_string()));
+        assert!(p.contains(&"amount due".to_string()));
+    }
+
+    #[test]
+    fn multiword_shortening() {
+        let p = phrases_from_name("pay_period_start");
+        assert!(p.contains(&"period start".to_string()) || p.iter().any(|x| x.contains("start")));
+    }
+
+    #[test]
+    fn empty_and_numeric_names() {
+        assert!(phrases_from_name("").is_empty());
+        assert!(phrases_from_name("123").is_empty());
+    }
+
+    #[test]
+    fn config_covers_all_fields() {
+        let schema = Schema::new(
+            "t",
+            vec![
+                FieldDef::new("net_pay", BaseType::Money),
+                FieldDef::new("year_to_date.overtime", BaseType::Money),
+            ],
+        );
+        let c = config_from_schema(&schema);
+        assert!(c.has_phrases(0));
+        assert!(c.has_phrases(1));
+        assert_eq!(c.phrases(1)[0], "overtime");
+    }
+
+    #[test]
+    fn phrases_are_normalized() {
+        for p in phrases_from_name("payment_due_date") {
+            assert_eq!(p, p.to_lowercase());
+            assert!(!p.contains('_'));
+        }
+    }
+
+    #[test]
+    fn name_derived_phrases_overlap_earnings_oracle() {
+        // The simulated-LLM phrases should frequently hit the generator's
+        // oracle banks — that is what makes the zero-annotation arm work.
+        use fieldswap_datagen::Domain;
+        let bank = Domain::Earnings.generator().phrase_bank();
+        let mut hits = 0;
+        let mut total = 0;
+        for (name, oracle) in &bank {
+            if oracle.is_empty() {
+                continue;
+            }
+            total += 1;
+            let derived = phrases_from_name(name);
+            let oracle_lower: Vec<String> = oracle.iter().map(|o| o.to_lowercase()).collect();
+            if derived.iter().any(|d| oracle_lower.contains(d)) {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 2 >= total,
+            "name-derived phrases hit only {hits}/{total} oracle banks"
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! The key-phrase inference pipeline (paper Sections II-A2 through II-A5).
+//!
+//! Starting from the labeled examples of each field in the (small) target-
+//! domain training set:
+//!
+//! 1. generate a positive candidate from every ground-truth span;
+//! 2. score that candidate's neighboring tokens with the out-of-domain
+//!    [`crate::model::ImportanceModel`];
+//! 3. apply **sparsemax** over the scores; non-zero entries are the
+//!    *important tokens*;
+//! 4. expand each important token to its full OCR line, clean punctuation,
+//!    and score the phrase with the mean token importance;
+//! 5. exclude phrases containing tokens labeled as *any* field's ground
+//!    truth (field values are variable; key phrases are consistent —
+//!    Section II-A5);
+//! 6. aggregate per (field, phrase) with a noisy-or (Eq. 1), drop phrases
+//!    below threshold θ, and keep the top-k per field.
+
+use crate::model::ImportanceModel;
+use fieldswap_core::config::normalize_phrase;
+use fieldswap_core::FieldSwapConfig;
+use fieldswap_docmodel::{Corpus, Document, FieldId};
+use fieldswap_nn::sparsemax;
+use std::collections::HashMap;
+
+/// How per-candidate neighbor scores are sparsified into the set of
+/// *important tokens* (the paper uses sparsemax; top-k is the ablation
+/// baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sparsify {
+    /// Sparsemax projection; non-zero support = important tokens, with
+    /// the sparsemax mass as the token score.
+    Sparsemax,
+    /// Keep the k highest-cosine neighbors, each scored by its cosine.
+    TopK(usize),
+}
+
+/// How per-example phrase scores aggregate across examples of a field
+/// (the paper uses the noisy-or of Eq. 1; mean is the ablation baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// `1 - exp(sum(log(1 - score)))` — Eq. 1.
+    NoisyOr,
+    /// Arithmetic mean of the per-example scores.
+    Mean,
+}
+
+/// Tunable knobs of the inference pipeline (paper Section IV-B defaults:
+/// `t = 100` neighbors, top `k = 3` phrases, `θ = 0.2`).
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceConfig {
+    /// Keep the top-k phrases per field.
+    pub top_k: usize,
+    /// Drop phrases whose aggregated importance falls below this.
+    pub theta: f64,
+    /// Cap on tokens a phrase may contain (OCR lines in dense tables can
+    /// be long; real key phrases are short).
+    pub max_phrase_tokens: usize,
+    /// Important-token sparsification (ablation hook).
+    pub sparsify: Sparsify,
+    /// Cross-example aggregation (ablation hook).
+    pub aggregation: Aggregation,
+    /// Exclude phrases containing ground-truth value tokens
+    /// (Section II-A5; disabling this is the ablation that admits
+    /// spurious value-derived phrases such as "LLC").
+    pub exclude_ground_truth: bool,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        Self {
+            top_k: 3,
+            theta: 0.2,
+            max_phrase_tokens: 6,
+            sparsify: Sparsify::Sparsemax,
+            aggregation: Aggregation::NoisyOr,
+            exclude_ground_truth: true,
+        }
+    }
+}
+
+/// A phrase ranked for one field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPhrase {
+    /// Normalized phrase text.
+    pub phrase: String,
+    /// Aggregated noisy-or importance (Eq. 1), in `[0, 1]`.
+    pub importance: f64,
+    /// Number of labeled examples that contributed this phrase.
+    pub support: usize,
+}
+
+/// Infers ranked key phrases for every field of `corpus` using `model`.
+/// Returns one ranked list per field id. Use
+/// [`to_fieldswap_config`] to turn the result into a [`FieldSwapConfig`].
+pub fn infer_key_phrases(
+    model: &ImportanceModel,
+    corpus: &Corpus,
+    cfg: &InferenceConfig,
+) -> Vec<Vec<RankedPhrase>> {
+    // (field, phrase) -> accumulator, support count. For noisy-or the
+    // accumulator holds sum(log(1 - score)); for the mean ablation it
+    // holds sum(score).
+    let mut acc: HashMap<(FieldId, String), (f64, usize)> = HashMap::new();
+    for doc in &corpus.documents {
+        let labeled = doc.labeled_token_set();
+        for a in &doc.annotations {
+            for (phrase, score) in important_phrases(model, doc, a.start, a.end, &labeled, cfg) {
+                let e = acc.entry((a.field, phrase)).or_insert((0.0, 0));
+                match cfg.aggregation {
+                    // Eq. 1 accumulates log(1 - score); clamp to keep the
+                    // log finite when a phrase scores ~1.
+                    Aggregation::NoisyOr => e.0 += (1.0 - score.min(0.999_999)).ln(),
+                    Aggregation::Mean => e.0 += score,
+                }
+                e.1 += 1;
+            }
+        }
+    }
+    let mut per_field: Vec<Vec<RankedPhrase>> = vec![Vec::new(); corpus.schema.len()];
+    for ((field, phrase), (accum, support)) in acc {
+        let importance = match cfg.aggregation {
+            Aggregation::NoisyOr => 1.0 - accum.exp(),
+            Aggregation::Mean => accum / support as f64,
+        };
+        if importance >= cfg.theta {
+            per_field[field as usize].push(RankedPhrase {
+                phrase,
+                importance,
+                support,
+            });
+        }
+    }
+    for list in &mut per_field {
+        list.sort_by(|a, b| b.importance.total_cmp(&a.importance).then(a.phrase.cmp(&b.phrase)));
+        list.truncate(cfg.top_k);
+    }
+    per_field
+}
+
+/// Converts ranked phrases into a [`FieldSwapConfig`] (phrases only; pair
+/// construction is a separate concern).
+pub fn to_fieldswap_config(ranked: &[Vec<RankedPhrase>]) -> FieldSwapConfig {
+    let mut config = FieldSwapConfig::new(ranked.len());
+    for (f, list) in ranked.iter().enumerate() {
+        config.set_phrases(
+            f as FieldId,
+            list.iter().map(|r| r.phrase.clone()).collect(),
+        );
+    }
+    config
+}
+
+/// Steps 2–5 for one labeled example: returns `(phrase, phrase score)`
+/// pairs, where the phrase score is the mean importance of the phrase's
+/// tokens.
+fn important_phrases(
+    model: &ImportanceModel,
+    doc: &Document,
+    start: u32,
+    end: u32,
+    labeled: &[bool],
+    cfg: &InferenceConfig,
+) -> Vec<(String, f64)> {
+    let scored = model.neighbor_importance(doc, start, end);
+    if scored.is_empty() {
+        return Vec::new();
+    }
+    // Sparsify the raw cosine scores into the important-token set. With
+    // sparsemax (the paper's choice) the *mass* is the token importance:
+    // it sums to 1 across the neighborhood, so a candidate with one
+    // dominant anchor assigns it most of the mass, while diffuse
+    // neighborhoods spread thin — which keeps the noisy-or aggregation
+    // (Eq. 1) from saturating on frequently co-occurring but
+    // non-indicative lines (column headers, page titles).
+    let raw: Vec<f32> = scored.iter().map(|(_, s)| *s).collect();
+    let mut token_score: HashMap<u32, f32> = HashMap::new();
+    match cfg.sparsify {
+        Sparsify::Sparsemax => {
+            let mass = sparsemax(&raw);
+            for ((tok, _), m) in scored.iter().zip(&mass) {
+                if *m > 0.0 {
+                    token_score.insert(*tok, *m);
+                }
+            }
+        }
+        Sparsify::TopK(k) => {
+            let mut by_score = scored.clone();
+            by_score.sort_by(|a, b| b.1.total_cmp(&a.1));
+            for (tok, s) in by_score.into_iter().take(k) {
+                if s > 0.0 {
+                    token_score.insert(tok, s);
+                }
+            }
+        }
+    }
+    if token_score.is_empty() {
+        return Vec::new();
+    }
+
+    // Expand each important token to its OCR line; one phrase per line.
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let mut seen_lines = Vec::new();
+    for &tok in token_score.keys() {
+        let Some(line_idx) = doc.line_of(tok) else {
+            continue;
+        };
+        if seen_lines.contains(&line_idx) {
+            continue;
+        }
+        seen_lines.push(line_idx);
+        let line = &doc.lines[line_idx];
+        if line.tokens.len() > cfg.max_phrase_tokens {
+            continue;
+        }
+        // Ground-truth exclusion: values of any field cannot be part of a
+        // key phrase.
+        if cfg.exclude_ground_truth && line.tokens.iter().any(|&t| labeled[t as usize]) {
+            continue;
+        }
+        let words: Vec<&str> = line
+            .tokens
+            .iter()
+            .map(|&t| doc.tokens[t as usize].text.as_str())
+            .collect();
+        let phrase = normalize_phrase(&words.join(" "));
+        if phrase.is_empty() {
+            continue;
+        }
+        // Phrase importance = mean token importance over the line, where
+        // non-important tokens contribute their (unselected) raw score of
+        // zero mass — the paper averages token importance scores within
+        // the phrase; tokens the model did not select contribute 0.
+        let sum: f64 = line
+            .tokens
+            .iter()
+            .map(|t| f64::from(token_score.get(t).copied().unwrap_or(0.0).max(0.0)))
+            .sum();
+        let mean = sum / line.tokens.len() as f64;
+        if mean > 0.0 {
+            out.push((phrase, mean.min(1.0)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use fieldswap_datagen::{generate, Domain};
+
+    fn trained_model(train_docs: usize) -> (ImportanceModel, Corpus) {
+        let corpus = generate(Domain::Invoices, 21, train_docs);
+        let mut model = ImportanceModel::new(
+            ModelConfig {
+                epochs: 2,
+                ..ModelConfig::tiny()
+            },
+            corpus.schema.len(),
+            13,
+        );
+        model.train(&corpus, 5);
+        (model, corpus)
+    }
+
+    #[test]
+    fn infers_phrases_in_domain() {
+        let (model, corpus) = trained_model(80);
+        let ranked = infer_key_phrases(&model, &corpus, &InferenceConfig::default());
+        assert_eq!(ranked.len(), corpus.schema.len());
+        // total_due is anchored by a phrase in every vendor; with 80 docs
+        // something must be inferred for it.
+        let total = corpus.schema.field_id("total_due").unwrap();
+        assert!(
+            !ranked[total as usize].is_empty(),
+            "no phrases inferred for total_due"
+        );
+        for list in &ranked {
+            assert!(list.len() <= 3);
+            for r in list {
+                assert!((0.0..=1.0).contains(&r.importance));
+                assert!(r.support >= 1);
+                assert_eq!(r.phrase, normalize_phrase(&r.phrase));
+            }
+            // Ranked descending.
+            for w in list.windows(2) {
+                assert!(w[0].importance >= w[1].importance);
+            }
+        }
+    }
+
+    #[test]
+    fn inferred_phrases_overlap_oracle_bank() {
+        let (model, corpus) = trained_model(120);
+        let ranked = infer_key_phrases(&model, &corpus, &InferenceConfig::default());
+        let bank = Domain::Invoices.generator().phrase_bank();
+        let mut hits = 0usize;
+        let mut fields_with_phrases = 0usize;
+        for (name, oracle) in &bank {
+            if oracle.is_empty() {
+                continue;
+            }
+            let fid = corpus.schema.field_id(name).unwrap();
+            if ranked[fid as usize].is_empty() {
+                continue;
+            }
+            fields_with_phrases += 1;
+            let oracle_norm: Vec<String> =
+                oracle.iter().map(|p| normalize_phrase(p)).collect();
+            if ranked[fid as usize]
+                .iter()
+                .any(|r| oracle_norm.iter().any(|o| r.phrase.contains(o.as_str()) || o.contains(r.phrase.as_str())))
+            {
+                hits += 1;
+            }
+        }
+        assert!(fields_with_phrases >= 3, "{fields_with_phrases}");
+        assert!(
+            hits * 2 >= fields_with_phrases,
+            "inferred phrases should usually match the oracle bank: {hits}/{fields_with_phrases}"
+        );
+    }
+
+    #[test]
+    fn ground_truth_tokens_never_in_phrases() {
+        let (model, corpus) = trained_model(60);
+        let ranked = infer_key_phrases(&model, &corpus, &InferenceConfig::default());
+        // Reconstruct all value texts; no inferred phrase may equal one.
+        let mut value_texts = std::collections::HashSet::new();
+        for d in &corpus.documents {
+            for a in &d.annotations {
+                value_texts.insert(normalize_phrase(&d.span_text(a.start, a.end)));
+            }
+        }
+        for list in &ranked {
+            for r in list {
+                assert!(
+                    !value_texts.contains(&r.phrase),
+                    "phrase '{}' is a field value",
+                    r.phrase
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theta_filters_low_importance() {
+        let (model, corpus) = trained_model(40);
+        let strict = InferenceConfig {
+            theta: 0.99,
+            ..InferenceConfig::default()
+        };
+        let ranked = infer_key_phrases(&model, &corpus, &strict);
+        let total: usize = ranked.iter().map(Vec::len).sum();
+        let loose = InferenceConfig {
+            theta: 0.0,
+            ..InferenceConfig::default()
+        };
+        let ranked_loose = infer_key_phrases(&model, &corpus, &loose);
+        let total_loose: usize = ranked_loose.iter().map(Vec::len).sum();
+        assert!(total <= total_loose);
+    }
+
+    #[test]
+    fn to_config_preserves_order() {
+        let ranked = vec![
+            vec![
+                RankedPhrase {
+                    phrase: "amount due".into(),
+                    importance: 0.9,
+                    support: 4,
+                },
+                RankedPhrase {
+                    phrase: "total".into(),
+                    importance: 0.5,
+                    support: 2,
+                },
+            ],
+            vec![],
+        ];
+        let config = to_fieldswap_config(&ranked);
+        assert_eq!(config.phrases(0), &["amount due".to_string(), "total".to_string()]);
+        assert!(!config.has_phrases(1));
+    }
+
+    #[test]
+    fn cross_domain_transfer_produces_phrases() {
+        // Pre-train on invoices, infer on Earnings — the paper's transfer
+        // setting.
+        let (model, _) = trained_model(80);
+        let target = generate(Domain::Earnings, 33, 30);
+        // The model's head arity differs from the target schema; only the
+        // encodings are used, so inference must still work.
+        let ranked = infer_key_phrases(&model, &target, &InferenceConfig::default());
+        let total: usize = ranked.iter().map(Vec::len).sum();
+        assert!(total > 0, "transfer produced no phrases at all");
+    }
+}

@@ -1,0 +1,191 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use crate::tape::ParamStore;
+use crate::tensor::Tensor;
+
+/// A gradient-based parameter update rule.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated in
+    /// `store`, then zeroes them.
+    fn step(&mut self, store: &mut ParamStore);
+}
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Per-tensor L2 clip threshold (`None` disables clipping).
+    pub clip: Option<f32>,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no clipping.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, clip: None }
+    }
+
+    /// SGD with per-tensor gradient-norm clipping.
+    pub fn with_clip(lr: f32, clip: f32) -> Self {
+        Self { lr, clip: Some(clip) }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        for (value, grad) in store.pairs_mut() {
+            let mut scale = self.lr;
+            if let Some(c) = self.clip {
+                let n = grad.norm();
+                if n > c {
+                    scale *= c / n;
+                }
+            }
+            for (v, g) in value.data_mut().iter_mut().zip(grad.data()) {
+                *v -= scale * g;
+            }
+            grad.zero();
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for (i, (value, grad)) in store.pairs_mut().enumerate() {
+            if self.m.len() <= i {
+                self.m.push(Tensor::zeros(value.rows(), value.cols()));
+                self.v.push(Tensor::zeros(value.rows(), value.cols()));
+            }
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            for k in 0..value.len() {
+                let g = grad.data()[k];
+                let mk = self.beta1 * m.data()[k] + (1.0 - self.beta1) * g;
+                let vk = self.beta2 * v.data()[k] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[k] = mk;
+                v.data_mut()[k] = vk;
+                let mhat = mk / bc1;
+                let vhat = vk / bc2;
+                value.data_mut()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            grad.zero();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::{Init, Tape};
+    use crate::tensor::Tensor;
+
+    fn quadratic_loss(store: &mut ParamStore, p: crate::tape::ParamId) -> f32 {
+        // loss = BCE(w·x, 1): minimized by pushing w·x up.
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_rows(vec![vec![1.0, -1.0]]));
+        let w = tape.param(store, p);
+        let z = tape.matmul(x, w);
+        let loss = tape.bce_with_logits(z, &[1.0]);
+        let out = tape.value(loss).data()[0];
+        tape.backward(loss, store);
+        out
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut store = ParamStore::new(1);
+        let p = store.tensor("w", 2, 1, Init::Xavier);
+        let mut opt = Sgd::new(0.3);
+        let first = quadratic_loss(&mut store, p);
+        opt.step(&mut store);
+        for _ in 0..50 {
+            quadratic_loss(&mut store, p);
+            opt.step(&mut store);
+        }
+        store.zero_grads();
+        let last = quadratic_loss(&mut store, p);
+        assert!(last < first);
+    }
+
+    #[test]
+    fn adam_descends_faster_than_tiny_sgd() {
+        let run = |mut opt: Box<dyn Optimizer>| {
+            let mut store = ParamStore::new(2);
+            let p = store.tensor("w", 2, 1, Init::Zeros);
+            for _ in 0..30 {
+                quadratic_loss(&mut store, p);
+                opt.step(&mut store);
+            }
+            store.zero_grads();
+            quadratic_loss(&mut store, p)
+        };
+        let adam = run(Box::new(Adam::new(0.05)));
+        let sgd = run(Box::new(Sgd::new(0.001)));
+        assert!(adam < sgd, "adam {adam} should beat lr=0.001 sgd {sgd}");
+    }
+
+    #[test]
+    fn sgd_clipping_bounds_update() {
+        let mut store = ParamStore::new(3);
+        let p = store.tensor("w", 1, 1, Init::Zeros);
+        // Manually set a huge gradient.
+        store.zero_grads();
+        {
+            let mut tape = Tape::new();
+            let x = tape.constant(Tensor::from_vec(1, 1, vec![1000.0]));
+            let w = tape.param(&store, p);
+            let z = tape.matmul(x, w);
+            let loss = tape.bce_with_logits(z, &[1.0]);
+            tape.backward(loss, &mut store);
+        }
+        let before = store.value(p).data()[0];
+        let mut opt = Sgd::with_clip(1.0, 0.1);
+        opt.step(&mut store);
+        let delta = (store.value(p).data()[0] - before).abs();
+        assert!(delta <= 0.1 + 1e-6, "clipped step was {delta}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut store = ParamStore::new(4);
+        let p = store.tensor("w", 2, 1, Init::Xavier);
+        quadratic_loss(&mut store, p);
+        assert!(store.grad(p).norm() > 0.0);
+        Sgd::new(0.1).step(&mut store);
+        assert_eq!(store.grad(p).norm(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Sparsemax (Martins & Astudillo, ICML 2016): the Euclidean projection of a
+//! score vector onto the probability simplex. Unlike softmax it produces
+//! exact zeros, which is why the paper uses it to select the sparse set of
+//! *important tokens* from neighbor importance scores (Section II-A2).
+
+/// Computes sparsemax(z): the unique point `p` on the probability simplex
+/// minimizing `||p - z||²`. Components whose score falls below the support
+/// threshold τ become exactly zero.
+///
+/// Returns an empty vector for empty input.
+pub fn sparsemax(z: &[f32]) -> Vec<f32> {
+    if z.is_empty() {
+        return Vec::new();
+    }
+    // Sort scores in decreasing order.
+    let mut sorted: Vec<f32> = z.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+
+    // Find the support size k(z): the largest k with
+    // 1 + k * z_(k) > sum_{j<=k} z_(j).
+    let mut cumsum = 0.0f32;
+    let mut k = 0usize;
+    let mut cumsum_k = 0.0f32;
+    for (i, &zi) in sorted.iter().enumerate() {
+        cumsum += zi;
+        let kk = (i + 1) as f32;
+        if 1.0 + kk * zi > cumsum {
+            k = i + 1;
+            cumsum_k = cumsum;
+        }
+    }
+    // Threshold tau.
+    let tau = (cumsum_k - 1.0) / k as f32;
+    z.iter().map(|&zi| (zi - tau).max(0.0)).collect()
+}
+
+/// Indices with non-zero sparsemax mass, i.e. the selected support set.
+pub fn sparsemax_support(z: &[f32]) -> Vec<usize> {
+    sparsemax(z)
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p > 0.0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_simplex(p: &[f32]) {
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(sparsemax(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element_gets_all_mass() {
+        assert_eq!(sparsemax(&[0.3]), vec![1.0]);
+    }
+
+    #[test]
+    fn uniform_scores_uniform_output() {
+        let p = sparsemax(&[2.0, 2.0, 2.0, 2.0]);
+        assert_simplex(&p);
+        for &x in &p {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dominant_score_takes_everything() {
+        // Gap larger than 1 puts all mass on the max.
+        let p = sparsemax(&[10.0, 0.0, -3.0]);
+        assert_eq!(p, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn produces_exact_zeros_unlike_softmax() {
+        let p = sparsemax(&[1.0, 0.9, -2.0, -5.0]);
+        assert_simplex(&p);
+        assert!(p[0] > 0.0 && p[1] > 0.0);
+        assert_eq!(p[2], 0.0);
+        assert_eq!(p[3], 0.0);
+    }
+
+    #[test]
+    fn known_two_element_case() {
+        // sparsemax([0.5, 0]) = [(0.5 - tau), (0 - tau)]+ with support 2:
+        // tau = (0.5 - 1)/2 = -0.25 → [0.75, 0.25].
+        let p = sparsemax(&[0.5, 0.0]);
+        assert!((p[0] - 0.75).abs() < 1e-6);
+        assert!((p[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn support_helper_filters_zeros() {
+        let s = sparsemax_support(&[1.0, 0.9, -2.0]);
+        assert_eq!(s, vec![0, 1]);
+    }
+
+    #[test]
+    fn translation_invariance() {
+        let a = sparsemax(&[0.1, 0.4, -0.3]);
+        let b = sparsemax(&[10.1, 10.4, 9.7]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_output_on_simplex(z in proptest::collection::vec(-10f32..10.0, 1..50)) {
+            let p = sparsemax(&z);
+            assert_simplex(&p);
+        }
+
+        #[test]
+        fn prop_order_preserved(z in proptest::collection::vec(-5f32..5.0, 2..20)) {
+            let p = sparsemax(&z);
+            for i in 0..z.len() {
+                for j in 0..z.len() {
+                    if z[i] > z[j] {
+                        prop_assert!(p[i] >= p[j] - 1e-6);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_max_always_in_support(z in proptest::collection::vec(-5f32..5.0, 1..20)) {
+            let p = sparsemax(&z);
+            let (imax, _) = z.iter().enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+            prop_assert!(p[imax] > 0.0);
+        }
+    }
+}

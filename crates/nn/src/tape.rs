@@ -1,0 +1,741 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a computation as a flat list of nodes; calling
+//! [`Tape::backward`] walks the list in reverse, propagating gradients and
+//! accumulating parameter gradients into the shared [`ParamStore`].
+//!
+//! The op set is exactly what the Fig.-2 importance model needs:
+//! constants, parameter reads, embedding gathers, matmul, transpose,
+//! row-broadcast add, element-wise add/mul/ReLU/tanh, scalar scale, row
+//! softmax, column-wise max-pool, row concatenation, row selection, and a
+//! binary-cross-entropy-with-logits loss head.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// Handle to a parameter tensor in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId(usize);
+
+/// Weight initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (for biases).
+    Zeros,
+    /// Uniform Xavier/Glorot: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    Xavier,
+    /// Uniform in `(-scale, scale)` (for embedding tables).
+    Uniform(f32),
+}
+
+/// Owns model parameters and their gradient accumulators.
+#[derive(Debug)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    rng: StdRng,
+}
+
+impl ParamStore {
+    /// Creates an empty store whose initializers draw from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            names: Vec::new(),
+            values: Vec::new(),
+            grads: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Allocates a `rows x cols` parameter initialized per `init`.
+    pub fn tensor(&mut self, name: &str, rows: usize, cols: usize, init: Init) -> ParamId {
+        let mut t = Tensor::zeros(rows, cols);
+        match init {
+            Init::Zeros => {}
+            Init::Xavier => {
+                let a = (6.0 / (rows + cols) as f32).sqrt();
+                for v in t.data_mut() {
+                    *v = self.rng.gen_range(-a..a);
+                }
+            }
+            Init::Uniform(s) => {
+                for v in t.data_mut() {
+                    *v = self.rng.gen_range(-s..s);
+                }
+            }
+        }
+        self.names.push(name.to_string());
+        self.values.push(t);
+        self.grads.push(Tensor::zeros(rows, cols));
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Read access to a parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter value (used by optimizers and tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Read access to a parameter gradient accumulator.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.zero();
+        }
+    }
+
+    /// Iterates `(value, grad)` pairs mutably — the optimizer update loop.
+    pub fn pairs_mut(&mut self) -> impl Iterator<Item = (&mut Tensor, &mut Tensor)> {
+        self.values.iter_mut().zip(self.grads.iter_mut())
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+}
+
+enum Op {
+    /// Leaf holding a constant input.
+    Constant,
+    /// Leaf reading parameter `p` in full.
+    Param(ParamId),
+    /// Rows of parameter `p` gathered by `indices` (an embedding lookup).
+    Gather(ParamId, Vec<usize>),
+    MatMul(NodeId, NodeId),
+    Transpose(NodeId),
+    /// Element-wise sum of two same-shape nodes.
+    Add(NodeId, NodeId),
+    /// `a + broadcast_rows(b)` where `b` is `1 x cols`.
+    AddRow(NodeId, NodeId),
+    /// Element-wise (Hadamard) product.
+    Mul(NodeId, NodeId),
+    Relu(NodeId),
+    Tanh(NodeId),
+    Scale(NodeId, f32),
+    /// Row-wise softmax.
+    Softmax(NodeId),
+    /// Column-wise max over rows → `1 x cols`; remembers arg-max rows.
+    MaxPool(NodeId, Vec<usize>),
+    /// Horizontal concatenation of `1 x a` and `1 x b` → `1 x (a+b)`.
+    ConcatCols(NodeId, NodeId),
+    /// Copy of row `r` of the input as a `1 x cols` tensor.
+    SelectRow(NodeId, usize),
+    /// Mean binary cross-entropy with logits against fixed targets;
+    /// produces a `1 x 1` scalar.
+    BceWithLogits(NodeId, Vec<f32>),
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A single recorded computation. Create one per forward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> NodeId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.nodes.push(Node { op, value, grad });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// The forward value of `id`.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient of the loss w.r.t. node `id` (valid after `backward`).
+    pub fn grad(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].grad
+    }
+
+    /// Records a constant leaf.
+    pub fn constant(&mut self, t: Tensor) -> NodeId {
+        self.push(Op::Constant, t)
+    }
+
+    /// Records a full parameter read.
+    pub fn param(&mut self, store: &ParamStore, p: ParamId) -> NodeId {
+        let v = store.value(p).clone();
+        self.push(Op::Param(p), v)
+    }
+
+    /// Records an embedding gather: rows `indices` of parameter `p`,
+    /// stacked in order.
+    pub fn gather(&mut self, store: &ParamStore, p: ParamId, indices: &[usize]) -> NodeId {
+        let table = store.value(p);
+        let mut out = Tensor::zeros(indices.len(), table.cols());
+        for (r, &i) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(table.row(i));
+        }
+        self.push(Op::Gather(p, indices.to_vec()), out)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    /// Element-wise sum (same shapes).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut v = self.value(a).clone();
+        v.add_assign(self.value(b));
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Adds row-vector `b` (`1 x cols`) to every row of `a`.
+    pub fn add_row(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let bv = self.value(b);
+        assert_eq!(bv.rows(), 1, "add_row bias must be 1 x cols");
+        assert_eq!(bv.cols(), self.value(a).cols());
+        let mut v = self.value(a).clone();
+        let brow: Vec<f32> = bv.row(0).to_vec();
+        for r in 0..v.rows() {
+            for (x, bb) in v.row_mut(r).iter_mut().zip(&brow) {
+                *x += bb;
+            }
+        }
+        self.push(Op::AddRow(a, b), v)
+    }
+
+    /// Element-wise product (same shapes).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()));
+        let data = av.data().iter().zip(bv.data()).map(|(x, y)| x * y).collect();
+        let v = Tensor::from_vec(av.rows(), av.cols(), data);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.value(a).clone();
+        for x in v.data_mut() {
+            *x = x.max(0.0);
+        }
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.value(a).clone();
+        for x in v.data_mut() {
+            *x = x.tanh();
+        }
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Multiplies every element by constant `s`.
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let mut v = self.value(a).clone();
+        v.scale_assign(s);
+        self.push(Op::Scale(a, s), v)
+    }
+
+    /// Row-wise softmax (numerically stabilized).
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let mut v = self.value(a).clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        self.push(Op::Softmax(a), v)
+    }
+
+    /// Column-wise max over rows, producing a `1 x cols` row. This is the
+    /// max-pooling step that forms the *Neighborhood Encoding* in Fig. 2.
+    pub fn max_pool(&mut self, a: NodeId) -> NodeId {
+        let av = self.value(a);
+        assert!(av.rows() > 0, "max_pool over empty tensor");
+        let mut out = Tensor::zeros(1, av.cols());
+        let mut argmax = vec![0usize; av.cols()];
+        for (c, am) in argmax.iter_mut().enumerate() {
+            let mut best = f32::NEG_INFINITY;
+            for r in 0..av.rows() {
+                let x = av.get(r, c);
+                if x > best {
+                    best = x;
+                    *am = r;
+                }
+            }
+            out.set(0, c, best);
+        }
+        self.push(Op::MaxPool(a, argmax), out)
+    }
+
+    /// Horizontal concatenation of two single-row tensors.
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.rows(), 1, "concat_cols expects row vectors");
+        assert_eq!(bv.rows(), 1, "concat_cols expects row vectors");
+        let mut data = av.row(0).to_vec();
+        data.extend_from_slice(bv.row(0));
+        let cols = data.len();
+        self.push(Op::ConcatCols(a, b), Tensor::from_vec(1, cols, data))
+    }
+
+    /// Copies row `r` of `a` into a fresh `1 x cols` node.
+    pub fn select_row(&mut self, a: NodeId, r: usize) -> NodeId {
+        let av = self.value(a);
+        let v = Tensor::from_vec(1, av.cols(), av.row(r).to_vec());
+        self.push(Op::SelectRow(a, r), v)
+    }
+
+    /// Mean binary cross-entropy with logits. `logits` must contain exactly
+    /// `targets.len()` elements (any shape); targets are in `{0, 1}` (soft
+    /// targets also work). Returns a scalar node.
+    pub fn bce_with_logits(&mut self, logits: NodeId, targets: &[f32]) -> NodeId {
+        let lv = self.value(logits);
+        assert_eq!(lv.len(), targets.len(), "logits/targets length mismatch");
+        let mut loss = 0.0f64;
+        for (&z, &y) in lv.data().iter().zip(targets) {
+            // log(1 + exp(-|z|)) + max(z, 0) - z*y, the stable form.
+            let z = z as f64;
+            let y = y as f64;
+            loss += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
+        }
+        loss /= targets.len() as f64;
+        let v = Tensor::from_vec(1, 1, vec![loss as f32]);
+        self.push(Op::BceWithLogits(logits, targets.to_vec()), v)
+    }
+
+    /// Runs the backward pass from `loss` (seeding its gradient with 1) and
+    /// accumulates parameter gradients into `store`.
+    ///
+    /// # Panics
+    /// Panics when `loss` is not a `1 x 1` scalar node.
+    pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
+        self.nodes[loss.0].grad.data_mut()[0] = 1.0;
+        for i in (0..self.nodes.len()).rev() {
+            // Take the node's gradient out to satisfy the borrow checker;
+            // the node's own grad is final once we reach it (reverse
+            // topological order — node inputs always have smaller ids).
+            let grad = std::mem::replace(
+                &mut self.nodes[i].grad,
+                Tensor::zeros(0, 0),
+            );
+            match &self.nodes[i].op {
+                Op::Constant => {}
+                Op::Param(p) => store.grads[p.0].add_assign(&grad),
+                Op::Gather(p, indices) => {
+                    let g = &mut store.grads[p.0];
+                    for (r, &idx) in indices.iter().enumerate() {
+                        for (gv, &d) in g.row_mut(idx).iter_mut().zip(grad.row(r)) {
+                            *gv += d;
+                        }
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = grad.matmul(&self.nodes[b.0].value.transpose());
+                    let db = self.nodes[a.0].value.transpose().matmul(&grad);
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::Transpose(a) => {
+                    let a = *a;
+                    let da = grad.transpose();
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.nodes[a.0].grad.add_assign(&grad);
+                    self.nodes[b.0].grad.add_assign(&grad);
+                }
+                Op::AddRow(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.nodes[a.0].grad.add_assign(&grad);
+                    let cols = grad.cols();
+                    let mut db = Tensor::zeros(1, cols);
+                    for r in 0..grad.rows() {
+                        for (o, &g) in db.row_mut(0).iter_mut().zip(grad.row(r)) {
+                            *o += g;
+                        }
+                    }
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    let da = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data().iter().zip(bv.data()).map(|(g, x)| g * x).collect(),
+                    );
+                    let db = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data().iter().zip(av.data()).map(|(g, x)| g * x).collect(),
+                    );
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let av = &self.nodes[a.0].value;
+                    let da = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data()
+                            .iter()
+                            .zip(av.data())
+                            .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
+                            .collect(),
+                    );
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    let yv = &self.nodes[i].value;
+                    let da = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data()
+                            .iter()
+                            .zip(yv.data())
+                            .map(|(g, y)| g * (1.0 - y * y))
+                            .collect(),
+                    );
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::Scale(a, s) => {
+                    let (a, s) = (*a, *s);
+                    let mut da = grad.clone();
+                    da.scale_assign(s);
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::Softmax(a) => {
+                    let a = *a;
+                    let y = &self.nodes[i].value;
+                    let mut da = Tensor::zeros(grad.rows(), grad.cols());
+                    for r in 0..grad.rows() {
+                        let yr = y.row(r);
+                        let gr = grad.row(r);
+                        let dot: f32 = yr.iter().zip(gr).map(|(y, g)| y * g).sum();
+                        for c in 0..grad.cols() {
+                            da.set(r, c, yr[c] * (gr[c] - dot));
+                        }
+                    }
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::MaxPool(a, argmax) => {
+                    let a = *a;
+                    let argmax = argmax.clone();
+                    let rows = self.nodes[a.0].value.rows();
+                    let mut da = Tensor::zeros(rows, grad.cols());
+                    for (c, &r) in argmax.iter().enumerate() {
+                        da.set(r, c, grad.get(0, c));
+                    }
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ac = self.nodes[a.0].value.cols();
+                    let da = Tensor::from_vec(1, ac, grad.row(0)[..ac].to_vec());
+                    let db =
+                        Tensor::from_vec(1, grad.cols() - ac, grad.row(0)[ac..].to_vec());
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::SelectRow(a, r) => {
+                    let (a, r) = (*a, *r);
+                    for (gv, &g) in self.nodes[a.0].grad.row_mut(r).iter_mut().zip(grad.row(0)) {
+                        *gv += g;
+                    }
+                }
+                Op::BceWithLogits(logits, targets) => {
+                    let logits = *logits;
+                    let targets = targets.clone();
+                    let upstream = grad.data()[0];
+                    let n = targets.len() as f32;
+                    let lv = self.nodes[logits.0].value.clone();
+                    let mut dl = Tensor::zeros(lv.rows(), lv.cols());
+                    for (k, (&z, &y)) in lv.data().iter().zip(&targets).enumerate() {
+                        let sig = 1.0 / (1.0 + (-z).exp());
+                        dl.data_mut()[k] = upstream * (sig - y) / n;
+                    }
+                    self.nodes[logits.0].grad.add_assign(&dl);
+                }
+            }
+            // Restore the node's grad (for inspection via `grad()`).
+            self.nodes[i].grad = grad;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference gradient check of the parameter gradient produced
+    /// by `f`. `f` builds a scalar loss from the store on a fresh tape.
+    fn grad_check<F>(store: &mut ParamStore, p: ParamId, f: F)
+    where
+        F: Fn(&mut Tape, &ParamStore) -> NodeId,
+    {
+        // Analytical gradients.
+        store.zero_grads();
+        let mut tape = Tape::new();
+        let loss = f(&mut tape, store);
+        tape.backward(loss, store);
+        let analytic = store.grad(p).clone();
+
+        // Numerical gradients.
+        let eps = 1e-3f32;
+        let len = store.value(p).len();
+        for k in 0..len {
+            let orig = store.value(p).data()[k];
+            store.value_mut(p).data_mut()[k] = orig + eps;
+            let mut t1 = Tape::new();
+            let l1 = f(&mut t1, store);
+            let lp = t1.value(l1).data()[0];
+            store.value_mut(p).data_mut()[k] = orig - eps;
+            let mut t2 = Tape::new();
+            let l2 = f(&mut t2, store);
+            let lm = t2.value(l2).data()[0];
+            store.value_mut(p).data_mut()[k] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[k];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + a.abs().max(numeric.abs())),
+                "param grad mismatch at {k}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_check_linear_bce() {
+        let mut store = ParamStore::new(1);
+        let w = store.tensor("w", 3, 2, Init::Xavier);
+        let b = store.tensor("b", 1, 2, Init::Xavier);
+        for p in [w, b] {
+            grad_check(&mut store, p, |tape, store| {
+                let x = tape.constant(Tensor::from_rows(vec![
+                    vec![0.5, -1.0, 2.0],
+                    vec![1.5, 0.3, -0.7],
+                ]));
+                let wv = tape.param(store, w);
+                let bv = tape.param(store, b);
+                let h = tape.matmul(x, wv);
+                let h = tape.add_row(h, bv);
+                tape.bce_with_logits(h, &[1.0, 0.0, 0.0, 1.0])
+            });
+        }
+    }
+
+    #[test]
+    fn grad_check_relu_tanh_chain() {
+        let mut store = ParamStore::new(2);
+        let w = store.tensor("w", 2, 3, Init::Xavier);
+        grad_check(&mut store, w, |tape, store| {
+            let x = tape.constant(Tensor::from_rows(vec![vec![1.0, -2.0]]));
+            let wv = tape.param(store, w);
+            let h = tape.matmul(x, wv);
+            let h = tape.relu(h);
+            let h = tape.tanh(h);
+            let h = tape.scale(h, 1.7);
+            tape.bce_with_logits(h, &[1.0, 0.0, 1.0])
+        });
+    }
+
+    #[test]
+    fn grad_check_softmax_attention() {
+        let mut store = ParamStore::new(3);
+        let wq = store.tensor("wq", 4, 4, Init::Xavier);
+        let wk = store.tensor("wk", 4, 4, Init::Xavier);
+        let wv = store.tensor("wv", 4, 4, Init::Xavier);
+        let head = store.tensor("head", 4, 1, Init::Xavier);
+        for p in [wq, wk, wv, head] {
+            grad_check(&mut store, p, |tape, store| {
+                let h = tape.constant(Tensor::from_rows(vec![
+                    vec![0.1, 0.2, -0.3, 0.4],
+                    vec![-0.5, 0.1, 0.9, -0.2],
+                    vec![0.3, -0.8, 0.2, 0.6],
+                ]));
+                let q = {
+                    let w = tape.param(store, wq);
+                    tape.matmul(h, w)
+                };
+                let k = {
+                    let w = tape.param(store, wk);
+                    tape.matmul(h, w)
+                };
+                let v = {
+                    let w = tape.param(store, wv);
+                    tape.matmul(h, w)
+                };
+                let kt = tape.transpose(k);
+                let scores = tape.matmul(q, kt);
+                let scores = tape.scale(scores, 0.5);
+                let att = tape.softmax(scores);
+                let ctx = tape.matmul(att, v);
+                let pooled = tape.max_pool(ctx);
+                let hw = tape.param(store, head);
+                let logit = tape.matmul(pooled, hw);
+                tape.bce_with_logits(logit, &[1.0])
+            });
+        }
+    }
+
+    #[test]
+    fn grad_check_gather_concat_select() {
+        let mut store = ParamStore::new(4);
+        let emb = store.tensor("emb", 5, 3, Init::Uniform(0.5));
+        let head = store.tensor("head", 6, 1, Init::Xavier);
+        for p in [emb, head] {
+            grad_check(&mut store, p, |tape, store| {
+                let rows = tape.gather(store, emb, &[0, 3, 3, 1]);
+                let pooled = tape.max_pool(rows);
+                let first = tape.select_row(rows, 0);
+                let cat = tape.concat_cols(pooled, first);
+                let hw = tape.param(store, head);
+                let logit = tape.matmul(cat, hw);
+                tape.bce_with_logits(logit, &[0.0])
+            });
+        }
+    }
+
+    #[test]
+    fn grad_check_mul() {
+        let mut store = ParamStore::new(5);
+        let a = store.tensor("a", 1, 4, Init::Xavier);
+        let b = store.tensor("b", 1, 4, Init::Xavier);
+        for p in [a, b] {
+            grad_check(&mut store, p, |tape, store| {
+                let av = tape.param(store, a);
+                let bv = tape.param(store, b);
+                let m = tape.mul(av, bv);
+                tape.bce_with_logits(m, &[1.0, 0.0, 1.0, 0.0])
+            });
+        }
+    }
+
+    #[test]
+    fn bce_known_value() {
+        let mut tape = Tape::new();
+        let z = tape.constant(Tensor::from_vec(1, 1, vec![0.0]));
+        let loss = tape.bce_with_logits(z, &[1.0]);
+        // -log(sigmoid(0)) = ln 2
+        assert!((tape.value(loss).data()[0] - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_rows(vec![
+            vec![100.0, 100.0, 100.0],
+            vec![-50.0, 0.0, 50.0],
+        ]));
+        let s = tape.softmax(x);
+        for r in 0..2 {
+            let sum: f32 = tape.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Uniform case.
+        assert!((tape.value(s).get(0, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn max_pool_takes_column_maxima() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_rows(vec![
+            vec![1.0, 9.0, 3.0],
+            vec![7.0, 2.0, 5.0],
+        ]));
+        let p = tape.max_pool(x);
+        assert_eq!(tape.value(p).data(), &[7.0, 9.0, 5.0]);
+    }
+
+    #[test]
+    fn xavier_init_bounded_and_seeded() {
+        let mut s1 = ParamStore::new(9);
+        let mut s2 = ParamStore::new(9);
+        let p1 = s1.tensor("w", 10, 10, Init::Xavier);
+        let p2 = s2.tensor("w", 10, 10, Init::Xavier);
+        assert_eq!(s1.value(p1), s2.value(p2));
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(s1.value(p1).data().iter().all(|v| v.abs() <= a));
+        assert_eq!(s1.num_scalars(), 100);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        use crate::optim::{Optimizer, Sgd};
+        let mut store = ParamStore::new(11);
+        let w = store.tensor("w", 2, 1, Init::Xavier);
+        let mut opt = Sgd::new(0.5);
+        let run = |store: &mut ParamStore| {
+            let mut tape = Tape::new();
+            let x = tape.constant(Tensor::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]));
+            let wv = tape.param(store, w);
+            let z = tape.matmul(x, wv);
+            let loss = tape.bce_with_logits(z, &[1.0, 0.0]);
+            (tape, loss)
+        };
+        let (t0, l0) = run(&mut store);
+        let initial = t0.value(l0).data()[0];
+        for _ in 0..200 {
+            store.zero_grads();
+            let (mut tape, loss) = run(&mut store);
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        let (t1, l1) = run(&mut store);
+        let final_loss = t1.value(l1).data()[0];
+        assert!(final_loss < initial * 0.2, "{final_loss} !< {initial}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Base-type candidate annotators.
+//!
+//! The candidate-based importance model (paper Fig. 2) starts from *base
+//! type candidates* extracted "using common off-the-shelf annotators like
+//! date and number annotators". This module implements those annotators as
+//! rule-based recognizers over token text: a candidate is a token span whose
+//! surface form looks like a value of one of the five base types.
+
+use fieldswap_docmodel::{BaseType, Document};
+
+/// A base-type candidate: a token span that looks like a value of
+/// `base_type`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// First token (inclusive).
+    pub start: u32,
+    /// One-past-last token (exclusive).
+    pub end: u32,
+    /// The base type the annotator matched.
+    pub base_type: BaseType,
+}
+
+const MONTHS: [&str; 24] = [
+    "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+    "january", "february", "march", "april", "mayy", "june", "july", "august", "september",
+    "october", "november", "december",
+];
+
+fn looks_like_money(text: &str) -> bool {
+    let t = text.trim_start_matches('(').trim_end_matches(')');
+    let t = t.strip_prefix('-').unwrap_or(t);
+    let Some(rest) = t.strip_prefix('$') else {
+        // Also accept "1,234.56" with exactly two decimals (common on
+        // statements without currency symbols).
+        return has_two_decimals(t);
+    };
+    !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.')
+}
+
+fn has_two_decimals(t: &str) -> bool {
+    let Some((int, frac)) = t.rsplit_once('.') else {
+        return false;
+    };
+    frac.len() == 2
+        && frac.chars().all(|c| c.is_ascii_digit())
+        && !int.is_empty()
+        && int.chars().all(|c| c.is_ascii_digit() || c == ',')
+}
+
+fn looks_like_date_token(text: &str) -> bool {
+    let t = text.trim_end_matches(',');
+    // 01/31/2024 or 2024-01-31
+    for sep in ['/', '-'] {
+        let parts: Vec<&str> = t.split(sep).collect();
+        if parts.len() == 3
+            && parts
+                .iter()
+                .all(|p| !p.is_empty() && p.len() <= 4 && p.chars().all(|c| c.is_ascii_digit()))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_month_word(text: &str) -> bool {
+    MONTHS.contains(&text.trim_end_matches(',').to_lowercase().as_str())
+}
+
+fn looks_like_plain_number(text: &str) -> bool {
+    let t = text.trim_end_matches('%');
+    !t.is_empty()
+        && t.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.' || c == '#')
+        && t.chars().any(|c| c.is_ascii_digit())
+        && !looks_like_money(text)
+        && !looks_like_date_token(text)
+}
+
+fn looks_like_zip(text: &str) -> bool {
+    let t = text.trim();
+    (t.len() == 5 && t.chars().all(|c| c.is_ascii_digit()))
+        || (t.len() == 10
+            && t[..5].chars().all(|c| c.is_ascii_digit())
+            && &t[5..6] == "-"
+            && t[6..].chars().all(|c| c.is_ascii_digit()))
+}
+
+const STATE_CODES: [&str; 12] = [
+    "CA", "NY", "TX", "WA", "IL", "MA", "FL", "GA", "OH", "PA", "NC", "MI",
+];
+
+/// Whether the single token at `text` could be a value of `ty`. Multi-token
+/// candidate grouping is handled by [`annotate_candidates`].
+pub fn candidate_matches_type(text: &str, ty: BaseType) -> bool {
+    match ty {
+        BaseType::Money => looks_like_money(text),
+        BaseType::Date => looks_like_date_token(text) || is_month_word(text),
+        BaseType::Number => looks_like_plain_number(text),
+        BaseType::Address => looks_like_zip(text) || STATE_CODES.contains(&text.trim_end_matches(',')),
+        // Any non-numeric word can start a string candidate.
+        BaseType::String => !text.is_empty() && !looks_like_money(text) && !looks_like_date_token(text),
+    }
+}
+
+/// Runs all annotators over the document and returns candidates, each a
+/// token span with a base type.
+///
+/// Matching is intentionally *high-recall / modest-precision*, like real
+/// off-the-shelf annotators: money and number candidates are single tokens;
+/// date candidates absorb `Month DD, YYYY` triples; address candidates grow
+/// from a state-code or ZIP anchor to cover the enclosing line tail. String
+/// candidates are only produced from ground-truth spans (the importance
+/// model only ever scores positive candidates for strings — every word
+/// would otherwise be a candidate).
+pub fn annotate_candidates(doc: &Document) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let n = doc.tokens.len() as u32;
+    let mut i = 0u32;
+    while i < n {
+        let text = doc.tokens[i as usize].text.as_str();
+        if looks_like_money(text) {
+            out.push(Candidate {
+                start: i,
+                end: i + 1,
+                base_type: BaseType::Money,
+            });
+            i += 1;
+            continue;
+        }
+        if is_month_word(text) {
+            // Month DD[,] YYYY
+            let mut end = i + 1;
+            if end < n && doc.tokens[end as usize].text.trim_end_matches(',').chars().all(|c| c.is_ascii_digit())
+            {
+                end += 1;
+                if end < n
+                    && doc.tokens[end as usize].text.len() == 4
+                    && doc.tokens[end as usize].text.chars().all(|c| c.is_ascii_digit())
+                {
+                    end += 1;
+                }
+            }
+            out.push(Candidate {
+                start: i,
+                end,
+                base_type: BaseType::Date,
+            });
+            i = end;
+            continue;
+        }
+        if looks_like_date_token(text) {
+            out.push(Candidate {
+                start: i,
+                end: i + 1,
+                base_type: BaseType::Date,
+            });
+            i += 1;
+            continue;
+        }
+        if looks_like_zip(text) || STATE_CODES.contains(&text.trim_end_matches(',')) {
+            out.push(Candidate {
+                start: i,
+                end: i + 1,
+                base_type: BaseType::Address,
+            });
+            i += 1;
+            continue;
+        }
+        if looks_like_plain_number(text) {
+            out.push(Candidate {
+                start: i,
+                end: i + 1,
+                base_type: BaseType::Number,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{BBox, DocumentBuilder, Token};
+
+    fn doc(words: &[&str]) -> Document {
+        let mut b = DocumentBuilder::new("t");
+        for (i, w) in words.iter().enumerate() {
+            b.push_token(Token::new(
+                *w,
+                BBox::new(30.0 * i as f32, 0.0, 30.0 * i as f32 + 25.0, 12.0),
+            ));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn money_recognition() {
+        assert!(looks_like_money("$3,308.62"));
+        assert!(looks_like_money("$5"));
+        assert!(looks_like_money("(1,200.00)"));
+        assert!(looks_like_money("-$42.10"));
+        assert!(looks_like_money("1,234.56"));
+        assert!(!looks_like_money("1234")); // no decimals, no $
+        assert!(!looks_like_money("Amount"));
+        assert!(!looks_like_money("$"));
+    }
+
+    #[test]
+    fn date_recognition() {
+        assert!(looks_like_date_token("01/31/2024"));
+        assert!(looks_like_date_token("2024-01-31"));
+        assert!(looks_like_date_token("1/1/24"));
+        assert!(!looks_like_date_token("31/2024"));
+        assert!(!looks_like_date_token("a/b/c"));
+        assert!(is_month_word("January"));
+        assert!(is_month_word("mar"));
+        assert!(!is_month_word("Juneau"));
+    }
+
+    #[test]
+    fn number_and_zip() {
+        assert!(looks_like_plain_number("42"));
+        assert!(looks_like_plain_number("1,024"));
+        assert!(looks_like_plain_number("99.5%"));
+        assert!(!looks_like_plain_number("$5"));
+        assert!(looks_like_zip("94043"));
+        assert!(looks_like_zip("94043-1351"));
+        assert!(!looks_like_zip("9404"));
+        assert!(!looks_like_zip("94043-135"));
+    }
+
+    #[test]
+    fn annotate_money_span() {
+        let d = doc(&["Total", "Due", "$1,250.00"]);
+        let c = annotate_candidates(&d);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].base_type, BaseType::Money);
+        assert_eq!((c[0].start, c[0].end), (2, 3));
+    }
+
+    #[test]
+    fn annotate_textual_date_absorbs_three_tokens() {
+        let d = doc(&["Paid", "January", "31,", "2024", "thanks"]);
+        let c = annotate_candidates(&d);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].base_type, BaseType::Date);
+        assert_eq!((c[0].start, c[0].end), (1, 4));
+    }
+
+    #[test]
+    fn annotate_slash_date_single_token() {
+        let d = doc(&["Due", "02/28/2024"]);
+        let c = annotate_candidates(&d);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].base_type, BaseType::Date);
+    }
+
+    #[test]
+    fn annotate_address_anchor() {
+        let d = doc(&["Mountain", "View,", "CA", "94043"]);
+        let c = annotate_candidates(&d);
+        let types: Vec<BaseType> = c.iter().map(|c| c.base_type).collect();
+        assert!(types.contains(&BaseType::Address));
+        assert_eq!(c.iter().filter(|c| c.base_type == BaseType::Address).count(), 2);
+    }
+
+    #[test]
+    fn annotate_empty_doc() {
+        let d = doc(&[]);
+        assert!(annotate_candidates(&d).is_empty());
+    }
+
+    #[test]
+    fn candidate_matches_type_dispatch() {
+        assert!(candidate_matches_type("$9.99", BaseType::Money));
+        assert!(candidate_matches_type("03/04/2025", BaseType::Date));
+        assert!(candidate_matches_type("12345", BaseType::Address)); // zip
+        assert!(candidate_matches_type("777", BaseType::Number));
+        assert!(candidate_matches_type("Acme", BaseType::String));
+        assert!(!candidate_matches_type("$9.99", BaseType::String));
+    }
+
+    #[test]
+    fn plain_words_produce_no_candidates() {
+        let d = doc(&["Employee", "Name", "Pay", "Period"]);
+        assert!(annotate_candidates(&d).is_empty());
+    }
+}

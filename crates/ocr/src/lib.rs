@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # fieldswap-ocr
+//!
+//! A simulated OCR service, standing in for the production OCR engine
+//! (Google Cloud Vision) the paper relies on (Section II-A1).
+//!
+//! The paper uses the OCR service for two things, both reproduced here:
+//!
+//! 1. **Token detection with bounding boxes** — in this reproduction the
+//!    corpus generators *render* documents directly into positioned tokens,
+//!    so detection is a given; what this crate adds is configurable
+//!    character-level OCR **noise injection** ([`noise`]) so downstream code
+//!    is exercised against recognition errors.
+//! 2. **Line detection** — grouping tokens that sit on the same y-axis and
+//!    splitting groups across long horizontal whitespace gaps ([`lines`]).
+//!
+//! The crate also hosts the **base-type candidate annotators** ([`annotate`])
+//! — the "common off-the-shelf date and number annotators" that feed the
+//! candidate-based importance model of Fig. 2.
+
+pub mod annotate;
+pub mod lines;
+pub mod noise;
+
+pub use annotate::{annotate_candidates, candidate_matches_type, Candidate};
+pub use lines::{detect_lines, LineDetector};
+pub use noise::{NoiseModel, NoiseParams};

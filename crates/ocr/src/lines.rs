@@ -1,0 +1,229 @@
+//! Line detection: grouping tokens that share a y-axis and splitting groups
+//! across long horizontal whitespace stretches.
+//!
+//! The paper (Section II-A1) describes lines as "groups of tokens on the
+//! same y-axis that are typically separate from other lines by way of visual
+//! features ... or long horizontal stretches of whitespace". We reproduce
+//! this with a two-stage geometric clustering:
+//!
+//! 1. **Row grouping** — tokens are sorted by y-center; a token joins the
+//!    current row while its vertical IoU with the row's running bounding box
+//!    exceeds `min_y_iou`.
+//! 2. **Gap splitting** — each row is sorted by x and split wherever the
+//!    horizontal gap between consecutive tokens exceeds
+//!    `max_gap_ratio * median_token_height` (whitespace wide relative to the
+//!    text size signals a column boundary).
+
+use fieldswap_docmodel::{BBox, Document, Line};
+
+/// Configurable geometric line detector.
+#[derive(Debug, Clone, Copy)]
+pub struct LineDetector {
+    /// Minimum vertical IoU for a token to join the current row.
+    pub min_y_iou: f32,
+    /// A horizontal gap wider than this multiple of the median token height
+    /// splits the row into separate lines.
+    pub max_gap_ratio: f32,
+}
+
+impl Default for LineDetector {
+    fn default() -> Self {
+        Self {
+            min_y_iou: 0.4,
+            max_gap_ratio: 3.0,
+        }
+    }
+}
+
+impl LineDetector {
+    /// Detects lines over the document's tokens. Every token is assigned to
+    /// exactly one line; lines are ordered top-to-bottom, then left-to-right.
+    pub fn detect(&self, doc: &Document) -> Vec<Line> {
+        if doc.tokens.is_empty() {
+            return Vec::new();
+        }
+        let median_h = median_height(doc);
+        // Sort token ids by y-center, then x.
+        let mut ids: Vec<u32> = (0..doc.tokens.len() as u32).collect();
+        ids.sort_by(|&a, &b| {
+            let ta = &doc.tokens[a as usize].bbox;
+            let tb = &doc.tokens[b as usize].bbox;
+            ta.center()
+                .y
+                .total_cmp(&tb.center().y)
+                .then(ta.x0.total_cmp(&tb.x0))
+        });
+
+        // Stage 1: rows by vertical IoU with the running row box.
+        let mut rows: Vec<(Vec<u32>, BBox)> = Vec::new();
+        for id in ids {
+            let tb = doc.tokens[id as usize].bbox;
+            match rows.last_mut() {
+                Some((row, row_box)) if row_box.y_iou(&tb) >= self.min_y_iou => {
+                    row.push(id);
+                    *row_box = row_box.union(&tb);
+                }
+                _ => rows.push((vec![id], tb)),
+            }
+        }
+
+        // Stage 2: split each row on wide horizontal gaps.
+        let gap_limit = self.max_gap_ratio * median_h;
+        let mut lines = Vec::new();
+        for (mut row, _) in rows {
+            row.sort_by(|&a, &b| {
+                doc.tokens[a as usize]
+                    .bbox
+                    .x0
+                    .total_cmp(&doc.tokens[b as usize].bbox.x0)
+            });
+            let mut current: Vec<u32> = Vec::new();
+            let mut current_box = BBox::default();
+            for id in row {
+                let tb = doc.tokens[id as usize].bbox;
+                if current.is_empty() {
+                    current.push(id);
+                    current_box = tb;
+                } else if current_box.x_gap(&tb) > gap_limit {
+                    lines.push(Line::new(std::mem::take(&mut current), current_box));
+                    current.push(id);
+                    current_box = tb;
+                } else {
+                    current.push(id);
+                    current_box = current_box.union(&tb);
+                }
+            }
+            if !current.is_empty() {
+                lines.push(Line::new(current, current_box));
+            }
+        }
+        lines
+    }
+}
+
+/// Detects lines with the default detector and stores them on the document.
+pub fn detect_lines(doc: &mut Document) {
+    doc.lines = LineDetector::default().detect(doc);
+}
+
+fn median_height(doc: &Document) -> f32 {
+    let mut hs: Vec<f32> = doc.tokens.iter().map(|t| t.bbox.height()).collect();
+    hs.sort_by(f32::total_cmp);
+    let h = hs[hs.len() / 2];
+    if h <= 0.0 {
+        1.0
+    } else {
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{DocumentBuilder, Token};
+
+    fn tok(text: &str, x: f32, y: f32) -> Token {
+        Token::new(text, BBox::new(x, y, x + 8.0 * text.len() as f32, y + 12.0))
+    }
+
+    fn doc(tokens: Vec<Token>) -> Document {
+        let mut b = DocumentBuilder::new("t");
+        for t in tokens {
+            b.push_token(t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_document_no_lines() {
+        let d = doc(vec![]);
+        assert!(LineDetector::default().detect(&d).is_empty());
+    }
+
+    #[test]
+    fn tokens_on_same_row_group() {
+        let d = doc(vec![tok("Base", 10.0, 10.0), tok("Salary", 50.0, 10.0)]);
+        let lines = LineDetector::default().detect(&d);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].tokens, vec![0, 1]);
+    }
+
+    #[test]
+    fn vertical_separation_splits_rows() {
+        let d = doc(vec![tok("Top", 10.0, 10.0), tok("Bottom", 10.0, 60.0)]);
+        let lines = LineDetector::default().detect(&d);
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn wide_gap_splits_line() {
+        // 12-high tokens, gap_limit = 36. Gap here is ~400.
+        let d = doc(vec![tok("Label", 10.0, 10.0), tok("Value", 500.0, 10.0)]);
+        let lines = LineDetector::default().detect(&d);
+        assert_eq!(lines.len(), 2, "column gap should split the row");
+    }
+
+    #[test]
+    fn narrow_gap_keeps_line() {
+        let d = doc(vec![tok("Amount", 10.0, 10.0), tok("Due", 70.0, 10.0)]);
+        let lines = LineDetector::default().detect(&d);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn slight_y_jitter_still_groups() {
+        // 3 units of jitter on 12-high tokens: IoU = 9/15 = 0.6 >= 0.4.
+        let d = doc(vec![tok("a", 10.0, 10.0), tok("b", 25.0, 13.0)]);
+        let lines = LineDetector::default().detect(&d);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn every_token_in_exactly_one_line() {
+        let mut toks = Vec::new();
+        for r in 0..5 {
+            for c in 0..4 {
+                toks.push(tok("w", 10.0 + 60.0 * c as f32, 10.0 + 30.0 * r as f32));
+            }
+        }
+        let d = doc(toks);
+        let lines = LineDetector::default().detect(&d);
+        let mut seen = vec![0usize; d.len()];
+        for l in &lines {
+            for &t in &l.tokens {
+                seen[t as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn lines_ordered_top_to_bottom() {
+        let d = doc(vec![
+            tok("row2", 10.0, 50.0),
+            tok("row1", 10.0, 10.0),
+            tok("row3", 10.0, 90.0),
+        ]);
+        let lines = LineDetector::default().detect(&d);
+        let ys: Vec<f32> = lines.iter().map(|l| l.bbox.y0).collect();
+        let mut sorted = ys.clone();
+        sorted.sort_by(f32::total_cmp);
+        assert_eq!(ys, sorted);
+    }
+
+    #[test]
+    fn detect_lines_helper_populates_document() {
+        let mut d = doc(vec![tok("a", 0.0, 0.0), tok("b", 20.0, 0.0)]);
+        detect_lines(&mut d);
+        assert_eq!(d.lines.len(), 1);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn tokens_within_line_sorted_by_x() {
+        let d = doc(vec![tok("right", 60.0, 10.0), tok("left", 10.0, 10.0)]);
+        let lines = LineDetector::default().detect(&d);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].tokens, vec![1, 0]);
+    }
+}

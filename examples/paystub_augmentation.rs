@@ -1,0 +1,96 @@
+//! The paper's Fig. 1, as running code: a paystub snippet with a labeled
+//! `current.salary` instance anchored by the phrase "Base Salary", from
+//! which FieldSwap generates (a) a same-field synthetic using another
+//! salary phrase and (b) a cross-field synthetic relabeled as
+//! `current.overtime`.
+//!
+//! ```sh
+//! cargo run --release -p fieldswap-integration --example paystub_augmentation
+//! ```
+
+use fieldswap_core::{augment_document, FieldSwapConfig};
+use fieldswap_docmodel::{BBox, Document, DocumentBuilder, EntitySpan, Token};
+
+fn build_fig1_snippet() -> Document {
+    let mut b = DocumentBuilder::new("fig1-paystub");
+    let put = |text: &str, x: f32, y: f32, b: &mut DocumentBuilder| {
+        let w = 8.0 * text.len() as f32;
+        b.push_token(Token::new(text, BBox::new(x, y, x + w, y + 12.0)));
+    };
+    // Row 1: "Base Salary     $3,308.62"   <- current.salary (field 0)
+    put("Base", 10.0, 10.0, &mut b);
+    put("Salary", 55.0, 10.0, &mut b);
+    put("$3,308.62", 300.0, 10.0, &mut b);
+    // Row 2: "Bonus           $500.00"     <- current.bonus (field 2)
+    put("Bonus", 10.0, 40.0, &mut b);
+    put("$500.00", 300.0, 40.0, &mut b);
+    b.push_annotation(EntitySpan::new(0, 2, 3));
+    b.push_annotation(EntitySpan::new(2, 4, 5));
+    let mut d = b.build();
+    fieldswap_ocr::detect_lines(&mut d);
+    d
+}
+
+fn render(doc: &Document) -> String {
+    let mut out = String::new();
+    for line in &doc.lines {
+        for &t in &line.tokens {
+            let text = &doc.tokens[t as usize].text;
+            let label = doc
+                .annotations
+                .iter()
+                .find(|a| a.contains(t))
+                .map(|a| format!("[{}]", field_name(a.field)))
+                .unwrap_or_default();
+            out.push_str(&format!("{text}{label} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn field_name(f: u16) -> &'static str {
+    ["current.salary", "current.overtime", "current.bonus"][f as usize]
+}
+
+fn main() {
+    let doc = build_fig1_snippet();
+    println!("original document:\n{}", render(&doc));
+
+    // Key phrases: salary has two synonyms, overtime one (as in Fig. 1).
+    let mut config = FieldSwapConfig::new(3);
+    config.set_phrases(0, vec!["Base Salary".into(), "Base".into()]);
+    config.set_phrases(1, vec!["Overtime".into()]);
+    config.set_phrases(2, vec!["Bonus".into()]);
+
+    // Fig. 1 bottom-left: same-field swap (S = T = current.salary).
+    config.set_pairs(vec![(0, 0)]);
+    let (same_field, _) = augment_document(&doc, &config);
+    println!("same-field swap (label kept as current.salary):");
+    for s in &same_field {
+        println!("{}", render(s));
+    }
+
+    // Fig. 1 bottom-right: cross-field swap to current.overtime; the
+    // instance is relabeled.
+    config.set_pairs(vec![(0, 1)]);
+    let (cross_field, _) = augment_document(&doc, &config);
+    println!("cross-field swap (relabeled current.overtime):");
+    for s in &cross_field {
+        println!("{}", render(s));
+    }
+
+    // The contradictory case: swapping bonus -> salary using the phrase
+    // "Bonus" for a field that also reads "Bonus" would leave the text
+    // unchanged; the engine discards it.
+    let mut same_phrase = FieldSwapConfig::new(3);
+    same_phrase.set_phrases(0, vec!["Bonus".into()]); // deliberately wrong
+    same_phrase.set_phrases(2, vec!["Bonus".into()]);
+    same_phrase.set_pairs(vec![(2, 0)]);
+    let (bad, stats) = augment_document(&doc, &same_phrase);
+    println!(
+        "same-phrase swap: {} synthetics, {} discarded as unchanged (the paper's guard)",
+        bad.len(),
+        stats.discarded_unchanged
+    );
+}

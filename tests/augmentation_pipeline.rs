@@ -1,0 +1,117 @@
+//! Cross-crate properties of the FieldSwap engine against generated
+//! corpora: counting identities, the discard rule, and strategy ordering.
+
+use fieldswap_core::{augment_corpus, augment_document, FieldSwapConfig, PairStrategy};
+use fieldswap_datagen::{generate, Domain};
+
+fn oracle_config(domain: Domain, schema: &fieldswap_docmodel::Schema) -> FieldSwapConfig {
+    let mut config = FieldSwapConfig::new(schema.len());
+    for (name, phrases) in domain.generator().phrase_bank() {
+        let id = schema.field_id(&name).unwrap();
+        config.set_phrases(id, phrases);
+    }
+    config
+}
+
+#[test]
+fn type_to_type_generates_strictly_more_than_field_to_field() {
+    for domain in [Domain::Earnings, Domain::Brokerage, Domain::FccForms] {
+        let corpus = generate(domain, 71, 20);
+        let mut f2f = oracle_config(domain, &corpus.schema);
+        f2f.set_pairs(PairStrategy::FieldToField.build(&corpus.schema, &f2f));
+        let mut t2t = oracle_config(domain, &corpus.schema);
+        t2t.set_pairs(PairStrategy::TypeToType.build(&corpus.schema, &t2t));
+        let (a, _) = augment_corpus(&corpus, &f2f);
+        let (b, _) = augment_corpus(&corpus, &t2t);
+        assert!(
+            b.len() > a.len(),
+            "{domain:?}: t2t {} should exceed f2f {}",
+            b.len(),
+            a.len()
+        );
+    }
+}
+
+#[test]
+fn all_to_all_generates_at_least_as_many_as_type_to_type() {
+    let corpus = generate(Domain::FccForms, 72, 15);
+    let mut t2t = oracle_config(Domain::FccForms, &corpus.schema);
+    t2t.set_pairs(PairStrategy::TypeToType.build(&corpus.schema, &t2t));
+    let mut a2a = oracle_config(Domain::FccForms, &corpus.schema);
+    a2a.set_pairs(PairStrategy::AllToAll.build(&corpus.schema, &a2a));
+    let (b, _) = augment_corpus(&corpus, &t2t);
+    let (c, _) = augment_corpus(&corpus, &a2a);
+    assert!(c.len() >= b.len());
+}
+
+#[test]
+fn stats_match_output_exactly() {
+    let corpus = generate(Domain::Earnings, 73, 12);
+    let mut config = oracle_config(Domain::Earnings, &corpus.schema);
+    config.set_pairs(PairStrategy::TypeToType.build(&corpus.schema, &config));
+    let (synths, stats) = augment_corpus(&corpus, &config);
+    assert_eq!(synths.len(), stats.generated);
+    // Contradictory pairs exist in Earnings (shared current/YTD phrases),
+    // so the discard rule must have fired.
+    assert!(
+        stats.discarded_unchanged > 0,
+        "expected same-phrase discards on Earnings"
+    );
+}
+
+#[test]
+fn synthetic_ids_are_unique() {
+    let corpus = generate(Domain::LoanPayments, 74, 10);
+    let mut config = oracle_config(Domain::LoanPayments, &corpus.schema);
+    config.set_pairs(PairStrategy::TypeToType.build(&corpus.schema, &config));
+    let (synths, _) = augment_corpus(&corpus, &config);
+    let ids: std::collections::HashSet<&str> = synths.iter().map(|s| s.id.as_str()).collect();
+    assert_eq!(ids.len(), synths.len());
+}
+
+#[test]
+fn augmentation_is_deterministic() {
+    let corpus = generate(Domain::Brokerage, 75, 10);
+    let mut config = oracle_config(Domain::Brokerage, &corpus.schema);
+    config.set_pairs(PairStrategy::TypeToType.build(&corpus.schema, &config));
+    let (a, sa) = augment_corpus(&corpus, &config);
+    let (b, sb) = augment_corpus(&corpus, &config);
+    assert_eq!(a, b);
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn excluding_a_field_removes_its_synthetics() {
+    let corpus = generate(Domain::Earnings, 76, 15);
+    let schema = &corpus.schema;
+    let mut config = oracle_config(Domain::Earnings, schema);
+    config.set_pairs(PairStrategy::TypeToType.build(schema, &config));
+    let net = schema.field_id("net_pay").unwrap();
+    let (before, _) = augment_corpus(&corpus, &config);
+    let had_net = before
+        .iter()
+        .any(|s| s.annotations.iter().any(|a| a.field == net));
+    assert!(had_net);
+
+    config.exclude_field(net);
+    let (after, _) = augment_corpus(&corpus, &config);
+    // No synthetic may have been *produced for* net_pay any more; net_pay
+    // annotations may still appear as untouched co-labels of other swaps.
+    assert!(after.len() < before.len());
+    assert!(after.iter().all(|s| !s.id.contains(&format!("-{net}p"))));
+}
+
+#[test]
+fn document_without_phrase_occurrence_yields_nothing() {
+    // A document whose source-field phrase was OCR-corrupted beyond
+    // recognition generates no synthetics for that pair.
+    let corpus = generate(Domain::Earnings, 77, 5);
+    let doc = &corpus.documents[0];
+    let mut config = FieldSwapConfig::new(corpus.schema.len());
+    let net = corpus.schema.field_id("net_pay").unwrap();
+    config.set_phrases(net, vec!["Completely Absent Phrase".into()]);
+    config.set_pairs(vec![(net, net)]);
+    let (synths, stats) = augment_document(doc, &config);
+    assert!(synths.is_empty());
+    assert_eq!(stats.generated, 0);
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration: corpus generation → FieldSwap augmentation →
+//! backbone training → evaluation, across crates.
+
+use fieldswap_core::{augment_corpus, FieldSwapConfig, PairStrategy};
+use fieldswap_datagen::{generate, Domain};
+use fieldswap_eval::evaluate;
+use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
+
+fn oracle_config(domain: Domain, schema: &fieldswap_docmodel::Schema) -> FieldSwapConfig {
+    let mut config = FieldSwapConfig::new(schema.len());
+    for (name, phrases) in domain.generator().phrase_bank() {
+        let id = schema.field_id(&name).unwrap();
+        config.set_phrases(id, phrases);
+    }
+    config
+}
+
+#[test]
+fn full_pipeline_beats_chance_on_every_domain() {
+    for domain in Domain::EVAL {
+        let train = generate(domain, 31, 40);
+        let test = generate(domain, 32, 30);
+        let lexicon = Lexicon::pretrain(&train.documents);
+        let ex = Extractor::train_on(
+            &train.schema,
+            lexicon,
+            &train,
+            &[],
+            &TrainConfig {
+                epochs: 4,
+                synth_ratio: 0.0,
+                seed: 1,
+            },
+        );
+        let result = evaluate(&ex, &test);
+        assert!(
+            result.micro_f1() > 20.0,
+            "{domain:?}: micro-F1 {:.1} too low for a trained model",
+            result.micro_f1()
+        );
+    }
+}
+
+#[test]
+fn augmentation_pipeline_is_neutral_or_better_at_low_data() {
+    // The paper's headline claim, as an integration gate: at 10-15
+    // training documents, type-to-type FieldSwap with good phrases does
+    // not hurt (and usually helps) macro-F1.
+    let domain = Domain::Earnings;
+    let train = generate(domain, 41, 12);
+    let test = generate(domain, 42, 80);
+    let mut config = oracle_config(domain, &train.schema);
+    config.set_pairs(PairStrategy::TypeToType.build(&train.schema, &config));
+    let (synths, stats) = augment_corpus(&train, &config);
+    assert!(stats.generated > 50, "too few synthetics: {stats:?}");
+
+    let lexicon = Lexicon::pretrain(&generate(Domain::Invoices, 43, 100).documents);
+    let cfg = TrainConfig {
+        epochs: 5,
+        synth_ratio: 2.0,
+        seed: 2,
+    };
+    let base = evaluate(
+        &Extractor::train_on(&train.schema, lexicon.clone(), &train, &[], &cfg),
+        &test,
+    );
+    let aug = evaluate(
+        &Extractor::train_on(&train.schema, lexicon, &train, &synths, &cfg),
+        &test,
+    );
+    assert!(
+        aug.macro_f1() >= base.macro_f1() - 1.0,
+        "augmentation hurt: baseline {:.2}, augmented {:.2}",
+        base.macro_f1(),
+        aug.macro_f1()
+    );
+}
+
+#[test]
+fn synthetic_documents_are_structurally_valid_across_domains() {
+    for domain in [Domain::Earnings, Domain::LoanPayments, Domain::FccForms] {
+        let train = generate(domain, 51, 10);
+        let mut config = oracle_config(domain, &train.schema);
+        config.set_pairs(PairStrategy::TypeToType.build(&train.schema, &config));
+        let (synths, _) = augment_corpus(&train, &config);
+        for s in &synths {
+            assert!(s.validate().is_ok(), "{domain:?}: {:?}", s.validate());
+            assert!(!s.lines.is_empty(), "{domain:?}: synthetic missing lines");
+            assert!(
+                !s.annotations.is_empty(),
+                "{domain:?}: synthetic lost its annotations"
+            );
+        }
+    }
+}
+
+#[test]
+fn relabeling_preserves_values_verbatim() {
+    // The swap must never alter labeled value text — only phrases change.
+    let domain = Domain::Brokerage;
+    let train = generate(domain, 61, 8);
+    let mut config = oracle_config(domain, &train.schema);
+    config.set_pairs(PairStrategy::TypeToType.build(&train.schema, &config));
+    for doc in &train.documents {
+        let originals: std::collections::HashSet<String> = doc
+            .annotations
+            .iter()
+            .map(|a| doc.span_text(a.start, a.end))
+            .collect();
+        let (synths, _) = fieldswap_core::augment_document(doc, &config);
+        for s in &synths {
+            for a in &s.annotations {
+                let text = s.span_text(a.start, a.end);
+                assert!(
+                    originals.contains(&text),
+                    "synthetic introduced a value not in the original: {text:?}"
+                );
+            }
+        }
+    }
+}

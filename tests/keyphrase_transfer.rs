@@ -1,0 +1,113 @@
+//! Cross-domain key-phrase inference: the importance model is trained on
+//! invoices only and applied to every evaluation domain (the paper's
+//! transfer setting, Section II-A2).
+
+use fieldswap_datagen::{generate, Domain};
+use fieldswap_keyphrase::{infer_key_phrases, ImportanceModel, InferenceConfig, ModelConfig};
+
+fn trained_model() -> ImportanceModel {
+    let invoices = generate(Domain::Invoices, 81, 100);
+    let mut model = ImportanceModel::new(
+        ModelConfig {
+            neighbors: 16,
+            epochs: 2,
+            dim: 16,
+            cand_dim: 4,
+            lr: 0.02,
+            max_candidates_per_doc: 12,
+            ..ModelConfig::tiny()
+        },
+        invoices.schema.len(),
+        5,
+    );
+    model.train(&invoices, 6);
+    model
+}
+
+#[test]
+fn transfer_infers_phrases_on_every_eval_domain() {
+    let model = trained_model();
+    for domain in Domain::EVAL {
+        let sample = generate(domain, 82, 25);
+        let ranked = infer_key_phrases(&model, &sample, &InferenceConfig::default());
+        let total: usize = ranked.iter().map(Vec::len).sum();
+        assert!(total > 0, "{domain:?}: transfer produced no phrases");
+        // Per-field cap respected.
+        assert!(ranked.iter().all(|l| l.len() <= 3));
+    }
+}
+
+#[test]
+fn inferred_phrases_never_contain_field_values() {
+    let model = trained_model();
+    for domain in [Domain::Earnings, Domain::Brokerage] {
+        let sample = generate(domain, 83, 20);
+        let ranked = infer_key_phrases(&model, &sample, &InferenceConfig::default());
+        let mut values = std::collections::HashSet::new();
+        for d in &sample.documents {
+            for a in &d.annotations {
+                values.insert(
+                    fieldswap_core::config::normalize_phrase(&d.span_text(a.start, a.end)),
+                );
+            }
+        }
+        for list in &ranked {
+            for r in list {
+                assert!(
+                    !values.contains(&r.phrase),
+                    "{domain:?}: inferred phrase {:?} is a labeled value",
+                    r.phrase
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn more_training_data_never_reduces_anchored_field_coverage() {
+    // With more labeled examples, the set of fields that get at least one
+    // inferred phrase should not shrink for strongly anchored fields.
+    let model = trained_model();
+    let small = generate(Domain::Earnings, 84, 8);
+    let large = generate(Domain::Earnings, 84, 60);
+    let cfg = InferenceConfig::default();
+    let rs = infer_key_phrases(&model, &small, &cfg);
+    let rl = infer_key_phrases(&model, &large, &cfg);
+    let covered = |r: &Vec<Vec<fieldswap_keyphrase::RankedPhrase>>| -> usize {
+        r.iter().filter(|l| !l.is_empty()).count()
+    };
+    assert!(
+        covered(&rl) + 2 >= covered(&rs),
+        "coverage collapsed with more data: {} -> {}",
+        covered(&rs),
+        covered(&rl)
+    );
+}
+
+#[test]
+fn sparsemax_sparsity_controls_phrase_noise() {
+    // theta = 1.0 admits nothing; theta = 0 admits the most.
+    let model = trained_model();
+    let sample = generate(Domain::FccForms, 85, 15);
+    let strict = infer_key_phrases(
+        &model,
+        &sample,
+        &InferenceConfig {
+            theta: 1.0,
+            ..InferenceConfig::default()
+        },
+    );
+    assert!(strict.iter().all(|l| l.is_empty()));
+    let loose = infer_key_phrases(
+        &model,
+        &sample,
+        &InferenceConfig {
+            theta: 0.0,
+            top_k: 10,
+            ..InferenceConfig::default()
+        },
+    );
+    let strict_n: usize = strict.iter().map(Vec::len).sum();
+    let loose_n: usize = loose.iter().map(Vec::len).sum();
+    assert!(loose_n > strict_n);
+}

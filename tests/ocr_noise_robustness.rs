@@ -1,0 +1,98 @@
+//! Robustness of the key-phrase and augmentation pipeline to OCR noise —
+//! the failure mode the paper's noisy-or aggregation (Eq. 1) is designed
+//! to tolerate (Section II-A1/II-A4).
+
+use fieldswap_core::{augment_corpus, FieldSwapConfig, PairStrategy};
+use fieldswap_datagen::{Domain, GenOptions};
+use fieldswap_ocr::NoiseParams;
+
+fn corpus_with_noise(noise: NoiseParams, n: usize) -> fieldswap_docmodel::Corpus {
+    let opts = GenOptions {
+        noise,
+        ..GenOptions::default()
+    };
+    Domain::Earnings.generator().generate(101, n, &opts)
+}
+
+fn oracle_config(schema: &fieldswap_docmodel::Schema) -> FieldSwapConfig {
+    let mut config = FieldSwapConfig::new(schema.len());
+    for (name, phrases) in Domain::Earnings.generator().phrase_bank() {
+        let id = schema.field_id(&name).unwrap();
+        config.set_phrases(id, phrases);
+    }
+    config.set_pairs(PairStrategy::TypeToType.build(schema, &config));
+    config
+}
+
+#[test]
+fn mild_noise_degrades_synthetic_counts_gracefully() {
+    let clean = corpus_with_noise(NoiseParams::default(), 25);
+    let mild = corpus_with_noise(NoiseParams::mild(), 25);
+    let config = oracle_config(&clean.schema);
+    let (s_clean, _) = augment_corpus(&clean, &config);
+    let (s_mild, _) = augment_corpus(&mild, &config);
+    assert!(!s_clean.is_empty());
+    // ~1% token noise should cost only a small fraction of synthetics:
+    // corrupted phrases no longer match.
+    assert!(
+        s_mild.len() as f64 > s_clean.len() as f64 * 0.7,
+        "mild noise wiped out augmentation: {} -> {}",
+        s_clean.len(),
+        s_mild.len()
+    );
+    assert!(s_mild.len() <= s_clean.len());
+}
+
+#[test]
+fn harsh_noise_still_produces_valid_synthetics() {
+    let harsh = corpus_with_noise(NoiseParams::harsh(), 25);
+    let config = oracle_config(&harsh.schema);
+    let (synths, _) = augment_corpus(&harsh, &config);
+    for s in &synths {
+        assert!(s.validate().is_ok());
+    }
+}
+
+#[test]
+fn noise_only_affects_text_never_structure() {
+    let clean = corpus_with_noise(NoiseParams::default(), 10);
+    let noisy = corpus_with_noise(NoiseParams::harsh(), 10);
+    for (c, n) in clean.documents.iter().zip(&noisy.documents) {
+        assert_eq!(c.tokens.len(), n.tokens.len());
+        assert_eq!(c.annotations, n.annotations);
+        for (ct, nt) in c.tokens.iter().zip(&n.tokens) {
+            assert_eq!(ct.bbox, nt.bbox);
+        }
+    }
+}
+
+#[test]
+fn extraction_survives_mild_noise() {
+    use fieldswap_eval::evaluate;
+    use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
+    let train = corpus_with_noise(NoiseParams::mild(), 40);
+    let test = {
+        let opts = GenOptions {
+            noise: NoiseParams::mild(),
+            ..GenOptions::default()
+        };
+        Domain::Earnings.generator().generate(102, 25, &opts)
+    };
+    let ex = Extractor::train_on(
+        &train.schema,
+        Lexicon::pretrain(&train.documents),
+        &train,
+        &[],
+        &TrainConfig {
+            epochs: 3,
+            synth_ratio: 0.0,
+            seed: 1,
+        },
+    );
+    let r = evaluate(&ex, &test);
+    assert!(
+        r.micro_f1() > 25.0,
+        "mild OCR noise should not break extraction: {:.1}",
+        r.micro_f1()
+    );
+}

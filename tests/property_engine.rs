@@ -1,0 +1,120 @@
+//! Property-based cross-crate tests: the augmentation engine must uphold
+//! its invariants for *arbitrary* phrase configurations and pair lists,
+//! not just the curated ones.
+
+use fieldswap_core::{augment_document, FieldSwapConfig};
+use fieldswap_datagen::{generate, Domain};
+use fieldswap_docmodel::Document;
+use proptest::prelude::*;
+
+/// A small pool of phrase fragments, some of which occur in Earnings
+/// documents and some of which never do.
+const PHRASES: [&str; 12] = [
+    "Base Salary",
+    "Overtime",
+    "Bonus",
+    "Net Pay",
+    "Employee",
+    "Pay Date",
+    "zebra quantum",
+    "Total",
+    "PTO",
+    "Vacation Pay",
+    "completely absent phrase",
+    "Earnings",
+];
+
+fn arbitrary_config(n_fields: usize) -> impl Strategy<Value = FieldSwapConfig> {
+    let phrase_sets = proptest::collection::vec(
+        proptest::collection::vec(0usize..PHRASES.len(), 0..3),
+        n_fields,
+    );
+    let pairs = proptest::collection::vec(
+        (0..n_fields as u16, 0..n_fields as u16),
+        0..12,
+    );
+    (phrase_sets, pairs).prop_map(move |(sets, pairs)| {
+        let mut config = FieldSwapConfig::new(n_fields);
+        for (f, set) in sets.iter().enumerate() {
+            config.set_phrases(
+                f as u16,
+                set.iter().map(|&i| PHRASES[i].to_string()).collect(),
+            );
+        }
+        // Keep only pairs whose fields have phrases (engine contract).
+        let valid: Vec<(u16, u16)> = pairs
+            .into_iter()
+            .filter(|&(s, t)| config.has_phrases(s) && config.has_phrases(t))
+            .collect();
+        config.set_pairs(valid);
+        config
+    })
+}
+
+fn sample_docs() -> Vec<Document> {
+    generate(Domain::Earnings, 777, 4).documents
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn synthetics_always_structurally_valid(config in arbitrary_config(23), doc_idx in 0usize..4) {
+        let docs = sample_docs();
+        let doc = &docs[doc_idx];
+        let (synths, stats) = augment_document(doc, &config);
+        prop_assert_eq!(synths.len(), stats.generated);
+        for s in &synths {
+            prop_assert!(s.validate().is_ok(), "{:?}", s.validate());
+            prop_assert!(!s.lines.is_empty());
+            // Annotation count preserved: relabeling never adds/drops.
+            prop_assert_eq!(s.annotations.len(), doc.annotations.len());
+        }
+    }
+
+    #[test]
+    fn labeled_values_never_altered(config in arbitrary_config(23), doc_idx in 0usize..4) {
+        let docs = sample_docs();
+        let doc = &docs[doc_idx];
+        let original_values: Vec<String> = doc
+            .annotations
+            .iter()
+            .map(|a| doc.span_text(a.start, a.end))
+            .collect();
+        let (synths, _) = augment_document(doc, &config);
+        for s in &synths {
+            let values: Vec<String> = s
+                .annotations
+                .iter()
+                .map(|a| s.span_text(a.start, a.end))
+                .collect();
+            // Same multiset of value texts (order may shift with indices).
+            let mut a = original_values.clone();
+            let mut b = values;
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn discard_rule_means_text_always_changes(config in arbitrary_config(23), doc_idx in 0usize..4) {
+        let docs = sample_docs();
+        let doc = &docs[doc_idx];
+        let original: Vec<String> = doc.tokens.iter().map(|t| t.lower()).collect();
+        let (synths, _) = augment_document(doc, &config);
+        for s in &synths {
+            let text: Vec<String> = s.tokens.iter().map(|t| t.lower()).collect();
+            prop_assert_ne!(&text, &original, "unchanged synthetic escaped the discard rule");
+        }
+    }
+
+    #[test]
+    fn determinism(config in arbitrary_config(23)) {
+        let docs = sample_docs();
+        let (a, sa) = augment_document(&docs[0], &config);
+        let (b, sb) = augment_document(&docs[0], &config);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa, sb);
+    }
+}
