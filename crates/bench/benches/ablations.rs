@@ -29,7 +29,9 @@ fn neighbor_metric(c: &mut Criterion) {
 }
 
 fn sparsify(c: &mut Criterion) {
-    let scores: Vec<f32> = (0..100).map(|i| ((i * 61 % 100) as f32) / 40.0 - 1.0).collect();
+    let scores: Vec<f32> = (0..100)
+        .map(|i| ((i * 61 % 100) as f32) / 40.0 - 1.0)
+        .collect();
     let mut g = c.benchmark_group("ablation/sparsify");
     g.bench_function("sparsemax", |b| b.iter(|| black_box(sparsemax(&scores))));
     g.bench_function("top_k", |b| {

@@ -26,15 +26,21 @@ fn bench_geometry(c: &mut Criterion) {
 }
 
 fn bench_sparsemax(c: &mut Criterion) {
-    let scores: Vec<f32> = (0..100).map(|i| ((i * 37 % 100) as f32) / 50.0 - 1.0).collect();
-    c.bench_function("nn/sparsemax_100", |b| b.iter(|| black_box(sparsemax(&scores))));
+    let scores: Vec<f32> = (0..100)
+        .map(|i| ((i * 37 % 100) as f32) / 50.0 - 1.0)
+        .collect();
+    c.bench_function("nn/sparsemax_100", |b| {
+        b.iter(|| black_box(sparsemax(&scores)))
+    });
 }
 
 fn bench_line_detection(c: &mut Criterion) {
     let corpus = generate(Domain::LoanPayments, 1, 4);
     let doc = corpus.documents[0].clone();
     let det = LineDetector::default();
-    c.bench_function("ocr/line_detection", |b| b.iter(|| black_box(det.detect(&doc))));
+    c.bench_function("ocr/line_detection", |b| {
+        b.iter(|| black_box(det.detect(&doc)))
+    });
 }
 
 fn bench_datagen(c: &mut Criterion) {
@@ -111,13 +117,13 @@ fn bench_extractor(c: &mut Criterion) {
         },
     );
     let doc = &train.documents[0];
-    c.bench_function("extract/predict_doc", |b| b.iter(|| black_box(ex.predict(doc))));
+    c.bench_function("extract/predict_doc", |b| {
+        b.iter(|| black_box(ex.predict(doc)))
+    });
 
     c.bench_function("extract/train_10docs_1epoch", |b| {
-        let small = fieldswap_docmodel::Corpus::new(
-            train.schema.clone(),
-            train.documents[..10].to_vec(),
-        );
+        let small =
+            fieldswap_docmodel::Corpus::new(train.schema.clone(), train.documents[..10].to_vec());
         b.iter(|| {
             black_box(Extractor::train_on(
                 &small.schema,

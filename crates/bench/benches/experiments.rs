@@ -19,6 +19,7 @@ fn bench_opts(seed: u64) -> HarnessOptions {
         synth_ratio: 1.0,
         synthetic_cap: 100,
         seed,
+        jobs: 1,
     }
 }
 
@@ -45,7 +46,7 @@ fn table2(c: &mut Criterion) {
 
 fn table3(c: &mut Criterion) {
     c.bench_function("tables/table3_synthetic_counts", |b| {
-        let mut h = Harness::new(bench_opts(3));
+        let h = Harness::new(bench_opts(3));
         b.iter(|| {
             let f2f = h.count_synthetics(Domain::Earnings, 5, Arm::AutoFieldToField);
             let t2t = h.count_synthetics(Domain::Earnings, 5, Arm::AutoTypeToType);
@@ -56,7 +57,7 @@ fn table3(c: &mut Criterion) {
 
 fn table4(c: &mut Criterion) {
     c.bench_function("tables/table4_rare_fields", |b| {
-        let mut h = Harness::new(bench_opts(4));
+        let h = Harness::new(bench_opts(4));
         b.iter(|| {
             let auto = h.run_single(Domain::Earnings, 5, Arm::AutoFieldToField, 0, 0);
             let expert = h.run_single(Domain::Earnings, 5, Arm::HumanExpert, 0, 0);
@@ -67,7 +68,7 @@ fn table4(c: &mut Criterion) {
 
 fn fig4(c: &mut Criterion) {
     c.bench_function("figures/fig4_macro_point", |b| {
-        let mut h = Harness::new(bench_opts(5));
+        let h = Harness::new(bench_opts(5));
         b.iter(|| {
             let base = h.run_single(Domain::Fara, 5, Arm::Baseline, 0, 0);
             let swap = h.run_single(Domain::Fara, 5, Arm::AutoTypeToType, 0, 0);
@@ -78,7 +79,7 @@ fn fig4(c: &mut Criterion) {
 
 fn fig5(c: &mut Criterion) {
     c.bench_function("figures/fig5_micro_point", |b| {
-        let mut h = Harness::new(bench_opts(6));
+        let h = Harness::new(bench_opts(6));
         b.iter(|| {
             let base = h.run_single(Domain::Fara, 5, Arm::Baseline, 0, 0);
             let swap = h.run_single(Domain::Fara, 5, Arm::AutoFieldToField, 0, 0);
@@ -89,7 +90,7 @@ fn fig5(c: &mut Criterion) {
 
 fn fig6(c: &mut Criterion) {
     c.bench_function("figures/fig6_boxstats", |b| {
-        let mut h = Harness::new(bench_opts(7));
+        let h = Harness::new(bench_opts(7));
         let base = h.run_single(Domain::Earnings, 5, Arm::Baseline, 0, 0);
         let swap = h.run_single(Domain::Earnings, 5, Arm::AutoTypeToType, 0, 0);
         b.iter(|| {

@@ -71,13 +71,19 @@ fn main() {
     model.train(&pretrain, seed ^ 1);
     let target = generate(Domain::Earnings, seed ^ 2, if args.full { 80 } else { 40 });
 
-    println!("Ablation study ({} scale)\n", if args.full { "full" } else { "quick" });
+    println!(
+        "Ablation study ({} scale)\n",
+        if args.full { "full" } else { "quick" }
+    );
 
     // --- 1/2/3/5: inference-pipeline ablations, scored by oracle hit rate.
     println!("key-phrase inference ablations (oracle hit rate on Earnings):");
     let t = TablePrinter::new(&[("variant", 40), ("hit rate", 9), ("phrases", 8)]);
     let variants: Vec<(&str, InferenceConfig)> = vec![
-        ("paper defaults (sparsemax, noisy-or, excl.)", InferenceConfig::default()),
+        (
+            "paper defaults (sparsemax, noisy-or, excl.)",
+            InferenceConfig::default(),
+        ),
         (
             "sparsify = top-5 cosine",
             InferenceConfig {
@@ -104,7 +110,11 @@ fn main() {
         let ranked = infer_key_phrases(&model, &target, cfg);
         let hit = oracle_hit_rate(Domain::Earnings, &ranked);
         let n: usize = ranked.iter().map(Vec::len).sum();
-        t.row(&[name.to_string(), format!("{:.0}%", hit * 100.0), n.to_string()]);
+        t.row(&[
+            name.to_string(),
+            format!("{:.0}%", hit * 100.0),
+            n.to_string(),
+        ]);
     }
 
     // --- 1b: neighbor metric, via a model trained with each metric.
@@ -140,12 +150,20 @@ fn main() {
     }
     config.set_pairs(PairStrategy::TypeToType.build(&corpus.schema, &config));
     let t = TablePrinter::new(&[("variant", 16), ("synthetics", 11), ("unchanged kept", 14)]);
-    let (_, stats_on) = augment_corpus_with(&corpus, &config, &EngineOptions {
-        discard_unchanged: true,
-    });
-    let (_, stats_off) = augment_corpus_with(&corpus, &config, &EngineOptions {
-        discard_unchanged: false,
-    });
+    let (_, stats_on) = augment_corpus_with(
+        &corpus,
+        &config,
+        &EngineOptions {
+            discard_unchanged: true,
+        },
+    );
+    let (_, stats_off) = augment_corpus_with(
+        &corpus,
+        &config,
+        &EngineOptions {
+            discard_unchanged: false,
+        },
+    );
     t.row(&[
         "rule ON".to_string(),
         stats_on.generated.to_string(),
@@ -161,10 +179,13 @@ fn main() {
 
     // --- 6: all-to-all vs type-to-type, end to end.
     println!("\npair-mapping ablation (Earnings @ 10 docs, macro-F1):");
-    let mut harness = Harness::new(args.harness_options());
+    let harness = Harness::new(args.harness_options());
     let t = TablePrinter::new(&[("arm", 30), ("macro-F1", 9)]);
-    for arm in [Arm::Baseline, Arm::AutoTypeToType, Arm::AutoAllToAll] {
-        let p = harness.run_point(Domain::Earnings, 10, arm);
+    let points: Vec<_> = [Arm::Baseline, Arm::AutoTypeToType, Arm::AutoAllToAll]
+        .into_iter()
+        .map(|arm| (Domain::Earnings, 10, arm))
+        .collect();
+    for p in harness.run_grid(&points) {
         t.row(&[p.arm.clone(), format!("{:.2}", p.macro_f1)]);
     }
     println!("(paper: all-to-all is 'nearly always worse' than type-to-type)");

@@ -21,7 +21,7 @@ use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
 
 fn main() {
     let args = BinArgs::parse();
-    let mut harness = Harness::new(args.harness_options());
+    let harness = Harness::new(args.harness_options());
     let domain = Domain::Earnings;
     let size = 10usize;
 
@@ -31,17 +31,20 @@ fn main() {
         if args.full { "full" } else { "quick" }
     );
 
-    // --- Extensions 1 & 2, through the harness arms.
+    // --- Extensions 1 & 2, through the harness arms (one grid).
     println!("macro-F1 by arm:");
     let t = TablePrinter::new(&[("arm", 34), ("macro-F1", 9), ("synthetics", 10)]);
-    for arm in [
+    let points: Vec<_> = [
         Arm::Baseline,
         Arm::AutoTypeToType,
         Arm::NameDerived,
         Arm::TypeToTypeValueSwap,
         Arm::HumanExpert,
-    ] {
-        let p = harness.run_point(domain, size, arm);
+    ]
+    .into_iter()
+    .map(|arm| (domain, size, arm))
+    .collect();
+    for p in harness.run_grid(&points) {
         t.row(&[
             p.arm.clone(),
             format!("{:.2}", p.macro_f1),
@@ -132,9 +135,7 @@ fn main() {
         "  seed config: {seed_phrases} phrases; mined {added} additional phrases from {} unlabeled docs",
         unlabeled.len()
     );
-    expanded.set_pairs(
-        fieldswap_core::PairStrategy::TypeToType.build(&sample.schema, &expanded),
-    );
+    expanded.set_pairs(fieldswap_core::PairStrategy::TypeToType.build(&sample.schema, &expanded));
     let (mined_synths, _) = fieldswap_core::augment_corpus(&sample, &expanded);
     let (seed_synths, _) = fieldswap_core::augment_corpus(&sample, &seed_config);
     println!(

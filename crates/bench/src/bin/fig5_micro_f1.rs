@@ -13,21 +13,32 @@ use fieldswap_eval::{Arm, Harness, PointSummary};
 fn main() {
     let args = BinArgs::parse();
     let sizes = [10usize, 50, 100];
-    let mut harness = Harness::new(args.harness_options());
-    let mut all: Vec<PointSummary> = Vec::new();
+    let harness = Harness::new(args.harness_options());
 
     println!(
-        "Fig. 5 — mean micro-F1 ({} protocol, {} samples x {} trials)\n",
+        "Fig. 5 — mean micro-F1 ({} protocol, {} samples x {} trials, {} jobs)\n",
         if args.full { "full" } else { "quick" },
         harness.options().n_samples,
-        harness.options().n_trials
+        harness.options().n_trials,
+        fieldswap_eval::effective_jobs(harness.options().jobs),
     );
 
+    let mut points: Vec<(Domain, usize, Arm)> = Vec::new();
     for domain in args.domains() {
         let mut arms = vec![Arm::Baseline, Arm::AutoFieldToField, Arm::AutoTypeToType];
         if matches!(domain, Domain::Earnings | Domain::LoanPayments) {
             arms.push(Arm::HumanExpert);
         }
+        for &size in &sizes {
+            for &arm in &arms {
+                points.push((domain, size, arm));
+            }
+        }
+    }
+    let all: Vec<PointSummary> = harness.run_grid(&points);
+
+    let mut results = points.iter().zip(&all).peekable();
+    for domain in args.domains() {
         println!("== {} ==", domain.name());
         let t = TablePrinter::new(&[
             ("train size", 10),
@@ -35,24 +46,24 @@ fn main() {
             ("micro-F1", 9),
             ("Δ vs baseline", 13),
         ]);
-        for &size in &sizes {
-            let mut baseline_f1 = None;
-            for &arm in &arms {
-                let p = harness.run_point(domain, size, arm);
-                if arm == Arm::Baseline {
-                    baseline_f1 = Some(p.micro_f1);
-                }
-                let delta = baseline_f1
-                    .map(|b| format!("{:+.2}", p.micro_f1 - b))
-                    .unwrap_or_default();
-                t.row(&[
-                    size.to_string(),
-                    p.arm.clone(),
-                    format!("{:.2}", p.micro_f1),
-                    delta,
-                ]);
-                all.push(p);
+        let mut baseline_f1 = None;
+        while let Some(((d, size, arm), p)) = results.peek() {
+            if *d != domain {
+                break;
             }
+            if *arm == Arm::Baseline {
+                baseline_f1 = Some(p.micro_f1);
+            }
+            let delta = baseline_f1
+                .map(|b| format!("{:+.2}", p.micro_f1 - b))
+                .unwrap_or_default();
+            t.row(&[
+                size.to_string(),
+                p.arm.clone(),
+                format!("{:.2}", p.micro_f1),
+                delta,
+            ]);
+            results.next();
         }
         println!();
     }

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 fn main() {
     let args = BinArgs::parse();
     let sizes = [10usize, 50, 100];
-    let mut harness = Harness::new(args.harness_options());
+    let harness = Harness::new(args.harness_options());
     let domains = match args.domain {
         Some(d) => vec![d],
         None => vec![Domain::LoanPayments, Domain::Earnings],
@@ -31,6 +31,18 @@ fn main() {
         if args.full { "full" } else { "quick" }
     );
 
+    // One grid for the whole figure: every (domain, size) contributes a
+    // baseline/type-to-type pair, all sharing the worker pool.
+    let mut points: Vec<(Domain, usize, Arm)> = Vec::new();
+    for &domain in &domains {
+        for &size in &sizes {
+            points.push((domain, size, Arm::Baseline));
+            points.push((domain, size, Arm::AutoTypeToType));
+        }
+    }
+    let summaries = harness.run_grid(&points);
+    let mut pairs = summaries.chunks(2);
+
     let mut json_out: Vec<(String, String, BoxStats)> = Vec::new();
     for domain in domains {
         let schema = harness.domain_data(domain).0.schema.clone();
@@ -38,8 +50,9 @@ fn main() {
         let mut deltas_by_type: HashMap<BaseType, Vec<f64>> = HashMap::new();
         let mut per_field_rows: Vec<(String, BaseType, f64)> = Vec::new();
         for &size in &sizes {
-            let base = harness.run_point(domain, size, Arm::Baseline);
-            let swap = harness.run_point(domain, size, Arm::AutoTypeToType);
+            let [base, swap] = pairs.next().expect("one pair per (domain, size)") else {
+                unreachable!("grid built in pairs");
+            };
             for (id, def) in schema.iter() {
                 let f = id as usize;
                 let b: Vec<f64> = base.runs.iter().filter_map(|r| r.per_field_f1[f]).collect();

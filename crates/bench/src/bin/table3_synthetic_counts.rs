@@ -13,7 +13,7 @@ use fieldswap_eval::{Arm, Harness};
 fn main() {
     let args = BinArgs::parse();
     let sizes = [10usize, 50, 100];
-    let mut harness = Harness::new(args.harness_options());
+    let harness = Harness::new(args.harness_options());
 
     println!(
         "Table III — Avg. number of synthetic documents ({} protocol, {} samples)\n",

@@ -10,24 +10,31 @@
 
 use fieldswap_bench::{paper, BinArgs, TablePrinter};
 use fieldswap_datagen::Domain;
-use fieldswap_eval::{Arm, Harness};
 use fieldswap_eval::metrics::mean;
+use fieldswap_eval::{Arm, Harness};
 
 fn main() {
     let args = BinArgs::parse();
     let size = 50usize;
     let domain = Domain::Earnings;
-    let mut harness = Harness::new(args.harness_options());
+    let harness = Harness::new(args.harness_options());
 
     println!(
         "Table IV — largest F1 gains, automatic(f2f) vs human expert, Earnings @ {size} docs ({} protocol)\n",
         if args.full { "full" } else { "quick" }
     );
 
-    let auto = harness.run_point(domain, size, Arm::AutoFieldToField);
-    let expert = harness.run_point(domain, size, Arm::HumanExpert);
+    // Both arms as one grid, so their experiments share the worker pool.
+    let mut summaries = harness
+        .run_grid(&[
+            (domain, size, Arm::AutoFieldToField),
+            (domain, size, Arm::HumanExpert),
+        ])
+        .into_iter();
+    let (auto, expert) = (summaries.next().unwrap(), summaries.next().unwrap());
 
-    let (pool, _) = harness.domain_data(domain).clone();
+    let data = harness.domain_data(domain);
+    let pool = &data.0;
     let schema = pool.schema.clone();
 
     // Mean per-field F1 across runs, ignoring runs without support.

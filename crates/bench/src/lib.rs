@@ -12,6 +12,9 @@
 //!   `brokerage`, `earnings`, `loan`).
 //! * `--seed <n>` — override the master seed.
 //! * `--json <path>` — also dump results as JSON.
+//! * `--jobs <n>` — worker threads for the experiment grid (0 = all
+//!   cores, the default; 1 = serial). Results are bit-identical for
+//!   every setting.
 
 use fieldswap_datagen::Domain;
 use fieldswap_eval::HarnessOptions;
@@ -33,6 +36,8 @@ pub struct BinArgs {
     pub trials: Option<usize>,
     /// Override: test-set cap (0 = full).
     pub test_cap: Option<usize>,
+    /// Override: worker threads (0 = all cores, 1 = serial).
+    pub jobs: Option<usize>,
 }
 
 impl BinArgs {
@@ -47,6 +52,7 @@ impl BinArgs {
             samples: None,
             trials: None,
             test_cap: None,
+            jobs: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -83,6 +89,11 @@ impl BinArgs {
                     let v = args.get(i).unwrap_or_else(|| usage("missing testcap"));
                     out.test_cap = Some(v.parse().unwrap_or_else(|_| usage("bad testcap")));
                 }
+                "--jobs" => {
+                    i += 1;
+                    let v = args.get(i).unwrap_or_else(|| usage("missing jobs"));
+                    out.jobs = Some(v.parse().unwrap_or_else(|_| usage("bad jobs")));
+                }
                 other => usage(&format!("unknown flag {other}")),
             }
             i += 1;
@@ -107,6 +118,9 @@ impl BinArgs {
         }
         if let Some(c) = self.test_cap {
             o.test_cap = c;
+        }
+        if let Some(j) = self.jobs {
+            o.jobs = j;
         }
         o
     }
@@ -143,7 +157,7 @@ fn parse_domain(name: &str) -> Option<Domain> {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N]");
+    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N]");
     std::process::exit(2)
 }
 
@@ -157,8 +171,16 @@ impl TablePrinter {
     pub fn new(headers: &[(&str, usize)]) -> Self {
         let widths: Vec<usize> = headers.iter().map(|(_, w)| *w).collect();
         let p = Self { widths };
-        p.row(&headers.iter().map(|(h, _)| h.to_string()).collect::<Vec<_>>());
-        println!("{}", "-".repeat(p.widths.iter().sum::<usize>() + 2 * p.widths.len()));
+        p.row(
+            &headers
+                .iter()
+                .map(|(h, _)| h.to_string())
+                .collect::<Vec<_>>(),
+        );
+        println!(
+            "{}",
+            "-".repeat(p.widths.iter().sum::<usize>() + 2 * p.widths.len())
+        );
         p
     }
 

@@ -111,7 +111,10 @@ impl FieldSwapConfig {
 /// paper's post-processing of OCR-line phrases, Section II-A3).
 pub fn normalize_phrase(p: &str) -> String {
     p.split_whitespace()
-        .map(|w| w.trim_matches(|c: char| c.is_ascii_punctuation()).to_lowercase())
+        .map(|w| {
+            w.trim_matches(|c: char| c.is_ascii_punctuation())
+                .to_lowercase()
+        })
         .filter(|w| !w.is_empty())
         .collect::<Vec<_>>()
         .join(" ")
@@ -134,9 +137,17 @@ mod tests {
         let mut c = FieldSwapConfig::new(2);
         c.set_phrases(
             0,
-            vec!["Total".into(), "total".into(), "  ".into(), "Amount Due".into()],
+            vec![
+                "Total".into(),
+                "total".into(),
+                "  ".into(),
+                "Amount Due".into(),
+            ],
         );
-        assert_eq!(c.phrases(0), &["total".to_string(), "amount due".to_string()]);
+        assert_eq!(
+            c.phrases(0),
+            &["total".to_string(), "amount due".to_string()]
+        );
         assert!(c.has_phrases(0));
         assert!(!c.has_phrases(1));
     }

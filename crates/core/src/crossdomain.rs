@@ -184,10 +184,7 @@ mod tests {
             assert!((s.annotations[0].field as usize) < ts.len());
         }
         // The money synthetic reads "payment due $512.00".
-        let money = synths
-            .iter()
-            .find(|s| s.annotations[0].field == 1)
-            .unwrap();
+        let money = synths.iter().find(|s| s.annotations[0].field == 1).unwrap();
         let text: Vec<&str> = money.tokens.iter().map(|t| t.text.as_str()).collect();
         assert!(text.contains(&"payment") || text.contains(&"total"));
         assert!(text.contains(&"$512.00"));

@@ -189,10 +189,7 @@ pub(crate) fn swap(
             let mut x = first.x0;
             for w in &new_words {
                 let width = w.chars().count() as f32 * char_w;
-                tokens.push(Token::new(
-                    *w,
-                    BBox::new(x, first.y0, x + width, first.y1),
-                ));
+                tokens.push(Token::new(*w, BBox::new(x, first.y0, x + width, first.y1)));
                 x += width + char_w * 0.7;
             }
             i = m.end;
@@ -360,7 +357,11 @@ mod tests {
         assert_eq!(s.tokens.len(), 6); // 3-word phrase replaces 2 words
         assert!(s.validate().is_ok());
         // Annotation indices shifted correctly.
-        let salary = s.annotations.iter().find(|a| a.field == 1 && a.start == 3).unwrap();
+        let salary = s
+            .annotations
+            .iter()
+            .find(|a| a.field == 1 && a.start == 3)
+            .unwrap();
         assert_eq!(s.span_text(salary.start, salary.end), "$3,308.62");
     }
 
@@ -403,7 +404,10 @@ mod tests {
         let doc = fig1_doc();
         let mut config = FieldSwapConfig::new(2);
         config.set_phrases(0, vec!["Base Salary".into()]);
-        config.set_phrases(1, vec!["Overtime".into(), "OT Pay".into(), "Extra Hours".into()]);
+        config.set_phrases(
+            1,
+            vec!["Overtime".into(), "OT Pay".into(), "Extra Hours".into()],
+        );
         config.set_pairs(vec![(0, 1)]);
         let (synths, stats) = augment_document(&doc, &config);
         assert_eq!(synths.len(), 3);

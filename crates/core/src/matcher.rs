@@ -156,8 +156,7 @@ mod tests {
                     1usize..4,                                            // occurrences
                 ),
                 |(phrase_idx, prefix_idx, occurrences)| {
-                    let phrase_words: Vec<&str> =
-                        phrase_idx.iter().map(|&i| words[i]).collect();
+                    let phrase_words: Vec<&str> = phrase_idx.iter().map(|&i| words[i]).collect();
                     let phrase = phrase_words.join(" ");
                     // Build rows: a prefix row of filler, then N rows each
                     // containing exactly the phrase.

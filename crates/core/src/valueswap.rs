@@ -77,7 +77,10 @@ pub fn replace_range(doc: &Document, start: u32, end: u32, words: &[String]) -> 
     let mut x = first.x0;
     for w in words {
         let width = w.chars().count() as f32 * char_w;
-        tokens.push(Token::new(w.clone(), BBox::new(x, first.y0, x + width, first.y1)));
+        tokens.push(Token::new(
+            w.clone(),
+            BBox::new(x, first.y0, x + width, first.y1),
+        ));
         x += width + char_w * 0.7;
     }
     tokens.extend_from_slice(&doc.tokens[end as usize..]);
@@ -225,7 +228,10 @@ mod tests {
         );
         let corpus = Corpus::new(
             schema,
-            vec![doc(&[("$1.00", Some(0))]), doc(&[("$2.00", Some(0)), ("$3.00", Some(1))])],
+            vec![
+                doc(&[("$1.00", Some(0))]),
+                doc(&[("$2.00", Some(0)), ("$3.00", Some(1))]),
+            ],
         );
         let bank = ValueBank::collect(&corpus);
         assert_eq!(bank.count(0), 2);

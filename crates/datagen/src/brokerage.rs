@@ -2,7 +2,9 @@
 //! 2 address, 7 string (Table II). A summary-style statement with an
 //! account-value section and identity blocks.
 
-use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::domain::{
+    drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor,
+};
 use crate::layout::PageBuilder;
 use crate::values;
 use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
@@ -103,12 +105,7 @@ const SPECS: [FieldSpec; 18] = [
         &["Financial Advisor", "Your Advisor", "Advisor"],
         0.6,
     ),
-    FieldSpec::new(
-        "account_type",
-        BaseType::String,
-        &["Account Type"],
-        0.7,
-    ),
+    FieldSpec::new("account_type", BaseType::String, &["Account Type"], 0.7),
     FieldSpec::new(
         "portfolio_id",
         BaseType::String,
@@ -188,7 +185,11 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
             0 => values::id_number(rng),
             1 => ["Individual", "Joint", "IRA", "Roth IRA"][rng.gen_range(0..4)].to_string(),
             2 => values::person_name(rng),
-            _ => format!("{:02}-{:07}", rng.gen_range(10..99), rng.gen_range(0..10_000_000)),
+            _ => format!(
+                "{:02}-{:07}",
+                rng.gen_range(10..99),
+                rng.gen_range(0..10_000_000)
+            ),
         };
         if vendor.variant == 0 {
             p.kv_row(40.0, vendor.phrase(sp, fid), 360.0, &v, Some(f(fid)));
@@ -254,7 +255,10 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
         p.kv_row(60.0, "", vx, &val, None);
     }
     p.vspace(10.0);
-    p.text(40.0, "Values are estimates and may not reflect final settlement");
+    p.text(
+        40.0,
+        "Values are estimates and may not reflect final settlement",
+    );
     p.finish()
 }
 

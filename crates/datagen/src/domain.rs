@@ -207,7 +207,13 @@ pub struct Vendor {
 
 impl Vendor {
     /// Deterministically materializes vendor `id` of `domain`.
-    pub fn sample(domain: Domain, corpus_seed: u64, id: usize, specs: &[FieldSpec], n_variants: usize) -> Self {
+    pub fn sample(
+        domain: Domain,
+        corpus_seed: u64,
+        id: usize,
+        specs: &[FieldSpec],
+        n_variants: usize,
+    ) -> Self {
         // Vendors are tied to the domain only (not the corpus seed), so a
         // train pool and test set generated from different seeds share the
         // same vendor pool — exactly the "same document type, unseen
@@ -324,8 +330,7 @@ mod tests {
 
     #[test]
     fn phrase_for_empty_bank_is_empty() {
-        const SPECS: [FieldSpec; 1] =
-            [FieldSpec::new("x", BaseType::String, &[], 1.0)];
+        const SPECS: [FieldSpec; 1] = [FieldSpec::new("x", BaseType::String, &[], 1.0)];
         let v = Vendor::sample(Domain::Fara, 0, 0, &SPECS, 1);
         assert_eq!(v.phrase(&SPECS, 0), "");
     }

@@ -9,7 +9,9 @@
 //! documents), `year_to_date.sales_pay` (~3.9%), `current.pto_pay`
 //! (~9.5%), `year_to_date.pto_pay` (~15.9%).
 
-use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::domain::{
+    drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor,
+};
 use crate::layout::PageBuilder;
 use crate::values;
 use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
@@ -21,16 +23,55 @@ use rand::Rng;
 /// as: pay pair `k` → current = `2k`, ytd = `2k + 1`.
 const PAY_TYPES: [(&str, &[&str], f64, f64); 7] = [
     // (stem, phrase bank, current presence, ytd presence)
-    ("base_salary", &["Base Salary", "Regular Pay", "Base", "Salary", "Regular Earnings"], 0.97, 0.97),
-    ("overtime", &["Overtime", "OT Pay", "Overtime Pay", "OT Earnings"], 0.55, 0.62),
-    ("bonus", &["Bonus", "Incentive Pay", "Bonus Pay", "Discretionary Bonus"], 0.42, 0.50),
-    ("commission", &["Commission", "Comm Earnings", "Commission Pay"], 0.30, 0.34),
-    ("vacation", &["Vacation", "Vacation Pay", "Vacation Earnings"], 0.33, 0.40),
-    ("pto_pay", &["PTO", "PTO Pay", "Paid Time Off", "PTO Earnings"], 0.095, 0.159),
-    ("sales_pay", &["Sales Pay", "Sales Incentive", "Sales Earnings"], 0.0285, 0.039),
+    (
+        "base_salary",
+        &[
+            "Base Salary",
+            "Regular Pay",
+            "Base",
+            "Salary",
+            "Regular Earnings",
+        ],
+        0.97,
+        0.97,
+    ),
+    (
+        "overtime",
+        &["Overtime", "OT Pay", "Overtime Pay", "OT Earnings"],
+        0.55,
+        0.62,
+    ),
+    (
+        "bonus",
+        &["Bonus", "Incentive Pay", "Bonus Pay", "Discretionary Bonus"],
+        0.42,
+        0.50,
+    ),
+    (
+        "commission",
+        &["Commission", "Comm Earnings", "Commission Pay"],
+        0.30,
+        0.34,
+    ),
+    (
+        "vacation",
+        &["Vacation", "Vacation Pay", "Vacation Earnings"],
+        0.33,
+        0.40,
+    ),
+    (
+        "pto_pay",
+        &["PTO", "PTO Pay", "Paid Time Off", "PTO Earnings"],
+        0.095,
+        0.159,
+    ),
+    (
+        "sales_pay",
+        &["Sales Pay", "Sales Incentive", "Sales Earnings"],
+        0.0285,
+        0.039,
+    ),
 ];
-
-
 
 /// Remaining fields, ids continuing after the pay pairs:
 /// 14 net_pay, 15..=17 dates, 18 employee_name, 19 employee_id,
@@ -108,7 +149,12 @@ fn build_specs() -> Vec<FieldSpec> {
         &["Employee Address", "Mailing Address", "Home Address"],
         0.85,
     ));
-    specs.push(FieldSpec::new("employer_address", BaseType::Address, &[], 0.9));
+    specs.push(FieldSpec::new(
+        "employer_address",
+        BaseType::Address,
+        &[],
+        0.9,
+    ));
     specs
 }
 
@@ -230,8 +276,22 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
     };
     let headers: Vec<(f32, &str)> = vec![
         (40.0, "Earnings"),
-        (cur_x, if vendor.id.is_multiple_of(2) { "Current" } else { "This Period" }),
-        (ytd_x, if vendor.id.is_multiple_of(2) { "YTD" } else { "Year To Date" }),
+        (
+            cur_x,
+            if vendor.id.is_multiple_of(2) {
+                "Current"
+            } else {
+                "This Period"
+            },
+        ),
+        (
+            ytd_x,
+            if vendor.id.is_multiple_of(2) {
+                "YTD"
+            } else {
+                "Year To Date"
+            },
+        ),
     ];
     let mut rows = Vec::new();
     let mut cur_total = 0i64;
@@ -246,12 +306,20 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
         cur_total += if present[cur_id] { cur_cents } else { 0 };
         let mut cells = Vec::new();
         if present[cur_id] {
-            cells.push((cur_x, values::format_money(cur_cents, true), Some(f(cur_id))));
+            cells.push((
+                cur_x,
+                values::format_money(cur_cents, true),
+                Some(f(cur_id)),
+            ));
         } else {
             cells.push((cur_x, "--".to_string(), None));
         }
         if present[ytd_id] {
-            cells.push((ytd_x, values::format_money(ytd_cents, true), Some(f(ytd_id))));
+            cells.push((
+                ytd_x,
+                values::format_money(ytd_cents, true),
+                Some(f(ytd_id)),
+            ));
         } else {
             cells.push((ytd_x, "--".to_string(), None));
         }

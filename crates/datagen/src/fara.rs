@@ -4,7 +4,9 @@
 //! strings (weakly suited to swapping) and the remaining two have distinct
 //! base types, so they are never swappable with each other.
 
-use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::domain::{
+    drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor,
+};
 use crate::layout::PageBuilder;
 use crate::values;
 use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
@@ -146,7 +148,10 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
         kv(&mut p, ID_REGISTRANT, v);
     }
     if present[ID_PRINCIPAL] {
-        let v = format!("Ministry of Trade of {}", COUNTRIES[rng.gen_range(0..COUNTRIES.len())]);
+        let v = format!(
+            "Ministry of Trade of {}",
+            COUNTRIES[rng.gen_range(0..COUNTRIES.len())]
+        );
         kv(&mut p, ID_PRINCIPAL, v);
     }
     if present[ID_COUNTRY] {
@@ -159,7 +164,10 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
         "In accordance with the requirements of the Act the undersigned swears",
     );
     p.newline();
-    p.text(40.0, "that the contents of this statement are true and correct");
+    p.text(
+        40.0,
+        "that the contents of this statement are true and correct",
+    );
     p.vspace(16.0);
     if present[ID_SIGNER] {
         // Signature block: bare name above a "Signature" rule, no phrase
@@ -190,7 +198,9 @@ mod tests {
         // types and are thus not swappable with each other.
         let s = FaraGen.schema();
         let d = s.field(s.field_id("date_stamped").unwrap()).base_type;
-        let n = s.field(s.field_id("registration_number").unwrap()).base_type;
+        let n = s
+            .field(s.field_id("registration_number").unwrap())
+            .base_type;
         assert_ne!(d, n);
     }
 

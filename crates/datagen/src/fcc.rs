@@ -3,7 +3,9 @@
 //! items and stacked label/value pairs, modeled after public FCC filing
 //! cover sheets.
 
-use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::domain::{
+    drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor,
+};
 use crate::layout::PageBuilder;
 use crate::values;
 use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
@@ -160,7 +162,12 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
         emit(&mut p, &mut item, ID_APPLICANT_NAME, v);
     }
     if present[ID_FILE_NUMBER] {
-        emit(&mut p, &mut item, ID_FILE_NUMBER, rng.gen_range(1_000_000..9_999_999).to_string());
+        emit(
+            &mut p,
+            &mut item,
+            ID_FILE_NUMBER,
+            rng.gen_range(1_000_000..9_999_999).to_string(),
+        );
     }
     if present[ID_CALL_SIGN] {
         let v = format!(
@@ -171,13 +178,17 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
         emit(&mut p, &mut item, ID_CALL_SIGN, v);
     }
     if present[ID_SERVICE_TYPE] {
-        let v = ["FM Broadcast", "AM Broadcast", "Land Mobile", "Microwave"]
-            [rng.gen_range(0..4)]
-        .to_string();
+        let v = ["FM Broadcast", "AM Broadcast", "Land Mobile", "Microwave"][rng.gen_range(0..4)]
+            .to_string();
         emit(&mut p, &mut item, ID_SERVICE_TYPE, v);
     }
     if present[ID_FACILITY_ID] {
-        emit(&mut p, &mut item, ID_FACILITY_ID, format!("F{}", rng.gen_range(10_000..99_999)));
+        emit(
+            &mut p,
+            &mut item,
+            ID_FACILITY_ID,
+            format!("F{}", rng.gen_range(10_000..99_999)),
+        );
     }
     let date_style = (vendor.id % 3) as u8;
     for &fid in &[ID_DATE_FILED, ID_PERIOD_START, ID_PERIOD_END] {
@@ -246,8 +257,14 @@ mod tests {
     fn numbered_item_labels_present() {
         let c = FccGen.generate(6, 5, &GenOptions::default());
         let d = &c.documents[0];
-        let has_numbered = d.tokens.iter().any(|t| t.text.ends_with('.') && t.text.len() <= 3
-            && t.text.trim_end_matches('.').chars().all(|c| c.is_ascii_digit()));
+        let has_numbered = d.tokens.iter().any(|t| {
+            t.text.ends_with('.')
+                && t.text.len() <= 3
+                && t.text
+                    .trim_end_matches('.')
+                    .chars()
+                    .all(|c| c.is_ascii_digit())
+        });
         assert!(has_numbered, "expected numbered form items");
     }
 

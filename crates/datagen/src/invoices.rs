@@ -4,7 +4,9 @@
 //! documents"). It is never used for evaluation; it exists so that the
 //! importance model learns domain-transferable relative-position cues.
 
-use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::domain::{
+    drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor,
+};
 use crate::layout::PageBuilder;
 use crate::values;
 use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
@@ -29,7 +31,12 @@ const SPECS: [FieldSpec; 10] = [
         &["Invoice Number", "Invoice No", "Invoice #"],
         0.95,
     ),
-    FieldSpec::new("po_number", BaseType::String, &["PO Number", "Purchase Order"], 0.5),
+    FieldSpec::new(
+        "po_number",
+        BaseType::String,
+        &["PO Number", "Purchase Order"],
+        0.5,
+    ),
     FieldSpec::new(
         "invoice_date",
         BaseType::Date,
@@ -159,11 +166,7 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
 
     let sub = rng.gen_range(10_000..2_000_000i64);
     let tax = sub / rng.gen_range(8..20);
-    let rows = [
-        (ID_SUBTOTAL, sub),
-        (ID_TAX, tax),
-        (ID_TOTAL_DUE, sub + tax),
-    ];
+    let rows = [(ID_SUBTOTAL, sub), (ID_TAX, tax), (ID_TOTAL_DUE, sub + tax)];
     for (fid, cents) in rows {
         if present[fid] {
             p.kv_row(

@@ -121,7 +121,14 @@ impl PageBuilder {
     /// A key-value row: label phrase at `label_x`, value at `value_x`, same
     /// row; the value is labeled with `field` when given. Advances the
     /// cursor.
-    pub fn kv_row(&mut self, label_x: f32, phrase: &str, value_x: f32, value: &str, field: Option<FieldId>) {
+    pub fn kv_row(
+        &mut self,
+        label_x: f32,
+        phrase: &str,
+        value_x: f32,
+        value: &str,
+        field: Option<FieldId>,
+    ) {
         if !phrase.is_empty() {
             self.text(label_x, phrase);
         }
@@ -147,12 +154,7 @@ impl PageBuilder {
     /// A table: a header row of `(x, phrase)` column headers, then data
     /// rows. Each data row is a row-label phrase at `row_label_x` plus
     /// `(x, value, field)` cells. Advances the cursor past all rows.
-    pub fn table(
-        &mut self,
-        row_label_x: f32,
-        headers: &[(f32, &str)],
-        rows: &[TableRow],
-    ) {
+    pub fn table(&mut self, row_label_x: f32, headers: &[(f32, &str)], rows: &[TableRow]) {
         for (x, h) in headers {
             self.text(*x, h);
         }
@@ -282,7 +284,10 @@ mod tests {
         let fields: Vec<FieldId> = d.annotations.iter().map(|a| a.field).collect();
         assert_eq!(fields, vec![0, 1, 2, 3]);
         // Row labels are unlabeled tokens.
-        assert_eq!(d.span_text(d.annotations[0].start, d.annotations[0].end), "$3,308.62");
+        assert_eq!(
+            d.span_text(d.annotations[0].start, d.annotations[0].end),
+            "$3,308.62"
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! hurt, and which the human-expert configuration fixes by excluding those
 //! fields.
 
-use crate::domain::{drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor};
+use crate::domain::{
+    drive, schema_from_specs, Domain, DomainGenerator, FieldSpec, GenOptions, Vendor,
+};
 use crate::layout::PageBuilder;
 use crate::values;
 use fieldswap_docmodel::{BaseType, Corpus, Document, FieldId, Schema};
@@ -18,9 +20,24 @@ use rand::Rng;
 // Money pairs rendered in an activity table (current / year-to-date), ids
 // 0..8: pair k → current = 2k, ytd = 2k + 1.
 const PAY_PAIRS: [(&str, &[&str], f64, f64); 4] = [
-    ("principal", &["Principal", "Principal Paid", "Principal Amount"], 0.95, 0.9),
-    ("interest", &["Interest", "Interest Paid", "Interest Amount"], 0.95, 0.9),
-    ("escrow", &["Escrow", "Escrow Payment", "Escrow Amount"], 0.7, 0.65),
+    (
+        "principal",
+        &["Principal", "Principal Paid", "Principal Amount"],
+        0.95,
+        0.9,
+    ),
+    (
+        "interest",
+        &["Interest", "Interest Paid", "Interest Amount"],
+        0.95,
+        0.9,
+    ),
+    (
+        "escrow",
+        &["Escrow", "Escrow Payment", "Escrow Amount"],
+        0.7,
+        0.65,
+    ),
     ("fees", &["Fees", "Fees Charged", "Other Fees"], 0.4, 0.45),
 ];
 
@@ -28,18 +45,58 @@ const N_PAIR: usize = PAY_PAIRS.len() * 2; // 8
 
 // Singles: 12 more money fields (ids 8..20).
 const MONEY_SINGLES: [(&str, &[&str], f64); 12] = [
-    ("total_due", &["Total Due", "Amount Due", "Total Amount Due"], 0.97),
-    ("past_due", &["Past Due", "Past Due Amount", "Overdue Amount"], 0.35),
+    (
+        "total_due",
+        &["Total Due", "Amount Due", "Total Amount Due"],
+        0.97,
+    ),
+    (
+        "past_due",
+        &["Past Due", "Past Due Amount", "Overdue Amount"],
+        0.35,
+    ),
     ("late_fee", &["Late Fee", "Late Charge"], 0.45),
-    ("outstanding_principal", &["Outstanding Principal", "Principal Balance", "Unpaid Principal"], 0.9),
+    (
+        "outstanding_principal",
+        &[
+            "Outstanding Principal",
+            "Principal Balance",
+            "Unpaid Principal",
+        ],
+        0.9,
+    ),
     ("escrow_balance", &["Escrow Balance"], 0.6),
-    ("suspense_balance", &["Suspense Balance", "Unapplied Balance"], 0.2),
+    (
+        "suspense_balance",
+        &["Suspense Balance", "Unapplied Balance"],
+        0.2,
+    ),
     ("unapplied_funds", &["Unapplied Funds"], 0.18),
-    ("regular_payment", &["Regular Payment", "Monthly Payment", "Regular Monthly Payment"], 0.9),
-    ("optional_insurance", &["Optional Insurance", "Insurance Premium"], 0.25),
-    ("last_payment_amount", &["Last Payment", "Last Payment Amount", "Amount Received"], 0.75),
+    (
+        "regular_payment",
+        &[
+            "Regular Payment",
+            "Monthly Payment",
+            "Regular Monthly Payment",
+        ],
+        0.9,
+    ),
+    (
+        "optional_insurance",
+        &["Optional Insurance", "Insurance Premium"],
+        0.25,
+    ),
+    (
+        "last_payment_amount",
+        &["Last Payment", "Last Payment Amount", "Amount Received"],
+        0.75,
+    ),
     ("payoff_amount", &["Payoff Amount", "Payoff Quote"], 0.3),
-    ("deferred_balance", &["Deferred Balance", "Deferred Amount"], 0.15),
+    (
+        "deferred_balance",
+        &["Deferred Balance", "Deferred Amount"],
+        0.15,
+    ),
 ];
 
 const ID_MONEY_SINGLE0: usize = N_PAIR; // 8
@@ -110,7 +167,12 @@ fn build_specs() -> Vec<FieldSpec> {
     ));
     // Strings: mostly phrase-less or weakly anchored (Fig. 6a regime).
     specs.push(FieldSpec::new("borrower_name", BaseType::String, &[], 0.97));
-    specs.push(FieldSpec::new("co_borrower_name", BaseType::String, &[], 0.25));
+    specs.push(FieldSpec::new(
+        "co_borrower_name",
+        BaseType::String,
+        &[],
+        0.25,
+    ));
     specs.push(FieldSpec::new(
         "loan_number",
         BaseType::String,
@@ -125,15 +187,30 @@ fn build_specs() -> Vec<FieldSpec> {
         0.5,
     ));
     specs.push(FieldSpec::new("account_status", BaseType::String, &[], 0.3));
-    specs.push(FieldSpec::new("customer_service_phone", BaseType::String, &[], 0.6));
-    specs.push(FieldSpec::new("borrower_address", BaseType::Address, &[], 0.95));
+    specs.push(FieldSpec::new(
+        "customer_service_phone",
+        BaseType::String,
+        &[],
+        0.6,
+    ));
+    specs.push(FieldSpec::new(
+        "borrower_address",
+        BaseType::Address,
+        &[],
+        0.95,
+    ));
     specs.push(FieldSpec::new(
         "property_address",
         BaseType::Address,
         &["Property Address", "Property"],
         0.85,
     ));
-    specs.push(FieldSpec::new("servicer_address", BaseType::Address, &[], 0.8));
+    specs.push(FieldSpec::new(
+        "servicer_address",
+        BaseType::Address,
+        &[],
+        0.8,
+    ));
     specs
 }
 
@@ -226,7 +303,13 @@ fn render(rng: &mut StdRng, vendor: &Vendor, present: &[bool], id: String) -> Do
     }
     if present[ID_LOAN_TYPE] {
         let ty = ["Fixed 30yr", "Fixed 15yr", "ARM 5/1", "FHA"][rng.gen_range(0..4)];
-        p.kv_row(40.0, vendor.phrase(sp, ID_LOAN_TYPE), 340.0, ty, Some(f(ID_LOAN_TYPE)));
+        p.kv_row(
+            40.0,
+            vendor.phrase(sp, ID_LOAN_TYPE),
+            340.0,
+            ty,
+            Some(f(ID_LOAN_TYPE)),
+        );
     }
     if present[ID_ACCOUNT_STATUS] {
         let st = ["Current", "Delinquent", "In Grace Period"][rng.gen_range(0..3)];

@@ -38,8 +38,7 @@ pub fn date<R: Rng>(rng: &mut R, style: u8) -> String {
         1 => format!("{year}-{month:02}-{day:02}"),
         _ => {
             const MON: [&str; 12] = [
-                "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
-                "Dec",
+                "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
             ];
             format!("{} {day}, {year}", MON[(month - 1) as usize])
         }
@@ -59,8 +58,22 @@ const LAST_NAMES: [&str; 24] = [
 ];
 
 const COMPANY_STEMS: [&str; 16] = [
-    "Acme", "Borealis", "Cobalt", "Dynamo", "Evergreen", "Fairview", "Granite", "Horizon",
-    "Ironwood", "Juniper", "Keystone", "Lumen", "Meridian", "Northgate", "Orchard", "Pinnacle",
+    "Acme",
+    "Borealis",
+    "Cobalt",
+    "Dynamo",
+    "Evergreen",
+    "Fairview",
+    "Granite",
+    "Horizon",
+    "Ironwood",
+    "Juniper",
+    "Keystone",
+    "Lumen",
+    "Meridian",
+    "Northgate",
+    "Orchard",
+    "Pinnacle",
 ];
 
 const COMPANY_SUFFIXES: [&str; 6] = ["Inc.", "LLC", "Corp.", "Group", "Holdings", "Partners"];
@@ -121,7 +134,11 @@ pub fn city_line<R: Rng>(rng: &mut R) -> String {
 
 /// A random identifier such as an account or case number, e.g. `"4471-0092"`.
 pub fn id_number<R: Rng>(rng: &mut R) -> String {
-    format!("{:04}-{:04}", rng.gen_range(0..10000), rng.gen_range(0..10000))
+    format!(
+        "{:04}-{:04}",
+        rng.gen_range(0..10000),
+        rng.gen_range(0..10000)
+    )
 }
 
 /// A random small integer rendered as text (counts, quantities).

@@ -70,7 +70,9 @@ pub struct SplitSpec {
 
 impl Default for SplitSpec {
     fn default() -> Self {
-        Self { train_fraction: 0.9 }
+        Self {
+            train_fraction: 0.9,
+        }
     }
 }
 
@@ -125,7 +127,12 @@ mod tests {
     fn field_frequency_counts_documents_not_instances() {
         let c = Corpus::new(
             schema(),
-            vec![doc("1", &[0, 0]), doc("2", &[0]), doc("3", &[1]), doc("4", &[])],
+            vec![
+                doc("1", &[0, 0]),
+                doc("2", &[0]),
+                doc("3", &[1]),
+                doc("4", &[]),
+            ],
         );
         assert!((c.field_frequency(0) - 0.5).abs() < 1e-12);
         assert!((c.field_frequency(1) - 0.25).abs() < 1e-12);
@@ -140,7 +147,10 @@ mod tests {
 
     #[test]
     fn subset_clones_selected() {
-        let c = Corpus::new(schema(), vec![doc("1", &[0]), doc("2", &[1]), doc("3", &[])]);
+        let c = Corpus::new(
+            schema(),
+            vec![doc("1", &[0]), doc("2", &[1]), doc("3", &[])],
+        );
         let s = c.subset(&[2, 0]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.documents[0].id, "3");
@@ -162,7 +172,10 @@ mod tests {
 
     #[test]
     fn split_spec_small_n_keeps_one_train() {
-        let (tr, va) = SplitSpec { train_fraction: 0.5 }.split(1);
+        let (tr, va) = SplitSpec {
+            train_fraction: 0.5,
+        }
+        .split(1);
         assert_eq!(tr.len(), 1);
         assert!(va.is_empty());
         let (tr, va) = SplitSpec::default().split(0);

@@ -150,10 +150,16 @@ impl Document {
         let mut prev_end = 0u32;
         for (i, s) in self.annotations.iter().enumerate() {
             if s.end > n {
-                return Err(format!("annotation {i} range {}..{} exceeds {n}", s.start, s.end));
+                return Err(format!(
+                    "annotation {i} range {}..{} exceeds {n}",
+                    s.start, s.end
+                ));
             }
             if i > 0 && s.start < prev_end {
-                return Err(format!("annotation {i} overlaps previous (start {})", s.start));
+                return Err(format!(
+                    "annotation {i} overlaps previous (start {})",
+                    s.start
+                ));
             }
             prev_end = s.end;
         }
@@ -230,7 +236,10 @@ mod tests {
     use crate::geometry::Point;
 
     fn tok(text: &str, x: f32, y: f32) -> Token {
-        Token::new(text, BBox::new(x, y, x + 10.0 * text.len() as f32, y + 12.0))
+        Token::new(
+            text,
+            BBox::new(x, y, x + 10.0 * text.len() as f32, y + 12.0),
+        )
     }
 
     fn sample() -> Document {

@@ -31,3 +31,14 @@ pub use label::EntitySpan;
 pub use line::Line;
 pub use schema::{BaseType, FieldDef, FieldId, Schema};
 pub use token::{Token, TokenId};
+
+// Documents and corpora cross thread boundaries in the parallel
+// experiment harness; keep them `Send + Sync` (no interior mutability,
+// no `Rc`). Compile-time check so a regression fails here, not in a
+// downstream crate.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Corpus>();
+    assert_sync_send::<Document>();
+    assert_sync_send::<Schema>();
+};

@@ -144,7 +144,10 @@ impl Schema {
     pub fn type_histogram(&self) -> [usize; 5] {
         let mut h = [0usize; 5];
         for f in &self.fields {
-            let idx = BaseType::ALL.iter().position(|t| *t == f.base_type).unwrap();
+            let idx = BaseType::ALL
+                .iter()
+                .position(|t| *t == f.base_type)
+                .unwrap();
             h[idx] += 1;
         }
         h

@@ -46,9 +46,7 @@ pub fn expert_config(domain: Domain, schema: &Schema) -> Option<FieldSwapConfig>
         }
     }
     // Pairs: type-to-type, pruned.
-    let pairs = mapping::expert_pairs(schema, &config, |s, t| {
-        keep_pair(domain, schema, s, t)
-    });
+    let pairs = mapping::expert_pairs(schema, &config, |s, t| keep_pair(domain, schema, s, t));
     config.set_pairs(pairs);
     Some(config)
 }
@@ -69,7 +67,12 @@ fn weakly_anchored(domain: Domain) -> &'static [&'static str] {
 }
 
 /// The expert's pair-pruning rule.
-fn keep_pair(domain: Domain, schema: &Schema, s: fieldswap_docmodel::FieldId, t: fieldswap_docmodel::FieldId) -> bool {
+fn keep_pair(
+    domain: Domain,
+    schema: &Schema,
+    s: fieldswap_docmodel::FieldId,
+    t: fieldswap_docmodel::FieldId,
+) -> bool {
     let sn = &schema.field(s).name;
     let tn = &schema.field(t).name;
     match domain {
@@ -114,7 +117,10 @@ mod tests {
         let c = expert_config(Domain::Earnings, &schema).unwrap();
         let employer = schema.field_id("employer_name").unwrap();
         assert!(!c.has_phrases(employer));
-        assert!(c.pairs().iter().all(|&(s, t)| s != employer && t != employer));
+        assert!(c
+            .pairs()
+            .iter()
+            .all(|&(s, t)| s != employer && t != employer));
         // Anchored fields keep phrases.
         let net = schema.field_id("net_pay").unwrap();
         assert!(c.has_phrases(net));

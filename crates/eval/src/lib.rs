@@ -20,13 +20,20 @@
 //!   IV-B, "Evaluation").
 //! * **Box-plot statistics** ([`boxplot`]) — quartiles, 1.5-IQR whiskers,
 //!   and outliers for the per-field delta analysis of Fig. 6.
+//! * **Parallel primitives** ([`parallel`]) — the scoped worker pool and
+//!   exactly-once concurrent cache behind the harness's `jobs` knob.
+//!   Grids fan out across threads with results bit-identical to a serial
+//!   run: every experiment's randomness derives purely from its
+//!   `(domain, size, arm, sample, trial)` coordinates.
 
 pub mod boxplot;
 pub mod expert;
 pub mod metrics;
+pub mod parallel;
 pub mod runner;
 
 pub use boxplot::BoxStats;
 pub use expert::expert_config;
 pub use metrics::{evaluate, EvalResult, FieldScore};
-pub use runner::{Arm, ExperimentResult, Harness, HarnessOptions, PointSummary};
+pub use parallel::{effective_jobs, par_map_indexed, OnceMap};
+pub use runner::{cell_seed, Arm, ExperimentResult, Harness, HarnessOptions, PointSummary};

@@ -65,8 +65,7 @@ impl EvalResult {
     /// Macro-F1 in points (0–100): the unweighted mean F1 over fields
     /// with gold support in the test set.
     pub fn macro_f1(&self) -> f64 {
-        let supported: Vec<&FieldScore> =
-            self.fields.iter().filter(|f| f.support() > 0).collect();
+        let supported: Vec<&FieldScore> = self.fields.iter().filter(|f| f.support() > 0).collect();
         if supported.is_empty() {
             return 0.0;
         }
@@ -75,11 +74,14 @@ impl EvalResult {
 
     /// Micro-F1 in points (0–100): F1 of the pooled counts.
     pub fn micro_f1(&self) -> f64 {
-        let total = self.fields.iter().fold(FieldScore::default(), |a, f| FieldScore {
-            tp: a.tp + f.tp,
-            fp: a.fp + f.fp,
-            fn_: a.fn_ + f.fn_,
-        });
+        let total = self
+            .fields
+            .iter()
+            .fold(FieldScore::default(), |a, f| FieldScore {
+                tp: a.tp + f.tp,
+                fp: a.fp + f.fp,
+                fn_: a.fn_ + f.fn_,
+            });
         100.0 * total.f1()
     }
 
@@ -99,11 +101,7 @@ impl EvalResult {
 }
 
 /// Scores `predictions` against `gold` for a document, updating `fields`.
-pub fn score_document(
-    gold: &[EntitySpan],
-    predictions: &[EntitySpan],
-    fields: &mut [FieldScore],
-) {
+pub fn score_document(gold: &[EntitySpan], predictions: &[EntitySpan], fields: &mut [FieldScore]) {
     for p in predictions {
         if gold.contains(p) {
             fields[p.field as usize].tp += 1;
@@ -167,7 +165,11 @@ mod tests {
 
     #[test]
     fn field_score_math() {
-        let s = FieldScore { tp: 3, fp: 1, fn_: 2 };
+        let s = FieldScore {
+            tp: 3,
+            fp: 1,
+            fn_: 2,
+        };
         assert!((s.precision() - 0.75).abs() < 1e-12);
         assert!((s.recall() - 0.6).abs() < 1e-12);
         let f1 = 2.0 * 0.75 * 0.6 / 1.35;
@@ -189,8 +191,22 @@ mod tests {
         let pred = vec![EntitySpan::new(0, 0, 2), EntitySpan::new(1, 5, 6)];
         let mut fields = vec![FieldScore::default(); 2];
         score_document(&gold, &pred, &mut fields);
-        assert_eq!(fields[0], FieldScore { tp: 1, fp: 0, fn_: 0 });
-        assert_eq!(fields[1], FieldScore { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(
+            fields[0],
+            FieldScore {
+                tp: 1,
+                fp: 0,
+                fn_: 0
+            }
+        );
+        assert_eq!(
+            fields[1],
+            FieldScore {
+                tp: 0,
+                fp: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]
@@ -200,16 +216,31 @@ mod tests {
         let pred = vec![EntitySpan::new(0, 0, 2)];
         let mut fields = vec![FieldScore::default(); 1];
         score_document(&gold, &pred, &mut fields);
-        assert_eq!(fields[0], FieldScore { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(
+            fields[0],
+            FieldScore {
+                tp: 0,
+                fp: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]
     fn macro_ignores_unsupported_fields() {
         let r = EvalResult {
             fields: vec![
-                FieldScore { tp: 1, fp: 0, fn_: 0 }, // F1 = 1
-                FieldScore::default(),               // no support
-                FieldScore { tp: 0, fp: 0, fn_: 1 }, // F1 = 0
+                FieldScore {
+                    tp: 1,
+                    fp: 0,
+                    fn_: 0,
+                }, // F1 = 1
+                FieldScore::default(), // no support
+                FieldScore {
+                    tp: 0,
+                    fp: 0,
+                    fn_: 1,
+                }, // F1 = 0
             ],
         };
         assert!((r.macro_f1() - 50.0).abs() < 1e-9);
@@ -219,8 +250,16 @@ mod tests {
     fn micro_pools_counts() {
         let r = EvalResult {
             fields: vec![
-                FieldScore { tp: 8, fp: 2, fn_: 0 },
-                FieldScore { tp: 0, fp: 0, fn_: 10 },
+                FieldScore {
+                    tp: 8,
+                    fp: 2,
+                    fn_: 0,
+                },
+                FieldScore {
+                    tp: 0,
+                    fp: 0,
+                    fn_: 10,
+                },
             ],
         };
         // p = 8/10, r = 8/18.
@@ -236,14 +275,30 @@ mod tests {
         // paper's rationale for reporting macro (Section IV-C1).
         let before = EvalResult {
             fields: vec![
-                FieldScore { tp: 90, fp: 5, fn_: 5 }, // frequent, good
-                FieldScore { tp: 0, fp: 0, fn_: 2 },  // rare, broken
+                FieldScore {
+                    tp: 90,
+                    fp: 5,
+                    fn_: 5,
+                }, // frequent, good
+                FieldScore {
+                    tp: 0,
+                    fp: 0,
+                    fn_: 2,
+                }, // rare, broken
             ],
         };
         let after = EvalResult {
             fields: vec![
-                FieldScore { tp: 90, fp: 5, fn_: 5 },
-                FieldScore { tp: 2, fp: 0, fn_: 0 }, // rare fixed
+                FieldScore {
+                    tp: 90,
+                    fp: 5,
+                    fn_: 5,
+                },
+                FieldScore {
+                    tp: 2,
+                    fp: 0,
+                    fn_: 0,
+                }, // rare fixed
             ],
         };
         let macro_gain = after.macro_f1() - before.macro_f1();
@@ -255,7 +310,14 @@ mod tests {
     #[test]
     fn per_field_f1_reports_option() {
         let r = EvalResult {
-            fields: vec![FieldScore { tp: 1, fp: 0, fn_: 0 }, FieldScore::default()],
+            fields: vec![
+                FieldScore {
+                    tp: 1,
+                    fp: 0,
+                    fn_: 0,
+                },
+                FieldScore::default(),
+            ],
         };
         let per = r.per_field_f1();
         assert_eq!(per[0], Some(100.0));

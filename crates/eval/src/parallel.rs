@@ -1,0 +1,190 @@
+//! Parallel execution primitives for the experiment harness.
+//!
+//! The experiment grid is embarrassingly parallel *if* two conditions
+//! hold: every cell derives its randomness purely from its coordinates
+//! (see [`crate::runner::cell_seed`]), and shared lazy state is computed
+//! exactly once no matter which thread gets there first. This module
+//! supplies the two building blocks:
+//!
+//! * [`par_map_indexed`] — fan an index range out over a scoped worker
+//!   pool, collecting results *by index* so the output order (and hence
+//!   every downstream aggregate) is independent of thread scheduling;
+//! * [`OnceMap`] — a concurrent lazily-populated map whose values are
+//!   initialized exactly once per key, with an initialization counter so
+//!   tests can assert the exactly-once contract.
+//!
+//! `rayon` is not available in the offline build environment, so the pool
+//! is a small `std::thread::scope` worker set over an atomic work index —
+//! ~30 lines that cover everything the grid needs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Resolves a `jobs` knob: `0` means "all available cores", anything
+/// else is taken literally.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Maps `f` over `0..n` using up to `jobs` worker threads (resolved via
+/// [`effective_jobs`]), returning results in index order.
+///
+/// Work is distributed dynamically (an atomic cursor), so long cells
+/// don't stall a fixed stripe, but each result lands in its own slot —
+/// the output is bit-identical to the serial `(0..n).map(f)` whenever
+/// `f` itself depends only on the index.
+pub fn par_map_indexed<U, F>(n: usize, jobs: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let jobs = effective_jobs(jobs).min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // `Mutex<Option<U>>` slots rather than `OnceLock<U>`: the mutex is
+    // uncontended (each index is claimed by exactly one worker via the
+    // cursor) and only demands `U: Send`, not `U: Sync`.
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                let prev = slots[i].lock().expect("slot poisoned").replace(value);
+                assert!(prev.is_none(), "slot {i} filled twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("all slots filled")
+        })
+        .collect()
+}
+
+/// A concurrent map whose entries are computed exactly once per key.
+///
+/// Readers that race on the same key block until the single in-flight
+/// initialization finishes; readers on different keys initialize
+/// concurrently. Values are handed out by clone — store an `Arc` for
+/// anything heavy.
+pub struct OnceMap<K, V> {
+    cells: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    inits: AtomicUsize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> OnceMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            cells: Mutex::new(HashMap::new()),
+            inits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The value for `key`, computing it with `init` on first access.
+    ///
+    /// The map lock is held only to fetch the key's cell; `init` runs
+    /// outside it, so distinct keys never serialize each other.
+    pub fn get_or_init(&self, key: K, init: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut cells = self.cells.lock().expect("OnceMap poisoned");
+            Arc::clone(
+                cells
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        cell.get_or_init(|| {
+            self.inits.fetch_add(1, Ordering::Relaxed);
+            init()
+        })
+        .clone()
+    }
+
+    /// Number of initialized entries.
+    pub fn len(&self) -> usize {
+        let cells = self.cells.lock().expect("OnceMap poisoned");
+        cells.values().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Whether no entry has been initialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many times an initializer has run — equals [`len`](Self::len)
+    /// exactly when every entry was computed once.
+    pub fn init_count(&self) -> usize {
+        self.inits.load(Ordering::Relaxed)
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> Default for OnceMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_output() {
+        let serial: Vec<u64> = (0..57).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for jobs in [0, 1, 2, 4, 16] {
+            let par = par_map_indexed(57, jobs, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(par_map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn once_map_initializes_exactly_once_per_key() {
+        let map: OnceMap<u32, u32> = OnceMap::new();
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for key in 0..4 {
+                        let v = map.get_or_init(key, || {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            key * 10
+                        });
+                        assert_eq!(v, key * 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4, "one init per key");
+        assert_eq!(map.init_count(), 4);
+        assert_eq!(map.len(), 4);
+    }
+}

@@ -21,6 +21,7 @@
 
 use crate::expert::expert_config;
 use crate::metrics::{evaluate, EvalResult};
+use crate::parallel::{par_map_indexed, OnceMap};
 use fieldswap_core::{augment_corpus, FieldSwapConfig, PairStrategy};
 use fieldswap_datagen::{generate, Domain};
 use fieldswap_docmodel::Corpus;
@@ -30,7 +31,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The experimental arms of Fig. 4 / Fig. 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -98,6 +99,11 @@ pub struct HarnessOptions {
     pub synthetic_cap: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for `run_point`/`run_grid` (0 = all cores,
+    /// 1 = serial). Results are bit-identical for every setting: each
+    /// experiment's randomness is derived purely from its grid
+    /// coordinates, never from scheduling order.
+    pub jobs: usize,
 }
 
 impl HarnessOptions {
@@ -114,6 +120,7 @@ impl HarnessOptions {
             synth_ratio: 2.0,
             synthetic_cap: 4000,
             seed: 0x5EED,
+            jobs: 0,
         }
     }
 
@@ -130,6 +137,7 @@ impl HarnessOptions {
             synth_ratio: 2.0,
             synthetic_cap: 1500,
             seed: 0x5EED,
+            jobs: 0,
         }
     }
 }
@@ -168,16 +176,77 @@ pub struct PointSummary {
     pub runs: Vec<ExperimentResult>,
 }
 
+/// A deterministic per-experiment seed, mixed purely from the master
+/// seed and the experiment's grid coordinates. Because no scheduling
+/// state enters the mix, a cell computes the same numbers whether it
+/// runs first on one thread or last on sixteen.
+pub fn cell_seed(
+    master: u64,
+    domain: Domain,
+    size: usize,
+    arm: Arm,
+    sample_idx: usize,
+    trial_idx: usize,
+) -> u64 {
+    mix_coords(
+        master,
+        &[
+            domain as u64,
+            size as u64,
+            arm as u64,
+            sample_idx as u64,
+            trial_idx as u64,
+        ],
+    )
+}
+
+/// Folds coordinates into a master seed with a SplitMix64-style
+/// avalanche per step, so neighboring grid cells get uncorrelated
+/// streams.
+fn mix_coords(master: u64, coords: &[u64]) -> u64 {
+    let mut h = master ^ 0x9E37_79B9_7F4A_7C15;
+    for &c in coords {
+        let mut z = h.rotate_left(17) ^ c.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// Stream separators so the independent random decisions inside one
+/// experiment never share a seed.
+const STREAM_SAMPLE: u64 = 0x5A;
+const STREAM_TRAIN: u64 = 0x7A;
+const STREAM_CAP: u64 = 0xCA;
+const STREAM_VALUE_SWAP: u64 = 0xE5;
+
+/// Immutable state shared by every experiment: built once in
+/// [`Harness::new`], read concurrently by all workers.
+struct Shared {
+    /// Importance model pre-trained on out-of-domain invoices.
+    importance: ImportanceModel,
+    /// Unsupervised lexicon from the out-of-domain pass.
+    lexicon: Lexicon,
+}
+
 /// Shared experiment state. Create one and reuse it for a whole sweep —
 /// pre-training and corpus generation happen once.
+///
+/// All methods take `&self`: the immutable inputs (importance model,
+/// lexicon) sit behind an [`Arc`], and the lazy caches (per-domain
+/// pools, inferred phrase configs) are concurrent [`OnceMap`]s that
+/// initialize each key exactly once regardless of how many workers race
+/// on it. This is what lets [`run_point`](Self::run_point) and
+/// [`run_grid`](Self::run_grid) fan experiments out across threads while
+/// staying bit-identical to a serial run.
 pub struct Harness {
     opts: HarnessOptions,
-    importance: ImportanceModel,
-    lexicon: Lexicon,
+    shared: Arc<Shared>,
     /// (pool, test) per domain.
-    data: HashMap<Domain, (Corpus, Corpus)>,
+    data: OnceMap<Domain, Arc<(Corpus, Corpus)>>,
     /// Inferred phrase configs per (domain, size, sample).
-    phrase_cache: HashMap<(Domain, usize, usize), FieldSwapConfig>,
+    phrase_cache: OnceMap<(Domain, usize, usize), FieldSwapConfig>,
 }
 
 impl Harness {
@@ -197,10 +266,12 @@ impl Harness {
         let lexicon = Lexicon::pretrain(&lexicon_corpus.documents);
         Self {
             opts,
-            importance,
-            lexicon,
-            data: HashMap::new(),
-            phrase_cache: HashMap::new(),
+            shared: Arc::new(Shared {
+                importance,
+                lexicon,
+            }),
+            data: OnceMap::new(),
+            phrase_cache: OnceMap::new(),
         }
     }
 
@@ -210,29 +281,28 @@ impl Harness {
     }
 
     /// The (pool, test) corpora for a domain, generated on first use at
-    /// the paper's Table I sizes (test capped per options).
-    pub fn domain_data(&mut self, domain: Domain) -> &(Corpus, Corpus) {
+    /// the paper's Table I sizes (test capped per options). Concurrent
+    /// callers block until the single in-flight generation finishes.
+    pub fn domain_data(&self, domain: Domain) -> Arc<(Corpus, Corpus)> {
         let opts = self.opts;
-        self.data.entry(domain).or_insert_with(|| {
+        self.data.get_or_init(domain, || {
             let (pool, mut test) = fieldswap_datagen::generate_paper_splits(domain, opts.seed);
             if opts.test_cap > 0 && test.len() > opts.test_cap {
                 test.documents.truncate(opts.test_cap);
             }
-            (pool, test)
+            Arc::new((pool, test))
         })
     }
 
     /// The training sample for `(domain, size, sample_idx)`: a seeded
-    /// random subset of the pool.
-    pub fn sample(&mut self, domain: Domain, size: usize, sample_idx: usize) -> Corpus {
-        let seed = self
-            .opts
-            .seed
-            .wrapping_mul(31)
-            .wrapping_add((domain as u64) << 24)
-            .wrapping_add((size as u64) << 8)
-            .wrapping_add(sample_idx as u64);
-        let (pool, _) = self.domain_data(domain);
+    /// random subset of the pool, identical across arms and trials.
+    pub fn sample(&self, domain: Domain, size: usize, sample_idx: usize) -> Corpus {
+        let seed = mix_coords(
+            self.opts.seed,
+            &[STREAM_SAMPLE, domain as u64, size as u64, sample_idx as u64],
+        );
+        let data = self.domain_data(domain);
+        let pool = &data.0;
         let mut indices: Vec<usize> = (0..pool.len()).collect();
         indices.shuffle(&mut StdRng::seed_from_u64(seed));
         indices.truncate(size.min(pool.len()));
@@ -240,23 +310,25 @@ impl Harness {
     }
 
     /// Automatically inferred key phrases for a sample (cached across
-    /// arms and trials; the paper infers once per training set).
-    fn inferred_phrases(&mut self, domain: Domain, size: usize, sample_idx: usize) -> FieldSwapConfig {
-        if let Some(c) = self.phrase_cache.get(&(domain, size, sample_idx)) {
-            return c.clone();
-        }
-        let sample = self.sample(domain, size, sample_idx);
-        let ranked = infer_key_phrases(&self.importance, &sample, &InferenceConfig::default());
-        let config = fieldswap_keyphrase::pipeline::to_fieldswap_config(&ranked);
+    /// arms and trials; the paper infers once per training set). Under
+    /// concurrent access the inference for a key runs exactly once.
+    fn inferred_phrases(&self, domain: Domain, size: usize, sample_idx: usize) -> FieldSwapConfig {
         self.phrase_cache
-            .insert((domain, size, sample_idx), config.clone());
-        config
+            .get_or_init((domain, size, sample_idx), || {
+                let sample = self.sample(domain, size, sample_idx);
+                let ranked = infer_key_phrases(
+                    &self.shared.importance,
+                    &sample,
+                    &InferenceConfig::default(),
+                );
+                fieldswap_keyphrase::pipeline::to_fieldswap_config(&ranked)
+            })
     }
 
     /// The FieldSwap configuration for an arm, or `None` for the baseline
     /// (and for the expert arm on unsupported domains).
     pub fn arm_config(
-        &mut self,
+        &self,
         domain: Domain,
         size: usize,
         sample_idx: usize,
@@ -287,15 +359,18 @@ impl Harness {
         }
     }
 
-    /// Runs one experiment.
+    /// Runs one experiment. Every random decision is seeded from the
+    /// experiment's grid coordinates via [`cell_seed`], so the result is
+    /// the same whether this cell runs serially or on a worker thread.
     pub fn run_single(
-        &mut self,
+        &self,
         domain: Domain,
         size: usize,
         arm: Arm,
         sample_idx: usize,
         trial_idx: usize,
     ) -> ExperimentResult {
+        let cell = cell_seed(self.opts.seed, domain, size, arm, sample_idx, trial_idx);
         let sample = self.sample(domain, size, sample_idx);
         let config = self.arm_config(domain, size, sample_idx, arm);
         let (mut synthetics, _stats) = match &config {
@@ -310,12 +385,16 @@ impl Harness {
                 .iter()
                 .enumerate()
                 .map(|(k, s)| {
-                    fieldswap_core::apply_value_swap_all(s, &bank, self.opts.seed ^ k as u64)
+                    fieldswap_core::apply_value_swap_all(
+                        s,
+                        &bank,
+                        mix_coords(cell, &[STREAM_VALUE_SWAP, k as u64]),
+                    )
                 })
                 .collect();
         }
         if self.opts.synthetic_cap > 0 && synthetics.len() > self.opts.synthetic_cap {
-            let mut rng = StdRng::seed_from_u64(self.opts.seed ^ 0xCA9);
+            let mut rng = StdRng::seed_from_u64(mix_coords(cell, &[STREAM_CAP]));
             synthetics.shuffle(&mut rng);
             synthetics.truncate(self.opts.synthetic_cap);
         }
@@ -323,22 +402,30 @@ impl Harness {
         let train_cfg = TrainConfig {
             epochs: self.opts.epochs,
             synth_ratio: self.opts.synth_ratio,
-            seed: self
-                .opts
-                .seed
-                .wrapping_add(trial_idx as u64)
-                .wrapping_add((sample_idx as u64) << 32),
+            // Deliberately excludes `arm`: all arms of one (sample, trial)
+            // share a training seed — the paper's matched-training
+            // control, so F1 deltas come from the data, not the draw.
+            seed: mix_coords(
+                self.opts.seed,
+                &[
+                    STREAM_TRAIN,
+                    domain as u64,
+                    size as u64,
+                    sample_idx as u64,
+                    trial_idx as u64,
+                ],
+            ),
         };
         let schema = sample.schema.clone();
         let extractor = Extractor::train_on(
             &schema,
-            self.lexicon.clone(),
+            self.shared.lexicon.clone(),
             &sample,
             &synthetics,
             &train_cfg,
         );
-        let test = &self.domain_data(domain).1;
-        let eval: EvalResult = evaluate(&extractor, test);
+        let data = self.domain_data(domain);
+        let eval: EvalResult = evaluate(&extractor, &data.1);
         ExperimentResult {
             macro_f1: eval.macro_f1(),
             micro_f1: eval.micro_f1(),
@@ -349,14 +436,45 @@ impl Harness {
     }
 
     /// Runs the full protocol for one `(domain, size, arm)` point:
-    /// `n_samples x n_trials` experiments, averaged.
-    pub fn run_point(&mut self, domain: Domain, size: usize, arm: Arm) -> PointSummary {
-        let mut runs = Vec::new();
-        for sample_idx in 0..self.opts.n_samples {
-            for trial_idx in 0..self.opts.n_trials {
-                runs.push(self.run_single(domain, size, arm, sample_idx, trial_idx));
-            }
+    /// `n_samples x n_trials` experiments, averaged. Experiments fan out
+    /// over `opts.jobs` workers; the summary is bit-identical to a serial
+    /// run because each cell's randomness and output slot depend only on
+    /// its coordinates.
+    pub fn run_point(&self, domain: Domain, size: usize, arm: Arm) -> PointSummary {
+        let n_trials = self.opts.n_trials;
+        let n_cells = self.opts.n_samples * n_trials;
+        let runs = par_map_indexed(n_cells, self.opts.jobs, |cell| {
+            self.run_single(domain, size, arm, cell / n_trials, cell % n_trials)
+        });
+        self.summarize(domain, size, arm, runs)
+    }
+
+    /// Runs every `(domain, size, arm)` point of a grid, fanning *all*
+    /// experiments of *all* points into one worker pool — so small points
+    /// can't leave cores idle while a big point finishes. Summaries come
+    /// back in the order of `points`.
+    pub fn run_grid(&self, points: &[(Domain, usize, Arm)]) -> Vec<PointSummary> {
+        let n_trials = self.opts.n_trials;
+        let per_point = self.opts.n_samples * n_trials;
+        let runs = par_map_indexed(points.len() * per_point, self.opts.jobs, |i| {
+            let (domain, size, arm) = points[i / per_point];
+            let cell = i % per_point;
+            self.run_single(domain, size, arm, cell / n_trials, cell % n_trials)
+        });
+        let mut out = Vec::with_capacity(points.len());
+        for (p, chunk) in points.iter().zip(runs.chunks(per_point)) {
+            out.push(self.summarize(p.0, p.1, p.2, chunk.to_vec()));
         }
+        out
+    }
+
+    fn summarize(
+        &self,
+        domain: Domain,
+        size: usize,
+        arm: Arm,
+        runs: Vec<ExperimentResult>,
+    ) -> PointSummary {
         let n = runs.len() as f64;
         PointSummary {
             domain: domain.name().to_string(),
@@ -370,20 +488,28 @@ impl Harness {
     }
 
     /// Counts synthetic documents for one point without training — the
-    /// Table III measurement (averaged over samples).
-    pub fn count_synthetics(&mut self, domain: Domain, size: usize, arm: Arm) -> f64 {
-        let mut total = 0usize;
+    /// Table III measurement (averaged over samples, in parallel).
+    pub fn count_synthetics(&self, domain: Domain, size: usize, arm: Arm) -> f64 {
         let n = self.opts.n_samples;
-        for sample_idx in 0..n {
+        let counts = par_map_indexed(n, self.opts.jobs, |sample_idx| {
             let sample = self.sample(domain, size, sample_idx);
-            if let Some(c) = self.arm_config(domain, size, sample_idx, arm) {
-                let (synths, _) = augment_corpus(&sample, &c);
-                total += synths.len();
+            match self.arm_config(domain, size, sample_idx, arm) {
+                Some(c) => augment_corpus(&sample, &c).0.len(),
+                None => 0,
             }
-        }
-        total as f64 / n as f64
+        });
+        counts.iter().sum::<usize>() as f64 / n as f64
     }
 }
+
+// The whole point of the `&self` refactor: a `Harness` reference can be
+// handed to worker threads. Compile-time proof.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Harness>();
+    assert_sync_send::<HarnessOptions>();
+    assert_sync_send::<PointSummary>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -401,12 +527,13 @@ mod tests {
             synth_ratio: 2.0,
             synthetic_cap: 300,
             seed: 0x7E57,
+            jobs: 1,
         }
     }
 
     #[test]
     fn baseline_experiment_runs() {
-        let mut h = Harness::new(tiny_options());
+        let h = Harness::new(tiny_options());
         let r = h.run_single(Domain::Fara, 10, Arm::Baseline, 0, 0);
         assert_eq!(r.n_synthetics, 0);
         assert_eq!(r.n_train_docs, 10);
@@ -416,14 +543,14 @@ mod tests {
 
     #[test]
     fn augmented_arm_generates_synthetics() {
-        let mut h = Harness::new(tiny_options());
+        let h = Harness::new(tiny_options());
         let r = h.run_single(Domain::Earnings, 10, Arm::HumanExpert, 0, 0);
         assert!(r.n_synthetics > 0, "expert arm produced no synthetics");
     }
 
     #[test]
     fn type_to_type_produces_more_than_field_to_field() {
-        let mut h = Harness::new(tiny_options());
+        let h = Harness::new(tiny_options());
         let f2f = h.count_synthetics(Domain::Earnings, 20, Arm::AutoFieldToField);
         let t2t = h.count_synthetics(Domain::Earnings, 20, Arm::AutoTypeToType);
         assert!(
@@ -434,7 +561,7 @@ mod tests {
 
     #[test]
     fn samples_are_deterministic_and_distinct() {
-        let mut h = Harness::new(tiny_options());
+        let h = Harness::new(tiny_options());
         let a = h.sample(Domain::Fara, 10, 0);
         let b = h.sample(Domain::Fara, 10, 0);
         let c = h.sample(Domain::Fara, 10, 1);
@@ -445,14 +572,16 @@ mod tests {
 
     #[test]
     fn expert_arm_unsupported_domain_falls_back_to_none() {
-        let mut h = Harness::new(tiny_options());
-        assert!(h.arm_config(Domain::Fara, 10, 0, Arm::HumanExpert).is_none());
+        let h = Harness::new(tiny_options());
+        assert!(h
+            .arm_config(Domain::Fara, 10, 0, Arm::HumanExpert)
+            .is_none());
         assert!(h.arm_config(Domain::Fara, 10, 0, Arm::Baseline).is_none());
     }
 
     #[test]
     fn phrase_cache_hits() {
-        let mut h = Harness::new(tiny_options());
+        let h = Harness::new(tiny_options());
         let a = h.arm_config(Domain::Fara, 10, 0, Arm::AutoTypeToType);
         let b = h.arm_config(Domain::Fara, 10, 0, Arm::AutoFieldToField);
         // Same inferred phrases behind both arms.
@@ -461,17 +590,97 @@ mod tests {
             assert_eq!(a.phrases(f as u16), b.phrases(f as u16));
         }
         assert_eq!(h.phrase_cache.len(), 1);
+        assert_eq!(h.phrase_cache.init_count(), 1, "inference ran twice");
+    }
+
+    #[test]
+    fn phrase_cache_initializes_once_under_concurrency() {
+        let h = Harness::new(tiny_options());
+        // Eight threads race on the same (domain, size, sample) key via
+        // two different arms; inference must run exactly once.
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let h = &h;
+                s.spawn(move || {
+                    let arm = if i % 2 == 0 {
+                        Arm::AutoTypeToType
+                    } else {
+                        Arm::AutoFieldToField
+                    };
+                    assert!(h.arm_config(Domain::Fara, 10, 0, arm).is_some());
+                });
+            }
+        });
+        assert_eq!(h.phrase_cache.len(), 1);
+        assert_eq!(h.phrase_cache.init_count(), 1, "racing init ran twice");
     }
 
     #[test]
     fn run_point_averages_runs() {
         let mut opts = tiny_options();
         opts.n_trials = 2;
-        let mut h = Harness::new(opts);
+        let h = Harness::new(opts);
         let p = h.run_point(Domain::Fara, 10, Arm::Baseline);
         assert_eq!(p.runs.len(), 2);
         let mean = (p.runs[0].macro_f1 + p.runs[1].macro_f1) / 2.0;
         assert!((p.macro_f1 - mean).abs() < 1e-9);
         assert_eq!(p.domain, "FARA");
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let mut opts = tiny_options();
+        opts.n_samples = 2;
+        opts.n_trials = 2;
+
+        opts.jobs = 1;
+        let serial = Harness::new(opts);
+        let s = serial.run_point(Domain::Earnings, 10, Arm::AutoTypeToType);
+
+        opts.jobs = 4;
+        let parallel = Harness::new(opts);
+        let p = parallel.run_point(Domain::Earnings, 10, Arm::AutoTypeToType);
+
+        // PartialEq over every field, including each run's full
+        // per-field F1 vector: bit-identical, not approximately equal.
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn run_grid_matches_point_by_point() {
+        let mut opts = tiny_options();
+        opts.jobs = 4;
+        let h = Harness::new(opts);
+        let points = [
+            (Domain::Fara, 10, Arm::Baseline),
+            (Domain::Fara, 20, Arm::Baseline),
+        ];
+        let grid = h.run_grid(&points);
+        assert_eq!(grid.len(), 2);
+        for ((domain, size, arm), summary) in points.iter().zip(&grid) {
+            assert_eq!(summary, &h.run_point(*domain, *size, *arm));
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_across_coordinates() {
+        let mut seen = std::collections::HashSet::new();
+        for size in [10, 50] {
+            for arm in [Arm::Baseline, Arm::AutoTypeToType] {
+                for sample in 0..3 {
+                    for trial in 0..3 {
+                        assert!(seen.insert(cell_seed(
+                            0x5EED,
+                            Domain::Fara,
+                            size,
+                            arm,
+                            sample,
+                            trial
+                        )));
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2 * 2 * 3 * 3);
     }
 }

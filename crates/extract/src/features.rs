@@ -157,7 +157,10 @@ pub fn extract(doc: &Document, lexicon: &Lexicon) -> DocFeatures {
                 // Row label + column bucket: the feature that reads a
                 // table cell as (row phrase, column).
                 let col = (tok.bbox.center().x / 125.0) as usize;
-                fs.push(feat(15, &format!("{}|c{col}", norm(&doc.tokens[first].text))));
+                fs.push(feat(
+                    15,
+                    &format!("{}|c{col}", norm(&doc.tokens[first].text)),
+                ));
                 // Row label bigram (e.g. "base salary").
                 if line.tokens.len() > 1 && line.tokens[1] as usize != t {
                     let second = norm(&doc.tokens[line.tokens[1] as usize].text);

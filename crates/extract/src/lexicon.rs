@@ -68,8 +68,7 @@ impl Lexicon {
     /// The raw `(token, document count)` entries, sorted by token (for
     /// deterministic serialization).
     pub fn entries(&self) -> Vec<(String, u32)> {
-        let mut out: Vec<(String, u32)> =
-            self.df.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut out: Vec<(String, u32)> = self.df.iter().map(|(k, v)| (k.clone(), *v)).collect();
         out.sort();
         out
     }

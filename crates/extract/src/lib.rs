@@ -37,3 +37,11 @@ pub use lexicon::Lexicon;
 pub use model::{Extractor, TrainConfig};
 pub use serialize::{ModelIoError, ModelParts};
 pub use tags::TagSet;
+
+// The parallel harness trains extractors on worker threads against a
+// shared lexicon; keep both `Send + Sync`.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Extractor>();
+    assert_sync_send::<Lexicon>();
+};

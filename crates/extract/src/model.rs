@@ -251,8 +251,10 @@ impl Extractor {
             self.finalize_average();
             return;
         }
-        let feats_orig: Vec<DocFeatures> =
-            originals.iter().map(|d| extract(d, &self.lexicon)).collect();
+        let feats_orig: Vec<DocFeatures> = originals
+            .iter()
+            .map(|d| extract(d, &self.lexicon))
+            .collect();
         let golds_orig: Vec<Vec<TagId>> = originals.iter().map(|d| self.tags.encode(d)).collect();
         // Synthetic features are extracted lazily per epoch slice and
         // cached, so huge synthetic pools cost only what is visited.
@@ -261,7 +263,9 @@ impl Extractor {
         let per_epoch_synths = if synthetics.is_empty() {
             0
         } else {
-            ((cfg.synth_ratio * n as f32).round() as usize).max(1).min(synthetics.len().max(1) * cfg.epochs)
+            ((cfg.synth_ratio * n as f32).round() as usize)
+                .max(1)
+                .min(synthetics.len().max(1) * cfg.epochs)
         };
         let extra_repeats = if synthetics.is_empty() {
             // Baseline equalization: the same number of updates via
@@ -278,7 +282,8 @@ impl Extractor {
 
         for _ in 0..cfg.epochs {
             // Plan: (is_synth, index) entries.
-            let mut plan: Vec<(bool, usize)> = Vec::with_capacity(n * (1 + extra_repeats) + per_epoch_synths);
+            let mut plan: Vec<(bool, usize)> =
+                Vec::with_capacity(n * (1 + extra_repeats) + per_epoch_synths);
             for r in 0..=extra_repeats {
                 let _ = r;
                 for i in 0..n {

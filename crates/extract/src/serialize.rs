@@ -213,7 +213,12 @@ mod tests {
         let bytes = ex.to_bytes();
         let back = Extractor::from_bytes(&bytes).unwrap();
         for d in &test.documents {
-            assert_eq!(ex.predict(d), back.predict(d), "prediction drift on {}", d.id);
+            assert_eq!(
+                ex.predict(d),
+                back.predict(d),
+                "prediction drift on {}",
+                d.id
+            );
         }
     }
 

@@ -278,7 +278,10 @@ mod tests {
         let mut runner = TestRunner::new(Config::with_cases(64));
         runner
             .run(
-                &(1usize..5, proptest::collection::vec((0u16..4, 1u32..4), 0..6)),
+                &(
+                    1usize..5,
+                    proptest::collection::vec((0u16..4, 1u32..4), 0..6),
+                ),
                 |(n_fields, raw_spans)| {
                     let ts = TagSet::new(n_fields);
                     // Lay the raw (field, len) list out as non-overlapping

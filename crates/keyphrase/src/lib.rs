@@ -30,7 +30,14 @@ pub mod model;
 pub mod namegen;
 pub mod pipeline;
 
-pub use model::{ImportanceModel, ModelConfig, TrainReport};
 pub use mining::{expand_with_unlabeled, mine_template_phrases, MiningConfig};
+pub use model::{ImportanceModel, ModelConfig, TrainReport};
 pub use namegen::{config_from_schema, phrases_from_name};
 pub use pipeline::{infer_key_phrases, Aggregation, InferenceConfig, RankedPhrase, Sparsify};
+
+// The pre-trained importance model is shared read-only across the
+// parallel harness's worker threads; keep it `Send + Sync`.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<ImportanceModel>();
+};

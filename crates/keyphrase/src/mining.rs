@@ -54,10 +54,7 @@ const STOPWORDS: [&str; 14] = [
 
 /// Mines recurring template phrases from unlabeled documents: normalized
 /// line texts with their document frequencies, sorted by frequency.
-pub fn mine_template_phrases(
-    docs: &[Document],
-    cfg: &MiningConfig,
-) -> Vec<(String, usize)> {
+pub fn mine_template_phrases(docs: &[Document], cfg: &MiningConfig) -> Vec<(String, usize)> {
     let mut df: HashMap<String, usize> = HashMap::new();
     for doc in docs {
         let mut seen: Vec<String> = Vec::new();
@@ -66,11 +63,12 @@ pub fn mine_template_phrases(
                 continue;
             }
             // Lines containing digits are value-bearing, not phrases.
-            if line
-                .tokens
-                .iter()
-                .any(|&t| doc.tokens[t as usize].text.chars().any(|c| c.is_ascii_digit()))
-            {
+            if line.tokens.iter().any(|&t| {
+                doc.tokens[t as usize]
+                    .text
+                    .chars()
+                    .any(|c| c.is_ascii_digit())
+            }) {
                 continue;
             }
             let words: Vec<&str> = line
@@ -122,9 +120,10 @@ pub fn expand_with_unlabeled(
         // Fields whose seeds share a content word with the mined phrase.
         let mut claimants: Vec<u16> = Vec::new();
         for f in 0..seed.n_fields() as u16 {
-            let claims = seed.phrases(f).iter().any(|sp| {
-                sp.split_whitespace().any(|sw| words.contains(&sw))
-            });
+            let claims = seed
+                .phrases(f)
+                .iter()
+                .any(|sp| sp.split_whitespace().any(|sw| words.contains(&sw)));
             if claims {
                 claimants.push(f);
             }
@@ -178,7 +177,9 @@ mod tests {
             assert!(w[0].1 >= w[1].1);
         }
         // No numeric value lines.
-        assert!(mined.iter().all(|(p, _)| !p.chars().any(|c| c.is_ascii_digit())));
+        assert!(mined
+            .iter()
+            .all(|(p, _)| !p.chars().any(|c| c.is_ascii_digit())));
     }
 
     #[test]
@@ -197,11 +198,10 @@ mod tests {
         // The mined bank should now include a multi-word overtime synonym
         // that actually occurs in the corpus ("overtime pay"/"ot pay"...).
         let bank = expanded.phrases(overtime_cur);
-        assert!(
-            bank.len() > 1,
-            "no expansion for overtime: {bank:?}"
-        );
-        assert!(bank.iter().all(|p| p.contains("overtime") || p.contains("ot")));
+        assert!(bank.len() > 1, "no expansion for overtime: {bank:?}");
+        assert!(bank
+            .iter()
+            .all(|p| p.contains("overtime") || p.contains("ot")));
     }
 
     #[test]

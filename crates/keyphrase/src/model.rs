@@ -177,7 +177,15 @@ impl ImportanceModel {
     /// toward their mean, so the post-attention rows all resemble the
     /// pooled vector and carry no per-neighbor contrast; the encoder
     /// output is what distinguishes one neighbor from another.
-    fn forward(&self, f: &CandFeatures) -> Option<(Tape, fieldswap_nn::NodeId, fieldswap_nn::NodeId, fieldswap_nn::NodeId)> {
+    fn forward(
+        &self,
+        f: &CandFeatures,
+    ) -> Option<(
+        Tape,
+        fieldswap_nn::NodeId,
+        fieldswap_nn::NodeId,
+        fieldswap_nn::NodeId,
+    )> {
         if f.text_ids.is_empty() {
             return None;
         }
@@ -269,11 +277,7 @@ impl ImportanceModel {
     /// Builds `(start, end, multi-hot target)` training candidates for one
     /// document: all ground-truth spans plus annotator spans that overlap
     /// no ground truth (sampled down to the configured budget).
-    fn training_candidates(
-        &self,
-        doc: &Document,
-        rng: &mut StdRng,
-    ) -> Vec<(u32, u32, Vec<f32>)> {
+    fn training_candidates(&self, doc: &Document, rng: &mut StdRng) -> Vec<(u32, u32, Vec<f32>)> {
         let mut out: Vec<(u32, u32, Vec<f32>)> = Vec::new();
         for a in &doc.annotations {
             let mut t = vec![0.0; self.n_fields];

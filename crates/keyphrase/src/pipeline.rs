@@ -132,7 +132,11 @@ pub fn infer_key_phrases(
         }
     }
     for list in &mut per_field {
-        list.sort_by(|a, b| b.importance.total_cmp(&a.importance).then(a.phrase.cmp(&b.phrase)));
+        list.sort_by(|a, b| {
+            b.importance
+                .total_cmp(&a.importance)
+                .then(a.phrase.cmp(&b.phrase))
+        });
         list.truncate(cfg.top_k);
     }
     per_field
@@ -306,12 +310,12 @@ mod tests {
                 continue;
             }
             fields_with_phrases += 1;
-            let oracle_norm: Vec<String> =
-                oracle.iter().map(|p| normalize_phrase(p)).collect();
-            if ranked[fid as usize]
-                .iter()
-                .any(|r| oracle_norm.iter().any(|o| r.phrase.contains(o.as_str()) || o.contains(r.phrase.as_str())))
-            {
+            let oracle_norm: Vec<String> = oracle.iter().map(|p| normalize_phrase(p)).collect();
+            if ranked[fid as usize].iter().any(|r| {
+                oracle_norm
+                    .iter()
+                    .any(|o| r.phrase.contains(o.as_str()) || o.contains(r.phrase.as_str()))
+            }) {
                 hits += 1;
             }
         }
@@ -380,7 +384,10 @@ mod tests {
             vec![],
         ];
         let config = to_fieldswap_config(&ranked);
-        assert_eq!(config.phrases(0), &["amount due".to_string(), "total".to_string()]);
+        assert_eq!(
+            config.phrases(0),
+            &["amount due".to_string(), "total".to_string()]
+        );
         assert!(!config.has_phrases(1));
     }
 

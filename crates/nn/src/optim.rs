@@ -27,7 +27,10 @@ impl Sgd {
 
     /// SGD with per-tensor gradient-norm clipping.
     pub fn with_clip(lr: f32, clip: f32) -> Self {
-        Self { lr, clip: Some(clip) }
+        Self {
+            lr,
+            clip: Some(clip),
+        }
     }
 }
 

@@ -245,7 +245,12 @@ impl Tape {
         let av = self.value(a);
         let bv = self.value(b);
         assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()));
-        let data = av.data().iter().zip(bv.data()).map(|(x, y)| x * y).collect();
+        let data = av
+            .data()
+            .iter()
+            .zip(bv.data())
+            .map(|(x, y)| x * y)
+            .collect();
         let v = Tensor::from_vec(av.rows(), av.cols(), data);
         self.push(Op::Mul(a, b), v)
     }
@@ -363,10 +368,7 @@ impl Tape {
             // Take the node's gradient out to satisfy the borrow checker;
             // the node's own grad is final once we reach it (reverse
             // topological order — node inputs always have smaller ids).
-            let grad = std::mem::replace(
-                &mut self.nodes[i].grad,
-                Tensor::zeros(0, 0),
-            );
+            let grad = std::mem::replace(&mut self.nodes[i].grad, Tensor::zeros(0, 0));
             match &self.nodes[i].op {
                 Op::Constant => {}
                 Op::Param(p) => store.grads[p.0].add_assign(&grad),
@@ -414,12 +416,20 @@ impl Tape {
                     let da = Tensor::from_vec(
                         grad.rows(),
                         grad.cols(),
-                        grad.data().iter().zip(bv.data()).map(|(g, x)| g * x).collect(),
+                        grad.data()
+                            .iter()
+                            .zip(bv.data())
+                            .map(|(g, x)| g * x)
+                            .collect(),
                     );
                     let db = Tensor::from_vec(
                         grad.rows(),
                         grad.cols(),
-                        grad.data().iter().zip(av.data()).map(|(g, x)| g * x).collect(),
+                        grad.data()
+                            .iter()
+                            .zip(av.data())
+                            .map(|(g, x)| g * x)
+                            .collect(),
                     );
                     self.nodes[a.0].grad.add_assign(&da);
                     self.nodes[b.0].grad.add_assign(&db);
@@ -486,8 +496,7 @@ impl Tape {
                     let (a, b) = (*a, *b);
                     let ac = self.nodes[a.0].value.cols();
                     let da = Tensor::from_vec(1, ac, grad.row(0)[..ac].to_vec());
-                    let db =
-                        Tensor::from_vec(1, grad.cols() - ac, grad.row(0)[ac..].to_vec());
+                    let db = Tensor::from_vec(1, grad.cols() - ac, grad.row(0)[ac..].to_vec());
                     self.nodes[a.0].grad.add_assign(&da);
                     self.nodes[b.0].grad.add_assign(&db);
                 }

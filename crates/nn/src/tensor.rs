@@ -221,7 +221,11 @@ mod tests {
         let mut runner = TestRunner::new(Config::with_cases(32));
         runner
             .run(
-                &(1usize..6, 1usize..6, proptest::collection::vec(-10f32..10.0, 36)),
+                &(
+                    1usize..6,
+                    1usize..6,
+                    proptest::collection::vec(-10f32..10.0, 36),
+                ),
                 |(r, c, data)| {
                     let t = Tensor::from_vec(r, c, data[..r * c].to_vec());
                     prop_assert_eq!(t.transpose().transpose(), t.clone());

@@ -21,9 +21,30 @@ pub struct Candidate {
 }
 
 const MONTHS: [&str; 24] = [
-    "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
-    "january", "february", "march", "april", "mayy", "june", "july", "august", "september",
-    "october", "november", "december",
+    "jan",
+    "feb",
+    "mar",
+    "apr",
+    "may",
+    "jun",
+    "jul",
+    "aug",
+    "sep",
+    "oct",
+    "nov",
+    "dec",
+    "january",
+    "february",
+    "march",
+    "april",
+    "mayy",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 fn looks_like_money(text: &str) -> bool {
@@ -34,7 +55,10 @@ fn looks_like_money(text: &str) -> bool {
         // statements without currency symbols).
         return has_two_decimals(t);
     };
-    !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.')
+    !rest.is_empty()
+        && rest
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == ',' || c == '.')
 }
 
 fn has_two_decimals(t: &str) -> bool {
@@ -70,7 +94,8 @@ fn is_month_word(text: &str) -> bool {
 fn looks_like_plain_number(text: &str) -> bool {
     let t = text.trim_end_matches('%');
     !t.is_empty()
-        && t.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.' || c == '#')
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || c == ',' || c == '.' || c == '#')
         && t.chars().any(|c| c.is_ascii_digit())
         && !looks_like_money(text)
         && !looks_like_date_token(text)
@@ -96,9 +121,13 @@ pub fn candidate_matches_type(text: &str, ty: BaseType) -> bool {
         BaseType::Money => looks_like_money(text),
         BaseType::Date => looks_like_date_token(text) || is_month_word(text),
         BaseType::Number => looks_like_plain_number(text),
-        BaseType::Address => looks_like_zip(text) || STATE_CODES.contains(&text.trim_end_matches(',')),
+        BaseType::Address => {
+            looks_like_zip(text) || STATE_CODES.contains(&text.trim_end_matches(','))
+        }
         // Any non-numeric word can start a string candidate.
-        BaseType::String => !text.is_empty() && !looks_like_money(text) && !looks_like_date_token(text),
+        BaseType::String => {
+            !text.is_empty() && !looks_like_money(text) && !looks_like_date_token(text)
+        }
     }
 }
 
@@ -130,12 +159,20 @@ pub fn annotate_candidates(doc: &Document) -> Vec<Candidate> {
         if is_month_word(text) {
             // Month DD[,] YYYY
             let mut end = i + 1;
-            if end < n && doc.tokens[end as usize].text.trim_end_matches(',').chars().all(|c| c.is_ascii_digit())
+            if end < n
+                && doc.tokens[end as usize]
+                    .text
+                    .trim_end_matches(',')
+                    .chars()
+                    .all(|c| c.is_ascii_digit())
             {
                 end += 1;
                 if end < n
                     && doc.tokens[end as usize].text.len() == 4
-                    && doc.tokens[end as usize].text.chars().all(|c| c.is_ascii_digit())
+                    && doc.tokens[end as usize]
+                        .text
+                        .chars()
+                        .all(|c| c.is_ascii_digit())
                 {
                     end += 1;
                 }
@@ -262,7 +299,12 @@ mod tests {
         let c = annotate_candidates(&d);
         let types: Vec<BaseType> = c.iter().map(|c| c.base_type).collect();
         assert!(types.contains(&BaseType::Address));
-        assert_eq!(c.iter().filter(|c| c.base_type == BaseType::Address).count(), 2);
+        assert_eq!(
+            c.iter()
+                .filter(|c| c.base_type == BaseType::Address)
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -202,6 +202,9 @@ mod tests {
                 }
             }
         }
-        assert!(changed > 20, "harsh profile should corrupt ~10% of tokens, got {changed}/1000");
+        assert!(
+            changed > 20,
+            "harsh profile should corrupt ~10% of tokens, got {changed}/1000"
+        );
     }
 }

@@ -24,7 +24,10 @@ fn main() {
         invoices.schema.len(),
         7,
     );
-    println!("pre-training the importance model on {} invoices...", invoices.len());
+    println!(
+        "pre-training the importance model on {} invoices...",
+        invoices.len()
+    );
     let report = model.train(&invoices, 3);
     println!(
         "  loss {:.3} -> {:.3} over {} candidates/epoch\n",
@@ -40,7 +43,10 @@ fn main() {
 
     // 4. Compare with the oracle banks the generator actually used.
     let bank = Domain::Earnings.generator().phrase_bank();
-    println!("{:<26} {:<40} oracle bank", "field", "inferred (importance)");
+    println!(
+        "{:<26} {:<40} oracle bank",
+        "field", "inferred (importance)"
+    );
     println!("{}", "-".repeat(110));
     for (name, oracle) in &bank {
         let id = sample.schema.field_id(name).unwrap();

@@ -12,7 +12,9 @@ use fieldswap_eval::{Arm, Harness, HarnessOptions};
 fn main() {
     let mut opts = HarnessOptions::quick();
     opts.test_cap = 100;
-    let mut harness = Harness::new(opts);
+    // jobs = 0 (all cores): the whole curve runs as one parallel grid,
+    // with results identical to a serial run.
+    let harness = Harness::new(opts);
     let domain = Domain::Earnings;
 
     println!("learning curve on {} (quick protocol)\n", domain.name());
@@ -21,12 +23,18 @@ fn main() {
         "docs", "arm", "macro-F1", "micro-F1", "synthetics"
     );
     println!("{}", "-".repeat(70));
+    let mut points = Vec::new();
     for size in [10usize, 50] {
         for arm in [Arm::Baseline, Arm::AutoTypeToType, Arm::HumanExpert] {
-            let p = harness.run_point(domain, size, arm);
+            points.push((domain, size, arm));
+        }
+    }
+    let summaries = harness.run_grid(&points);
+    for chunk in summaries.chunks(3) {
+        for p in chunk {
             println!(
                 "{:<6} {:<30} {:>9.2} {:>9.2} {:>11.0}",
-                size, p.arm, p.macro_f1, p.micro_f1, p.synthetics
+                p.size, p.arm, p.macro_f1, p.micro_f1, p.synthetics
             );
         }
         println!();

@@ -28,10 +28,9 @@ fn main() {
     // The FieldSwap configuration is a reviewable JSON artifact.
     let config_path = dir.join("fieldswap-config.json");
     std::fs::write(&config_path, config.to_json()).expect("write config");
-    let config = FieldSwapConfig::from_json(
-        &std::fs::read_to_string(&config_path).expect("read config"),
-    )
-    .expect("parse config");
+    let config =
+        FieldSwapConfig::from_json(&std::fs::read_to_string(&config_path).expect("read config"))
+            .expect("parse config");
     println!("config round-tripped through {}", config_path.display());
 
     let (synths, _) = augment_corpus(&train, &config);
@@ -52,7 +51,11 @@ fn main() {
     let model_path = dir.join("brokerage.fsmodel");
     std::fs::write(&model_path, extractor.to_bytes()).expect("write model");
     let size = std::fs::metadata(&model_path).unwrap().len();
-    println!("saved model: {} ({:.1} MiB)", model_path.display(), size as f64 / (1 << 20) as f64);
+    println!(
+        "saved model: {} ({:.1} MiB)",
+        model_path.display(),
+        size as f64 / (1 << 20) as f64
+    );
 
     // --- Load it back and verify identical behavior.
     let bytes = std::fs::read(&model_path).expect("read model");

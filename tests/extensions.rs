@@ -3,7 +3,7 @@
 //! serialization in a full train → save → load → predict flow.
 
 use fieldswap_core::{
-    augment_corpus, augment_cross_domain, apply_value_swap_all, cross_pairs_by_type,
+    apply_value_swap_all, augment_corpus, augment_cross_domain, cross_pairs_by_type,
     CrossDomainSpec, FieldSwapConfig, PairStrategy, ValueBank,
 };
 use fieldswap_datagen::{generate, Domain};
@@ -56,7 +56,9 @@ fn value_swapped_synthetics_use_observed_values() {
         for a in &swapped.annotations {
             let text = swapped.span_text(a.start, a.end);
             assert!(
-                originals.get(&a.field).is_some_and(|set| set.contains(&text)),
+                originals
+                    .get(&a.field)
+                    .is_some_and(|set| set.contains(&text)),
                 "field {} has unobserved value {:?}",
                 a.field,
                 text

@@ -46,9 +46,9 @@ fn inferred_phrases_never_contain_field_values() {
         let mut values = std::collections::HashSet::new();
         for d in &sample.documents {
             for a in &d.annotations {
-                values.insert(
-                    fieldswap_core::config::normalize_phrase(&d.span_text(a.start, a.end)),
-                );
+                values.insert(fieldswap_core::config::normalize_phrase(
+                    &d.span_text(a.start, a.end),
+                ));
             }
         }
         for list in &ranked {

@@ -29,10 +29,7 @@ fn arbitrary_config(n_fields: usize) -> impl Strategy<Value = FieldSwapConfig> {
         proptest::collection::vec(0usize..PHRASES.len(), 0..3),
         n_fields,
     );
-    let pairs = proptest::collection::vec(
-        (0..n_fields as u16, 0..n_fields as u16),
-        0..12,
-    );
+    let pairs = proptest::collection::vec((0..n_fields as u16, 0..n_fields as u16), 0..12);
     (phrase_sets, pairs).prop_map(move |(sets, pairs)| {
         let mut config = FieldSwapConfig::new(n_fields);
         for (f, set) in sets.iter().enumerate() {

@@ -16,6 +16,7 @@ fn tiny_options(seed: u64) -> HarnessOptions {
         synth_ratio: 1.0,
         synthetic_cap: 150,
         seed,
+        jobs: 1,
     }
 }
 
@@ -45,7 +46,7 @@ fn train_pool_and_test_set_are_disjoint() {
 #[test]
 fn repeated_harness_runs_are_identical() {
     let run = || {
-        let mut h = Harness::new(tiny_options(7));
+        let h = Harness::new(tiny_options(7));
         h.run_single(Domain::Fara, 8, Arm::AutoTypeToType, 0, 0)
     };
     let a = run();
@@ -55,8 +56,8 @@ fn repeated_harness_runs_are_identical() {
 
 #[test]
 fn different_master_seeds_differ() {
-    let mut h1 = Harness::new(tiny_options(1));
-    let mut h2 = Harness::new(tiny_options(2));
+    let h1 = Harness::new(tiny_options(1));
+    let h2 = Harness::new(tiny_options(2));
     let a = h1.run_single(Domain::Fara, 8, Arm::Baseline, 0, 0);
     let b = h2.run_single(Domain::Fara, 8, Arm::Baseline, 0, 0);
     // Same protocol, different data draws: results should not be equal.
@@ -65,7 +66,7 @@ fn different_master_seeds_differ() {
 
 #[test]
 fn metrics_are_bounded() {
-    let mut h = Harness::new(tiny_options(3));
+    let h = Harness::new(tiny_options(3));
     for arm in [Arm::Baseline, Arm::AutoFieldToField] {
         let r = h.run_single(Domain::FccForms, 10, arm, 0, 0);
         assert!((0.0..=100.0).contains(&r.macro_f1));
@@ -78,7 +79,7 @@ fn metrics_are_bounded() {
 
 #[test]
 fn trials_vary_only_training_randomness() {
-    let mut h = Harness::new(tiny_options(4));
+    let h = Harness::new(tiny_options(4));
     let a = h.run_single(Domain::Fara, 8, Arm::Baseline, 0, 0);
     let b = h.run_single(Domain::Fara, 8, Arm::Baseline, 0, 1);
     // Same sample, same synthetics; different training shuffle.
@@ -89,7 +90,7 @@ fn trials_vary_only_training_randomness() {
 #[test]
 fn macro_f1_at_least_reacts_to_training_size() {
     // 2 docs vs 40 docs must show a visible gap on FCC forms.
-    let mut h = Harness::new(tiny_options(5));
+    let h = Harness::new(tiny_options(5));
     let small = h.run_single(Domain::FccForms, 2, Arm::Baseline, 0, 0);
     let large = h.run_single(Domain::FccForms, 40, Arm::Baseline, 0, 0);
     assert!(

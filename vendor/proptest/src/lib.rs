@@ -1,0 +1,375 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait over
+//! numeric ranges, tuples, `collection::vec`, and `prop_map`; the
+//! [`test_runner::TestRunner`] driver; and the `proptest!` /
+//! `prop_assert*!` macros. Cases are generated from a fixed-seed
+//! deterministic RNG and failures report the offending input, but there
+//! is **no shrinking** — a failing case prints as generated.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of arbitrary values: the generation half of proptest's
+/// `Strategy`, without shrink trees.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// A `Vec` length specification: a fixed size or a half-open range.
+    pub trait IntoVecLen {
+        /// `(min, max)` bounds, max exclusive; `min == max` means fixed.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoVecLen for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoVecLen for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose
+    /// length is `len` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, len: impl IntoVecLen) -> VecStrategy<S> {
+        let (min, max) = len.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.min >= self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The test driver.
+pub mod test_runner {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed test case (the `Err` of a property closure).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// A failed property: the case error plus the input that triggered
+    /// it (as generated — no shrinking).
+    #[derive(Debug, Clone)]
+    pub struct TestError {
+        /// Failure message from the property.
+        pub message: String,
+        /// Debug rendering of the failing input.
+        pub input: String,
+    }
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{} for input {}", self.message, self.input)
+        }
+    }
+
+    impl std::error::Error for TestError {}
+
+    /// Drives a property over `Config::cases` generated inputs.
+    pub struct TestRunner {
+        config: Config,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed: every run generates the same
+        /// cases.
+        pub fn new(config: Config) -> Self {
+            Self {
+                config,
+                rng: StdRng::seed_from_u64(0x9E3779B97F4A7C15),
+            }
+        }
+
+        /// Runs `test` against `config.cases` values from `strategy`,
+        /// stopping at the first failure.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            S::Value: std::fmt::Debug,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for _ in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let rendered = format!("{value:?}");
+                if let Err(e) = test(value) {
+                    return Err(TestError {
+                        message: e.message,
+                        input: rendered,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                runner
+                    .run(&( $($strat,)+ ), |( $($arg,)+ )| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })
+                    .unwrap();
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::{Config, TestRunner};
+
+    #[test]
+    fn runner_reports_failures_with_input() {
+        let mut runner = TestRunner::new(Config::with_cases(50));
+        let err = runner
+            .run(&(0usize..100), |x| {
+                prop_assert!(x < 10, "too big: {}", x);
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.message.starts_with("too big"));
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut runner = TestRunner::new(Config::with_cases(100));
+        runner
+            .run(&crate::collection::vec(0f32..1.0, 2..7), |v| {
+                prop_assert!((2..7).contains(&v.len()));
+                for x in &v {
+                    prop_assert!((0.0..1.0).contains(x));
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_form_works(x in 1usize..6, y in -1e3f32..1e3) {
+            prop_assert!((1..6).contains(&x));
+            prop_assert!((-1e3..1e3).contains(&y));
+        }
+
+        #[test]
+        fn map_and_tuple(v in (0u16..4, 0u16..4).prop_map(|(a, b)| (a, b, a + b))) {
+            prop_assert_eq!(v.2, v.0 + v.1);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! two shapes this workspace uses — structs with named fields and enums
+//! with unit variants — by walking the raw token stream (no `syn`
+//! available offline). Supported attribute: `#[serde(skip)]` on a struct
+//! field (omitted when serializing, `Default::default()` when
+//! deserializing).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input parsed into.
+enum Input {
+    /// Struct name + fields as `(name, skip)` pairs, in declaration order.
+    Struct(String, Vec<(String, bool)>),
+    /// Enum name + unit variant names, in declaration order.
+    Enum(String, Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Input::Struct(name, fields) => {
+            let mut pushes = String::new();
+            for (f, skip) in &fields {
+                if *skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "obj.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut obj: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Input::Struct(name, fields) => {
+            let mut inits = String::new();
+            for (f, skip) in &fields {
+                if *skip {
+                    inits.push_str(&format!("{f}: Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: serde::Deserialize::from_value(obj.get(\"{f}\").ok_or_else(|| \
+                         serde::Error::new(\"missing field `{f}` in {name}\"))?)?,\n"
+                    ));
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let obj = match v {{\n\
+                             serde::Value::Object(_) => v,\n\
+                             other => return Err(serde::Error::new(format!(\
+                                 \"expected object for {name}, found {{other:?}}\"))),\n\
+                         }};\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let s = v.as_str().ok_or_else(|| serde::Error::new(format!(\
+                             \"expected string for {name}, found {{v:?}}\")))?;\n\
+                         match s {{\n\
+                             {arms}\
+                             other => Err(serde::Error::new(format!(\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+/// Parses the derive input token stream into [`Input`].
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility ahead of the item keyword.
+    let mut kind: Option<&'static str> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // `pub(crate)` etc.
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                kind = Some("struct");
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                kind = Some("enum");
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("derive input is a struct or enum");
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    // Reject generics: the vendored derive does not support them.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic types ({name})");
+    }
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("expected braced body for {name} (tuple structs unsupported)"));
+
+    if kind == "struct" {
+        Input::Struct(name, parse_struct_fields(body))
+    } else {
+        Input::Enum(name, parse_enum_variants(body))
+    }
+}
+
+/// Walks a struct body, returning `(field_name, has_serde_skip)` pairs.
+fn parse_struct_fields(body: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (doc comments included).
+        let mut skip = false;
+        loop {
+            match &tokens[i..] {
+                [TokenTree::Punct(p), TokenTree::Group(g), ..] if p.as_char() == '#' => {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        // Field name.
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other} (tuple structs unsupported)"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field {name}"
+        );
+        i += 1;
+        // Type: scan to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push((name, skip));
+    }
+    fields
+}
+
+/// Walks an enum body, returning unit-variant names.
+fn parse_enum_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        while matches!(&tokens[i..], [TokenTree::Punct(p), TokenTree::Group(_), ..] if p.as_char() == '#')
+        {
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                panic!("vendored serde derive supports unit enum variants only ({name})")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the comma.
+                while i < tokens.len()
+                    && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    i += 1;
+                }
+                i += 1;
+            }
+            Some(other) => panic!("unexpected token {other} after variant {name}"),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+/// Whether a `#[...]` attribute body is exactly `serde(... skip ...)`.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match &tokens[..] {
+        [TokenTree::Ident(id), TokenTree::Group(args)] if id.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
