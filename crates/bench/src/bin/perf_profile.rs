@@ -1,0 +1,264 @@
+//! Times the training hot paths on a fixed seed and writes
+//! `BENCH_train.json` — the perf-trajectory record for this repo.
+//!
+//! Stages:
+//!
+//! * `extract_train` — one averaged-perceptron training run (50 Earnings
+//!   docs + expert-config synthetics, 5 epochs), the `train_mixed` path;
+//! * `extract_predict` — Viterbi + schema constraints over the hold-out
+//!   test set, the `predict` path;
+//! * `nn_train` — importance-model pre-training (forward + backward +
+//!   Adam step per candidate), the `Tape` path;
+//! * `nn_forward` — forward-only neighbor scoring (phrase inference);
+//! * `backward` — an isolated microbench of `Tape::backward` on an
+//!   attention-shaped graph;
+//! * `fig4_point` — end to end: `Harness::new` + one serial
+//!   `run_point(Earnings, 50, AutoTypeToType)` under the quick protocol,
+//!   compared against the recorded pre-optimization baseline.
+//!
+//! All stages are serial (`jobs = 1`) and fully seeded, so wall times
+//! are comparable across commits on the same machine and the computed
+//! summaries are byte-identical run to run.
+
+use fieldswap_core::augment_corpus;
+use fieldswap_datagen::{generate, generate_paper_splits, Domain};
+use fieldswap_eval::{evaluate, expert_config, Arm, Harness, HarnessOptions};
+use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
+use fieldswap_keyphrase::{ImportanceModel, ModelConfig};
+use fieldswap_nn::{Init, ParamStore, Tape, Tensor};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall-clock milliseconds of the `fig4_point` stage measured at the
+/// commit *before* the single-cell optimizations (same machine class,
+/// serial, quick protocol; conservative low end of three runs). The JSON
+/// reports current wall time against this reference so the speedup trend
+/// is visible per commit.
+const FIG4_POINT_BASELINE_MS: f64 = 4940.0;
+
+#[derive(Serialize)]
+struct StageReport {
+    wall_ms: f64,
+    docs_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Fig4PointReport {
+    wall_ms: f64,
+    baseline_wall_ms: f64,
+    speedup_vs_baseline: f64,
+    macro_f1: f64,
+}
+
+#[derive(Serialize)]
+struct PerfReport {
+    seed: u64,
+    extract_train: StageReport,
+    extract_predict: StageReport,
+    nn_train: StageReport,
+    nn_forward: StageReport,
+    backward: StageReport,
+    harness_build: StageReport,
+    fig4_point: Fig4PointReport,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_train.json");
+    let mut seed = 0x5EEDu64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("missing --out path").clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .expect("missing --seed value")
+                    .parse()
+                    .expect("bad seed");
+            }
+            other => {
+                eprintln!("usage: perf_profile [--out PATH] [--seed N] (got {other})");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Shared fixtures: an Earnings sample + synthetics + test split, and
+    // the out-of-domain lexicon, mirroring one experiment cell.
+    let (pool, mut test) = generate_paper_splits(Domain::Earnings, seed);
+    test.documents.truncate(120);
+    let sample =
+        fieldswap_docmodel::Corpus::new(pool.schema.clone(), pool.documents[..50].to_vec());
+    let lex_corpus = generate(Domain::Invoices, seed ^ 0x1E81C0, 200);
+    let lexicon = Lexicon::pretrain(&lex_corpus.documents);
+    let config = expert_config(Domain::Earnings, &sample.schema).expect("expert config");
+    let (synthetics, _) = augment_corpus(&sample, &config);
+    let train_cfg = TrainConfig {
+        epochs: 5,
+        synth_ratio: 2.0,
+        seed,
+    };
+
+    // Stage: extractor training (the train_mixed hot path).
+    let t0 = Instant::now();
+    let extractor = Extractor::train_on(
+        &sample.schema,
+        lexicon.clone(),
+        &sample,
+        &synthetics,
+        &train_cfg,
+    );
+    let extract_train_ms = ms(t0);
+    // Documents visited: originals once per epoch plus the per-epoch
+    // synthetic budget.
+    let visited = train_cfg.epochs as f64
+        * (sample.len() as f64 + (train_cfg.synth_ratio as f64 * sample.len() as f64).round());
+    let extract_train = StageReport {
+        wall_ms: extract_train_ms,
+        docs_per_sec: visited / (extract_train_ms / 1e3),
+    };
+
+    // Stage: prediction over the hold-out set (the predict hot path).
+    let t0 = Instant::now();
+    let eval = evaluate(&extractor, &test);
+    let extract_predict_ms = ms(t0);
+    let extract_predict = StageReport {
+        wall_ms: extract_predict_ms,
+        docs_per_sec: test.len() as f64 / (extract_predict_ms / 1e3),
+    };
+    let sanity_macro = eval.macro_f1();
+
+    // Stage: importance-model pre-training (the Tape forward + backward +
+    // Adam path).
+    let pretrain = generate(Domain::Invoices, seed ^ 0xABCD, 80);
+    let model_cfg = ModelConfig {
+        neighbors: 24,
+        epochs: 2,
+        ..ModelConfig::default()
+    };
+    let t0 = Instant::now();
+    let mut importance = ImportanceModel::new(model_cfg, pretrain.schema.len(), seed);
+    importance.train(&pretrain, seed ^ 0xF00D);
+    let nn_train_ms = ms(t0);
+    let nn_train = StageReport {
+        wall_ms: nn_train_ms,
+        docs_per_sec: (model_cfg.epochs * pretrain.len()) as f64 / (nn_train_ms / 1e3),
+    };
+
+    // Stage: forward-only neighbor scoring (the phrase-inference path),
+    // one tape reused across the whole sweep.
+    let t0 = Instant::now();
+    let mut scored_docs = 0usize;
+    let mut checksum = 0.0f32;
+    let mut tape = Tape::new();
+    for doc in &pretrain.documents {
+        for a in &doc.annotations {
+            for (_, s) in importance.neighbor_importance_on(&mut tape, doc, a.start, a.end) {
+                checksum += s;
+            }
+        }
+        scored_docs += 1;
+    }
+    let nn_forward_ms = ms(t0);
+    let nn_forward = StageReport {
+        wall_ms: nn_forward_ms,
+        docs_per_sec: scored_docs as f64 / (nn_forward_ms / 1e3),
+    };
+
+    // Stage: isolated Tape::backward on an attention-shaped graph.
+    let mut store = ParamStore::new(seed);
+    let d = 24usize;
+    let wq = store.tensor("wq", d, d, Init::Xavier);
+    let wk = store.tensor("wk", d, d, Init::Xavier);
+    let wv = store.tensor("wv", d, d, Init::Xavier);
+    let head = store.tensor("head", d, 1, Init::Xavier);
+    let rows: Vec<Vec<f32>> = (0..24)
+        .map(|r| (0..d).map(|c| ((r * d + c) as f32 * 0.01).sin()).collect())
+        .collect();
+    let h_input = Tensor::from_rows(rows);
+    let iters = 400usize;
+    // One tape, reset per iteration: the pool recycles every intermediate
+    // buffer, so the steady-state loop is allocation-free.
+    let mut tape = Tape::new();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        tape.reset();
+        let h = tape.constant(h_input.clone());
+        let q = {
+            let w = tape.param(&store, wq);
+            tape.matmul(h, w)
+        };
+        let k = {
+            let w = tape.param(&store, wk);
+            tape.matmul(h, w)
+        };
+        let v = {
+            let w = tape.param(&store, wv);
+            tape.matmul(h, w)
+        };
+        let kt = tape.transpose(k);
+        let scores = tape.matmul(q, kt);
+        let scores = tape.scale(scores, 1.0 / (d as f32).sqrt());
+        let att = tape.softmax(scores);
+        let ctx = tape.matmul(att, v);
+        let pooled = tape.max_pool(ctx);
+        let hw = tape.param(&store, head);
+        let logit = tape.matmul(pooled, hw);
+        let loss = tape.bce_with_logits(logit, &[1.0]);
+        tape.backward(loss, &mut store);
+        store.zero_grads();
+    }
+    let backward_ms = ms(t0);
+    let backward = StageReport {
+        wall_ms: backward_ms,
+        docs_per_sec: iters as f64 / (backward_ms / 1e3),
+    };
+
+    // Stage: end-to-end serial fig4 single point (quick protocol).
+    let mut opts = HarnessOptions::quick();
+    opts.seed = seed;
+    opts.jobs = 1;
+    let t0 = Instant::now();
+    let harness = Harness::new(opts);
+    let harness_build_ms = ms(t0);
+    let harness_build = StageReport {
+        wall_ms: harness_build_ms,
+        docs_per_sec: opts.pretrain_docs as f64 / (harness_build_ms / 1e3),
+    };
+    let t0 = Instant::now();
+    let point = harness.run_point(Domain::Earnings, 50, Arm::AutoTypeToType);
+    let fig4_ms = harness_build_ms + ms(t0);
+    let fig4_point = Fig4PointReport {
+        wall_ms: fig4_ms,
+        baseline_wall_ms: FIG4_POINT_BASELINE_MS,
+        speedup_vs_baseline: FIG4_POINT_BASELINE_MS / fig4_ms,
+        macro_f1: point.macro_f1,
+    };
+
+    let report = PerfReport {
+        seed,
+        extract_train,
+        extract_predict,
+        nn_train,
+        nn_forward,
+        backward,
+        harness_build,
+        fig4_point,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out_path, &json).expect("write BENCH_train.json");
+    println!("{json}");
+    eprintln!(
+        "sanity: extract macro-F1 {sanity_macro:.2}, nn forward checksum {checksum:.3}, wrote {out_path}"
+    );
+}

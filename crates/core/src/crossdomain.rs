@@ -15,7 +15,7 @@
 
 use crate::config::FieldSwapConfig;
 use crate::engine::{swap, AugmentStats, EngineOptions};
-use crate::matcher::{find_phrase_matches, PhraseMatch};
+use crate::matcher::{DocMatcher, PhraseMatch};
 use fieldswap_docmodel::{Corpus, Document, FieldId, Schema};
 
 /// A cross-domain augmentation specification.
@@ -63,13 +63,14 @@ pub fn augment_cross_domain(
     let mut out = Vec::new();
     let mut stats = AugmentStats::default();
     for doc in &source.documents {
+        let matcher = DocMatcher::new(doc);
         for &(s, t) in &spec.pairs {
             if !doc.has_field(s) {
                 continue;
             }
             let mut matches: Vec<PhraseMatch> = Vec::new();
             for phrase in spec.source_config.phrases(s) {
-                matches.extend(find_phrase_matches(doc, phrase));
+                matches.extend(matcher.find(phrase));
             }
             if matches.is_empty() {
                 continue;
@@ -84,9 +85,19 @@ pub fn augment_cross_domain(
             projected.annotations.retain(|a| a.field == s);
             projected.id = format!("{}+cross", doc.id);
 
+            let old_texts = crate::engine::match_texts(doc, &matches);
             let mut produced = false;
             for (pi, target_phrase) in spec.target_config.phrases(t).iter().enumerate() {
-                match swap(&projected, &matches, s, t, target_phrase, pi, &opts) {
+                match swap(
+                    &projected,
+                    &matches,
+                    &old_texts,
+                    s,
+                    t,
+                    target_phrase,
+                    pi,
+                    &opts,
+                ) {
                     Some(synth) => {
                         out.push(synth);
                         stats.generated += 1;

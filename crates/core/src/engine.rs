@@ -9,7 +9,7 @@
 //! discarded — the guard that suppresses contradictory same-phrase swaps.
 
 use crate::config::FieldSwapConfig;
-use crate::matcher::{find_phrase_matches, PhraseMatch};
+use crate::matcher::{DocMatcher, PhraseMatch};
 use fieldswap_docmodel::{BBox, Corpus, Document, EntitySpan, FieldId, Token};
 
 /// Engine behavior knobs. The defaults implement the paper exactly; the
@@ -81,6 +81,9 @@ pub fn augment_document_with(
 ) -> (Vec<Document>, AugmentStats) {
     let mut out = Vec::new();
     let mut stats = AugmentStats::default();
+    // One matching context per document: token normalization and the
+    // labeled set are shared by every (pair, phrase) probe below.
+    let matcher = DocMatcher::new(doc);
     for &(source, target) in config.pairs() {
         if !doc.has_field(source) {
             continue;
@@ -90,7 +93,7 @@ pub fn augment_document_with(
         // source phrases are all rewritten in the same synthetic.
         let mut matches: Vec<PhraseMatch> = Vec::new();
         for phrase in config.phrases(source) {
-            matches.extend(find_phrase_matches(doc, phrase));
+            matches.extend(matcher.find(phrase));
         }
         if matches.is_empty() {
             continue;
@@ -100,10 +103,20 @@ pub fn augment_document_with(
         // Drop overlapping matches (e.g. "base" inside "base salary"):
         // keep the earliest-starting, longest occurrence.
         let matches = drop_overlaps(matches);
+        let old_texts = match_texts(doc, &matches);
 
         let mut produced = false;
         for (pi, target_phrase) in config.phrases(target).iter().enumerate() {
-            match swap(doc, &matches, source, target, target_phrase, pi, opts) {
+            match swap(
+                doc,
+                &matches,
+                &old_texts,
+                source,
+                target,
+                target_phrase,
+                pi,
+                opts,
+            ) {
                 Some(synth) => {
                     out.push(synth);
                     stats.generated += 1;
@@ -135,13 +148,29 @@ fn drop_overlaps(matches: Vec<PhraseMatch>) -> Vec<PhraseMatch> {
     out
 }
 
+/// The normalized, space-joined text of each match — what the match
+/// "already reads as" for the unchanged-swap guard in [`swap`].
+pub(crate) fn match_texts(doc: &Document, matches: &[PhraseMatch]) -> Vec<String> {
+    matches
+        .iter()
+        .map(|m| {
+            let old: Vec<String> = (m.start..m.end)
+                .map(|t| crate::config::normalize_phrase(&doc.tokens[t as usize].text))
+                .collect();
+            old.join(" ")
+        })
+        .collect()
+}
+
 /// Builds the synthetic document: replaces every match with
 /// `target_phrase` tokens, relabels `source` annotations as `target`, and
 /// re-runs line detection. Returns `None` when the text is unchanged.
 /// Shared with the cross-domain extension (`crate::crossdomain`).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn swap(
     doc: &Document,
     matches: &[PhraseMatch],
+    old_texts: &[String],
     source: FieldId,
     target: FieldId,
     target_phrase: &str,
@@ -152,12 +181,9 @@ pub(crate) fn swap(
     debug_assert!(!new_words.is_empty());
 
     // Unchanged-text check: every match already reads as the target phrase.
-    let unchanged = matches.iter().all(|m| {
-        let old: Vec<String> = (m.start..m.end)
-            .map(|t| crate::config::normalize_phrase(&doc.tokens[t as usize].text))
-            .collect();
-        old.join(" ") == target_phrase
-    });
+    // `old_texts` is precomputed once per (document, pair) — see
+    // [`match_texts`] — because it does not depend on the target phrase.
+    let unchanged = old_texts.iter().all(|old| old == target_phrase);
     if unchanged && opts.discard_unchanged {
         return None;
     }

@@ -24,46 +24,73 @@ fn norm_token(text: &str) -> String {
         .to_lowercase()
 }
 
-/// Finds all occurrences of `phrase` (already normalized, space-separated
-/// words) in `doc`. Matches are restricted to single OCR lines and to
-/// windows whose token ids are contiguous (which holds for text emitted in
-/// reading order). Overlapping annotations are excluded: a field *value*
-/// can never be treated as a key phrase occurrence (Section II-A5).
+/// Per-document matching context: token texts normalized once, labeled
+/// set built once. The augmentation engine probes every (pair, phrase)
+/// combination against the same document, so hoisting the per-token
+/// normalization out of the window scan turns the inner comparison into
+/// an allocation-free `&str` equality.
+pub struct DocMatcher<'a> {
+    doc: &'a Document,
+    normed: Vec<String>,
+    labeled: Vec<bool>,
+}
+
+impl<'a> DocMatcher<'a> {
+    /// Builds the matching context for `doc`.
+    pub fn new(doc: &'a Document) -> Self {
+        Self {
+            doc,
+            normed: doc.tokens.iter().map(|t| norm_token(&t.text)).collect(),
+            labeled: doc.labeled_token_set(),
+        }
+    }
+
+    /// Finds all occurrences of `phrase` (already normalized,
+    /// space-separated words). Matches are restricted to single OCR lines
+    /// and to windows whose token ids are contiguous (which holds for text
+    /// emitted in reading order). Overlapping annotations are excluded: a
+    /// field *value* can never be treated as a key phrase occurrence
+    /// (Section II-A5).
+    pub fn find(&self, phrase: &str) -> Vec<PhraseMatch> {
+        let words: Vec<&str> = phrase.split_whitespace().collect();
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for line in &self.doc.lines {
+            if line.tokens.len() < words.len() {
+                continue;
+            }
+            for w in line.tokens.windows(words.len()) {
+                // Window ids must be contiguous so the match is a clean
+                // replaceable token range.
+                if !w.windows(2).all(|p| p[1] == p[0] + 1) {
+                    continue;
+                }
+                let matches = w
+                    .iter()
+                    .zip(&words)
+                    .all(|(&tid, &word)| self.normed[tid as usize] == word);
+                if !matches {
+                    continue;
+                }
+                if w.iter().any(|&tid| self.labeled[tid as usize]) {
+                    continue;
+                }
+                out.push(PhraseMatch {
+                    start: w[0],
+                    end: w[w.len() - 1] + 1,
+                });
+            }
+        }
+        out.sort_by_key(|m| m.start);
+        out
+    }
+}
+
+/// One-shot convenience over [`DocMatcher`] for single-phrase lookups.
 pub fn find_phrase_matches(doc: &Document, phrase: &str) -> Vec<PhraseMatch> {
-    let words: Vec<&str> = phrase.split_whitespace().collect();
-    if words.is_empty() {
-        return Vec::new();
-    }
-    let labeled = doc.labeled_token_set();
-    let mut out = Vec::new();
-    for line in &doc.lines {
-        if line.tokens.len() < words.len() {
-            continue;
-        }
-        for w in line.tokens.windows(words.len()) {
-            // Window ids must be contiguous so the match is a clean
-            // replaceable token range.
-            if !w.windows(2).all(|p| p[1] == p[0] + 1) {
-                continue;
-            }
-            let matches = w
-                .iter()
-                .zip(&words)
-                .all(|(&tid, &word)| norm_token(&doc.tokens[tid as usize].text) == word);
-            if !matches {
-                continue;
-            }
-            if w.iter().any(|&tid| labeled[tid as usize]) {
-                continue;
-            }
-            out.push(PhraseMatch {
-                start: w[0],
-                end: w[w.len() - 1] + 1,
-            });
-        }
-    }
-    out.sort_by_key(|m| m.start);
-    out
+    DocMatcher::new(doc).find(phrase)
 }
 
 #[cfg(test)]

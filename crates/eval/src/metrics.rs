@@ -116,11 +116,13 @@ pub fn score_document(gold: &[EntitySpan], predictions: &[EntitySpan], fields: &
     }
 }
 
-/// Evaluates a trained extractor end-to-end on `test`.
+/// Evaluates a trained extractor end-to-end on `test`, reusing one
+/// prediction scratch (bucket table + Viterbi buffers) across the corpus.
 pub fn evaluate(extractor: &Extractor, test: &Corpus) -> EvalResult {
     let mut fields = vec![FieldScore::default(); test.schema.len()];
+    let mut scratch = fieldswap_extract::PredictScratch::default();
     for doc in &test.documents {
-        let pred = extractor.predict(doc);
+        let pred = extractor.predict_with(doc, &mut scratch);
         score_document(&doc.annotations, &pred, &mut fields);
     }
     EvalResult { fields }

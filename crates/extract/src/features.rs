@@ -4,6 +4,12 @@
 //! pairs into its weight table. The extractor pre-computes document-level
 //! structure (line membership, left-neighbor chains, vertical alignment)
 //! once, then emits each token's features.
+//!
+//! Hashing is incremental: [`FeatHash`] streams bytes through FNV-1a, so
+//! composite features (`"g{gx}-{gy}"`, joined left phrases, …) are hashed
+//! without materializing an intermediate `String`. The streamed bytes are
+//! exactly the bytes the formatted strings would contain, so feature ids —
+//! and therefore trained model weights — are unchanged.
 
 use crate::lexicon::Lexicon;
 use fieldswap_docmodel::{BaseType, Document};
@@ -11,6 +17,7 @@ use fieldswap_ocr::candidate_matches_type;
 
 /// Bitmask of base types a token could plausibly belong to. Used to gate
 /// the tag space per token: a word is never a money amount.
+#[inline]
 pub fn type_gate(text: &str) -> u8 {
     let mut mask = 0u8;
     // Address and String fields mix arbitrary tokens; always allowed.
@@ -32,24 +39,86 @@ pub fn type_gate(text: &str) -> u8 {
 }
 
 /// Whether the gate `mask` admits `ty`.
+#[inline]
 pub fn gate_allows(mask: u8, ty: BaseType) -> bool {
     mask & (1 << ty as u8) != 0
 }
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime (64-bit).
+// NOTE: this prime is what the original implementation shipped with — it
+// drops two hex zeros from the canonical 64-bit FNV prime 0x100_0000_01B3.
+// It is pinned deliberately: every trained model's weight-table addresses
+// depend on it, and the mixer in `bucket()` restores avalanche quality, so
+// correcting it would invalidate artifacts for no measurable gain.
+const FNV_PRIME: u64 = 0x1_0000_01B3;
+
+/// Buffered FNV-1a over a byte slice — the oracle the incremental
+/// [`FeatHash`] is tested against.
+#[cfg(test)]
+#[inline]
 fn fnv1a(s: &[u8]) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut h = FNV_OFFSET;
     for b in s {
         h ^= u64::from(*b);
-        h = h.wrapping_mul(0x1_0000_01B3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
 }
 
-fn feat(kind: u8, payload: &str) -> u64 {
-    let mut buf = Vec::with_capacity(payload.len() + 1);
-    buf.push(kind);
-    buf.extend_from_slice(payload.as_bytes());
-    fnv1a(&buf)
+/// Incremental FNV-1a feature hasher. `FeatHash::new(kind).str(p).id()`
+/// hashes the same byte stream as hashing `[kind] ++ p.as_bytes()` at
+/// once, so it is a drop-in, allocation-free replacement for building the
+/// payload in a buffer first.
+#[derive(Clone, Copy)]
+struct FeatHash(u64);
+
+impl FeatHash {
+    #[inline]
+    fn new(kind: u8) -> Self {
+        let mut h = FNV_OFFSET;
+        h ^= u64::from(kind);
+        h = h.wrapping_mul(FNV_PRIME);
+        FeatHash(h)
+    }
+
+    #[inline]
+    fn bytes(mut self, s: &[u8]) -> Self {
+        for b in s {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    #[inline]
+    fn str(self, s: &str) -> Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Streams the decimal digits of `v` — the bytes `format!("{v}")`
+    /// would produce.
+    #[inline]
+    fn dec(self, v: usize) -> Self {
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        let mut v = v;
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        self.bytes(&buf[i..])
+    }
+
+    #[inline]
+    fn id(self) -> u64 {
+        self.0
+    }
 }
 
 fn norm(text: &str) -> String {
@@ -57,8 +126,10 @@ fn norm(text: &str) -> String {
         .to_lowercase()
 }
 
-fn shape(text: &str) -> String {
-    let mut out = String::new();
+/// Collapsed character-shape string (`"Abc-12"` → `"Xx-9"`), written into
+/// `out` (cleared first) to avoid a per-token allocation.
+fn shape_into(text: &str, out: &mut String) {
+    out.clear();
     let mut last = '\0';
     for c in text.chars() {
         let s = if c.is_ascii_uppercase() {
@@ -75,7 +146,6 @@ fn shape(text: &str) -> String {
             last = s;
         }
     }
-    out
 }
 
 /// Pre-computed document structure + per-token feature lists.
@@ -100,94 +170,129 @@ pub fn extract(doc: &Document, lexicon: &Lexicon) -> DocFeatures {
     }
     // Nearest token vertically above each token (same column band).
     let above = compute_above(doc);
+    // Normalized token texts, computed once: the raw loop re-normalizes
+    // each token every time it appears as someone's neighbor (~6-8x).
+    let normed: Vec<String> = doc.tokens.iter().map(|t| norm(&t.text)).collect();
 
     let mut features = Vec::with_capacity(n);
     let mut gates = Vec::with_capacity(n);
+    let mut shape_buf = String::new();
     for t in 0..n {
         let tok = &doc.tokens[t];
         let text = tok.text.as_str();
-        let lower = norm(text);
+        let lower = normed[t].as_str();
         let mut fs: Vec<u64> = Vec::with_capacity(28);
-        fs.push(feat(0, "bias"));
-        fs.push(feat(1, &lower));
-        fs.push(feat(2, &shape(text)));
+        fs.push(FeatHash::new(0).str("bias").id());
+        fs.push(FeatHash::new(1).str(lower).id());
+        shape_into(text, &mut shape_buf);
+        fs.push(FeatHash::new(2).str(&shape_buf).id());
         // Affixes.
         if lower.len() >= 3 {
-            fs.push(feat(3, &lower[..3]));
-            fs.push(feat(4, &lower[lower.len() - 3..]));
+            fs.push(FeatHash::new(3).str(&lower[..3]).id());
+            fs.push(FeatHash::new(4).str(&lower[lower.len() - 3..]).id());
         }
         // Value-type flags.
         let gate = type_gate(text);
-        fs.push(feat(5, &format!("gate{gate}")));
+        fs.push(FeatHash::new(5).str("gate").dec(gate as usize).id());
         // DF bucket from unsupervised pre-training.
-        fs.push(feat(6, &format!("df{}", lexicon.df_bucket(text))));
+        fs.push(
+            FeatHash::new(6)
+                .str("df")
+                .dec(lexicon.df_bucket(text) as usize)
+                .id(),
+        );
 
         // Same-line left context: the 3 nearest tokens to the left, plus
         // their joined text (the key-phrase anchor for kv rows).
         if line_of[t] != usize::MAX {
             let line = &doc.lines[line_of[t]];
             let p = pos_in_line[t];
-            let mut left_words: Vec<String> = Vec::new();
+            let mut left_words: Vec<&str> = Vec::new();
             for k in 1..=3usize {
                 if p >= k {
                     let lt = line.tokens[p - k] as usize;
-                    let w = norm(&doc.tokens[lt].text);
-                    fs.push(feat(7 + k as u8, &w));
+                    let w = normed[lt].as_str();
+                    fs.push(FeatHash::new(7 + k as u8).str(w).id());
                     left_words.push(w);
                 }
             }
             if !left_words.is_empty() {
                 left_words.reverse();
-                fs.push(feat(11, &left_words.join(" ")));
+                // Joined phrase, streamed word by word (== join(" ")).
+                let mut h11 = FeatHash::new(11);
+                let mut h12 = FeatHash::new(12);
+                for (i, w) in left_words.iter().enumerate() {
+                    if i > 0 {
+                        h11 = h11.str(" ");
+                        h12 = h12.str(" ");
+                    }
+                    h11 = h11.str(w);
+                    h12 = h12.str(w);
+                }
+                fs.push(h11.id());
                 // Conjunction with the left phrase's DF bucket: phrase-like
                 // left context is a strong anchor.
-                let df = lexicon.df_bucket(&left_words[left_words.len() - 1]);
-                fs.push(feat(12, &format!("{}|df{df}", left_words.join(" "))));
+                let df = lexicon.df_bucket(left_words[left_words.len() - 1]);
+                fs.push(h12.str("|df").dec(df as usize).id());
             }
             // Right neighbor on the line (values left of their labels in
             // some layouts).
             if p + 1 < line.tokens.len() {
                 let rt = line.tokens[p + 1] as usize;
-                fs.push(feat(13, &norm(&doc.tokens[rt].text)));
+                fs.push(FeatHash::new(13).str(&normed[rt]).id());
             }
             // First token of the line (the row label in tables).
             let first = line.tokens[0] as usize;
             if first != t {
-                fs.push(feat(14, &norm(&doc.tokens[first].text)));
+                fs.push(FeatHash::new(14).str(&normed[first]).id());
                 // Row label + column bucket: the feature that reads a
                 // table cell as (row phrase, column).
                 let col = (tok.bbox.center().x / 125.0) as usize;
-                fs.push(feat(
-                    15,
-                    &format!("{}|c{col}", norm(&doc.tokens[first].text)),
-                ));
+                fs.push(
+                    FeatHash::new(15)
+                        .str(&normed[first])
+                        .str("|c")
+                        .dec(col)
+                        .id(),
+                );
                 // Row label bigram (e.g. "base salary").
                 if line.tokens.len() > 1 && line.tokens[1] as usize != t {
-                    let second = norm(&doc.tokens[line.tokens[1] as usize].text);
-                    fs.push(feat(
-                        22,
-                        &format!("{} {}", norm(&doc.tokens[first].text), second),
-                    ));
+                    let second = &normed[line.tokens[1] as usize];
+                    fs.push(
+                        FeatHash::new(22)
+                            .str(&normed[first])
+                            .str(" ")
+                            .str(second)
+                            .id(),
+                    );
                 }
             }
             // Line length bucket.
-            fs.push(feat(16, &format!("ll{}", line.tokens.len().min(8))));
+            fs.push(
+                FeatHash::new(16)
+                    .str("ll")
+                    .dec(line.tokens.len().min(8))
+                    .id(),
+            );
         }
 
         // Vertically-above context (stacked label/value layouts and table
         // column headers).
         if let Some(a) = above[t] {
-            fs.push(feat(17, &norm(&doc.tokens[a as usize].text)));
+            fs.push(FeatHash::new(17).str(&normed[a as usize]).id());
             // Above + its left neighbor (two-word stacked labels).
             if line_of[a as usize] != usize::MAX {
                 let aline = &doc.lines[line_of[a as usize]];
                 let ap = pos_in_line[a as usize];
                 if ap >= 1 {
-                    let prev = norm(&doc.tokens[aline.tokens[ap - 1] as usize].text);
-                    fs.push(feat(
-                        18,
-                        &format!("{} {}", prev, norm(&doc.tokens[a as usize].text)),
-                    ));
+                    let prev = &normed[aline.tokens[ap - 1] as usize];
+                    fs.push(
+                        FeatHash::new(18)
+                            .str(prev)
+                            .str(" ")
+                            .str(&normed[a as usize])
+                            .id(),
+                    );
                 }
             }
         }
@@ -197,11 +302,11 @@ pub fn extract(doc: &Document, lexicon: &Lexicon) -> DocFeatures {
         let c = tok.bbox.center();
         let gx = (c.x / 125.0) as usize;
         let gy = (c.y / 100.0) as usize;
-        fs.push(feat(19, &format!("g{gx}-{gy}")));
+        fs.push(FeatHash::new(19).str("g").dec(gx).str("-").dec(gy).id());
         if line_of[t] != usize::MAX {
-            fs.push(feat(20, &format!("li{}", line_of[t].min(30))));
+            fs.push(FeatHash::new(20).str("li").dec(line_of[t].min(30)).id());
         }
-        fs.push(feat(21, &format!("x{gx}")));
+        fs.push(FeatHash::new(21).str("x").dec(gx).id());
 
         features.push(fs);
         gates.push(gate);
@@ -258,6 +363,42 @@ mod tests {
         let mut d = b.build();
         fieldswap_ocr::detect_lines(&mut d);
         d
+    }
+
+    #[test]
+    fn fnv1a_constants_pinned() {
+        // The weight table addresses are a pure function of these hashes;
+        // any drift silently invalidates every trained model. The prime is
+        // intentionally the historical (non-canonical) one — see its
+        // definition — so the vectors below are computed for it, not the
+        // textbook FNV-1a vectors.
+        assert_eq!(FNV_OFFSET, 0xCBF2_9CE4_8422_2325);
+        assert_eq!(FNV_PRIME, 0x1_0000_01B3);
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0x1162_BB90_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x3FEF_AB5E_F739_67E8);
+    }
+
+    #[test]
+    fn incremental_hasher_matches_buffered_fnv() {
+        // FeatHash streams must equal hashing the formatted payload.
+        for kind in [0u8, 7, 22, 255] {
+            for payload in ["", "bias", "total due", "g3-12", "ll8", "x0"] {
+                let mut buf = vec![kind];
+                buf.extend_from_slice(payload.as_bytes());
+                assert_eq!(
+                    FeatHash::new(kind).str(payload).id(),
+                    fnv1a(&buf),
+                    "kind {kind} payload {payload:?}"
+                );
+            }
+        }
+        for v in [0usize, 9, 10, 123, 30, usize::MAX] {
+            let formatted = format!("li{v}");
+            let mut buf = vec![20u8];
+            buf.extend_from_slice(formatted.as_bytes());
+            assert_eq!(FeatHash::new(20).str("li").dec(v).id(), fnv1a(&buf));
+        }
     }
 
     #[test]

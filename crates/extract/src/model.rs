@@ -6,6 +6,14 @@
 //! collins-perceptron recipe with lazy averaging; inference applies the
 //! schema's single-instance constraint by keeping the best-scoring span
 //! per field (Section II-C: constraints at inference time only).
+//!
+//! Hot-path layout: the `(feature, tag)` bucket indices of a document are
+//! interned once into a [`DocBuckets`] table, so every Viterbi sweep and
+//! perceptron update is a gather-and-sum over flat `&[u32]` slices instead
+//! of re-hashing. Viterbi itself runs on a reusable [`ViterbiScratch`]
+//! (two score rows + one flat backpointer matrix) and allocates nothing
+//! per document once warm. Results are bit-identical to the naive
+//! implementation (see `viterbi_reference` in the tests).
 
 use crate::features::{extract, gate_allows, DocFeatures};
 use crate::lexicon::Lexicon;
@@ -18,6 +26,9 @@ use rand::SeedableRng;
 /// log2 of the emission weight-table size (2^20 = ~1M buckets).
 const WEIGHT_BITS: u32 = 20;
 const WEIGHT_DIM: usize = 1 << WEIGHT_BITS;
+
+/// Score used for impossible tags/paths.
+const NEG: f32 = -1e30;
 
 /// Training configuration.
 ///
@@ -56,6 +67,55 @@ impl TrainConfig {
             seed: 0,
         }
     }
+}
+
+/// Precomputed `(feature, tag)` weight-table indices for one document.
+///
+/// For token `t` with `k` features, the table holds `n_tags` contiguous
+/// rows of `k` bucket indices each; `row(t, tag)` is the gather list whose
+/// weight sum is the emission score of `tag` at `t`. Rows for tags blocked
+/// by the token's type gate are left unfilled (never read) unless they are
+/// the gold tag of a training document.
+#[derive(Default)]
+pub struct DocBuckets {
+    /// `(flat offset, feature count)` per token.
+    spans: Vec<(u32, u32)>,
+    flat: Vec<u32>,
+    gates: Vec<u8>,
+    n_tags: usize,
+}
+
+impl DocBuckets {
+    fn n_tokens(&self) -> usize {
+        self.spans.len()
+    }
+
+    #[inline]
+    fn row(&self, t: usize, tag: TagId) -> &[u32] {
+        let (start, k) = self.spans[t];
+        let s = start as usize + tag as usize * k as usize;
+        &self.flat[s..s + k as usize]
+    }
+}
+
+/// Reusable Viterbi working memory: two score rows swapped per step plus
+/// one flat `n x n_tags` backpointer matrix. The decoded sequence lands in
+/// `tags`.
+#[derive(Default)]
+pub struct ViterbiScratch {
+    score: Vec<f32>,
+    next: Vec<f32>,
+    back: Vec<u16>,
+    tags: Vec<TagId>,
+}
+
+/// Reusable prediction working memory ([`Extractor::predict_with`]):
+/// holds the bucket table and Viterbi scratch so batch prediction (e.g.
+/// evaluation sweeps) allocates per document only the feature lists.
+#[derive(Default)]
+pub struct PredictScratch {
+    buckets: DocBuckets,
+    viterbi: ViterbiScratch,
 }
 
 /// The sequence-labeling extractor.
@@ -116,8 +176,12 @@ impl Extractor {
         &self.tags
     }
 
-    fn emission(&self, features: &[u64], tag: TagId) -> f32 {
-        features.iter().map(|&f| self.w[bucket(f, tag)]).sum()
+    /// Emission score via the precomputed bucket table: a pure
+    /// gather-and-sum, in the same feature order as hashing on the fly
+    /// (bit-identical `f32` accumulation).
+    #[inline]
+    fn emission_bk(&self, bk: &DocBuckets, t: usize, tag: TagId) -> f32 {
+        bk.row(t, tag).iter().map(|&b| self.w[b as usize]).sum()
     }
 
     /// Whether `tag` is admissible for a token with gate `mask`.
@@ -128,22 +192,60 @@ impl Extractor {
         }
     }
 
-    /// Viterbi decoding over the legal-transition structure. Returns the
-    /// best tag sequence and its per-token emission scores.
-    fn viterbi(&self, feats: &DocFeatures) -> Vec<TagId> {
-        let n = feats.features.len();
+    /// Interns the document's `(feature, tag)` bucket indices into `out`
+    /// (reusing its allocations). Rows are filled for gate-admissible tags
+    /// — the only rows Viterbi and the schema constraints ever read — plus
+    /// each position's gold tag when `gold` is given: training updates
+    /// touch gold rows even where the gate disagrees with the annotation.
+    fn fill_buckets(&self, feats: &DocFeatures, gold: Option<&[TagId]>, out: &mut DocBuckets) {
         let n_tags = self.tags.len();
-        if n == 0 {
-            return Vec::new();
+        let n = feats.features.len();
+        out.n_tags = n_tags;
+        out.spans.clear();
+        out.gates.clear();
+        out.gates.extend_from_slice(&feats.gates);
+        let total: usize = feats.features.iter().map(|f| f.len() * n_tags).sum();
+        out.flat.clear();
+        out.flat.resize(total, 0);
+        let mut start = 0usize;
+        for t in 0..n {
+            let fs = &feats.features[t];
+            let k = fs.len();
+            out.spans.push((start as u32, k as u32));
+            for tag in 0..n_tags as u16 {
+                if self.tag_allowed(tag, feats.gates[t]) || gold.is_some_and(|g| g[t] == tag) {
+                    let row = &mut out.flat[start + tag as usize * k..][..k];
+                    for (slot, &f) in row.iter_mut().zip(fs) {
+                        *slot = bucket(f, tag) as u32;
+                    }
+                }
+            }
+            start += k * n_tags;
         }
-        const NEG: f32 = -1e30;
-        let mut score = vec![NEG; n_tags];
-        let mut back: Vec<Vec<u16>> = Vec::with_capacity(n);
+    }
 
-        // Emission cache per position, gated.
+    /// Viterbi decoding over the legal-transition structure, writing the
+    /// best tag sequence into `sc.tags`. All working memory lives in `sc`;
+    /// a warm scratch performs no allocation.
+    fn viterbi_into(&self, bk: &DocBuckets, sc: &mut ViterbiScratch) {
+        let n = bk.n_tokens();
+        let n_tags = self.tags.len();
+        sc.tags.clear();
+        if n == 0 {
+            return;
+        }
+        sc.score.clear();
+        sc.score.resize(n_tags, NEG);
+        sc.next.clear();
+        sc.next.resize(n_tags, NEG);
+        sc.back.clear();
+        sc.back.resize(n * n_tags, 0);
+
+        // Emission, gated: blocked rows of the bucket table are unfilled,
+        // so the gate check must come first.
         let emis = |t: usize, tag: TagId| -> f32 {
-            if self.tag_allowed(tag, feats.gates[t]) {
-                self.emission(&feats.features[t], tag)
+            if self.tag_allowed(tag, bk.gates[t]) {
+                self.emission_bk(bk, t, tag)
             } else {
                 NEG
             }
@@ -151,14 +253,14 @@ impl Extractor {
 
         for tag in 0..n_tags as u16 {
             if self.tags.can_start(tag) {
-                score[tag as usize] = emis(0, tag);
+                sc.score[tag as usize] = emis(0, tag);
             }
         }
-        back.push(vec![0; n_tags]);
 
         for t in 1..n {
-            let mut next = vec![NEG; n_tags];
-            let mut bp = vec![0u16; n_tags];
+            for v in sc.next.iter_mut() {
+                *v = NEG;
+            }
             for tag in 0..n_tags as u16 {
                 let e = emis(t, tag);
                 if e <= NEG {
@@ -167,7 +269,7 @@ impl Extractor {
                 let mut best = NEG;
                 let mut best_prev = 0u16;
                 for &prev in self.tags.prev_allowed(tag) {
-                    let s = score[prev as usize];
+                    let s = sc.score[prev as usize];
                     if s <= NEG {
                         continue;
                     }
@@ -178,44 +280,42 @@ impl Extractor {
                     }
                 }
                 if best > NEG {
-                    next[tag as usize] = best + e;
-                    bp[tag as usize] = best_prev;
+                    sc.next[tag as usize] = best + e;
+                    sc.back[t * n_tags + tag as usize] = best_prev;
                 }
             }
-            score = next;
-            back.push(bp);
+            std::mem::swap(&mut sc.score, &mut sc.next);
         }
 
         // Pick the best legal final tag.
         let mut best_tag = 0u16;
         let mut best = NEG;
         for tag in 0..n_tags as u16 {
-            if self.tags.can_end(tag) && score[tag as usize] > best {
-                best = score[tag as usize];
+            if self.tags.can_end(tag) && sc.score[tag as usize] > best {
+                best = sc.score[tag as usize];
                 best_tag = tag;
             }
         }
-        let mut tags = vec![0u16; n];
-        tags[n - 1] = best_tag;
+        sc.tags.resize(n, 0);
+        sc.tags[n - 1] = best_tag;
         for t in (1..n).rev() {
-            tags[t - 1] = back[t][tags[t] as usize];
+            sc.tags[t - 1] = sc.back[t * n_tags + sc.tags[t] as usize];
         }
-        tags
     }
 
-    fn update(&mut self, feats: &DocFeatures, gold: &[TagId], pred: &[TagId]) {
+    fn update(&mut self, bk: &DocBuckets, gold: &[TagId], pred: &[TagId]) {
         self.step += 1;
         let n_tags = self.tags.len();
         let step = self.step as f64;
         for t in 0..gold.len() {
             if gold[t] != pred[t] {
-                for &f in &feats.features[t] {
-                    let bg = bucket(f, gold[t]);
-                    self.w[bg] += 1.0;
-                    self.w_acc[bg] += step;
-                    let bp = bucket(f, pred[t]);
-                    self.w[bp] -= 1.0;
-                    self.w_acc[bp] -= step;
+                let grow = bk.row(t, gold[t]);
+                let prow = bk.row(t, pred[t]);
+                for (&bg, &bp) in grow.iter().zip(prow) {
+                    self.w[bg as usize] += 1.0;
+                    self.w_acc[bg as usize] += step;
+                    self.w[bp as usize] -= 1.0;
+                    self.w_acc[bp as usize] -= step;
                 }
             }
             if t > 0 && (gold[t] != pred[t] || gold[t - 1] != pred[t - 1]) {
@@ -251,15 +351,27 @@ impl Extractor {
             self.finalize_average();
             return;
         }
-        let feats_orig: Vec<DocFeatures> = originals
-            .iter()
-            .map(|d| extract(d, &self.lexicon))
-            .collect();
-        let golds_orig: Vec<Vec<TagId>> = originals.iter().map(|d| self.tags.encode(d)).collect();
+        // Originals are visited every epoch: intern their bucket tables
+        // once up front (the feature lists themselves are no longer needed
+        // after interning).
+        let mut buckets_orig: Vec<DocBuckets> = Vec::with_capacity(n);
+        let mut golds_orig: Vec<Vec<TagId>> = Vec::with_capacity(n);
+        for d in originals {
+            let f = extract(d, &self.lexicon);
+            let g = self.tags.encode(d);
+            let mut bk = DocBuckets::default();
+            self.fill_buckets(&f, Some(&g), &mut bk);
+            buckets_orig.push(bk);
+            golds_orig.push(g);
+        }
         // Synthetic features are extracted lazily per epoch slice and
-        // cached, so huge synthetic pools cost only what is visited.
+        // cached, so huge synthetic pools cost only what is visited. Their
+        // bucket tables are NOT cached (a table is ~n_tags x the feature
+        // list in size, too big for thousand-document pools); each visit
+        // re-interns into one reusable scratch table.
         let mut feats_synth: Vec<Option<(DocFeatures, Vec<TagId>)>> =
             (0..synthetics.len()).map(|_| None).collect();
+        let mut synth_bk = DocBuckets::default();
         let per_epoch_synths = if synthetics.is_empty() {
             0
         } else {
@@ -280,10 +392,15 @@ impl Extractor {
         synth_order.shuffle(&mut rng);
         let mut synth_cursor = 0usize;
 
+        // Per-epoch buffers, reused: the plan is rebuilt (same contents,
+        // same shuffle draws) and the Viterbi scratch is recycled.
+        let mut plan: Vec<(bool, usize)> =
+            Vec::with_capacity(n * (1 + extra_repeats) + per_epoch_synths);
+        let mut vit = ViterbiScratch::default();
+
         for _ in 0..cfg.epochs {
             // Plan: (is_synth, index) entries.
-            let mut plan: Vec<(bool, usize)> =
-                Vec::with_capacity(n * (1 + extra_repeats) + per_epoch_synths);
+            plan.clear();
             for r in 0..=extra_repeats {
                 let _ = r;
                 for i in 0..n {
@@ -295,7 +412,7 @@ impl Extractor {
                 synth_cursor += 1;
             }
             plan.shuffle(&mut rng);
-            for (is_synth, i) in plan {
+            for &(is_synth, i) in &plan {
                 if is_synth {
                     if feats_synth[i].is_none() {
                         let f = extract(synthetics[i], &self.lexicon);
@@ -303,14 +420,15 @@ impl Extractor {
                         feats_synth[i] = Some((f, g));
                     }
                     let (f, g) = feats_synth[i].as_ref().unwrap();
-                    let pred = self.viterbi(f);
-                    if &pred != g {
-                        self.update(f, g, &pred);
+                    self.fill_buckets(f, Some(g), &mut synth_bk);
+                    self.viterbi_into(&synth_bk, &mut vit);
+                    if vit.tags != *g {
+                        self.update(&synth_bk, g, &vit.tags);
                     }
                 } else {
-                    let pred = self.viterbi(&feats_orig[i]);
-                    if pred != golds_orig[i] {
-                        self.update(&feats_orig[i], &golds_orig[i], &pred);
+                    self.viterbi_into(&buckets_orig[i], &mut vit);
+                    if vit.tags != golds_orig[i] {
+                        self.update(&buckets_orig[i], &golds_orig[i], &vit.tags);
                     }
                 }
             }
@@ -334,26 +452,35 @@ impl Extractor {
     /// constraint that each field keeps only its best-scoring instance
     /// (fields in all five paper domains are single-instance).
     pub fn predict(&self, doc: &Document) -> Vec<EntitySpan> {
+        let mut scratch = PredictScratch::default();
+        self.predict_with(doc, &mut scratch)
+    }
+
+    /// Like [`Extractor::predict`], but reuses caller-held working memory:
+    /// batch callers (evaluation sweeps, benchmark loops) keep one
+    /// [`PredictScratch`] and avoid re-allocating the bucket table and
+    /// Viterbi buffers per document.
+    pub fn predict_with(&self, doc: &Document, scratch: &mut PredictScratch) -> Vec<EntitySpan> {
         let feats = extract(doc, &self.lexicon);
-        let tags = self.viterbi(&feats);
-        let spans = self.tags.decode(&tags);
-        self.apply_schema_constraints(&feats, spans)
+        self.fill_buckets(&feats, None, &mut scratch.buckets);
+        self.viterbi_into(&scratch.buckets, &mut scratch.viterbi);
+        let spans = self.tags.decode(&scratch.viterbi.tags);
+        self.apply_schema_constraints(&scratch.buckets, spans)
     }
 
     /// Raw (unconstrained) prediction, for diagnostics and ablations.
     pub fn predict_unconstrained(&self, doc: &Document) -> Vec<EntitySpan> {
         let feats = extract(doc, &self.lexicon);
-        let tags = self.viterbi(&feats);
-        self.tags.decode(&tags)
+        let mut scratch = PredictScratch::default();
+        self.fill_buckets(&feats, None, &mut scratch.buckets);
+        self.viterbi_into(&scratch.buckets, &mut scratch.viterbi);
+        self.tags.decode(&scratch.viterbi.tags)
     }
 
-    fn apply_schema_constraints(
-        &self,
-        feats: &DocFeatures,
-        spans: Vec<EntitySpan>,
-    ) -> Vec<EntitySpan> {
+    fn apply_schema_constraints(&self, bk: &DocBuckets, spans: Vec<EntitySpan>) -> Vec<EntitySpan> {
         // Score each span by its mean emission margin and keep the best
-        // span per field.
+        // span per field. Spans come from decoded Viterbi output, so every
+        // (position, tag) pair passed the gate and has a filled bucket row.
         let mut best: std::collections::HashMap<u16, (f32, EntitySpan)> =
             std::collections::HashMap::new();
         for s in spans {
@@ -366,7 +493,7 @@ impl Extractor {
                     (false, false) => 1,
                 };
                 let tag = self.tags.tag(s.field, part);
-                score += self.emission(&feats.features[t as usize], tag);
+                score += self.emission_bk(bk, t as usize, tag);
             }
             score /= (s.end - s.start) as f32;
             match best.get(&s.field) {
@@ -440,6 +567,87 @@ impl Extractor {
         let synth: Vec<&Document> = synthetics.iter().collect();
         ex.train_mixed(&orig, &synth, cfg);
         ex
+    }
+
+    /// On-the-fly emission score — the naive counterpart of
+    /// [`Extractor::emission_bk`], retained for the reference decoder.
+    #[cfg(test)]
+    fn emission(&self, features: &[u64], tag: TagId) -> f32 {
+        features.iter().map(|&f| self.w[bucket(f, tag)]).sum()
+    }
+
+    /// The pre-optimization Viterbi: nested backpointer vectors, fresh
+    /// allocations per step, hashing on the fly. Kept as the oracle the
+    /// property tests compare the scratch-buffer decoder against.
+    #[cfg(test)]
+    fn viterbi_reference(&self, feats: &DocFeatures) -> Vec<TagId> {
+        let n = feats.features.len();
+        let n_tags = self.tags.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut score = vec![NEG; n_tags];
+        let mut back: Vec<Vec<u16>> = Vec::with_capacity(n);
+
+        let emis = |t: usize, tag: TagId| -> f32 {
+            if self.tag_allowed(tag, feats.gates[t]) {
+                self.emission(&feats.features[t], tag)
+            } else {
+                NEG
+            }
+        };
+
+        for tag in 0..n_tags as u16 {
+            if self.tags.can_start(tag) {
+                score[tag as usize] = emis(0, tag);
+            }
+        }
+        back.push(vec![0; n_tags]);
+
+        for t in 1..n {
+            let mut next = vec![NEG; n_tags];
+            let mut bp = vec![0u16; n_tags];
+            for tag in 0..n_tags as u16 {
+                let e = emis(t, tag);
+                if e <= NEG {
+                    continue;
+                }
+                let mut best = NEG;
+                let mut best_prev = 0u16;
+                for &prev in self.tags.prev_allowed(tag) {
+                    let s = score[prev as usize];
+                    if s <= NEG {
+                        continue;
+                    }
+                    let cand = s + self.trans[prev as usize * n_tags + tag as usize];
+                    if cand > best {
+                        best = cand;
+                        best_prev = prev;
+                    }
+                }
+                if best > NEG {
+                    next[tag as usize] = best + e;
+                    bp[tag as usize] = best_prev;
+                }
+            }
+            score = next;
+            back.push(bp);
+        }
+
+        let mut best_tag = 0u16;
+        let mut best = NEG;
+        for tag in 0..n_tags as u16 {
+            if self.tags.can_end(tag) && score[tag as usize] > best {
+                best = score[tag as usize];
+                best_tag = tag;
+            }
+        }
+        let mut tags = vec![0u16; n];
+        tags[n - 1] = best_tag;
+        for t in (1..n).rev() {
+            tags[t - 1] = back[t][tags[t] as usize];
+        }
+        tags
     }
 }
 
@@ -585,6 +793,22 @@ mod tests {
     }
 
     #[test]
+    fn predict_with_reused_scratch_matches_fresh() {
+        let train = generate(Domain::Earnings, 17, 30);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::empty(),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        let mut scratch = PredictScratch::default();
+        for d in &train.documents {
+            assert_eq!(ex.predict_with(d, &mut scratch), ex.predict(d));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "already finalized")]
     fn double_train_panics() {
         let train = generate(Domain::Fara, 9, 5);
@@ -592,6 +816,57 @@ mod tests {
         let docs: Vec<&Document> = train.documents.iter().collect();
         ex.train(&docs, &TrainConfig::tiny());
         ex.train(&docs, &TrainConfig::tiny());
+    }
+
+    #[test]
+    fn proptest_scratch_viterbi_matches_reference() {
+        // The scratch-buffer decoder must reproduce the naive reference
+        // decoder exactly — same tags, bit for bit — across random
+        // weights, features, and gate masks, including when one scratch is
+        // reused across documents.
+        use proptest::prelude::*;
+        use proptest::test_runner::{Config, TestRunner};
+        let schema = generate(Domain::Earnings, 1, 1).schema;
+        let mut runner = TestRunner::new(Config::with_cases(48));
+        runner
+            .run(
+                &(
+                    // Two documents per case (scratch reuse), each up to 12
+                    // tokens with up to 6 features.
+                    proptest::collection::vec(
+                        proptest::collection::vec(
+                            (proptest::collection::vec(0u64..=u64::MAX, 1..6), 0u8..=255),
+                            0..12,
+                        ),
+                        2,
+                    ),
+                    proptest::collection::vec(-2.0f32..2.0, 64),
+                    proptest::collection::vec(-1.0f32..1.0, 32),
+                ),
+                |(docs, wvals, tvals)| {
+                    let mut ex = Extractor::new(&schema, Lexicon::empty());
+                    for (i, w) in ex.w.iter_mut().enumerate() {
+                        *w = wvals[i % wvals.len()];
+                    }
+                    for (i, t) in ex.trans.iter_mut().enumerate() {
+                        *t = tvals[i % tvals.len()];
+                    }
+                    let mut bk = DocBuckets::default();
+                    let mut sc = ViterbiScratch::default();
+                    for tokens in &docs {
+                        let feats = DocFeatures {
+                            features: tokens.iter().map(|(fs, _)| fs.clone()).collect(),
+                            gates: tokens.iter().map(|&(_, g)| g).collect(),
+                        };
+                        let reference = ex.viterbi_reference(&feats);
+                        ex.fill_buckets(&feats, None, &mut bk);
+                        ex.viterbi_into(&bk, &mut sc);
+                        prop_assert_eq!(&sc.tags, &reference);
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
     }
 
     #[test]

@@ -171,26 +171,31 @@ impl ImportanceModel {
         }
     }
 
-    /// Runs the forward pass, returning `(tape, per-neighbor encoder
-    /// output, neighborhood-encoding node, logits node)`. The per-neighbor
-    /// node is the *pre-attention* encoding: self-attention mixes rows
-    /// toward their mean, so the post-attention rows all resemble the
-    /// pooled vector and carry no per-neighbor contrast; the encoder
-    /// output is what distinguishes one neighbor from another.
-    fn forward(
+    /// Runs the forward pass on `tape` (resetting it first), returning
+    /// `(per-neighbor encoder output, neighborhood-encoding node, logits
+    /// node)`. The per-neighbor node is the *pre-attention* encoding:
+    /// self-attention mixes rows toward their mean, so the post-attention
+    /// rows all resemble the pooled vector and carry no per-neighbor
+    /// contrast; the encoder output is what distinguishes one neighbor
+    /// from another.
+    ///
+    /// Reusing one tape across candidates recycles every intermediate
+    /// tensor through the tape's buffer pool — the training loop reaches a
+    /// steady state with no per-candidate allocation.
+    fn forward_on(
         &self,
+        tape: &mut Tape,
         f: &CandFeatures,
     ) -> Option<(
-        Tape,
         fieldswap_nn::NodeId,
         fieldswap_nn::NodeId,
         fieldswap_nn::NodeId,
     )> {
+        tape.reset();
         if f.text_ids.is_empty() {
             return None;
         }
         let d = self.cfg.dim;
-        let mut tape = Tape::new();
         let te = tape.gather(&self.params, self.emb_text, &f.text_ids);
         let pe = tape.gather(&self.params, self.emb_pos, &f.pos_ids);
         let wt = tape.param(&self.params, self.w_enc_text);
@@ -226,7 +231,7 @@ impl ImportanceModel {
         let feat = tape.concat_cols(pooled, ce);
         let wh = tape.param(&self.params, self.w_head);
         let logits = tape.matmul(feat, wh);
-        Some((tape, h, pooled, logits))
+        Some((h, pooled, logits))
     }
 
     /// Trains on `corpus` (the out-of-domain pre-training corpus).
@@ -240,6 +245,9 @@ impl ImportanceModel {
         let mut first = 0.0f64;
         let mut last = 0.0f64;
         let mut per_epoch = 0usize;
+        // One tape for the whole run; `forward_on` resets it per candidate
+        // and its buffer pool recycles all intermediate tensors.
+        let mut tape = Tape::new();
         for epoch in 0..self.cfg.epochs {
             let mut order: Vec<usize> = (0..corpus.documents.len()).collect();
             order.shuffle(&mut rng);
@@ -250,7 +258,7 @@ impl ImportanceModel {
                 let cands = self.training_candidates(doc, &mut rng);
                 for (start, end, targets) in cands {
                     let feats = self.extract(doc, start, end);
-                    let Some((mut tape, _ctx, _pooled, logits)) = self.forward(&feats) else {
+                    let Some((_ctx, _pooled, logits)) = self.forward_on(&mut tape, &feats) else {
                         continue;
                     };
                     let loss = tape.bce_with_logits(logits, &targets);
@@ -312,25 +320,41 @@ impl ImportanceModel {
     /// the Neighborhood Encoding and that neighbor's contextualized
     /// encoding. Returns `(token id, score)` pairs.
     pub fn neighbor_importance(&self, doc: &Document, start: u32, end: u32) -> Vec<(u32, f32)> {
+        let mut tape = Tape::new();
+        self.neighbor_importance_on(&mut tape, doc, start, end)
+    }
+
+    /// Like [`ImportanceModel::neighbor_importance`], but runs on a
+    /// caller-held [`Tape`] so repeated scoring (e.g. the key-phrase
+    /// inference loop) reuses one buffer pool instead of allocating a
+    /// fresh graph per candidate. The tape is reset on entry.
+    pub fn neighbor_importance_on(
+        &self,
+        tape: &mut Tape,
+        doc: &Document,
+        start: u32,
+        end: u32,
+    ) -> Vec<(u32, f32)> {
         let feats = self.extract(doc, start, end);
-        let Some((tape, enc, pooled, _logits)) = self.forward(&feats) else {
+        let Some((enc, pooled, _logits)) = self.forward_on(tape, &feats) else {
             return Vec::new();
         };
-        let pooled_v = tape.value(pooled).row(0).to_vec();
+        let pooled_v = tape.value(pooled).row(0);
         let ctx_v = tape.value(enc);
         feats
             .neighbor_tokens
             .iter()
             .enumerate()
-            .map(|(i, &t)| (t, cosine_similarity(&pooled_v, ctx_v.row(i))))
+            .map(|(i, &t)| (t, cosine_similarity(pooled_v, ctx_v.row(i))))
             .collect()
     }
 
     /// Field logits for a candidate (used by tests and diagnostics).
     pub fn predict_logits(&self, doc: &Document, start: u32, end: u32) -> Vec<f32> {
         let feats = self.extract(doc, start, end);
-        match self.forward(&feats) {
-            Some((tape, _, _, logits)) => tape.value(logits).row(0).to_vec(),
+        let mut tape = Tape::new();
+        match self.forward_on(&mut tape, &feats) {
+            Some((_, _, logits)) => tape.value(logits).row(0).to_vec(),
             None => vec![0.0; self.n_fields],
         }
     }

@@ -20,7 +20,7 @@ use crate::model::ImportanceModel;
 use fieldswap_core::config::normalize_phrase;
 use fieldswap_core::FieldSwapConfig;
 use fieldswap_docmodel::{Corpus, Document, FieldId};
-use fieldswap_nn::sparsemax;
+use fieldswap_nn::{sparsemax, Tape};
 use std::collections::HashMap;
 
 /// How per-candidate neighbor scores are sparsified into the set of
@@ -102,10 +102,15 @@ pub fn infer_key_phrases(
     // accumulator holds sum(log(1 - score)); for the mean ablation it
     // holds sum(score).
     let mut acc: HashMap<(FieldId, String), (f64, usize)> = HashMap::new();
+    // One tape for the whole sweep: each candidate's forward pass recycles
+    // the previous candidate's tensor buffers.
+    let mut tape = Tape::new();
     for doc in &corpus.documents {
         let labeled = doc.labeled_token_set();
         for a in &doc.annotations {
-            for (phrase, score) in important_phrases(model, doc, a.start, a.end, &labeled, cfg) {
+            for (phrase, score) in
+                important_phrases(model, &mut tape, doc, a.start, a.end, &labeled, cfg)
+            {
                 let e = acc.entry((a.field, phrase)).or_insert((0.0, 0));
                 match cfg.aggregation {
                     // Eq. 1 accumulates log(1 - score); clamp to keep the
@@ -160,13 +165,14 @@ pub fn to_fieldswap_config(ranked: &[Vec<RankedPhrase>]) -> FieldSwapConfig {
 /// tokens.
 fn important_phrases(
     model: &ImportanceModel,
+    tape: &mut Tape,
     doc: &Document,
     start: u32,
     end: u32,
     labeled: &[bool],
     cfg: &InferenceConfig,
 ) -> Vec<(String, f64)> {
-    let scored = model.neighbor_importance(doc, start, end);
+    let scored = model.neighbor_importance_on(tape, doc, start, end);
     if scored.is_empty() {
         return Vec::new();
     }

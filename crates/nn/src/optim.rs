@@ -1,4 +1,13 @@
 //! First-order optimizers over a [`ParamStore`].
+//!
+//! Both optimizers exploit the store's lazy gradients and active-row
+//! tracking: a parameter whose gradient was never allocated is skipped
+//! outright, and Adam updates only rows that have ever received gradient
+//! mass. Skipped work is provably a bitwise no-op — an untouched row has
+//! `g = m = v = 0`, so the dense update would compute
+//! `x -= lr * (+0.0) / (sqrt(+0.0) + eps) = x - (+0.0)`, which leaves
+//! every `f32` (including `-0.0`) unchanged, and would store `m` and `v`
+//! back as `+0.0`, their existing value.
 
 use crate::tape::ParamStore;
 use crate::tensor::Tensor;
@@ -36,7 +45,12 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
-        for (value, grad) in store.pairs_mut() {
+        for (value, grad, _active) in store.updates_mut() {
+            // A parameter backward never touched has identically-zero
+            // gradient: the whole update is `x -= lr * 0`.
+            let Some(grad) = grad else {
+                continue;
+            };
             let mut scale = self.lr;
             if let Some(c) = self.clip {
                 let n = grad.norm();
@@ -81,6 +95,31 @@ impl Adam {
             v: Vec::new(),
         }
     }
+
+    /// The dense Adam update over `data[ks]`, reading gradients from
+    /// `gdata` at the same indices.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_range(
+        &self,
+        ks: std::ops::Range<usize>,
+        gdata: &[f32],
+        m: &mut Tensor,
+        v: &mut Tensor,
+        value: &mut Tensor,
+        bc1: f32,
+        bc2: f32,
+    ) {
+        for k in ks {
+            let g = gdata[k];
+            let mk = self.beta1 * m.data()[k] + (1.0 - self.beta1) * g;
+            let vk = self.beta2 * v.data()[k] + (1.0 - self.beta2) * g * g;
+            m.data_mut()[k] = mk;
+            v.data_mut()[k] = vk;
+            let mhat = mk / bc1;
+            let vhat = vk / bc2;
+            value.data_mut()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
 }
 
 impl Optimizer for Adam {
@@ -89,23 +128,42 @@ impl Optimizer for Adam {
         let t = self.t as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
-        for (i, (value, grad)) in store.pairs_mut().enumerate() {
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        for (i, (value, grad, active)) in store.updates_mut().enumerate() {
             if self.m.len() <= i {
                 self.m.push(Tensor::zeros(value.rows(), value.cols()));
                 self.v.push(Tensor::zeros(value.rows(), value.cols()));
             }
+            // Never-touched parameter: g = m = v = 0 everywhere, update is
+            // a bitwise no-op (see module docs).
+            let Some(grad) = grad else {
+                continue;
+            };
             let (m, v) = (&mut self.m[i], &mut self.v[i]);
-            for k in 0..value.len() {
-                let g = grad.data()[k];
-                let mk = self.beta1 * m.data()[k] + (1.0 - self.beta1) * g;
-                let vk = self.beta2 * v.data()[k] + (1.0 - self.beta2) * g * g;
-                m.data_mut()[k] = mk;
-                v.data_mut()[k] = vk;
-                let mhat = mk / bc1;
-                let vhat = vk / bc2;
-                value.data_mut()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            let cols = value.cols();
+            let step = Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t: 0,
+                m: Vec::new(),
+                v: Vec::new(),
+            };
+            if active.is_all() {
+                step.apply_range(0..value.len(), grad.data(), m, v, value, bc1, bc2);
+                grad.zero();
+            } else {
+                // Rows outside the ever-active set have g = m = v = 0 for
+                // every step so far: skipping them is bitwise identical to
+                // the dense scan. Rows *in* the set may have zero gradient
+                // this step but nonzero moments — those must still decay.
+                for &r in active.rows() {
+                    let ks = r as usize * cols..(r as usize + 1) * cols;
+                    step.apply_range(ks.clone(), grad.data(), m, v, value, bc1, bc2);
+                    grad.data_mut()[ks].iter_mut().for_each(|g| *g = 0.0);
+                }
             }
-            grad.zero();
         }
     }
 }
@@ -190,5 +248,49 @@ mod tests {
         assert!(store.grad(p).norm() > 0.0);
         Sgd::new(0.1).step(&mut store);
         assert_eq!(store.grad(p).norm(), 0.0);
+    }
+
+    #[test]
+    fn adam_sparse_rows_match_dense_scan() {
+        // Gather-only access: the active-row Adam path must produce exactly
+        // the same parameters as a reference dense scan over all rows.
+        let gather_loss = |store: &mut ParamStore, p: crate::tape::ParamId| {
+            let mut tape = Tape::new();
+            let rows = tape.gather(store, p, &[1, 4, 1]);
+            let pooled = tape.max_pool(rows);
+            let loss = tape.bce_with_logits(pooled, &[1.0, 0.0, 1.0]);
+            tape.backward(loss, store);
+        };
+        // Optimized run.
+        let mut store = ParamStore::new(5);
+        let p = store.tensor("emb", 6, 3, Init::Uniform(0.5));
+        let mut opt = Adam::new(0.01);
+        for _ in 0..5 {
+            gather_loss(&mut store, p);
+            opt.step(&mut store);
+        }
+        // Reference: same graph, but force a dense parameter read as well
+        // so every row is active and the dense branch runs.
+        let mut dense = ParamStore::new(5);
+        let q = dense.tensor("emb", 6, 3, Init::Uniform(0.5));
+        let mut dopt = Adam::new(0.01);
+        for _ in 0..5 {
+            gather_loss(&mut dense, q);
+            // Densify the active set without adding gradient mass.
+            let mut tape = Tape::new();
+            let w = tape.param(&dense, q);
+            let r0 = tape.select_row(w, 0);
+            let s = tape.scale(r0, 0.0);
+            let pooled = tape.max_pool(s);
+            let extra = tape.bce_with_logits(pooled, &[0.5, 0.5, 0.5]);
+            // d(loss)/dw through scale(0) is exactly 0 everywhere.
+            tape.backward(extra, &mut dense);
+            dopt.step(&mut dense);
+        }
+        // The scale-by-zero side graph adds zero gradient, so values from
+        // the sparse and dense paths must agree bitwise.
+        for (a, b) in store.value(p).data().iter().zip(dense.value(q).data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "sparse vs dense Adam drift");
+        }
     }
 }

@@ -9,10 +9,20 @@
 //! row-broadcast add, element-wise add/mul/ReLU/tanh, scalar scale, row
 //! softmax, column-wise max-pool, row concatenation, row selection, and a
 //! binary-cross-entropy-with-logits loss head.
+//!
+//! Allocation behavior: a tape owns a shape-keyed pool of tensor buffers.
+//! [`Tape::reset`] recycles every node's value/gradient buffer into the
+//! pool, so a tape reused across training steps reaches a steady state
+//! with no per-step heap allocation. Gradient buffers are allocated
+//! lazily — a node (or parameter row) that never receives gradient mass
+//! never allocates one. All recycled buffers are fully (re)initialized
+//! before use, so results are bit-identical to the allocate-per-step
+//! implementation.
 
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,12 +43,61 @@ pub enum Init {
     Uniform(f32),
 }
 
+/// Which rows of a parameter have ever received gradient mass.
+///
+/// Rows outside the set have identically-zero gradient and (because
+/// first/second moments only move when a gradient does) identically-zero
+/// optimizer state, so an optimizer may skip them: the skipped update is
+/// exactly `x -= 0.0`, a bitwise no-op. This is what lets Adam scale with
+/// the *touched* rows of the embedding tables instead of the vocabulary.
+#[derive(Debug)]
+pub struct ActiveRows {
+    all: bool,
+    mask: Vec<bool>,
+    rows: Vec<u32>,
+}
+
+impl ActiveRows {
+    fn new(n_rows: usize) -> Self {
+        Self {
+            all: false,
+            mask: vec![false; n_rows],
+            rows: Vec::new(),
+        }
+    }
+
+    fn mark_all(&mut self) {
+        self.all = true;
+    }
+
+    fn mark(&mut self, r: usize) {
+        if self.all || self.mask[r] {
+            return;
+        }
+        self.mask[r] = true;
+        self.rows.push(r as u32);
+    }
+
+    /// Whether every row is active (the parameter was read densely).
+    pub fn is_all(&self) -> bool {
+        self.all
+    }
+
+    /// The individually-marked rows, in first-touch order. Meaningful only
+    /// when [`ActiveRows::is_all`] is false.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+}
+
 /// Owns model parameters and their gradient accumulators.
 #[derive(Debug)]
 pub struct ParamStore {
-    names: Vec<String>,
+    names: Vec<&'static str>,
     values: Vec<Tensor>,
-    grads: Vec<Tensor>,
+    /// Lazily allocated: `None` means "identically zero, never touched".
+    grads: Vec<Option<Tensor>>,
+    active: Vec<ActiveRows>,
     rng: StdRng,
 }
 
@@ -49,12 +108,15 @@ impl ParamStore {
             names: Vec::new(),
             values: Vec::new(),
             grads: Vec::new(),
+            active: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
 
-    /// Allocates a `rows x cols` parameter initialized per `init`.
-    pub fn tensor(&mut self, name: &str, rows: usize, cols: usize, init: Init) -> ParamId {
+    /// Allocates a `rows x cols` parameter initialized per `init`. The
+    /// gradient accumulator is allocated lazily, on the first `backward`
+    /// that touches the parameter.
+    pub fn tensor(&mut self, name: &'static str, rows: usize, cols: usize, init: Init) -> ParamId {
         let mut t = Tensor::zeros(rows, cols);
         match init {
             Init::Zeros => {}
@@ -70,9 +132,10 @@ impl ParamStore {
                 }
             }
         }
-        self.names.push(name.to_string());
+        self.names.push(name);
         self.values.push(t);
-        self.grads.push(Tensor::zeros(rows, cols));
+        self.grads.push(None);
+        self.active.push(ActiveRows::new(rows));
         ParamId(self.values.len() - 1)
     }
 
@@ -97,25 +160,57 @@ impl ParamStore {
     }
 
     /// Read access to a parameter gradient accumulator.
+    ///
+    /// # Panics
+    /// Panics when no `backward` pass has ever touched the parameter (the
+    /// accumulator is allocated lazily).
     pub fn grad(&self, id: ParamId) -> &Tensor {
-        &self.grads[id.0]
+        self.grads[id.0]
+            .as_ref()
+            .expect("parameter gradient never touched; run backward first")
     }
 
-    /// Zeroes every gradient accumulator.
+    /// Zeroes every allocated gradient accumulator.
     pub fn zero_grads(&mut self) {
-        for g in &mut self.grads {
+        for g in self.grads.iter_mut().flatten() {
             g.zero();
         }
     }
 
-    /// Iterates `(value, grad)` pairs mutably — the optimizer update loop.
-    pub fn pairs_mut(&mut self) -> impl Iterator<Item = (&mut Tensor, &mut Tensor)> {
-        self.values.iter_mut().zip(self.grads.iter_mut())
+    /// Iterates `(value, grad, active-rows)` triples — the optimizer update
+    /// loop. A `None` gradient is identically zero (never touched).
+    pub fn updates_mut(
+        &mut self,
+    ) -> impl Iterator<Item = (&mut Tensor, Option<&mut Tensor>, &ActiveRows)> {
+        self.values
+            .iter_mut()
+            .zip(self.grads.iter_mut())
+            .zip(self.active.iter())
+            .map(|((v, g), a)| (v, g.as_mut(), a))
     }
 
     /// Total number of scalar parameters.
     pub fn num_scalars(&self) -> usize {
         self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// The gradient accumulator of `id`, allocated (zeroed) on first use,
+    /// with every row marked active (a dense parameter read).
+    fn grad_accum_all(&mut self, id: ParamId) -> &mut Tensor {
+        self.active[id.0].mark_all();
+        let (r, c) = (self.values[id.0].rows(), self.values[id.0].cols());
+        self.grads[id.0].get_or_insert_with(|| Tensor::zeros(r, c))
+    }
+
+    /// The gradient accumulator of `id`, allocated (zeroed) on first use,
+    /// with only `rows` marked active (an embedding gather).
+    fn grad_accum_rows(&mut self, id: ParamId, rows: &[usize]) -> &mut Tensor {
+        let act = &mut self.active[id.0];
+        for &r in rows {
+            act.mark(r);
+        }
+        let (r, c) = (self.values[id.0].rows(), self.values[id.0].cols());
+        self.grads[id.0].get_or_insert_with(|| Tensor::zeros(r, c))
     }
 }
 
@@ -153,13 +248,60 @@ enum Op {
 struct Node {
     op: Op,
     value: Tensor,
-    grad: Tensor,
+    /// Lazily allocated by `backward`; `None` until gradient mass arrives.
+    grad: Option<Tensor>,
 }
 
-/// A single recorded computation. Create one per forward pass.
+/// Recycles tensor data buffers keyed by shape, so a reused tape performs
+/// no steady-state allocation.
+#[derive(Default)]
+struct TensorPool {
+    free: HashMap<(usize, usize), Vec<Vec<f32>>>,
+}
+
+impl TensorPool {
+    fn put(&mut self, t: Tensor) {
+        if t.is_empty() {
+            return;
+        }
+        self.free
+            .entry((t.rows(), t.cols()))
+            .or_default()
+            .push(t.into_vec());
+    }
+
+    /// A tensor whose contents are unspecified — the caller must overwrite
+    /// every element before the tensor is read.
+    fn take_uninit(&mut self, rows: usize, cols: usize) -> Tensor {
+        match self.free.get_mut(&(rows, cols)).and_then(Vec::pop) {
+            Some(data) => Tensor::from_vec(rows, cols, data),
+            None => Tensor::zeros(rows, cols),
+        }
+    }
+
+    fn take_zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        match self.free.get_mut(&(rows, cols)).and_then(Vec::pop) {
+            Some(mut data) => {
+                data.iter_mut().for_each(|v| *v = 0.0);
+                Tensor::from_vec(rows, cols, data)
+            }
+            None => Tensor::zeros(rows, cols),
+        }
+    }
+
+    fn take_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.take_uninit(src.rows(), src.cols());
+        t.data_mut().copy_from_slice(src.data());
+        t
+    }
+}
+
+/// A single recorded computation. Create one per model and call
+/// [`Tape::reset`] between forward passes to reuse its buffers.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: TensorPool,
 }
 
 impl Tape {
@@ -168,9 +310,24 @@ impl Tape {
         Self::default()
     }
 
+    /// Clears the recorded computation, recycling every value/gradient
+    /// buffer into the shape-keyed pool and retaining node capacity. After
+    /// a few steps of a fixed-shape model the tape allocates nothing.
+    pub fn reset(&mut self) {
+        while let Some(node) = self.nodes.pop() {
+            self.pool.put(node.value);
+            if let Some(g) = node.grad {
+                self.pool.put(g);
+            }
+        }
+    }
+
     fn push(&mut self, op: Op, value: Tensor) -> NodeId {
-        let grad = Tensor::zeros(value.rows(), value.cols());
-        self.nodes.push(Node { op, value, grad });
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -180,8 +337,15 @@ impl Tape {
     }
 
     /// The gradient of the loss w.r.t. node `id` (valid after `backward`).
+    ///
+    /// # Panics
+    /// Panics when no gradient mass ever reached the node (gradient
+    /// buffers are allocated lazily).
     pub fn grad(&self, id: NodeId) -> &Tensor {
-        &self.nodes[id.0].grad
+        self.nodes[id.0]
+            .grad
+            .as_ref()
+            .expect("node received no gradient; run backward first")
     }
 
     /// Records a constant leaf.
@@ -191,7 +355,7 @@ impl Tape {
 
     /// Records a full parameter read.
     pub fn param(&mut self, store: &ParamStore, p: ParamId) -> NodeId {
-        let v = store.value(p).clone();
+        let v = self.pool.take_copy(store.value(p));
         self.push(Op::Param(p), v)
     }
 
@@ -199,7 +363,7 @@ impl Tape {
     /// stacked in order.
     pub fn gather(&mut self, store: &ParamStore, p: ParamId, indices: &[usize]) -> NodeId {
         let table = store.value(p);
-        let mut out = Tensor::zeros(indices.len(), table.cols());
+        let mut out = self.pool.take_uninit(indices.len(), table.cols());
         for (r, &i) in indices.iter().enumerate() {
             out.row_mut(r).copy_from_slice(table.row(i));
         }
@@ -208,56 +372,69 @@ impl Tape {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(Op::MatMul(a, b), v)
+        let out = {
+            let av = &self.nodes[a.0].value;
+            let bv = &self.nodes[b.0].value;
+            let mut out = self.pool.take_zeroed(av.rows(), bv.cols());
+            av.matmul_into(bv, &mut out);
+            out
+        };
+        self.push(Op::MatMul(a, b), out)
     }
 
     /// Transpose.
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).transpose();
-        self.push(Op::Transpose(a), v)
+        let out = {
+            let av = &self.nodes[a.0].value;
+            let mut out = self.pool.take_uninit(av.cols(), av.rows());
+            av.transpose_into(&mut out);
+            out
+        };
+        self.push(Op::Transpose(a), out)
     }
 
     /// Element-wise sum (same shapes).
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let mut v = self.value(a).clone();
-        v.add_assign(self.value(b));
+        let mut v = self.pool.take_copy(&self.nodes[a.0].value);
+        v.add_assign(&self.nodes[b.0].value);
         self.push(Op::Add(a, b), v)
     }
 
     /// Adds row-vector `b` (`1 x cols`) to every row of `a`.
     pub fn add_row(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let bv = self.value(b);
-        assert_eq!(bv.rows(), 1, "add_row bias must be 1 x cols");
-        assert_eq!(bv.cols(), self.value(a).cols());
-        let mut v = self.value(a).clone();
-        let brow: Vec<f32> = bv.row(0).to_vec();
-        for r in 0..v.rows() {
-            for (x, bb) in v.row_mut(r).iter_mut().zip(&brow) {
-                *x += bb;
+        let v = {
+            let bv = &self.nodes[b.0].value;
+            assert_eq!(bv.rows(), 1, "add_row bias must be 1 x cols");
+            assert_eq!(bv.cols(), self.nodes[a.0].value.cols());
+            let mut v = self.pool.take_copy(&self.nodes[a.0].value);
+            for r in 0..v.rows() {
+                for (x, bb) in v.row_mut(r).iter_mut().zip(bv.row(0)) {
+                    *x += bb;
+                }
             }
-        }
+            v
+        };
         self.push(Op::AddRow(a, b), v)
     }
 
     /// Element-wise product (same shapes).
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let av = self.value(a);
-        let bv = self.value(b);
-        assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()));
-        let data = av
-            .data()
-            .iter()
-            .zip(bv.data())
-            .map(|(x, y)| x * y)
-            .collect();
-        let v = Tensor::from_vec(av.rows(), av.cols(), data);
+        let v = {
+            let av = &self.nodes[a.0].value;
+            let bv = &self.nodes[b.0].value;
+            assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()));
+            let mut v = self.pool.take_uninit(av.rows(), av.cols());
+            for ((o, &x), &y) in v.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+                *o = x * y;
+            }
+            v
+        };
         self.push(Op::Mul(a, b), v)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let mut v = self.value(a).clone();
+        let mut v = self.pool.take_copy(&self.nodes[a.0].value);
         for x in v.data_mut() {
             *x = x.max(0.0);
         }
@@ -266,7 +443,7 @@ impl Tape {
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let mut v = self.value(a).clone();
+        let mut v = self.pool.take_copy(&self.nodes[a.0].value);
         for x in v.data_mut() {
             *x = x.tanh();
         }
@@ -275,14 +452,14 @@ impl Tape {
 
     /// Multiplies every element by constant `s`.
     pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
-        let mut v = self.value(a).clone();
+        let mut v = self.pool.take_copy(&self.nodes[a.0].value);
         v.scale_assign(s);
         self.push(Op::Scale(a, s), v)
     }
 
     /// Row-wise softmax (numerically stabilized).
     pub fn softmax(&mut self, a: NodeId) -> NodeId {
-        let mut v = self.value(a).clone();
+        let mut v = self.pool.take_copy(&self.nodes[a.0].value);
         for r in 0..v.rows() {
             let row = v.row_mut(r);
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -301,40 +478,51 @@ impl Tape {
     /// Column-wise max over rows, producing a `1 x cols` row. This is the
     /// max-pooling step that forms the *Neighborhood Encoding* in Fig. 2.
     pub fn max_pool(&mut self, a: NodeId) -> NodeId {
-        let av = self.value(a);
-        assert!(av.rows() > 0, "max_pool over empty tensor");
-        let mut out = Tensor::zeros(1, av.cols());
-        let mut argmax = vec![0usize; av.cols()];
-        for (c, am) in argmax.iter_mut().enumerate() {
-            let mut best = f32::NEG_INFINITY;
-            for r in 0..av.rows() {
-                let x = av.get(r, c);
-                if x > best {
-                    best = x;
-                    *am = r;
+        let (out, argmax) = {
+            let av = &self.nodes[a.0].value;
+            assert!(av.rows() > 0, "max_pool over empty tensor");
+            let mut out = self.pool.take_uninit(1, av.cols());
+            let mut argmax = vec![0usize; av.cols()];
+            for (c, am) in argmax.iter_mut().enumerate() {
+                let mut best = f32::NEG_INFINITY;
+                for r in 0..av.rows() {
+                    let x = av.get(r, c);
+                    if x > best {
+                        best = x;
+                        *am = r;
+                    }
                 }
+                out.set(0, c, best);
             }
-            out.set(0, c, best);
-        }
+            (out, argmax)
+        };
         self.push(Op::MaxPool(a, argmax), out)
     }
 
     /// Horizontal concatenation of two single-row tensors.
     pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let av = self.value(a);
-        let bv = self.value(b);
-        assert_eq!(av.rows(), 1, "concat_cols expects row vectors");
-        assert_eq!(bv.rows(), 1, "concat_cols expects row vectors");
-        let mut data = av.row(0).to_vec();
-        data.extend_from_slice(bv.row(0));
-        let cols = data.len();
-        self.push(Op::ConcatCols(a, b), Tensor::from_vec(1, cols, data))
+        let v = {
+            let av = &self.nodes[a.0].value;
+            let bv = &self.nodes[b.0].value;
+            assert_eq!(av.rows(), 1, "concat_cols expects row vectors");
+            assert_eq!(bv.rows(), 1, "concat_cols expects row vectors");
+            let (ac, bc) = (av.cols(), bv.cols());
+            let mut v = self.pool.take_uninit(1, ac + bc);
+            v.data_mut()[..ac].copy_from_slice(av.row(0));
+            v.data_mut()[ac..].copy_from_slice(bv.row(0));
+            v
+        };
+        self.push(Op::ConcatCols(a, b), v)
     }
 
     /// Copies row `r` of `a` into a fresh `1 x cols` node.
     pub fn select_row(&mut self, a: NodeId, r: usize) -> NodeId {
-        let av = self.value(a);
-        let v = Tensor::from_vec(1, av.cols(), av.row(r).to_vec());
+        let v = {
+            let av = &self.nodes[a.0].value;
+            let mut v = self.pool.take_uninit(1, av.cols());
+            v.data_mut().copy_from_slice(av.row(r));
+            v
+        };
         self.push(Op::SelectRow(a, r), v)
     }
 
@@ -342,38 +530,85 @@ impl Tape {
     /// `targets.len()` elements (any shape); targets are in `{0, 1}` (soft
     /// targets also work). Returns a scalar node.
     pub fn bce_with_logits(&mut self, logits: NodeId, targets: &[f32]) -> NodeId {
-        let lv = self.value(logits);
-        assert_eq!(lv.len(), targets.len(), "logits/targets length mismatch");
-        let mut loss = 0.0f64;
-        for (&z, &y) in lv.data().iter().zip(targets) {
-            // log(1 + exp(-|z|)) + max(z, 0) - z*y, the stable form.
-            let z = z as f64;
-            let y = y as f64;
-            loss += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
-        }
-        loss /= targets.len() as f64;
-        let v = Tensor::from_vec(1, 1, vec![loss as f32]);
+        let v = {
+            let lv = &self.nodes[logits.0].value;
+            assert_eq!(lv.len(), targets.len(), "logits/targets length mismatch");
+            let mut loss = 0.0f64;
+            for (&z, &y) in lv.data().iter().zip(targets) {
+                // log(1 + exp(-|z|)) + max(z, 0) - z*y, the stable form.
+                let z = z as f64;
+                let y = y as f64;
+                loss += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
+            }
+            loss /= targets.len() as f64;
+            let mut v = self.pool.take_uninit(1, 1);
+            v.data_mut()[0] = loss as f32;
+            v
+        };
         self.push(Op::BceWithLogits(logits, targets.to_vec()), v)
     }
 
+    /// Accumulates `delta` into a node's lazily-allocated gradient,
+    /// recycling `delta` when the slot already exists. The first-touch
+    /// path stores `0.0 + delta` to bitwise-match the historical
+    /// "zero-filled then add" accumulation (it canonicalizes `-0.0`).
+    fn accum_owned(slot: &mut Option<Tensor>, pool: &mut TensorPool, mut delta: Tensor) {
+        match slot {
+            Some(g) => {
+                g.add_assign(&delta);
+                pool.put(delta);
+            }
+            None => {
+                for v in delta.data_mut() {
+                    *v += 0.0;
+                }
+                *slot = Some(delta);
+            }
+        }
+    }
+
+    /// Like [`Tape::accum_owned`] for a borrowed delta.
+    fn accum_ref(slot: &mut Option<Tensor>, pool: &mut TensorPool, src: &Tensor) {
+        match slot {
+            Some(g) => g.add_assign(src),
+            None => {
+                let mut g = pool.take_uninit(src.rows(), src.cols());
+                for (o, &s) in g.data_mut().iter_mut().zip(src.data()) {
+                    *o = s + 0.0;
+                }
+                *slot = Some(g);
+            }
+        }
+    }
+
     /// Runs the backward pass from `loss` (seeding its gradient with 1) and
-    /// accumulates parameter gradients into `store`.
+    /// accumulates parameter gradients into `store`. Nodes the loss does
+    /// not depend on — e.g. constants in a forward-only subgraph — never
+    /// allocate a gradient buffer.
     ///
     /// # Panics
     /// Panics when `loss` is not a `1 x 1` scalar node.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
         assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
-        self.nodes[loss.0].grad.data_mut()[0] = 1.0;
+        if self.nodes[loss.0].grad.is_none() {
+            let seed = self.pool.take_zeroed(1, 1);
+            self.nodes[loss.0].grad = Some(seed);
+        }
+        self.nodes[loss.0].grad.as_mut().unwrap().data_mut()[0] = 1.0;
         for i in (0..self.nodes.len()).rev() {
-            // Take the node's gradient out to satisfy the borrow checker;
-            // the node's own grad is final once we reach it (reverse
-            // topological order — node inputs always have smaller ids).
-            let grad = std::mem::replace(&mut self.nodes[i].grad, Tensor::zeros(0, 0));
-            match &self.nodes[i].op {
+            // A node with no gradient buffer received no gradient mass;
+            // nothing flows upstream from it.
+            let Some(grad) = self.nodes[i].grad.take() else {
+                continue;
+            };
+            // Take the op out so the match holds no borrow of `self.nodes`
+            // (ops carry index/target vectors the arms read directly).
+            let op = std::mem::replace(&mut self.nodes[i].op, Op::Constant);
+            match &op {
                 Op::Constant => {}
-                Op::Param(p) => store.grads[p.0].add_assign(&grad),
+                Op::Param(p) => store.grad_accum_all(*p).add_assign(&grad),
                 Op::Gather(p, indices) => {
-                    let g = &mut store.grads[p.0];
+                    let g = store.grad_accum_rows(*p, indices);
                     for (r, &idx) in indices.iter().enumerate() {
                         for (gv, &d) in g.row_mut(idx).iter_mut().zip(grad.row(r)) {
                             *gv += d;
@@ -382,146 +617,177 @@ impl Tape {
                 }
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
-                    let da = grad.matmul(&self.nodes[b.0].value.transpose());
-                    let db = self.nodes[a.0].value.transpose().matmul(&grad);
-                    self.nodes[a.0].grad.add_assign(&da);
-                    self.nodes[b.0].grad.add_assign(&db);
+                    // da = grad @ b^T
+                    let bt = {
+                        let bv = &self.nodes[b.0].value;
+                        let mut bt = self.pool.take_uninit(bv.cols(), bv.rows());
+                        bv.transpose_into(&mut bt);
+                        bt
+                    };
+                    let mut da = self.pool.take_zeroed(grad.rows(), bt.cols());
+                    grad.matmul_into(&bt, &mut da);
+                    self.pool.put(bt);
+                    Self::accum_owned(&mut self.nodes[a.0].grad, &mut self.pool, da);
+                    // db = a^T @ grad
+                    let at = {
+                        let av = &self.nodes[a.0].value;
+                        let mut at = self.pool.take_uninit(av.cols(), av.rows());
+                        av.transpose_into(&mut at);
+                        at
+                    };
+                    let mut db = self.pool.take_zeroed(at.rows(), grad.cols());
+                    at.matmul_into(&grad, &mut db);
+                    self.pool.put(at);
+                    Self::accum_owned(&mut self.nodes[b.0].grad, &mut self.pool, db);
                 }
                 Op::Transpose(a) => {
-                    let a = *a;
-                    let da = grad.transpose();
-                    self.nodes[a.0].grad.add_assign(&da);
+                    let mut da = self.pool.take_uninit(grad.cols(), grad.rows());
+                    grad.transpose_into(&mut da);
+                    Self::accum_owned(&mut self.nodes[a.0].grad, &mut self.pool, da);
                 }
                 Op::Add(a, b) => {
-                    let (a, b) = (*a, *b);
-                    self.nodes[a.0].grad.add_assign(&grad);
-                    self.nodes[b.0].grad.add_assign(&grad);
+                    Self::accum_ref(&mut self.nodes[a.0].grad, &mut self.pool, &grad);
+                    Self::accum_ref(&mut self.nodes[b.0].grad, &mut self.pool, &grad);
                 }
                 Op::AddRow(a, b) => {
-                    let (a, b) = (*a, *b);
-                    self.nodes[a.0].grad.add_assign(&grad);
-                    let cols = grad.cols();
-                    let mut db = Tensor::zeros(1, cols);
+                    Self::accum_ref(&mut self.nodes[a.0].grad, &mut self.pool, &grad);
+                    let mut db = self.pool.take_zeroed(1, grad.cols());
                     for r in 0..grad.rows() {
                         for (o, &g) in db.row_mut(0).iter_mut().zip(grad.row(r)) {
                             *o += g;
                         }
                     }
-                    self.nodes[b.0].grad.add_assign(&db);
+                    Self::accum_owned(&mut self.nodes[b.0].grad, &mut self.pool, db);
                 }
                 Op::Mul(a, b) => {
                     let (a, b) = (*a, *b);
-                    let av = self.nodes[a.0].value.clone();
-                    let bv = self.nodes[b.0].value.clone();
-                    let da = Tensor::from_vec(
-                        grad.rows(),
-                        grad.cols(),
-                        grad.data()
-                            .iter()
-                            .zip(bv.data())
-                            .map(|(g, x)| g * x)
-                            .collect(),
-                    );
-                    let db = Tensor::from_vec(
-                        grad.rows(),
-                        grad.cols(),
-                        grad.data()
-                            .iter()
-                            .zip(av.data())
-                            .map(|(g, x)| g * x)
-                            .collect(),
-                    );
-                    self.nodes[a.0].grad.add_assign(&da);
-                    self.nodes[b.0].grad.add_assign(&db);
+                    let da = {
+                        let bv = &self.nodes[b.0].value;
+                        let mut da = self.pool.take_uninit(grad.rows(), grad.cols());
+                        for ((o, &g), &x) in
+                            da.data_mut().iter_mut().zip(grad.data()).zip(bv.data())
+                        {
+                            *o = g * x;
+                        }
+                        da
+                    };
+                    Self::accum_owned(&mut self.nodes[a.0].grad, &mut self.pool, da);
+                    let db = {
+                        let av = &self.nodes[a.0].value;
+                        let mut db = self.pool.take_uninit(grad.rows(), grad.cols());
+                        for ((o, &g), &x) in
+                            db.data_mut().iter_mut().zip(grad.data()).zip(av.data())
+                        {
+                            *o = g * x;
+                        }
+                        db
+                    };
+                    Self::accum_owned(&mut self.nodes[b.0].grad, &mut self.pool, db);
                 }
                 Op::Relu(a) => {
                     let a = *a;
-                    let av = &self.nodes[a.0].value;
-                    let da = Tensor::from_vec(
-                        grad.rows(),
-                        grad.cols(),
-                        grad.data()
-                            .iter()
-                            .zip(av.data())
-                            .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
-                            .collect(),
-                    );
-                    self.nodes[a.0].grad.add_assign(&da);
+                    let da = {
+                        let av = &self.nodes[a.0].value;
+                        let mut da = self.pool.take_uninit(grad.rows(), grad.cols());
+                        for ((o, &g), &x) in
+                            da.data_mut().iter_mut().zip(grad.data()).zip(av.data())
+                        {
+                            *o = if x > 0.0 { g } else { 0.0 };
+                        }
+                        da
+                    };
+                    Self::accum_owned(&mut self.nodes[a.0].grad, &mut self.pool, da);
                 }
                 Op::Tanh(a) => {
                     let a = *a;
-                    let yv = &self.nodes[i].value;
-                    let da = Tensor::from_vec(
-                        grad.rows(),
-                        grad.cols(),
-                        grad.data()
-                            .iter()
-                            .zip(yv.data())
-                            .map(|(g, y)| g * (1.0 - y * y))
-                            .collect(),
-                    );
-                    self.nodes[a.0].grad.add_assign(&da);
+                    let da = {
+                        let yv = &self.nodes[i].value;
+                        let mut da = self.pool.take_uninit(grad.rows(), grad.cols());
+                        for ((o, &g), &y) in
+                            da.data_mut().iter_mut().zip(grad.data()).zip(yv.data())
+                        {
+                            *o = g * (1.0 - y * y);
+                        }
+                        da
+                    };
+                    Self::accum_owned(&mut self.nodes[a.0].grad, &mut self.pool, da);
                 }
                 Op::Scale(a, s) => {
                     let (a, s) = (*a, *s);
-                    let mut da = grad.clone();
+                    let mut da = self.pool.take_copy(&grad);
                     da.scale_assign(s);
-                    self.nodes[a.0].grad.add_assign(&da);
+                    Self::accum_owned(&mut self.nodes[a.0].grad, &mut self.pool, da);
                 }
                 Op::Softmax(a) => {
                     let a = *a;
-                    let y = &self.nodes[i].value;
-                    let mut da = Tensor::zeros(grad.rows(), grad.cols());
-                    for r in 0..grad.rows() {
-                        let yr = y.row(r);
-                        let gr = grad.row(r);
-                        let dot: f32 = yr.iter().zip(gr).map(|(y, g)| y * g).sum();
-                        for c in 0..grad.cols() {
-                            da.set(r, c, yr[c] * (gr[c] - dot));
+                    let da = {
+                        let y = &self.nodes[i].value;
+                        let mut da = self.pool.take_uninit(grad.rows(), grad.cols());
+                        for r in 0..grad.rows() {
+                            let yr = y.row(r);
+                            let gr = grad.row(r);
+                            let dot: f32 = yr.iter().zip(gr).map(|(y, g)| y * g).sum();
+                            for c in 0..grad.cols() {
+                                da.set(r, c, yr[c] * (gr[c] - dot));
+                            }
                         }
-                    }
-                    self.nodes[a.0].grad.add_assign(&da);
+                        da
+                    };
+                    Self::accum_owned(&mut self.nodes[a.0].grad, &mut self.pool, da);
                 }
                 Op::MaxPool(a, argmax) => {
                     let a = *a;
-                    let argmax = argmax.clone();
                     let rows = self.nodes[a.0].value.rows();
-                    let mut da = Tensor::zeros(rows, grad.cols());
+                    let mut da = self.pool.take_zeroed(rows, grad.cols());
                     for (c, &r) in argmax.iter().enumerate() {
                         da.set(r, c, grad.get(0, c));
                     }
-                    self.nodes[a.0].grad.add_assign(&da);
+                    Self::accum_owned(&mut self.nodes[a.0].grad, &mut self.pool, da);
                 }
                 Op::ConcatCols(a, b) => {
                     let (a, b) = (*a, *b);
                     let ac = self.nodes[a.0].value.cols();
-                    let da = Tensor::from_vec(1, ac, grad.row(0)[..ac].to_vec());
-                    let db = Tensor::from_vec(1, grad.cols() - ac, grad.row(0)[ac..].to_vec());
-                    self.nodes[a.0].grad.add_assign(&da);
-                    self.nodes[b.0].grad.add_assign(&db);
+                    let mut da = self.pool.take_uninit(1, ac);
+                    da.data_mut().copy_from_slice(&grad.row(0)[..ac]);
+                    Self::accum_owned(&mut self.nodes[a.0].grad, &mut self.pool, da);
+                    let mut db = self.pool.take_uninit(1, grad.cols() - ac);
+                    db.data_mut().copy_from_slice(&grad.row(0)[ac..]);
+                    Self::accum_owned(&mut self.nodes[b.0].grad, &mut self.pool, db);
                 }
                 Op::SelectRow(a, r) => {
                     let (a, r) = (*a, *r);
-                    for (gv, &g) in self.nodes[a.0].grad.row_mut(r).iter_mut().zip(grad.row(0)) {
-                        *gv += g;
+                    if self.nodes[a.0].grad.is_none() {
+                        let (vr, vc) = {
+                            let v = &self.nodes[a.0].value;
+                            (v.rows(), v.cols())
+                        };
+                        let z = self.pool.take_zeroed(vr, vc);
+                        self.nodes[a.0].grad = Some(z);
+                    }
+                    let g = self.nodes[a.0].grad.as_mut().expect("just ensured");
+                    for (gv, &d) in g.row_mut(r).iter_mut().zip(grad.row(0)) {
+                        *gv += d;
                     }
                 }
                 Op::BceWithLogits(logits, targets) => {
                     let logits = *logits;
-                    let targets = targets.clone();
                     let upstream = grad.data()[0];
                     let n = targets.len() as f32;
-                    let lv = self.nodes[logits.0].value.clone();
-                    let mut dl = Tensor::zeros(lv.rows(), lv.cols());
-                    for (k, (&z, &y)) in lv.data().iter().zip(&targets).enumerate() {
-                        let sig = 1.0 / (1.0 + (-z).exp());
-                        dl.data_mut()[k] = upstream * (sig - y) / n;
-                    }
-                    self.nodes[logits.0].grad.add_assign(&dl);
+                    let dl = {
+                        let lv = &self.nodes[logits.0].value;
+                        let mut dl = self.pool.take_uninit(lv.rows(), lv.cols());
+                        for (k, (&z, &y)) in lv.data().iter().zip(targets).enumerate() {
+                            let sig = 1.0 / (1.0 + (-z).exp());
+                            dl.data_mut()[k] = upstream * (sig - y) / n;
+                        }
+                        dl
+                    };
+                    Self::accum_owned(&mut self.nodes[logits.0].grad, &mut self.pool, dl);
                 }
             }
+            self.nodes[i].op = op;
             // Restore the node's grad (for inspection via `grad()`).
-            self.nodes[i].grad = grad;
+            self.nodes[i].grad = Some(grad);
         }
     }
 }
@@ -671,6 +937,70 @@ mod tests {
                 tape.bce_with_logits(m, &[1.0, 0.0, 1.0, 0.0])
             });
         }
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_preserves_results() {
+        // The same computation on a fresh tape and on a reset (recycled)
+        // tape must agree bit for bit.
+        let mut store = ParamStore::new(6);
+        let w = store.tensor("w", 3, 2, Init::Xavier);
+        let run = |tape: &mut Tape, store: &mut ParamStore| {
+            let x = tape.constant(Tensor::from_rows(vec![vec![0.4, -1.2, 0.8]]));
+            let wv = tape.param(store, w);
+            let h = tape.matmul(x, wv);
+            let h = tape.tanh(h);
+            let loss = tape.bce_with_logits(h, &[1.0, 0.0]);
+            tape.backward(loss, store);
+            (tape.value(loss).data()[0], store.grad(w).clone())
+        };
+        let mut fresh = Tape::new();
+        let (l_fresh, g_fresh) = run(&mut fresh, &mut store);
+        store.zero_grads();
+        let mut reused = Tape::new();
+        reused.reset(); // no-op on empty
+        let (l1, _) = run(&mut reused, &mut store);
+        store.zero_grads();
+        reused.reset();
+        let (l2, g2) = run(&mut reused, &mut store);
+        assert_eq!(l_fresh.to_bits(), l1.to_bits());
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(g_fresh, g2);
+    }
+
+    #[test]
+    fn lazy_grads_skip_forward_only_passes() {
+        // A forward-only pass allocates no parameter gradients at all.
+        let mut store = ParamStore::new(7);
+        let w = store.tensor("w", 2, 2, Init::Xavier);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_rows(vec![vec![1.0, 2.0]]));
+        let wv = tape.param(&store, w);
+        let _h = tape.matmul(x, wv);
+        // No backward: the gradient accumulator must not exist.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = store.grad(w);
+        }));
+        assert!(
+            result.is_err(),
+            "grad should be unallocated before backward"
+        );
+    }
+
+    #[test]
+    fn active_rows_track_gathered_rows_only() {
+        let mut store = ParamStore::new(8);
+        let emb = store.tensor("emb", 10, 2, Init::Uniform(0.5));
+        let mut tape = Tape::new();
+        let rows = tape.gather(&store, emb, &[2, 7, 2]);
+        let pooled = tape.max_pool(rows);
+        let loss = tape.bce_with_logits(pooled, &[1.0, 0.0]);
+        tape.backward(loss, &mut store);
+        let (_, _, active) = store.updates_mut().next().unwrap();
+        assert!(!active.is_all());
+        let mut touched: Vec<u32> = active.rows().to_vec();
+        touched.sort_unstable();
+        assert_eq!(touched, vec![2, 7]);
     }
 
     #[test]

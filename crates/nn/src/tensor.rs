@@ -95,13 +95,31 @@ impl Tensor {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Consumes the tensor, returning its row-major data buffer (used by
+    /// the tape's buffer pool to recycle allocations).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Matrix product `self @ other`.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.rows, "matmul inner dim mismatch");
         let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product accumulated into `out`, which must be zeroed and of
+    /// shape `self.rows x other.cols`. Identical accumulation order to
+    /// [`Tensor::matmul`], so results are bit-for-bit the same.
+    ///
+    /// # Panics
+    /// Panics on inner- or output-dimension mismatch.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, other.rows, "matmul inner dim mismatch");
+        assert_eq!((out.rows, out.cols), (self.rows, other.cols));
         // i-k-j loop order: the inner loop runs over contiguous memory of
         // both `other` and `out`.
         for i in 0..self.rows {
@@ -117,18 +135,27 @@ impl Tensor {
                 }
             }
         }
-        out
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose written into `out` (shape `cols x rows`), overwriting every
+    /// element.
+    ///
+    /// # Panics
+    /// Panics on output-shape mismatch.
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        assert_eq!((out.rows, out.cols), (self.cols, self.rows));
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.set(c, r, self.get(r, c));
             }
         }
-        out
     }
 
     /// Element-wise sum into `self`.
