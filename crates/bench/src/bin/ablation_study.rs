@@ -189,4 +189,5 @@ fn main() {
         t.row(&[p.arm.clone(), format!("{:.2}", p.macro_f1)]);
     }
     println!("(paper: all-to-all is 'nearly always worse' than type-to-type)");
+    args.finish();
 }

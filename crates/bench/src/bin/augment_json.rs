@@ -15,18 +15,19 @@
 //! (schema + documents with tokens/bboxes/lines/annotations); the config
 //! JSON is the serde form of [`fieldswap_core::FieldSwapConfig`].
 
+use fieldswap_bench::{fail, finish_obs};
 use fieldswap_core::{augment_corpus, FieldSwapConfig, PairStrategy};
 use fieldswap_datagen::{generate, Domain};
 use fieldswap_docmodel::Corpus;
 use std::path::Path;
-use std::process::exit;
 
 fn usage() -> ! {
     eprintln!("usage: augment_json --corpus CORPUS.json --config CONFIG.json --out OUT.json");
     eprintln!("       augment_json --corpus CORPUS.json --strategy t2t|f2f|a2a --out OUT.json");
     eprintln!("         (--strategy derives phrases from field names when no --config is given)");
     eprintln!("       augment_json --demo DIR        write a demo corpus + config into DIR");
-    exit(2)
+    eprintln!("       common flags: [--trace PATH] [--metrics PATH] [--verbose|-v] [--quiet|-q]");
+    fail("invalid arguments")
 }
 
 fn main() {
@@ -36,6 +37,8 @@ fn main() {
     let mut out_path = None;
     let mut strategy = None;
     let mut demo_dir = None;
+    let mut trace = None;
+    let mut metrics = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -59,6 +62,18 @@ fn main() {
                 i += 1;
                 demo_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                fieldswap_obs::enable_tracing();
+            }
+            "--metrics" => {
+                i += 1;
+                metrics = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                fieldswap_obs::enable_metrics();
+            }
+            "--verbose" | "-v" => fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Verbose),
+            "--quiet" | "-q" => fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Quiet),
             _ => usage(),
         }
         i += 1;
@@ -66,38 +81,30 @@ fn main() {
 
     if let Some(dir) = demo_dir {
         write_demo(Path::new(&dir));
+        finish_obs(trace.as_deref(), metrics.as_deref());
         return;
     }
     let (Some(corpus_path), Some(out_path)) = (corpus_path, out_path) else {
         usage()
     };
 
-    let corpus_json = std::fs::read_to_string(&corpus_path).unwrap_or_else(|e| {
-        eprintln!("cannot read {corpus_path}: {e}");
-        exit(1)
-    });
-    let mut corpus: Corpus = serde_json::from_str(&corpus_json).unwrap_or_else(|e| {
-        eprintln!("{corpus_path} is not a corpus JSON: {e}");
-        exit(1)
-    });
+    let corpus_json = std::fs::read_to_string(&corpus_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {corpus_path}: {e}")));
+    let mut corpus: Corpus = serde_json::from_str(&corpus_json)
+        .unwrap_or_else(|e| fail(&format!("{corpus_path} is not a corpus JSON: {e}")));
     corpus.schema.rebuild_index();
     for (k, d) in corpus.documents.iter().enumerate() {
         if let Err(e) = d.validate() {
-            eprintln!("document {k} ({}) is invalid: {e}", d.id);
-            exit(1)
+            fail(&format!("document {k} ({}) is invalid: {e}", d.id));
         }
     }
 
     let config = match (config_path, strategy) {
         (Some(p), _) => {
-            let s = std::fs::read_to_string(&p).unwrap_or_else(|e| {
-                eprintln!("cannot read {p}: {e}");
-                exit(1)
-            });
-            FieldSwapConfig::from_json(&s).unwrap_or_else(|e| {
-                eprintln!("{p} is not a FieldSwap config: {e}");
-                exit(1)
-            })
+            let s = std::fs::read_to_string(&p)
+                .unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")));
+            FieldSwapConfig::from_json(&s)
+                .unwrap_or_else(|e| fail(&format!("{p} is not a FieldSwap config: {e}")))
         }
         (None, Some(strat)) => {
             // Zero-annotation path: phrases from field names.
@@ -115,7 +122,7 @@ fn main() {
     };
 
     let (synthetics, stats) = augment_corpus(&corpus, &config);
-    eprintln!(
+    fieldswap_obs::info!(
         "{} documents in, {} synthetics out ({} discarded as unchanged, {} productive pairs)",
         corpus.len(),
         stats.generated,
@@ -124,11 +131,10 @@ fn main() {
     );
     let out = Corpus::new(corpus.schema.clone(), synthetics);
     let json = serde_json::to_string(&out).expect("corpus serializes");
-    std::fs::write(&out_path, json).unwrap_or_else(|e| {
-        eprintln!("cannot write {out_path}: {e}");
-        exit(1)
-    });
-    eprintln!("wrote {out_path}");
+    std::fs::write(&out_path, json)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+    fieldswap_obs::info!("wrote {out_path}");
+    finish_obs(trace.as_deref(), metrics.as_deref());
 }
 
 fn write_demo(dir: &Path) {
@@ -146,7 +152,7 @@ fn write_demo(dir: &Path) {
     )
     .expect("write corpus");
     std::fs::write(dir.join("config.json"), config.to_json()).expect("write config");
-    eprintln!(
+    fieldswap_obs::info!(
         "wrote {}/corpus.json (5 earnings docs) and {}/config.json",
         dir.display(),
         dir.display()

@@ -143,4 +143,5 @@ fn main() {
         seed_synths.len(),
         mined_synths.len()
     );
+    args.finish();
 }

@@ -77,4 +77,5 @@ fn main() {
     println!("paper shape check (Section IV-C1): gains of 1-4 (FCC), 2-5 (Brokerage), 4-11 (Earnings) macro-F1 points;");
     println!("t2t > f2f at 10 docs; f2f matches or passes t2t at 50-100; expert >= automatic.");
     args.maybe_write_json(&all);
+    args.finish();
 }

@@ -70,4 +70,5 @@ fn main() {
     println!("paper shape check: micro-F1 gains smaller than macro-F1 gains (2-5 Earnings, 1-5 Brokerage);");
     println!("rare fields drive the macro advantage.");
     args.maybe_write_json(&all);
+    args.finish();
 }

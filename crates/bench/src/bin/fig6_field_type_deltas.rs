@@ -114,4 +114,5 @@ fn main() {
     println!("paper shape: Loan Payments gains in date/money, string/address neutral-to-negative;");
     println!("Earnings address/string positive (Fig. 6a/6b).");
     args.maybe_write_json(&json_out);
+    args.finish();
 }

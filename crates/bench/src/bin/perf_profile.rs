@@ -52,6 +52,10 @@ struct Fig4PointReport {
 
 #[derive(Serialize)]
 struct PerfReport {
+    /// Version of this JSON layout. Bumped to 2 when observability
+    /// landed; the change is purely additive (new field first, all v1
+    /// fields unchanged), so v1 readers keep working.
+    schema_version: u32,
     seed: u64,
     extract_train: StageReport,
     extract_predict: StageReport,
@@ -66,32 +70,70 @@ fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+/// Records a stage wall time into the shared obs histogram family.
+fn record_stage(stage: &str, wall_ms: f64) {
+    fieldswap_obs::observe(
+        &format!("fieldswap_perf_stage_ms{{stage=\"{stage}\"}}"),
+        wall_ms,
+    );
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("usage: perf_profile [--out PATH] [--seed N] [--trace PATH] [--metrics PATH] [--verbose|-v] [--quiet|-q]");
+    fieldswap_bench::fail(msg)
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_train.json");
     let mut seed = 0x5EEDu64;
+    let mut trace = None;
+    let mut metrics = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => {
                 i += 1;
-                out_path = args.get(i).expect("missing --out path").clone();
+                out_path = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("missing --out path"))
+                    .clone();
             }
             "--seed" => {
                 i += 1;
                 seed = args
                     .get(i)
-                    .expect("missing --seed value")
+                    .unwrap_or_else(|| usage("missing --seed value"))
                     .parse()
-                    .expect("bad seed");
+                    .unwrap_or_else(|_| usage("bad seed"));
             }
-            other => {
-                eprintln!("usage: perf_profile [--out PATH] [--seed N] (got {other})");
-                std::process::exit(2);
+            "--trace" => {
+                i += 1;
+                trace = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("missing --trace path"))
+                        .clone(),
+                );
+                fieldswap_obs::enable_tracing();
             }
+            "--metrics" => {
+                i += 1;
+                metrics = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("missing --metrics path"))
+                        .clone(),
+                );
+            }
+            "--verbose" | "-v" => fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Verbose),
+            "--quiet" | "-q" => fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Quiet),
+            other => usage(&format!("unknown flag {other}")),
         }
         i += 1;
     }
+    // Stage timings always flow into the metrics registry — they *are*
+    // the payload of this binary — whether or not `--metrics` exports
+    // them to a file.
+    fieldswap_obs::enable_metrics();
 
     // Shared fixtures: an Earnings sample + synthetics + test split, and
     // the out-of-domain lexicon, mirroring one experiment cell.
@@ -119,6 +161,7 @@ fn main() {
         &train_cfg,
     );
     let extract_train_ms = ms(t0);
+    record_stage("extract_train", extract_train_ms);
     // Documents visited: originals once per epoch plus the per-epoch
     // synthetic budget.
     let visited = train_cfg.epochs as f64
@@ -132,6 +175,7 @@ fn main() {
     let t0 = Instant::now();
     let eval = evaluate(&extractor, &test);
     let extract_predict_ms = ms(t0);
+    record_stage("extract_predict", extract_predict_ms);
     let extract_predict = StageReport {
         wall_ms: extract_predict_ms,
         docs_per_sec: test.len() as f64 / (extract_predict_ms / 1e3),
@@ -150,6 +194,7 @@ fn main() {
     let mut importance = ImportanceModel::new(model_cfg, pretrain.schema.len(), seed);
     importance.train(&pretrain, seed ^ 0xF00D);
     let nn_train_ms = ms(t0);
+    record_stage("nn_train", nn_train_ms);
     let nn_train = StageReport {
         wall_ms: nn_train_ms,
         docs_per_sec: (model_cfg.epochs * pretrain.len()) as f64 / (nn_train_ms / 1e3),
@@ -170,6 +215,7 @@ fn main() {
         scored_docs += 1;
     }
     let nn_forward_ms = ms(t0);
+    record_stage("nn_forward", nn_forward_ms);
     let nn_forward = StageReport {
         wall_ms: nn_forward_ms,
         docs_per_sec: scored_docs as f64 / (nn_forward_ms / 1e3),
@@ -219,6 +265,7 @@ fn main() {
         store.zero_grads();
     }
     let backward_ms = ms(t0);
+    record_stage("backward", backward_ms);
     let backward = StageReport {
         wall_ms: backward_ms,
         docs_per_sec: iters as f64 / (backward_ms / 1e3),
@@ -231,6 +278,7 @@ fn main() {
     let t0 = Instant::now();
     let harness = Harness::new(opts);
     let harness_build_ms = ms(t0);
+    record_stage("harness_build", harness_build_ms);
     let harness_build = StageReport {
         wall_ms: harness_build_ms,
         docs_per_sec: opts.pretrain_docs as f64 / (harness_build_ms / 1e3),
@@ -238,6 +286,7 @@ fn main() {
     let t0 = Instant::now();
     let point = harness.run_point(Domain::Earnings, 50, Arm::AutoTypeToType);
     let fig4_ms = harness_build_ms + ms(t0);
+    record_stage("fig4_point", fig4_ms);
     let fig4_point = Fig4PointReport {
         wall_ms: fig4_ms,
         baseline_wall_ms: FIG4_POINT_BASELINE_MS,
@@ -246,6 +295,7 @@ fn main() {
     };
 
     let report = PerfReport {
+        schema_version: 2,
         seed,
         extract_train,
         extract_predict,
@@ -256,9 +306,11 @@ fn main() {
         fig4_point,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");
-    std::fs::write(&out_path, &json).expect("write BENCH_train.json");
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| fieldswap_bench::fail(&format!("write {out_path}: {e}")));
     println!("{json}");
-    eprintln!(
+    fieldswap_obs::info!(
         "sanity: extract macro-F1 {sanity_macro:.2}, nn forward checksum {checksum:.3}, wrote {out_path}"
     );
+    fieldswap_bench::finish_obs(trace.as_deref(), metrics.as_deref());
 }

@@ -36,4 +36,5 @@ fn main() {
     println!("\npaper (Table I): FARA 6/200/300, FCC 13/200/300, Brokerage 18/294/186,");
     println!("Earnings 23/2000/1847, Loan Payments 35/2000/815.");
     args.maybe_write_json(&rows);
+    args.finish();
 }

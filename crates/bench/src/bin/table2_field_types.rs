@@ -31,4 +31,5 @@ fn main() {
     println!("\npaper (Table II): FARA 0/1/0/1/4, FCC 1/4/2/1/5, Brokerage 2/4/5/0/7,");
     println!("Earnings 2/3/15/0/3, Loan Payments 3/5/20/0/7.");
     args.maybe_write_json(&rows);
+    args.finish();
 }

@@ -69,4 +69,5 @@ fn main() {
         ]);
     }
     args.maybe_write_json(&rows);
+    args.finish();
 }

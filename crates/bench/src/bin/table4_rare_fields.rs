@@ -91,4 +91,5 @@ fn main() {
         ]);
     }
     args.maybe_write_json(&rows);
+    args.finish();
 }

@@ -15,6 +15,15 @@
 //! * `--jobs <n>` — worker threads for the experiment grid (0 = all
 //!   cores, the default; 1 = serial). Results are bit-identical for
 //!   every setting.
+//! * `--trace <path>` — record a JSONL span/log trace, print a span-tree
+//!   summary to stderr at exit.
+//! * `--metrics <path>` — dump Prometheus-style counters/gauges/
+//!   histograms at exit.
+//! * `--verbose`/`-v`, `--quiet`/`-q` — logger verbosity.
+//!
+//! Tracing and metrics are **inert for correctness**: stdout tables and
+//! `--json` dumps are byte-identical with or without them (enforced by
+//! `tests/trace_identity.rs` and the CI diff job).
 
 use fieldswap_datagen::Domain;
 use fieldswap_eval::HarnessOptions;
@@ -38,6 +47,10 @@ pub struct BinArgs {
     pub test_cap: Option<usize>,
     /// Override: worker threads (0 = all cores, 1 = serial).
     pub jobs: Option<usize>,
+    /// JSONL trace output path (`--trace`); enables span recording.
+    pub trace: Option<String>,
+    /// Prometheus-style metrics output path (`--metrics`).
+    pub metrics: Option<String>,
 }
 
 impl BinArgs {
@@ -53,6 +66,8 @@ impl BinArgs {
             trials: None,
             test_cap: None,
             jobs: None,
+            trace: None,
+            metrics: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -94,6 +109,21 @@ impl BinArgs {
                     let v = args.get(i).unwrap_or_else(|| usage("missing jobs"));
                     out.jobs = Some(v.parse().unwrap_or_else(|_| usage("bad jobs")));
                 }
+                "--trace" => {
+                    i += 1;
+                    out.trace = Some(args.get(i).unwrap_or_else(|| usage("missing path")).clone());
+                    fieldswap_obs::enable_tracing();
+                }
+                "--metrics" => {
+                    i += 1;
+                    out.metrics =
+                        Some(args.get(i).unwrap_or_else(|| usage("missing path")).clone());
+                    fieldswap_obs::enable_metrics();
+                }
+                "--verbose" | "-v" => {
+                    fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Verbose)
+                }
+                "--quiet" | "-q" => fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Quiet),
                 other => usage(&format!("unknown flag {other}")),
             }
             i += 1;
@@ -137,10 +167,47 @@ impl BinArgs {
     pub fn maybe_write_json<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.json {
             let s = serde_json::to_string_pretty(value).expect("serializable");
-            std::fs::write(path, s).expect("write json");
-            eprintln!("wrote {path}");
+            std::fs::write(path, s).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            fieldswap_obs::info!("wrote {path}");
         }
     }
+
+    /// Flushes observability outputs: the JSONL trace plus a span-tree
+    /// summary on stderr (`--trace`), and the Prometheus metrics dump
+    /// (`--metrics`). Call once at the end of `main`; a no-op when
+    /// neither flag was given.
+    pub fn finish(&self) {
+        finish_obs(self.trace.as_deref(), self.metrics.as_deref());
+    }
+}
+
+/// Writes the JSONL trace + span-tree summary and/or the Prometheus
+/// metrics dump. Shared by [`BinArgs::finish`] and the binaries that
+/// parse their own flags.
+pub fn finish_obs(trace: Option<&str>, metrics: Option<&str>) {
+    if let Some(path) = trace {
+        let collector = fieldswap_obs::global();
+        collector
+            .write_jsonl(path)
+            .unwrap_or_else(|e| fail(&format!("write trace {path}: {e}")));
+        eprint!("{}", collector.span_summary());
+        fieldswap_obs::info!("wrote trace {path} ({} events)", collector.events_len());
+    }
+    if let Some(path) = metrics {
+        fieldswap_obs::global()
+            .write_prometheus(path)
+            .unwrap_or_else(|e| fail(&format!("write metrics {path}: {e}")));
+        fieldswap_obs::info!("wrote metrics {path}");
+    }
+}
+
+/// Prints `msg` as an error through the obs logger and exits with status
+/// 1 — the one failure path shared by every binary, so scripts can rely
+/// on a uniform exit code and stderr shape for both usage mistakes and
+/// runtime errors.
+pub fn fail(msg: &str) -> ! {
+    fieldswap_obs::error!("{msg}");
+    std::process::exit(1)
 }
 
 fn parse_domain(name: &str) -> Option<Domain> {
@@ -155,10 +222,11 @@ fn parse_domain(name: &str) -> Option<Domain> {
     }
 }
 
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N]");
-    std::process::exit(2)
+/// Prints `msg` plus the shared usage line to stderr and exits 1.
+pub fn usage(msg: &str) -> ! {
+    fieldswap_obs::error!("{msg}");
+    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--trace PATH] [--metrics PATH] [--verbose|-v] [--quiet|-q]");
+    std::process::exit(1)
 }
 
 /// Fixed-width table printer.

@@ -1,0 +1,97 @@
+//! Observability must be inert for correctness: enabling tracing and
+//! metrics collection may not change a single byte of experiment output.
+//!
+//! The test runs a small grid twice — first with the collector disabled,
+//! then with tracing + metrics globally enabled — and compares the
+//! serialized results byte for byte. The untraced pass MUST come first:
+//! the global enable flags are one-way by design (call sites only ever
+//! check a relaxed atomic, there is no disable path to race with).
+
+use fieldswap_datagen::Domain;
+use fieldswap_eval::{Arm, Harness, HarnessOptions};
+
+fn tiny_options() -> HarnessOptions {
+    HarnessOptions {
+        n_samples: 1,
+        n_trials: 1,
+        pretrain_docs: 30,
+        lexicon_docs: 50,
+        neighbors: 12,
+        test_cap: 40,
+        epochs: 3,
+        synth_ratio: 2.0,
+        synthetic_cap: 300,
+        seed: 0x7E57,
+        jobs: 2,
+    }
+}
+
+#[test]
+fn quick_grid_is_byte_identical_with_tracing_on() {
+    let opts = tiny_options();
+    let points = [
+        (Domain::Earnings, 10, Arm::AutoTypeToType),
+        (Domain::Fara, 10, Arm::Baseline),
+    ];
+
+    // Pass 1: collector disabled (process default).
+    assert!(!fieldswap_obs::tracing_enabled());
+    assert!(!fieldswap_obs::metrics_enabled());
+    let untraced = Harness::new(opts).run_grid(&points);
+    let untraced_json = serde_json::to_string_pretty(&untraced).unwrap();
+    assert_eq!(
+        fieldswap_obs::global().events_len(),
+        0,
+        "disabled collector recorded events"
+    );
+
+    // Pass 2: everything on.
+    fieldswap_obs::enable_tracing();
+    fieldswap_obs::enable_metrics();
+    let traced = Harness::new(opts).run_grid(&points);
+    let traced_json = serde_json::to_string_pretty(&traced).unwrap();
+
+    assert_eq!(
+        untraced_json, traced_json,
+        "tracing/metrics changed experiment output"
+    );
+
+    // The traced pass must actually have observed the run.
+    assert!(
+        fieldswap_obs::global().events_len() > 0,
+        "no events recorded"
+    );
+    let summary = fieldswap_obs::span_summary();
+    for phase in [
+        "harness_build",
+        "cell",
+        "sample",
+        "infer",
+        "augment",
+        "train",
+        "eval",
+    ] {
+        assert!(
+            summary.contains(phase),
+            "span summary missing {phase}:\n{summary}"
+        );
+    }
+    let prom = fieldswap_obs::render_prometheus();
+    for metric in [
+        "fieldswap_swap_attempts_total",
+        "fieldswap_swap_synthetics_total",
+        "fieldswap_matcher_probes_total",
+        "fieldswap_cache_hits_total{cache=\"domain_data\"}",
+        "fieldswap_cache_misses_total{cache=\"phrase_cache\"}",
+        "fieldswap_train_epochs_total",
+        "fieldswap_train_epoch_ms",
+        "fieldswap_eval_docs_total",
+        "fieldswap_keyphrase_candidates_total",
+        "fieldswap_worker_threads",
+    ] {
+        assert!(
+            prom.contains(metric),
+            "prometheus dump missing {metric}:\n{prom}"
+        );
+    }
+}

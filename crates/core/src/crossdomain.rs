@@ -70,8 +70,10 @@ pub fn augment_cross_domain(
             }
             let mut matches: Vec<PhraseMatch> = Vec::new();
             for phrase in spec.source_config.phrases(s) {
+                stats.phrase_probes += 1;
                 matches.extend(matcher.find(phrase));
             }
+            stats.phrase_matches += matches.len();
             if matches.is_empty() {
                 continue;
             }

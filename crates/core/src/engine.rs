@@ -41,6 +41,42 @@ pub struct AugmentStats {
     /// `(source, target)` pair applications that produced at least one
     /// synthetic.
     pub productive_pairs: usize,
+    /// Matcher probes: individual `(pair, source phrase)` lookups.
+    pub phrase_probes: usize,
+    /// Matcher hits: phrase occurrences found across all probes
+    /// (before overlap resolution).
+    pub phrase_matches: usize,
+}
+
+impl AugmentStats {
+    fn absorb(&mut self, other: &AugmentStats) {
+        self.generated += other.generated;
+        self.discarded_unchanged += other.discarded_unchanged;
+        self.productive_pairs += other.productive_pairs;
+        self.phrase_probes += other.phrase_probes;
+        self.phrase_matches += other.phrase_matches;
+    }
+
+    /// Publishes this run's counters to the `fieldswap-obs` registry
+    /// (no-op unless metrics are enabled).
+    fn report(&self) {
+        if !fieldswap_obs::metrics_enabled() {
+            return;
+        }
+        let attempts = self.generated + self.discarded_unchanged;
+        fieldswap_obs::counter_add("fieldswap_swap_attempts_total", attempts as u64);
+        fieldswap_obs::counter_add("fieldswap_swap_synthetics_total", self.generated as u64);
+        fieldswap_obs::counter_add(
+            "fieldswap_swap_discarded_unchanged_total",
+            self.discarded_unchanged as u64,
+        );
+        fieldswap_obs::counter_add(
+            "fieldswap_swap_productive_pairs_total",
+            self.productive_pairs as u64,
+        );
+        fieldswap_obs::counter_add("fieldswap_matcher_probes_total", self.phrase_probes as u64);
+        fieldswap_obs::counter_add("fieldswap_matcher_hits_total", self.phrase_matches as u64);
+    }
 }
 
 /// Augments a whole corpus: applies [`augment_document`] to every document
@@ -56,15 +92,15 @@ pub fn augment_corpus_with(
     config: &FieldSwapConfig,
     opts: &EngineOptions,
 ) -> (Vec<Document>, AugmentStats) {
+    let _span = fieldswap_obs::span("augment_corpus");
     let mut synthetics = Vec::new();
     let mut stats = AugmentStats::default();
     for doc in &corpus.documents {
         let (mut docs, s) = augment_document_with(doc, config, opts);
-        stats.generated += s.generated;
-        stats.discarded_unchanged += s.discarded_unchanged;
-        stats.productive_pairs += s.productive_pairs;
+        stats.absorb(&s);
         synthetics.append(&mut docs);
     }
+    stats.report();
     (synthetics, stats)
 }
 
@@ -93,8 +129,10 @@ pub fn augment_document_with(
         // source phrases are all rewritten in the same synthetic.
         let mut matches: Vec<PhraseMatch> = Vec::new();
         for phrase in config.phrases(source) {
+            stats.phrase_probes += 1;
             matches.extend(matcher.find(phrase));
         }
+        stats.phrase_matches += matches.len();
         if matches.is_empty() {
             continue;
         }

@@ -125,6 +125,9 @@ pub fn evaluate(extractor: &Extractor, test: &Corpus) -> EvalResult {
         let pred = extractor.predict_with(doc, &mut scratch);
         score_document(&doc.annotations, &pred, &mut fields);
     }
+    if fieldswap_obs::metrics_enabled() {
+        fieldswap_obs::counter_add("fieldswap_eval_docs_total", test.documents.len() as u64);
+    }
     EvalResult { fields }
 }
 

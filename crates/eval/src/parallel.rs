@@ -46,6 +46,9 @@ where
     F: Fn(usize) -> U + Sync,
 {
     let jobs = effective_jobs(jobs).min(n.max(1));
+    if fieldswap_obs::metrics_enabled() {
+        fieldswap_obs::gauge_set("fieldswap_worker_threads", jobs as f64);
+    }
     if jobs <= 1 {
         return (0..n).map(f).collect();
     }
@@ -86,6 +89,9 @@ where
 pub struct OnceMap<K, V> {
     cells: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
     inits: AtomicUsize,
+    /// When set, hits and misses are reported to the metrics registry as
+    /// `fieldswap_cache_{hits,misses}_total{cache="<name>"}`.
+    name: Option<&'static str>,
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V: Clone> OnceMap<K, V> {
@@ -94,6 +100,17 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> OnceMap<K, V> {
         Self {
             cells: Mutex::new(HashMap::new()),
             inits: AtomicUsize::new(0),
+            name: None,
+        }
+    }
+
+    /// An empty map that reports cache hit/miss counters under `name`
+    /// whenever metrics collection is enabled.
+    pub fn named(name: &'static str) -> Self {
+        Self {
+            cells: Mutex::new(HashMap::new()),
+            inits: AtomicUsize::new(0),
+            name: Some(name),
         }
     }
 
@@ -110,11 +127,24 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> OnceMap<K, V> {
                     .or_insert_with(|| Arc::new(OnceLock::new())),
             )
         };
-        cell.get_or_init(|| {
-            self.inits.fetch_add(1, Ordering::Relaxed);
-            init()
-        })
-        .clone()
+        let mut ran_init = false;
+        let value = cell
+            .get_or_init(|| {
+                self.inits.fetch_add(1, Ordering::Relaxed);
+                ran_init = true;
+                init()
+            })
+            .clone();
+        if let Some(name) = self.name {
+            if fieldswap_obs::metrics_enabled() {
+                let kind = if ran_init { "misses" } else { "hits" };
+                fieldswap_obs::counter_add(
+                    &format!("fieldswap_cache_{kind}_total{{cache=\"{name}\"}}"),
+                    1,
+                );
+            }
+        }
+        value
     }
 
     /// Number of initialized entries.
@@ -164,6 +194,21 @@ mod tests {
     fn effective_jobs_resolves_zero() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn named_once_map_reports_hit_miss_counters() {
+        fieldswap_obs::enable_metrics();
+        let reg = fieldswap_obs::global().registry();
+        let hits0 = reg.counter_value("fieldswap_cache_hits_total{cache=\"test_cache\"}");
+        let misses0 = reg.counter_value("fieldswap_cache_misses_total{cache=\"test_cache\"}");
+        let map: OnceMap<u32, u32> = OnceMap::named("test_cache");
+        assert_eq!(map.get_or_init(7, || 70), 70);
+        assert_eq!(map.get_or_init(7, || unreachable!()), 70);
+        let hits1 = reg.counter_value("fieldswap_cache_hits_total{cache=\"test_cache\"}");
+        let misses1 = reg.counter_value("fieldswap_cache_misses_total{cache=\"test_cache\"}");
+        assert_eq!(hits1, hits0 + 1);
+        assert_eq!(misses1, misses0 + 1);
     }
 
     #[test]

@@ -254,6 +254,7 @@ impl Harness {
     /// trains the importance model, and runs the unsupervised lexicon
     /// pass (all out-of-domain, per Section IV-B).
     pub fn new(opts: HarnessOptions) -> Self {
+        let _span = fieldswap_obs::span("harness_build");
         let pretrain = generate(Domain::Invoices, opts.seed ^ 0xABCD, opts.pretrain_docs);
         let model_cfg = ModelConfig {
             neighbors: opts.neighbors,
@@ -261,17 +262,24 @@ impl Harness {
             ..ModelConfig::default()
         };
         let mut importance = ImportanceModel::new(model_cfg, pretrain.schema.len(), opts.seed);
-        importance.train(&pretrain, opts.seed ^ 0xF00D);
-        let lexicon_corpus = generate(Domain::Invoices, opts.seed ^ 0x1E81C0, opts.lexicon_docs);
-        let lexicon = Lexicon::pretrain(&lexicon_corpus.documents);
+        {
+            let _span = fieldswap_obs::span("pretrain_importance");
+            importance.train(&pretrain, opts.seed ^ 0xF00D);
+        }
+        let lexicon = {
+            let _span = fieldswap_obs::span("lexicon_pass");
+            let lexicon_corpus =
+                generate(Domain::Invoices, opts.seed ^ 0x1E81C0, opts.lexicon_docs);
+            Lexicon::pretrain(&lexicon_corpus.documents)
+        };
         Self {
             opts,
             shared: Arc::new(Shared {
                 importance,
                 lexicon,
             }),
-            data: OnceMap::new(),
-            phrase_cache: OnceMap::new(),
+            data: OnceMap::named("domain_data"),
+            phrase_cache: OnceMap::named("phrase_cache"),
         }
     }
 
@@ -315,6 +323,7 @@ impl Harness {
     fn inferred_phrases(&self, domain: Domain, size: usize, sample_idx: usize) -> FieldSwapConfig {
         self.phrase_cache
             .get_or_init((domain, size, sample_idx), || {
+                let _span = fieldswap_obs::span("infer");
                 let sample = self.sample(domain, size, sample_idx);
                 let ranked = infer_key_phrases(
                     &self.shared.importance,
@@ -370,12 +379,27 @@ impl Harness {
         sample_idx: usize,
         trial_idx: usize,
     ) -> ExperimentResult {
+        let _cell_span = fieldswap_obs::span_tagged("cell", || {
+            vec![
+                ("domain", domain.name().to_string()),
+                ("size", size.to_string()),
+                ("arm", arm.label().to_string()),
+                ("sample", sample_idx.to_string()),
+                ("trial", trial_idx.to_string()),
+            ]
+        });
         let cell = cell_seed(self.opts.seed, domain, size, arm, sample_idx, trial_idx);
-        let sample = self.sample(domain, size, sample_idx);
+        let sample = {
+            let _span = fieldswap_obs::span("sample");
+            self.sample(domain, size, sample_idx)
+        };
         let config = self.arm_config(domain, size, sample_idx, arm);
-        let (mut synthetics, _stats) = match &config {
-            Some(c) => augment_corpus(&sample, c),
-            None => (Vec::new(), Default::default()),
+        let (mut synthetics, _stats) = {
+            let _span = fieldswap_obs::span("augment");
+            match &config {
+                Some(c) => augment_corpus(&sample, c),
+                None => (Vec::new(), Default::default()),
+            }
         };
         if arm == Arm::TypeToTypeValueSwap {
             // The Section II-C extension: give relabeled instances values
@@ -417,15 +441,21 @@ impl Harness {
             ),
         };
         let schema = sample.schema.clone();
-        let extractor = Extractor::train_on(
-            &schema,
-            self.shared.lexicon.clone(),
-            &sample,
-            &synthetics,
-            &train_cfg,
-        );
+        let extractor = {
+            let _span = fieldswap_obs::span("train");
+            Extractor::train_on(
+                &schema,
+                self.shared.lexicon.clone(),
+                &sample,
+                &synthetics,
+                &train_cfg,
+            )
+        };
         let data = self.domain_data(domain);
-        let eval: EvalResult = evaluate(&extractor, &data.1);
+        let eval: EvalResult = {
+            let _span = fieldswap_obs::span("eval");
+            evaluate(&extractor, &data.1)
+        };
         ExperimentResult {
             macro_f1: eval.macro_f1(),
             micro_f1: eval.micro_f1(),

@@ -351,6 +351,15 @@ impl Extractor {
             self.finalize_average();
             return;
         }
+        // Observability: per-epoch wall time plus decode/update/cache
+        // counters, batched into one registry call per training run so
+        // the hot loop never takes the registry lock. `timing` gates the
+        // per-epoch clock reads; the local `u64` adds are free.
+        let timing = fieldswap_obs::metrics_enabled();
+        let mut obs_decodes = 0u64;
+        let mut obs_updates = 0u64;
+        let mut obs_synth_feat_hits = 0u64;
+        let mut obs_synth_feat_misses = 0u64;
         // Originals are visited every epoch: intern their bucket tables
         // once up front (the feature lists themselves are no longer needed
         // after interning).
@@ -399,6 +408,11 @@ impl Extractor {
         let mut vit = ViterbiScratch::default();
 
         for _ in 0..cfg.epochs {
+            let epoch_t0 = if timing {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             // Plan: (is_synth, index) entries.
             plan.clear();
             for r in 0..=extra_repeats {
@@ -412,26 +426,51 @@ impl Extractor {
                 synth_cursor += 1;
             }
             plan.shuffle(&mut rng);
+            obs_decodes += plan.len() as u64;
             for &(is_synth, i) in &plan {
                 if is_synth {
                     if feats_synth[i].is_none() {
                         let f = extract(synthetics[i], &self.lexicon);
                         let g = self.tags.encode(synthetics[i]);
                         feats_synth[i] = Some((f, g));
+                        obs_synth_feat_misses += 1;
+                    } else {
+                        obs_synth_feat_hits += 1;
                     }
                     let (f, g) = feats_synth[i].as_ref().unwrap();
                     self.fill_buckets(f, Some(g), &mut synth_bk);
                     self.viterbi_into(&synth_bk, &mut vit);
                     if vit.tags != *g {
                         self.update(&synth_bk, g, &vit.tags);
+                        obs_updates += 1;
                     }
                 } else {
                     self.viterbi_into(&buckets_orig[i], &mut vit);
                     if vit.tags != golds_orig[i] {
                         self.update(&buckets_orig[i], &golds_orig[i], &vit.tags);
+                        obs_updates += 1;
                     }
                 }
             }
+            if let Some(t0) = epoch_t0 {
+                fieldswap_obs::observe(
+                    "fieldswap_train_epoch_ms",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
+            }
+        }
+        if timing {
+            fieldswap_obs::counter_add("fieldswap_train_epochs_total", cfg.epochs as u64);
+            fieldswap_obs::counter_add("fieldswap_train_decodes_total", obs_decodes);
+            fieldswap_obs::counter_add("fieldswap_train_updates_total", obs_updates);
+            fieldswap_obs::counter_add(
+                "fieldswap_synth_feature_cache_hits_total",
+                obs_synth_feat_hits,
+            );
+            fieldswap_obs::counter_add(
+                "fieldswap_synth_feature_cache_misses_total",
+                obs_synth_feat_misses,
+            );
         }
         self.finalize_average();
     }

@@ -98,6 +98,9 @@ pub fn infer_key_phrases(
     corpus: &Corpus,
     cfg: &InferenceConfig,
 ) -> Vec<Vec<RankedPhrase>> {
+    let _span = fieldswap_obs::span("infer_key_phrases");
+    // Candidate/phrase counts batched into two registry calls at the end.
+    let mut obs_candidates = 0u64;
     // (field, phrase) -> accumulator, support count. For noisy-or the
     // accumulator holds sum(log(1 - score)); for the mean ablation it
     // holds sum(score).
@@ -108,6 +111,7 @@ pub fn infer_key_phrases(
     for doc in &corpus.documents {
         let labeled = doc.labeled_token_set();
         for a in &doc.annotations {
+            obs_candidates += 1;
             for (phrase, score) in
                 important_phrases(model, &mut tape, doc, a.start, a.end, &labeled, cfg)
             {
@@ -143,6 +147,13 @@ pub fn infer_key_phrases(
                 .then(a.phrase.cmp(&b.phrase))
         });
         list.truncate(cfg.top_k);
+    }
+    if fieldswap_obs::metrics_enabled() {
+        fieldswap_obs::counter_add("fieldswap_keyphrase_candidates_total", obs_candidates);
+        fieldswap_obs::counter_add(
+            "fieldswap_keyphrase_phrases_total",
+            per_field.iter().map(|l| l.len() as u64).sum(),
+        );
     }
     per_field
 }

@@ -1,0 +1,85 @@
+//! Log levels and the verbosity knob behind `--verbose` / `-q`.
+//!
+//! The logger is the single code path for human-readable progress *and*
+//! machine-readable events: [`crate::Collector::log`] prints to stderr
+//! when the level passes the verbosity filter and appends a
+//! [`crate::Event::Log`] to the JSONL sink when tracing is enabled —
+//! never to stdout, which belongs to results.
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable problems; printed even under `-q`.
+    Error,
+    /// Suspicious but non-fatal conditions.
+    Warn,
+    /// Default progress reporting (e.g. "wrote results.json").
+    Info,
+    /// Extra detail, printed only under `--verbose`.
+    Debug,
+}
+
+impl Level {
+    /// Lowercase name used in the JSONL event stream.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// How much of the log stream reaches stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Verbosity {
+    /// `-q` / `--quiet`: errors only.
+    Quiet = 0,
+    /// The default: errors, warnings, and progress.
+    Normal = 1,
+    /// `--verbose`: everything, including debug detail.
+    Verbose = 2,
+}
+
+impl Verbosity {
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Verbosity::Quiet,
+            1 => Verbosity::Normal,
+            _ => Verbosity::Verbose,
+        }
+    }
+
+    /// Whether a message at `level` is printed under this verbosity.
+    pub fn prints(self, level: Level) -> bool {
+        match level {
+            Level::Error => true,
+            Level::Warn | Level::Info => self != Verbosity::Quiet,
+            Level::Debug => self == Verbosity::Verbose,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_filters_by_level() {
+        assert!(Verbosity::Quiet.prints(Level::Error));
+        assert!(!Verbosity::Quiet.prints(Level::Warn));
+        assert!(!Verbosity::Quiet.prints(Level::Info));
+        assert!(Verbosity::Normal.prints(Level::Info));
+        assert!(!Verbosity::Normal.prints(Level::Debug));
+        assert!(Verbosity::Verbose.prints(Level::Debug));
+    }
+
+    #[test]
+    fn roundtrip_u8() {
+        for v in [Verbosity::Quiet, Verbosity::Normal, Verbosity::Verbose] {
+            assert_eq!(Verbosity::from_u8(v as u8), v);
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! Counters, gauges, and fixed-bucket histograms behind a name-keyed
+//! registry, plus the Prometheus-style text exposition.
+//!
+//! Metric names may carry inline Prometheus labels —
+//! `fieldswap_cache_hits_total{cache="phrases"}` — which the renderer
+//! splits so `# TYPE` lines refer to the bare family name and extra
+//! labels (histogram quantiles) merge into the existing label set.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A fixed-bucket histogram with lock-free observation.
+///
+/// Buckets are defined by ascending upper bounds plus one implicit
+/// overflow bucket; observations update per-bucket atomic counters, a
+/// running count/sum, and the observed min/max. Percentiles are
+/// estimated by linear interpolation inside the bucket containing the
+/// requested rank (the overflow bucket reports the observed maximum).
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bits, updated via compare-exchange.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (ascending upper bounds; an overflow
+    /// bucket is added automatically).
+    pub fn new(bounds: Vec<f64>) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds not ascending"
+        );
+        let n = bounds.len() + 1;
+        Self {
+            bounds,
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// The default bounds used by the registry: a 1-2-5 decade series
+    /// from `0.001` to `5e6`, which covers sub-microsecond to ~90-minute
+    /// millisecond timings and most count-like values.
+    pub fn default_bounds() -> Vec<f64> {
+        let mut out = Vec::with_capacity(30);
+        for exp in -3i32..=6 {
+            let base = 10f64.powi(exp);
+            for m in [1.0, 2.0, 5.0] {
+                out.push(base * m);
+            }
+        }
+        out
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        update_float(&self.sum_bits, |s| s + value);
+        update_float(&self.min_bits, |m| m.min(value));
+        update_float(&self.max_bits, |m| m.max(value));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest observed value (`0.0` when empty).
+    pub fn min(&self) -> f64 {
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest observed value (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        let v = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) estimated from the buckets:
+    /// the rank's bucket is located via cumulative counts and the value
+    /// interpolated linearly between the bucket's bounds, clamped to the
+    /// observed min/max. Returns `0.0` for an empty histogram.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if cum + c >= rank {
+                if i == self.bounds.len() {
+                    // Overflow bucket: no upper bound, report the max.
+                    return self.max();
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let frac = (rank - cum) as f64 / c as f64;
+                let est = lower + (upper - lower) * frac;
+                return est.clamp(self.min(), self.max());
+            }
+            cum += c;
+        }
+        self.max()
+    }
+}
+
+/// Applies `f` to an atomically-stored `f64` via a CAS loop.
+fn update_float(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    /// Gauge value as `f64` bits.
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name-keyed metric registry. Lookup takes a short-held mutex; the
+/// returned atomics are then updated lock-free, so hot paths that batch
+/// their adds (one `counter_add` per corpus/epoch, not per token) see
+/// negligible contention.
+pub struct Registry {
+    metrics: Mutex<HashMap<String, Metric>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            metrics: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let cell = {
+            let mut m = self.metrics.lock().expect("registry poisoned");
+            match m
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+            {
+                Metric::Counter(c) => Arc::clone(c),
+                _ => panic!("metric {name} is not a counter"),
+            }
+        };
+        cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value of counter `name` (`0` when absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let m = self.metrics.lock().expect("registry poisoned");
+        match m.get(name) {
+            Some(Metric::Counter(c)) => c.load(Ordering::Relaxed),
+            _ => 0,
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let cell = {
+            let mut m = self.metrics.lock().expect("registry poisoned");
+            match m
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))))
+            {
+                Metric::Gauge(g) => Arc::clone(g),
+                _ => panic!("metric {name} is not a gauge"),
+            }
+        };
+        cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records `value` into the histogram `name` (created with
+    /// [`Histogram::default_bounds`] on first use).
+    pub fn observe(&self, name: &str, value: f64) {
+        let hist = self.histogram(name);
+        hist.observe(value);
+    }
+
+    /// The histogram `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m.entry(name.to_string()).or_insert_with(|| {
+            Metric::Histogram(Arc::new(Histogram::new(Histogram::default_bounds())))
+        }) {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition style, sorted
+    /// by name for deterministic output. Histograms render as summaries:
+    /// `{quantile="…"}` samples plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let m = self.metrics.lock().expect("registry poisoned");
+        let mut names: Vec<&String> = m.keys().collect();
+        names.sort();
+        let mut out = String::new();
+        let mut typed: Vec<String> = Vec::new();
+        for name in names {
+            let (family, labels) = split_labels(name);
+            if !typed.iter().any(|f| f == family) {
+                let kind = match &m[name.as_str()] {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "summary",
+                };
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+                typed.push(family.to_string());
+            }
+            match &m[name.as_str()] {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{name} {}\n", c.load(Ordering::Relaxed)));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{name} {}\n",
+                        fmt_f64(f64::from_bits(g.load(Ordering::Relaxed)))
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                        let merged = merge_label(family, labels, &format!("quantile=\"{label}\""));
+                        out.push_str(&format!("{merged} {}\n", fmt_f64(h.percentile(q))));
+                    }
+                    let suffix = |s: &str| match labels {
+                        Some(l) => format!("{family}{s}{{{l}}}"),
+                        None => format!("{family}{s}"),
+                    };
+                    out.push_str(&format!("{} {}\n", suffix("_sum"), fmt_f64(h.sum())));
+                    out.push_str(&format!("{} {}\n", suffix("_count"), h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits `name{k="v"}` into `(family, Some(inner labels))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) => (&name[..i], Some(name[i + 1..].trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Joins existing inline labels with one extra label.
+fn merge_label(family: &str, labels: Option<&str>, extra: &str) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{family}{{{l},{extra}}}"),
+        _ => format!("{family}{{{extra}}}"),
+    }
+}
+
+/// Formats a float the way Prometheus expects: plain decimal, no
+/// exponent for the magnitudes we emit.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_places_values_by_upper_bound() {
+        let h = Histogram::new(vec![1.0, 2.0, 5.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let counts: Vec<u64> = h
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // <=1: {0.5, 1.0}; <=2: {1.5, 2.0}; <=5: {3.0}; overflow: {100.0}
+        assert_eq!(counts, vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 108.0).abs() < 1e-9);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let h = Histogram::new(vec![10.0, 20.0, 30.0]);
+        // 10 values in (0,10], 10 in (10,20].
+        for i in 1..=10 {
+            h.observe(i as f64);
+            h.observe(10.0 + i as f64);
+        }
+        // p50: rank 10 of 20 -> last value of bucket 0 -> upper bound 10.
+        assert!((h.percentile(0.5) - 10.0).abs() < 1e-9);
+        // p90: rank 18 of 20 -> 8/10 into bucket (10,20] -> 18.
+        assert!((h.percentile(0.9) - 18.0).abs() < 1e-9);
+        // p99: rank 20 -> bucket upper bound 20.
+        assert!((h.percentile(0.99) - 20.0).abs() < 1e-9);
+        // Monotone.
+        assert!(h.percentile(0.5) <= h.percentile(0.9));
+        assert!(h.percentile(0.9) <= h.percentile(0.99));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let h = Histogram::new(vec![1.0, 10.0]);
+        assert_eq!(h.percentile(0.5), 0.0, "empty histogram");
+        h.observe(4.0);
+        // Single value: every quantile is clamped to the one observation.
+        assert_eq!(h.percentile(0.0), 4.0);
+        assert_eq!(h.percentile(0.5), 4.0);
+        assert_eq!(h.percentile(1.0), 4.0);
+        // Overflow values report the observed max.
+        h.observe(500.0);
+        assert_eq!(h.percentile(0.99), 500.0);
+    }
+
+    #[test]
+    fn uniform_data_percentiles_are_plausible() {
+        let h = Histogram::new(Histogram::default_bounds());
+        for i in 1..=1000 {
+            h.observe(i as f64 / 10.0); // 0.1 .. 100.0
+        }
+        let p50 = h.percentile(0.5);
+        let p90 = h.percentile(0.9);
+        let p99 = h.percentile(0.99);
+        assert!((40.0..=60.0).contains(&p50), "p50 {p50}");
+        assert!((80.0..=100.0).contains(&p90), "p90 {p90}");
+        assert!((90.0..=100.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn default_bounds_are_ascending() {
+        let b = Histogram::default_bounds();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b.first().copied(), Some(0.001));
+        assert_eq!(b.last().copied(), Some(5e6));
+    }
+
+    #[test]
+    fn registry_counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        r.counter_add("c_total", 3);
+        r.counter_add("c_total", 4);
+        assert_eq!(r.counter_value("c_total"), 7);
+        assert_eq!(r.counter_value("missing"), 0);
+        r.gauge_set("g", 2.5);
+        r.gauge_set("g", 1.5);
+        let prom = r.render_prometheus();
+        assert!(prom.contains("# TYPE c_total counter"));
+        assert!(prom.contains("c_total 7"));
+        assert!(prom.contains("# TYPE g gauge"));
+        assert!(prom.contains("g 1.5"));
+    }
+
+    #[test]
+    fn prometheus_histogram_renders_as_summary() {
+        let r = Registry::new();
+        r.observe("lat_ms", 5.0);
+        r.observe("lat_ms", 15.0);
+        let prom = r.render_prometheus();
+        assert!(prom.contains("# TYPE lat_ms summary"), "{prom}");
+        assert!(prom.contains("lat_ms{quantile=\"0.5\"}"), "{prom}");
+        assert!(prom.contains("lat_ms_sum 20"), "{prom}");
+        assert!(prom.contains("lat_ms_count 2"), "{prom}");
+    }
+
+    #[test]
+    fn inline_labels_merge_with_quantiles() {
+        let r = Registry::new();
+        r.counter_add("hits_total{cache=\"phrases\"}", 2);
+        r.observe("stage_ms{stage=\"train\"}", 7.5);
+        let prom = r.render_prometheus();
+        assert!(prom.contains("# TYPE hits_total counter"), "{prom}");
+        assert!(prom.contains("hits_total{cache=\"phrases\"} 2"), "{prom}");
+        assert!(
+            prom.contains("stage_ms{stage=\"train\",quantile=\"0.9\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("stage_ms_sum{stage=\"train\"} 7.5"), "{prom}");
+        assert!(prom.contains("stage_ms_count{stage=\"train\"} 1"), "{prom}");
+    }
+
+    #[test]
+    fn concurrent_observations_are_exact() {
+        let h = Histogram::new(Histogram::default_bounds());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000 {
+                        h.observe(1.0 + (i % 10) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        let expected: f64 = 4.0 * (0..1000).map(|i| 1.0 + (i % 10) as f64).sum::<f64>();
+        assert!((h.sum() - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,146 @@
+//! The JSONL event sink: the event model and its hand-rolled JSON
+//! serialization (this crate is dependency-free, so no serde).
+//!
+//! One event is one JSON object on one line:
+//!
+//! ```json
+//! {"type":"span","path":"cell/train","name":"train","thread":3,"start_us":120,"dur_us":4500,"attrs":{"domain":"Earnings"}}
+//! {"type":"log","level":"info","msg":"wrote results.json","ts_us":99,"thread":0}
+//! ```
+
+use crate::logger::Level;
+use crate::span::SpanRecord;
+
+/// An entry in the event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A closed span.
+    Span(SpanRecord),
+    /// A log line that passed through the logger.
+    Log {
+        /// Severity.
+        level: Level,
+        /// The formatted message.
+        msg: String,
+        /// Microseconds since the collector's epoch.
+        ts_us: u64,
+        /// Dense id of the logging thread.
+        thread: u64,
+    },
+}
+
+/// Serializes one event as a JSON object (no trailing newline).
+pub fn to_json_line(event: &Event, out: &mut String) {
+    match event {
+        Event::Span(r) => {
+            out.push_str("{\"type\":\"span\",\"path\":");
+            push_json_str(&r.path, out);
+            out.push_str(",\"name\":");
+            push_json_str(r.name, out);
+            out.push_str(&format!(
+                ",\"thread\":{},\"start_us\":{},\"dur_us\":{}",
+                r.thread, r.start_us, r.dur_us
+            ));
+            if !r.attrs.is_empty() {
+                out.push_str(",\"attrs\":{");
+                for (i, (k, v)) in r.attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(k, out);
+                    out.push(':');
+                    push_json_str(v, out);
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        Event::Log {
+            level,
+            msg,
+            ts_us,
+            thread,
+        } => {
+            out.push_str("{\"type\":\"log\",\"level\":");
+            push_json_str(level.name(), out);
+            out.push_str(",\"msg\":");
+            push_json_str(msg, out);
+            out.push_str(&format!(",\"ts_us\":{ts_us},\"thread\":{thread}}}"));
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal, escaping quotes, backslashes,
+/// and control characters.
+fn push_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(e: &Event) -> String {
+        let mut s = String::new();
+        to_json_line(e, &mut s);
+        s
+    }
+
+    #[test]
+    fn span_event_serializes_with_attrs() {
+        let e = Event::Span(SpanRecord {
+            path: "cell/train".into(),
+            name: "train",
+            thread: 3,
+            start_us: 120,
+            dur_us: 4500,
+            attrs: vec![
+                ("domain", "Earnings".to_string()),
+                ("size", "50".to_string()),
+            ],
+        });
+        assert_eq!(
+            line(&e),
+            r#"{"type":"span","path":"cell/train","name":"train","thread":3,"start_us":120,"dur_us":4500,"attrs":{"domain":"Earnings","size":"50"}}"#
+        );
+    }
+
+    #[test]
+    fn span_event_omits_empty_attrs() {
+        let e = Event::Span(SpanRecord {
+            path: "a".into(),
+            name: "a",
+            thread: 0,
+            start_us: 0,
+            dur_us: 1,
+            attrs: Vec::new(),
+        });
+        assert!(!line(&e).contains("attrs"));
+    }
+
+    #[test]
+    fn log_event_escapes_specials() {
+        let e = Event::Log {
+            level: Level::Warn,
+            msg: "path \"C:\\tmp\"\nnext\u{1}".into(),
+            ts_us: 7,
+            thread: 1,
+        };
+        assert_eq!(
+            line(&e),
+            r#"{"type":"log","level":"warn","msg":"path \"C:\\tmp\"\nnext\u0001","ts_us":7,"thread":1}"#
+        );
+    }
+}
