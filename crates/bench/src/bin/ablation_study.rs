@@ -16,7 +16,7 @@ use fieldswap_core::config::normalize_phrase;
 use fieldswap_core::{augment_corpus_with, EngineOptions, FieldSwapConfig, PairStrategy};
 use fieldswap_datagen::{generate, Domain};
 use fieldswap_docmodel::NeighborMetric;
-use fieldswap_eval::{Arm, Harness};
+use fieldswap_eval::Arm;
 use fieldswap_keyphrase::{
     infer_key_phrases, Aggregation, ImportanceModel, InferenceConfig, ModelConfig, Sparsify,
 };
@@ -179,7 +179,7 @@ fn main() {
 
     // --- 6: all-to-all vs type-to-type, end to end.
     println!("\npair-mapping ablation (Earnings @ 10 docs, macro-F1):");
-    let harness = Harness::new(args.harness_options());
+    let harness = args.build_harness();
     let t = TablePrinter::new(&[("arm", 30), ("macro-F1", 9)]);
     let points: Vec<_> = [Arm::Baseline, Arm::AutoTypeToType, Arm::AutoAllToAll]
         .into_iter()

@@ -16,12 +16,12 @@
 use fieldswap_bench::{BinArgs, TablePrinter};
 use fieldswap_core::{augment_cross_domain, cross_pairs_by_type, CrossDomainSpec, FieldSwapConfig};
 use fieldswap_datagen::{generate, Domain};
-use fieldswap_eval::{evaluate, Arm, Harness};
+use fieldswap_eval::{evaluate, Arm};
 use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
 
 fn main() {
     let args = BinArgs::parse();
-    let harness = Harness::new(args.harness_options());
+    let harness = args.build_harness();
     let domain = Domain::Earnings;
     let size = 10usize;
 

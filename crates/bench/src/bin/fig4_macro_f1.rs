@@ -10,12 +10,12 @@
 
 use fieldswap_bench::{BinArgs, TablePrinter};
 use fieldswap_datagen::Domain;
-use fieldswap_eval::{Arm, Harness, PointSummary};
+use fieldswap_eval::{Arm, PointSummary};
 
 fn main() {
     let args = BinArgs::parse();
     let sizes = [10usize, 50, 100];
-    let harness = Harness::new(args.harness_options());
+    let harness = args.build_harness();
 
     println!(
         "Fig. 4 — mean macro-F1 ({} protocol, {} samples x {} trials, {} jobs)\n",

@@ -14,13 +14,13 @@ use fieldswap_bench::{BinArgs, TablePrinter};
 use fieldswap_datagen::Domain;
 use fieldswap_docmodel::BaseType;
 use fieldswap_eval::metrics::mean;
-use fieldswap_eval::{Arm, BoxStats, Harness};
+use fieldswap_eval::{Arm, BoxStats};
 use std::collections::HashMap;
 
 fn main() {
     let args = BinArgs::parse();
     let sizes = [10usize, 50, 100];
-    let harness = Harness::new(args.harness_options());
+    let harness = args.build_harness();
     let domains = match args.domain {
         Some(d) => vec![d],
         None => vec![Domain::LoanPayments, Domain::Earnings],

@@ -8,12 +8,12 @@
 
 use fieldswap_bench::{paper, BinArgs, TablePrinter};
 use fieldswap_datagen::Domain;
-use fieldswap_eval::{Arm, Harness};
+use fieldswap_eval::Arm;
 
 fn main() {
     let args = BinArgs::parse();
     let sizes = [10usize, 50, 100];
-    let harness = Harness::new(args.harness_options());
+    let harness = args.build_harness();
 
     println!(
         "Table III — Avg. number of synthetic documents ({} protocol, {} samples)\n",

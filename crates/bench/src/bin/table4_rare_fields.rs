@@ -11,13 +11,13 @@
 use fieldswap_bench::{paper, BinArgs, TablePrinter};
 use fieldswap_datagen::Domain;
 use fieldswap_eval::metrics::mean;
-use fieldswap_eval::{Arm, Harness};
+use fieldswap_eval::Arm;
 
 fn main() {
     let args = BinArgs::parse();
     let size = 50usize;
     let domain = Domain::Earnings;
-    let harness = Harness::new(args.harness_options());
+    let harness = args.build_harness();
 
     println!(
         "Table IV — largest F1 gains, automatic(f2f) vs human expert, Earnings @ {size} docs ({} protocol)\n",

@@ -19,14 +19,24 @@
 //!   summary to stderr at exit.
 //! * `--metrics <path>` — dump Prometheus-style counters/gauges/
 //!   histograms at exit.
+//! * `--checkpoint-dir <path>` — persist each completed grid cell to the
+//!   directory (created if needed) so a killed run can be resumed.
+//! * `--resume <path>` — resume from an existing checkpoint directory:
+//!   finished cells are loaded instead of recomputed, and the output is
+//!   byte-identical to an uninterrupted run.
 //! * `--verbose`/`-v`, `--quiet`/`-q` — logger verbosity.
+//!
+//! Every option that takes a value rejects a `--`-prefixed token in the
+//! value position (`--json --seed` is a forgotten path, not a file named
+//! `--seed`) with a usage error rather than silently swallowing the next
+//! flag.
 //!
 //! Tracing and metrics are **inert for correctness**: stdout tables and
 //! `--json` dumps are byte-identical with or without them (enforced by
 //! `tests/trace_identity.rs` and the CI diff job).
 
 use fieldswap_datagen::Domain;
-use fieldswap_eval::HarnessOptions;
+use fieldswap_eval::{CellCache, Harness, HarnessOptions};
 
 /// Command-line options shared by the regeneration binaries.
 #[derive(Debug, Clone)]
@@ -51,12 +61,51 @@ pub struct BinArgs {
     pub trace: Option<String>,
     /// Prometheus-style metrics output path (`--metrics`).
     pub metrics: Option<String>,
+    /// Checkpoint directory for per-cell result persistence
+    /// (`--checkpoint-dir`, created if needed).
+    pub checkpoint_dir: Option<String>,
+    /// Existing checkpoint directory to resume from (`--resume`).
+    pub resume: Option<String>,
+    /// Logger verbosity override (`--verbose`/`-v`, `--quiet`/`-q`).
+    pub verbosity: Option<fieldswap_obs::Verbosity>,
+}
+
+/// The value following a value-taking flag, rejecting `--`-prefixed
+/// tokens: `--json --seed 7` means a forgotten path, and treating
+/// `--seed` as the path would silently drop both options.
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) if v.starts_with("--") => Err(format!(
+            "{flag} expects a value, found flag {v} (use {flag} VALUE)"
+        )),
+        Some(v) => Ok(v),
+        None => Err(format!("{flag} expects a value")),
+    }
 }
 
 impl BinArgs {
-    /// Parses `std::env::args()`. Unknown flags abort with a usage
-    /// message.
+    /// Parses `std::env::args()`, applying observability side effects
+    /// (tracing/metrics enablement, verbosity). Errors abort with a
+    /// usage message.
     pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let out = Self::try_parse_from(&args).unwrap_or_else(|msg| usage(&msg));
+        if out.trace.is_some() {
+            fieldswap_obs::enable_tracing();
+        }
+        if out.metrics.is_some() {
+            fieldswap_obs::enable_metrics();
+        }
+        if let Some(v) = out.verbosity {
+            fieldswap_obs::set_verbosity(v);
+        }
+        out
+    }
+
+    /// The pure parser behind [`parse`](Self::parse): no process exit,
+    /// no global side effects — testable.
+    pub fn try_parse_from(args: &[String]) -> Result<Self, String> {
         let mut out = Self {
             full: false,
             domain: None,
@@ -68,67 +117,58 @@ impl BinArgs {
             jobs: None,
             trace: None,
             metrics: None,
+            checkpoint_dir: None,
+            resume: None,
+            verbosity: None,
         };
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        fn num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("{flag}: bad value {v:?}"))
+        }
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--full" => out.full = true,
                 "--quick" => out.full = false,
                 "--domain" => {
-                    i += 1;
-                    let name = args.get(i).unwrap_or_else(|| usage("missing domain"));
-                    out.domain = Some(parse_domain(name).unwrap_or_else(|| usage("bad domain")));
+                    let name = take_value(args, &mut i, "--domain")?;
+                    out.domain =
+                        Some(parse_domain(name).ok_or_else(|| format!("bad domain {name:?}"))?);
                 }
-                "--seed" => {
-                    i += 1;
-                    let v = args.get(i).unwrap_or_else(|| usage("missing seed"));
-                    out.seed = v.parse().unwrap_or_else(|_| usage("bad seed"));
-                }
-                "--json" => {
-                    i += 1;
-                    out.json = Some(args.get(i).unwrap_or_else(|| usage("missing path")).clone());
-                }
+                "--seed" => out.seed = num(take_value(args, &mut i, "--seed")?, "--seed")?,
+                "--json" => out.json = Some(take_value(args, &mut i, "--json")?.to_string()),
                 "--samples" => {
-                    i += 1;
-                    let v = args.get(i).unwrap_or_else(|| usage("missing samples"));
-                    out.samples = Some(v.parse().unwrap_or_else(|_| usage("bad samples")));
+                    out.samples = Some(num(take_value(args, &mut i, "--samples")?, "--samples")?)
                 }
                 "--trials" => {
-                    i += 1;
-                    let v = args.get(i).unwrap_or_else(|| usage("missing trials"));
-                    out.trials = Some(v.parse().unwrap_or_else(|_| usage("bad trials")));
+                    out.trials = Some(num(take_value(args, &mut i, "--trials")?, "--trials")?)
                 }
                 "--testcap" => {
-                    i += 1;
-                    let v = args.get(i).unwrap_or_else(|| usage("missing testcap"));
-                    out.test_cap = Some(v.parse().unwrap_or_else(|_| usage("bad testcap")));
+                    out.test_cap = Some(num(take_value(args, &mut i, "--testcap")?, "--testcap")?)
                 }
-                "--jobs" => {
-                    i += 1;
-                    let v = args.get(i).unwrap_or_else(|| usage("missing jobs"));
-                    out.jobs = Some(v.parse().unwrap_or_else(|_| usage("bad jobs")));
-                }
-                "--trace" => {
-                    i += 1;
-                    out.trace = Some(args.get(i).unwrap_or_else(|| usage("missing path")).clone());
-                    fieldswap_obs::enable_tracing();
-                }
+                "--jobs" => out.jobs = Some(num(take_value(args, &mut i, "--jobs")?, "--jobs")?),
+                "--trace" => out.trace = Some(take_value(args, &mut i, "--trace")?.to_string()),
                 "--metrics" => {
-                    i += 1;
-                    out.metrics =
-                        Some(args.get(i).unwrap_or_else(|| usage("missing path")).clone());
-                    fieldswap_obs::enable_metrics();
+                    out.metrics = Some(take_value(args, &mut i, "--metrics")?.to_string())
                 }
-                "--verbose" | "-v" => {
-                    fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Verbose)
+                "--checkpoint-dir" => {
+                    out.checkpoint_dir =
+                        Some(take_value(args, &mut i, "--checkpoint-dir")?.to_string())
                 }
-                "--quiet" | "-q" => fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Quiet),
-                other => usage(&format!("unknown flag {other}")),
+                "--resume" => out.resume = Some(take_value(args, &mut i, "--resume")?.to_string()),
+                "--verbose" | "-v" => out.verbosity = Some(fieldswap_obs::Verbosity::Verbose),
+                "--quiet" | "-q" => out.verbosity = Some(fieldswap_obs::Verbosity::Quiet),
+                other => return Err(format!("unknown flag {other}")),
             }
             i += 1;
         }
-        out
+        if out.checkpoint_dir.is_some() && out.resume.is_some() {
+            return Err(
+                "--checkpoint-dir and --resume are mutually exclusive (--resume already writes \
+                 new cells to the directory it resumes from)"
+                    .to_string(),
+            );
+        }
+        Ok(out)
     }
 
     /// Harness options for the chosen protocol, with any command-line
@@ -153,6 +193,29 @@ impl BinArgs {
             o.jobs = j;
         }
         o
+    }
+
+    /// Builds the harness for these options and attaches the cell cache
+    /// when `--checkpoint-dir` or `--resume` was given. A missing
+    /// `--resume` directory is a hard error: the user pointed at the
+    /// wrong path, and silently starting over would waste the very hours
+    /// the flag exists to save.
+    pub fn build_harness(&self) -> Harness {
+        let opts = self.harness_options();
+        let mut h = Harness::new(opts);
+        let cache = if let Some(dir) = &self.resume {
+            Some(CellCache::open(dir, &opts).unwrap_or_else(|e| fail(&format!("--resume: {e}"))))
+        } else {
+            self.checkpoint_dir.as_ref().map(|dir| {
+                CellCache::create(dir, &opts)
+                    .unwrap_or_else(|e| fail(&format!("--checkpoint-dir: {e}")))
+            })
+        };
+        if let Some(cache) = cache {
+            fieldswap_obs::info!("checkpointing cells to {}", cache.dir().display());
+            h.attach_checkpoint(cache);
+        }
+        h
     }
 
     /// The domains to run: the filter, or all five evaluation domains.
@@ -225,7 +288,7 @@ fn parse_domain(name: &str) -> Option<Domain> {
 /// Prints `msg` plus the shared usage line to stderr and exits 1.
 pub fn usage(msg: &str) -> ! {
     fieldswap_obs::error!("{msg}");
-    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--trace PATH] [--metrics PATH] [--verbose|-v] [--quiet|-q]");
+    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--trace PATH] [--metrics PATH] [--checkpoint-dir PATH] [--resume PATH] [--verbose|-v] [--quiet|-q]");
     std::process::exit(1)
 }
 
@@ -307,6 +370,92 @@ pub mod paper {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn try_parse_full_combo() {
+        let a = BinArgs::try_parse_from(&argv(&[
+            "--full",
+            "--domain",
+            "earnings",
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+            "--json",
+            "out.json",
+            "--checkpoint-dir",
+            "ckpt",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert!(a.full);
+        assert_eq!(a.domain, Some(Domain::Earnings));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.jobs, Some(2));
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert_eq!(a.verbosity, Some(fieldswap_obs::Verbosity::Verbose));
+        assert_eq!(a.harness_options().seed, 7);
+        assert_eq!(a.harness_options().jobs, 2);
+    }
+
+    #[test]
+    fn flag_like_value_is_rejected_not_swallowed() {
+        // The old parser took `--seed` as the JSON path and dropped the
+        // seed override entirely.
+        let err = BinArgs::try_parse_from(&argv(&["--json", "--seed", "7"])).unwrap_err();
+        assert!(err.contains("--json") && err.contains("--seed"), "{err}");
+        for flag in [
+            "--domain",
+            "--seed",
+            "--json",
+            "--samples",
+            "--trials",
+            "--testcap",
+            "--jobs",
+            "--trace",
+            "--metrics",
+            "--checkpoint-dir",
+            "--resume",
+        ] {
+            let err = BinArgs::try_parse_from(&argv(&[flag, "--full"])).unwrap_err();
+            assert!(err.contains(flag), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn missing_trailing_value_is_an_error() {
+        let err = BinArgs::try_parse_from(&argv(&["--seed"])).unwrap_err();
+        assert!(err.contains("--seed") && err.contains("value"), "{err}");
+    }
+
+    #[test]
+    fn bad_numeric_and_unknown_flag_are_errors() {
+        assert!(BinArgs::try_parse_from(&argv(&["--seed", "xyz"])).is_err());
+        assert!(BinArgs::try_parse_from(&argv(&["--domain", "narnia"])).is_err());
+        let err = BinArgs::try_parse_from(&argv(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_and_resume_conflict() {
+        let err = BinArgs::try_parse_from(&argv(&["--checkpoint-dir", "a", "--resume", "b"]))
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        assert!(BinArgs::try_parse_from(&argv(&["--resume", "b"])).is_ok());
+    }
+
+    #[test]
+    fn non_flag_dash_value_is_accepted() {
+        // Only `--`-prefixed tokens are rejected in value position; a
+        // file literally named `-odd.json` still works.
+        let a = BinArgs::try_parse_from(&argv(&["--json", "-odd.json"])).unwrap();
+        assert_eq!(a.json.as_deref(), Some("-odd.json"));
+    }
 
     #[test]
     fn parse_domain_aliases() {

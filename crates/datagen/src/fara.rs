@@ -87,6 +87,7 @@ impl DomainGenerator for FaraGen {
                 token_error_rate: 0.04,
                 char_sub_rate: 0.4,
                 char_del_rate: 0.1,
+                ..fieldswap_ocr::NoiseParams::default()
             };
         }
         drive(Domain::Fara, &SPECS, 2, seed, n, &opts, render)

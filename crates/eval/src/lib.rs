@@ -24,16 +24,24 @@
 //!   exactly-once concurrent cache behind the harness's `jobs` knob.
 //!   Grids fan out across threads with results bit-identical to a serial
 //!   run: every experiment's randomness derives purely from its
-//!   `(domain, size, arm, sample, trial)` coordinates.
+//!   `(domain, size, arm, sample, trial)` coordinates. Worker slots run
+//!   under `catch_unwind` with one retry, so a poisoned cell degrades to
+//!   a counted failure instead of killing the grid.
+//! * **Checkpointing** ([`checkpoint`]) — per-cell JSON persistence keyed
+//!   by grid coordinates plus an options fingerprint; a killed run
+//!   resumed from its checkpoint directory produces byte-identical
+//!   output to an uninterrupted one.
 
 pub mod boxplot;
+pub mod checkpoint;
 pub mod expert;
 pub mod metrics;
 pub mod parallel;
 pub mod runner;
 
 pub use boxplot::BoxStats;
+pub use checkpoint::{options_fingerprint, CellCache, CellCoords};
 pub use expert::expert_config;
 pub use metrics::{evaluate, EvalResult, FieldScore};
-pub use parallel::{effective_jobs, par_map_indexed, OnceMap};
+pub use parallel::{effective_jobs, par_map_indexed, par_try_map_indexed, OnceMap, SlotPanic};
 pub use runner::{cell_seed, Arm, ExperimentResult, Harness, HarnessOptions, PointSummary};

@@ -101,16 +101,29 @@ impl EvalResult {
 }
 
 /// Scores `predictions` against `gold` for a document, updating `fields`.
+///
+/// Matching is one-to-one: each gold span can be consumed by at most one
+/// exactly-equal prediction. A span predicted twice therefore earns one
+/// TP and one FP (not two TPs), and a duplicated gold span that is
+/// predicted once still leaves one FN — `tp + fn_` always equals the
+/// number of gold spans, keeping support honest.
 pub fn score_document(gold: &[EntitySpan], predictions: &[EntitySpan], fields: &mut [FieldScore]) {
+    let mut consumed = vec![false; gold.len()];
     for p in predictions {
-        if gold.contains(p) {
-            fields[p.field as usize].tp += 1;
-        } else {
-            fields[p.field as usize].fp += 1;
+        let hit = gold
+            .iter()
+            .enumerate()
+            .position(|(j, g)| !consumed[j] && g == p);
+        match hit {
+            Some(j) => {
+                consumed[j] = true;
+                fields[p.field as usize].tp += 1;
+            }
+            None => fields[p.field as usize].fp += 1,
         }
     }
-    for g in gold {
-        if !predictions.contains(g) {
+    for (j, g) in gold.iter().enumerate() {
+        if !consumed[j] {
             fields[g.field as usize].fn_ += 1;
         }
     }
@@ -210,6 +223,61 @@ mod tests {
                 tp: 0,
                 fp: 1,
                 fn_: 1
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_prediction_is_not_double_counted() {
+        // One gold span, predicted twice: one TP consumes the gold, the
+        // duplicate is an FP. (The old all-pairs matching gave 2 TPs
+        // against 1 gold, inflating both support and recall.)
+        let gold = vec![EntitySpan::new(0, 0, 2)];
+        let pred = vec![EntitySpan::new(0, 0, 2), EntitySpan::new(0, 0, 2)];
+        let mut fields = vec![FieldScore::default(); 1];
+        score_document(&gold, &pred, &mut fields);
+        assert_eq!(
+            fields[0],
+            FieldScore {
+                tp: 1,
+                fp: 1,
+                fn_: 0
+            }
+        );
+        assert_eq!(fields[0].support(), gold.len());
+    }
+
+    #[test]
+    fn duplicate_gold_requires_matching_multiplicity() {
+        // The same span annotated twice with one matching prediction:
+        // one gold is consumed, the other is still missed.
+        let gold = vec![EntitySpan::new(0, 0, 2), EntitySpan::new(0, 0, 2)];
+        let pred = vec![EntitySpan::new(0, 0, 2)];
+        let mut fields = vec![FieldScore::default(); 1];
+        score_document(&gold, &pred, &mut fields);
+        assert_eq!(
+            fields[0],
+            FieldScore {
+                tp: 1,
+                fp: 0,
+                fn_: 1
+            }
+        );
+        assert_eq!(fields[0].support(), gold.len());
+    }
+
+    #[test]
+    fn duplicate_on_both_sides_pairs_off() {
+        let gold = vec![EntitySpan::new(1, 4, 6), EntitySpan::new(1, 4, 6)];
+        let pred = vec![EntitySpan::new(1, 4, 6), EntitySpan::new(1, 4, 6)];
+        let mut fields = vec![FieldScore::default(); 2];
+        score_document(&gold, &pred, &mut fields);
+        assert_eq!(
+            fields[1],
+            FieldScore {
+                tp: 2,
+                fp: 0,
+                fn_: 0
             }
         );
     }

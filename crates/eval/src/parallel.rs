@@ -6,18 +6,23 @@
 //! exactly once no matter which thread gets there first. This module
 //! supplies the two building blocks:
 //!
-//! * [`par_map_indexed`] — fan an index range out over a scoped worker
-//!   pool, collecting results *by index* so the output order (and hence
-//!   every downstream aggregate) is independent of thread scheduling;
+//! * [`par_map_indexed`] / [`par_try_map_indexed`] — fan an index range
+//!   out over a scoped worker pool, collecting results *by index* so the
+//!   output order (and hence every downstream aggregate) is independent
+//!   of thread scheduling. The `try` variant isolates a panicking slot
+//!   with `catch_unwind`, retries it once, and returns the captured
+//!   panic payload instead of tearing the whole pool down — a multi-hour
+//!   grid survives one poisoned cell;
 //! * [`OnceMap`] — a concurrent lazily-populated map whose values are
 //!   initialized exactly once per key, with an initialization counter so
 //!   tests can assert the exactly-once contract.
 //!
 //! `rayon` is not available in the offline build environment, so the pool
 //! is a small `std::thread::scope` worker set over an atomic work index —
-//! ~30 lines that cover everything the grid needs.
+//! a few dozen lines that cover everything the grid needs.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -33,14 +38,73 @@ pub fn effective_jobs(jobs: usize) -> usize {
     }
 }
 
+/// A slot whose computation panicked on both the first attempt and the
+/// retry: the grid cell is lost, but the captured payload lets the
+/// caller account for it instead of crashing the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotPanic {
+    /// The index passed to the worker closure.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str` / `String` payloads
+    /// verbatim, anything else a placeholder).
+    pub payload: String,
+}
+
+/// Renders a `catch_unwind` payload as text.
+fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one slot under `catch_unwind` with a single retry.
+///
+/// The retry is cheap insurance against transient faults; a
+/// deterministic panic simply fails twice and is reported. Counter
+/// `fieldswap_grid_cells_retried` ticks on every first-attempt panic,
+/// `fieldswap_grid_cells_failed` when the retry also dies.
+fn run_slot<U, F>(f: &F, i: usize) -> Result<U, SlotPanic>
+where
+    F: Fn(usize) -> U + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+        Ok(v) => Ok(v),
+        Err(first) => {
+            fieldswap_obs::counter_add("fieldswap_grid_cells_retried", 1);
+            fieldswap_obs::warn!(
+                "worker slot {i} panicked ({}); retrying once",
+                payload_text(first)
+            );
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => Ok(v),
+                Err(second) => {
+                    fieldswap_obs::counter_add("fieldswap_grid_cells_failed", 1);
+                    Err(SlotPanic {
+                        index: i,
+                        payload: payload_text(second),
+                    })
+                }
+            }
+        }
+    }
+}
+
 /// Maps `f` over `0..n` using up to `jobs` worker threads (resolved via
-/// [`effective_jobs`]), returning results in index order.
+/// [`effective_jobs`]), returning per-index outcomes in index order.
 ///
 /// Work is distributed dynamically (an atomic cursor), so long cells
 /// don't stall a fixed stripe, but each result lands in its own slot —
 /// the output is bit-identical to the serial `(0..n).map(f)` whenever
 /// `f` itself depends only on the index.
-pub fn par_map_indexed<U, F>(n: usize, jobs: usize, f: F) -> Vec<U>
+///
+/// Each slot runs under [`catch_unwind`]: a panic is retried once, and a
+/// second panic yields `Err(SlotPanic)` for that index while every other
+/// slot completes normally. The pool itself never unwinds.
+pub fn par_try_map_indexed<U, F>(n: usize, jobs: usize, f: F) -> Vec<Result<U, SlotPanic>>
 where
     U: Send,
     F: Fn(usize) -> U + Sync,
@@ -50,12 +114,13 @@ where
         fieldswap_obs::gauge_set("fieldswap_worker_threads", jobs as f64);
     }
     if jobs <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(|i| run_slot(&f, i)).collect();
     }
-    // `Mutex<Option<U>>` slots rather than `OnceLock<U>`: the mutex is
+    // `Mutex<Option<..>>` slots rather than `OnceLock`: the mutex is
     // uncontended (each index is claimed by exactly one worker via the
     // cursor) and only demands `U: Send`, not `U: Sync`.
-    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<U, SlotPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -64,7 +129,7 @@ where
                 if i >= n {
                     break;
                 }
-                let value = f(i);
+                let value = run_slot(&f, i);
                 let prev = slots[i].lock().expect("slot poisoned").replace(value);
                 assert!(prev.is_none(), "slot {i} filled twice");
             });
@@ -76,6 +141,22 @@ where
             slot.into_inner()
                 .expect("slot poisoned")
                 .expect("all slots filled")
+        })
+        .collect()
+}
+
+/// Infallible wrapper over [`par_try_map_indexed`]: any slot that still
+/// fails after its retry re-raises the captured panic on the caller's
+/// thread. Callers that need per-cell degradation use the `try` variant.
+pub fn par_map_indexed<U, F>(n: usize, jobs: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_try_map_indexed(n, jobs, f)
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|p| panic!("parallel slot {} panicked twice: {}", p.index, p.payload))
         })
         .collect()
 }
@@ -194,6 +275,84 @@ mod tests {
     fn effective_jobs_resolves_zero() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn try_map_isolates_persistent_panic() {
+        for jobs in [1, 4] {
+            let out = par_try_map_indexed(6, jobs, |i| {
+                if i == 3 {
+                    panic!("cell {i} is poisoned");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 6, "jobs={jobs}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, 3);
+                    assert_eq!(p.payload, "cell 3 is poisoned");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_retries_transient_panic_once() {
+        // The slot panics only on its first attempt; the retry succeeds
+        // and the caller sees a clean result.
+        let attempts = AtomicUsize::new(0);
+        let out = par_try_map_indexed(3, 1, |i| {
+            if i == 1 && attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            i + 100
+        });
+        assert_eq!(
+            out,
+            vec![Ok(100), Ok(101), Ok(102)],
+            "retry should recover the transient slot"
+        );
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn try_map_reports_retry_and_failure_counters() {
+        fieldswap_obs::enable_metrics();
+        let reg = fieldswap_obs::global().registry();
+        let retried0 = reg.counter_value("fieldswap_grid_cells_retried");
+        let failed0 = reg.counter_value("fieldswap_grid_cells_failed");
+        let out = par_try_map_indexed(2, 1, |i| {
+            if i == 0 {
+                panic!("always");
+            }
+            i
+        });
+        assert!(out[0].is_err());
+        assert_eq!(out[1], Ok(1));
+        let retried1 = reg.counter_value("fieldswap_grid_cells_retried");
+        let failed1 = reg.counter_value("fieldswap_grid_cells_failed");
+        assert_eq!(retried1, retried0 + 1, "one first-attempt panic");
+        assert_eq!(failed1, failed0 + 1, "one double failure");
+    }
+
+    #[test]
+    fn infallible_map_repanics_with_payload() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map_indexed(2, 1, |i| {
+                if i == 1 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        let payload = payload_text(caught.unwrap_err());
+        assert!(
+            payload.contains("slot 1") && payload.contains("boom"),
+            "payload: {payload}"
+        );
     }
 
     #[test]

@@ -19,9 +19,10 @@
 //! the per-(domain, size, sample) inferred phrase cache — lives in
 //! [`Harness`].
 
+use crate::checkpoint::{CellCache, CellCoords};
 use crate::expert::expert_config;
 use crate::metrics::{evaluate, EvalResult};
-use crate::parallel::{par_map_indexed, OnceMap};
+use crate::parallel::{par_map_indexed, par_try_map_indexed, OnceMap, SlotPanic};
 use fieldswap_core::{augment_corpus, FieldSwapConfig, PairStrategy};
 use fieldswap_datagen::{generate, Domain};
 use fieldswap_docmodel::Corpus;
@@ -31,7 +32,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The experimental arms of Fig. 4 / Fig. 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -172,6 +174,10 @@ pub struct PointSummary {
     pub micro_f1: f64,
     /// Mean number of synthetic documents.
     pub synthetics: f64,
+    /// Cells that panicked twice and were dropped from the averages.
+    /// Non-zero means the means cover `runs.len()` successes, not the
+    /// full protocol — reported rather than silently averaged over.
+    pub failed_cells: usize,
     /// All individual runs.
     pub runs: Vec<ExperimentResult>,
 }
@@ -202,8 +208,9 @@ pub fn cell_seed(
 
 /// Folds coordinates into a master seed with a SplitMix64-style
 /// avalanche per step, so neighboring grid cells get uncorrelated
-/// streams.
-fn mix_coords(master: u64, coords: &[u64]) -> u64 {
+/// streams. Also reused by [`crate::checkpoint`] to fingerprint
+/// harness options.
+pub(crate) fn mix_coords(master: u64, coords: &[u64]) -> u64 {
     let mut h = master ^ 0x9E37_79B9_7F4A_7C15;
     for &c in coords {
         let mut z = h.rotate_left(17) ^ c.wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -247,6 +254,15 @@ pub struct Harness {
     data: OnceMap<Domain, Arc<(Corpus, Corpus)>>,
     /// Inferred phrase configs per (domain, size, sample).
     phrase_cache: OnceMap<(Domain, usize, usize), FieldSwapConfig>,
+    /// On-disk per-cell result cache; when set, completed cells are
+    /// persisted and consulted before computing (`--checkpoint-dir` /
+    /// `--resume`).
+    checkpoint: Option<CellCache>,
+    /// Test hook: cells that should panic, with a remaining-failure
+    /// count. Consulted *after* the cache, decremented per attempt, so a
+    /// count of 1 exercises the retry path and a large count the
+    /// failed-cell path.
+    fail_injections: Mutex<HashMap<CellCoords, usize>>,
 }
 
 impl Harness {
@@ -280,12 +296,83 @@ impl Harness {
             }),
             data: OnceMap::named("domain_data"),
             phrase_cache: OnceMap::named("phrase_cache"),
+            checkpoint: None,
+            fail_injections: Mutex::new(HashMap::new()),
         }
     }
 
     /// The harness options.
     pub fn options(&self) -> &HarnessOptions {
         &self.opts
+    }
+
+    /// Attaches an on-disk cell cache: every completed cell is persisted,
+    /// and already-persisted cells are returned without recomputation.
+    /// Because cells are deterministic in their coordinates, a resumed
+    /// grid is byte-identical to an uninterrupted one.
+    pub fn attach_checkpoint(&mut self, cache: CellCache) {
+        self.checkpoint = Some(cache);
+    }
+
+    /// The attached cell cache, if any.
+    pub fn checkpoint(&self) -> Option<&CellCache> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Test hook: make a cell panic on its next `times` attempts. The
+    /// injection sits between the cache lookup and the real computation,
+    /// so `times = 1` exercises the worker retry and a larger count the
+    /// failed-cell accounting.
+    #[doc(hidden)]
+    pub fn fail_cell_for_tests(&self, coords: CellCoords, times: usize) {
+        self.fail_injections
+            .lock()
+            .expect("injection map poisoned")
+            .insert(coords, times);
+    }
+
+    /// One cell through the cache: hit → cached result, miss → compute
+    /// and persist. Panics (injected or organic) propagate to the worker
+    /// pool's `catch_unwind`.
+    fn run_cell(&self, coords: CellCoords) -> ExperimentResult {
+        let (domain, size, arm, sample_idx, trial_idx) = coords;
+        if let Some(cache) = &self.checkpoint {
+            if let Some(hit) = cache.load(coords) {
+                fieldswap_obs::counter_add("fieldswap_grid_cells_cached", 1);
+                return hit;
+            }
+        }
+        let inject = {
+            // Decrement inside the lock, panic outside it: unwinding
+            // while holding the guard would poison the map for every
+            // other worker.
+            let mut map = self.fail_injections.lock().expect("injection map poisoned");
+            match map.get_mut(&coords) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if inject {
+            panic!("injected failure for cell {coords:?}");
+        }
+        let result = self.run_single(domain, size, arm, sample_idx, trial_idx);
+        if let Some(cache) = &self.checkpoint {
+            cache.store_ok(coords, &result);
+        }
+        result
+    }
+
+    /// Records a double-panicked cell: an error log line, a diagnostic
+    /// checkpoint record, and (via the caller) a slot in the summary's
+    /// `failed_cells` count.
+    fn note_failure(&self, coords: CellCoords, p: &SlotPanic) {
+        fieldswap_obs::error!("grid cell {coords:?} failed after retry: {}", p.payload);
+        if let Some(cache) = &self.checkpoint {
+            cache.store_failed(coords, &p.payload);
+        }
     }
 
     /// The (pool, test) corpora for a domain, generated on first use at
@@ -469,31 +556,60 @@ impl Harness {
     /// `n_samples x n_trials` experiments, averaged. Experiments fan out
     /// over `opts.jobs` workers; the summary is bit-identical to a serial
     /// run because each cell's randomness and output slot depend only on
-    /// its coordinates.
+    /// its coordinates. A cell that panics twice is dropped from the
+    /// averages and counted in `failed_cells` while the rest of the
+    /// point completes.
     pub fn run_point(&self, domain: Domain, size: usize, arm: Arm) -> PointSummary {
         let n_trials = self.opts.n_trials;
         let n_cells = self.opts.n_samples * n_trials;
-        let runs = par_map_indexed(n_cells, self.opts.jobs, |cell| {
-            self.run_single(domain, size, arm, cell / n_trials, cell % n_trials)
-        });
-        self.summarize(domain, size, arm, runs)
+        let coords = |cell: usize| (domain, size, arm, cell / n_trials, cell % n_trials);
+        let outcomes =
+            par_try_map_indexed(n_cells, self.opts.jobs, |cell| self.run_cell(coords(cell)));
+        let mut runs = Vec::with_capacity(n_cells);
+        let mut failed = 0;
+        for (cell, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(r) => runs.push(r),
+                Err(p) => {
+                    failed += 1;
+                    self.note_failure(coords(cell), &p);
+                }
+            }
+        }
+        self.summarize(domain, size, arm, runs, failed)
     }
 
     /// Runs every `(domain, size, arm)` point of a grid, fanning *all*
     /// experiments of *all* points into one worker pool — so small points
     /// can't leave cores idle while a big point finishes. Summaries come
-    /// back in the order of `points`.
+    /// back in the order of `points`, each reporting its own
+    /// `failed_cells` count.
     pub fn run_grid(&self, points: &[(Domain, usize, Arm)]) -> Vec<PointSummary> {
         let n_trials = self.opts.n_trials;
         let per_point = self.opts.n_samples * n_trials;
-        let runs = par_map_indexed(points.len() * per_point, self.opts.jobs, |i| {
+        let coords = |i: usize| {
             let (domain, size, arm) = points[i / per_point];
             let cell = i % per_point;
-            self.run_single(domain, size, arm, cell / n_trials, cell % n_trials)
+            (domain, size, arm, cell / n_trials, cell % n_trials)
+        };
+        let outcomes = par_try_map_indexed(points.len() * per_point, self.opts.jobs, |i| {
+            self.run_cell(coords(i))
         });
+        let mut outcomes = outcomes.into_iter().enumerate();
         let mut out = Vec::with_capacity(points.len());
-        for (p, chunk) in points.iter().zip(runs.chunks(per_point)) {
-            out.push(self.summarize(p.0, p.1, p.2, chunk.to_vec()));
+        for &(domain, size, arm) in points {
+            let mut runs = Vec::with_capacity(per_point);
+            let mut failed = 0;
+            for (i, outcome) in outcomes.by_ref().take(per_point) {
+                match outcome {
+                    Ok(r) => runs.push(r),
+                    Err(p) => {
+                        failed += 1;
+                        self.note_failure(coords(i), &p);
+                    }
+                }
+            }
+            out.push(self.summarize(domain, size, arm, runs, failed));
         }
         out
     }
@@ -504,15 +620,35 @@ impl Harness {
         size: usize,
         arm: Arm,
         runs: Vec<ExperimentResult>,
+        failed_cells: usize,
     ) -> PointSummary {
-        let n = runs.len() as f64;
+        if failed_cells > 0 {
+            fieldswap_obs::warn!(
+                "({}, {}, {}): {} cell(s) failed; means cover {} success(es) only",
+                domain.name(),
+                size,
+                arm.label(),
+                failed_cells,
+                runs.len()
+            );
+        }
+        // Guard the all-cells-failed case: 0.0, not 0/0 — NaN would be
+        // unrepresentable in the JSON reports.
+        let mean = |sum: f64| {
+            if runs.is_empty() {
+                0.0
+            } else {
+                sum / runs.len() as f64
+            }
+        };
         PointSummary {
             domain: domain.name().to_string(),
             size,
             arm: arm.label().to_string(),
-            macro_f1: runs.iter().map(|r| r.macro_f1).sum::<f64>() / n,
-            micro_f1: runs.iter().map(|r| r.micro_f1).sum::<f64>() / n,
-            synthetics: runs.iter().map(|r| r.n_synthetics as f64).sum::<f64>() / n,
+            macro_f1: mean(runs.iter().map(|r| r.macro_f1).sum::<f64>()),
+            micro_f1: mean(runs.iter().map(|r| r.micro_f1).sum::<f64>()),
+            synthetics: mean(runs.iter().map(|r| r.n_synthetics as f64).sum::<f64>()),
+            failed_cells,
             runs,
         }
     }
@@ -690,6 +826,54 @@ mod tests {
         for ((domain, size, arm), summary) in points.iter().zip(&grid) {
             assert_eq!(summary, &h.run_point(*domain, *size, *arm));
         }
+    }
+
+    #[test]
+    fn injected_panic_fails_cell_but_grid_survives() {
+        let mut opts = tiny_options();
+        opts.n_trials = 2;
+        opts.jobs = 2;
+        let h = Harness::new(opts);
+        // Panic persistently: first attempt AND retry both die.
+        h.fail_cell_for_tests((Domain::Fara, 10, Arm::Baseline, 0, 1), usize::MAX);
+        let p = h.run_point(Domain::Fara, 10, Arm::Baseline);
+        assert_eq!(p.failed_cells, 1);
+        assert_eq!(p.runs.len(), 1, "surviving cell still reported");
+        // The surviving cell matches what a clean harness computes.
+        let clean = Harness::new(tiny_options());
+        let expect = clean.run_single(Domain::Fara, 10, Arm::Baseline, 0, 0);
+        assert_eq!(p.runs[0], expect);
+        assert_eq!(p.macro_f1, expect.macro_f1, "mean over successes only");
+    }
+
+    #[test]
+    fn transient_injected_panic_is_retried_to_success() {
+        let mut opts = tiny_options();
+        opts.n_trials = 2;
+        let h = Harness::new(opts);
+        // One failure: the first attempt panics, the retry computes.
+        h.fail_cell_for_tests((Domain::Fara, 10, Arm::Baseline, 0, 0), 1);
+        let p = h.run_point(Domain::Fara, 10, Arm::Baseline);
+        assert_eq!(p.failed_cells, 0);
+        assert_eq!(p.runs.len(), 2);
+        let clean = Harness::new({
+            let mut o = tiny_options();
+            o.n_trials = 2;
+            o
+        });
+        assert_eq!(p, clean.run_point(Domain::Fara, 10, Arm::Baseline));
+    }
+
+    #[test]
+    fn all_cells_failed_reports_zeroed_means_not_nan() {
+        let h = Harness::new(tiny_options());
+        h.fail_cell_for_tests((Domain::Fara, 10, Arm::Baseline, 0, 0), usize::MAX);
+        let p = h.run_point(Domain::Fara, 10, Arm::Baseline);
+        assert_eq!(p.failed_cells, 1);
+        assert!(p.runs.is_empty());
+        assert_eq!(p.macro_f1, 0.0);
+        // The summary must stay representable in the JSON reports.
+        assert!(serde_json::to_string(&p).is_ok());
     }
 
     #[test]

@@ -26,6 +26,30 @@ impl From<io::Error> for ModelIoError {
     }
 }
 
+impl ModelIoError {
+    /// Rewrites a mid-parse `UnexpectedEof` as a [`ModelIoError::Format`]
+    /// naming the section being read: a truncated file is a corrupt
+    /// *model*, not an environment fault, and callers matching on `Io`
+    /// for retry logic must not see it. Genuine I/O errors pass through.
+    fn eof_in_section(self, section: &str) -> Self {
+        match self {
+            ModelIoError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                ModelIoError::Format(format!("truncated model: unexpected EOF in {section}"))
+            }
+            other => other,
+        }
+    }
+}
+
+/// Runs a read closure, converting an `UnexpectedEof` into a `Format`
+/// error that names `section`.
+fn in_section<T>(
+    section: &str,
+    f: impl FnOnce() -> Result<T, ModelIoError>,
+) -> Result<T, ModelIoError> {
+    f().map_err(|e| e.eof_in_section(section))
+}
+
 impl std::fmt::Display for ModelIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -119,27 +143,29 @@ impl ModelParts {
         Ok(())
     }
 
-    /// Reads parts from `r`, validating the header.
+    /// Reads parts from `r`, validating the header. A stream that ends
+    /// mid-section surfaces as [`ModelIoError::Format`] naming the
+    /// section, never as a bare `Io(UnexpectedEof)`.
     pub fn read<R: Read>(r: &mut R) -> Result<ModelParts, ModelIoError> {
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        in_section("magic header", || Ok(r.read_exact(&mut magic)?))?;
         if &magic != MAGIC {
             return Err(ModelIoError::Format("bad magic".into()));
         }
-        let n_fields = read_u64(r)? as usize;
-        let nt = read_u64(r)? as usize;
+        let n_fields = in_section("field count", || Ok(read_u64(r)?))? as usize;
+        let nt = in_section("field-type count", || Ok(read_u64(r)?))? as usize;
         if nt != n_fields {
             return Err(ModelIoError::Format(format!(
                 "field-type count {nt} != field count {n_fields}"
             )));
         }
         let mut field_types = vec![0u8; nt];
-        r.read_exact(&mut field_types)?;
+        in_section("field-type table", || Ok(r.read_exact(&mut field_types)?))?;
         if field_types.iter().any(|&t| t > 4) {
             return Err(ModelIoError::Format("bad base-type discriminant".into()));
         }
-        let weights = read_f32s(r)?;
-        let transitions = read_f32s(r)?;
+        let weights = in_section("emission weights", || read_f32s(r))?;
+        let transitions = in_section("transition weights", || read_f32s(r))?;
         let expected_tags = 1 + 4 * n_fields;
         if transitions.len() != expected_tags * expected_tags {
             return Err(ModelIoError::Format(format!(
@@ -148,17 +174,20 @@ impl ModelParts {
                 expected_tags * expected_tags
             )));
         }
-        let lexicon_docs = read_u64(r)? as u32;
-        let n_entries = read_u64(r)? as usize;
+        let lexicon_docs = in_section("lexicon header", || Ok(read_u64(r)?))? as u32;
+        let n_entries = in_section("lexicon header", || Ok(read_u64(r)?))? as usize;
         if n_entries > 1 << 24 {
             return Err(ModelIoError::Format("lexicon too large".into()));
         }
         let mut lexicon_entries = Vec::with_capacity(n_entries);
-        for _ in 0..n_entries {
-            let tok = read_string(r)?;
-            let count = read_u64(r)? as u32;
-            lexicon_entries.push((tok, count));
-        }
+        in_section("lexicon entries", || {
+            for _ in 0..n_entries {
+                let tok = read_string(r)?;
+                let count = read_u64(r)? as u32;
+                lexicon_entries.push((tok, count));
+            }
+            Ok(())
+        })?;
         Ok(ModelParts {
             n_fields,
             field_types,
@@ -228,6 +257,81 @@ mod tests {
         assert!(Extractor::from_bytes(b"").is_err());
         // Right magic, truncated body.
         assert!(Extractor::from_bytes(b"FSEXTRC1\x01").is_err());
+    }
+
+    #[test]
+    fn truncation_reports_format_with_section() {
+        let train = generate(Domain::Fara, 11, 5);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::pretrain(&train.documents),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        let bytes = ex.to_bytes();
+        let parts = ex.to_parts();
+
+        // Section boundaries in the layout (see `ModelParts::write`).
+        let after_magic = 8;
+        let after_header = after_magic + 16;
+        let after_types = after_header + parts.field_types.len();
+        let after_weights = after_types + 8 + 4 * parts.weights.len();
+        let after_transitions = after_weights + 8 + 4 * parts.transitions.len();
+        let cases = [
+            (3, "magic header"),
+            (after_magic + 2, "field count"),
+            (after_magic + 12, "field-type count"),
+            (after_header + 1, "field-type table"),
+            (after_types + 3, "emission weights"),
+            (after_types + 1000, "emission weights"),
+            (after_weights + 5, "transition weights"),
+            (after_transitions + 7, "lexicon header"),
+            (bytes.len() - 1, "lexicon entries"),
+        ];
+        for (cut, section) in cases {
+            let err = Extractor::from_bytes(&bytes[..cut])
+                .err()
+                .unwrap_or_else(|| panic!("truncation at {cut} accepted"));
+            match err {
+                ModelIoError::Format(msg) => assert!(
+                    msg.contains(section),
+                    "cut at {cut}: expected section {section:?} in {msg:?}"
+                ),
+                ModelIoError::Io(e) => {
+                    panic!("cut at {cut} surfaced as bare Io({e}) instead of Format")
+                }
+            }
+        }
+
+        // Round trip: the untruncated bytes still deserialize exactly.
+        let back = Extractor::from_bytes(&bytes).unwrap();
+        let probe = generate(Domain::Fara, 12, 3);
+        for d in &probe.documents {
+            assert_eq!(ex.predict(d), back.predict(d));
+        }
+    }
+
+    #[test]
+    fn real_io_errors_pass_through_unmapped() {
+        // A reader failing with a non-EOF kind must stay `Io`: only
+        // truncation is reinterpreted as a format problem.
+        struct Broken;
+        impl std::io::Read for Broken {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::PermissionDenied,
+                    "no",
+                ))
+            }
+        }
+        match ModelParts::read(&mut Broken) {
+            Err(ModelIoError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::PermissionDenied)
+            }
+            Err(other) => panic!("expected Io(PermissionDenied), got {other:?}"),
+            Ok(_) => panic!("read from a broken reader succeeded"),
+        }
     }
 
     #[test]

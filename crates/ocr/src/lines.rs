@@ -7,8 +7,11 @@
 //! this with a two-stage geometric clustering:
 //!
 //! 1. **Row grouping** — tokens are sorted by y-center; a token joins the
-//!    current row while its vertical IoU with the row's running bounding box
-//!    exceeds `min_y_iou`.
+//!    current row while its vertical IoU with the row's *seed token* (the
+//!    token that opened the row) exceeds `min_y_iou`. Comparing against a
+//!    fixed band rather than the row's ever-growing union box keeps a
+//!    staircase of slightly-jittered tokens from chaining visually
+//!    distinct rows into one line.
 //! 2. **Gap splitting** — each row is sorted by x and split wherever the
 //!    horizontal gap between consecutive tokens exceeds
 //!    `max_gap_ratio * median_token_height` (whitespace wide relative to the
@@ -54,14 +57,17 @@ impl LineDetector {
                 .then(ta.x0.total_cmp(&tb.x0))
         });
 
-        // Stage 1: rows by vertical IoU with the running row box.
+        // Stage 1: rows by vertical IoU with the row's seed-token band.
+        // The seed band is fixed when the row opens; testing against it
+        // (instead of the running union box) means every member of a row
+        // overlaps the same reference band, so jittered tokens can't
+        // drift the row boundary downward one step at a time.
         let mut rows: Vec<(Vec<u32>, BBox)> = Vec::new();
         for id in ids {
             let tb = doc.tokens[id as usize].bbox;
             match rows.last_mut() {
-                Some((row, row_box)) if row_box.y_iou(&tb) >= self.min_y_iou => {
+                Some((row, seed_band)) if seed_band.y_iou(&tb) >= self.min_y_iou => {
                     row.push(id);
-                    *row_box = row_box.union(&tb);
                 }
                 _ => rows.push((vec![id], tb)),
             }
@@ -121,6 +127,7 @@ fn median_height(doc: &Document) -> f32 {
 mod tests {
     use super::*;
     use fieldswap_docmodel::{DocumentBuilder, Token};
+    use proptest::prelude::*;
 
     fn tok(text: &str, x: f32, y: f32) -> Token {
         Token::new(text, BBox::new(x, y, x + 8.0 * text.len() as f32, y + 12.0))
@@ -225,5 +232,109 @@ mod tests {
         let lines = LineDetector::default().detect(&d);
         assert_eq!(lines.len(), 1);
         assert_eq!(lines[0].tokens, vec![1, 0]);
+    }
+
+    #[test]
+    fn staircase_does_not_chain_distinct_rows() {
+        // Five 12-high tokens stepping down 3px each. Adjacent pairs
+        // overlap well (IoU 0.6), but token 4 (y 22..34) barely touches
+        // token 0 (y 10..22) — these are visually distinct rows. Under
+        // the old running-union test each step kept IoU >= 0.4 against
+        // the grown box and the whole staircase fused into ONE line;
+        // the seed-band test re-seeds a row as soon as the drift leaves
+        // the opening token's band.
+        let d = doc(vec![
+            tok("s0", 10.0, 10.0),
+            tok("s1", 40.0, 13.0),
+            tok("s2", 70.0, 16.0),
+            tok("s3", 100.0, 19.0),
+            tok("s4", 130.0, 22.0),
+        ]);
+        let lines = LineDetector::default().detect(&d);
+        assert!(
+            lines.len() >= 2,
+            "staircase chained into {} line(s)",
+            lines.len()
+        );
+        // Members of one line all overlap that line's topmost token.
+        for l in &lines {
+            let seed = d.tokens[l.tokens[0] as usize].bbox;
+            for &t in &l.tokens {
+                assert!(
+                    seed.y_iou(&d.tokens[t as usize].bbox) > 0.0,
+                    "line member does not overlap its seed band"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn far_apart_rows_still_split_with_seed_band() {
+        // Sanity: clearly separate rows remain separate and clearly
+        // aligned rows remain whole after the seed-band change.
+        let d = doc(vec![
+            tok("a", 10.0, 10.0),
+            tok("b", 40.0, 11.0),
+            tok("c", 70.0, 9.5),
+            tok("d", 10.0, 40.0),
+            tok("e", 40.0, 40.5),
+        ]);
+        let lines = LineDetector::default().detect(&d);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].tokens.len(), 3);
+        assert_eq!(lines[1].tokens.len(), 2);
+    }
+
+    /// Canonical shape of a detection result: each line as the sorted
+    /// list of its tokens' (x0, y0) corners, lines sorted — comparable
+    /// across documents whose tokens were inserted in different orders.
+    fn shape(doc: &Document, lines: &[Line]) -> Vec<Vec<(i64, i64)>> {
+        let mut out: Vec<Vec<(i64, i64)>> = lines
+            .iter()
+            .map(|l| {
+                let mut pts: Vec<(i64, i64)> = l
+                    .tokens
+                    .iter()
+                    .map(|&t| {
+                        let b = doc.tokens[t as usize].bbox;
+                        (b.x0 as i64, b.y0 as i64)
+                    })
+                    .collect();
+                pts.sort_unstable();
+                pts
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    proptest! {
+        /// Detection must not depend on token *input order*: the sort at
+        /// the top of `detect` canonicalizes by geometry, so any
+        /// permutation of the same boxes yields the same lines.
+        #[test]
+        fn prop_detection_invariant_to_token_order(
+            cells in proptest::collection::vec((0u32..8, 0u32..6), 1..12),
+            rot in 0usize..12,
+        ) {
+            // Distinct grid positions so no two tokens tie exactly.
+            let mut cells = cells;
+            cells.sort_unstable();
+            cells.dedup();
+            let toks: Vec<Token> = cells
+                .iter()
+                .map(|&(cx, cy)| tok("w", 10.0 + 70.0 * cx as f32, 10.0 + 17.0 * cy as f32))
+                .collect();
+            let mut rotated = toks.clone();
+            rotated.rotate_left(rot % toks.len().max(1));
+            rotated.reverse();
+
+            let d1 = doc(toks);
+            let d2 = doc(rotated);
+            let det = LineDetector::default();
+            let s1 = shape(&d1, &det.detect(&d1));
+            let s2 = shape(&d2, &det.detect(&d2));
+            prop_assert_eq!(s1, s2);
+        }
     }
 }

@@ -22,6 +22,12 @@ pub struct NoiseParams {
     pub char_sub_rate: f64,
     /// Within a corrupted token, per-character deletion probability.
     pub char_del_rate: f64,
+    /// Within a corrupted token, probability that the whole token's case
+    /// is flipped (upper ↔ lower, per character). At the default of 0.0
+    /// no RNG draw is spent on the decision, so noise streams produced by
+    /// pre-existing profiles and seeds are byte-identical to before the
+    /// field existed.
+    pub case_flip_rate: f64,
 }
 
 impl Default for NoiseParams {
@@ -30,6 +36,7 @@ impl Default for NoiseParams {
             token_error_rate: 0.0,
             char_sub_rate: 0.0,
             char_del_rate: 0.0,
+            case_flip_rate: 0.0,
         }
     }
 }
@@ -41,6 +48,7 @@ impl NoiseParams {
             token_error_rate: 0.01,
             char_sub_rate: 0.3,
             char_del_rate: 0.05,
+            case_flip_rate: 0.0,
         }
     }
 
@@ -50,6 +58,7 @@ impl NoiseParams {
             token_error_rate: 0.10,
             char_sub_rate: 0.5,
             char_del_rate: 0.15,
+            case_flip_rate: 0.0,
         }
     }
 }
@@ -59,6 +68,18 @@ impl NoiseParams {
 pub struct NoiseModel {
     params: NoiseParams,
     rng: StdRng,
+}
+
+/// Toggles the case of one character, the token-level OCR "case flip"
+/// error mode (e.g. a lowercase scan read as small caps). ASCII-only:
+/// keeps the character count stable, which is all the generated corpora
+/// contain.
+fn toggle_case(c: char) -> char {
+    if c.is_ascii_lowercase() {
+        c.to_ascii_uppercase()
+    } else {
+        c.to_ascii_lowercase()
+    }
 }
 
 /// Visually confusable character pairs used for substitutions.
@@ -91,6 +112,11 @@ impl NoiseModel {
         if text.is_empty() || !self.rng.gen_bool(self.params.token_error_rate) {
             return text.to_string();
         }
+        // The `> 0.0` guard is load-bearing: `gen_bool` always consumes a
+        // draw, so an unguarded call would shift every subsequent decision
+        // and silently change all pre-existing seeded noise streams.
+        let flip_case =
+            self.params.case_flip_rate > 0.0 && self.rng.gen_bool(self.params.case_flip_rate);
         let mut out = String::with_capacity(text.len());
         for c in text.chars() {
             if self.rng.gen_bool(self.params.char_del_rate) {
@@ -107,6 +133,9 @@ impl NoiseModel {
         if out.is_empty() {
             // Deletion wiped the token; keep the first character.
             out.push(text.chars().next().unwrap());
+        }
+        if flip_case {
+            out = out.chars().map(toggle_case).collect();
         }
         out
     }
@@ -148,6 +177,7 @@ mod tests {
             token_error_rate: 1.0,
             char_sub_rate: 1.0,
             char_del_rate: 0.0,
+            ..NoiseParams::default()
         };
         let mut m = NoiseModel::new(params, 7);
         // Every confusable char must flip.
@@ -172,6 +202,7 @@ mod tests {
             token_error_rate: 1.0,
             char_sub_rate: 0.0,
             char_del_rate: 1.0,
+            ..NoiseParams::default()
         };
         let mut m = NoiseModel::new(params, 3);
         let out = m.corrupt_text("abc");
@@ -188,6 +219,76 @@ mod tests {
         m.apply(&mut d);
         assert_eq!(d.tokens.iter().map(|t| t.bbox).collect::<Vec<_>>(), boxes);
         assert_eq!(d.annotations, anns);
+    }
+
+    #[test]
+    fn case_flip_flips_whole_token() {
+        let params = NoiseParams {
+            token_error_rate: 1.0,
+            char_sub_rate: 0.0,
+            char_del_rate: 0.0,
+            case_flip_rate: 1.0,
+        };
+        let mut m = NoiseModel::new(params, 5);
+        assert_eq!(m.corrupt_text("Base"), "bASE");
+        assert_eq!(m.corrupt_text("salary"), "SALARY");
+        assert_eq!(m.corrupt_text("$3.50"), "$3.50");
+    }
+
+    #[test]
+    fn case_flip_composes_with_substitution() {
+        // Substitution runs first (l -> 1 has no case), then the flip
+        // applies to the substituted output.
+        let params = NoiseParams {
+            token_error_rate: 1.0,
+            char_sub_rate: 1.0,
+            char_del_rate: 0.0,
+            case_flip_rate: 1.0,
+        };
+        let mut m = NoiseModel::new(params, 5);
+        // '0' -> 'O' by confusion, then flipped to 'o'.
+        assert_eq!(m.corrupt_text("0"), "o");
+    }
+
+    #[test]
+    fn zero_case_flip_rate_preserves_pre_existing_streams() {
+        // Golden outputs captured from the model *before* the
+        // `case_flip_rate` field existed (same params, same seed, same
+        // call sequence). A rate of 0.0 must not consume an RNG draw, or
+        // every seeded corpus in the workspace silently changes.
+        let mut m = NoiseModel::new(
+            NoiseParams {
+                token_error_rate: 1.0,
+                char_sub_rate: 0.5,
+                char_del_rate: 0.2,
+                case_flip_rate: 0.0,
+            },
+            7,
+        );
+        assert_eq!(m.corrupt_text("Base"), "asc");
+        assert_eq!(m.corrupt_text("Salary"), "ar");
+        assert_eq!(m.corrupt_text("$3,308.62"), "3,362");
+        assert_eq!(m.corrupt_text("O0l15S8B"), "0Ol1S5B");
+    }
+
+    #[test]
+    fn harsh_profile_stream_unchanged_by_new_field() {
+        // Same golden-pin idea for a stock profile: harsh()/seed 42's
+        // first divergent corruptions, captured before the field existed.
+        let mut m = NoiseModel::new(NoiseParams::harsh(), 42);
+        let mut diverged = Vec::new();
+        for w in ["Overtime", "Pay", "Rate", "Hours"] {
+            for _ in 0..40 {
+                let out = m.corrupt_text(w);
+                if out != w {
+                    diverged.push(out);
+                }
+            }
+        }
+        assert_eq!(
+            &diverged[..4],
+            &["Ovcrtime", "Overtine", "Overtm", "Ovcrtim"]
+        );
     }
 
     #[test]
