@@ -114,6 +114,7 @@ fn bench_extractor(c: &mut Criterion) {
             epochs: 2,
             synth_ratio: 0.0,
             seed: 1,
+            ..TrainConfig::default()
         },
     );
     let doc = &train.documents[0];
@@ -134,6 +135,7 @@ fn bench_extractor(c: &mut Criterion) {
                     epochs: 1,
                     synth_ratio: 0.0,
                     seed: 2,
+                    ..TrainConfig::default()
                 },
             ))
         })

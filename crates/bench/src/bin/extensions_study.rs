@@ -86,6 +86,7 @@ fn main() {
         epochs: if args.full { 8 } else { 5 },
         synth_ratio: 2.0,
         seed: args.seed,
+        ..TrainConfig::default()
     };
     let base = evaluate(
         &Extractor::train_on(&sample.schema, lexicon.clone(), &sample, &[], &cfg),

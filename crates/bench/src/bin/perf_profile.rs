@@ -149,6 +149,7 @@ fn main() {
         epochs: 5,
         synth_ratio: 2.0,
         seed,
+        ..TrainConfig::default()
     };
 
     // Stage: extractor training (the train_mixed hot path).

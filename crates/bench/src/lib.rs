@@ -24,6 +24,13 @@
 //! * `--resume <path>` — resume from an existing checkpoint directory:
 //!   finished cells are loaded instead of recomputed, and the output is
 //!   byte-identical to an uninterrupted run.
+//! * `--attacks <list>` — comma-separated form-attack names for the
+//!   robustness binaries (`keyphrase-abbrev`, `token-drop`, `box-jitter`,
+//!   `line-merge-split`, `value-noise`, `separation-shift`, or `all`).
+//! * `--attack-strength <x>` — attack strength in `[0, 1]` (default 0.5).
+//! * `--no-sanitize` — skip document validation/repair at corpus
+//!   ingestion. Sanitization is a strict no-op on well-formed documents,
+//!   so this flag exists only to prove that byte-identity in CI.
 //! * `--verbose`/`-v`, `--quiet`/`-q` — logger verbosity.
 //!
 //! Every option that takes a value rejects a `--`-prefixed token in the
@@ -66,6 +73,15 @@ pub struct BinArgs {
     pub checkpoint_dir: Option<String>,
     /// Existing checkpoint directory to resume from (`--resume`).
     pub resume: Option<String>,
+    /// Comma-separated attack names for the robustness binaries
+    /// (`--attacks`; `all` or absent = the full taxonomy).
+    pub attacks: Option<String>,
+    /// Attack strength in `[0, 1]` (`--attack-strength`, default 0.5).
+    pub attack_strength: Option<f64>,
+    /// Skip ingestion sanitization (`--no-sanitize`). Sanitization is a
+    /// strict no-op on well-formed corpora; CI diffs outputs with and
+    /// without this flag to prove it.
+    pub no_sanitize: bool,
     /// Logger verbosity override (`--verbose`/`-v`, `--quiet`/`-q`).
     pub verbosity: Option<fieldswap_obs::Verbosity>,
 }
@@ -119,6 +135,9 @@ impl BinArgs {
             metrics: None,
             checkpoint_dir: None,
             resume: None,
+            attacks: None,
+            attack_strength: None,
+            no_sanitize: false,
             verbosity: None,
         };
         fn num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
@@ -155,6 +174,20 @@ impl BinArgs {
                         Some(take_value(args, &mut i, "--checkpoint-dir")?.to_string())
                 }
                 "--resume" => out.resume = Some(take_value(args, &mut i, "--resume")?.to_string()),
+                "--attacks" => {
+                    out.attacks = Some(take_value(args, &mut i, "--attacks")?.to_string())
+                }
+                "--attack-strength" => {
+                    let s: f64 = num(
+                        take_value(args, &mut i, "--attack-strength")?,
+                        "--attack-strength",
+                    )?;
+                    if !(0.0..=1.0).contains(&s) {
+                        return Err(format!("--attack-strength: {s} outside [0, 1]"));
+                    }
+                    out.attack_strength = Some(s);
+                }
+                "--no-sanitize" => out.no_sanitize = true,
                 "--verbose" | "-v" => out.verbosity = Some(fieldswap_obs::Verbosity::Verbose),
                 "--quiet" | "-q" => out.verbosity = Some(fieldswap_obs::Verbosity::Quiet),
                 other => return Err(format!("unknown flag {other}")),
@@ -192,7 +225,19 @@ impl BinArgs {
         if let Some(j) = self.jobs {
             o.jobs = j;
         }
+        if self.no_sanitize {
+            o.sanitize = false;
+        }
         o
+    }
+
+    /// The attack suite selected by `--attacks`/`--attack-strength`
+    /// (default: the full taxonomy at strength 0.5). Errors abort with a
+    /// usage message, matching the other flag validators.
+    pub fn attack_suite(&self) -> Vec<fieldswap_eval::AttackSpec> {
+        let strength = self.attack_strength.unwrap_or(0.5);
+        fieldswap_eval::AttackSpec::parse_list(self.attacks.as_deref().unwrap_or("all"), strength)
+            .unwrap_or_else(|msg| usage(&format!("--attacks: {msg}")))
     }
 
     /// Builds the harness for these options and attaches the cell cache
@@ -288,7 +333,7 @@ fn parse_domain(name: &str) -> Option<Domain> {
 /// Prints `msg` plus the shared usage line to stderr and exits 1.
 pub fn usage(msg: &str) -> ! {
     fieldswap_obs::error!("{msg}");
-    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--trace PATH] [--metrics PATH] [--checkpoint-dir PATH] [--resume PATH] [--verbose|-v] [--quiet|-q]");
+    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--trace PATH] [--metrics PATH] [--checkpoint-dir PATH] [--resume PATH] [--attacks LIST] [--attack-strength X] [--no-sanitize] [--verbose|-v] [--quiet|-q]");
     std::process::exit(1)
 }
 
@@ -421,10 +466,40 @@ mod tests {
             "--metrics",
             "--checkpoint-dir",
             "--resume",
+            "--attacks",
+            "--attack-strength",
         ] {
             let err = BinArgs::try_parse_from(&argv(&[flag, "--full"])).unwrap_err();
             assert!(err.contains(flag), "{flag}: {err}");
         }
+    }
+
+    #[test]
+    fn attack_flags_parse_and_validate() {
+        let a = BinArgs::try_parse_from(&argv(&[
+            "--attacks",
+            "token-drop,box-jitter",
+            "--attack-strength",
+            "0.25",
+            "--no-sanitize",
+        ]))
+        .unwrap();
+        assert_eq!(a.attacks.as_deref(), Some("token-drop,box-jitter"));
+        assert_eq!(a.attack_strength, Some(0.25));
+        assert!(a.no_sanitize);
+        assert!(!a.harness_options().sanitize);
+        let suite = a.attack_suite();
+        assert_eq!(suite.len(), 2);
+        assert!((suite[0].strength - 0.25).abs() < 1e-12);
+
+        // Default: sanitization on, full taxonomy at 0.5.
+        let d = BinArgs::try_parse_from(&argv(&[])).unwrap();
+        assert!(d.harness_options().sanitize);
+        assert_eq!(d.attack_suite().len(), 6);
+        assert!((d.attack_suite()[0].strength - 0.5).abs() < 1e-12);
+
+        let err = BinArgs::try_parse_from(&argv(&["--attack-strength", "1.5"])).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
     }
 
     #[test]

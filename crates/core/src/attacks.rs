@@ -1,0 +1,617 @@
+//! Form-attack transforms for robustness evaluation.
+//!
+//! Implements the attack taxonomy of Xue et al. (*Robustness Evaluation of
+//! Transformer-based Form Field Extractors via Form Attacks*, see
+//! PAPERS.md) against this workspace's document model: perturbations of
+//! the key phrases, the OCR geometry, and the field values that a
+//! deployed extractor would encounter in the wild. Each attack is a pure
+//! `Document -> Document` transform — deterministic given `(kind,
+//! strength, seed)` — so attacked corpora are byte-identical across
+//! worker counts and across resumed runs.
+//!
+//! Attacks mirror the paper's taxonomy:
+//!
+//! * [`AttackKind::KeyPhraseAbbrev`] — key-phrase synonym/abbreviation
+//!   swap: unlabeled alphabetic tokens (the key-phrase vocabulary) are
+//!   abbreviated (`Salary` → `Sal.`).
+//! * [`AttackKind::TokenDrop`] — OCR misses: unlabeled tokens are
+//!   dropped and annotation indices remapped.
+//! * [`AttackKind::BoxJitter`] — bounding-box noise: every token's box is
+//!   translated by a random offset proportional to its height.
+//! * [`AttackKind::LineMergeSplit`] — line-detection errors: whole lines
+//!   are pulled up into their predecessor (merge) or a suffix of a line
+//!   is pushed down (split), then lines are re-detected.
+//! * [`AttackKind::ValueNoise`] — field-value character noise: the OCR
+//!   noise model (`fieldswap_ocr::noise`) applied to *labeled* tokens
+//!   only.
+//! * [`AttackKind::SeparationShift`] — key-phrase/value separation: the
+//!   value tokens of each annotation are translated away from their key
+//!   phrase.
+//!
+//! `strength` in `[0, 1]` scales every attack's rates and displacements
+//! (0 = no-op probabilities, 1 = harshest). All randomness derives from
+//! the caller's seed through a per-document SplitMix64 mix, so attacking
+//! a corpus is independent of document iteration order and thread count.
+
+use fieldswap_docmodel::{Corpus, Document, EntitySpan};
+use fieldswap_ocr::{detect_lines, NoiseModel, NoiseParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stream separator for attack randomness: mixed into every per-document
+/// attack seed so attack draws can never collide with sampling, training,
+/// or value-swap streams derived from the same master seed.
+pub const STREAM_ATTACK: u64 = 0xA7;
+
+/// The attack taxonomy. See the module docs for what each kind perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackKind {
+    /// Abbreviates unlabeled alphabetic tokens (key-phrase vocabulary).
+    KeyPhraseAbbrev,
+    /// Drops unlabeled tokens, remapping annotation indices.
+    TokenDrop,
+    /// Jitters every token's bounding box.
+    BoxJitter,
+    /// Merges lines into predecessors / splits line suffixes downward.
+    LineMergeSplit,
+    /// Applies OCR character noise to labeled (value) tokens only.
+    ValueNoise,
+    /// Translates annotation values away from their key phrases.
+    SeparationShift,
+}
+
+impl AttackKind {
+    /// Every attack kind, in canonical order.
+    pub const ALL: [AttackKind; 6] = [
+        AttackKind::KeyPhraseAbbrev,
+        AttackKind::TokenDrop,
+        AttackKind::BoxJitter,
+        AttackKind::LineMergeSplit,
+        AttackKind::ValueNoise,
+        AttackKind::SeparationShift,
+    ];
+
+    /// Stable kebab-case name (CLI flag values, table rows, seeds).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::KeyPhraseAbbrev => "keyphrase-abbrev",
+            AttackKind::TokenDrop => "token-drop",
+            AttackKind::BoxJitter => "box-jitter",
+            AttackKind::LineMergeSplit => "line-merge-split",
+            AttackKind::ValueNoise => "value-noise",
+            AttackKind::SeparationShift => "separation-shift",
+        }
+    }
+
+    /// Parses a kind from its [`AttackKind::name`]. Case-sensitive.
+    pub fn parse(s: &str) -> Option<AttackKind> {
+        AttackKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Stable index of the kind in [`AttackKind::ALL`] (seed derivation).
+    pub fn index(self) -> u64 {
+        AttackKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind present in ALL") as u64
+    }
+}
+
+/// SplitMix64-style avalanche mix of a seed with stream coordinates —
+/// the same construction the experiment harness uses for cell seeds, so
+/// per-document attack seeds are pure functions of `(master seed, stream,
+/// kind, strength, document index)`.
+fn mix(seed: u64, coords: &[u64]) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for &c in coords {
+        h ^= c.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+fn clamp_strength(strength: f64) -> f64 {
+    if strength.is_finite() {
+        strength.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+/// Applies one attack to a document, returning the perturbed copy. Pure:
+/// the input is never mutated, and equal `(doc, kind, strength, seed)`
+/// always produce byte-identical output. Degenerate inputs are sanitized
+/// first; the output always passes [`Document::validate`].
+pub fn attack_document(doc: &Document, kind: AttackKind, strength: f64, seed: u64) -> Document {
+    let strength = clamp_strength(strength);
+    let mut doc = doc.clone();
+    if doc.validate().is_err() {
+        doc.sanitize();
+    }
+    if doc.lines.is_empty() {
+        detect_lines(&mut doc);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = match kind {
+        AttackKind::KeyPhraseAbbrev => keyphrase_abbrev(doc, strength, &mut rng),
+        AttackKind::TokenDrop => token_drop(doc, strength, &mut rng),
+        AttackKind::BoxJitter => box_jitter(doc, strength, &mut rng),
+        AttackKind::LineMergeSplit => line_merge_split(doc, strength, &mut rng),
+        AttackKind::ValueNoise => value_noise(doc, strength, seed),
+        AttackKind::SeparationShift => separation_shift(doc, strength, &mut rng),
+    };
+    detect_lines(&mut out);
+    debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+    out
+}
+
+/// Applies one attack to every document of a corpus. Each document's
+/// randomness is seeded independently from `(seed, STREAM_ATTACK, kind,
+/// strength, doc index)`, so the result does not depend on evaluation
+/// order or worker count. Emits an `attack_corpus` span and a
+/// per-document counter when observability is enabled.
+pub fn attack_corpus(corpus: &Corpus, kind: AttackKind, strength: f64, seed: u64) -> Corpus {
+    let _span = fieldswap_obs::span_tagged("attack_corpus", || {
+        vec![
+            ("attack", kind.name().to_string()),
+            ("strength", format!("{strength}")),
+            ("docs", corpus.len().to_string()),
+        ]
+    });
+    let strength = clamp_strength(strength);
+    let documents = corpus
+        .documents
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let doc_seed = mix(
+                seed,
+                &[STREAM_ATTACK, kind.index(), strength.to_bits(), i as u64],
+            );
+            attack_document(d, kind, strength, doc_seed)
+        })
+        .collect();
+    if fieldswap_obs::metrics_enabled() {
+        fieldswap_obs::counter_add("fieldswap_attack_docs_total", corpus.len() as u64);
+    }
+    Corpus {
+        schema: corpus.schema.clone(),
+        documents,
+    }
+}
+
+/// Key-phrase abbreviation: unlabeled alphabetic tokens of 4+ characters
+/// are truncated to their first 3 characters plus `"."` with probability
+/// `0.2 + 0.6 * strength`. Labeled (value) tokens are never touched —
+/// this attacks the *cues*, not the answers.
+fn keyphrase_abbrev(mut doc: Document, strength: f64, rng: &mut StdRng) -> Document {
+    let p = 0.2 + 0.6 * strength;
+    let labeled = doc.labeled_token_set();
+    for (i, t) in doc.tokens.iter_mut().enumerate() {
+        if labeled[i] || t.text.chars().count() < 4 || !t.text.chars().all(|c| c.is_alphabetic()) {
+            continue;
+        }
+        if p > 0.0 && rng.gen_bool(p) {
+            let mut abbrev: String = t.text.chars().take(3).collect();
+            abbrev.push('.');
+            t.text = abbrev;
+        }
+    }
+    doc
+}
+
+/// Token drop: unlabeled tokens vanish with probability `0.05 + 0.25 *
+/// strength` (an OCR miss). Labeled tokens are always kept, so every
+/// annotation span survives contiguously; indices are remapped. The
+/// document is never emptied: if every token would drop, the first
+/// survives.
+fn token_drop(doc: Document, strength: f64, rng: &mut StdRng) -> Document {
+    let p = 0.05 + 0.25 * strength;
+    let labeled = doc.labeled_token_set();
+    let mut keep: Vec<bool> = (0..doc.tokens.len())
+        .map(|i| labeled[i] || !(p > 0.0 && rng.gen_bool(p)))
+        .collect();
+    if !keep.iter().any(|&k| k) && !keep.is_empty() {
+        keep[0] = true;
+    }
+    let mut index_map: Vec<Option<u32>> = vec![None; doc.tokens.len()];
+    let mut tokens = Vec::with_capacity(doc.tokens.len());
+    for (i, t) in doc.tokens.into_iter().enumerate() {
+        if keep[i] {
+            index_map[i] = Some(tokens.len() as u32);
+            tokens.push(t);
+        }
+    }
+    // Labeled tokens are all kept, so each span maps to a contiguous
+    // range starting at its remapped start.
+    let annotations = doc
+        .annotations
+        .iter()
+        .filter_map(|a| {
+            index_map[a.start as usize]
+                .map(|new_start| EntitySpan::new(a.field, new_start, new_start + (a.end - a.start)))
+        })
+        .collect();
+    Document {
+        id: doc.id,
+        tokens,
+        lines: Vec::new(),
+        annotations,
+    }
+}
+
+/// Bounding-box jitter: every token's box is translated by a uniform
+/// offset in `±strength × 0.6 × height` vertically and `±strength × 2 ×
+/// height` horizontally. Layout-derived features (lines, neighbor order,
+/// key-phrase adjacency) degrade while the text survives.
+fn box_jitter(mut doc: Document, strength: f64, rng: &mut StdRng) -> Document {
+    for t in &mut doc.tokens {
+        let h = t.bbox.height().max(1.0);
+        let dx = rng.gen_range(-1.0f32..1.0) * (strength as f32) * 2.0 * h;
+        let dy = rng.gen_range(-1.0f32..1.0) * (strength as f32) * 0.6 * h;
+        t.bbox = t.bbox.translated(dx, dy);
+    }
+    doc.lines = Vec::new();
+    doc
+}
+
+/// Line merge/split: with probability `0.1 + 0.3 × strength` a line's
+/// tokens are pulled up so the line fuses with its predecessor (merge);
+/// with the same probability the right half of a line is pushed down one
+/// line-height (split). Re-detection then sees the corrupted geometry.
+fn line_merge_split(mut doc: Document, strength: f64, rng: &mut StdRng) -> Document {
+    let p = 0.1 + 0.3 * strength;
+    let lines = doc.lines.clone();
+    for (li, line) in lines.iter().enumerate() {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        if r < p && li > 0 {
+            // Merge up: align this line's band with the previous line's.
+            let dy = lines[li - 1].bbox.y0 - line.bbox.y0;
+            for &t in &line.tokens {
+                let b = &mut doc.tokens[t as usize].bbox;
+                *b = b.translated(0.0, dy);
+            }
+        } else if r >= p && r < 2.0 * p && line.tokens.len() >= 2 {
+            // Split: push the right half down a line-height.
+            let dy = line.bbox.height().max(1.0) * 1.5;
+            for &t in &line.tokens[line.tokens.len() / 2..] {
+                let b = &mut doc.tokens[t as usize].bbox;
+                *b = b.translated(0.0, dy);
+            }
+        }
+    }
+    doc.lines = Vec::new();
+    doc
+}
+
+/// Field-value character noise: the OCR noise model applied to labeled
+/// tokens only, with rates scaled by strength. The cues stay pristine;
+/// the answers garble.
+fn value_noise(mut doc: Document, strength: f64, seed: u64) -> Document {
+    let params = NoiseParams {
+        token_error_rate: 0.2 + 0.6 * strength,
+        char_sub_rate: 0.5,
+        char_del_rate: 0.15 * strength,
+        case_flip_rate: 0.2 * strength,
+    }
+    .clamped();
+    let mut model = NoiseModel::new(params, seed);
+    let labeled = doc.labeled_token_set();
+    for (i, t) in doc.tokens.iter_mut().enumerate() {
+        if labeled[i] {
+            t.text = model.corrupt_text(&t.text);
+        }
+    }
+    doc
+}
+
+/// Key-phrase/value separation shift: each annotation's value tokens are
+/// translated away from the rest of the line — rightwards by `8 + 40 ×
+/// strength` units, or downwards by `(0.5 + strength) × height` when the
+/// RNG picks the vertical direction.
+fn separation_shift(mut doc: Document, strength: f64, rng: &mut StdRng) -> Document {
+    let annotations = doc.annotations.clone();
+    for a in &annotations {
+        let horizontal = rng.gen_bool(0.5);
+        for t in a.start..a.end.min(doc.tokens.len() as u32) {
+            let b = &mut doc.tokens[t as usize].bbox;
+            let h = b.height().max(1.0);
+            if horizontal {
+                *b = b.translated(8.0 + 40.0 * strength as f32, 0.0);
+            } else {
+                *b = b.translated(0.0, (0.5 + strength as f32) * h);
+            }
+        }
+    }
+    doc.lines = Vec::new();
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_docmodel::{BBox, DocumentBuilder, Token};
+    use proptest::prelude::*;
+
+    fn paystub() -> Document {
+        let mut b = DocumentBuilder::new("paystub");
+        let push = |text: &str, x: f32, y: f32, b: &mut DocumentBuilder| {
+            let w = 8.0 * text.len() as f32;
+            b.push_token(Token::new(text, BBox::new(x, y, x + w, y + 12.0)));
+        };
+        push("Base", 10.0, 10.0, &mut b); // 0
+        push("Salary", 60.0, 10.0, &mut b); // 1
+        push("$3,308.62", 300.0, 10.0, &mut b); // 2
+        push("Overtime", 10.0, 40.0, &mut b); // 3
+        push("$120.00", 300.0, 40.0, &mut b); // 4
+        b.push_annotation(EntitySpan::new(0, 2, 3));
+        b.push_annotation(EntitySpan::new(1, 4, 5));
+        let mut d = b.build();
+        detect_lines(&mut d);
+        d
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for k in AttackKind::ALL {
+            assert_eq!(AttackKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(AttackKind::parse("no-such-attack"), None);
+    }
+
+    #[test]
+    fn attacks_are_deterministic_and_pure() {
+        let doc = paystub();
+        for k in AttackKind::ALL {
+            let before = doc.clone();
+            let a = attack_document(&doc, k, 0.7, 99);
+            let b = attack_document(&doc, k, 0.7, 99);
+            assert_eq!(a, b, "{} not deterministic", k.name());
+            assert_eq!(doc, before, "{} mutated its input", k.name());
+            assert!(a.validate().is_ok(), "{}: {:?}", k.name(), a.validate());
+        }
+    }
+
+    /// Compact but debuggable pin of an attacked document: the token
+    /// texts verbatim plus a rotate-xor checksum of every bbox corner's
+    /// bit pattern.
+    fn fingerprint(d: &Document) -> (String, u64) {
+        let texts = d
+            .tokens
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join("|");
+        let mut geo: u64 = 0;
+        for t in &d.tokens {
+            for c in [t.bbox.x0, t.bbox.y0, t.bbox.x1, t.bbox.y1] {
+                geo = geo.rotate_left(7) ^ u64::from(c.to_bits());
+            }
+        }
+        (texts, geo)
+    }
+
+    #[test]
+    fn golden_attack_outputs_are_pinned() {
+        // The cross-release determinism contract: the same (document,
+        // kind, strength, seed) must keep producing byte-identical output,
+        // or every checkpointed robustness study silently changes meaning.
+        // If an attack algorithm changes *intentionally*, regenerate the
+        // table from the printed actual values.
+        let doc = paystub();
+        let expected: [(&str, &str, u64); 6] = [
+            (
+                "keyphrase-abbrev",
+                "Bas.|Salary|$3,308.62|Ove.|$120.00",
+                0x761F_B103_06A5_667F,
+            ),
+            (
+                "token-drop",
+                "Salary|$3,308.62|Overtime|$120.00",
+                0x761F_B10B_32CC_33CF,
+            ),
+            (
+                "box-jitter",
+                "Base|Salary|$3,308.62|Overtime|$120.00",
+                0x2468_E821_02DC_34D1,
+            ),
+            (
+                "line-merge-split",
+                "Base|Salary|$3,308.62|Overtime|$120.00",
+                0x761F_B103_06A5_667F,
+            ),
+            (
+                "value-noise",
+                "Base|Salary|$3,3OB.6|Overtime|$l20.00",
+                0x761F_B103_06A5_667F,
+            ),
+            (
+                "separation-shift",
+                "Base|Salary|$3,308.62|Overtime|$120.00",
+                0x761F_B11A_A02C_2AB2,
+            ),
+        ];
+        for (k, (name, texts, geo)) in AttackKind::ALL.into_iter().zip(expected) {
+            assert_eq!(k.name(), name, "taxonomy order changed");
+            let (t, g) = fingerprint(&attack_document(&doc, k, 0.7, 99));
+            assert_eq!(t, texts, "{name}: token texts drifted");
+            assert_eq!(g, geo, "{name}: geometry drifted (got 0x{g:016X})");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_for_stochastic_kinds() {
+        let doc = paystub();
+        // Box jitter always displaces; two seeds virtually never agree.
+        let a = attack_document(&doc, AttackKind::BoxJitter, 1.0, 1);
+        let b = attack_document(&doc, AttackKind::BoxJitter, 1.0, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keyphrase_abbrev_never_touches_values() {
+        let doc = paystub();
+        let a = attack_document(&doc, AttackKind::KeyPhraseAbbrev, 1.0, 5);
+        // Annotated tokens (2 and 4) keep their text under every seed.
+        for ann in &a.annotations {
+            for t in ann.start..ann.end {
+                let text = &a.tokens[t as usize].text;
+                assert!(text.starts_with('$'), "value token corrupted: {text}");
+            }
+        }
+        // At strength 1.0 (p = 0.8), some 4+-char alphabetic token
+        // abbreviates under this seed.
+        assert!(a.tokens.iter().any(|t| t.text.ends_with('.')));
+    }
+
+    #[test]
+    fn token_drop_keeps_annotations_intact() {
+        let doc = paystub();
+        for seed in 0..20 {
+            let a = attack_document(&doc, AttackKind::TokenDrop, 1.0, seed);
+            assert!(!a.tokens.is_empty());
+            assert_eq!(a.annotations.len(), doc.annotations.len());
+            for (orig, new) in doc.annotations.iter().zip(&a.annotations) {
+                assert_eq!(
+                    doc.span_text(orig.start, orig.end),
+                    a.span_text(new.start, new.end),
+                    "annotation text changed under token drop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn token_drop_never_empties_document() {
+        // A fully unlabeled doc at max strength must keep >= 1 token.
+        let mut b = DocumentBuilder::new("unlabeled");
+        b.push_token(Token::new("only", BBox::new(0.0, 0.0, 20.0, 10.0)));
+        let doc = b.build();
+        for seed in 0..50 {
+            let a = attack_document(&doc, AttackKind::TokenDrop, 1.0, seed);
+            assert!(!a.tokens.is_empty());
+        }
+    }
+
+    #[test]
+    fn value_noise_only_corrupts_labeled_tokens() {
+        let doc = paystub();
+        let a = attack_document(&doc, AttackKind::ValueNoise, 1.0, 3);
+        for (i, labeled) in doc.labeled_token_set().iter().enumerate() {
+            if !labeled {
+                assert_eq!(a.tokens[i].text, doc.tokens[i].text);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_strength_geometry_attacks_keep_structure() {
+        // At strength 0 the box-jitter displacement is exactly 0 and the
+        // doc's geometry (hence re-detected lines) is unchanged.
+        let doc = paystub();
+        let a = attack_document(&doc, AttackKind::BoxJitter, 0.0, 123);
+        assert_eq!(a.tokens, doc.tokens);
+        assert_eq!(a.lines, doc.lines);
+    }
+
+    #[test]
+    fn separation_shift_moves_values() {
+        let doc = paystub();
+        let a = attack_document(&doc, AttackKind::SeparationShift, 1.0, 9);
+        let moved = doc
+            .annotations
+            .iter()
+            .any(|ann| a.tokens[ann.start as usize].bbox != doc.tokens[ann.start as usize].bbox);
+        assert!(moved, "no value box moved");
+    }
+
+    #[test]
+    fn attack_corpus_is_order_independent_per_document() {
+        // Per-document seeds depend on the document *index*, not on any
+        // shared RNG stream, so attacking doc i alone with the derived
+        // seed matches the corpus result exactly.
+        let schema = fieldswap_docmodel::Schema::new(
+            "t",
+            vec![
+                fieldswap_docmodel::FieldDef::new("a", fieldswap_docmodel::BaseType::Money),
+                fieldswap_docmodel::FieldDef::new("b", fieldswap_docmodel::BaseType::Money),
+            ],
+        );
+        let corpus = Corpus::new(schema, vec![paystub(), paystub(), paystub()]);
+        let attacked = attack_corpus(&corpus, AttackKind::BoxJitter, 0.5, 77);
+        for (i, d) in corpus.documents.iter().enumerate() {
+            let doc_seed = mix(
+                77,
+                &[
+                    STREAM_ATTACK,
+                    AttackKind::BoxJitter.index(),
+                    0.5f64.to_bits(),
+                    i as u64,
+                ],
+            );
+            let solo = attack_document(d, AttackKind::BoxJitter, 0.5, doc_seed);
+            assert_eq!(attacked.documents[i], solo);
+        }
+    }
+
+    #[test]
+    fn strength_is_clamped() {
+        let doc = paystub();
+        let a = attack_document(&doc, AttackKind::TokenDrop, 7.5, 1);
+        let b = attack_document(&doc, AttackKind::TokenDrop, 1.0, 1);
+        assert_eq!(a, b);
+        let c = attack_document(&doc, AttackKind::BoxJitter, f64::NAN, 1);
+        assert_eq!(c.tokens, doc.tokens);
+    }
+
+    proptest! {
+        /// Every attack kind, on arbitrary degenerate documents (zero-area
+        /// boxes, NaN corners, empty texts, bogus annotations), must
+        /// return a document that passes validate() — never panic.
+        #[test]
+        fn prop_attacks_never_panic_on_degenerate_documents(
+            raw in proptest::collection::vec(
+                (-500f32..500.0, -500f32..500.0, 0u8..5, 0u8..3), 0..12),
+            ann in proptest::collection::vec((0u16..3, 0u32..16, 0u32..16), 0..4),
+            kind_idx in 0usize..6,
+            strength in -0.5f64..1.5,
+            seed in 0u64..1000,
+        ) {
+            let tokens: Vec<Token> = raw
+                .iter()
+                .map(|&(x, y, special, tsel)| {
+                    let (x1, y1) = match special {
+                        0 => (x + 20.0, y + 12.0),
+                        1 => (x, y),
+                        2 => (f32::NAN, y + 12.0),
+                        3 => (x - 50.0, y - 5.0),
+                        _ => (f32::INFINITY, f32::NEG_INFINITY),
+                    };
+                    let text = match tsel {
+                        0 => "word",
+                        1 => "",
+                        _ => "$1.00",
+                    };
+                    Token {
+                        text: text.to_string(),
+                        bbox: BBox { x0: x, y0: y, x1, y1 },
+                    }
+                })
+                .collect();
+            let annotations = ann
+                .iter()
+                .map(|&(f, s, e)| EntitySpan { field: f, start: s, end: e })
+                .collect();
+            let doc = Document {
+                id: "degen".into(),
+                tokens,
+                lines: Vec::new(),
+                annotations,
+            };
+            let out = attack_document(&doc, AttackKind::ALL[kind_idx], strength, seed);
+            prop_assert!(out.validate().is_ok(), "{:?}", out.validate());
+        }
+    }
+}

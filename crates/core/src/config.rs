@@ -34,7 +34,9 @@ impl FieldSwapConfig {
 
     /// Sets the key phrases for `field`, normalizing each phrase
     /// (lowercase, trimmed, inner whitespace collapsed) and dropping empty
-    /// ones and duplicates.
+    /// ones and duplicates. Grows the table if `field` is beyond the
+    /// configured field count (configs deserialized from JSON may disagree
+    /// with the schema).
     pub fn set_phrases(&mut self, field: FieldId, phrases: Vec<String>) {
         let mut out: Vec<String> = Vec::with_capacity(phrases.len());
         for p in phrases {
@@ -43,32 +45,47 @@ impl FieldSwapConfig {
                 out.push(norm);
             }
         }
+        self.ensure_field(field);
         self.phrases[field as usize] = out;
     }
 
     /// Adds a single phrase for `field` (normalized, deduplicated).
     pub fn add_phrase(&mut self, field: FieldId, phrase: &str) {
         let norm = normalize_phrase(phrase);
+        self.ensure_field(field);
         if !norm.is_empty() && !self.phrases[field as usize].contains(&norm) {
             self.phrases[field as usize].push(norm);
         }
     }
 
-    /// The key phrases configured for `field`.
+    fn ensure_field(&mut self, field: FieldId) {
+        if field as usize >= self.phrases.len() {
+            self.phrases.resize(field as usize + 1, Vec::new());
+        }
+    }
+
+    /// The key phrases configured for `field`. An out-of-range field
+    /// (a config file narrower than the schema) has no phrases rather
+    /// than panicking.
     pub fn phrases(&self, field: FieldId) -> &[String] {
-        &self.phrases[field as usize]
+        self.phrases
+            .get(field as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Whether the field has at least one key phrase.
     pub fn has_phrases(&self, field: FieldId) -> bool {
-        !self.phrases[field as usize].is_empty()
+        !self.phrases(field).is_empty()
     }
 
     /// Removes all phrases for `field`, excluding it from augmentation —
     /// what a human expert does for fields without clear key phrases
     /// (Section III).
     pub fn exclude_field(&mut self, field: FieldId) {
-        self.phrases[field as usize].clear();
+        if let Some(p) = self.phrases.get_mut(field as usize) {
+            p.clear();
+        }
         self.pairs.retain(|&(s, t)| s != field && t != field);
     }
 
@@ -181,6 +198,18 @@ mod tests {
         c.set_pairs(vec![(0, 1), (2, 0)]);
         // 2 has no phrases; 3 has phrases but no pairs.
         assert_eq!(c.active_fields(), vec![0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_field_is_phraseless_not_a_panic() {
+        let c = FieldSwapConfig::new(2);
+        assert!(c.phrases(17).is_empty());
+        assert!(!c.has_phrases(17));
+        let mut c = c;
+        c.exclude_field(17); // no-op, no panic
+        c.add_phrase(5, "grown");
+        assert_eq!(c.n_fields(), 6);
+        assert!(c.has_phrases(5));
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct AugmentStats {
     /// Matcher hits: phrase occurrences found across all probes
     /// (before overlap resolution).
     pub phrase_matches: usize,
+    /// Pair applications skipped because the source or target field has no
+    /// key phrases (e.g. inference produced none) — the graceful
+    /// degradation path, never a panic.
+    pub skipped_pairs_no_phrases: usize,
+    /// Documents that failed [`Document::validate`] and were repaired by
+    /// [`Document::sanitize`] before augmentation.
+    pub sanitized_docs: usize,
 }
 
 impl AugmentStats {
@@ -55,6 +62,8 @@ impl AugmentStats {
         self.productive_pairs += other.productive_pairs;
         self.phrase_probes += other.phrase_probes;
         self.phrase_matches += other.phrase_matches;
+        self.skipped_pairs_no_phrases += other.skipped_pairs_no_phrases;
+        self.sanitized_docs += other.sanitized_docs;
     }
 
     /// Publishes this run's counters to the `fieldswap-obs` registry
@@ -76,6 +85,11 @@ impl AugmentStats {
         );
         fieldswap_obs::counter_add("fieldswap_matcher_probes_total", self.phrase_probes as u64);
         fieldswap_obs::counter_add("fieldswap_matcher_hits_total", self.phrase_matches as u64);
+        fieldswap_obs::counter_add(
+            "fieldswap_swap_skipped_pairs_no_phrases_total",
+            self.skipped_pairs_no_phrases as u64,
+        );
+        fieldswap_obs::counter_add("fieldswap_sanitized_docs_total", self.sanitized_docs as u64);
     }
 }
 
@@ -117,10 +131,29 @@ pub fn augment_document_with(
 ) -> (Vec<Document>, AugmentStats) {
     let mut out = Vec::new();
     let mut stats = AugmentStats::default();
+    // Degenerate inputs (deserialized or attacked documents that bypass
+    // `DocumentBuilder`) are repaired on a copy rather than crashing the
+    // engine; valid documents take the borrowed fast path untouched.
+    let repaired;
+    let doc = if doc.validate().is_err() {
+        let mut copy = doc.clone();
+        copy.sanitize();
+        stats.sanitized_docs = 1;
+        repaired = copy;
+        &repaired
+    } else {
+        doc
+    };
     // One matching context per document: token normalization and the
     // labeled set are shared by every (pair, phrase) probe below.
     let matcher = DocMatcher::new(doc);
     for &(source, target) in config.pairs() {
+        if !config.has_phrases(source) || !config.has_phrases(target) {
+            // Zero inferred phrases for a field: skip the pair (counted),
+            // never panic. The swap itself would be a no-op anyway.
+            stats.skipped_pairs_no_phrases += 1;
+            continue;
+        }
         if !doc.has_field(source) {
             continue;
         }
@@ -215,8 +248,13 @@ pub(crate) fn swap(
     phrase_index: usize,
     opts: &EngineOptions,
 ) -> Option<Document> {
+    // A whitespace-only target phrase (possible via a hand-written JSON
+    // config that bypasses `set_phrases` normalization) would emit a
+    // synthetic containing an empty-word token; discard the swap instead.
     let new_words: Vec<&str> = target_phrase.split_whitespace().collect();
-    debug_assert!(!new_words.is_empty());
+    if new_words.is_empty() {
+        return None;
+    }
 
     // Unchanged-text check: every match already reads as the target phrase.
     // `old_texts` is precomputed once per (document, pair) — see
@@ -496,6 +534,64 @@ mod tests {
         let (synths, stats) = augment_corpus(&corpus, &config);
         assert_eq!(synths.len(), stats.generated);
         assert!(stats.generated >= 4, "got {stats:?}");
+    }
+
+    #[test]
+    fn empty_replacement_phrase_is_discarded_not_asserted() {
+        // `set_phrases` normalizes away whitespace-only phrases, but a
+        // hand-written JSON config bypasses it; `from_json` must not let
+        // such a phrase produce a synthetic with an empty-word token (or
+        // trip a debug assertion).
+        let doc = fig1_doc();
+        let config = FieldSwapConfig::from_json(
+            r#"{"phrases": [["base salary"], ["   "]], "pairs": [[0, 1]]}"#,
+        )
+        .unwrap();
+        let (synths, stats) = augment_document(&doc, &config);
+        assert!(synths.is_empty());
+        assert_eq!(stats.generated, 0);
+        assert_eq!(stats.discarded_unchanged, 1);
+    }
+
+    #[test]
+    fn zero_phrase_pair_skipped_with_counter() {
+        let doc = fig1_doc();
+        let mut config = FieldSwapConfig::new(2);
+        config.set_phrases(0, vec!["Base Salary".into()]);
+        // Field 1 has no phrases (inference found none).
+        config.set_pairs(vec![(0, 1), (1, 0)]);
+        let (synths, stats) = augment_document(&doc, &config);
+        assert!(synths.is_empty());
+        assert_eq!(stats.skipped_pairs_no_phrases, 2);
+        assert_eq!(stats.phrase_probes, 0);
+    }
+
+    #[test]
+    fn degenerate_document_is_sanitized_not_a_panic() {
+        let mut doc = fig1_doc();
+        // Out-of-range annotation + empty token text: fails validate().
+        doc.annotations.push(EntitySpan {
+            field: 1,
+            start: 3,
+            end: 99,
+        });
+        doc.tokens[3].text.clear();
+        let mut config = fig1_config();
+        config.set_pairs(vec![(0, 1)]);
+        let (synths, stats) = augment_document(&doc, &config);
+        assert_eq!(stats.sanitized_docs, 1);
+        for s in &synths {
+            assert!(s.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn valid_documents_bypass_sanitize() {
+        let doc = fig1_doc();
+        let mut config = fig1_config();
+        config.set_pairs(vec![(0, 1)]);
+        let (_, stats) = augment_document(&doc, &config);
+        assert_eq!(stats.sanitized_docs, 0);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! assert_eq!(synthetics.len(), stats.generated);
 //! ```
 
+pub mod attacks;
 pub mod config;
 pub mod crossdomain;
 pub mod engine;
@@ -48,6 +49,7 @@ pub mod mapping;
 pub mod matcher;
 pub mod valueswap;
 
+pub use attacks::{attack_corpus, attack_document, AttackKind, STREAM_ATTACK};
 pub use config::FieldSwapConfig;
 pub use crossdomain::{augment_cross_domain, cross_pairs_by_type, CrossDomainSpec};
 pub use engine::{

@@ -58,6 +58,23 @@ impl Corpus {
     pub fn total_annotations(&self) -> usize {
         self.documents.iter().map(|d| d.annotations.len()).sum()
     }
+
+    /// Runs [`Document::sanitize`] over every document, aggregating the
+    /// repairs. Documents that already pass [`Document::validate`] are left
+    /// byte-identical, so sanitizing a clean corpus is a no-op. Returns the
+    /// aggregated report plus the number of documents that needed repair.
+    pub fn sanitize(&mut self) -> (crate::document::SanitizeReport, usize) {
+        let mut total = crate::document::SanitizeReport::default();
+        let mut repaired = 0usize;
+        for d in &mut self.documents {
+            let r = d.sanitize();
+            if !r.is_clean() {
+                repaired += 1;
+                total.absorb(&r);
+            }
+        }
+        (total, repaired)
+    }
 }
 
 /// Specification of a deterministic train/validation split, mirroring the
@@ -161,6 +178,22 @@ mod tests {
     fn total_annotations_sums() {
         let c = Corpus::new(schema(), vec![doc("1", &[0, 1]), doc("2", &[0])]);
         assert_eq!(c.total_annotations(), 3);
+    }
+
+    #[test]
+    fn corpus_sanitize_reports_per_document_repairs() {
+        let mut c = Corpus::new(schema(), vec![doc("1", &[0]), doc("2", &[1])]);
+        let before = c.clone();
+        let (report, repaired) = c.sanitize();
+        assert!(report.is_clean());
+        assert_eq!(repaired, 0);
+        assert_eq!(c.documents, before.documents);
+
+        c.documents[1].tokens[0].text.clear();
+        let (report, repaired) = c.sanitize();
+        assert_eq!(repaired, 1);
+        assert_eq!(report.repaired_empty_tokens, 1);
+        assert!(c.documents.iter().all(|d| d.validate().is_ok()));
     }
 
     #[test]

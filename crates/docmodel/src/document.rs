@@ -96,11 +96,13 @@ impl Document {
 
     /// Ids of tokens labeled by *any* annotation. Used by key-phrase
     /// inference to exclude field values from candidate key phrases
-    /// (Section II-A5).
+    /// (Section II-A5). Annotation indices beyond the token range are
+    /// ignored rather than panicking, so the mask is safe to build for
+    /// documents that have not passed [`Document::validate`] yet.
     pub fn labeled_token_set(&self) -> Vec<bool> {
         let mut mask = vec![false; self.tokens.len()];
         for s in &self.annotations {
-            for t in s.start..s.end {
+            for t in s.start..s.end.min(self.tokens.len() as u32) {
                 mask[t as usize] = true;
             }
         }
@@ -143,12 +145,33 @@ impl Document {
         scored.into_iter().map(|(_, id)| id).collect()
     }
 
-    /// Checks the structural invariants listed on the type. Used by tests
-    /// and debug assertions in the augmentation engine.
+    /// Checks the structural invariants listed on the type, plus geometry
+    /// and text sanity: every token has non-empty text and a finite,
+    /// non-inverted bounding box; every annotation is a non-empty in-range
+    /// span; annotations never overlap; line token ids are in range. Used
+    /// by tests, debug assertions in the augmentation engine, and the
+    /// harness ingestion/sanitize layer.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.tokens.len() as u32;
+        for (i, t) in self.tokens.iter().enumerate() {
+            if t.text.is_empty() {
+                return Err(format!("token {i} has empty text"));
+            }
+            if !bbox_is_finite(&t.bbox) {
+                return Err(format!("token {i} has a non-finite bounding box"));
+            }
+            if t.bbox.x1 < t.bbox.x0 || t.bbox.y1 < t.bbox.y0 {
+                return Err(format!("token {i} has a negative-extent bounding box"));
+            }
+        }
         let mut prev_end = 0u32;
         for (i, s) in self.annotations.iter().enumerate() {
+            if s.start >= s.end {
+                return Err(format!(
+                    "annotation {i} span {}..{} is empty",
+                    s.start, s.end
+                ));
+            }
             if s.end > n {
                 return Err(format!(
                     "annotation {i} range {}..{} exceeds {n}",
@@ -164,11 +187,120 @@ impl Document {
             prev_end = s.end;
         }
         for (i, l) in self.lines.iter().enumerate() {
+            if l.tokens.is_empty() {
+                return Err(format!("line {i} is empty"));
+            }
             if l.tokens.iter().any(|&t| t >= n) {
                 return Err(format!("line {i} references token out of range"));
             }
         }
         Ok(())
+    }
+
+    /// Repairs a document that fails [`Document::validate`] in place,
+    /// keeping token indices stable so annotations and lines stay
+    /// meaningful:
+    ///
+    /// * non-finite bounding-box coordinates are replaced by `0.0` and
+    ///   inverted extents re-normalized (token boxes and line boxes);
+    /// * empty token texts get a `"?"` placeholder (the token keeps its id);
+    /// * empty, out-of-range, or overlapping annotations are dropped
+    ///   (annotations are re-sorted by `(start, end)` first, keeping the
+    ///   earliest of an overlapping group);
+    /// * empty lines and lines referencing out-of-range tokens are dropped.
+    ///
+    /// A document that already validates is left byte-identical. Returns a
+    /// report of the repairs made; after `sanitize`, `validate()` is
+    /// guaranteed to pass.
+    pub fn sanitize(&mut self) -> SanitizeReport {
+        let mut report = SanitizeReport::default();
+        if self.validate().is_ok() {
+            return report;
+        }
+        for t in &mut self.tokens {
+            if !bbox_is_finite(&t.bbox) || t.bbox.x1 < t.bbox.x0 || t.bbox.y1 < t.bbox.y0 {
+                t.bbox = repair_bbox(&t.bbox);
+                report.repaired_token_boxes += 1;
+            }
+            if t.text.is_empty() {
+                t.text.push('?');
+                report.repaired_empty_tokens += 1;
+            }
+        }
+        let n = self.tokens.len() as u32;
+        self.annotations.sort_by_key(|s| (s.start, s.end));
+        let before = self.annotations.len();
+        let mut prev_end = 0u32;
+        self.annotations.retain(|s| {
+            let ok = s.start < s.end && s.end <= n && s.start >= prev_end;
+            if ok {
+                prev_end = s.end;
+            }
+            ok
+        });
+        report.dropped_annotations += before - self.annotations.len();
+        let before = self.lines.len();
+        self.lines
+            .retain(|l| !l.tokens.is_empty() && l.tokens.iter().all(|&t| t < n));
+        report.dropped_lines += before - self.lines.len();
+        for l in &mut self.lines {
+            if !bbox_is_finite(&l.bbox) || l.bbox.x1 < l.bbox.x0 || l.bbox.y1 < l.bbox.y0 {
+                l.bbox = repair_bbox(&l.bbox);
+                report.repaired_line_boxes += 1;
+            }
+        }
+        debug_assert!(self.validate().is_ok());
+        report
+    }
+}
+
+fn bbox_is_finite(b: &BBox) -> bool {
+    b.x0.is_finite() && b.y0.is_finite() && b.x1.is_finite() && b.y1.is_finite()
+}
+
+fn repair_bbox(b: &BBox) -> BBox {
+    let fix = |v: f32| if v.is_finite() { v } else { 0.0 };
+    BBox::new(fix(b.x0), fix(b.y0), fix(b.x1), fix(b.y1))
+}
+
+/// What [`Document::sanitize`] repaired. All counters are zero for a
+/// document that already passed [`Document::validate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SanitizeReport {
+    /// Token bounding boxes with non-finite coordinates or inverted extents.
+    pub repaired_token_boxes: usize,
+    /// Tokens whose empty text was replaced by a placeholder.
+    pub repaired_empty_tokens: usize,
+    /// Annotations dropped (empty, out of range, or overlapping).
+    pub dropped_annotations: usize,
+    /// Lines dropped (empty or referencing out-of-range tokens).
+    pub dropped_lines: usize,
+    /// Line bounding boxes repaired.
+    pub repaired_line_boxes: usize,
+}
+
+impl SanitizeReport {
+    /// Whether nothing needed repair.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Total number of individual repairs.
+    pub fn total(&self) -> usize {
+        self.repaired_token_boxes
+            + self.repaired_empty_tokens
+            + self.dropped_annotations
+            + self.dropped_lines
+            + self.repaired_line_boxes
+    }
+
+    /// Accumulates `other` into `self` (corpus-level aggregation).
+    pub fn absorb(&mut self, other: &SanitizeReport) {
+        self.repaired_token_boxes += other.repaired_token_boxes;
+        self.repaired_empty_tokens += other.repaired_empty_tokens;
+        self.dropped_annotations += other.dropped_annotations;
+        self.dropped_lines += other.dropped_lines;
+        self.repaired_line_boxes += other.repaired_line_boxes;
     }
 }
 
@@ -326,6 +458,116 @@ mod tests {
         let mut d = sample();
         d.annotations = vec![EntitySpan::new(0, 4, 9)];
         assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_token_text() {
+        let mut d = sample();
+        d.tokens[1].text.clear();
+        assert!(d.validate().unwrap_err().contains("empty text"));
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_box() {
+        let mut d = sample();
+        d.tokens[0].bbox.x1 = f32::NAN;
+        assert!(d.validate().unwrap_err().contains("non-finite"));
+        let mut d = sample();
+        d.tokens[2].bbox.y0 = f32::INFINITY;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_box() {
+        let mut d = sample();
+        // Bypass BBox::new normalization by direct field writes.
+        d.tokens[0].bbox.x0 = 50.0;
+        d.tokens[0].bbox.x1 = 10.0;
+        assert!(d.validate().unwrap_err().contains("negative-extent"));
+    }
+
+    #[test]
+    fn validate_rejects_empty_span() {
+        let mut d = sample();
+        d.annotations = vec![EntitySpan {
+            field: 0,
+            start: 2,
+            end: 2,
+        }];
+        assert!(d.validate().unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn validate_rejects_empty_line() {
+        let mut d = sample();
+        d.lines = vec![Line {
+            tokens: vec![],
+            bbox: BBox::default(),
+        }];
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn sanitize_is_noop_on_valid_documents() {
+        let mut d = sample();
+        let before = d.clone();
+        let report = d.sanitize();
+        assert!(report.is_clean());
+        assert_eq!(d, before);
+    }
+
+    #[test]
+    fn sanitize_repairs_degenerate_document() {
+        let mut d = sample();
+        d.tokens[0].bbox.x1 = f32::NAN;
+        d.tokens[1].text.clear();
+        d.annotations = vec![
+            EntitySpan {
+                field: 0,
+                start: 2,
+                end: 3,
+            },
+            EntitySpan {
+                field: 1,
+                start: 2,
+                end: 4,
+            }, // overlaps previous
+            EntitySpan {
+                field: 1,
+                start: 4,
+                end: 4,
+            }, // empty
+            EntitySpan {
+                field: 1,
+                start: 4,
+                end: 99,
+            }, // out of range
+        ];
+        d.lines = vec![Line {
+            tokens: vec![0, 99],
+            bbox: BBox::default(),
+        }];
+        let report = d.sanitize();
+        assert!(d.validate().is_ok(), "{:?}", d.validate());
+        assert_eq!(report.repaired_token_boxes, 1);
+        assert_eq!(report.repaired_empty_tokens, 1);
+        assert_eq!(report.dropped_annotations, 3);
+        assert_eq!(report.dropped_lines, 1);
+        assert_eq!(d.tokens[1].text, "?");
+        assert_eq!(d.annotations.len(), 1);
+        // Token count unchanged: repairs are index-stable.
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn labeled_token_set_ignores_out_of_range_annotations() {
+        let mut d = sample();
+        d.annotations = vec![EntitySpan {
+            field: 0,
+            start: 3,
+            end: 50,
+        }];
+        assert_eq!(d.labeled_token_set(), vec![false, false, false, true, true]);
     }
 
     #[test]

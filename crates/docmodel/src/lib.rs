@@ -25,7 +25,7 @@ pub mod schema;
 pub mod token;
 
 pub use corpus::{Corpus, SplitSpec};
-pub use document::{Document, DocumentBuilder, NeighborMetric};
+pub use document::{Document, DocumentBuilder, NeighborMetric, SanitizeReport};
 pub use geometry::{off_axis_distance, BBox, Point};
 pub use label::EntitySpan;
 pub use line::Line;

@@ -23,6 +23,7 @@
 //! directory is byte-identical to an uninterrupted run: the cached cells
 //! are the exact values the live cells would have produced.
 
+use crate::robustness::{AttackSpec, RobustnessResult};
 use crate::runner::{mix_coords, Arm, ExperimentResult, HarnessOptions};
 use fieldswap_datagen::Domain;
 use serde::{Deserialize, Serialize};
@@ -33,6 +34,10 @@ use std::path::{Path, PathBuf};
 /// semantics change, so stale caches read as misses instead of
 /// mis-parsing.
 const CELL_SCHEMA_VERSION: i64 = 1;
+
+/// Record-format version for robustness cells, independent of the plain
+/// cell schema so the two record families can evolve separately.
+const ROBUSTNESS_SCHEMA_VERSION: i64 = 1;
 
 /// Fingerprints every option that can influence a cell's result.
 ///
@@ -55,7 +60,24 @@ pub fn options_fingerprint(opts: &HarnessOptions) -> u64 {
             opts.synth_ratio.to_bits() as u64,
             opts.synthetic_cap as u64,
             opts.seed,
+            opts.sanitize as u64,
         ],
+    )
+}
+
+/// Fingerprints an attack suite — kinds and strengths, in order — so
+/// robustness records cached for one `--attacks`/`--attack-strength`
+/// combination can never satisfy a lookup for another.
+pub fn attacks_fingerprint(attacks: &[AttackSpec]) -> u64 {
+    let mut coords = Vec::with_capacity(attacks.len() * 2 + 1);
+    coords.push(attacks.len() as u64);
+    for a in attacks {
+        coords.push(a.kind.index());
+        coords.push(a.strength.to_bits());
+    }
+    mix_coords(
+        0xA77A_C3ED_7E57_0002 ^ ROBUSTNESS_SCHEMA_VERSION as u64,
+        &coords,
     )
 }
 
@@ -76,6 +98,22 @@ struct CellRecord {
     trial: i64,
     ok: Option<ExperimentResult>,
     panic: Option<String>,
+}
+
+/// One persisted robustness cell: the clean and per-attack F1s of a
+/// trained cell, keyed by the grid coordinates, the options fingerprint,
+/// *and* the attack-suite fingerprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RobustnessRecord {
+    schema_version: i64,
+    opts_hash: String,
+    attacks_hash: String,
+    domain: String,
+    size: i64,
+    arm: String,
+    sample: i64,
+    trial: i64,
+    ok: Option<RobustnessResult>,
 }
 
 /// Grid coordinates of one cell, as the cache addresses them.
@@ -198,7 +236,60 @@ impl CellCache {
         self.write_atomic(self.failed_path(coords), &rec);
     }
 
-    fn write_atomic(&self, path: PathBuf, rec: &CellRecord) {
+    fn robustness_path(&self, coords: CellCoords, attacks_hash: u64) -> PathBuf {
+        self.dir.join(format!(
+            "rob-{attacks_hash:016x}-{}.json",
+            self.stem(coords)
+        ))
+    }
+
+    fn robustness_record(&self, coords: CellCoords, attacks_hash: u64) -> RobustnessRecord {
+        let (domain, size, arm, sample, trial) = coords;
+        RobustnessRecord {
+            schema_version: ROBUSTNESS_SCHEMA_VERSION,
+            opts_hash: format!("{:016x}", self.opts_hash),
+            attacks_hash: format!("{attacks_hash:016x}"),
+            domain: format!("{domain:?}").to_lowercase(),
+            size: size as i64,
+            arm: format!("{arm:?}").to_lowercase(),
+            sample: sample as i64,
+            trial: trial as i64,
+            ok: None,
+        }
+    }
+
+    /// The cached robustness result for a cell under a given attack
+    /// suite, if a valid record exists. Any mismatch — schema, options
+    /// fingerprint, attack-suite fingerprint — is a miss.
+    pub fn load_robustness(
+        &self,
+        coords: CellCoords,
+        attacks_hash: u64,
+    ) -> Option<RobustnessResult> {
+        let text = std::fs::read_to_string(self.robustness_path(coords, attacks_hash)).ok()?;
+        let rec: RobustnessRecord = serde_json::from_str(&text).ok()?;
+        if rec.schema_version != ROBUSTNESS_SCHEMA_VERSION
+            || rec.opts_hash != format!("{:016x}", self.opts_hash)
+            || rec.attacks_hash != format!("{attacks_hash:016x}")
+        {
+            return None;
+        }
+        rec.ok
+    }
+
+    /// Persists a completed robustness cell.
+    pub fn store_robustness(
+        &self,
+        coords: CellCoords,
+        attacks_hash: u64,
+        result: &RobustnessResult,
+    ) {
+        let mut rec = self.robustness_record(coords, attacks_hash);
+        rec.ok = Some(result.clone());
+        self.write_atomic(self.robustness_path(coords, attacks_hash), &rec);
+    }
+
+    fn write_atomic<T: Serialize>(&self, path: PathBuf, rec: &T) {
         let json = match serde_json::to_string_pretty(rec) {
             Ok(j) => j,
             Err(e) => {
@@ -264,6 +355,7 @@ mod tests {
             |o: &mut HarnessOptions| o.synth_ratio += 0.5,
             |o: &mut HarnessOptions| o.synthetic_cap += 1,
             |o: &mut HarnessOptions| o.seed ^= 1,
+            |o: &mut HarnessOptions| o.sanitize = !o.sanitize,
         ];
         for (i, tweak) in variants.iter().enumerate() {
             let mut v = base;
@@ -361,6 +453,45 @@ mod tests {
         // A later successful attempt coexists with the failure record.
         cache.store_ok(COORDS, &sample_result());
         assert_eq!(cache.load(COORDS), Some(sample_result()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn robustness_records_roundtrip_and_key_on_the_suite() {
+        use fieldswap_core::AttackKind;
+        let dir = temp_dir("rob");
+        let cache = CellCache::create(&dir, &HarnessOptions::quick()).unwrap();
+        let suite = [AttackSpec {
+            kind: AttackKind::TokenDrop,
+            strength: 0.5,
+        }];
+        let hash = attacks_fingerprint(&suite);
+        assert_eq!(cache.load_robustness(COORDS, hash), None);
+        let r = RobustnessResult {
+            clean_macro_f1: 61.0,
+            clean_micro_f1: 70.5,
+            attacked_macro_f1: vec![55.125],
+            attacked_micro_f1: vec![60.25],
+            n_synthetics: 9,
+        };
+        cache.store_robustness(COORDS, hash, &r);
+        assert_eq!(cache.load_robustness(COORDS, hash), Some(r.clone()));
+        // A different strength is a different suite: miss, not a hit.
+        let other = attacks_fingerprint(&[AttackSpec {
+            kind: AttackKind::TokenDrop,
+            strength: 0.75,
+        }]);
+        assert_ne!(hash, other);
+        assert_eq!(cache.load_robustness(COORDS, other), None);
+        // A different kind too, and the empty suite differs from both.
+        let kind_differs = attacks_fingerprint(&[AttackSpec {
+            kind: AttackKind::BoxJitter,
+            strength: 0.5,
+        }]);
+        assert_ne!(hash, kind_differs);
+        assert_ne!(hash, attacks_fingerprint(&[]));
+        // Robustness records never satisfy plain cell lookups.
+        assert_eq!(cache.load(COORDS), None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -31,17 +31,23 @@
 //!   by grid coordinates plus an options fingerprint; a killed run
 //!   resumed from its checkpoint directory produces byte-identical
 //!   output to an uninterrupted one.
+//! * **Robustness** ([`robustness`]) — the form-attack evaluation mode:
+//!   train clean, evaluate on attacked test sets, report per-attack F1
+//!   degradation. Inherits the grid's parallelism, determinism, and
+//!   checkpointing guarantees.
 
 pub mod boxplot;
 pub mod checkpoint;
 pub mod expert;
 pub mod metrics;
 pub mod parallel;
+pub mod robustness;
 pub mod runner;
 
 pub use boxplot::BoxStats;
-pub use checkpoint::{options_fingerprint, CellCache, CellCoords};
+pub use checkpoint::{attacks_fingerprint, options_fingerprint, CellCache, CellCoords};
 pub use expert::expert_config;
 pub use metrics::{evaluate, EvalResult, FieldScore};
 pub use parallel::{effective_jobs, par_map_indexed, par_try_map_indexed, OnceMap, SlotPanic};
+pub use robustness::{AttackSpec, AttackSummary, RobustnessPoint, RobustnessResult};
 pub use runner::{cell_seed, Arm, ExperimentResult, Harness, HarnessOptions, PointSummary};

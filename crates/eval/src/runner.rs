@@ -23,7 +23,8 @@ use crate::checkpoint::{CellCache, CellCoords};
 use crate::expert::expert_config;
 use crate::metrics::{evaluate, EvalResult};
 use crate::parallel::{par_map_indexed, par_try_map_indexed, OnceMap, SlotPanic};
-use fieldswap_core::{augment_corpus, FieldSwapConfig, PairStrategy};
+use crate::robustness::AttackSpec;
+use fieldswap_core::{attack_corpus, augment_corpus, AttackKind, FieldSwapConfig, PairStrategy};
 use fieldswap_datagen::{generate, Domain};
 use fieldswap_docmodel::Corpus;
 use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
@@ -32,7 +33,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// The experimental arms of Fig. 4 / Fig. 5.
@@ -106,6 +107,12 @@ pub struct HarnessOptions {
     /// experiment's randomness is derived purely from its grid
     /// coordinates, never from scheduling order.
     pub jobs: usize,
+    /// Validate and repair corpora at ingestion
+    /// (`Document::sanitize`). A strict no-op on well-formed documents —
+    /// the clean path stays byte-identical with the layer enabled — while
+    /// degenerate inputs (non-finite boxes, empty tokens, overlapping
+    /// spans) are repaired and counted instead of poisoning training.
+    pub sanitize: bool,
 }
 
 impl HarnessOptions {
@@ -123,6 +130,7 @@ impl HarnessOptions {
             synthetic_cap: 4000,
             seed: 0x5EED,
             jobs: 0,
+            sanitize: true,
         }
     }
 
@@ -140,6 +148,7 @@ impl HarnessOptions {
             synthetic_cap: 1500,
             seed: 0x5EED,
             jobs: 0,
+            sanitize: true,
         }
     }
 }
@@ -252,6 +261,9 @@ pub struct Harness {
     shared: Arc<Shared>,
     /// (pool, test) per domain.
     data: OnceMap<Domain, Arc<(Corpus, Corpus)>>,
+    /// Attacked test corpora per (domain, attack kind, strength bits),
+    /// built once per key and shared by every robustness cell.
+    attacked_tests: OnceMap<(Domain, AttackKind, u64), Arc<Corpus>>,
     /// Inferred phrase configs per (domain, size, sample).
     phrase_cache: OnceMap<(Domain, usize, usize), FieldSwapConfig>,
     /// On-disk per-cell result cache; when set, completed cells are
@@ -263,6 +275,9 @@ pub struct Harness {
     /// count of 1 exercises the retry path and a large count the
     /// failed-cell path.
     fail_injections: Mutex<HashMap<CellCoords, usize>>,
+    /// Test hook: cells whose training should hit a non-finite epoch
+    /// loss, exercising the trainer's divergence recovery end to end.
+    diverge_injections: Mutex<HashSet<CellCoords>>,
 }
 
 impl Harness {
@@ -295,9 +310,11 @@ impl Harness {
                 lexicon,
             }),
             data: OnceMap::named("domain_data"),
+            attacked_tests: OnceMap::named("attacked_tests"),
             phrase_cache: OnceMap::named("phrase_cache"),
             checkpoint: None,
             fail_injections: Mutex::new(HashMap::new()),
+            diverge_injections: Mutex::new(HashSet::new()),
         }
     }
 
@@ -329,6 +346,29 @@ impl Harness {
             .lock()
             .expect("injection map poisoned")
             .insert(coords, times);
+    }
+
+    /// Test hook: force a cell's training to report a non-finite epoch
+    /// loss, driving the trainer through its divergence recovery. The
+    /// cell still completes — recovered, counted, logged — which is
+    /// exactly the behavior the injection exists to prove.
+    #[doc(hidden)]
+    pub fn diverge_cell_for_tests(&self, coords: CellCoords) {
+        self.diverge_injections
+            .lock()
+            .expect("divergence set poisoned")
+            .insert(coords);
+    }
+
+    /// Test hook: pre-populate a domain's (pool, test) corpora instead of
+    /// generating them — the injection point for feeding documents that
+    /// fail `validate()` through the full grid. The injected corpora go
+    /// through the same ingestion sanitization as generated ones.
+    #[doc(hidden)]
+    pub fn inject_domain_data_for_tests(&self, domain: Domain, pool: Corpus, test: Corpus) {
+        let opts = self.opts;
+        self.data
+            .get_or_init(domain, || Arc::new(Self::ingest(&opts, pool, test)));
     }
 
     /// One cell through the cache: hit → cached result, miss → compute
@@ -368,7 +408,7 @@ impl Harness {
     /// Records a double-panicked cell: an error log line, a diagnostic
     /// checkpoint record, and (via the caller) a slot in the summary's
     /// `failed_cells` count.
-    fn note_failure(&self, coords: CellCoords, p: &SlotPanic) {
+    pub(crate) fn note_failure(&self, coords: CellCoords, p: &SlotPanic) {
         fieldswap_obs::error!("grid cell {coords:?} failed after retry: {}", p.payload);
         if let Some(cache) = &self.checkpoint {
             cache.store_failed(coords, &p.payload);
@@ -385,8 +425,44 @@ impl Harness {
             if opts.test_cap > 0 && test.len() > opts.test_cap {
                 test.documents.truncate(opts.test_cap);
             }
-            Arc::new((pool, test))
+            Arc::new(Self::ingest(&opts, pool, test))
         })
+    }
+
+    /// Corpus ingestion: the validation/repair gate every (pool, test)
+    /// pair passes through, generated or injected. With `opts.sanitize`
+    /// (the default) documents failing [`fieldswap_docmodel::Document::validate`]
+    /// are repaired in place and counted; well-formed documents are
+    /// untouched, byte for byte.
+    fn ingest(opts: &HarnessOptions, mut pool: Corpus, mut test: Corpus) -> (Corpus, Corpus) {
+        if opts.sanitize {
+            let (pool_report, pool_docs) = pool.sanitize();
+            let (test_report, test_docs) = test.sanitize();
+            let docs = pool_docs + test_docs;
+            if docs > 0 {
+                fieldswap_obs::warn!(
+                    "ingestion sanitized {docs} document(s) ({} repairs)",
+                    pool_report.total() + test_report.total()
+                );
+                fieldswap_obs::counter_add("fieldswap_ingest_sanitized_docs_total", docs as u64);
+            }
+        }
+        (pool, test)
+    }
+
+    /// The attacked variant of a domain's test set, built once per
+    /// `(domain, kind, strength)` and shared across all robustness cells.
+    /// Per-document attack seeds derive from the master seed and the
+    /// document index (see [`fieldswap_core::attack_corpus`]), so the
+    /// corpus is byte-identical across worker counts and resumes.
+    pub fn attacked_test(&self, domain: Domain, spec: AttackSpec) -> Arc<Corpus> {
+        let opts = self.opts;
+        let data = self.domain_data(domain);
+        self.attacked_tests
+            .get_or_init((domain, spec.kind, spec.strength.to_bits()), || {
+                let seed = mix_coords(opts.seed, &[domain as u64]);
+                Arc::new(attack_corpus(&data.1, spec.kind, spec.strength, seed))
+            })
     }
 
     /// The training sample for `(domain, size, sample_idx)`: a seeded
@@ -455,26 +531,19 @@ impl Harness {
         }
     }
 
-    /// Runs one experiment. Every random decision is seeded from the
-    /// experiment's grid coordinates via [`cell_seed`], so the result is
-    /// the same whether this cell runs serially or on a worker thread.
-    pub fn run_single(
+    /// The training front half of one experiment, shared verbatim by
+    /// [`run_single`](Self::run_single) and the robustness evaluation
+    /// (`run_robustness_cell`): sample, configure, augment, and train —
+    /// everything except the final evaluation. Identical spans, identical
+    /// random draws, identical extractor.
+    pub(crate) fn train_cell(
         &self,
         domain: Domain,
         size: usize,
         arm: Arm,
         sample_idx: usize,
         trial_idx: usize,
-    ) -> ExperimentResult {
-        let _cell_span = fieldswap_obs::span_tagged("cell", || {
-            vec![
-                ("domain", domain.name().to_string()),
-                ("size", size.to_string()),
-                ("arm", arm.label().to_string()),
-                ("sample", sample_idx.to_string()),
-                ("trial", trial_idx.to_string()),
-            ]
-        });
+    ) -> (Extractor, usize) {
         let cell = cell_seed(self.opts.seed, domain, size, arm, sample_idx, trial_idx);
         let sample = {
             let _span = fieldswap_obs::span("sample");
@@ -526,6 +595,19 @@ impl Harness {
                     trial_idx as u64,
                 ],
             ),
+            inject_nan_epoch_mask: {
+                let injected = self
+                    .diverge_injections
+                    .lock()
+                    .expect("divergence set poisoned")
+                    .contains(&(domain, size, arm, sample_idx, trial_idx));
+                if injected {
+                    1 // epoch 0 diverges once; recovery replays it
+                } else {
+                    0
+                }
+            },
+            ..TrainConfig::default()
         };
         let schema = sample.schema.clone();
         let extractor = {
@@ -538,6 +620,47 @@ impl Harness {
                 &train_cfg,
             )
         };
+        let report = extractor.train_report();
+        if report.divergences > 0 {
+            fieldswap_obs::warn!(
+                "cell ({}, {size}, {}, {sample_idx}, {trial_idx}): training diverged {} time(s), \
+                 {} retr{} used{}",
+                domain.name(),
+                arm.label(),
+                report.divergences,
+                report.retries,
+                if report.retries == 1 { "y" } else { "ies" },
+                if report.exhausted {
+                    "; retry budget exhausted, weights scrubbed"
+                } else {
+                    ""
+                }
+            );
+        }
+        (extractor, n_synthetics)
+    }
+
+    /// Runs one experiment. Every random decision is seeded from the
+    /// experiment's grid coordinates via [`cell_seed`], so the result is
+    /// the same whether this cell runs serially or on a worker thread.
+    pub fn run_single(
+        &self,
+        domain: Domain,
+        size: usize,
+        arm: Arm,
+        sample_idx: usize,
+        trial_idx: usize,
+    ) -> ExperimentResult {
+        let _cell_span = fieldswap_obs::span_tagged("cell", || {
+            vec![
+                ("domain", domain.name().to_string()),
+                ("size", size.to_string()),
+                ("arm", arm.label().to_string()),
+                ("sample", sample_idx.to_string()),
+                ("trial", trial_idx.to_string()),
+            ]
+        });
+        let (extractor, n_synthetics) = self.train_cell(domain, size, arm, sample_idx, trial_idx);
         let data = self.domain_data(domain);
         let eval: EvalResult = {
             let _span = fieldswap_obs::span("eval");
@@ -694,6 +817,7 @@ mod tests {
             synthetic_cap: 300,
             seed: 0x7E57,
             jobs: 1,
+            sanitize: true,
         }
     }
 

@@ -34,7 +34,7 @@ pub mod serialize;
 pub mod tags;
 
 pub use lexicon::Lexicon;
-pub use model::{Extractor, PredictScratch, TrainConfig};
+pub use model::{Extractor, PredictScratch, TrainConfig, TrainReport};
 pub use serialize::{ModelIoError, ModelParts};
 pub use tags::TagSet;
 

@@ -46,6 +46,16 @@ pub struct TrainConfig {
     pub synth_ratio: f32,
     /// Shuffle seed.
     pub seed: u64,
+    /// How many divergence recoveries (restart-with-replay) to attempt
+    /// when an epoch produces a non-finite loss before giving up and
+    /// scrubbing the non-finite weights in place. See
+    /// [`Extractor::train_report`].
+    pub max_divergence_retries: u32,
+    /// Test-only divergence injection: a bitmask of epoch indices whose
+    /// loss is forced to `NaN` on their *first* attempt (recovery retries
+    /// of the same epoch run clean). Leave `0` outside of tests.
+    #[doc(hidden)]
+    pub inject_nan_epoch_mask: u64,
 }
 
 impl Default for TrainConfig {
@@ -54,6 +64,8 @@ impl Default for TrainConfig {
             epochs: 8,
             synth_ratio: 2.0,
             seed: 0,
+            max_divergence_retries: 2,
+            inject_nan_epoch_mask: 0,
         }
     }
 }
@@ -65,8 +77,42 @@ impl TrainConfig {
             epochs: 3,
             synth_ratio: 2.0,
             seed: 0,
+            ..Self::default()
         }
     }
+}
+
+/// What happened during one [`Extractor::train_mixed`] run, including the
+/// divergence-recovery path: how many epochs actually executed (replays
+/// included), how many non-finite epoch losses were observed, and whether
+/// the run ended cleanly or had to scrub weights after exhausting its
+/// retry budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrainReport {
+    /// Epochs executed, counting replayed epochs from recovery restarts.
+    pub epochs_run: usize,
+    /// Non-finite epoch losses observed.
+    pub divergences: u32,
+    /// Restart-with-replay recoveries performed.
+    pub retries: u32,
+    /// Whether the retry budget ran out and non-finite weights were
+    /// scrubbed to zero instead of retrained.
+    pub exhausted: bool,
+    /// The (finite) loss of the last epoch, summed hinge margins.
+    pub final_loss: f64,
+}
+
+/// Derives the recovery shuffle seed for a diverged epoch: the SplitMix64
+/// finalizer over the base seed salted with the epoch and attempt number,
+/// so every retry of every epoch perturbs the visiting order differently
+/// and deterministically.
+fn recovery_seed(seed: u64, epoch: u64, attempt: u64) -> u64 {
+    let mut z = seed
+        ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ attempt.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Precomputed `(feature, tag)` weight-table indices for one document.
@@ -135,6 +181,8 @@ pub struct Extractor {
     /// Whether `finalize_average` has been applied.
     averaged: bool,
     lexicon: Lexicon,
+    /// Divergence-recovery statistics from the last training run.
+    train_report: TrainReport,
 }
 
 #[inline]
@@ -162,6 +210,7 @@ impl Extractor {
             step: 0,
             averaged: false,
             lexicon: Lexicon::empty(),
+            train_report: TrainReport::default(),
         }
         .with_lexicon(lexicon)
     }
@@ -174,6 +223,13 @@ impl Extractor {
     /// The tag set in use.
     pub fn tag_set(&self) -> &TagSet {
         &self.tags
+    }
+
+    /// Divergence-recovery statistics from the last training run. An
+    /// extractor reassembled with [`Extractor::from_parts`] reports the
+    /// default (empty) record.
+    pub fn train_report(&self) -> &TrainReport {
+        &self.train_report
     }
 
     /// Emission score via the precomputed bucket table: a pure
@@ -303,15 +359,23 @@ impl Extractor {
         }
     }
 
-    fn update(&mut self, bk: &DocBuckets, gold: &[TagId], pred: &[TagId]) {
+    /// Applies one perceptron update and returns the pre-update hinge
+    /// margin over the touched cells (predicted score minus gold score
+    /// under the weights as they stood before this update). The per-epoch
+    /// sum is the divergence signal watched by
+    /// [`Extractor::train_mixed`]: a healthy run keeps it finite, and a
+    /// corrupted weight table surfaces as `NaN`/`inf` here.
+    fn update(&mut self, bk: &DocBuckets, gold: &[TagId], pred: &[TagId]) -> f64 {
         self.step += 1;
         let n_tags = self.tags.len();
         let step = self.step as f64;
+        let mut margin = 0.0f64;
         for t in 0..gold.len() {
             if gold[t] != pred[t] {
                 let grow = bk.row(t, gold[t]);
                 let prow = bk.row(t, pred[t]);
                 for (&bg, &bp) in grow.iter().zip(prow) {
+                    margin += f64::from(self.w[bp as usize] - self.w[bg as usize]);
                     self.w[bg as usize] += 1.0;
                     self.w_acc[bg as usize] += step;
                     self.w[bp as usize] -= 1.0;
@@ -320,11 +384,41 @@ impl Extractor {
             }
             if t > 0 && (gold[t] != pred[t] || gold[t - 1] != pred[t - 1]) {
                 let ig = gold[t - 1] as usize * n_tags + gold[t] as usize;
+                let ip = pred[t - 1] as usize * n_tags + pred[t] as usize;
+                margin += f64::from(self.trans[ip] - self.trans[ig]);
                 self.trans[ig] += 1.0;
                 self.trans_acc[ig] += step;
-                let ip = pred[t - 1] as usize * n_tags + pred[t] as usize;
                 self.trans[ip] -= 1.0;
                 self.trans_acc[ip] -= step;
+            }
+        }
+        margin
+    }
+
+    /// Resets the trainable state to its untrained zero point, keeping the
+    /// tag set, lexicon, and any interned feature caches held by the
+    /// caller. Used by the divergence-recovery restart.
+    fn reset_weights(&mut self) {
+        self.w.fill(0.0);
+        self.w_acc.fill(0.0);
+        self.trans.fill(0.0);
+        self.trans_acc.fill(0.0);
+        self.step = 0;
+    }
+
+    /// Replaces non-finite weights and accumulators with zero — the
+    /// last-resort repair once the divergence retry budget is exhausted,
+    /// keeping the run alive (degraded, counted, logged) instead of
+    /// propagating `NaN` into every later score.
+    fn scrub_non_finite(&mut self) {
+        for v in self.w.iter_mut().chain(self.trans.iter_mut()) {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+        for v in self.w_acc.iter_mut().chain(self.trans_acc.iter_mut()) {
+            if !v.is_finite() {
+                *v = 0.0;
             }
         }
     }
@@ -396,69 +490,118 @@ impl Extractor {
             0
         };
 
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut synth_order: Vec<usize> = (0..synthetics.len()).collect();
-        synth_order.shuffle(&mut rng);
-        let mut synth_cursor = 0usize;
-
         // Per-epoch buffers, reused: the plan is rebuilt (same contents,
         // same shuffle draws) and the Viterbi scratch is recycled.
         let mut plan: Vec<(bool, usize)> =
             Vec::with_capacity(n * (1 + extra_repeats) + per_epoch_synths);
         let mut vit = ViterbiScratch::default();
 
-        for _ in 0..cfg.epochs {
-            let epoch_t0 = if timing {
-                Some(std::time::Instant::now())
-            } else {
-                None
-            };
-            // Plan: (is_synth, index) entries.
-            plan.clear();
-            for r in 0..=extra_repeats {
-                let _ = r;
-                for i in 0..n {
-                    plan.push((false, i));
-                }
-            }
-            for _ in 0..per_epoch_synths {
-                plan.push((true, synth_order[synth_cursor % synth_order.len().max(1)]));
-                synth_cursor += 1;
-            }
-            plan.shuffle(&mut rng);
-            obs_decodes += plan.len() as u64;
-            for &(is_synth, i) in &plan {
-                if is_synth {
-                    if feats_synth[i].is_none() {
-                        let f = extract(synthetics[i], &self.lexicon);
-                        let g = self.tags.encode(synthetics[i]);
-                        feats_synth[i] = Some((f, g));
-                        obs_synth_feat_misses += 1;
-                    } else {
-                        obs_synth_feat_hits += 1;
-                    }
-                    let (f, g) = feats_synth[i].as_ref().unwrap();
-                    self.fill_buckets(f, Some(g), &mut synth_bk);
-                    self.viterbi_into(&synth_bk, &mut vit);
-                    if vit.tags != *g {
-                        self.update(&synth_bk, g, &vit.tags);
-                        obs_updates += 1;
-                    }
+        // Divergence recovery (restart-with-replay): when an epoch's loss
+        // goes non-finite, reset the weights and replay training from
+        // epoch 0 drawing the *same* rng stream, then perturb only the
+        // diverged epoch's visiting order with an extra shuffle from a
+        // derived recovery seed. A clean run draws zero extra random
+        // numbers, so the hardened path is bit-identical to the original
+        // trainer. `overrides` maps epoch -> retry attempt count.
+        let mut overrides: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let mut report = TrainReport::default();
+
+        'attempt: loop {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let mut synth_order: Vec<usize> = (0..synthetics.len()).collect();
+            synth_order.shuffle(&mut rng);
+            let mut synth_cursor = 0usize;
+
+            for epoch in 0..cfg.epochs {
+                let epoch_t0 = if timing {
+                    Some(std::time::Instant::now())
                 } else {
-                    self.viterbi_into(&buckets_orig[i], &mut vit);
-                    if vit.tags != golds_orig[i] {
-                        self.update(&buckets_orig[i], &golds_orig[i], &vit.tags);
-                        obs_updates += 1;
+                    None
+                };
+                // Plan: (is_synth, index) entries.
+                plan.clear();
+                for r in 0..=extra_repeats {
+                    let _ = r;
+                    for i in 0..n {
+                        plan.push((false, i));
                     }
                 }
+                for _ in 0..per_epoch_synths {
+                    plan.push((true, synth_order[synth_cursor % synth_order.len().max(1)]));
+                    synth_cursor += 1;
+                }
+                plan.shuffle(&mut rng);
+                if let Some(&attempt) = overrides.get(&epoch) {
+                    // This epoch diverged before: perturb its visiting
+                    // order (main stream above already advanced normally,
+                    // keeping every other epoch's draws untouched).
+                    let mut recovery =
+                        StdRng::seed_from_u64(recovery_seed(cfg.seed, epoch as u64, attempt));
+                    plan.shuffle(&mut recovery);
+                }
+                obs_decodes += plan.len() as u64;
+                let mut epoch_loss = 0.0f64;
+                for &(is_synth, i) in &plan {
+                    if is_synth {
+                        if feats_synth[i].is_none() {
+                            let f = extract(synthetics[i], &self.lexicon);
+                            let g = self.tags.encode(synthetics[i]);
+                            feats_synth[i] = Some((f, g));
+                            obs_synth_feat_misses += 1;
+                        } else {
+                            obs_synth_feat_hits += 1;
+                        }
+                        let (f, g) = feats_synth[i].as_ref().unwrap();
+                        self.fill_buckets(f, Some(g), &mut synth_bk);
+                        self.viterbi_into(&synth_bk, &mut vit);
+                        if vit.tags != *g {
+                            epoch_loss += self.update(&synth_bk, g, &vit.tags);
+                            obs_updates += 1;
+                        }
+                    } else {
+                        self.viterbi_into(&buckets_orig[i], &mut vit);
+                        if vit.tags != golds_orig[i] {
+                            epoch_loss += self.update(&buckets_orig[i], &golds_orig[i], &vit.tags);
+                            obs_updates += 1;
+                        }
+                    }
+                }
+                if epoch < 64
+                    && (cfg.inject_nan_epoch_mask >> epoch) & 1 == 1
+                    && !overrides.contains_key(&epoch)
+                {
+                    epoch_loss = f64::NAN;
+                }
+                if let Some(t0) = epoch_t0 {
+                    fieldswap_obs::observe(
+                        "fieldswap_train_epoch_ms",
+                        t0.elapsed().as_secs_f64() * 1e3,
+                    );
+                }
+                report.epochs_run += 1;
+                report.final_loss = epoch_loss;
+                if !epoch_loss.is_finite() {
+                    report.divergences += 1;
+                    fieldswap_obs::counter_add("fieldswap_train_divergences_total", 1);
+                    if report.retries >= cfg.max_divergence_retries {
+                        // Retry budget spent: repair in place and keep
+                        // going so the surrounding grid completes.
+                        report.exhausted = true;
+                        report.final_loss = 0.0;
+                        self.scrub_non_finite();
+                        fieldswap_obs::counter_add("fieldswap_train_divergence_exhausted_total", 1);
+                        continue;
+                    }
+                    report.retries += 1;
+                    *overrides.entry(epoch).or_insert(0) += 1;
+                    fieldswap_obs::counter_add("fieldswap_train_divergence_retries_total", 1);
+                    self.reset_weights();
+                    continue 'attempt;
+                }
             }
-            if let Some(t0) = epoch_t0 {
-                fieldswap_obs::observe(
-                    "fieldswap_train_epoch_ms",
-                    t0.elapsed().as_secs_f64() * 1e3,
-                );
-            }
+            break;
         }
+        self.train_report = report;
         if timing {
             fieldswap_obs::counter_add("fieldswap_train_epochs_total", cfg.epochs as u64);
             fieldswap_obs::counter_add("fieldswap_train_decodes_total", obs_decodes);
@@ -589,6 +732,7 @@ impl Extractor {
                 parts.lexicon_docs,
                 parts.lexicon_entries,
             ),
+            train_report: TrainReport::default(),
         }
     }
 
@@ -724,6 +868,7 @@ mod tests {
                 epochs: 5,
                 synth_ratio: 2.0,
                 seed: 1,
+                ..TrainConfig::default()
             },
         );
         let rate = exact_match_rate(&ex, &test);
@@ -740,6 +885,7 @@ mod tests {
             epochs: 5,
             synth_ratio: 0.0,
             seed: 2,
+            ..TrainConfig::default()
         };
         let ex_small = Extractor::train_on(&small.schema, lex.clone(), &small, &[], &cfg);
         let ex_large = Extractor::train_on(&pool.schema, lex, &pool, &[], &cfg);
@@ -812,6 +958,95 @@ mod tests {
             ex.predict(&train.documents[0])
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clean_training_reports_no_divergence() {
+        let train = generate(Domain::Fara, 9, 20);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::empty(),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        let r = ex.train_report();
+        assert_eq!(r.epochs_run, 3);
+        assert_eq!(r.divergences, 0);
+        assert_eq!(r.retries, 0);
+        assert!(!r.exhausted);
+        assert!(r.final_loss.is_finite());
+    }
+
+    #[test]
+    fn injected_divergence_recovers_deterministically() {
+        let train = generate(Domain::Fara, 21, 20);
+        let cfg = TrainConfig {
+            inject_nan_epoch_mask: 0b10, // epoch 1 diverges on first attempt
+            ..TrainConfig::tiny()
+        };
+        let run = || {
+            let ex = Extractor::train_on(&train.schema, Lexicon::empty(), &train, &[], &cfg);
+            let report = *ex.train_report();
+            (report, ex.predict(&train.documents[0]))
+        };
+        let (report, pred) = run();
+        assert_eq!(report.divergences, 1);
+        assert_eq!(report.retries, 1);
+        assert!(!report.exhausted);
+        // Restart replays epochs 0 and 1, then runs 2: 3 + 1 extra.
+        assert_eq!(report.epochs_run, 3 + 2);
+        assert!(report.final_loss.is_finite());
+        // The whole recovery path is seeded: a second run is identical.
+        let (report2, pred2) = run();
+        assert_eq!(report, report2);
+        assert_eq!(pred, pred2);
+        // The recovered model still works (produces valid spans).
+        for s in &pred {
+            assert!(s.end <= train.documents[0].tokens.len() as u32);
+        }
+    }
+
+    #[test]
+    fn exhausted_divergence_budget_is_graceful() {
+        let train = generate(Domain::Fara, 22, 15);
+        let cfg = TrainConfig {
+            inject_nan_epoch_mask: 0b111, // every epoch's first attempt diverges
+            max_divergence_retries: 1,
+            ..TrainConfig::tiny()
+        };
+        let ex = Extractor::train_on(&train.schema, Lexicon::empty(), &train, &[], &cfg);
+        let r = *ex.train_report();
+        assert_eq!(r.retries, 1);
+        assert!(r.exhausted);
+        assert!(r.divergences >= 2);
+        // No panic, and predictions contain no poison.
+        let pred = ex.predict(&train.documents[0]);
+        for s in &pred {
+            assert!(s.end <= train.documents[0].tokens.len() as u32);
+        }
+    }
+
+    #[test]
+    fn divergence_guard_is_inert_on_clean_runs() {
+        // The hardened trainer must be draw-for-draw identical to a run
+        // with a huge retry budget (no recovery rng is consumed unless a
+        // divergence actually happens).
+        let train = generate(Domain::Earnings, 23, 15);
+        let base = TrainConfig::tiny();
+        let lots = TrainConfig {
+            max_divergence_retries: 1000,
+            ..TrainConfig::tiny()
+        };
+        let run = |cfg: &TrainConfig| {
+            let ex = Extractor::train_on(&train.schema, Lexicon::empty(), &train, &[], cfg);
+            train
+                .documents
+                .iter()
+                .map(|d| ex.predict(d))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(&base), run(&lots));
     }
 
     #[test]
@@ -929,6 +1164,7 @@ mod tests {
             epochs: 4,
             synth_ratio: 2.0,
             seed: 3,
+            ..TrainConfig::default()
         };
         let base = Extractor::train_on(&pool.schema, lex.clone(), &pool, &[], &cfg);
         let aug = Extractor::train_on(&pool.schema, lex, &pool, &synths, &cfg);

@@ -66,7 +66,8 @@ impl Optimizer for Sgd {
     }
 }
 
-/// Adam (Kingma & Ba) with bias correction.
+/// Adam (Kingma & Ba) with bias correction and optional per-tensor L2
+/// gradient clipping (mirroring [`Sgd::with_clip`]).
 #[derive(Debug)]
 pub struct Adam {
     /// Learning rate.
@@ -77,32 +78,49 @@ pub struct Adam {
     pub beta2: f32,
     /// Numerical stabilizer.
     pub eps: f32,
+    /// Per-tensor L2 clip threshold (`None` disables clipping). When set,
+    /// the *gradient* is rescaled before it enters the moment estimates,
+    /// so one divergent batch cannot poison `m`/`v` for later steps.
+    pub clip: Option<f32>,
     t: u64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
 }
 
 impl Adam {
-    /// Adam with standard hyperparameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    /// Adam with standard hyperparameters (β₁=0.9, β₂=0.999, ε=1e-8) and
+    /// no clipping.
     pub fn new(lr: f32) -> Self {
         Self {
             lr,
             beta1: 0.9,
             beta2: 0.999,
             eps: 1e-8,
+            clip: None,
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
         }
     }
 
+    /// Adam with per-tensor gradient-norm clipping.
+    pub fn with_clip(lr: f32, clip: f32) -> Self {
+        Self {
+            clip: Some(clip),
+            ..Self::new(lr)
+        }
+    }
+
     /// The dense Adam update over `data[ks]`, reading gradients from
-    /// `gdata` at the same indices.
+    /// `gdata` at the same indices, pre-scaled by `gscale` (1.0 when
+    /// clipping is off or the norm is under the threshold — an exact
+    /// bitwise no-op on the gradient).
     #[allow(clippy::too_many_arguments)]
     fn apply_range(
         &self,
         ks: std::ops::Range<usize>,
         gdata: &[f32],
+        gscale: f32,
         m: &mut Tensor,
         v: &mut Tensor,
         value: &mut Tensor,
@@ -110,7 +128,7 @@ impl Adam {
         bc2: f32,
     ) {
         for k in ks {
-            let g = gdata[k];
+            let g = gdata[k] * gscale;
             let mk = self.beta1 * m.data()[k] + (1.0 - self.beta1) * g;
             let vk = self.beta2 * v.data()[k] + (1.0 - self.beta2) * g * g;
             m.data_mut()[k] = mk;
@@ -128,7 +146,7 @@ impl Optimizer for Adam {
         let t = self.t as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
-        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (lr, beta1, beta2, eps, clip) = (self.lr, self.beta1, self.beta2, self.eps, self.clip);
         for (i, (value, grad, active)) in store.updates_mut().enumerate() {
             if self.m.len() <= i {
                 self.m.push(Tensor::zeros(value.rows(), value.cols()));
@@ -141,17 +159,44 @@ impl Optimizer for Adam {
             };
             let (m, v) = (&mut self.m[i], &mut self.v[i]);
             let cols = value.cols();
+            // Per-tensor clip scale. Rows outside the ever-active set hold
+            // zero gradient, so summing squares over active rows alone
+            // yields the same norm as a dense scan — active-rows-aware
+            // without a correctness gap.
+            let gscale = match clip {
+                Some(c) => {
+                    let gd = grad.data();
+                    let ss: f32 = if active.is_all() {
+                        gd.iter().map(|g| g * g).sum()
+                    } else {
+                        active
+                            .rows()
+                            .iter()
+                            .flat_map(|&r| &gd[r as usize * cols..(r as usize + 1) * cols])
+                            .map(|g| g * g)
+                            .sum()
+                    };
+                    let n = ss.sqrt();
+                    if n > c {
+                        c / n
+                    } else {
+                        1.0
+                    }
+                }
+                None => 1.0,
+            };
             let step = Adam {
                 lr,
                 beta1,
                 beta2,
                 eps,
+                clip,
                 t: 0,
                 m: Vec::new(),
                 v: Vec::new(),
             };
             if active.is_all() {
-                step.apply_range(0..value.len(), grad.data(), m, v, value, bc1, bc2);
+                step.apply_range(0..value.len(), grad.data(), gscale, m, v, value, bc1, bc2);
                 grad.zero();
             } else {
                 // Rows outside the ever-active set have g = m = v = 0 for
@@ -160,7 +205,7 @@ impl Optimizer for Adam {
                 // this step but nonzero moments — those must still decay.
                 for &r in active.rows() {
                     let ks = r as usize * cols..(r as usize + 1) * cols;
-                    step.apply_range(ks.clone(), grad.data(), m, v, value, bc1, bc2);
+                    step.apply_range(ks.clone(), grad.data(), gscale, m, v, value, bc1, bc2);
                     grad.data_mut()[ks].iter_mut().for_each(|g| *g = 0.0);
                 }
             }
@@ -238,6 +283,105 @@ mod tests {
         opt.step(&mut store);
         let delta = (store.value(p).data()[0] - before).abs();
         assert!(delta <= 0.1 + 1e-6, "clipped step was {delta}");
+    }
+
+    #[test]
+    fn adam_clipping_bounds_update() {
+        let mut store = ParamStore::new(6);
+        let p = store.tensor("w", 1, 1, Init::Zeros);
+        // Manually set a huge gradient.
+        store.zero_grads();
+        {
+            let mut tape = Tape::new();
+            let x = tape.constant(Tensor::from_vec(1, 1, vec![1000.0]));
+            let w = tape.param(&store, p);
+            let z = tape.matmul(x, w);
+            let loss = tape.bce_with_logits(z, &[1.0]);
+            tape.backward(loss, &mut store);
+        }
+        let before = store.value(p).data()[0];
+        let mut opt = Adam::with_clip(0.05, 0.1);
+        opt.step(&mut store);
+        let delta = (store.value(p).data()[0] - before).abs();
+        assert!(delta <= 0.05 + 1e-6, "clipped adam step was {delta}");
+    }
+
+    #[test]
+    fn adam_clip_engages_only_above_threshold() {
+        // Two steps with very different gradient magnitudes. A threshold
+        // the norm never reaches must be a bitwise no-op versus no clip
+        // (`g * 1.0` is exact); a small threshold caps the huge step's
+        // contribution to the moments and diverges from the unclipped run.
+        let run = |clip: Option<f32>| {
+            let mut store = ParamStore::new(7);
+            let p = store.tensor("w", 1, 1, Init::Zeros);
+            let mut opt = match clip {
+                Some(c) => Adam::with_clip(0.05, c),
+                None => Adam::new(0.05),
+            };
+            for scale in [1000.0f32, 0.5] {
+                let mut tape = Tape::new();
+                let x = tape.constant(Tensor::from_vec(1, 1, vec![scale]));
+                let w = tape.param(&store, p);
+                let z = tape.matmul(x, w);
+                let loss = tape.bce_with_logits(z, &[1.0]);
+                tape.backward(loss, &mut store);
+                opt.step(&mut store);
+            }
+            store.value(p).data()[0]
+        };
+        let unclipped = run(None);
+        let inert = run(Some(f32::MAX));
+        let clipped = run(Some(0.1));
+        assert_eq!(
+            unclipped.to_bits(),
+            inert.to_bits(),
+            "unengaged clip must stay bit-identical"
+        );
+        assert_ne!(
+            unclipped.to_bits(),
+            clipped.to_bits(),
+            "engaged clip must change the trajectory"
+        );
+    }
+
+    #[test]
+    fn adam_clip_sparse_rows_match_dense_scan() {
+        // Same sparse-vs-dense equivalence as
+        // `adam_sparse_rows_match_dense_scan`, with clipping engaged: the
+        // active-rows norm must equal the dense norm (inactive rows hold
+        // zero gradient), so the clipped updates agree bitwise too.
+        let gather_loss = |store: &mut ParamStore, p: crate::tape::ParamId| {
+            let mut tape = Tape::new();
+            let rows = tape.gather(store, p, &[1, 4, 1]);
+            let pooled = tape.max_pool(rows);
+            let loss = tape.bce_with_logits(pooled, &[1.0, 0.0, 1.0]);
+            tape.backward(loss, store);
+        };
+        let mut store = ParamStore::new(8);
+        let p = store.tensor("emb", 6, 3, Init::Uniform(0.5));
+        let mut opt = Adam::with_clip(0.01, 0.05);
+        for _ in 0..5 {
+            gather_loss(&mut store, p);
+            opt.step(&mut store);
+        }
+        let mut dense = ParamStore::new(8);
+        let q = dense.tensor("emb", 6, 3, Init::Uniform(0.5));
+        let mut dopt = Adam::with_clip(0.01, 0.05);
+        for _ in 0..5 {
+            gather_loss(&mut dense, q);
+            let mut tape = Tape::new();
+            let w = tape.param(&dense, q);
+            let r0 = tape.select_row(w, 0);
+            let s = tape.scale(r0, 0.0);
+            let pooled = tape.max_pool(s);
+            let extra = tape.bce_with_logits(pooled, &[0.5, 0.5, 0.5]);
+            tape.backward(extra, &mut dense);
+            dopt.step(&mut dense);
+        }
+        for (a, b) in store.value(p).data().iter().zip(dense.value(q).data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "clipped sparse vs dense drift");
+        }
     }
 
     #[test]

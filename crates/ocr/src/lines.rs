@@ -336,5 +336,53 @@ mod tests {
             let s2 = shape(&d2, &det.detect(&d2));
             prop_assert_eq!(s1, s2);
         }
+
+        /// Detection must never panic, and must still assign every token to
+        /// exactly one line, on arbitrarily degenerate geometry: zero-area
+        /// boxes, inverted extents, NaN/infinite coordinates, duplicate
+        /// tokens, empty texts. Such documents bypass `DocumentBuilder`
+        /// (deserialization, attack transforms), so the detector cannot
+        /// assume `validate()` holds.
+        #[test]
+        fn prop_detect_never_panics_on_degenerate_documents(
+            raw in proptest::collection::vec(
+                (-1e3f32..1e3, -1e3f32..1e3, 0u8..5, 0u8..3), 0..16),
+        ) {
+            let toks: Vec<Token> = raw
+                .iter()
+                .map(|&(x, y, special, tsel)| {
+                    let (x1, y1) = match special {
+                        0 => (x + 20.0, y + 12.0), // ordinary box
+                        1 => (x, y),               // zero-area
+                        2 => (f32::NAN, y + 12.0), // NaN corner
+                        3 => (x - 50.0, y - 5.0),  // inverted extents
+                        _ => (f32::INFINITY, f32::NEG_INFINITY),
+                    };
+                    let text = match tsel {
+                        0 => "w",
+                        1 => "",
+                        _ => "dup",
+                    };
+                    Token {
+                        text: text.to_string(),
+                        bbox: BBox { x0: x, y0: y, x1, y1 },
+                    }
+                })
+                .collect();
+            let mut d = Document {
+                id: "degen".into(),
+                tokens: toks,
+                lines: Vec::new(),
+                annotations: Vec::new(),
+            };
+            detect_lines(&mut d);
+            let mut seen = vec![0usize; d.tokens.len()];
+            for l in &d.lines {
+                for &t in &l.tokens {
+                    seen[t as usize] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1));
+        }
     }
 }

@@ -61,6 +61,26 @@ impl NoiseParams {
             case_flip_rate: 0.0,
         }
     }
+
+    /// All rates clamped into `[0, 1]`, with non-finite values treated as
+    /// 0. Callers that *scale* a profile (the form-attack transforms
+    /// multiply rates by an attack strength) use this to keep every rate a
+    /// valid probability.
+    pub fn clamped(self) -> Self {
+        let c = |v: f64| {
+            if v.is_finite() {
+                v.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        Self {
+            token_error_rate: c(self.token_error_rate),
+            char_sub_rate: c(self.char_sub_rate),
+            char_del_rate: c(self.char_del_rate),
+            case_flip_rate: c(self.case_flip_rate),
+        }
+    }
 }
 
 /// Deterministic, seedable OCR noise model.
@@ -131,8 +151,10 @@ impl NoiseModel {
             out.push(c);
         }
         if out.is_empty() {
-            // Deletion wiped the token; keep the first character.
-            out.push(text.chars().next().unwrap());
+            // Deletion wiped the token; keep the first character. (The
+            // early return above guarantees `text` is non-empty, but fall
+            // back to a placeholder rather than unwrap on that invariant.)
+            out.push(text.chars().next().unwrap_or('?'));
         }
         if flip_case {
             out = out.chars().map(toggle_case).collect();
@@ -289,6 +311,21 @@ mod tests {
             &diverged[..4],
             &["Ovcrtime", "Overtine", "Overtm", "Ovcrtim"]
         );
+    }
+
+    #[test]
+    fn clamped_bounds_rates() {
+        let p = NoiseParams {
+            token_error_rate: 2.5,
+            char_sub_rate: -0.3,
+            char_del_rate: f64::NAN,
+            case_flip_rate: 0.4,
+        }
+        .clamped();
+        assert_eq!(p.token_error_rate, 1.0);
+        assert_eq!(p.char_sub_rate, 0.0);
+        assert_eq!(p.char_del_rate, 0.0);
+        assert_eq!(p.case_flip_rate, 0.4);
     }
 
     #[test]

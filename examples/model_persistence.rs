@@ -44,6 +44,7 @@ fn main() {
             epochs: 5,
             synth_ratio: 2.0,
             seed: 3,
+            ..TrainConfig::default()
         },
     );
 

@@ -47,6 +47,7 @@ fn main() {
         epochs: 6,
         synth_ratio: 2.0,
         seed: 7,
+        ..TrainConfig::default()
     };
     let baseline = Extractor::train_on(&train.schema, lexicon.clone(), &train, &[], &cfg);
     let augmented = Extractor::train_on(&train.schema, lexicon, &train, &synthetics, &cfg);

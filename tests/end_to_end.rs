@@ -30,6 +30,7 @@ fn full_pipeline_beats_chance_on_every_domain() {
                 epochs: 4,
                 synth_ratio: 0.0,
                 seed: 1,
+                ..TrainConfig::default()
             },
         );
         let result = evaluate(&ex, &test);
@@ -59,6 +60,7 @@ fn augmentation_pipeline_is_neutral_or_better_at_low_data() {
         epochs: 5,
         synth_ratio: 2.0,
         seed: 2,
+        ..TrainConfig::default()
     };
     let base = evaluate(
         &Extractor::train_on(&train.schema, lexicon.clone(), &train, &[], &cfg),

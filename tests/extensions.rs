@@ -119,6 +119,7 @@ fn serialized_model_round_trip_end_to_end() {
             epochs: 3,
             synth_ratio: 0.0,
             seed: 5,
+            ..TrainConfig::default()
         },
     );
     let bytes = ex.to_bytes();

@@ -87,6 +87,7 @@ fn extraction_survives_mild_noise() {
             epochs: 3,
             synth_ratio: 0.0,
             seed: 1,
+            ..TrainConfig::default()
         },
     );
     let r = evaluate(&ex, &test);
