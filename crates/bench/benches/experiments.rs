@@ -21,6 +21,7 @@ fn bench_opts(seed: u64) -> HarnessOptions {
         seed,
         jobs: 1,
         sanitize: true,
+        quantized: false,
     }
 }
 

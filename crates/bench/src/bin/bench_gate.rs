@@ -1,0 +1,130 @@
+//! CI gate runner: compares benchmark/accuracy artifacts and exits
+//! non-zero on regression. All comparison logic lives in
+//! [`fieldswap_bench::gate`] where it is unit-tested; this binary only
+//! parses flags, loads JSON, prints the table, and sets the exit code.
+//!
+//! Modes:
+//!
+//! ```text
+//! bench_gate perf  --baseline BENCH_train.json --current fresh.json [--max-regress 0.30]
+//! bench_gate quant --exact f32.json --quantized q8.json [--epsilon E] [--table PATH]
+//! ```
+//!
+//! * `perf` fails when `extract_predict` or `infer_frozen` throughput
+//!   dropped by more than `--max-regress` (fraction, default 0.30)
+//!   versus the committed baseline.
+//! * `quant` matches fig4 points by `(domain, size, arm)` between an
+//!   exact-f32 and a `--quantized` `fig4_macro_f1 --json` dump and fails
+//!   when any macro-F1 delta exceeds `--epsilon` (default
+//!   [`fieldswap_eval::QUANT_MACRO_F1_EPSILON`], the same bound the
+//!   in-repo guard test enforces). `--table` additionally writes the
+//!   delta table to a file for artifact upload.
+
+use fieldswap_bench::gate;
+use serde_json::Value;
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "usage: bench_gate perf --baseline PATH --current PATH [--max-regress X]\n       \
+         bench_gate quant --exact PATH --quantized PATH [--epsilon E] [--table PATH]"
+    );
+    fieldswap_bench::fail(msg)
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fieldswap_bench::fail(&format!("read {path}: {e}")));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| fieldswap_bench::fail(&format!("parse {path}: {e}")))
+}
+
+/// `(flag, value)` pairs after the mode word, every flag taking exactly
+/// one value.
+fn flag_values(args: &[String]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        if !flag.starts_with("--") {
+            usage(&format!("expected a flag, found {flag:?}"));
+        }
+        let Some(value) = args.get(i + 1) else {
+            usage(&format!("{flag} expects a value"));
+        };
+        if value.starts_with("--") {
+            usage(&format!("{flag} expects a value, found flag {value}"));
+        }
+        out.push((flag.clone(), value.clone()));
+        i += 2;
+    }
+    out
+}
+
+fn num(v: &str, flag: &str) -> f64 {
+    v.parse()
+        .unwrap_or_else(|_| usage(&format!("{flag}: bad value {v:?}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else {
+        usage("missing mode (perf|quant)");
+    };
+    let flags = flag_values(&args[1..]);
+    let get = |name: &str| -> Option<&str> {
+        flags
+            .iter()
+            .rev()
+            .find(|(f, _)| f == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let require = |name: &str| -> &str {
+        get(name).unwrap_or_else(|| usage(&format!("{mode} requires {name}")))
+    };
+
+    let failed = match mode.as_str() {
+        "perf" => {
+            for (f, _) in &flags {
+                if !["--baseline", "--current", "--max-regress"].contains(&f.as_str()) {
+                    usage(&format!("unknown perf flag {f}"));
+                }
+            }
+            let baseline = load(require("--baseline"));
+            let current = load(require("--current"));
+            let max_regress = get("--max-regress").map_or(0.30, |v| num(v, "--max-regress"));
+            let deltas = gate::perf_gate(&baseline, &current, max_regress);
+            print!("{}", gate::render_perf_table(&deltas));
+            println!("(gate fails when regression > {:.0}%)", max_regress * 100.0);
+            deltas.iter().any(|d| d.failed)
+        }
+        "quant" => {
+            for (f, _) in &flags {
+                if !["--exact", "--quantized", "--epsilon", "--table"].contains(&f.as_str()) {
+                    usage(&format!("unknown quant flag {f}"));
+                }
+            }
+            let exact = load(require("--exact"));
+            let quantized = load(require("--quantized"));
+            let epsilon = get("--epsilon").map_or(fieldswap_eval::QUANT_MACRO_F1_EPSILON, |v| {
+                num(v, "--epsilon")
+            });
+            let deltas = gate::quant_gate(&exact, &quantized, epsilon);
+            if deltas.is_empty() {
+                fieldswap_bench::fail("no comparable points found in the two dumps");
+            }
+            let table = gate::render_quant_table(&deltas, epsilon);
+            print!("{table}");
+            if let Some(path) = get("--table") {
+                std::fs::write(path, &table)
+                    .unwrap_or_else(|e| fieldswap_bench::fail(&format!("write {path}: {e}")));
+                fieldswap_obs::info!("wrote {path}");
+            }
+            deltas.iter().any(|d| d.failed)
+        }
+        other => usage(&format!("unknown mode {other:?} (perf|quant)")),
+    };
+    if failed {
+        fieldswap_bench::fail("gate FAILED");
+    }
+    println!("gate ok");
+}

@@ -6,7 +6,12 @@
 //! * `extract_train` — one averaged-perceptron training run (50 Earnings
 //!   docs + expert-config synthetics, 5 epochs), the `train_mixed` path;
 //! * `extract_predict` — Viterbi + schema constraints over the hold-out
-//!   test set, the `predict` path;
+//!   test set via the training-path decoder (`predict_with`), so the
+//!   number stays comparable with pre-frozen-path baselines;
+//! * `infer_frozen` — the same hold-out set through
+//!   `FrozenModel::predict` (the `extract::infer` fast path), min of
+//!   [`INFER_ITERS`] timed passes after a warm-up;
+//! * `infer_quantized` — as above through the int8-quantized table;
 //! * `nn_train` — importance-model pre-training (forward + backward +
 //!   Adam step per candidate), the `Tape` path;
 //! * `nn_forward` — forward-only neighbor scoring (phrase inference);
@@ -14,16 +19,20 @@
 //!   attention-shaped graph;
 //! * `fig4_point` — end to end: `Harness::new` + one serial
 //!   `run_point(Earnings, 50, AutoTypeToType)` under the quick protocol,
-//!   compared against the recorded pre-optimization baseline.
+//!   compared against the recorded pre-optimization baseline. With
+//!   `--quantized` the point evaluates through the int8 table.
 //!
 //! All stages are serial (`jobs = 1`) and fully seeded, so wall times
 //! are comparable across commits on the same machine and the computed
-//! summaries are byte-identical run to run.
+//! summaries are byte-identical run to run. Multi-iteration stages
+//! report the *minimum* wall time — the best proxy for the true cost on
+//! a noisy machine — plus the coefficient of variation across
+//! iterations so readers can judge how noisy the run was.
 
 use fieldswap_core::augment_corpus;
 use fieldswap_datagen::{generate, generate_paper_splits, Domain};
 use fieldswap_eval::{evaluate, expert_config, Arm, Harness, HarnessOptions};
-use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
+use fieldswap_extract::{Extractor, InferScratch, Lexicon, PredictScratch, TrainConfig};
 use fieldswap_keyphrase::{ImportanceModel, ModelConfig};
 use fieldswap_nn::{Init, ParamStore, Tape, Tensor};
 use serde::Serialize;
@@ -36,10 +45,51 @@ use std::time::Instant;
 /// is visible per commit.
 const FIG4_POINT_BASELINE_MS: f64 = 4940.0;
 
+/// Timed passes for the `infer_frozen`/`infer_quantized` stages. The
+/// frozen decode of the 120-doc fixture takes ~10 ms, so 30 passes keep
+/// the stage under a second while giving the min statistic enough
+/// samples to land on the noise floor.
+const INFER_ITERS: usize = 30;
+
 #[derive(Serialize)]
 struct StageReport {
+    /// Minimum wall time across iterations (the whole time for
+    /// single-pass stages).
     wall_ms: f64,
+    /// Throughput at the minimum wall time.
     docs_per_sec: f64,
+    /// Number of timed iterations behind the statistics.
+    iters: u32,
+    /// Coefficient of variation (std/mean, percent) across iterations;
+    /// 0 for single-pass stages. High values mean a noisy run.
+    cv_pct: f64,
+}
+
+/// Builds a [`StageReport`] from per-iteration wall times. Uses the
+/// minimum as the reported wall time and guards the throughput division
+/// against a degenerate ~0 ms measurement.
+fn stage_report(samples_ms: &[f64], docs: f64) -> StageReport {
+    let n = samples_ms.len().max(1) as f64;
+    let min = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let min = if min.is_finite() { min } else { 0.0 };
+    let mean = samples_ms.iter().sum::<f64>() / n;
+    let var = samples_ms
+        .iter()
+        .map(|s| (s - mean) * (s - mean))
+        .sum::<f64>()
+        / n;
+    let cv_pct = if mean > 0.0 && samples_ms.len() > 1 {
+        100.0 * var.sqrt() / mean
+    } else {
+        0.0
+    };
+    let docs_per_sec = if min > 1e-9 { docs / (min / 1e3) } else { 0.0 };
+    StageReport {
+        wall_ms: min,
+        docs_per_sec,
+        iters: samples_ms.len() as u32,
+        cv_pct,
+    }
 }
 
 #[derive(Serialize)]
@@ -48,17 +98,24 @@ struct Fig4PointReport {
     baseline_wall_ms: f64,
     speedup_vs_baseline: f64,
     macro_f1: f64,
+    /// Whether the point evaluated through the int8-quantized table
+    /// (`--quantized`).
+    quantized: bool,
 }
 
 #[derive(Serialize)]
 struct PerfReport {
-    /// Version of this JSON layout. Bumped to 2 when observability
-    /// landed; the change is purely additive (new field first, all v1
-    /// fields unchanged), so v1 readers keep working.
+    /// Version of this JSON layout. 2 added observability; 3 added the
+    /// `infer_frozen`/`infer_quantized` stages and the per-stage
+    /// `iters`/`cv_pct` fields. Both bumps are purely additive (new
+    /// fields only, all prior fields unchanged), so older readers keep
+    /// working.
     schema_version: u32,
     seed: u64,
     extract_train: StageReport,
     extract_predict: StageReport,
+    infer_frozen: StageReport,
+    infer_quantized: StageReport,
     nn_train: StageReport,
     nn_forward: StageReport,
     backward: StageReport,
@@ -79,13 +136,14 @@ fn record_stage(stage: &str, wall_ms: f64) {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("usage: perf_profile [--out PATH] [--seed N] [--trace PATH] [--metrics PATH] [--verbose|-v] [--quiet|-q]");
+    eprintln!("usage: perf_profile [--out PATH] [--seed N] [--quantized] [--trace PATH] [--metrics PATH] [--verbose|-v] [--quiet|-q]");
     fieldswap_bench::fail(msg)
 }
 
 fn main() {
     let mut out_path = String::from("BENCH_train.json");
     let mut seed = 0x5EEDu64;
+    let mut quantized_point = false;
     let mut trace = None;
     let mut metrics = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -107,6 +165,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("bad seed"));
             }
+            "--quantized" => quantized_point = true,
             "--trace" => {
                 i += 1;
                 trace = Some(
@@ -167,21 +226,50 @@ fn main() {
     // synthetic budget.
     let visited = train_cfg.epochs as f64
         * (sample.len() as f64 + (train_cfg.synth_ratio as f64 * sample.len() as f64).round());
-    let extract_train = StageReport {
-        wall_ms: extract_train_ms,
-        docs_per_sec: visited / (extract_train_ms / 1e3),
-    };
+    let extract_train = stage_report(&[extract_train_ms], visited);
 
-    // Stage: prediction over the hold-out set (the predict hot path).
+    // Stage: prediction over the hold-out set through the training-path
+    // decoder. `evaluate` now routes through the frozen fast path, so
+    // this stage times `predict_with` directly to keep its meaning (and
+    // its committed baseline) stable across commits.
+    let mut pscratch = PredictScratch::default();
     let t0 = Instant::now();
-    let eval = evaluate(&extractor, &test);
+    for doc in &test.documents {
+        std::hint::black_box(extractor.predict_with(doc, &mut pscratch));
+    }
     let extract_predict_ms = ms(t0);
     record_stage("extract_predict", extract_predict_ms);
-    let extract_predict = StageReport {
-        wall_ms: extract_predict_ms,
-        docs_per_sec: test.len() as f64 / (extract_predict_ms / 1e3),
+    let extract_predict = stage_report(&[extract_predict_ms], test.len() as f64);
+    // Scores come from the frozen path — the production eval route.
+    let sanity_macro = evaluate(&extractor, &test).macro_f1();
+
+    // Stages: the frozen fast path, exact f32 then int8-quantized.
+    // Freeze/quantize happen outside the timed region (one-time model
+    // preparation, not per-batch work); one warm-up pass faults pages
+    // and sizes the scratch buffers before timing starts.
+    let frozen = extractor.freeze();
+    let quantized = frozen.quantize();
+    let run_infer = |model: &fieldswap_extract::FrozenModel| -> Vec<f64> {
+        let mut scratch = InferScratch::default();
+        for doc in &test.documents {
+            std::hint::black_box(model.predict(doc, &mut scratch));
+        }
+        (0..INFER_ITERS)
+            .map(|_| {
+                let t0 = Instant::now();
+                for doc in &test.documents {
+                    std::hint::black_box(model.predict(doc, &mut scratch));
+                }
+                ms(t0)
+            })
+            .collect()
     };
-    let sanity_macro = eval.macro_f1();
+    let samples = run_infer(&frozen);
+    let infer_frozen = stage_report(&samples, test.len() as f64);
+    record_stage("infer_frozen", infer_frozen.wall_ms);
+    let samples = run_infer(&quantized);
+    let infer_quantized = stage_report(&samples, test.len() as f64);
+    record_stage("infer_quantized", infer_quantized.wall_ms);
 
     // Stage: importance-model pre-training (the Tape forward + backward +
     // Adam path).
@@ -196,10 +284,7 @@ fn main() {
     importance.train(&pretrain, seed ^ 0xF00D);
     let nn_train_ms = ms(t0);
     record_stage("nn_train", nn_train_ms);
-    let nn_train = StageReport {
-        wall_ms: nn_train_ms,
-        docs_per_sec: (model_cfg.epochs * pretrain.len()) as f64 / (nn_train_ms / 1e3),
-    };
+    let nn_train = stage_report(&[nn_train_ms], (model_cfg.epochs * pretrain.len()) as f64);
 
     // Stage: forward-only neighbor scoring (the phrase-inference path),
     // one tape reused across the whole sweep.
@@ -217,10 +302,7 @@ fn main() {
     }
     let nn_forward_ms = ms(t0);
     record_stage("nn_forward", nn_forward_ms);
-    let nn_forward = StageReport {
-        wall_ms: nn_forward_ms,
-        docs_per_sec: scored_docs as f64 / (nn_forward_ms / 1e3),
-    };
+    let nn_forward = stage_report(&[nn_forward_ms], scored_docs as f64);
 
     // Stage: isolated Tape::backward on an attention-shaped graph.
     let mut store = ParamStore::new(seed);
@@ -267,23 +349,18 @@ fn main() {
     }
     let backward_ms = ms(t0);
     record_stage("backward", backward_ms);
-    let backward = StageReport {
-        wall_ms: backward_ms,
-        docs_per_sec: iters as f64 / (backward_ms / 1e3),
-    };
+    let backward = stage_report(&[backward_ms], iters as f64);
 
     // Stage: end-to-end serial fig4 single point (quick protocol).
     let mut opts = HarnessOptions::quick();
     opts.seed = seed;
     opts.jobs = 1;
+    opts.quantized = quantized_point;
     let t0 = Instant::now();
     let harness = Harness::new(opts);
     let harness_build_ms = ms(t0);
     record_stage("harness_build", harness_build_ms);
-    let harness_build = StageReport {
-        wall_ms: harness_build_ms,
-        docs_per_sec: opts.pretrain_docs as f64 / (harness_build_ms / 1e3),
-    };
+    let harness_build = stage_report(&[harness_build_ms], opts.pretrain_docs as f64);
     let t0 = Instant::now();
     let point = harness.run_point(Domain::Earnings, 50, Arm::AutoTypeToType);
     let fig4_ms = harness_build_ms + ms(t0);
@@ -293,13 +370,16 @@ fn main() {
         baseline_wall_ms: FIG4_POINT_BASELINE_MS,
         speedup_vs_baseline: FIG4_POINT_BASELINE_MS / fig4_ms,
         macro_f1: point.macro_f1,
+        quantized: quantized_point,
     };
 
     let report = PerfReport {
-        schema_version: 2,
+        schema_version: 3,
         seed,
         extract_train,
         extract_predict,
+        infer_frozen,
+        infer_quantized,
         nn_train,
         nn_forward,
         backward,

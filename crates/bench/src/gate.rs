@@ -1,0 +1,334 @@
+//! CI gate logic: the comparisons behind the `bench_gate` binary, kept as
+//! plain functions over parsed JSON so they are unit-testable instead of
+//! living in workflow YAML.
+//!
+//! Two gates:
+//!
+//! * **perf** — compares a fresh `perf_profile` report against the
+//!   committed `BENCH_train.json` baseline, stage by stage, and fails
+//!   only when throughput regresses by more than the tolerance (default
+//!   30%, generous because CI machines are noisy). Improvements and new
+//!   stages never fail.
+//! * **quant** — compares two `fig4_macro_f1 --json` dumps (exact f32 vs
+//!   `--quantized`) point by point, and fails when any point's macro-F1
+//!   drifts by more than the epsilon shared with the in-repo guard test
+//!   ([`fieldswap_eval::QUANT_MACRO_F1_EPSILON`]).
+
+use serde_json::Value;
+
+/// One stage's throughput comparison in the perf gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDelta {
+    /// Stage name (`extract_predict`, `infer_frozen`, ...).
+    pub stage: String,
+    /// Baseline docs/sec from the committed report.
+    pub baseline_dps: f64,
+    /// Current docs/sec from the fresh report.
+    pub current_dps: f64,
+    /// Fractional regression: `(baseline - current) / baseline`.
+    /// Negative means the current run is faster.
+    pub regression: f64,
+    /// Whether this stage alone fails the gate.
+    pub failed: bool,
+}
+
+/// One grid point's macro-F1 comparison in the quantization gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointDelta {
+    /// `domain / size / arm` label of the point.
+    pub label: String,
+    /// Macro-F1 of the exact f32 run.
+    pub exact: f64,
+    /// Macro-F1 of the quantized run.
+    pub quantized: f64,
+    /// `|exact - quantized|` in F1 points.
+    pub delta: f64,
+    /// Whether this point alone fails the gate.
+    pub failed: bool,
+}
+
+/// The stages the perf gate watches. Other stages in the report are
+/// informational: training throughput varies too much run-to-run on
+/// shared runners to gate on, while the decode paths are tight loops
+/// whose floor is stable.
+pub const PERF_GATE_STAGES: [&str; 2] = ["extract_predict", "infer_frozen"];
+
+fn stage_dps(report: &Value, stage: &str) -> Option<f64> {
+    report.get(stage)?.get("docs_per_sec")?.as_f64()
+}
+
+/// Compares `current` against `baseline` (both parsed `perf_profile`
+/// reports) over [`PERF_GATE_STAGES`]. A stage fails when its throughput
+/// dropped by more than `max_regression` (a fraction, e.g. `0.30`).
+///
+/// A stage missing from the *baseline* is reported as passing with a
+/// zero baseline — new stages must not fail the gate on the commit that
+/// introduces them. A stage missing from *current* fails: the fresh run
+/// did not produce the number the gate exists to check.
+pub fn perf_gate(baseline: &Value, current: &Value, max_regression: f64) -> Vec<StageDelta> {
+    PERF_GATE_STAGES
+        .iter()
+        .map(|&stage| {
+            let base = stage_dps(baseline, stage);
+            let cur = stage_dps(current, stage);
+            match (base, cur) {
+                (_, None) => StageDelta {
+                    stage: stage.to_string(),
+                    baseline_dps: base.unwrap_or(0.0),
+                    current_dps: 0.0,
+                    regression: 1.0,
+                    failed: true,
+                },
+                (None, Some(c)) => StageDelta {
+                    stage: stage.to_string(),
+                    baseline_dps: 0.0,
+                    current_dps: c,
+                    regression: 0.0,
+                    failed: false,
+                },
+                (Some(b), Some(c)) => {
+                    // A degenerate (zero/negative) baseline cannot
+                    // express a regression fraction; treat as new.
+                    let regression = if b > 0.0 { (b - c) / b } else { 0.0 };
+                    StageDelta {
+                        stage: stage.to_string(),
+                        baseline_dps: b,
+                        current_dps: c,
+                        regression,
+                        failed: regression > max_regression,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn point_entries(dump: &Value) -> Vec<(String, f64)> {
+    let Some(points) = dump.as_array() else {
+        return Vec::new();
+    };
+    points
+        .iter()
+        .filter_map(|p| {
+            let label = format!(
+                "{} / {} / {}",
+                p.get("domain")?.as_str()?,
+                p.get("size")?.as_u64()?,
+                p.get("arm")?.as_str()?
+            );
+            Some((label, p.get("macro_f1")?.as_f64()?))
+        })
+        .collect()
+}
+
+/// Compares two `fig4_macro_f1 --json` dumps point by point. Points are
+/// matched by `(domain, size, arm)`; a point present in only one dump
+/// fails (the two runs did not cover the same grid, so the comparison is
+/// meaningless), and a matched point fails when its absolute macro-F1
+/// delta exceeds `epsilon`.
+pub fn quant_gate(exact: &Value, quantized: &Value, epsilon: f64) -> Vec<PointDelta> {
+    let ex = point_entries(exact);
+    let qu = point_entries(quantized);
+    let mut out = Vec::new();
+    for (label, e) in &ex {
+        match qu.iter().find(|(l, _)| l == label) {
+            Some((_, q)) => {
+                let delta = (e - q).abs();
+                out.push(PointDelta {
+                    label: label.clone(),
+                    exact: *e,
+                    quantized: *q,
+                    delta,
+                    failed: delta > epsilon,
+                });
+            }
+            None => out.push(PointDelta {
+                label: label.clone(),
+                exact: *e,
+                quantized: f64::NAN,
+                delta: f64::INFINITY,
+                failed: true,
+            }),
+        }
+    }
+    for (label, q) in &qu {
+        if !ex.iter().any(|(l, _)| l == label) {
+            out.push(PointDelta {
+                label: label.clone(),
+                exact: f64::NAN,
+                quantized: *q,
+                delta: f64::INFINITY,
+                failed: true,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the perf comparison as a fixed-width table string.
+pub fn render_perf_table(deltas: &[StageDelta]) -> String {
+    let mut s = format!(
+        "{:<18} {:>14} {:>14} {:>12}  {}\n",
+        "stage", "baseline d/s", "current d/s", "regression", "verdict"
+    );
+    for d in deltas {
+        s.push_str(&format!(
+            "{:<18} {:>14.1} {:>14.1} {:>11.1}%  {}\n",
+            d.stage,
+            d.baseline_dps,
+            d.current_dps,
+            d.regression * 100.0,
+            if d.failed { "FAIL" } else { "ok" }
+        ));
+    }
+    s
+}
+
+/// Renders the quantization comparison as a fixed-width table string.
+pub fn render_quant_table(deltas: &[PointDelta], epsilon: f64) -> String {
+    let mut s = format!(
+        "{:<50} {:>10} {:>10} {:>8}  verdict (epsilon {epsilon})\n",
+        "point", "exact F1", "quant F1", "delta"
+    );
+    for d in deltas {
+        s.push_str(&format!(
+            "{:<50} {:>10.2} {:>10.2} {:>8.3}  {}\n",
+            d.label,
+            d.exact,
+            d.quantized,
+            d.delta,
+            if d.failed { "FAIL" } else { "ok" }
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Value {
+        serde_json::from_str(text).expect("test JSON")
+    }
+
+    fn report(predict_dps: f64, frozen_dps: f64) -> Value {
+        parse(&format!(
+            r#"{{"schema_version": 3,
+                 "extract_predict": {{"wall_ms": 50.0, "docs_per_sec": {predict_dps}}},
+                 "infer_frozen": {{"wall_ms": 10.0, "docs_per_sec": {frozen_dps}}},
+                 "nn_train": {{"wall_ms": 1.0, "docs_per_sec": 99.0}}}}"#
+        ))
+    }
+
+    #[test]
+    fn perf_gate_passes_within_tolerance() {
+        let deltas = perf_gate(&report(2400.0, 12000.0), &report(1700.0, 9000.0), 0.30);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
+        // ~29.2% and 25% regressions — inside the 30% budget.
+        assert!((deltas[0].regression - (2400.0 - 1700.0) / 2400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_gate_fails_beyond_tolerance() {
+        let deltas = perf_gate(&report(2400.0, 12000.0), &report(2400.0, 8000.0), 0.30);
+        let frozen = deltas.iter().find(|d| d.stage == "infer_frozen").unwrap();
+        assert!(frozen.failed);
+        let predict = deltas
+            .iter()
+            .find(|d| d.stage == "extract_predict")
+            .unwrap();
+        assert!(!predict.failed);
+    }
+
+    #[test]
+    fn perf_gate_improvement_never_fails() {
+        let deltas = perf_gate(&report(2400.0, 12000.0), &report(9000.0, 50000.0), 0.30);
+        assert!(deltas.iter().all(|d| !d.failed));
+        assert!(deltas.iter().all(|d| d.regression < 0.0));
+    }
+
+    #[test]
+    fn perf_gate_new_stage_passes_missing_current_fails() {
+        // Baseline predates the infer_frozen stage.
+        let old = parse(r#"{"extract_predict": {"docs_per_sec": 2400.0}}"#);
+        let deltas = perf_gate(&old, &report(2400.0, 12000.0), 0.30);
+        let frozen = deltas.iter().find(|d| d.stage == "infer_frozen").unwrap();
+        assert!(!frozen.failed, "new stage must not fail the gate");
+        assert_eq!(frozen.baseline_dps, 0.0);
+
+        // Current run lost a stage the baseline has: that fails.
+        let deltas = perf_gate(&report(2400.0, 12000.0), &old, 0.30);
+        let frozen = deltas.iter().find(|d| d.stage == "infer_frozen").unwrap();
+        assert!(frozen.failed, "missing current stage must fail");
+    }
+
+    #[test]
+    fn perf_gate_zero_baseline_guarded() {
+        // A corrupt baseline with 0 docs/sec must not divide by zero or
+        // auto-fail the stage.
+        let zero = parse(
+            r#"{"extract_predict": {"docs_per_sec": 0.0},
+                "infer_frozen": {"docs_per_sec": 0.0}}"#,
+        );
+        let deltas = perf_gate(&zero, &report(2400.0, 12000.0), 0.30);
+        assert!(deltas.iter().all(|d| !d.failed));
+        assert!(deltas.iter().all(|d| d.regression == 0.0));
+    }
+
+    fn points(f1s: &[(&str, u64, &str, f64)]) -> Value {
+        let items: Vec<String> = f1s
+            .iter()
+            .map(|(d, s, a, f)| {
+                format!(r#"{{"domain": "{d}", "size": {s}, "arm": "{a}", "macro_f1": {f}}}"#)
+            })
+            .collect();
+        parse(&format!("[{}]", items.join(",")))
+    }
+
+    #[test]
+    fn quant_gate_within_epsilon_passes() {
+        let ex = points(&[
+            ("Earnings", 50, "baseline", 47.33),
+            ("Earnings", 50, "t2t", 52.10),
+        ]);
+        let qu = points(&[
+            ("Earnings", 50, "baseline", 47.37),
+            ("Earnings", 50, "t2t", 51.80),
+        ]);
+        let deltas = quant_gate(&ex, &qu, 1.5);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
+    }
+
+    #[test]
+    fn quant_gate_drift_fails() {
+        let ex = points(&[("Earnings", 50, "baseline", 47.33)]);
+        let qu = points(&[("Earnings", 50, "baseline", 43.00)]);
+        let deltas = quant_gate(&ex, &qu, 1.5);
+        assert!(deltas[0].failed);
+        assert!((deltas[0].delta - 4.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quant_gate_mismatched_grids_fail() {
+        let ex = points(&[("Earnings", 50, "baseline", 47.33)]);
+        let qu = points(&[("Earnings", 100, "baseline", 47.33)]);
+        let deltas = quant_gate(&ex, &qu, 1.5);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.iter().all(|d| d.failed));
+    }
+
+    #[test]
+    fn tables_render_every_row() {
+        let deltas = perf_gate(&report(2400.0, 12000.0), &report(2400.0, 8000.0), 0.30);
+        let table = render_perf_table(&deltas);
+        assert!(table.contains("extract_predict") && table.contains("infer_frozen"));
+        assert!(table.contains("FAIL") && table.contains("ok"));
+
+        let ex = points(&[("Earnings", 50, "baseline", 47.33)]);
+        let qu = points(&[("Earnings", 50, "baseline", 47.37)]);
+        let table = render_quant_table(&quant_gate(&ex, &qu, 1.5), 1.5);
+        assert!(table.contains("Earnings / 50 / baseline"));
+    }
+}

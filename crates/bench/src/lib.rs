@@ -31,6 +31,9 @@
 //! * `--no-sanitize` — skip document validation/repair at corpus
 //!   ingestion. Sanitization is a strict no-op on well-formed documents,
 //!   so this flag exists only to prove that byte-identity in CI.
+//! * `--quantized` — evaluate through the int8-quantized frozen
+//!   emission table instead of exact f32. Approximate (see the CI
+//!   quantization gate); training is unaffected.
 //! * `--verbose`/`-v`, `--quiet`/`-q` — logger verbosity.
 //!
 //! Every option that takes a value rejects a `--`-prefixed token in the
@@ -44,6 +47,8 @@
 
 use fieldswap_datagen::Domain;
 use fieldswap_eval::{CellCache, Harness, HarnessOptions};
+
+pub mod gate;
 
 /// Command-line options shared by the regeneration binaries.
 #[derive(Debug, Clone)]
@@ -82,6 +87,9 @@ pub struct BinArgs {
     /// strict no-op on well-formed corpora; CI diffs outputs with and
     /// without this flag to prove it.
     pub no_sanitize: bool,
+    /// Evaluate through the int8-quantized frozen emission table
+    /// (`--quantized`). Approximate; training is unaffected.
+    pub quantized: bool,
     /// Logger verbosity override (`--verbose`/`-v`, `--quiet`/`-q`).
     pub verbosity: Option<fieldswap_obs::Verbosity>,
 }
@@ -138,6 +146,7 @@ impl BinArgs {
             attacks: None,
             attack_strength: None,
             no_sanitize: false,
+            quantized: false,
             verbosity: None,
         };
         fn num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
@@ -188,6 +197,7 @@ impl BinArgs {
                     out.attack_strength = Some(s);
                 }
                 "--no-sanitize" => out.no_sanitize = true,
+                "--quantized" => out.quantized = true,
                 "--verbose" | "-v" => out.verbosity = Some(fieldswap_obs::Verbosity::Verbose),
                 "--quiet" | "-q" => out.verbosity = Some(fieldswap_obs::Verbosity::Quiet),
                 other => return Err(format!("unknown flag {other}")),
@@ -228,6 +238,7 @@ impl BinArgs {
         if self.no_sanitize {
             o.sanitize = false;
         }
+        o.quantized = self.quantized;
         o
     }
 
@@ -333,7 +344,7 @@ fn parse_domain(name: &str) -> Option<Domain> {
 /// Prints `msg` plus the shared usage line to stderr and exits 1.
 pub fn usage(msg: &str) -> ! {
     fieldswap_obs::error!("{msg}");
-    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--trace PATH] [--metrics PATH] [--checkpoint-dir PATH] [--resume PATH] [--attacks LIST] [--attack-strength X] [--no-sanitize] [--verbose|-v] [--quiet|-q]");
+    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--trace PATH] [--metrics PATH] [--checkpoint-dir PATH] [--resume PATH] [--attacks LIST] [--attack-strength X] [--no-sanitize] [--quantized] [--verbose|-v] [--quiet|-q]");
     std::process::exit(1)
 }
 
@@ -500,6 +511,16 @@ mod tests {
 
         let err = BinArgs::try_parse_from(&argv(&["--attack-strength", "1.5"])).unwrap_err();
         assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn quantized_flag_threads_into_options() {
+        let a = BinArgs::try_parse_from(&argv(&["--quantized"])).unwrap();
+        assert!(a.quantized);
+        assert!(a.harness_options().quantized);
+        let d = BinArgs::try_parse_from(&argv(&[])).unwrap();
+        assert!(!d.quantized);
+        assert!(!d.harness_options().quantized);
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn tiny_options() -> HarnessOptions {
         seed: 0x7E57,
         jobs: 2,
         sanitize: true,
+        quantized: false,
     }
 }
 

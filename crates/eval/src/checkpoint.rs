@@ -33,7 +33,7 @@ use std::path::{Path, PathBuf};
 /// Record-format version; bumped whenever [`CellRecord`]'s shape or
 /// semantics change, so stale caches read as misses instead of
 /// mis-parsing.
-const CELL_SCHEMA_VERSION: i64 = 1;
+const CELL_SCHEMA_VERSION: i64 = 2;
 
 /// Record-format version for robustness cells, independent of the plain
 /// cell schema so the two record families can evolve separately.
@@ -61,6 +61,7 @@ pub fn options_fingerprint(opts: &HarnessOptions) -> u64 {
             opts.synthetic_cap as u64,
             opts.seed,
             opts.sanitize as u64,
+            opts.quantized as u64,
         ],
     )
 }

@@ -47,7 +47,7 @@ pub mod runner;
 pub use boxplot::BoxStats;
 pub use checkpoint::{attacks_fingerprint, options_fingerprint, CellCache, CellCoords};
 pub use expert::expert_config;
-pub use metrics::{evaluate, EvalResult, FieldScore};
+pub use metrics::{evaluate, evaluate_frozen, EvalResult, FieldScore, QUANT_MACRO_F1_EPSILON};
 pub use parallel::{effective_jobs, par_map_indexed, par_try_map_indexed, OnceMap, SlotPanic};
 pub use robustness::{AttackSpec, AttackSummary, RobustnessPoint, RobustnessResult};
 pub use runner::{cell_seed, Arm, ExperimentResult, Harness, HarnessOptions, PointSummary};

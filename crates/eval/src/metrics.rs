@@ -4,7 +4,7 @@
 //! (instance-weighted).
 
 use fieldswap_docmodel::{Corpus, EntitySpan, FieldId};
-use fieldswap_extract::Extractor;
+use fieldswap_extract::{Extractor, FrozenModel, InferScratch};
 use serde::{Deserialize, Serialize};
 
 /// Counts and scores for one field.
@@ -100,6 +100,11 @@ impl EvalResult {
     }
 }
 
+/// Maximum tolerated macro-F1 drift (in points) between the exact f32
+/// frozen path and the int8-quantized one. Shared by the in-repo guard
+/// test and the CI quantization gate.
+pub const QUANT_MACRO_F1_EPSILON: f64 = 1.5;
+
 /// Scores `predictions` against `gold` for a document, updating `fields`.
 ///
 /// Matching is one-to-one: each gold span can be consumed by at most one
@@ -129,17 +134,30 @@ pub fn score_document(gold: &[EntitySpan], predictions: &[EntitySpan], fields: &
     }
 }
 
-/// Evaluates a trained extractor end-to-end on `test`, reusing one
-/// prediction scratch (bucket table + Viterbi buffers) across the corpus.
+/// Evaluates a trained extractor end-to-end on `test` through the frozen
+/// inference fast path. The f32 frozen path is bitwise-identical to
+/// [`Extractor::predict`], so this returns exactly the scores the
+/// training-path decoder would.
 pub fn evaluate(extractor: &Extractor, test: &Corpus) -> EvalResult {
+    evaluate_frozen(&extractor.freeze(), test)
+}
+
+/// Evaluates a [`FrozenModel`] end-to-end on `test`, reusing one
+/// [`InferScratch`] (feature-row cache + Viterbi buffers) across the
+/// corpus. When metrics are enabled, records the batch decode latency in
+/// the `fieldswap_infer_batch_ms` histogram.
+pub fn evaluate_frozen(frozen: &FrozenModel, test: &Corpus) -> EvalResult {
     let mut fields = vec![FieldScore::default(); test.schema.len()];
-    let mut scratch = fieldswap_extract::PredictScratch::default();
+    let mut scratch = InferScratch::default();
+    let metrics = fieldswap_obs::metrics_enabled();
+    let t0 = std::time::Instant::now();
     for doc in &test.documents {
-        let pred = extractor.predict_with(doc, &mut scratch);
+        let pred = frozen.predict(doc, &mut scratch);
         score_document(&doc.annotations, &pred, &mut fields);
     }
-    if fieldswap_obs::metrics_enabled() {
+    if metrics {
         fieldswap_obs::counter_add("fieldswap_eval_docs_total", test.documents.len() as u64);
+        fieldswap_obs::observe("fieldswap_infer_batch_ms", t0.elapsed().as_secs_f64() * 1e3);
     }
     EvalResult { fields }
 }

@@ -21,7 +21,7 @@
 
 use crate::checkpoint::{CellCache, CellCoords};
 use crate::expert::expert_config;
-use crate::metrics::{evaluate, EvalResult};
+use crate::metrics::EvalResult;
 use crate::parallel::{par_map_indexed, par_try_map_indexed, OnceMap, SlotPanic};
 use crate::robustness::AttackSpec;
 use fieldswap_core::{attack_corpus, augment_corpus, AttackKind, FieldSwapConfig, PairStrategy};
@@ -113,6 +113,10 @@ pub struct HarnessOptions {
     /// degenerate inputs (non-finite boxes, empty tokens, overlapping
     /// spans) are repaired and counted instead of poisoning training.
     pub sanitize: bool,
+    /// Evaluate through the int8-quantized emission table instead of the
+    /// exact f32 one. Scores are approximate (guarded by the quantization
+    /// accuracy gate); training is unaffected.
+    pub quantized: bool,
 }
 
 impl HarnessOptions {
@@ -131,6 +135,7 @@ impl HarnessOptions {
             seed: 0x5EED,
             jobs: 0,
             sanitize: true,
+            quantized: false,
         }
     }
 
@@ -149,6 +154,7 @@ impl HarnessOptions {
             seed: 0x5EED,
             jobs: 0,
             sanitize: true,
+            quantized: false,
         }
     }
 }
@@ -664,7 +670,11 @@ impl Harness {
         let data = self.domain_data(domain);
         let eval: EvalResult = {
             let _span = fieldswap_obs::span("eval");
-            evaluate(&extractor, &data.1)
+            let mut frozen = extractor.freeze();
+            if self.opts.quantized {
+                frozen = frozen.quantize();
+            }
+            crate::metrics::evaluate_frozen(&frozen, &data.1)
         };
         ExperimentResult {
             macro_f1: eval.macro_f1(),
@@ -818,7 +828,28 @@ mod tests {
             seed: 0x7E57,
             jobs: 1,
             sanitize: true,
+            quantized: false,
         }
+    }
+
+    #[test]
+    fn quantized_scores_stay_close_to_f32() {
+        // The int8 emission table is an approximation; this guards the
+        // accuracy contract behind `HarnessOptions::quantized` (and the CI
+        // quantization gate) on a small trained cell.
+        let h = Harness::new(tiny_options());
+        let (extractor, _) = h.train_cell(Domain::Earnings, 12, Arm::Baseline, 0, 0);
+        let data = h.domain_data(Domain::Earnings);
+        let frozen = extractor.freeze();
+        let exact = crate::metrics::evaluate_frozen(&frozen, &data.1);
+        let quant = crate::metrics::evaluate_frozen(&frozen.quantize(), &data.1);
+        let delta = (exact.macro_f1() - quant.macro_f1()).abs();
+        assert!(
+            delta <= crate::metrics::QUANT_MACRO_F1_EPSILON,
+            "quantized macro-F1 drifted {delta:.3} points (exact {:.3}, quantized {:.3})",
+            exact.macro_f1(),
+            quant.macro_f1()
+        );
     }
 
     #[test]

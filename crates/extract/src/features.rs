@@ -121,11 +121,6 @@ impl FeatHash {
     }
 }
 
-fn norm(text: &str) -> String {
-    text.trim_matches(|c: char| c.is_ascii_punctuation())
-        .to_lowercase()
-}
-
 /// Collapsed character-shape string (`"Abc-12"` → `"Xx-9"`), written into
 /// `out` (cleared first) to avoid a per-token allocation.
 fn shape_into(text: &str, out: &mut String) {
@@ -156,12 +151,111 @@ pub struct DocFeatures {
     pub gates: Vec<u8>,
 }
 
+/// Flat per-document feature table: every token's hashed feature ids in
+/// one contiguous buffer plus `(offset, len)` spans — the inference-path
+/// counterpart of [`DocFeatures`]. Same ids in the same order, no
+/// per-token `Vec`, fully reusable across documents.
+#[derive(Default)]
+pub struct FlatFeatures {
+    ids: Vec<u64>,
+    spans: Vec<(u32, u32)>,
+    gates: Vec<u8>,
+}
+
+impl FlatFeatures {
+    /// Number of tokens the table covers.
+    pub fn n_tokens(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The hashed feature ids of token `t`, in extraction order.
+    #[inline]
+    pub fn row(&self, t: usize) -> &[u64] {
+        let (start, k) = self.spans[t];
+        &self.ids[start as usize..start as usize + k as usize]
+    }
+
+    /// The base-type gate bitmask of token `t`.
+    #[inline]
+    pub fn gate(&self, t: usize) -> u8 {
+        self.gates[t]
+    }
+
+    /// All gate bitmasks, indexed by token.
+    pub fn gates(&self) -> &[u8] {
+        &self.gates
+    }
+
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.spans.clear();
+        self.gates.clear();
+    }
+}
+
+/// Reusable working memory for [`extract_into`]: document structure
+/// buffers plus a string arena for normalized token texts. One scratch
+/// serves any number of documents; a warm scratch allocates nothing for
+/// documents no larger than the largest seen so far.
+#[derive(Default)]
+pub struct FeatureScratch {
+    line_of: Vec<usize>,
+    pos_in_line: Vec<usize>,
+    above: Vec<Option<u32>>,
+    /// Struct-of-arrays bbox copies (`x0`, `x1`, `y1`) for the
+    /// nearest-above scan.
+    gx0: Vec<f32>,
+    gx1: Vec<f32>,
+    gy1: Vec<f32>,
+    /// Normalized token texts; slots (and their capacity) are reused.
+    normed: Vec<String>,
+    shape_buf: String,
+    df_buf: String,
+}
+
 /// Extracts features for every token of `doc`.
+///
+/// Convenience wrapper over [`extract_into`] producing the nested
+/// [`DocFeatures`] layout the training path consumes; the ids are
+/// identical to the flat table's, row for row.
 pub fn extract(doc: &Document, lexicon: &Lexicon) -> DocFeatures {
+    let mut scratch = FeatureScratch::default();
+    let mut flat = FlatFeatures::default();
+    extract_into(doc, lexicon, &mut scratch, &mut flat);
+    DocFeatures {
+        features: (0..flat.n_tokens()).map(|t| flat.row(t).to_vec()).collect(),
+        gates: flat.gates.clone(),
+    }
+}
+
+/// Extracts features for every token of `doc` into `out`, reusing
+/// `scratch` for all intermediate structure. This is the single source of
+/// truth for the feature definitions; a warm `(scratch, out)` pair makes
+/// extraction allocation-free.
+pub fn extract_into(
+    doc: &Document,
+    lexicon: &Lexicon,
+    scratch: &mut FeatureScratch,
+    out: &mut FlatFeatures,
+) {
+    let FeatureScratch {
+        line_of,
+        pos_in_line,
+        above,
+        gx0,
+        gx1,
+        gy1,
+        normed,
+        shape_buf,
+        df_buf,
+    } = scratch;
     let n = doc.tokens.len();
+    out.clear();
     // line_of[t] and position within line.
-    let mut line_of = vec![usize::MAX; n];
-    let mut pos_in_line = vec![0usize; n];
+    line_of.clear();
+    line_of.resize(n, usize::MAX);
+    pos_in_line.clear();
+    pos_in_line.resize(n, 0);
     for (li, line) in doc.lines.iter().enumerate() {
         for (pi, &t) in line.tokens.iter().enumerate() {
             line_of[t as usize] = li;
@@ -169,23 +263,26 @@ pub fn extract(doc: &Document, lexicon: &Lexicon) -> DocFeatures {
         }
     }
     // Nearest token vertically above each token (same column band).
-    let above = compute_above(doc);
+    compute_above_into(doc, above, gx0, gx1, gy1);
     // Normalized token texts, computed once: the raw loop re-normalizes
     // each token every time it appears as someone's neighbor (~6-8x).
-    let normed: Vec<String> = doc.tokens.iter().map(|t| norm(&t.text)).collect();
+    if normed.len() < n {
+        normed.resize_with(n, String::new);
+    }
+    for (t, tok) in doc.tokens.iter().enumerate() {
+        crate::lexicon::norm_into(&tok.text, &mut normed[t]);
+    }
 
-    let mut features = Vec::with_capacity(n);
-    let mut gates = Vec::with_capacity(n);
-    let mut shape_buf = String::new();
     for t in 0..n {
         let tok = &doc.tokens[t];
         let text = tok.text.as_str();
         let lower = normed[t].as_str();
-        let mut fs: Vec<u64> = Vec::with_capacity(28);
+        let start = out.ids.len();
+        let fs = &mut out.ids;
         fs.push(FeatHash::new(0).str("bias").id());
         fs.push(FeatHash::new(1).str(lower).id());
-        shape_into(text, &mut shape_buf);
-        fs.push(FeatHash::new(2).str(&shape_buf).id());
+        shape_into(text, shape_buf);
+        fs.push(FeatHash::new(2).str(shape_buf).id());
         // Affixes.
         if lower.len() >= 3 {
             fs.push(FeatHash::new(3).str(&lower[..3]).id());
@@ -198,7 +295,7 @@ pub fn extract(doc: &Document, lexicon: &Lexicon) -> DocFeatures {
         fs.push(
             FeatHash::new(6)
                 .str("df")
-                .dec(lexicon.df_bucket(text) as usize)
+                .dec(lexicon.df_bucket_into(text, df_buf) as usize)
                 .id(),
         );
 
@@ -207,32 +304,35 @@ pub fn extract(doc: &Document, lexicon: &Lexicon) -> DocFeatures {
         if line_of[t] != usize::MAX {
             let line = &doc.lines[line_of[t]];
             let p = pos_in_line[t];
-            let mut left_words: Vec<&str> = Vec::new();
+            // Nearest-first token indices of up to 3 left neighbors.
+            let mut left_idx = [0usize; 3];
+            let mut left_cnt = 0usize;
             for k in 1..=3usize {
                 if p >= k {
                     let lt = line.tokens[p - k] as usize;
-                    let w = normed[lt].as_str();
-                    fs.push(FeatHash::new(7 + k as u8).str(w).id());
-                    left_words.push(w);
+                    fs.push(FeatHash::new(7 + k as u8).str(&normed[lt]).id());
+                    left_idx[left_cnt] = lt;
+                    left_cnt += 1;
                 }
             }
-            if !left_words.is_empty() {
-                left_words.reverse();
-                // Joined phrase, streamed word by word (== join(" ")).
+            if left_cnt > 0 {
+                // Joined phrase in reading order (leftmost first),
+                // streamed word by word (== join(" ")).
                 let mut h11 = FeatHash::new(11);
                 let mut h12 = FeatHash::new(12);
-                for (i, w) in left_words.iter().enumerate() {
+                for (i, &lt) in left_idx[..left_cnt].iter().rev().enumerate() {
                     if i > 0 {
                         h11 = h11.str(" ");
                         h12 = h12.str(" ");
                     }
-                    h11 = h11.str(w);
-                    h12 = h12.str(w);
+                    h11 = h11.str(&normed[lt]);
+                    h12 = h12.str(&normed[lt]);
                 }
                 fs.push(h11.id());
                 // Conjunction with the left phrase's DF bucket: phrase-like
-                // left context is a strong anchor.
-                let df = lexicon.df_bucket(left_words[left_words.len() - 1]);
+                // left context is a strong anchor. The nearest left word is
+                // the phrase's last word in reading order.
+                let df = lexicon.df_bucket_into(&normed[left_idx[0]], df_buf);
                 fs.push(h12.str("|df").dec(df as usize).id());
             }
             // Right neighbor on the line (values left of their labels in
@@ -308,19 +408,90 @@ pub fn extract(doc: &Document, lexicon: &Lexicon) -> DocFeatures {
         }
         fs.push(FeatHash::new(21).str("x").dec(gx).id());
 
-        features.push(fs);
-        gates.push(gate);
+        out.spans
+            .push((start as u32, (out.ids.len() - start) as u32));
+        out.gates.push(gate);
     }
-    DocFeatures { features, gates }
 }
 
 /// For each token, the nearest token strictly above it whose x-extent
 /// overlaps (a column-aligned predecessor).
-fn compute_above(doc: &Document) -> Vec<Option<u32>> {
+///
+/// Two passes over struct-of-arrays bbox copies: a branch-light min
+/// reduction finds the smallest gap, then a first-match scan recovers the
+/// winning index. The result equals the naive keep-first-strict-min scan
+/// ([`compute_above_reference`]) exactly: the minimum of a set of finite
+/// gaps is order-independent, and the first index attaining it is the one
+/// the sequential scan would have kept.
+fn compute_above_into(
+    doc: &Document,
+    above: &mut Vec<Option<u32>>,
+    gx0: &mut Vec<f32>,
+    gx1: &mut Vec<f32>,
+    gy1: &mut Vec<f32>,
+) {
     let n = doc.tokens.len();
-    let mut above: Vec<Option<u32>> = vec![None; n];
-    // Scan all pairs: O(n^2) worst case but documents are a few hundred
-    // tokens.
+    above.clear();
+    above.resize(n, None);
+    gx0.clear();
+    gx1.clear();
+    gy1.clear();
+    gx0.extend(doc.tokens.iter().map(|t| t.bbox.x0));
+    gx1.extend(doc.tokens.iter().map(|t| t.bbox.x1));
+    gy1.extend(doc.tokens.iter().map(|t| t.bbox.y1));
+    for (t, slot) in above.iter_mut().enumerate() {
+        let tb = &doc.tokens[t].bbox;
+        let (tx0, tx1, ty0) = (tb.x0, tb.x1, tb.y0);
+        // Mask the token itself out of its own scan (a degenerate
+        // zero-height box would otherwise match with gap 0).
+        let saved = gy1[t];
+        gy1[t] = f32::INFINITY;
+        // Pass 1: smallest vertical gap among column-overlapping tokens
+        // strictly above. Branchless selects (non-short-circuit `&`,
+        // compare-and-choose instead of NaN-aware `f32::min` — no
+        // operand here is ever NaN) with four independent accumulators
+        // to break the min-latency chain.
+        let (ys, xa, xb) = (&gy1[..n], &gx0[..n], &gx1[..n]);
+        let mut m = [f32::INFINITY; 4];
+        let mut o = 0;
+        while o + 4 <= n {
+            for (k, mk) in m.iter_mut().enumerate() {
+                let i = o + k;
+                let ok = (ys[i] <= ty0) & (xa[i] < tx1) & (tx0 < xb[i]);
+                let cand = if ok { ty0 - ys[i] } else { f32::INFINITY };
+                *mk = if cand < *mk { cand } else { *mk };
+            }
+            o += 4;
+        }
+        while o < n {
+            let ok = (ys[o] <= ty0) & (xa[o] < tx1) & (tx0 < xb[o]);
+            let cand = if ok { ty0 - ys[o] } else { f32::INFINITY };
+            m[0] = if cand < m[0] { cand } else { m[0] };
+            o += 1;
+        }
+        let mut best_dy = f32::INFINITY;
+        for mk in m {
+            best_dy = if mk < best_dy { mk } else { best_dy };
+        }
+        // Pass 2: the first index attaining the minimum gap.
+        if best_dy < f32::INFINITY {
+            for o in 0..n {
+                if gy1[o] <= ty0 && gx0[o] < tx1 && tx0 < gx1[o] && ty0 - gy1[o] == best_dy {
+                    *slot = Some(o as u32);
+                    break;
+                }
+            }
+        }
+        gy1[t] = saved;
+    }
+}
+
+/// The original all-pairs nearest-above scan, kept as the oracle for
+/// [`compute_above_into`].
+#[cfg(test)]
+fn compute_above_reference(doc: &Document) -> Vec<Option<u32>> {
+    let n = doc.tokens.len();
+    let mut above = vec![None; n];
     for (t, slot) in above.iter_mut().enumerate() {
         let tb = &doc.tokens[t].bbox;
         let mut best: Option<(f32, u32)> = None;
@@ -340,6 +511,15 @@ fn compute_above(doc: &Document) -> Vec<Option<u32>> {
         *slot = best.map(|(_, o)| o);
     }
     above
+}
+
+#[cfg(test)]
+fn compute_above(doc: &Document) -> Vec<Option<u32>> {
+    let mut out = Vec::new();
+    let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+    compute_above_into(doc, &mut out, &mut a, &mut b, &mut c);
+    assert_eq!(out, compute_above_reference(doc), "above-scan drift");
+    out
 }
 
 #[cfg(test)]
@@ -460,6 +640,34 @@ mod tests {
         let a = extract(&d, &Lexicon::empty());
         let b = extract(&d, &Lexicon::empty());
         assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn flat_extraction_matches_nested_with_scratch_reuse() {
+        // One warm (scratch, flat) pair across documents of varying size
+        // must reproduce the nested extraction row for row — the identity
+        // the frozen inference path relies on.
+        let corpus = fieldswap_datagen::generate(fieldswap_datagen::Domain::Earnings, 11, 8);
+        let lex = Lexicon::pretrain(&corpus.documents);
+        let mut scratch = FeatureScratch::default();
+        let mut flat = FlatFeatures::default();
+        let mut docs: Vec<&Document> = corpus.documents.iter().collect();
+        let small = doc(&["Total $9.99"]);
+        docs.insert(3, &small); // shrink mid-stream: stale arena slots must not leak
+        for d in docs {
+            let nested = extract(d, &lex);
+            extract_into(d, &lex, &mut scratch, &mut flat);
+            assert_eq!(flat.n_tokens(), nested.features.len());
+            assert_eq!(flat.gates(), &nested.gates[..]);
+            for t in 0..flat.n_tokens() {
+                assert_eq!(
+                    flat.row(t),
+                    &nested.features[t][..],
+                    "token {t} of {}",
+                    d.id
+                );
+            }
+        }
     }
 
     #[test]

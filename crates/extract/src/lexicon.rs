@@ -13,17 +13,76 @@
 
 use fieldswap_docmodel::Document;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// A fast, non-keyed string hasher (chunked FNV-1a) for the DF map. The
+/// lexicon holds at most a few thousand corpus tokens and is queried twice
+/// per token on the inference hot path, where SipHash is measurable
+/// overhead; hash-flooding is not a concern for this table.
+#[derive(Debug, Clone, Copy, Default)]
+struct FastState;
+
+impl BuildHasher for FastState {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+#[derive(Debug)]
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            h = (h ^ v).wrapping_mul(PRIME);
+        }
+        for &b in chunks.remainder() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        // Final avalanche so low bits (the table index) depend on every
+        // input byte even after the chunked folding.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
 
 /// A document-frequency lexicon learned from unlabeled documents.
 #[derive(Debug, Clone, Default)]
 pub struct Lexicon {
-    df: HashMap<String, u32>,
+    df: HashMap<String, u32, FastState>,
     n_docs: u32,
 }
 
 fn norm(text: &str) -> String {
     text.trim_matches(|c: char| c.is_ascii_punctuation())
         .to_lowercase()
+}
+
+/// Allocation-free [`norm`]: writes the normalized form of `text` into
+/// `out` (cleared first). ASCII input — the overwhelmingly common case —
+/// lowercases byte-wise into the reused buffer; non-ASCII input falls back
+/// to `str::to_lowercase` so the result is identical to [`norm`] for every
+/// input (including locale-special cases like the Greek final sigma).
+pub(crate) fn norm_into(text: &str, out: &mut String) {
+    out.clear();
+    let trimmed = text.trim_matches(|c: char| c.is_ascii_punctuation());
+    if trimmed.is_ascii() {
+        out.extend(trimmed.chars().map(|c| c.to_ascii_lowercase()));
+    } else {
+        out.push_str(&trimmed.to_lowercase());
+    }
 }
 
 impl Lexicon {
@@ -35,7 +94,7 @@ impl Lexicon {
     /// Learns document frequencies from an unlabeled corpus. Numeric-ish
     /// tokens are skipped — they are values by construction.
     pub fn pretrain<'a>(docs: impl IntoIterator<Item = &'a Document>) -> Self {
-        let mut df: HashMap<String, u32> = HashMap::new();
+        let mut df: HashMap<String, u32, FastState> = HashMap::default();
         let mut n_docs = 0u32;
         for doc in docs {
             n_docs += 1;
@@ -87,10 +146,19 @@ impl Lexicon {
     /// 0 unknown, 1 rare (<1%), 2 occasional (<10%), 3 common (<50%),
     /// 4 template vocabulary (>=50% of documents).
     pub fn df_bucket(&self, text: &str) -> u8 {
+        let mut buf = String::new();
+        self.df_bucket_into(text, &mut buf)
+    }
+
+    /// [`Lexicon::df_bucket`] with a caller-provided normalization buffer,
+    /// so batch feature extraction performs no per-lookup allocation. The
+    /// bucket returned is identical to `df_bucket(text)`.
+    pub fn df_bucket_into(&self, text: &str, buf: &mut String) -> u8 {
         if self.n_docs == 0 {
             return 0;
         }
-        let Some(&c) = self.df.get(&norm(text)) else {
+        norm_into(text, buf);
+        let Some(&c) = self.df.get(buf.as_str()) else {
             return 0;
         };
         let f = f64::from(c) / f64::from(self.n_docs);
@@ -144,6 +212,38 @@ mod tests {
         let corpus = generate(Domain::Invoices, 7, 60);
         let l = Lexicon::pretrain(&corpus.documents);
         assert_eq!(l.df_bucket("invoice"), l.df_bucket("INVOICE:"));
+    }
+
+    #[test]
+    fn norm_into_matches_norm_exactly() {
+        let mut buf = String::new();
+        for s in [
+            "",
+            "...",
+            "INVOICE:",
+            "Total",
+            "$1,234.56",
+            "a",
+            "-x-",
+            "ÜBER:",
+            "ὈΔΥΣΣΕΎΣ",
+            "ΣΊΣΥΦΟΣ",
+            "mixedÅscii",
+            "..mid.dle..",
+        ] {
+            norm_into(s, &mut buf);
+            assert_eq!(buf, norm(s), "norm_into drift on {s:?}");
+        }
+    }
+
+    #[test]
+    fn df_bucket_into_matches_df_bucket() {
+        let corpus = generate(Domain::Invoices, 3, 120);
+        let l = Lexicon::pretrain(&corpus.documents);
+        let mut buf = String::new();
+        for s in ["INVOICE", "invoice:", "Alice", "zzzzqqq", "", "$5.00"] {
+            assert_eq!(l.df_bucket_into(s, &mut buf), l.df_bucket(s), "{s:?}");
+        }
     }
 
     #[test]

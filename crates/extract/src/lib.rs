@@ -28,11 +28,13 @@
 //! span), matching Section II-C.
 
 pub mod features;
+pub mod infer;
 pub mod lexicon;
 pub mod model;
 pub mod serialize;
 pub mod tags;
 
+pub use infer::{FrozenModel, InferScratch};
 pub use lexicon::Lexicon;
 pub use model::{Extractor, PredictScratch, TrainConfig, TrainReport};
 pub use serialize::{ModelIoError, ModelParts};
@@ -43,5 +45,6 @@ pub use tags::TagSet;
 const _: () = {
     const fn assert_sync_send<T: Sync + Send>() {}
     assert_sync_send::<Extractor>();
+    assert_sync_send::<FrozenModel>();
     assert_sync_send::<Lexicon>();
 };

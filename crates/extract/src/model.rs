@@ -25,10 +25,10 @@ use rand::SeedableRng;
 
 /// log2 of the emission weight-table size (2^20 = ~1M buckets).
 const WEIGHT_BITS: u32 = 20;
-const WEIGHT_DIM: usize = 1 << WEIGHT_BITS;
+pub(crate) const WEIGHT_DIM: usize = 1 << WEIGHT_BITS;
 
 /// Score used for impossible tags/paths.
-const NEG: f32 = -1e30;
+pub(crate) const NEG: f32 = -1e30;
 
 /// Training configuration.
 ///
@@ -186,7 +186,7 @@ pub struct Extractor {
 }
 
 #[inline]
-fn bucket(feature: u64, tag: TagId) -> usize {
+pub(crate) fn bucket(feature: u64, tag: TagId) -> usize {
     // Mix the tag into the feature hash (splitmix-style finalizer).
     let mut z = feature ^ (u64::from(tag)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -223,6 +223,18 @@ impl Extractor {
     /// The tag set in use.
     pub fn tag_set(&self) -> &TagSet {
         &self.tags
+    }
+
+    /// The raw internals [`crate::infer::FrozenModel::freeze`] snapshots:
+    /// `(tags, field_types, emission weights, transitions, lexicon)`.
+    pub(crate) fn frozen_parts(&self) -> (&TagSet, &[BaseType], &[f32], &[f32], &Lexicon) {
+        (
+            &self.tags,
+            &self.field_types,
+            &self.w,
+            &self.trans,
+            &self.lexicon,
+        )
     }
 
     /// Divergence-recovery statistics from the last training run. An

@@ -5,11 +5,15 @@
 //! arrays + the lexicon). No external serialization crate is needed, and
 //! round-tripping is exact (bit-identical predictions).
 
+use crate::infer::{EmissionTable, FrozenModel, QBLOCK};
 use crate::lexicon::Lexicon;
-use crate::model::Extractor;
+use crate::model::{Extractor, WEIGHT_DIM};
+use crate::tags::TagSet;
+use fieldswap_docmodel::BaseType;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"FSEXTRC1";
+const FROZEN_MAGIC: &[u8; 8] = b"FSFROZN1";
 
 /// Errors from model (de)serialization.
 #[derive(Debug)]
@@ -227,9 +231,144 @@ impl Extractor {
     }
 }
 
+impl FrozenModel {
+    /// Serializes the frozen model (f32 or quantized) to a byte vector.
+    /// Only the canonical tables are stored; the permuted inference
+    /// layout is rebuilt on load, so round-tripping reproduces
+    /// predictions exactly for both emission variants.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (field_types, emissions, trans, lexicon) = self.serial_parts();
+        let mut w: Vec<u8> = Vec::new();
+        let out = &mut w;
+        out.write_all(FROZEN_MAGIC).unwrap();
+        write_u64(out, field_types.len() as u64).unwrap();
+        let discr: Vec<u8> = field_types
+            .iter()
+            .map(|t| BaseType::ALL.iter().position(|x| x == t).unwrap() as u8)
+            .collect();
+        out.write_all(&discr).unwrap();
+        match emissions {
+            EmissionTable::F32(weights) => {
+                write_u64(out, 0).unwrap();
+                write_f32s(out, weights).unwrap();
+            }
+            EmissionTable::Q8 { q, min, scale } => {
+                write_u64(out, 1).unwrap();
+                write_u64(out, QBLOCK as u64).unwrap();
+                write_f32s(out, min).unwrap();
+                write_f32s(out, scale).unwrap();
+                write_u64(out, q.len() as u64).unwrap();
+                out.write_all(q).unwrap();
+            }
+        }
+        write_f32s(out, trans).unwrap();
+        write_u64(out, u64::from(lexicon.n_docs())).unwrap();
+        let entries = lexicon.entries();
+        write_u64(out, entries.len() as u64).unwrap();
+        for (tok, count) in &entries {
+            write_string(out, tok).unwrap();
+            write_u64(out, u64::from(*count)).unwrap();
+        }
+        w
+    }
+
+    /// Deserializes a model previously produced by
+    /// [`FrozenModel::to_bytes`], rebuilding the inference layout.
+    pub fn from_bytes(bytes: &[u8]) -> Result<FrozenModel, ModelIoError> {
+        let r = &mut { bytes };
+        let mut magic = [0u8; 8];
+        in_section("magic header", || Ok(r.read_exact(&mut magic)?))?;
+        if &magic != FROZEN_MAGIC {
+            return Err(ModelIoError::Format("bad frozen-model magic".into()));
+        }
+        let n_fields = in_section("field count", || Ok(read_u64(r)?))? as usize;
+        if n_fields > 1 << 12 {
+            return Err(ModelIoError::Format("too many fields".into()));
+        }
+        let mut discr = vec![0u8; n_fields];
+        in_section("field-type table", || Ok(r.read_exact(&mut discr)?))?;
+        if discr.iter().any(|&t| t as usize >= BaseType::ALL.len()) {
+            return Err(ModelIoError::Format("bad base-type discriminant".into()));
+        }
+        let field_types: Vec<BaseType> = discr.iter().map(|&t| BaseType::ALL[t as usize]).collect();
+        let variant = in_section("emission header", || Ok(read_u64(r)?))?;
+        let emissions = match variant {
+            0 => {
+                let weights = in_section("emission weights", || read_f32s(r))?;
+                if weights.len() != WEIGHT_DIM {
+                    return Err(ModelIoError::Format(format!(
+                        "emission table size {} != {WEIGHT_DIM}",
+                        weights.len()
+                    )));
+                }
+                EmissionTable::F32(weights)
+            }
+            1 => {
+                let block = in_section("quantization header", || Ok(read_u64(r)?))? as usize;
+                if block != QBLOCK {
+                    return Err(ModelIoError::Format(format!(
+                        "quantization block {block} != {QBLOCK}"
+                    )));
+                }
+                let min = in_section("quantization mins", || read_f32s(r))?;
+                let scale = in_section("quantization scales", || read_f32s(r))?;
+                let n = in_section("quantized weights", || Ok(read_u64(r)?))? as usize;
+                if n != WEIGHT_DIM {
+                    return Err(ModelIoError::Format(format!(
+                        "quantized table size {n} != {WEIGHT_DIM}"
+                    )));
+                }
+                let blocks = n.div_ceil(QBLOCK);
+                if min.len() != blocks || scale.len() != blocks {
+                    return Err(ModelIoError::Format("quantization metadata size".into()));
+                }
+                let mut q = vec![0u8; n];
+                in_section("quantized weights", || Ok(r.read_exact(&mut q)?))?;
+                EmissionTable::Q8 { q, min, scale }
+            }
+            v => {
+                return Err(ModelIoError::Format(format!(
+                    "unknown emission variant {v}"
+                )))
+            }
+        };
+        let transitions = in_section("transition weights", || read_f32s(r))?;
+        let nt = 1 + 4 * n_fields;
+        if transitions.len() != nt * nt {
+            return Err(ModelIoError::Format(format!(
+                "transition table size {} != {}",
+                transitions.len(),
+                nt * nt
+            )));
+        }
+        let lexicon_docs = in_section("lexicon header", || Ok(read_u64(r)?))? as u32;
+        let n_entries = in_section("lexicon header", || Ok(read_u64(r)?))? as usize;
+        if n_entries > 1 << 24 {
+            return Err(ModelIoError::Format("lexicon too large".into()));
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        in_section("lexicon entries", || {
+            for _ in 0..n_entries {
+                let tok = read_string(r)?;
+                let count = read_u64(r)? as u32;
+                entries.push((tok, count));
+            }
+            Ok(())
+        })?;
+        Ok(FrozenModel::build(
+            TagSet::new(n_fields),
+            field_types,
+            emissions,
+            transitions,
+            Lexicon::from_raw(lexicon_docs, entries),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::infer::InferScratch;
     use crate::model::TrainConfig;
     use fieldswap_datagen::{generate, Domain};
 
@@ -349,6 +488,75 @@ mod tests {
         // 2 u64 lengths = 8 + 8 + 8 = offset 24).
         bytes[24] = 99;
         assert!(Extractor::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn frozen_round_trip_preserves_predictions() {
+        let train = generate(Domain::Earnings, 21, 20);
+        let test = generate(Domain::Earnings, 22, 8);
+        let lex = Lexicon::pretrain(&train.documents);
+        let ex = Extractor::train_on(&train.schema, lex, &train, &[], &TrainConfig::tiny());
+        let frozen = ex.freeze();
+        let back = FrozenModel::from_bytes(&frozen.to_bytes()).unwrap();
+        assert!(!back.is_quantized());
+        let mut s1 = InferScratch::default();
+        let mut s2 = InferScratch::default();
+        for d in &test.documents {
+            let orig = frozen.predict(d, &mut s1);
+            assert_eq!(orig, back.predict(d, &mut s2), "frozen drift on {}", d.id);
+            // And the loaded frozen model still matches the extractor.
+            assert_eq!(orig, ex.predict(d), "extractor drift on {}", d.id);
+        }
+    }
+
+    #[test]
+    fn quantized_round_trip_is_exact() {
+        // Quantization is lossy, but serializing a quantized model is
+        // not: the int8 table round-trips byte-for-byte, so predictions
+        // are identical to the in-memory quantized model.
+        let train = generate(Domain::Fara, 23, 15);
+        let test = generate(Domain::Fara, 24, 8);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::pretrain(&train.documents),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        let q = ex.freeze().quantize();
+        let back = FrozenModel::from_bytes(&q.to_bytes()).unwrap();
+        assert!(back.is_quantized());
+        let mut s1 = InferScratch::default();
+        let mut s2 = InferScratch::default();
+        for d in &test.documents {
+            assert_eq!(q.predict(d, &mut s1), back.predict(d, &mut s2));
+        }
+    }
+
+    #[test]
+    fn frozen_rejects_garbage() {
+        assert!(FrozenModel::from_bytes(b"not a model").is_err());
+        assert!(FrozenModel::from_bytes(b"").is_err());
+        // An extractor blob is not a frozen blob and vice versa.
+        let train = generate(Domain::Fara, 25, 5);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::empty(),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        assert!(FrozenModel::from_bytes(&ex.to_bytes()).is_err());
+        assert!(Extractor::from_bytes(&ex.freeze().to_bytes()).is_err());
+        // Truncations surface as Format errors naming a section.
+        let bytes = ex.freeze().to_bytes();
+        for cut in [3usize, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+            match FrozenModel::from_bytes(&bytes[..cut]) {
+                Err(ModelIoError::Format(_)) => {}
+                Err(other) => panic!("cut at {cut}: expected Format, got {other:?}"),
+                Ok(_) => panic!("truncation at {cut} accepted"),
+            }
+        }
     }
 
     #[test]

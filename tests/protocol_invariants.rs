@@ -18,6 +18,7 @@ fn tiny_options(seed: u64) -> HarnessOptions {
         seed,
         jobs: 1,
         sanitize: true,
+        quantized: false,
     }
 }
 

@@ -57,6 +57,23 @@ impl Value {
         }
     }
 
+    /// The numeric payload as `f64` (integers included), or `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The non-negative integer payload, or `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
     /// Looks up `key` in an object value.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object()
