@@ -20,6 +20,7 @@ fn bench_opts(seed: u64) -> HarnessOptions {
         synthetic_cap: 100,
         seed,
         jobs: 1,
+        train_jobs: 1,
         sanitize: true,
         quantized: false,
     }

@@ -47,11 +47,17 @@ pub struct PointDelta {
     pub failed: bool,
 }
 
-/// The stages the perf gate watches. Other stages in the report are
-/// informational: training throughput varies too much run-to-run on
-/// shared runners to gate on, while the decode paths are tight loops
-/// whose floor is stable.
-pub const PERF_GATE_STAGES: [&str; 2] = ["extract_predict", "infer_frozen"];
+/// The stages the perf gate watches. The decode paths are tight loops
+/// whose floor is stable, and since schema 4 the training stages are
+/// warm-up + min-of-K measurements rather than single shots, so their
+/// floor is stable enough to gate too. The remaining stages
+/// (`nn_forward`, `backward`, `harness_build`) stay informational.
+pub const PERF_GATE_STAGES: [&str; 4] = [
+    "extract_predict",
+    "infer_frozen",
+    "extract_train",
+    "nn_train",
+];
 
 fn stage_dps(report: &Value, stage: &str) -> Option<f64> {
     report.get(stage)?.get("docs_per_sec")?.as_f64()
@@ -211,27 +217,33 @@ mod tests {
         serde_json::from_str(text).expect("test JSON")
     }
 
-    fn report(predict_dps: f64, frozen_dps: f64) -> Value {
+    fn report(predict_dps: f64, frozen_dps: f64, train_dps: f64, nn_train_dps: f64) -> Value {
         parse(&format!(
-            r#"{{"schema_version": 3,
+            r#"{{"schema_version": 4,
                  "extract_predict": {{"wall_ms": 50.0, "docs_per_sec": {predict_dps}}},
                  "infer_frozen": {{"wall_ms": 10.0, "docs_per_sec": {frozen_dps}}},
-                 "nn_train": {{"wall_ms": 1.0, "docs_per_sec": 99.0}}}}"#
+                 "extract_train": {{"wall_ms": 250.0, "docs_per_sec": {train_dps}, "iters": 3, "jobs": 1}},
+                 "nn_train": {{"wall_ms": 800.0, "docs_per_sec": {nn_train_dps}, "iters": 3, "jobs": 1}}}}"#
         ))
     }
 
     #[test]
     fn perf_gate_passes_within_tolerance() {
-        let deltas = perf_gate(&report(2400.0, 12000.0), &report(1700.0, 9000.0), 0.30);
-        assert_eq!(deltas.len(), 2);
+        let deltas = perf_gate(
+            &report(2400.0, 12000.0, 2800.0, 190.0),
+            &report(1700.0, 9000.0, 2100.0, 150.0),
+            0.30,
+        );
+        assert_eq!(deltas.len(), 4);
         assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
-        // ~29.2% and 25% regressions — inside the 30% budget.
+        // 21–29% regressions across the stages — inside the 30% budget.
         assert!((deltas[0].regression - (2400.0 - 1700.0) / 2400.0).abs() < 1e-12);
     }
 
     #[test]
     fn perf_gate_fails_beyond_tolerance() {
-        let deltas = perf_gate(&report(2400.0, 12000.0), &report(2400.0, 8000.0), 0.30);
+        let base = report(2400.0, 12000.0, 2800.0, 190.0);
+        let deltas = perf_gate(&base, &report(2400.0, 8000.0, 2800.0, 190.0), 0.30);
         let frozen = deltas.iter().find(|d| d.stage == "infer_frozen").unwrap();
         assert!(frozen.failed);
         let predict = deltas
@@ -239,28 +251,46 @@ mod tests {
             .find(|d| d.stage == "extract_predict")
             .unwrap();
         assert!(!predict.failed);
+
+        // A training-stage collapse fails the gate on its own.
+        let deltas = perf_gate(&base, &report(2400.0, 12000.0, 1500.0, 190.0), 0.30);
+        let train = deltas.iter().find(|d| d.stage == "extract_train").unwrap();
+        assert!(train.failed);
+        assert!(deltas.iter().filter(|d| d.failed).count() == 1);
+
+        let deltas = perf_gate(&base, &report(2400.0, 12000.0, 2800.0, 90.0), 0.30);
+        let nn = deltas.iter().find(|d| d.stage == "nn_train").unwrap();
+        assert!(nn.failed);
     }
 
     #[test]
     fn perf_gate_improvement_never_fails() {
-        let deltas = perf_gate(&report(2400.0, 12000.0), &report(9000.0, 50000.0), 0.30);
+        let deltas = perf_gate(
+            &report(2400.0, 12000.0, 2800.0, 190.0),
+            &report(9000.0, 50000.0, 9500.0, 700.0),
+            0.30,
+        );
         assert!(deltas.iter().all(|d| !d.failed));
         assert!(deltas.iter().all(|d| d.regression < 0.0));
     }
 
     #[test]
     fn perf_gate_new_stage_passes_missing_current_fails() {
-        // Baseline predates the infer_frozen stage.
+        // Baseline predates the infer_frozen and gated training stages.
         let old = parse(r#"{"extract_predict": {"docs_per_sec": 2400.0}}"#);
-        let deltas = perf_gate(&old, &report(2400.0, 12000.0), 0.30);
-        let frozen = deltas.iter().find(|d| d.stage == "infer_frozen").unwrap();
-        assert!(!frozen.failed, "new stage must not fail the gate");
-        assert_eq!(frozen.baseline_dps, 0.0);
+        let deltas = perf_gate(&old, &report(2400.0, 12000.0, 2800.0, 190.0), 0.30);
+        for stage in ["infer_frozen", "extract_train", "nn_train"] {
+            let d = deltas.iter().find(|d| d.stage == stage).unwrap();
+            assert!(!d.failed, "new stage {stage} must not fail the gate");
+            assert_eq!(d.baseline_dps, 0.0);
+        }
 
-        // Current run lost a stage the baseline has: that fails.
-        let deltas = perf_gate(&report(2400.0, 12000.0), &old, 0.30);
-        let frozen = deltas.iter().find(|d| d.stage == "infer_frozen").unwrap();
-        assert!(frozen.failed, "missing current stage must fail");
+        // Current run lost stages the baseline has: each fails.
+        let deltas = perf_gate(&report(2400.0, 12000.0, 2800.0, 190.0), &old, 0.30);
+        for stage in ["infer_frozen", "extract_train", "nn_train"] {
+            let d = deltas.iter().find(|d| d.stage == stage).unwrap();
+            assert!(d.failed, "missing current stage {stage} must fail");
+        }
     }
 
     #[test]
@@ -269,9 +299,11 @@ mod tests {
         // auto-fail the stage.
         let zero = parse(
             r#"{"extract_predict": {"docs_per_sec": 0.0},
-                "infer_frozen": {"docs_per_sec": 0.0}}"#,
+                "infer_frozen": {"docs_per_sec": 0.0},
+                "extract_train": {"docs_per_sec": 0.0},
+                "nn_train": {"docs_per_sec": 0.0}}"#,
         );
-        let deltas = perf_gate(&zero, &report(2400.0, 12000.0), 0.30);
+        let deltas = perf_gate(&zero, &report(2400.0, 12000.0, 2800.0, 190.0), 0.30);
         assert!(deltas.iter().all(|d| !d.failed));
         assert!(deltas.iter().all(|d| d.regression == 0.0));
     }
@@ -321,9 +353,14 @@ mod tests {
 
     #[test]
     fn tables_render_every_row() {
-        let deltas = perf_gate(&report(2400.0, 12000.0), &report(2400.0, 8000.0), 0.30);
+        let deltas = perf_gate(
+            &report(2400.0, 12000.0, 2800.0, 190.0),
+            &report(2400.0, 8000.0, 2800.0, 190.0),
+            0.30,
+        );
         let table = render_perf_table(&deltas);
         assert!(table.contains("extract_predict") && table.contains("infer_frozen"));
+        assert!(table.contains("extract_train") && table.contains("nn_train"));
         assert!(table.contains("FAIL") && table.contains("ok"));
 
         let ex = points(&[("Earnings", 50, "baseline", 47.33)]);

@@ -15,6 +15,10 @@
 //! * `--jobs <n>` — worker threads for the experiment grid (0 = all
 //!   cores, the default; 1 = serial). Results are bit-identical for
 //!   every setting.
+//! * `--train-jobs <n>` — worker threads *inside* each training run:
+//!   corpus rendering, perceptron decode windows, and importance-model
+//!   gradient batches (0 = all cores; default 1 = serial). Training is
+//!   bitwise-identical for every setting.
 //! * `--trace <path>` — record a JSONL span/log trace, print a span-tree
 //!   summary to stderr at exit.
 //! * `--metrics <path>` — dump Prometheus-style counters/gauges/
@@ -69,6 +73,9 @@ pub struct BinArgs {
     pub test_cap: Option<usize>,
     /// Override: worker threads (0 = all cores, 1 = serial).
     pub jobs: Option<usize>,
+    /// Override: worker threads inside each training run
+    /// (`--train-jobs`; 0 = all cores, 1 = serial). Bitwise-neutral.
+    pub train_jobs: Option<usize>,
     /// JSONL trace output path (`--trace`); enables span recording.
     pub trace: Option<String>,
     /// Prometheus-style metrics output path (`--metrics`).
@@ -139,6 +146,7 @@ impl BinArgs {
             trials: None,
             test_cap: None,
             jobs: None,
+            train_jobs: None,
             trace: None,
             metrics: None,
             checkpoint_dir: None,
@@ -174,6 +182,12 @@ impl BinArgs {
                     out.test_cap = Some(num(take_value(args, &mut i, "--testcap")?, "--testcap")?)
                 }
                 "--jobs" => out.jobs = Some(num(take_value(args, &mut i, "--jobs")?, "--jobs")?),
+                "--train-jobs" => {
+                    out.train_jobs = Some(num(
+                        take_value(args, &mut i, "--train-jobs")?,
+                        "--train-jobs",
+                    )?)
+                }
                 "--trace" => out.trace = Some(take_value(args, &mut i, "--trace")?.to_string()),
                 "--metrics" => {
                     out.metrics = Some(take_value(args, &mut i, "--metrics")?.to_string())
@@ -234,6 +248,9 @@ impl BinArgs {
         }
         if let Some(j) = self.jobs {
             o.jobs = j;
+        }
+        if let Some(j) = self.train_jobs {
+            o.train_jobs = j;
         }
         if self.no_sanitize {
             o.sanitize = false;
@@ -344,7 +361,7 @@ fn parse_domain(name: &str) -> Option<Domain> {
 /// Prints `msg` plus the shared usage line to stderr and exits 1.
 pub fn usage(msg: &str) -> ! {
     fieldswap_obs::error!("{msg}");
-    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--trace PATH] [--metrics PATH] [--checkpoint-dir PATH] [--resume PATH] [--attacks LIST] [--attack-strength X] [--no-sanitize] [--quantized] [--verbose|-v] [--quiet|-q]");
+    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--train-jobs N] [--trace PATH] [--metrics PATH] [--checkpoint-dir PATH] [--resume PATH] [--attacks LIST] [--attack-strength X] [--no-sanitize] [--quantized] [--verbose|-v] [--quiet|-q]");
     std::process::exit(1)
 }
 
@@ -441,6 +458,8 @@ mod tests {
             "7",
             "--jobs",
             "2",
+            "--train-jobs",
+            "4",
             "--json",
             "out.json",
             "--checkpoint-dir",
@@ -452,11 +471,18 @@ mod tests {
         assert_eq!(a.domain, Some(Domain::Earnings));
         assert_eq!(a.seed, 7);
         assert_eq!(a.jobs, Some(2));
+        assert_eq!(a.train_jobs, Some(4));
         assert_eq!(a.json.as_deref(), Some("out.json"));
         assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
         assert_eq!(a.verbosity, Some(fieldswap_obs::Verbosity::Verbose));
         assert_eq!(a.harness_options().seed, 7);
         assert_eq!(a.harness_options().jobs, 2);
+        assert_eq!(a.harness_options().train_jobs, 4);
+
+        // Absent, `--train-jobs` inherits the protocol default (serial).
+        let d = BinArgs::try_parse_from(&argv(&[])).unwrap();
+        assert_eq!(d.train_jobs, None);
+        assert_eq!(d.harness_options().train_jobs, 1);
     }
 
     #[test]
@@ -473,6 +499,7 @@ mod tests {
             "--trials",
             "--testcap",
             "--jobs",
+            "--train-jobs",
             "--trace",
             "--metrics",
             "--checkpoint-dir",

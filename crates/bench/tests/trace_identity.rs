@@ -23,6 +23,7 @@ fn tiny_options() -> HarnessOptions {
         synthetic_cap: 300,
         seed: 0x7E57,
         jobs: 2,
+        train_jobs: 2,
         sanitize: true,
         quantized: false,
     }

@@ -93,6 +93,11 @@ pub struct GenOptions {
     pub n_vendors: usize,
     /// OCR noise applied after rendering.
     pub noise: NoiseParams,
+    /// Worker threads for the per-document render phase (0 = all cores,
+    /// 1 = serial). Every document derives its randomness from its own
+    /// index and noise is applied in a serial in-order pass afterwards, so
+    /// any value produces byte-identical corpora.
+    pub jobs: usize,
 }
 
 impl Default for GenOptions {
@@ -100,6 +105,7 @@ impl Default for GenOptions {
         Self {
             n_vendors: 192,
             noise: NoiseParams::default(),
+            jobs: 1,
         }
     }
 }
@@ -255,6 +261,12 @@ impl Vendor {
 /// Shared driver: renders `n` documents by sampling a vendor and a
 /// present-field mask per document, delegating page rendering to `render`,
 /// and applying OCR noise.
+///
+/// Rendering fans out over `opts.jobs` workers — each document's
+/// randomness comes from a per-index rng, so the render phase is
+/// embarrassingly parallel. The OCR noise model carries sequential rng
+/// state across documents, so it runs as a serial in-order pass; corpora
+/// are byte-identical for every jobs setting.
 pub fn drive<F>(
     domain: Domain,
     specs: &'static [FieldSpec],
@@ -265,20 +277,29 @@ pub fn drive<F>(
     render: F,
 ) -> Corpus
 where
-    F: Fn(&mut StdRng, &Vendor, &[bool], String) -> fieldswap_docmodel::Document,
+    F: Fn(&mut StdRng, &Vendor, &[bool], String) -> fieldswap_docmodel::Document + Sync,
 {
     let schema = schema_from_specs(domain_key(domain), specs);
     let vendors: Vec<Vendor> = (0..opts.n_vendors)
         .map(|v| Vendor::sample(domain, seed, v, specs, n_variants))
         .collect();
-    let mut noise = NoiseModel::new(opts.noise, seed_for(domain, seed, 0xA0C));
-    let mut documents = Vec::with_capacity(n);
-    for i in 0..n {
+    let pool = fieldswap_parallel::WorkerPool::new(opts.jobs);
+    let slots: Vec<std::sync::Mutex<Option<fieldswap_docmodel::Document>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    pool.fill_slots(&slots, |_, i| {
         let mut rng = StdRng::seed_from_u64(seed_for(domain, seed, i as u64));
         let vendor = &vendors[rng.gen_range(0..vendors.len())];
         let present: Vec<bool> = specs.iter().map(|f| rng.gen_bool(f.presence)).collect();
         let id = format!("{}-{i:05}", domain_key(domain));
-        let mut doc = render(&mut rng, vendor, &present, id);
+        render(&mut rng, vendor, &present, id)
+    });
+    let mut noise = NoiseModel::new(opts.noise, seed_for(domain, seed, 0xA0C));
+    let mut documents = Vec::with_capacity(n);
+    for slot in slots {
+        let mut doc = slot
+            .into_inner()
+            .expect("render slot poisoned")
+            .expect("every slot filled");
         noise.apply(&mut doc);
         documents.push(doc);
     }

@@ -48,17 +48,34 @@ pub fn generate(domain: Domain, seed: u64, n: usize) -> Corpus {
     domain.generator().generate(seed, n, &GenOptions::default())
 }
 
+/// Like [`generate`], but rendering documents on `jobs` worker threads
+/// (0 = all cores, 1 = serial). The corpus is byte-identical for every
+/// jobs setting; see [`domain::drive`].
+pub fn generate_jobs(domain: Domain, seed: u64, n: usize, jobs: usize) -> Corpus {
+    let opts = GenOptions {
+        jobs,
+        ..GenOptions::default()
+    };
+    domain.generator().generate(seed, n, &opts)
+}
+
 /// Generates the paper-sized train pool and test set for `domain`
 /// (Table I). The two sets use disjoint seed streams.
 pub fn generate_paper_splits(domain: Domain, seed: u64) -> (Corpus, Corpus) {
+    generate_paper_splits_jobs(domain, seed, 1)
+}
+
+/// Like [`generate_paper_splits`], but rendering documents on `jobs`
+/// worker threads. Output is byte-identical for every jobs setting.
+pub fn generate_paper_splits_jobs(domain: Domain, seed: u64, jobs: usize) -> (Corpus, Corpus) {
     let (pool_n, test_n) = domain.paper_sizes();
+    let opts = GenOptions {
+        jobs,
+        ..GenOptions::default()
+    };
     let gen = domain.generator();
-    let pool = gen.generate(seed, pool_n, &GenOptions::default());
-    let test = gen.generate(
-        seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
-        test_n,
-        &GenOptions::default(),
-    );
+    let pool = gen.generate(seed, pool_n, &opts);
+    let test = gen.generate(seed.wrapping_add(0x9E37_79B9_7F4A_7C15), test_n, &opts);
     (pool, test)
 }
 
@@ -71,6 +88,22 @@ mod tests {
         let a = generate(Domain::Fara, 7, 5);
         let b = generate(Domain::Fara, 7, 5);
         assert_eq!(a.documents, b.documents);
+    }
+
+    #[test]
+    fn parallel_generation_is_byte_identical() {
+        // The render fan-out must not change a single token, bbox, or
+        // noise artifact relative to the serial path.
+        for domain in [Domain::Fara, Domain::Earnings] {
+            let serial = generate_jobs(domain, 11, 24, 1);
+            for jobs in [2, 4, 8] {
+                let par = generate_jobs(domain, 11, 24, jobs);
+                assert_eq!(
+                    serial.documents, par.documents,
+                    "{domain:?} corpus diverged at jobs={jobs}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -41,11 +41,14 @@ const ROBUSTNESS_SCHEMA_VERSION: i64 = 1;
 
 /// Fingerprints every option that can influence a cell's result.
 ///
-/// `jobs` is deliberately excluded: results are bit-identical for every
-/// worker count (each cell's randomness derives purely from its grid
-/// coordinates), so a grid checkpointed with `--jobs 8` must resume
-/// cleanly under `--jobs 1`. The float knob goes in via `to_bits`, which
-/// distinguishes every representable value without rounding surprises.
+/// `jobs` and `train_jobs` are deliberately excluded: results are
+/// bit-identical for every worker count — each cell's randomness derives
+/// purely from its grid coordinates, and the in-training fan-out keeps a
+/// fixed reduction order (see `fieldswap_extract::TRAIN_BATCH`) — so a
+/// grid checkpointed with `--jobs 8 --train-jobs 8` must resume cleanly
+/// under `--jobs 1 --train-jobs 1` and vice versa. The float knob goes
+/// in via `to_bits`, which distinguishes every representable value
+/// without rounding surprises.
 pub fn options_fingerprint(opts: &HarnessOptions) -> u64 {
     mix_coords(
         0xC3EC_4901_7E57_0001 ^ CELL_SCHEMA_VERSION as u64,
@@ -344,6 +347,13 @@ mod tests {
             options_fingerprint(&base),
             options_fingerprint(&jobs_differ),
             "jobs must not enter the fingerprint"
+        );
+        let mut train_jobs_differ = base;
+        train_jobs_differ.train_jobs = 7;
+        assert_eq!(
+            options_fingerprint(&base),
+            options_fingerprint(&train_jobs_differ),
+            "train_jobs must not enter the fingerprint"
         );
         let variants = [
             |o: &mut HarnessOptions| o.n_samples += 1,

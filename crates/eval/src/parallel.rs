@@ -1,394 +1,17 @@
 //! Parallel execution primitives for the experiment harness.
 //!
+//! The implementation lives in [`fieldswap_parallel`] so the training
+//! crates (`extract`, `keyphrase`, `datagen`) can reuse the same pool
+//! without depending on the harness; this module re-exports it under the
+//! historical `fieldswap_eval::parallel` path.
+//!
 //! The experiment grid is embarrassingly parallel *if* two conditions
 //! hold: every cell derives its randomness purely from its coordinates
 //! (see [`crate::runner::cell_seed`]), and shared lazy state is computed
-//! exactly once no matter which thread gets there first. This module
-//! supplies the two building blocks:
-//!
-//! * [`par_map_indexed`] / [`par_try_map_indexed`] — fan an index range
-//!   out over a scoped worker pool, collecting results *by index* so the
-//!   output order (and hence every downstream aggregate) is independent
-//!   of thread scheduling. The `try` variant isolates a panicking slot
-//!   with `catch_unwind`, retries it once, and returns the captured
-//!   panic payload instead of tearing the whole pool down — a multi-hour
-//!   grid survives one poisoned cell;
-//! * [`OnceMap`] — a concurrent lazily-populated map whose values are
-//!   initialized exactly once per key, with an initialization counter so
-//!   tests can assert the exactly-once contract.
-//!
-//! `rayon` is not available in the offline build environment, so the pool
-//! is a small `std::thread::scope` worker set over an atomic work index —
-//! a few dozen lines that cover everything the grid needs.
+//! exactly once no matter which thread gets there first. See the
+//! `fieldswap-parallel` crate docs for the building blocks and their
+//! determinism contract.
 
-use std::collections::HashMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-
-/// Resolves a `jobs` knob: `0` means "all available cores", anything
-/// else is taken literally.
-pub fn effective_jobs(jobs: usize) -> usize {
-    if jobs == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        jobs
-    }
-}
-
-/// A slot whose computation panicked on both the first attempt and the
-/// retry: the grid cell is lost, but the captured payload lets the
-/// caller account for it instead of crashing the run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SlotPanic {
-    /// The index passed to the worker closure.
-    pub index: usize,
-    /// The panic payload rendered as text (`&str` / `String` payloads
-    /// verbatim, anything else a placeholder).
-    pub payload: String,
-}
-
-/// Renders a `catch_unwind` payload as text.
-fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Runs one slot under `catch_unwind` with a single retry.
-///
-/// The retry is cheap insurance against transient faults; a
-/// deterministic panic simply fails twice and is reported. Counter
-/// `fieldswap_grid_cells_retried` ticks on every first-attempt panic,
-/// `fieldswap_grid_cells_failed` when the retry also dies.
-fn run_slot<U, F>(f: &F, i: usize) -> Result<U, SlotPanic>
-where
-    F: Fn(usize) -> U + Sync,
-{
-    match catch_unwind(AssertUnwindSafe(|| f(i))) {
-        Ok(v) => Ok(v),
-        Err(first) => {
-            fieldswap_obs::counter_add("fieldswap_grid_cells_retried", 1);
-            fieldswap_obs::warn!(
-                "worker slot {i} panicked ({}); retrying once",
-                payload_text(first)
-            );
-            match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                Ok(v) => Ok(v),
-                Err(second) => {
-                    fieldswap_obs::counter_add("fieldswap_grid_cells_failed", 1);
-                    Err(SlotPanic {
-                        index: i,
-                        payload: payload_text(second),
-                    })
-                }
-            }
-        }
-    }
-}
-
-/// Maps `f` over `0..n` using up to `jobs` worker threads (resolved via
-/// [`effective_jobs`]), returning per-index outcomes in index order.
-///
-/// Work is distributed dynamically (an atomic cursor), so long cells
-/// don't stall a fixed stripe, but each result lands in its own slot —
-/// the output is bit-identical to the serial `(0..n).map(f)` whenever
-/// `f` itself depends only on the index.
-///
-/// Each slot runs under [`catch_unwind`]: a panic is retried once, and a
-/// second panic yields `Err(SlotPanic)` for that index while every other
-/// slot completes normally. The pool itself never unwinds.
-pub fn par_try_map_indexed<U, F>(n: usize, jobs: usize, f: F) -> Vec<Result<U, SlotPanic>>
-where
-    U: Send,
-    F: Fn(usize) -> U + Sync,
-{
-    let jobs = effective_jobs(jobs).min(n.max(1));
-    if fieldswap_obs::metrics_enabled() {
-        fieldswap_obs::gauge_set("fieldswap_worker_threads", jobs as f64);
-    }
-    if jobs <= 1 {
-        return (0..n).map(|i| run_slot(&f, i)).collect();
-    }
-    // `Mutex<Option<..>>` slots rather than `OnceLock`: the mutex is
-    // uncontended (each index is claimed by exactly one worker via the
-    // cursor) and only demands `U: Send`, not `U: Sync`.
-    let slots: Vec<Mutex<Option<Result<U, SlotPanic>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = run_slot(&f, i);
-                let prev = slots[i].lock().expect("slot poisoned").replace(value);
-                assert!(prev.is_none(), "slot {i} filled twice");
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot poisoned")
-                .expect("all slots filled")
-        })
-        .collect()
-}
-
-/// Infallible wrapper over [`par_try_map_indexed`]: any slot that still
-/// fails after its retry re-raises the captured panic on the caller's
-/// thread. Callers that need per-cell degradation use the `try` variant.
-pub fn par_map_indexed<U, F>(n: usize, jobs: usize, f: F) -> Vec<U>
-where
-    U: Send,
-    F: Fn(usize) -> U + Sync,
-{
-    par_try_map_indexed(n, jobs, f)
-        .into_iter()
-        .map(|r| {
-            r.unwrap_or_else(|p| panic!("parallel slot {} panicked twice: {}", p.index, p.payload))
-        })
-        .collect()
-}
-
-/// A concurrent map whose entries are computed exactly once per key.
-///
-/// Readers that race on the same key block until the single in-flight
-/// initialization finishes; readers on different keys initialize
-/// concurrently. Values are handed out by clone — store an `Arc` for
-/// anything heavy.
-pub struct OnceMap<K, V> {
-    cells: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
-    inits: AtomicUsize,
-    /// When set, hits and misses are reported to the metrics registry as
-    /// `fieldswap_cache_{hits,misses}_total{cache="<name>"}`.
-    name: Option<&'static str>,
-}
-
-impl<K: std::hash::Hash + Eq + Clone, V: Clone> OnceMap<K, V> {
-    /// An empty map.
-    pub fn new() -> Self {
-        Self {
-            cells: Mutex::new(HashMap::new()),
-            inits: AtomicUsize::new(0),
-            name: None,
-        }
-    }
-
-    /// An empty map that reports cache hit/miss counters under `name`
-    /// whenever metrics collection is enabled.
-    pub fn named(name: &'static str) -> Self {
-        Self {
-            cells: Mutex::new(HashMap::new()),
-            inits: AtomicUsize::new(0),
-            name: Some(name),
-        }
-    }
-
-    /// The value for `key`, computing it with `init` on first access.
-    ///
-    /// The map lock is held only to fetch the key's cell; `init` runs
-    /// outside it, so distinct keys never serialize each other.
-    pub fn get_or_init(&self, key: K, init: impl FnOnce() -> V) -> V {
-        let cell = {
-            let mut cells = self.cells.lock().expect("OnceMap poisoned");
-            Arc::clone(
-                cells
-                    .entry(key)
-                    .or_insert_with(|| Arc::new(OnceLock::new())),
-            )
-        };
-        let mut ran_init = false;
-        let value = cell
-            .get_or_init(|| {
-                self.inits.fetch_add(1, Ordering::Relaxed);
-                ran_init = true;
-                init()
-            })
-            .clone();
-        if let Some(name) = self.name {
-            if fieldswap_obs::metrics_enabled() {
-                let kind = if ran_init { "misses" } else { "hits" };
-                fieldswap_obs::counter_add(
-                    &format!("fieldswap_cache_{kind}_total{{cache=\"{name}\"}}"),
-                    1,
-                );
-            }
-        }
-        value
-    }
-
-    /// Number of initialized entries.
-    pub fn len(&self) -> usize {
-        let cells = self.cells.lock().expect("OnceMap poisoned");
-        cells.values().filter(|c| c.get().is_some()).count()
-    }
-
-    /// Whether no entry has been initialized yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// How many times an initializer has run — equals [`len`](Self::len)
-    /// exactly when every entry was computed once.
-    pub fn init_count(&self) -> usize {
-        self.inits.load(Ordering::Relaxed)
-    }
-}
-
-impl<K: std::hash::Hash + Eq + Clone, V: Clone> Default for OnceMap<K, V> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn par_map_matches_serial_output() {
-        let serial: Vec<u64> = (0..57).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
-        for jobs in [0, 1, 2, 4, 16] {
-            let par = par_map_indexed(57, jobs, |i| (i as u64).wrapping_mul(0x9E37));
-            assert_eq!(par, serial, "jobs={jobs}");
-        }
-    }
-
-    #[test]
-    fn par_map_empty_and_single() {
-        assert!(par_map_indexed(0, 4, |i| i).is_empty());
-        assert_eq!(par_map_indexed(1, 4, |i| i + 10), vec![10]);
-    }
-
-    #[test]
-    fn effective_jobs_resolves_zero() {
-        assert!(effective_jobs(0) >= 1);
-        assert_eq!(effective_jobs(3), 3);
-    }
-
-    #[test]
-    fn try_map_isolates_persistent_panic() {
-        for jobs in [1, 4] {
-            let out = par_try_map_indexed(6, jobs, |i| {
-                if i == 3 {
-                    panic!("cell {i} is poisoned");
-                }
-                i * 2
-            });
-            assert_eq!(out.len(), 6, "jobs={jobs}");
-            for (i, r) in out.iter().enumerate() {
-                if i == 3 {
-                    let p = r.as_ref().unwrap_err();
-                    assert_eq!(p.index, 3);
-                    assert_eq!(p.payload, "cell 3 is poisoned");
-                } else {
-                    assert_eq!(*r.as_ref().unwrap(), i * 2, "jobs={jobs}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn try_map_retries_transient_panic_once() {
-        // The slot panics only on its first attempt; the retry succeeds
-        // and the caller sees a clean result.
-        let attempts = AtomicUsize::new(0);
-        let out = par_try_map_indexed(3, 1, |i| {
-            if i == 1 && attempts.fetch_add(1, Ordering::Relaxed) == 0 {
-                panic!("transient");
-            }
-            i + 100
-        });
-        assert_eq!(
-            out,
-            vec![Ok(100), Ok(101), Ok(102)],
-            "retry should recover the transient slot"
-        );
-        assert_eq!(attempts.load(Ordering::Relaxed), 2);
-    }
-
-    #[test]
-    fn try_map_reports_retry_and_failure_counters() {
-        fieldswap_obs::enable_metrics();
-        let reg = fieldswap_obs::global().registry();
-        let retried0 = reg.counter_value("fieldswap_grid_cells_retried");
-        let failed0 = reg.counter_value("fieldswap_grid_cells_failed");
-        let out = par_try_map_indexed(2, 1, |i| {
-            if i == 0 {
-                panic!("always");
-            }
-            i
-        });
-        assert!(out[0].is_err());
-        assert_eq!(out[1], Ok(1));
-        let retried1 = reg.counter_value("fieldswap_grid_cells_retried");
-        let failed1 = reg.counter_value("fieldswap_grid_cells_failed");
-        assert_eq!(retried1, retried0 + 1, "one first-attempt panic");
-        assert_eq!(failed1, failed0 + 1, "one double failure");
-    }
-
-    #[test]
-    fn infallible_map_repanics_with_payload() {
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            par_map_indexed(2, 1, |i| {
-                if i == 1 {
-                    panic!("boom");
-                }
-                i
-            })
-        }));
-        let payload = payload_text(caught.unwrap_err());
-        assert!(
-            payload.contains("slot 1") && payload.contains("boom"),
-            "payload: {payload}"
-        );
-    }
-
-    #[test]
-    fn named_once_map_reports_hit_miss_counters() {
-        fieldswap_obs::enable_metrics();
-        let reg = fieldswap_obs::global().registry();
-        let hits0 = reg.counter_value("fieldswap_cache_hits_total{cache=\"test_cache\"}");
-        let misses0 = reg.counter_value("fieldswap_cache_misses_total{cache=\"test_cache\"}");
-        let map: OnceMap<u32, u32> = OnceMap::named("test_cache");
-        assert_eq!(map.get_or_init(7, || 70), 70);
-        assert_eq!(map.get_or_init(7, || unreachable!()), 70);
-        let hits1 = reg.counter_value("fieldswap_cache_hits_total{cache=\"test_cache\"}");
-        let misses1 = reg.counter_value("fieldswap_cache_misses_total{cache=\"test_cache\"}");
-        assert_eq!(hits1, hits0 + 1);
-        assert_eq!(misses1, misses0 + 1);
-    }
-
-    #[test]
-    fn once_map_initializes_exactly_once_per_key() {
-        let map: OnceMap<u32, u32> = OnceMap::new();
-        let hits = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..8 {
-                s.spawn(|| {
-                    for key in 0..4 {
-                        let v = map.get_or_init(key, || {
-                            hits.fetch_add(1, Ordering::Relaxed);
-                            key * 10
-                        });
-                        assert_eq!(v, key * 10);
-                    }
-                });
-            }
-        });
-        assert_eq!(hits.load(Ordering::Relaxed), 4, "one init per key");
-        assert_eq!(map.init_count(), 4);
-        assert_eq!(map.len(), 4);
-    }
-}
+pub use fieldswap_parallel::{
+    effective_jobs, par_map_indexed, par_try_map_indexed, OnceMap, SlotPanic, WorkerPool,
+};

@@ -25,7 +25,7 @@ use crate::metrics::EvalResult;
 use crate::parallel::{par_map_indexed, par_try_map_indexed, OnceMap, SlotPanic};
 use crate::robustness::AttackSpec;
 use fieldswap_core::{attack_corpus, augment_corpus, AttackKind, FieldSwapConfig, PairStrategy};
-use fieldswap_datagen::{generate, Domain};
+use fieldswap_datagen::{generate_jobs, Domain};
 use fieldswap_docmodel::Corpus;
 use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
 use fieldswap_keyphrase::{infer_key_phrases, ImportanceModel, InferenceConfig, ModelConfig};
@@ -107,6 +107,13 @@ pub struct HarnessOptions {
     /// experiment's randomness is derived purely from its grid
     /// coordinates, never from scheduling order.
     pub jobs: usize,
+    /// Worker threads *inside* each training run (0 = all cores,
+    /// 1 = serial): the decode windows of the backbone trainer, the
+    /// gradient windows of the importance-model pre-training, and the
+    /// per-document render phase of corpus generation. Like `jobs`,
+    /// any value produces bit-identical results — see
+    /// [`fieldswap_extract::TRAIN_BATCH`] for the contract.
+    pub train_jobs: usize,
     /// Validate and repair corpora at ingestion
     /// (`Document::sanitize`). A strict no-op on well-formed documents —
     /// the clean path stays byte-identical with the layer enabled — while
@@ -134,6 +141,7 @@ impl HarnessOptions {
             synthetic_cap: 4000,
             seed: 0x5EED,
             jobs: 0,
+            train_jobs: 1,
             sanitize: true,
             quantized: false,
         }
@@ -153,6 +161,7 @@ impl HarnessOptions {
             synthetic_cap: 1500,
             seed: 0x5EED,
             jobs: 0,
+            train_jobs: 1,
             sanitize: true,
             quantized: false,
         }
@@ -292,10 +301,16 @@ impl Harness {
     /// pass (all out-of-domain, per Section IV-B).
     pub fn new(opts: HarnessOptions) -> Self {
         let _span = fieldswap_obs::span("harness_build");
-        let pretrain = generate(Domain::Invoices, opts.seed ^ 0xABCD, opts.pretrain_docs);
+        let pretrain = generate_jobs(
+            Domain::Invoices,
+            opts.seed ^ 0xABCD,
+            opts.pretrain_docs,
+            opts.train_jobs,
+        );
         let model_cfg = ModelConfig {
             neighbors: opts.neighbors,
             epochs: 2,
+            train_jobs: opts.train_jobs,
             ..ModelConfig::default()
         };
         let mut importance = ImportanceModel::new(model_cfg, pretrain.schema.len(), opts.seed);
@@ -305,8 +320,12 @@ impl Harness {
         }
         let lexicon = {
             let _span = fieldswap_obs::span("lexicon_pass");
-            let lexicon_corpus =
-                generate(Domain::Invoices, opts.seed ^ 0x1E81C0, opts.lexicon_docs);
+            let lexicon_corpus = generate_jobs(
+                Domain::Invoices,
+                opts.seed ^ 0x1E81C0,
+                opts.lexicon_docs,
+                opts.train_jobs,
+            );
             Lexicon::pretrain(&lexicon_corpus.documents)
         };
         Self {
@@ -427,7 +446,8 @@ impl Harness {
     pub fn domain_data(&self, domain: Domain) -> Arc<(Corpus, Corpus)> {
         let opts = self.opts;
         self.data.get_or_init(domain, || {
-            let (pool, mut test) = fieldswap_datagen::generate_paper_splits(domain, opts.seed);
+            let (pool, mut test) =
+                fieldswap_datagen::generate_paper_splits_jobs(domain, opts.seed, opts.train_jobs);
             if opts.test_cap > 0 && test.len() > opts.test_cap {
                 test.documents.truncate(opts.test_cap);
             }
@@ -613,6 +633,7 @@ impl Harness {
                     0
                 }
             },
+            train_jobs: self.opts.train_jobs,
             ..TrainConfig::default()
         };
         let schema = sample.schema.clone();
@@ -827,6 +848,7 @@ mod tests {
             synthetic_cap: 300,
             seed: 0x7E57,
             jobs: 1,
+            train_jobs: 1,
             sanitize: true,
             quantized: false,
         }
@@ -964,6 +986,24 @@ mod tests {
 
         // PartialEq over every field, including each run's full
         // per-field F1 vector: bit-identical, not approximately equal.
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn parallel_training_run_is_bit_identical_to_serial() {
+        // Unlike `jobs` (which shards whole cells), `train_jobs` threads
+        // the training loops *inside* a cell: corpus rendering, the
+        // perceptron decode windows, and the importance-model gradient
+        // batches. The end-to-end summary must not move by a single bit.
+        let mut opts = tiny_options();
+        opts.n_trials = 2;
+
+        opts.train_jobs = 1;
+        let s = Harness::new(opts).run_point(Domain::Earnings, 10, Arm::AutoTypeToType);
+
+        opts.train_jobs = 4;
+        let p = Harness::new(opts).run_point(Domain::Earnings, 10, Arm::AutoTypeToType);
+
         assert_eq!(s, p);
     }
 

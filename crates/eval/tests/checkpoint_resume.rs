@@ -24,6 +24,7 @@ fn tiny_options() -> HarnessOptions {
         synthetic_cap: 300,
         seed: 0x7E57,
         jobs: 2,
+        train_jobs: 1,
         sanitize: true,
         quantized: false,
     }
@@ -84,6 +85,51 @@ fn resumed_grid_is_byte_identical_to_uninterrupted() {
     assert_eq!(
         serde_json::to_string_pretty(&cached.run_grid(&POINTS)).unwrap(),
         expect
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_resumes_across_train_jobs_settings() {
+    // `train_jobs` is a pure threading knob: it is excluded from the
+    // options fingerprint, and training itself is bitwise-invariant to
+    // it. A grid checkpointed serially must therefore (a) open cleanly
+    // under a parallel-training harness, and (b) produce byte-identical
+    // JSON whether the cells come from the cache or are recomputed with
+    // `train_jobs: 4`.
+    let serial_opts = tiny_options();
+    let expect =
+        serde_json::to_string_pretty(&Harness::new(serial_opts).run_grid(&POINTS)).unwrap();
+
+    let dir = temp_dir("trainjobs");
+    let mut writer = Harness::new(serial_opts);
+    writer.attach_checkpoint(CellCache::create(&dir, &serial_opts).unwrap());
+    writer.run_grid(&POINTS);
+
+    let par_opts = HarnessOptions {
+        train_jobs: 4,
+        ..serial_opts
+    };
+
+    // Cache hit path: every cell served from the jobs=1 checkpoint.
+    let mut cached = Harness::new(par_opts);
+    cached.attach_checkpoint(CellCache::open(&dir, &par_opts).unwrap());
+    cached.fail_cell_for_tests((Domain::Fara, 10, Arm::Baseline, 0, 0), usize::MAX);
+    cached.fail_cell_for_tests((Domain::Fara, 10, Arm::Baseline, 0, 1), usize::MAX);
+    assert_eq!(
+        serde_json::to_string_pretty(&cached.run_grid(&POINTS)).unwrap(),
+        expect,
+        "jobs=1 checkpoint must resume byte-identically under train_jobs=4"
+    );
+
+    // Recompute path: the same cells computed fresh with parallel
+    // training must also match, or mixing cached and fresh cells in one
+    // resumed grid would silently produce inconsistent results.
+    assert_eq!(
+        serde_json::to_string_pretty(&Harness::new(par_opts).run_grid(&POINTS)).unwrap(),
+        expect,
+        "train_jobs=4 recompute must match the serial grid bit-for-bit"
     );
 
     std::fs::remove_dir_all(&dir).unwrap();

@@ -19,9 +19,12 @@ use crate::features::{extract, gate_allows, DocFeatures};
 use crate::lexicon::Lexicon;
 use crate::tags::{TagId, TagSet};
 use fieldswap_docmodel::{BaseType, Corpus, Document, EntitySpan, Schema};
+use fieldswap_parallel::WorkerPool;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// log2 of the emission weight-table size (2^20 = ~1M buckets).
 const WEIGHT_BITS: u32 = 20;
@@ -29,6 +32,28 @@ pub(crate) const WEIGHT_DIM: usize = 1 << WEIGHT_BITS;
 
 /// Score used for impossible tags/paths.
 pub(crate) const NEG: f32 = -1e30;
+
+/// Speculation window of the training loop: each epoch's shuffled plan
+/// is processed in windows of this many documents, decoded in parallel
+/// against the weights as they stood at window start. The serial merge
+/// then walks the window in plan order, consuming each speculative
+/// decode as long as no update has touched the weights since window
+/// start, and re-decoding with the current weights from the first
+/// update onward — so the applied update sequence is exactly the
+/// textbook online perceptron.
+///
+/// Both this window size and [`TrainConfig::train_jobs`] are therefore
+/// pure performance knobs: the trained model is bitwise-identical for
+/// every setting of either, and identical to the strictly serial
+/// decode-update loop. Speculation pays off in proportion to decode
+/// accuracy: a correctly predicted document triggers no update and
+/// keeps the rest of its window's speculative decodes valid, so warm
+/// epochs — where mispredictions are rare — parallelize almost fully.
+pub const TRAIN_BATCH: usize = 8;
+
+/// Cached training inputs for one synthetic document: extracted
+/// features plus the gold tag sequence.
+type SynthFeats = (DocFeatures, Vec<TagId>);
 
 /// Training configuration.
 ///
@@ -38,6 +63,11 @@ pub(crate) const NEG: f32 = -1e30;
 /// originals `1 + synth_ratio` times per epoch, so both arms perform the
 /// same number of weight updates — the reproduction of the paper's "train
 /// both models for the same amount of time" control (Section IV-B).
+///
+/// The epoch is processed in speculative decode windows of
+/// [`TRAIN_BATCH`] documents (see there for the determinism contract);
+/// `train_jobs` only chooses how many threads decode each window and
+/// never changes the trained model.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainConfig {
     /// Number of epochs.
@@ -51,6 +81,10 @@ pub struct TrainConfig {
     /// scrubbing the non-finite weights in place. See
     /// [`Extractor::train_report`].
     pub max_divergence_retries: u32,
+    /// Worker threads for the decode phase of each training window
+    /// (0 = all cores, 1 = serial). Any value produces bitwise-identical
+    /// models; >1 only changes wall-clock time.
+    pub train_jobs: usize,
     /// Test-only divergence injection: a bitmask of epoch indices whose
     /// loss is forced to `NaN` on their *first* attempt (recovery retries
     /// of the same epoch run clean). Leave `0` outside of tests.
@@ -65,6 +99,7 @@ impl Default for TrainConfig {
             synth_ratio: 2.0,
             seed: 0,
             max_divergence_retries: 2,
+            train_jobs: 1,
             inject_nan_epoch_mask: 0,
         }
     }
@@ -153,6 +188,21 @@ pub struct ViterbiScratch {
     next: Vec<f32>,
     back: Vec<u16>,
     tags: Vec<TagId>,
+}
+
+/// Per-window working state of one plan entry during the parallel
+/// decode phase of training. Slots are owned by the trainer and reused
+/// across windows, so a warm slot decodes without allocating.
+#[derive(Default)]
+struct TrainSlot {
+    /// Bucket table for synthetic entries (originals decode from the
+    /// tables interned once up front).
+    bk: DocBuckets,
+    /// Viterbi buffers; the decoded tags stay in `vit.tags` until the
+    /// merge phase has replayed the entry.
+    vit: ViterbiScratch,
+    /// Whether the decode disagreed with gold (an update is due).
+    mispredicted: bool,
 }
 
 /// Reusable prediction working memory ([`Extractor::predict_with`]):
@@ -483,10 +533,9 @@ impl Extractor {
         // cached, so huge synthetic pools cost only what is visited. Their
         // bucket tables are NOT cached (a table is ~n_tags x the feature
         // list in size, too big for thousand-document pools); each visit
-        // re-interns into one reusable scratch table.
-        let mut feats_synth: Vec<Option<(DocFeatures, Vec<TagId>)>> =
+        // re-interns into a reusable per-slot scratch table.
+        let mut feats_synth: Vec<Option<SynthFeats>> =
             (0..synthetics.len()).map(|_| None).collect();
-        let mut synth_bk = DocBuckets::default();
         let per_epoch_synths = if synthetics.is_empty() {
             0
         } else {
@@ -503,10 +552,30 @@ impl Extractor {
         };
 
         // Per-epoch buffers, reused: the plan is rebuilt (same contents,
-        // same shuffle draws) and the Viterbi scratch is recycled.
+        // same shuffle draws) per attempt.
         let mut plan: Vec<(bool, usize)> =
             Vec::with_capacity(n * (1 + extra_repeats) + per_epoch_synths);
-        let mut vit = ViterbiScratch::default();
+
+        // Decode workers. With `train_jobs <= 1` the pool is threadless
+        // and every closure below runs inline on this thread — the
+        // serial reference path the parallel path must match bit for
+        // bit. One slot per window position, each owning its scratch;
+        // grow-only, so a warm window decodes without allocating.
+        let pool = WorkerPool::new(cfg.train_jobs);
+        let mut slots: Vec<Mutex<TrainSlot>> = Vec::new();
+        // Reusable slots for parallel synthetic feature extraction on
+        // cache misses, plus the per-window list of missing indices.
+        let mut feat_slots: Vec<Mutex<Option<SynthFeats>>> = Vec::new();
+        let mut uncached: Vec<usize> = Vec::new();
+        // Per-worker decode counts (utilization), flushed to the metrics
+        // registry once at the end of the run.
+        let worker_docs: Vec<AtomicU64> = (0..pool.jobs()).map(|_| AtomicU64::new(0)).collect();
+        let mut obs_batches = 0u64;
+        let mut obs_replays = 0u64;
+        // Scratch for the merge phase: re-decodes of stale speculations,
+        // plus a bucket table for the one-thread reference path.
+        let mut replay_vit = ViterbiScratch::default();
+        let mut serial_bk = DocBuckets::default();
 
         // Divergence recovery (restart-with-replay): when an epoch's loss
         // goes non-finite, reset the weights and replay training from
@@ -553,30 +622,138 @@ impl Extractor {
                 }
                 obs_decodes += plan.len() as u64;
                 let mut epoch_loss = 0.0f64;
-                for &(is_synth, i) in &plan {
-                    if is_synth {
-                        if feats_synth[i].is_none() {
-                            let f = extract(synthetics[i], &self.lexicon);
-                            let g = self.tags.encode(synthetics[i]);
-                            feats_synth[i] = Some((f, g));
-                            obs_synth_feat_misses += 1;
-                        } else {
+                let mut epoch_merge_ms = 0.0f64;
+                for window in plan.chunks(TRAIN_BATCH) {
+                    obs_batches += 1;
+                    // Resolve synthetic feature-cache misses for this
+                    // window up front (fanned out when misses cluster):
+                    // the decode phase reads the cache immutably from
+                    // every worker.
+                    uncached.clear();
+                    for &(is_synth, i) in window {
+                        if !is_synth {
+                            continue;
+                        }
+                        if feats_synth[i].is_some() || uncached.contains(&i) {
                             obs_synth_feat_hits += 1;
-                        }
-                        let (f, g) = feats_synth[i].as_ref().unwrap();
-                        self.fill_buckets(f, Some(g), &mut synth_bk);
-                        self.viterbi_into(&synth_bk, &mut vit);
-                        if vit.tags != *g {
-                            epoch_loss += self.update(&synth_bk, g, &vit.tags);
-                            obs_updates += 1;
-                        }
-                    } else {
-                        self.viterbi_into(&buckets_orig[i], &mut vit);
-                        if vit.tags != golds_orig[i] {
-                            epoch_loss += self.update(&buckets_orig[i], &golds_orig[i], &vit.tags);
-                            obs_updates += 1;
+                        } else {
+                            uncached.push(i);
+                            obs_synth_feat_misses += 1;
                         }
                     }
+                    if !uncached.is_empty() {
+                        while feat_slots.len() < uncached.len() {
+                            feat_slots.push(Mutex::new(None));
+                        }
+                        let this: &Extractor = self;
+                        let uncached_ref = &uncached;
+                        pool.fill_slots(&feat_slots[..uncached.len()], |_, j| {
+                            let d = synthetics[uncached_ref[j]];
+                            (extract(d, &this.lexicon), this.tags.encode(d))
+                        });
+                        for (j, &i) in uncached.iter().enumerate() {
+                            feats_synth[i] = feat_slots[j].lock().expect("slot poisoned").take();
+                        }
+                    }
+                    // One-thread reference path: decode with the current
+                    // weights and update immediately — the textbook
+                    // online perceptron. The speculative path below
+                    // reproduces exactly this update sequence; running
+                    // it on one thread would just decode twice.
+                    if pool.jobs() <= 1 {
+                        let merge_t0 = timing.then(std::time::Instant::now);
+                        worker_docs[0].fetch_add(window.len() as u64, Ordering::Relaxed);
+                        for &(is_synth, i) in window {
+                            let (bk, gold): (&DocBuckets, &[TagId]) = if is_synth {
+                                let (f, g) = feats_synth[i].as_ref().expect("cache resolved above");
+                                self.fill_buckets(f, Some(g), &mut serial_bk);
+                                (&serial_bk, g)
+                            } else {
+                                (&buckets_orig[i], &golds_orig[i])
+                            };
+                            self.viterbi_into(bk, &mut replay_vit);
+                            if replay_vit.tags != gold {
+                                let pred = std::mem::take(&mut replay_vit.tags);
+                                epoch_loss += self.update(bk, gold, &pred);
+                                replay_vit.tags = pred;
+                                obs_updates += 1;
+                            }
+                        }
+                        if let Some(t0) = merge_t0 {
+                            epoch_merge_ms += t0.elapsed().as_secs_f64() * 1e3;
+                        }
+                        continue;
+                    }
+                    // Decode phase: every entry of the window is decoded
+                    // against the weights as they stood at window start,
+                    // on whichever worker claims it first.
+                    while slots.len() < window.len() {
+                        slots.push(Mutex::new(TrainSlot::default()));
+                    }
+                    {
+                        let this: &Extractor = self;
+                        let feats_synth_ref = &feats_synth;
+                        let buckets_ref = &buckets_orig;
+                        let golds_ref = &golds_orig;
+                        let worker_docs_ref = &worker_docs;
+                        pool.for_each_slot(&slots[..window.len()], |worker, item, slot| {
+                            worker_docs_ref[worker].fetch_add(1, Ordering::Relaxed);
+                            let (is_synth, i) = window[item];
+                            let gold: &[TagId] = if is_synth {
+                                let (f, g) =
+                                    feats_synth_ref[i].as_ref().expect("cache resolved above");
+                                this.fill_buckets(f, Some(g), &mut slot.bk);
+                                this.viterbi_into(&slot.bk, &mut slot.vit);
+                                g
+                            } else {
+                                this.viterbi_into(&buckets_ref[i], &mut slot.vit);
+                                &golds_ref[i]
+                            };
+                            slot.mispredicted = slot.vit.tags != gold;
+                        });
+                    }
+                    // Merge phase, serial and in plan order. A window's
+                    // speculative decode is valid exactly until the
+                    // first weight update inside the window; from that
+                    // point on each document is re-decoded with the
+                    // current weights (bucket tables are
+                    // weight-independent, so only the Viterbi sweep
+                    // reruns). The applied update sequence is therefore
+                    // identical to the one-thread reference path above
+                    // for every jobs setting.
+                    let merge_t0 = timing.then(std::time::Instant::now);
+                    let mut dirty = false;
+                    for (item, &(is_synth, i)) in window.iter().enumerate() {
+                        let slot = slots[item].get_mut().expect("slot poisoned");
+                        let (bk, gold): (&DocBuckets, &[TagId]) = if is_synth {
+                            let (_, g) = feats_synth[i].as_ref().expect("cache resolved above");
+                            (&slot.bk, g)
+                        } else {
+                            (&buckets_orig[i], &golds_orig[i])
+                        };
+                        if dirty {
+                            obs_replays += 1;
+                            self.viterbi_into(bk, &mut replay_vit);
+                            if replay_vit.tags != gold {
+                                let pred = std::mem::take(&mut replay_vit.tags);
+                                epoch_loss += self.update(bk, gold, &pred);
+                                replay_vit.tags = pred;
+                                obs_updates += 1;
+                            }
+                        } else if slot.mispredicted {
+                            let pred = std::mem::take(&mut slot.vit.tags);
+                            epoch_loss += self.update(bk, gold, &pred);
+                            slot.vit.tags = pred;
+                            obs_updates += 1;
+                            dirty = true;
+                        }
+                    }
+                    if let Some(t0) = merge_t0 {
+                        epoch_merge_ms += t0.elapsed().as_secs_f64() * 1e3;
+                    }
+                }
+                if timing {
+                    fieldswap_obs::observe("fieldswap_train_merge_ms", epoch_merge_ms);
                 }
                 if epoch < 64
                     && (cfg.inject_nan_epoch_mask >> epoch) & 1 == 1
@@ -626,6 +803,14 @@ impl Extractor {
                 "fieldswap_synth_feature_cache_misses_total",
                 obs_synth_feat_misses,
             );
+            fieldswap_obs::counter_add("fieldswap_train_batches_total", obs_batches);
+            fieldswap_obs::counter_add("fieldswap_train_replayed_decodes_total", obs_replays);
+            for (w, docs) in worker_docs.iter().enumerate() {
+                fieldswap_obs::counter_add(
+                    &format!("fieldswap_train_worker_docs_total{{worker=\"{w}\"}}"),
+                    docs.load(Ordering::Relaxed),
+                );
+            }
         }
         self.finalize_average();
     }
@@ -1187,5 +1372,96 @@ mod tests {
             r_aug + 0.05 >= r_base,
             "augmentation should be ~neutral or better: base {r_base} aug {r_aug}"
         );
+    }
+
+    #[test]
+    fn parallel_training_is_bitwise_identical_to_serial() {
+        // The whole determinism contract: `train_jobs` may only change
+        // wall-clock time. Compare the *serialized* models — weights,
+        // transitions, lexicon, everything — bit for bit.
+        let train = generate(Domain::Earnings, 31, 20);
+        let synths = generate(Domain::Earnings, 32, 15).documents;
+        let run = |jobs: usize| {
+            let ex = Extractor::train_on(
+                &train.schema,
+                Lexicon::pretrain(&train.documents),
+                &train,
+                &synths,
+                &TrainConfig {
+                    train_jobs: jobs,
+                    ..TrainConfig::tiny()
+                },
+            );
+            (*ex.train_report(), ex.to_bytes())
+        };
+        let serial = run(1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(serial, run(jobs), "train_jobs={jobs} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn parallel_training_identity_survives_divergence_recovery() {
+        // The restart-with-replay recovery path re-shuffles epochs with
+        // override seeds; parallel decode must not perturb any of it.
+        let train = generate(Domain::Fara, 33, 18);
+        let run = |jobs: usize| {
+            let cfg = TrainConfig {
+                inject_nan_epoch_mask: 0b10,
+                train_jobs: jobs,
+                ..TrainConfig::tiny()
+            };
+            let ex = Extractor::train_on(&train.schema, Lexicon::empty(), &train, &[], &cfg);
+            (*ex.train_report(), ex.to_bytes())
+        };
+        let (report1, bytes1) = run(1);
+        assert_eq!(report1.retries, 1);
+        assert_eq!(report1.epochs_run, 3 + 2);
+        let (report4, bytes4) = run(4);
+        assert_eq!(report1, report4);
+        assert_eq!(bytes1, bytes4);
+    }
+
+    #[test]
+    fn proptest_train_jobs_invariance() {
+        // Random corpora, epoch counts, synth ratios, seeds, and thread
+        // counts: the trained model never depends on `train_jobs`.
+        use proptest::prelude::*;
+        use proptest::test_runner::{Config, TestRunner};
+        let pool = generate(Domain::Fara, 41, 24);
+        let synth_pool = generate(Domain::Fara, 42, 12).documents;
+        let mut runner = TestRunner::new(Config::with_cases(12));
+        runner
+            .run(
+                &(
+                    2usize..=8,  // jobs
+                    1usize..=3,  // epochs
+                    0u8..=4,     // synth_ratio halves (0.0..=2.0)
+                    0u64..=3,    // seed
+                    3usize..=24, // corpus size
+                ),
+                |(jobs, epochs, ratio_halves, seed, n_docs)| {
+                    let train = Corpus::new(pool.schema.clone(), pool.documents[..n_docs].to_vec());
+                    let run = |train_jobs: usize| {
+                        let ex = Extractor::train_on(
+                            &train.schema,
+                            Lexicon::empty(),
+                            &train,
+                            &synth_pool,
+                            &TrainConfig {
+                                epochs,
+                                synth_ratio: ratio_halves as f32 * 0.5,
+                                seed,
+                                train_jobs,
+                                ..TrainConfig::default()
+                            },
+                        );
+                        ex.to_bytes()
+                    };
+                    prop_assert_eq!(run(1), run(jobs));
+                    Ok(())
+                },
+            )
+            .unwrap();
     }
 }

@@ -19,10 +19,26 @@
 
 use crate::features::{cand_pos_id, rel_pos_id, text_id, CAND_POS_VOCAB, POS_VOCAB, TEXT_VOCAB};
 use fieldswap_docmodel::{Corpus, Document, NeighborMetric};
-use fieldswap_nn::{cosine_similarity, Adam, Init, Optimizer, ParamStore, Tape};
+use fieldswap_nn::{cosine_similarity, Adam, GradBuffer, Init, Optimizer, ParamStore, Tape};
+use fieldswap_parallel::WorkerPool;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Gradient minibatch size of the training loop: candidates are processed
+/// in fixed windows of this many, each forward/backward running against
+/// the parameters as they stood at window start, with the per-candidate
+/// gradients then merged in candidate order and applied as **one** Adam
+/// step.
+///
+/// This is a **semantic constant**, not a tuning knob tied to
+/// [`ModelConfig::train_jobs`]: the window is the same for every jobs
+/// setting, so the gradient reduction tree — and therefore the trained
+/// model — is bitwise-identical whether the window runs on one thread or
+/// eight.
+pub const TRAIN_BATCH: usize = 8;
 
 /// Model hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +58,10 @@ pub struct ModelConfig {
     /// Neighbor-selection metric (the paper uses off-axis distance; the
     /// Euclidean variant exists for the ablation bench).
     pub neighbor_metric: NeighborMetric,
+    /// Worker threads for the forward/backward phase of each training
+    /// window (0 = all cores, 1 = serial). Any value produces
+    /// bitwise-identical models; >1 only changes wall-clock time.
+    pub train_jobs: usize,
 }
 
 impl Default for ModelConfig {
@@ -54,6 +74,7 @@ impl Default for ModelConfig {
             lr: 0.01,
             max_candidates_per_doc: 24,
             neighbor_metric: NeighborMetric::OffAxis,
+            train_jobs: 1,
         }
     }
 }
@@ -69,8 +90,18 @@ impl ModelConfig {
             lr: 0.02,
             max_candidates_per_doc: 8,
             neighbor_metric: NeighborMetric::OffAxis,
+            train_jobs: 1,
         }
     }
+}
+
+/// Per-window worker scratch: a tape (with its buffer pool) and a
+/// detached gradient buffer, both grow-only across windows.
+#[derive(Default)]
+struct TrainSlot {
+    tape: Tape,
+    buf: GradBuffer,
+    loss: Option<f32>,
 }
 
 /// Summary of one training run.
@@ -240,32 +271,80 @@ impl ImportanceModel {
     /// truth (all-zero targets).
     pub fn train(&mut self, corpus: &Corpus, seed: u64) -> TrainReport {
         assert_eq!(self.n_fields, corpus.schema.len(), "head/schema mismatch");
+        let timing = fieldswap_obs::metrics_enabled();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut opt = Adam::new(self.cfg.lr);
         let mut first = 0.0f64;
         let mut last = 0.0f64;
         let mut per_epoch = 0usize;
-        // One tape for the whole run; `forward_on` resets it per candidate
-        // and its buffer pool recycles all intermediate tensors.
-        let mut tape = Tape::new();
+        // Each slot holds a tape whose buffer pool recycles all
+        // intermediate tensors and a detached gradient buffer; both reach
+        // a steady state with no per-candidate allocation.
+        let pool = WorkerPool::new(self.cfg.train_jobs);
+        let mut slots: Vec<Mutex<TrainSlot>> = Vec::new();
+        let worker_cands: Vec<AtomicU64> = (0..pool.jobs()).map(|_| AtomicU64::new(0)).collect();
+        let mut obs_batches = 0u64;
+        let mut merge_ms = 0.0f64;
+        let mut cands: Vec<(usize, u32, u32, Vec<f32>)> = Vec::new();
         for epoch in 0..self.cfg.epochs {
             let mut order: Vec<usize> = (0..corpus.documents.len()).collect();
             order.shuffle(&mut rng);
+            // Candidate sampling draws from the epoch rng stream in
+            // shuffled document order, exactly as the per-document loop
+            // did; forward/backward consume no randomness, so hoisting the
+            // draws out of the hot loop is stream-neutral.
+            cands.clear();
+            for &di in &order {
+                for (start, end, targets) in
+                    self.training_candidates(&corpus.documents[di], &mut rng)
+                {
+                    cands.push((di, start, end, targets));
+                }
+            }
             let mut total = 0.0f64;
             let mut count = 0usize;
-            for &di in &order {
-                let doc = &corpus.documents[di];
-                let cands = self.training_candidates(doc, &mut rng);
-                for (start, end, targets) in cands {
-                    let feats = self.extract(doc, start, end);
-                    let Some((_ctx, _pooled, logits)) = self.forward_on(&mut tape, &feats) else {
-                        continue;
-                    };
-                    let loss = tape.bce_with_logits(logits, &targets);
-                    total += f64::from(tape.value(loss).data()[0]);
-                    count += 1;
-                    tape.backward(loss, &mut self.params);
+            for batch in cands.chunks(TRAIN_BATCH) {
+                obs_batches += 1;
+                while slots.len() < batch.len() {
+                    slots.push(Mutex::new(TrainSlot::default()));
+                }
+                {
+                    let this: &ImportanceModel = self;
+                    let docs = &corpus.documents;
+                    let worker_ref = &worker_cands;
+                    pool.for_each_slot(&slots[..batch.len()], |worker, item, slot| {
+                        worker_ref[worker].fetch_add(1, Ordering::Relaxed);
+                        let (di, start, end, ref targets) = batch[item];
+                        slot.loss = None;
+                        slot.buf.clear();
+                        let feats = this.extract(&docs[di], start, end);
+                        let Some((_ctx, _pooled, logits)) = this.forward_on(&mut slot.tape, &feats)
+                        else {
+                            return;
+                        };
+                        let loss = slot.tape.bce_with_logits(logits, targets);
+                        slot.loss = Some(slot.tape.value(loss).data()[0]);
+                        slot.tape.backward_into(loss, &this.params, &mut slot.buf);
+                    });
+                }
+                // Merge serially in candidate order, then take one Adam
+                // step for the whole window.
+                let merge_t0 = timing.then(std::time::Instant::now);
+                let mut any = false;
+                for slot in &mut slots[..batch.len()] {
+                    let slot = slot.get_mut().expect("slot poisoned");
+                    if let Some(l) = slot.loss {
+                        total += f64::from(l);
+                        count += 1;
+                        slot.buf.merge_into(&mut self.params);
+                        any = true;
+                    }
+                }
+                if any {
                     opt.step(&mut self.params);
+                }
+                if let Some(t0) = merge_t0 {
+                    merge_ms += t0.elapsed().as_secs_f64() * 1e3;
                 }
             }
             let mean = if count > 0 { total / count as f64 } else { 0.0 };
@@ -274,6 +353,16 @@ impl ImportanceModel {
             }
             last = mean;
             per_epoch = count;
+        }
+        if timing {
+            fieldswap_obs::observe("fieldswap_nn_train_merge_ms", merge_ms);
+            fieldswap_obs::counter_add("fieldswap_nn_train_batches_total", obs_batches);
+            for (w, c) in worker_cands.iter().enumerate() {
+                fieldswap_obs::counter_add(
+                    &format!("fieldswap_nn_train_worker_cands_total{{worker=\"{w}\"}}"),
+                    c.load(Ordering::Relaxed),
+                );
+            }
         }
         TrainReport {
             first_epoch_loss: first as f32,
@@ -481,5 +570,67 @@ mod tests {
             m.neighbor_importance(d, a.start, a.end)
         };
         assert_eq!(run(), run());
+    }
+
+    /// Every parameter scalar of the trained model, as raw f32 bits.
+    fn param_bits(m: &ImportanceModel) -> Vec<u32> {
+        m.params
+            .values()
+            .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_training_is_bitwise_identical_to_serial() {
+        // `train_jobs` may only change wall-clock time: compare every
+        // parameter scalar bit for bit, plus the loss report.
+        let corpus = generate(Domain::Invoices, 6, 12);
+        let run = |jobs: usize| {
+            let cfg = ModelConfig {
+                epochs: 2,
+                train_jobs: jobs,
+                ..ModelConfig::tiny()
+            };
+            let mut m = ImportanceModel::new(cfg, corpus.schema.len(), 9);
+            let report = m.train(&corpus, 4);
+            (report, param_bits(&m))
+        };
+        let serial = run(1);
+        for jobs in [2, 3, 8] {
+            let par = run(jobs);
+            assert_eq!(serial.0, par.0, "train_jobs={jobs} report diverged");
+            assert_eq!(serial.1, par.1, "train_jobs={jobs} params diverged");
+        }
+    }
+
+    #[test]
+    fn proptest_train_jobs_invariance() {
+        // Random corpus sizes, epoch counts, seeds, and thread counts:
+        // the trained parameters never depend on `train_jobs`.
+        use proptest::prelude::*;
+        use proptest::test_runner::{Config as PtConfig, TestRunner};
+        let pool = generate(Domain::Earnings, 51, 10);
+        let mut runner = TestRunner::new(PtConfig::with_cases(6));
+        runner
+            .run(
+                &(2usize..=8, 1usize..=2, 0u64..=3, 2usize..=10),
+                |(jobs, epochs, seed, n_docs)| {
+                    let corpus =
+                        Corpus::new(pool.schema.clone(), pool.documents[..n_docs].to_vec());
+                    let run = |train_jobs: usize| {
+                        let cfg = ModelConfig {
+                            epochs,
+                            train_jobs,
+                            ..ModelConfig::tiny()
+                        };
+                        let mut m = ImportanceModel::new(cfg, corpus.schema.len(), 9);
+                        m.train(&corpus, seed);
+                        param_bits(&m)
+                    };
+                    prop_assert_eq!(run(1), run(jobs));
+                    Ok(())
+                },
+            )
+            .unwrap();
     }
 }

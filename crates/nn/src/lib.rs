@@ -44,7 +44,7 @@ pub mod tensor;
 
 pub use optim::{Adam, Optimizer, Sgd};
 pub use sparsemax::sparsemax;
-pub use tape::{Init, NodeId, ParamId, ParamStore, Tape};
+pub use tape::{GradBuffer, Init, NodeId, ParamId, ParamStore, Tape};
 pub use tensor::Tensor;
 
 /// Cosine similarity between two equal-length vectors. Returns 0 when

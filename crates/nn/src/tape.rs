@@ -70,6 +70,15 @@ impl ActiveRows {
         self.all = true;
     }
 
+    /// Unmarks everything, keeping the mask allocation.
+    fn reset(&mut self) {
+        self.all = false;
+        for &r in &self.rows {
+            self.mask[r as usize] = false;
+        }
+        self.rows.clear();
+    }
+
     fn mark(&mut self, r: usize) {
         if self.all || self.mask[r] {
             return;
@@ -194,6 +203,12 @@ impl ParamStore {
         self.values.iter().map(Tensor::len).sum()
     }
 
+    /// Iterates the parameter value tensors in id order (for snapshots,
+    /// diagnostics, and bitwise-identity tests).
+    pub fn values(&self) -> impl Iterator<Item = &Tensor> {
+        self.values.iter()
+    }
+
     /// The gradient accumulator of `id`, allocated (zeroed) on first use,
     /// with every row marked active (a dense parameter read).
     fn grad_accum_all(&mut self, id: ParamId) -> &mut Tensor {
@@ -211,6 +226,141 @@ impl ParamStore {
         }
         let (r, c) = (self.values[id.0].rows(), self.values[id.0].cols());
         self.grads[id.0].get_or_insert_with(|| Tensor::zeros(r, c))
+    }
+}
+
+/// A detached parameter-gradient accumulator with the same lazy-allocation
+/// and active-row semantics as [`ParamStore`], but owning no parameters.
+///
+/// This is the building block of deterministic data-parallel training:
+/// each worker runs [`Tape::backward_into`] against its own buffer
+/// (reading the shared store immutably), and the buffers are then folded
+/// into the store **in a fixed order** via [`GradBuffer::merge_into`] —
+/// so the f32 reduction tree, and therefore the trained model, never
+/// depends on how many threads produced the gradients.
+///
+/// Buffers are grow-only: [`GradBuffer::clear`] zeroes in place, so a
+/// buffer reused across steps reaches a steady state with no allocation.
+#[derive(Debug, Default)]
+pub struct GradBuffer {
+    /// Lazily allocated per parameter: `None` means "identically zero".
+    grads: Vec<Option<Tensor>>,
+    active: Vec<ActiveRows>,
+    shapes: Vec<(usize, usize)>,
+}
+
+impl GradBuffer {
+    /// An empty buffer; it sizes itself to the store on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the buffer to `store` (no-op when already sized).
+    ///
+    /// # Panics
+    /// Panics when the buffer was previously sized to a *different* store
+    /// layout — buffers are not transferable between models.
+    pub fn ensure(&mut self, store: &ParamStore) {
+        if self.shapes.is_empty() {
+            for v in &store.values {
+                self.grads.push(None);
+                self.active.push(ActiveRows::new(v.rows()));
+                self.shapes.push((v.rows(), v.cols()));
+            }
+            return;
+        }
+        assert_eq!(
+            self.shapes.len(),
+            store.values.len(),
+            "GradBuffer sized for a different ParamStore"
+        );
+    }
+
+    /// Zeroes every allocated accumulator and unmarks all active rows,
+    /// keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        for g in self.grads.iter_mut().flatten() {
+            g.zero();
+        }
+        for a in &mut self.active {
+            a.reset();
+        }
+    }
+
+    /// Folds this buffer's gradients into the store's accumulators —
+    /// parameters in id order, gathered rows in this buffer's first-touch
+    /// order — exactly as if the contributing backward passes had run
+    /// against the store directly.
+    pub fn merge_into(&self, store: &mut ParamStore) {
+        for (idx, grad) in self.grads.iter().enumerate() {
+            let Some(g) = grad else { continue };
+            let act = &self.active[idx];
+            if act.all {
+                store.grad_accum_all(ParamId(idx)).add_assign(g);
+            } else if !act.rows.is_empty() {
+                let store_act = &mut store.active[idx];
+                for &r in &act.rows {
+                    store_act.mark(r as usize);
+                }
+                let (r, c) = self.shapes[idx];
+                let t = store.grads[idx].get_or_insert_with(|| Tensor::zeros(r, c));
+                for &r in &act.rows {
+                    let r = r as usize;
+                    for (o, &s) in t.row_mut(r).iter_mut().zip(g.row(r)) {
+                        *o += s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Where `backward` sends parameter gradients: the shared store, or a
+/// detached per-worker buffer. Both sinks accumulate with the identical
+/// zero-filled-then-add arithmetic, so routing through a buffer plus
+/// [`GradBuffer::merge_into`] is bit-for-bit the same as accumulating
+/// into the store directly.
+trait ParamGradSink {
+    fn accum_all(&mut self, p: ParamId, grad: &Tensor);
+    fn accum_rows(&mut self, p: ParamId, indices: &[usize], grad: &Tensor);
+}
+
+impl ParamGradSink for ParamStore {
+    fn accum_all(&mut self, p: ParamId, grad: &Tensor) {
+        self.grad_accum_all(p).add_assign(grad);
+    }
+
+    fn accum_rows(&mut self, p: ParamId, indices: &[usize], grad: &Tensor) {
+        let g = self.grad_accum_rows(p, indices);
+        for (r, &idx) in indices.iter().enumerate() {
+            for (gv, &d) in g.row_mut(idx).iter_mut().zip(grad.row(r)) {
+                *gv += d;
+            }
+        }
+    }
+}
+
+impl ParamGradSink for GradBuffer {
+    fn accum_all(&mut self, p: ParamId, grad: &Tensor) {
+        self.active[p.0].mark_all();
+        let (r, c) = self.shapes[p.0];
+        self.grads[p.0]
+            .get_or_insert_with(|| Tensor::zeros(r, c))
+            .add_assign(grad);
+    }
+
+    fn accum_rows(&mut self, p: ParamId, indices: &[usize], grad: &Tensor) {
+        let act = &mut self.active[p.0];
+        for &r in indices {
+            act.mark(r);
+        }
+        let (r, c) = self.shapes[p.0];
+        let g = self.grads[p.0].get_or_insert_with(|| Tensor::zeros(r, c));
+        for (r, &idx) in indices.iter().enumerate() {
+            for (gv, &d) in g.row_mut(idx).iter_mut().zip(grad.row(r)) {
+                *gv += d;
+            }
+        }
     }
 }
 
@@ -589,6 +739,20 @@ impl Tape {
     /// # Panics
     /// Panics when `loss` is not a `1 x 1` scalar node.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        self.backward_impl(loss, store);
+    }
+
+    /// Like [`Tape::backward`], but accumulates parameter gradients into a
+    /// detached [`GradBuffer`] instead of the store, which is only read.
+    /// This is the data-parallel entry point: many tapes can run
+    /// `backward_into` concurrently against the same store, each into its
+    /// own buffer, with the buffers merged serially afterwards.
+    pub fn backward_into(&mut self, loss: NodeId, store: &ParamStore, buf: &mut GradBuffer) {
+        buf.ensure(store);
+        self.backward_impl(loss, buf);
+    }
+
+    fn backward_impl<S: ParamGradSink>(&mut self, loss: NodeId, sink: &mut S) {
         assert_eq!(self.nodes[loss.0].value.len(), 1, "loss must be scalar");
         if self.nodes[loss.0].grad.is_none() {
             let seed = self.pool.take_zeroed(1, 1);
@@ -606,15 +770,8 @@ impl Tape {
             let op = std::mem::replace(&mut self.nodes[i].op, Op::Constant);
             match &op {
                 Op::Constant => {}
-                Op::Param(p) => store.grad_accum_all(*p).add_assign(&grad),
-                Op::Gather(p, indices) => {
-                    let g = store.grad_accum_rows(*p, indices);
-                    for (r, &idx) in indices.iter().enumerate() {
-                        for (gv, &d) in g.row_mut(idx).iter_mut().zip(grad.row(r)) {
-                            *gv += d;
-                        }
-                    }
-                }
+                Op::Param(p) => sink.accum_all(*p, &grad),
+                Op::Gather(p, indices) => sink.accum_rows(*p, indices, &grad),
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
                     // da = grad @ b^T
@@ -1049,6 +1206,71 @@ mod tests {
         let a = (6.0f32 / 20.0).sqrt();
         assert!(s1.value(p1).data().iter().all(|v| v.abs() <= a));
         assert_eq!(s1.num_scalars(), 100);
+    }
+
+    #[test]
+    fn backward_into_buffer_merge_matches_direct_backward() {
+        // backward → store and backward_into → buffer → merge_into must
+        // produce bitwise-identical accumulators and active-row sets, for
+        // dense params and sparse gathers alike, including when several
+        // buffers fold into one store.
+        let build = || {
+            let mut store = ParamStore::new(17);
+            let emb = store.tensor("emb", 12, 3, Init::Uniform(0.4));
+            let w = store.tensor("w", 6, 1, Init::Xavier);
+            (store, emb, w)
+        };
+        let passes: [&[usize]; 3] = [&[1, 4, 4, 9], &[0, 9, 2], &[7, 1]];
+        let run_pass =
+            |tape: &mut Tape, store: &ParamStore, emb: ParamId, w: ParamId, idx: &[usize]| {
+                tape.reset();
+                let rows = tape.gather(store, emb, idx);
+                let pooled = tape.max_pool(rows);
+                let first = tape.select_row(rows, 0);
+                let cat = tape.concat_cols(pooled, first);
+                let wv = tape.param(store, w);
+                let logit = tape.matmul(cat, wv);
+                tape.bce_with_logits(logit, &[1.0])
+            };
+
+        // Reference: every pass accumulates straight into the store.
+        let (mut s1, emb1, w1) = build();
+        let mut tape = Tape::new();
+        for idx in passes {
+            let loss = run_pass(&mut tape, &s1, emb1, w1, idx);
+            tape.backward(loss, &mut s1);
+        }
+
+        // Buffered: one buffer per pass, merged in pass order.
+        let (mut s2, emb2, w2) = build();
+        let mut bufs: Vec<GradBuffer> = (0..passes.len()).map(|_| GradBuffer::new()).collect();
+        for (idx, buf) in passes.iter().zip(&mut bufs) {
+            let loss = run_pass(&mut tape, &s2, emb2, w2, idx);
+            tape.backward_into(loss, &s2, buf);
+        }
+        for buf in &bufs {
+            buf.merge_into(&mut s2);
+        }
+
+        for p in [emb1, w1] {
+            assert_eq!(s1.grad(p), s2.grad(p));
+        }
+        let rows1: Vec<Vec<u32>> = s1.active.iter().map(|a| a.rows.clone()).collect();
+        let rows2: Vec<Vec<u32>> = s2.active.iter().map(|a| a.rows.clone()).collect();
+        assert_eq!(rows1, rows2, "first-touch row order must be preserved");
+
+        // A cleared, reused buffer behaves like a fresh one.
+        let mut reused = GradBuffer::new();
+        let (mut s3, emb3, w3) = build();
+        for idx in passes {
+            let loss = run_pass(&mut tape, &s3, emb3, w3, idx);
+            reused.clear();
+            tape.backward_into(loss, &s3, &mut reused);
+            reused.merge_into(&mut s3);
+        }
+        for (p1, p3) in [(emb1, emb3), (w1, w3)] {
+            assert_eq!(s1.grad(p1), s3.grad(p3));
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ fn tiny_options(seed: u64) -> HarnessOptions {
         synthetic_cap: 150,
         seed,
         jobs: 1,
+        train_jobs: 1,
         sanitize: true,
         quantized: false,
     }
