@@ -179,7 +179,7 @@ fn record_stage(stage: &str, wall_ms: f64) {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("usage: perf_profile [--out PATH] [--seed N] [--train-jobs N] [--quantized] [--trace PATH] [--metrics PATH] [--verbose|-v] [--quiet|-q]");
+    eprintln!("usage: perf_profile [--out PATH] [--seed N] [--train-jobs N] [--quantized] [--trace PATH] [--metrics PATH] [--obs-listen ADDR] [--verbose|-v] [--quiet|-q]");
     fieldswap_bench::fail(msg)
 }
 
@@ -234,6 +234,20 @@ fn main() {
                         .unwrap_or_else(|| usage("missing --metrics path"))
                         .clone(),
                 );
+            }
+            "--obs-listen" => {
+                i += 1;
+                let addr = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("missing --obs-listen address"));
+                fieldswap_obs::enable_tracing();
+                fieldswap_obs::enable_metrics();
+                let server = fieldswap_obs::ObsServer::start(fieldswap_obs::global(), addr)
+                    .unwrap_or_else(|e| {
+                        usage(&format!("--obs-listen {addr}: {e}"));
+                    });
+                fieldswap_obs::info!("obs server listening on http://{}", server.addr());
+                std::mem::forget(server);
             }
             "--verbose" | "-v" => fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Verbose),
             "--quiet" | "-q" => fieldswap_obs::set_verbosity(fieldswap_obs::Verbosity::Quiet),

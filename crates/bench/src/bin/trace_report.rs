@@ -1,0 +1,121 @@
+//! `trace_report` — analyze a `--trace` JSONL trace: per-phase
+//! total/self/call tables, the critical path, per-worker utilization,
+//! and (with `--baseline`) a phase-level regression diff that exits
+//! nonzero when a phase regresses past `--gate-pct`.
+//!
+//! ```text
+//! trace_report TRACE.jsonl
+//! trace_report TRACE.jsonl --baseline OLD.jsonl --gate-pct 30 --min-ms 50
+//! ```
+
+use fieldswap_bench::trace_report::{
+    aggregate, diff_phases, parse_trace, render_diff, render_report,
+};
+use fieldswap_bench::{fail, trace_report::TraceSpan};
+
+struct Args {
+    trace: String,
+    baseline: Option<String>,
+    gate_pct: f64,
+    min_ms: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_report TRACE.jsonl [--baseline OLD.jsonl] [--gate-pct PCT] [--min-ms MS]"
+    );
+    std::process::exit(1)
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace = None;
+    let mut baseline = None;
+    let mut gate_pct = 30.0;
+    let mut min_ms = 50.0;
+    let mut i = 0;
+    fn value<'a>(argv: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+        *i += 1;
+        match argv.get(*i) {
+            Some(v) if !v.starts_with("--") => v,
+            _ => {
+                eprintln!("error: {flag} expects a value");
+                usage()
+            }
+        }
+    }
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" => baseline = Some(value(&argv, &mut i, "--baseline").to_string()),
+            "--gate-pct" => {
+                gate_pct = value(&argv, &mut i, "--gate-pct")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("error: --gate-pct: bad value");
+                        usage()
+                    })
+            }
+            "--min-ms" => {
+                min_ms = value(&argv, &mut i, "--min-ms")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("error: --min-ms: bad value");
+                        usage()
+                    })
+            }
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other}");
+                usage()
+            }
+            other if trace.is_none() => trace = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let Some(trace) = trace else {
+        eprintln!("error: missing TRACE.jsonl argument");
+        usage()
+    };
+    Args {
+        trace,
+        baseline,
+        gate_pct,
+        min_ms,
+    }
+}
+
+fn load(path: &str) -> Vec<TraceSpan> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    parse_trace(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+fn main() {
+    let args = parse_args();
+    let spans = load(&args.trace);
+    println!("trace report: {} ({} spans)", args.trace, spans.len());
+    println!();
+    print!("{}", render_report(&spans));
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = load(baseline_path);
+        let deltas = diff_phases(&aggregate(&baseline), &aggregate(&spans));
+        let (table, failures) = render_diff(&deltas, args.gate_pct, args.min_ms);
+        println!();
+        print!("{table}");
+        if !failures.is_empty() {
+            eprintln!(
+                "error: {} phase(s) regressed more than {:.0}% vs {baseline_path}",
+                failures.len(),
+                args.gate_pct
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "gate ok: no phase grew more than {:.0}% (noise floor {:.0}ms)",
+            args.gate_pct, args.min_ms
+        );
+    }
+}

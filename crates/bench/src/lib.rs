@@ -21,8 +21,16 @@
 //!   bitwise-identical for every setting.
 //! * `--trace <path>` — record a JSONL span/log trace, print a span-tree
 //!   summary to stderr at exit.
+//! * `--trace-chrome <path>` — also export the trace as Chrome
+//!   trace-event JSON (load in Perfetto; one track per worker thread).
+//! * `--flame <path>` — export the span tree as collapsed stacks
+//!   (flamegraph.pl input format).
 //! * `--metrics <path>` — dump Prometheus-style counters/gauges/
 //!   histograms at exit.
+//! * `--metrics-flush-secs <n>` — additionally rewrite the `--metrics`
+//!   file every `n` seconds, so a killed run leaves metrics on disk.
+//! * `--obs-listen <addr>` — serve `/metrics`, `/healthz`, and `/spans`
+//!   over HTTP (e.g. `127.0.0.1:9464`) for the lifetime of the run.
 //! * `--checkpoint-dir <path>` — persist each completed grid cell to the
 //!   directory (created if needed) so a killed run can be resumed.
 //! * `--resume <path>` — resume from an existing checkpoint directory:
@@ -53,6 +61,7 @@ use fieldswap_datagen::Domain;
 use fieldswap_eval::{CellCache, Harness, HarnessOptions};
 
 pub mod gate;
+pub mod trace_report;
 
 /// Command-line options shared by the regeneration binaries.
 #[derive(Debug, Clone)]
@@ -78,8 +87,23 @@ pub struct BinArgs {
     pub train_jobs: Option<usize>,
     /// JSONL trace output path (`--trace`); enables span recording.
     pub trace: Option<String>,
+    /// Chrome trace-event JSON output path (`--trace-chrome`); enables
+    /// span recording. Loadable in Perfetto with one track per worker
+    /// thread.
+    pub trace_chrome: Option<String>,
+    /// Collapsed-stack flamegraph output path (`--flame`); enables span
+    /// recording.
+    pub flame: Option<String>,
     /// Prometheus-style metrics output path (`--metrics`).
     pub metrics: Option<String>,
+    /// Seconds between periodic metrics flushes to the `--metrics` path
+    /// (`--metrics-flush-secs`; 0 or absent = write only at exit).
+    pub metrics_flush_secs: Option<u64>,
+    /// Address for the live observability HTTP server
+    /// (`--obs-listen`, e.g. `127.0.0.1:9464`): serves `/metrics`,
+    /// `/healthz`, and `/spans` for the lifetime of the process.
+    /// Enables tracing and metrics; results stay byte-identical.
+    pub obs_listen: Option<String>,
     /// Checkpoint directory for per-cell result persistence
     /// (`--checkpoint-dir`, created if needed).
     pub checkpoint_dir: Option<String>,
@@ -122,7 +146,7 @@ impl BinArgs {
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let out = Self::try_parse_from(&args).unwrap_or_else(|msg| usage(&msg));
-        if out.trace.is_some() {
+        if out.trace.is_some() || out.trace_chrome.is_some() || out.flame.is_some() {
             fieldswap_obs::enable_tracing();
         }
         if out.metrics.is_some() {
@@ -130,6 +154,30 @@ impl BinArgs {
         }
         if let Some(v) = out.verbosity {
             fieldswap_obs::set_verbosity(v);
+        }
+        if let Some(addr) = &out.obs_listen {
+            // The live endpoints need both spans and metrics to serve
+            // anything useful; both are inert for results (see the
+            // byte-identity tests and the CI diff step).
+            fieldswap_obs::enable_tracing();
+            fieldswap_obs::enable_metrics();
+            let server = fieldswap_obs::ObsServer::start(fieldswap_obs::global(), addr)
+                .unwrap_or_else(|e| fail(&format!("--obs-listen {addr}: {e}")));
+            fieldswap_obs::info!("obs server listening on http://{}", server.addr());
+            // Process-lifetime server: leak the handle so the thread
+            // keeps serving until exit.
+            std::mem::forget(server);
+        }
+        if let (Some(path), Some(secs)) = (&out.metrics, out.metrics_flush_secs) {
+            if secs > 0 {
+                let flusher = fieldswap_obs::PeriodicFlush::start(
+                    fieldswap_obs::global(),
+                    path,
+                    std::time::Duration::from_secs(secs),
+                )
+                .unwrap_or_else(|e| fail(&format!("--metrics-flush-secs: {e}")));
+                std::mem::forget(flusher);
+            }
         }
         out
     }
@@ -148,7 +196,11 @@ impl BinArgs {
             jobs: None,
             train_jobs: None,
             trace: None,
+            trace_chrome: None,
+            flame: None,
             metrics: None,
+            metrics_flush_secs: None,
+            obs_listen: None,
             checkpoint_dir: None,
             resume: None,
             attacks: None,
@@ -189,8 +241,21 @@ impl BinArgs {
                     )?)
                 }
                 "--trace" => out.trace = Some(take_value(args, &mut i, "--trace")?.to_string()),
+                "--trace-chrome" => {
+                    out.trace_chrome = Some(take_value(args, &mut i, "--trace-chrome")?.to_string())
+                }
+                "--flame" => out.flame = Some(take_value(args, &mut i, "--flame")?.to_string()),
                 "--metrics" => {
                     out.metrics = Some(take_value(args, &mut i, "--metrics")?.to_string())
+                }
+                "--metrics-flush-secs" => {
+                    out.metrics_flush_secs = Some(num(
+                        take_value(args, &mut i, "--metrics-flush-secs")?,
+                        "--metrics-flush-secs",
+                    )?)
+                }
+                "--obs-listen" => {
+                    out.obs_listen = Some(take_value(args, &mut i, "--obs-listen")?.to_string())
                 }
                 "--checkpoint-dir" => {
                     out.checkpoint_dir =
@@ -217,6 +282,13 @@ impl BinArgs {
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 1;
+        }
+        if out.metrics_flush_secs.is_some() && out.metrics.is_none() {
+            return Err(
+                "--metrics-flush-secs needs --metrics PATH (it controls how often that file is \
+                 rewritten)"
+                    .to_string(),
+            );
         }
         if out.checkpoint_dir.is_some() && out.resume.is_some() {
             return Err(
@@ -309,11 +381,25 @@ impl BinArgs {
     }
 
     /// Flushes observability outputs: the JSONL trace plus a span-tree
-    /// summary on stderr (`--trace`), and the Prometheus metrics dump
-    /// (`--metrics`). Call once at the end of `main`; a no-op when
-    /// neither flag was given.
+    /// summary on stderr (`--trace`), the Chrome trace-event export
+    /// (`--trace-chrome`), the collapsed-stack flamegraph (`--flame`),
+    /// and the Prometheus metrics dump (`--metrics`). Call once at the
+    /// end of `main`; a no-op when no obs flag was given.
     pub fn finish(&self) {
         finish_obs(self.trace.as_deref(), self.metrics.as_deref());
+        let collector = fieldswap_obs::global();
+        if let Some(path) = &self.trace_chrome {
+            collector
+                .write_chrome_trace(path)
+                .unwrap_or_else(|e| fail(&format!("write chrome trace {path}: {e}")));
+            fieldswap_obs::info!("wrote chrome trace {path} (load in Perfetto)");
+        }
+        if let Some(path) = &self.flame {
+            collector
+                .write_collapsed(path)
+                .unwrap_or_else(|e| fail(&format!("write flamegraph {path}: {e}")));
+            fieldswap_obs::info!("wrote collapsed stacks {path}");
+        }
     }
 }
 
@@ -361,7 +447,7 @@ fn parse_domain(name: &str) -> Option<Domain> {
 /// Prints `msg` plus the shared usage line to stderr and exits 1.
 pub fn usage(msg: &str) -> ! {
     fieldswap_obs::error!("{msg}");
-    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--train-jobs N] [--trace PATH] [--metrics PATH] [--checkpoint-dir PATH] [--resume PATH] [--attacks LIST] [--attack-strength X] [--no-sanitize] [--quantized] [--verbose|-v] [--quiet|-q]");
+    eprintln!("usage: <bin> [--full|--quick] [--domain fara|fcc|brokerage|earnings|loan] [--seed N] [--json PATH] [--samples N] [--trials N] [--testcap N] [--jobs N] [--train-jobs N] [--trace PATH] [--trace-chrome PATH] [--flame PATH] [--metrics PATH] [--metrics-flush-secs N] [--obs-listen ADDR] [--checkpoint-dir PATH] [--resume PATH] [--attacks LIST] [--attack-strength X] [--no-sanitize] [--quantized] [--verbose|-v] [--quiet|-q]");
     std::process::exit(1)
 }
 
@@ -548,6 +634,50 @@ mod tests {
         let d = BinArgs::try_parse_from(&argv(&[])).unwrap();
         assert!(!d.quantized);
         assert!(!d.harness_options().quantized);
+    }
+
+    #[test]
+    fn obs_v2_flags_parse() {
+        let a = BinArgs::try_parse_from(&argv(&[
+            "--trace-chrome",
+            "t.json",
+            "--flame",
+            "t.folded",
+            "--metrics",
+            "m.prom",
+            "--metrics-flush-secs",
+            "5",
+            "--obs-listen",
+            "127.0.0.1:9464",
+        ]))
+        .unwrap();
+        assert_eq!(a.trace_chrome.as_deref(), Some("t.json"));
+        assert_eq!(a.flame.as_deref(), Some("t.folded"));
+        assert_eq!(a.metrics_flush_secs, Some(5));
+        assert_eq!(a.obs_listen.as_deref(), Some("127.0.0.1:9464"));
+
+        for flag in [
+            "--trace-chrome",
+            "--flame",
+            "--obs-listen",
+            "--metrics-flush-secs",
+        ] {
+            let err = BinArgs::try_parse_from(&argv(&[flag, "--full"])).unwrap_err();
+            assert!(err.contains(flag), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_flush_requires_metrics_path() {
+        let err = BinArgs::try_parse_from(&argv(&["--metrics-flush-secs", "5"])).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
+        assert!(BinArgs::try_parse_from(&argv(&[
+            "--metrics",
+            "m.prom",
+            "--metrics-flush-secs",
+            "5"
+        ]))
+        .is_ok());
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Trace analysis for the JSONL traces written by `--trace`: per-phase
+//! total/self/call tables, the critical path through the span tree,
+//! per-worker utilization timelines, and a phase-level regression diff
+//! against a baseline trace with a `--gate-pct` failure threshold (the
+//! `trace_report` binary; the trace-side sibling of [`crate::gate`]).
+
+use fieldswap_obs::{aggregate_path_durations, SpanNode};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// One span parsed back out of a JSONL trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// `/`-joined span path (e.g. `cell/train`).
+    pub path: String,
+    /// Dense id of the recording thread.
+    pub thread: u64,
+    /// Start time in microseconds since the run's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Parses a JSONL trace into its span records, skipping log events.
+/// Lines that are not valid JSON objects are an error (a truncated
+/// trace should be diagnosed, not silently half-read); unknown event
+/// types are skipped so the format can grow.
+pub fn parse_trace(jsonl: &str) -> Result<Vec<TraceSpan>, String> {
+    let mut spans = Vec::new();
+    for (idx, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not valid JSON ({e:?})", idx + 1))?;
+        if v.get("type").and_then(Value::as_str) != Some("span") {
+            continue;
+        }
+        let field = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {}: span missing {k}", idx + 1))
+        };
+        spans.push(TraceSpan {
+            path: v
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: span missing path", idx + 1))?
+                .to_string(),
+            thread: field("thread")?,
+            start_us: field("start_us")?,
+            dur_us: field("dur_us")?,
+        });
+    }
+    Ok(spans)
+}
+
+/// Aggregates parsed spans into per-path nodes (same aggregation as the
+/// live collector's span summary).
+pub fn aggregate(spans: &[TraceSpan]) -> Vec<SpanNode> {
+    aggregate_path_durations(spans.iter().map(|s| (s.path.as_str(), s.dur_us)))
+}
+
+/// Renders the per-phase table: one row per span path with call count,
+/// total wall time, and self time (total minus children), indented by
+/// tree depth and sorted so children follow parents.
+pub fn render_phase_table(nodes: &[SpanNode]) -> String {
+    let mut out = String::from(
+        "phase                                     calls    total ms     self ms  self%\n",
+    );
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+    let grand_total: u64 = nodes
+        .iter()
+        .filter(|n| n.depth() == 0)
+        .map(|n| n.total_us)
+        .sum();
+    for n in nodes {
+        let label = format!("{}{}", "  ".repeat(n.depth()), n.name());
+        let self_pct = if grand_total > 0 {
+            100.0 * n.self_us() as f64 / grand_total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{label:<40} {:>6}  {:>10.1}  {:>10.1}  {self_pct:>4.1}\n",
+            n.calls,
+            n.total_us as f64 / 1e3,
+            n.self_us() as f64 / 1e3,
+        ));
+    }
+    out
+}
+
+/// The critical path: starting from the root with the largest total
+/// time, repeatedly descend into the child with the largest total time.
+/// On an aggregated tree this is the chain of phases that dominated the
+/// run — the place an optimization must land to move the wall clock.
+pub fn critical_path(nodes: &[SpanNode]) -> Vec<&SpanNode> {
+    let mut path = Vec::new();
+    let mut current = nodes
+        .iter()
+        .filter(|n| n.depth() == 0)
+        .max_by_key(|n| n.total_us);
+    while let Some(node) = current {
+        path.push(node);
+        let prefix = format!("{}/", node.path);
+        current = nodes
+            .iter()
+            .filter(|n| n.path.starts_with(&prefix) && n.depth() == node.depth() + 1)
+            .max_by_key(|n| n.total_us);
+    }
+    path
+}
+
+/// Renders the critical path with per-step totals and the share each
+/// step's self time takes of the path root.
+pub fn render_critical_path(nodes: &[SpanNode]) -> String {
+    let path = critical_path(nodes);
+    let Some(root) = path.first() else {
+        return "critical path: (no spans)\n".to_string();
+    };
+    let mut out = String::from("critical path (largest-total chain):\n");
+    for n in &path {
+        let share = if root.total_us > 0 {
+            100.0 * n.total_us as f64 / root.total_us as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<38} total {:>9.1}ms  self {:>9.1}ms  {share:>5.1}% of {}\n",
+            n.path,
+            n.total_us as f64 / 1e3,
+            n.self_us() as f64 / 1e3,
+            root.name(),
+        ));
+    }
+    out
+}
+
+/// Per-thread busy time, computed as the union of the thread's span
+/// intervals (nested spans don't double-count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerUtilization {
+    /// Dense thread id from the trace.
+    pub thread: u64,
+    /// Number of spans recorded on this thread.
+    pub spans: u64,
+    /// Busy microseconds (union of span intervals).
+    pub busy_us: u64,
+    /// Per-bucket busy fraction over the run window, for the ASCII
+    /// timeline (fixed bucket count, run window split evenly).
+    pub timeline: Vec<f64>,
+}
+
+/// Number of buckets in the utilization timeline.
+pub const TIMELINE_BUCKETS: usize = 48;
+
+/// Computes per-worker utilization over the run window
+/// `[min start, max end]` across all spans.
+pub fn worker_utilization(spans: &[TraceSpan]) -> Vec<WorkerUtilization> {
+    let Some(t0) = spans.iter().map(|s| s.start_us).min() else {
+        return Vec::new();
+    };
+    let t1 = spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .max()
+        .unwrap_or(t0);
+    let window = (t1 - t0).max(1);
+    let mut by_thread: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for s in spans {
+        by_thread
+            .entry(s.thread)
+            .or_default()
+            .push((s.start_us, s.start_us + s.dur_us));
+    }
+    by_thread
+        .into_iter()
+        .map(|(thread, mut intervals)| {
+            let spans = intervals.len() as u64;
+            // Union of intervals: sort by start, merge overlaps.
+            intervals.sort_unstable();
+            let mut merged: Vec<(u64, u64)> = Vec::new();
+            for (start, end) in intervals {
+                match merged.last_mut() {
+                    Some(last) if start <= last.1 => last.1 = last.1.max(end),
+                    _ => merged.push((start, end)),
+                }
+            }
+            let busy_us: u64 = merged.iter().map(|(s, e)| e - s).sum();
+            let bucket_us = (window as f64) / TIMELINE_BUCKETS as f64;
+            let mut timeline = vec![0.0f64; TIMELINE_BUCKETS];
+            for &(start, end) in &merged {
+                for (b, slot) in timeline.iter_mut().enumerate() {
+                    let b0 = t0 as f64 + b as f64 * bucket_us;
+                    let b1 = b0 + bucket_us;
+                    let overlap = (end as f64).min(b1) - (start as f64).max(b0);
+                    if overlap > 0.0 {
+                        *slot += overlap / bucket_us;
+                    }
+                }
+            }
+            for slot in &mut timeline {
+                *slot = slot.min(1.0);
+            }
+            WorkerUtilization {
+                thread,
+                spans,
+                busy_us,
+                timeline,
+            }
+        })
+        .collect()
+}
+
+/// Renders the per-worker utilization table with an ASCII timeline:
+/// each column is one slice of the run window, shaded by busy fraction.
+pub fn render_utilization(spans: &[TraceSpan]) -> String {
+    let workers = worker_utilization(spans);
+    if workers.is_empty() {
+        return "worker utilization: (no spans)\n".to_string();
+    }
+    let window_us = spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(spans.iter().map(|s| s.start_us).min().unwrap_or(0))
+        .max(1);
+    let mut out = format!(
+        "worker utilization over {:.1}ms window ('.'<25% ':'<50% '+'<75% '#'>=75%):\n",
+        window_us as f64 / 1e3
+    );
+    for w in &workers {
+        let bar: String = w
+            .timeline
+            .iter()
+            .map(|&f| match f {
+                f if f >= 0.75 => '#',
+                f if f >= 0.50 => '+',
+                f if f >= 0.25 => ':',
+                f if f > 0.0 => '.',
+                _ => ' ',
+            })
+            .collect();
+        out.push_str(&format!(
+            "  thread {:>3}  {:>5.1}% busy  {:>6} spans  |{bar}|\n",
+            w.thread,
+            100.0 * w.busy_us as f64 / window_us as f64,
+            w.spans,
+        ));
+    }
+    out
+}
+
+/// One row of the baseline diff: a phase's total time in both traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    /// Span path.
+    pub path: String,
+    /// Baseline total, microseconds (0 = phase absent from baseline).
+    pub baseline_us: u64,
+    /// Current total, microseconds (0 = phase absent from current).
+    pub current_us: u64,
+}
+
+impl PhaseDelta {
+    /// Relative change in percent (positive = regression). A phase new
+    /// in the current trace reports +100%.
+    pub fn pct(&self) -> f64 {
+        if self.baseline_us == 0 {
+            if self.current_us == 0 {
+                0.0
+            } else {
+                100.0
+            }
+        } else {
+            100.0 * (self.current_us as f64 - self.baseline_us as f64) / self.baseline_us as f64
+        }
+    }
+}
+
+/// Diffs two aggregated traces phase-by-phase (union of paths, sorted).
+pub fn diff_phases(baseline: &[SpanNode], current: &[SpanNode]) -> Vec<PhaseDelta> {
+    let mut map: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for n in baseline {
+        map.entry(&n.path).or_default().0 = n.total_us;
+    }
+    for n in current {
+        map.entry(&n.path).or_default().1 = n.total_us;
+    }
+    map.into_iter()
+        .map(|(path, (baseline_us, current_us))| PhaseDelta {
+            path: path.to_string(),
+            baseline_us,
+            current_us,
+        })
+        .collect()
+}
+
+/// Renders the regression diff table and returns the phases that
+/// regressed past the gate: total grew more than `gate_pct` percent AND
+/// the current total is at least `min_ms` (the noise floor — a 3ms
+/// phase doubling is jitter, not a regression).
+pub fn render_diff(deltas: &[PhaseDelta], gate_pct: f64, min_ms: f64) -> (String, Vec<PhaseDelta>) {
+    let mut out =
+        format!("phase diff vs baseline (gate: >{gate_pct:.0}% growth at >={min_ms:.0}ms):\n");
+    out.push_str("phase                                    base ms     cur ms    delta%  gate\n");
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+    let mut failures = Vec::new();
+    for d in deltas {
+        let fails = d.pct() > gate_pct && d.current_us as f64 / 1e3 >= min_ms;
+        out.push_str(&format!(
+            "{:<38} {:>9.1}  {:>9.1}  {:>+7.1}%  {}\n",
+            d.path,
+            d.baseline_us as f64 / 1e3,
+            d.current_us as f64 / 1e3,
+            d.pct(),
+            if fails { "FAIL" } else { "ok" },
+        ));
+        if fails {
+            failures.push(d.clone());
+        }
+    }
+    (out, failures)
+}
+
+/// Renders the full single-trace report: phase table, critical path,
+/// worker utilization.
+pub fn render_report(spans: &[TraceSpan]) -> String {
+    let nodes = aggregate(spans);
+    let mut out = render_phase_table(&nodes);
+    out.push('\n');
+    out.push_str(&render_critical_path(&nodes));
+    out.push('\n');
+    out.push_str(&render_utilization(spans));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, thread: u64, start: u64, dur: u64) -> TraceSpan {
+        TraceSpan {
+            path: path.to_string(),
+            thread,
+            start_us: start,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn parses_spans_and_skips_logs() {
+        let jsonl = concat!(
+            r#"{"type":"span","path":"cell/train","name":"train","thread":3,"start_us":120,"dur_us":4500,"attrs":{"domain":"Earnings"}}"#,
+            "\n",
+            r#"{"type":"log","level":"info","msg":"hi","ts_us":99,"thread":0}"#,
+            "\n\n",
+            r#"{"type":"span","path":"cell","name":"cell","thread":3,"start_us":100,"dur_us":5000}"#,
+            "\n",
+        );
+        let spans = parse_trace(jsonl).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], span("cell/train", 3, 120, 4500));
+        assert_eq!(spans[1], span("cell", 3, 100, 5000));
+    }
+
+    #[test]
+    fn truncated_line_is_an_error() {
+        let err = parse_trace("{\"type\":\"span\",\"path\":\"a\"").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_trace("{\"type\":\"span\",\"thread\":0,\"start_us\":0,\"dur_us\":1}")
+            .unwrap_err();
+        assert!(err.contains("missing path"), "{err}");
+    }
+
+    #[test]
+    fn phase_table_shows_self_and_total() {
+        let spans = [
+            span("cell", 0, 0, 1000),
+            span("cell/train", 0, 0, 600),
+            span("cell/eval", 0, 600, 300),
+        ];
+        let table = render_phase_table(&aggregate(&spans));
+        assert!(table.contains("cell"), "{table}");
+        assert!(table.contains("  train"), "{table}");
+        // cell self = 1000 - 900 = 100us = 0.1ms
+        let cell_row = table.lines().find(|l| l.starts_with("cell")).unwrap();
+        assert!(
+            cell_row.contains("1.0") && cell_row.contains("0.1"),
+            "{cell_row}"
+        );
+    }
+
+    #[test]
+    fn critical_path_follows_largest_totals() {
+        let spans = [
+            span("grid", 0, 0, 10_000),
+            span("grid/cell", 0, 0, 6_000),
+            span("grid/cell/train", 0, 0, 4_000),
+            span("grid/cell/eval", 0, 4_000, 1_500),
+            span("grid/setup", 0, 9_000, 500),
+            span("other_root", 1, 0, 50),
+        ];
+        let nodes = aggregate(&spans);
+        let path: Vec<&str> = critical_path(&nodes)
+            .iter()
+            .map(|n| n.path.as_str())
+            .collect();
+        assert_eq!(path, vec!["grid", "grid/cell", "grid/cell/train"]);
+        let text = render_critical_path(&nodes);
+        assert!(text.contains("grid/cell/train"), "{text}");
+        assert!(render_critical_path(&[]).contains("no spans"));
+    }
+
+    #[test]
+    fn utilization_unions_nested_spans() {
+        // Thread 0 busy [0,100) with a nested child [10,90) — busy time
+        // must be 100, not 180.
+        let spans = [
+            span("a", 0, 0, 100),
+            span("a/b", 0, 10, 80),
+            span("c", 1, 50, 50),
+        ];
+        let workers = worker_utilization(&spans);
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[0].thread, 0);
+        assert_eq!(workers[0].busy_us, 100);
+        assert_eq!(workers[0].spans, 2);
+        assert_eq!(workers[1].busy_us, 50);
+        // Thread 0 is busy the whole window, thread 1 only the back half.
+        let text = render_utilization(&spans);
+        assert!(text.contains("thread   0  100.0% busy"), "{text}");
+        assert!(text.contains("thread   1   50.0% busy"), "{text}");
+    }
+
+    #[test]
+    fn diff_gates_on_pct_and_noise_floor() {
+        let baseline = aggregate(&[span("train", 0, 0, 100_000), span("tiny", 0, 0, 1_000)]);
+        let current = aggregate(&[
+            span("train", 0, 0, 150_000), // +50% at 150ms: regression
+            span("tiny", 0, 0, 3_000),    // +200% but 3ms: under the floor
+            span("fresh", 0, 0, 2_000),   // new phase, under the floor
+        ]);
+        let deltas = diff_phases(&baseline, &current);
+        assert_eq!(deltas.len(), 3);
+        let (text, failures) = render_diff(&deltas, 25.0, 10.0);
+        assert!(text.contains("FAIL"), "{text}");
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].path, "train");
+        assert!((failures[0].pct() - 50.0).abs() < 1e-9);
+
+        // Raising the gate clears it.
+        let (_, failures) = render_diff(&deltas, 60.0, 10.0);
+        assert!(failures.is_empty());
+
+        // A phase absent from the baseline reports +100%.
+        let fresh = deltas.iter().find(|d| d.path == "fresh").unwrap();
+        assert!((fresh.pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_report_renders_all_sections() {
+        let spans = [span("grid", 0, 0, 1000), span("grid/cell", 1, 0, 800)];
+        let report = render_report(&spans);
+        assert!(report.contains("phase"), "{report}");
+        assert!(report.contains("critical path"), "{report}");
+        assert!(report.contains("worker utilization"), "{report}");
+    }
+}

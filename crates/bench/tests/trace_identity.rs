@@ -9,6 +9,27 @@
 
 use fieldswap_datagen::Domain;
 use fieldswap_eval::{Arm, Harness, HarnessOptions};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect obs server");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    let status = out
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = out
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
 
 fn tiny_options() -> HarnessOptions {
     HarnessOptions {
@@ -48,16 +69,70 @@ fn quick_grid_is_byte_identical_with_tracing_on() {
         "disabled collector recorded events"
     );
 
-    // Pass 2: everything on.
+    // Pass 2: everything on — including the live exposition server on
+    // an ephemeral port, polled concurrently while the grid runs, which
+    // is exactly the `--obs-listen` production shape.
     fieldswap_obs::enable_tracing();
     fieldswap_obs::enable_metrics();
-    let traced = Harness::new(opts).run_grid(&points);
-    let traced_json = serde_json::to_string_pretty(&traced).unwrap();
+    let server = fieldswap_obs::ObsServer::start(fieldswap_obs::global(), "127.0.0.1:0")
+        .expect("bind ephemeral obs port");
+    let addr = server.addr();
+    let stop_polling = std::sync::atomic::AtomicBool::new(false);
+    let traced_json = std::thread::scope(|s| {
+        let poller = s.spawn(|| {
+            let mut polls = 0u32;
+            while !stop_polling.load(std::sync::atomic::Ordering::Relaxed) {
+                let (status, body) = http_get(addr, "/healthz");
+                assert_eq!(status, 200, "healthz failed mid-run");
+                assert_eq!(body, "ok\n");
+                let (status, _) = http_get(addr, "/metrics");
+                assert_eq!(status, 200, "metrics failed mid-run");
+                polls += 1;
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            polls
+        });
+        let traced = Harness::new(opts).run_grid(&points);
+        stop_polling.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(poller.join().unwrap() > 0, "poller never ran");
+        serde_json::to_string_pretty(&traced).unwrap()
+    });
 
     assert_eq!(
         untraced_json, traced_json,
-        "tracing/metrics changed experiment output"
+        "tracing/metrics/live server changed experiment output"
     );
+
+    // After the run, the endpoints serve the collected state.
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("fieldswap_train_epochs_total"), "{body}");
+    let (status, body) = http_get(addr, "/spans");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"path\":\"cell\""), "{body}");
+    assert!(body.contains("\"path\":\"cell/train\""), "{body}");
+    server.shutdown();
+
+    // The trace exports carry the span data in their own formats, with
+    // the named grid workers as per-thread tracks.
+    let events = fieldswap_obs::global().events();
+    let chrome = fieldswap_obs::render_chrome_trace(&events);
+    assert!(chrome.contains("\"ph\":\"X\""), "no complete events");
+    assert!(chrome.contains("\"ph\":\"M\""), "no thread metadata");
+    assert!(
+        chrome.contains("fieldswap-grid-"),
+        "grid workers unnamed in chrome trace"
+    );
+    let collapsed = fieldswap_obs::render_collapsed(&events);
+    assert!(collapsed.contains("cell;train"), "{collapsed}");
+
+    // And trace_report can ingest the JSONL round-trip.
+    let jsonl = fieldswap_obs::global().render_jsonl();
+    let spans = fieldswap_bench::trace_report::parse_trace(&jsonl).expect("parse own trace");
+    assert!(!spans.is_empty());
+    let report = fieldswap_bench::trace_report::render_report(&spans);
+    assert!(report.contains("critical path"), "{report}");
+    assert!(report.contains("worker utilization"), "{report}");
 
     // The traced pass must actually have observed the run.
     assert!(

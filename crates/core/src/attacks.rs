@@ -150,8 +150,9 @@ pub fn attack_document(doc: &Document, kind: AttackKind, strength: f64, seed: u6
 /// Applies one attack to every document of a corpus. Each document's
 /// randomness is seeded independently from `(seed, STREAM_ATTACK, kind,
 /// strength, doc index)`, so the result does not depend on evaluation
-/// order or worker count. Emits an `attack_corpus` span and a
-/// per-document counter when observability is enabled.
+/// order or worker count. Emits an `attack_corpus` span, per-kind
+/// document counters, and a per-kind wall-time histogram when
+/// observability is enabled.
 pub fn attack_corpus(corpus: &Corpus, kind: AttackKind, strength: f64, seed: u64) -> Corpus {
     let _span = fieldswap_obs::span_tagged("attack_corpus", || {
         vec![
@@ -160,6 +161,8 @@ pub fn attack_corpus(corpus: &Corpus, kind: AttackKind, strength: f64, seed: u64
             ("docs", corpus.len().to_string()),
         ]
     });
+    let metrics = fieldswap_obs::metrics_enabled();
+    let started = metrics.then(std::time::Instant::now);
     let strength = clamp_strength(strength);
     let documents = corpus
         .documents
@@ -173,8 +176,17 @@ pub fn attack_corpus(corpus: &Corpus, kind: AttackKind, strength: f64, seed: u64
             attack_document(d, kind, strength, doc_seed)
         })
         .collect();
-    if fieldswap_obs::metrics_enabled() {
-        fieldswap_obs::counter_add("fieldswap_attack_docs_total", corpus.len() as u64);
+    if metrics {
+        fieldswap_obs::counter_add(
+            &format!("fieldswap_attack_docs_total{{kind=\"{}\"}}", kind.name()),
+            corpus.len() as u64,
+        );
+        if let Some(t) = started {
+            fieldswap_obs::observe(
+                &format!("fieldswap_attack_corpus_ms{{kind=\"{}\"}}", kind.name()),
+                t.elapsed().as_secs_f64() * 1e3,
+            );
+        }
     }
     Corpus {
         schema: corpus.schema.clone(),

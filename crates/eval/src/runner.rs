@@ -716,6 +716,18 @@ impl Harness {
     pub fn run_point(&self, domain: Domain, size: usize, arm: Arm) -> PointSummary {
         let n_trials = self.opts.n_trials;
         let n_cells = self.opts.n_samples * n_trials;
+        // Root span on the caller's thread: cell spans close on worker
+        // threads, so this is what gives a trace its wall-clock root
+        // (and `trace_report` its critical-path anchor).
+        let _point_span = fieldswap_obs::span_tagged("point", || {
+            vec![
+                ("domain", domain.name().to_string()),
+                ("size", size.to_string()),
+                ("arm", arm.label().to_string()),
+                ("cells", n_cells.to_string()),
+                ("jobs", self.opts.jobs.to_string()),
+            ]
+        });
         let coords = |cell: usize| (domain, size, arm, cell / n_trials, cell % n_trials);
         let outcomes =
             par_try_map_indexed(n_cells, self.opts.jobs, |cell| self.run_cell(coords(cell)));
@@ -741,6 +753,13 @@ impl Harness {
     pub fn run_grid(&self, points: &[(Domain, usize, Arm)]) -> Vec<PointSummary> {
         let n_trials = self.opts.n_trials;
         let per_point = self.opts.n_samples * n_trials;
+        let _grid_span = fieldswap_obs::span_tagged("grid", || {
+            vec![
+                ("points", points.len().to_string()),
+                ("cells", (points.len() * per_point).to_string()),
+                ("jobs", self.opts.jobs.to_string()),
+            ]
+        });
         let coords = |i: usize| {
             let (domain, size, arm) = points[i / per_point];
             let cell = i % per_point;

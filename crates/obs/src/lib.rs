@@ -51,15 +51,21 @@
 //! never cleared), matching the one-shot lifecycle of the bench bins.
 //! Tests that need isolation instantiate their own [`Collector`].
 
+pub mod export;
 pub mod logger;
 pub mod metrics;
+pub mod serve;
 pub mod sink;
 pub mod span;
 
+pub use export::{render_chrome_trace, render_collapsed};
 pub use logger::{Level, Verbosity};
 pub use metrics::{Histogram, Registry};
+pub use serve::{ObsServer, PeriodicFlush};
 pub use sink::Event;
-pub use span::{aggregate_spans, render_span_tree, SpanGuard, SpanNode, SpanRecord};
+pub use span::{
+    aggregate_path_durations, aggregate_spans, render_span_tree, SpanGuard, SpanNode, SpanRecord,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -241,8 +247,11 @@ impl Collector {
         std::fs::write(path, self.render_jsonl())
     }
 
-    /// Aggregates the recorded spans into the end-of-run tree summary.
-    pub fn span_summary(&self) -> String {
+    /// Aggregates the recorded spans into per-path [`SpanNode`]s — the
+    /// snapshot behind the end-of-run summary, the `/spans` endpoint,
+    /// and the flamegraph export. Safe to call while a run is in
+    /// flight: it sees every span closed so far.
+    pub fn span_nodes(&self) -> Vec<SpanNode> {
         let events = self.events.lock().expect("obs events poisoned");
         let records: Vec<&SpanRecord> = events
             .iter()
@@ -251,7 +260,47 @@ impl Collector {
                 Event::Log { .. } => None,
             })
             .collect();
-        render_span_tree(&aggregate_spans(records.into_iter()))
+        aggregate_spans(records.into_iter())
+    }
+
+    /// Aggregates the recorded spans into the end-of-run tree summary.
+    pub fn span_summary(&self) -> String {
+        render_span_tree(&self.span_nodes())
+    }
+
+    /// The aggregated span tree as a JSON document (the `/spans`
+    /// endpoint body): `{"spans":[{"path":…,"calls":…,"total_us":…,
+    /// "self_us":…},…]}`, sorted so children follow their parents.
+    pub fn render_spans_json(&self) -> String {
+        let mut out = String::from("{\"spans\":[");
+        for (i, n) in self.span_nodes().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"path\":");
+            sink::push_json_str(&n.path, &mut out);
+            out.push_str(&format!(
+                ",\"calls\":{},\"total_us\":{},\"self_us\":{}}}",
+                n.calls,
+                n.total_us,
+                n.self_us()
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes the event log as Chrome trace-event JSON (Perfetto /
+    /// `chrome://tracing` loadable, one track per recording thread).
+    pub fn write_chrome_trace(&self, path: &str) -> std::io::Result<()> {
+        let events = self.events();
+        std::fs::write(path, render_chrome_trace(&events))
+    }
+
+    /// Writes the span tree in collapsed-stack flamegraph format.
+    pub fn write_collapsed(&self, path: &str) -> std::io::Result<()> {
+        let events = self.events();
+        std::fs::write(path, render_collapsed(&events))
     }
 
     /// Renders the metrics registry in Prometheus text exposition style.

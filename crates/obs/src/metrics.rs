@@ -78,6 +78,30 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// The ascending finite upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// A snapshot of the per-bucket counts. One entry per finite bound
+    /// plus the trailing overflow (`+Inf`) bucket, so
+    /// `bucket_counts().len() == bounds().len() + 1`.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Observations that exceeded the top finite bound — the `+Inf`
+    /// bucket of the Prometheus exposition. Values landing here are never
+    /// silently folded into the top finite bucket: percentile estimation
+    /// reports the observed maximum for ranks that fall in this bucket,
+    /// and the exposition surfaces the count explicitly.
+    pub fn overflow_count(&self) -> u64 {
+        self.buckets[self.bounds.len()].load(Ordering::Relaxed)
+    }
+
     /// Sum of all observed values.
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
@@ -236,8 +260,15 @@ impl Registry {
     }
 
     /// Renders every metric in Prometheus text exposition style, sorted
-    /// by name for deterministic output. Histograms render as summaries:
-    /// `{quantile="…"}` samples plus `_sum` and `_count`.
+    /// by name for deterministic output. Histograms render in the native
+    /// Prometheus histogram format — cumulative `_bucket{le="…"}` samples
+    /// ending in the explicit `le="+Inf"` overflow bucket, plus `_sum`
+    /// and `_count` — so observations past the top finite bound are
+    /// visible instead of silently folded into it. To keep the default
+    /// 30-bound decade series readable, all-zero leading buckets and
+    /// saturated trailing buckets are elided (one zero bucket is kept
+    /// before the first occupied one so consumers can interpolate);
+    /// `+Inf` is always emitted.
     pub fn render_prometheus(&self) -> String {
         let m = self.metrics.lock().expect("registry poisoned");
         let mut names: Vec<&String> = m.keys().collect();
@@ -250,7 +281,7 @@ impl Registry {
                 let kind = match &m[name.as_str()] {
                     Metric::Counter(_) => "counter",
                     Metric::Gauge(_) => "gauge",
-                    Metric::Histogram(_) => "summary",
+                    Metric::Histogram(_) => "histogram",
                 };
                 out.push_str(&format!("# TYPE {family} {kind}\n"));
                 typed.push(family.to_string());
@@ -266,21 +297,54 @@ impl Registry {
                     ));
                 }
                 Metric::Histogram(h) => {
-                    for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
-                        let merged = merge_label(family, labels, &format!("quantile=\"{label}\""));
-                        out.push_str(&format!("{merged} {}\n", fmt_f64(h.percentile(q))));
-                    }
-                    let suffix = |s: &str| match labels {
-                        Some(l) => format!("{family}{s}{{{l}}}"),
-                        None => format!("{family}{s}"),
-                    };
-                    out.push_str(&format!("{} {}\n", suffix("_sum"), fmt_f64(h.sum())));
-                    out.push_str(&format!("{} {}\n", suffix("_count"), h.count()));
+                    render_histogram(family, labels, h, &mut out);
                 }
             }
         }
         out
     }
+}
+
+/// One histogram in Prometheus text format: elided cumulative buckets,
+/// the mandatory `+Inf` bucket, `_sum`, and `_count`.
+fn render_histogram(family: &str, labels: Option<&str>, h: &Histogram, out: &mut String) {
+    let counts = h.bucket_counts();
+    let total: u64 = counts.iter().sum();
+    let bounds = h.bounds();
+    // Cumulative counts over the finite bounds only; the +Inf line uses
+    // the grand total.
+    let mut cum = 0u64;
+    let cumulative: Vec<u64> = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            cum += counts[i];
+            cum
+        })
+        .collect();
+    let first_occupied = cumulative.iter().position(|&c| c > 0);
+    let first_saturated = cumulative
+        .iter()
+        .position(|&c| c == total)
+        .unwrap_or(bounds.len());
+    if let Some(first) = first_occupied {
+        let lo = first.saturating_sub(1);
+        let hi = first_saturated.min(bounds.len() - 1);
+        for i in lo..=hi {
+            let sample = bucket_sample(family, labels, &fmt_f64(bounds[i]));
+            out.push_str(&format!("{sample} {}\n", cumulative[i]));
+        }
+    }
+    out.push_str(&format!(
+        "{} {total}\n",
+        bucket_sample(family, labels, "+Inf")
+    ));
+    let suffix = |s: &str| match labels {
+        Some(l) => format!("{family}{s}{{{l}}}"),
+        None => format!("{family}{s}"),
+    };
+    out.push_str(&format!("{} {}\n", suffix("_sum"), fmt_f64(h.sum())));
+    out.push_str(&format!("{} {}\n", suffix("_count"), h.count()));
 }
 
 /// Splits `name{k="v"}` into `(family, Some(inner labels))`.
@@ -291,11 +355,12 @@ fn split_labels(name: &str) -> (&str, Option<&str>) {
     }
 }
 
-/// Joins existing inline labels with one extra label.
-fn merge_label(family: &str, labels: Option<&str>, extra: &str) -> String {
+/// One `family_bucket{…,le="<le>"}` sample name, merging any inline
+/// labels the metric was registered with.
+fn bucket_sample(family: &str, labels: Option<&str>, le: &str) -> String {
     match labels {
-        Some(l) if !l.is_empty() => format!("{family}{{{l},{extra}}}"),
-        _ => format!("{family}{{{extra}}}"),
+        Some(l) if !l.is_empty() => format!("{family}_bucket{{{l},le=\"{le}\"}}"),
+        _ => format!("{family}_bucket{{le=\"{le}\"}}"),
     }
 }
 
@@ -404,19 +469,53 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_histogram_renders_as_summary() {
+    fn prometheus_histogram_renders_cumulative_buckets() {
         let r = Registry::new();
         r.observe("lat_ms", 5.0);
         r.observe("lat_ms", 15.0);
         let prom = r.render_prometheus();
-        assert!(prom.contains("# TYPE lat_ms summary"), "{prom}");
-        assert!(prom.contains("lat_ms{quantile=\"0.5\"}"), "{prom}");
+        assert!(prom.contains("# TYPE lat_ms histogram"), "{prom}");
+        // Default 1-2-5 bounds: 5.0 lands in le="5", 15.0 in le="20".
+        assert!(prom.contains("lat_ms_bucket{le=\"5\"} 1"), "{prom}");
+        assert!(prom.contains("lat_ms_bucket{le=\"20\"} 2"), "{prom}");
+        assert!(prom.contains("lat_ms_bucket{le=\"+Inf\"} 2"), "{prom}");
         assert!(prom.contains("lat_ms_sum 20"), "{prom}");
         assert!(prom.contains("lat_ms_count 2"), "{prom}");
+        // Elision: the saturated tail is cut, so the biggest default
+        // bound never appears for in-range data.
+        assert!(!prom.contains("le=\"5000000\""), "{prom}");
     }
 
     #[test]
-    fn inline_labels_merge_with_quantiles() {
+    fn overflow_observations_surface_in_inf_bucket() {
+        let h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(1e9); // past every finite bound
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.bucket_counts(), vec![1, 0, 1]);
+        // p99 reports the observed max, not the top finite bound.
+        assert_eq!(h.percentile(0.99), 1e9);
+        let r = Registry::new();
+        r.observe("spill", 0.5);
+        r.observe("spill", 1e9);
+        let prom = r.render_prometheus();
+        // The finite tail is saturated at 1 of 2; +Inf carries the rest.
+        assert!(prom.contains("spill_bucket{le=\"10\"} 1"), "{prom}");
+        assert!(prom.contains("spill_bucket{le=\"+Inf\"} 2"), "{prom}");
+        assert!(prom.contains("spill_count 2"), "{prom}");
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_inf_bucket() {
+        let r = Registry::new();
+        let _ = r.histogram("idle_ms");
+        let prom = r.render_prometheus();
+        assert!(prom.contains("idle_ms_bucket{le=\"+Inf\"} 0"), "{prom}");
+        assert!(prom.contains("idle_ms_count 0"), "{prom}");
+    }
+
+    #[test]
+    fn inline_labels_merge_with_bucket_labels() {
         let r = Registry::new();
         r.counter_add("hits_total{cache=\"phrases\"}", 2);
         r.observe("stage_ms{stage=\"train\"}", 7.5);
@@ -424,7 +523,11 @@ mod tests {
         assert!(prom.contains("# TYPE hits_total counter"), "{prom}");
         assert!(prom.contains("hits_total{cache=\"phrases\"} 2"), "{prom}");
         assert!(
-            prom.contains("stage_ms{stage=\"train\",quantile=\"0.9\"}"),
+            prom.contains("stage_ms_bucket{stage=\"train\",le=\"10\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("stage_ms_bucket{stage=\"train\",le=\"+Inf\"} 1"),
             "{prom}"
         );
         assert!(prom.contains("stage_ms_sum{stage=\"train\"} 7.5"), "{prom}");

@@ -1,0 +1,311 @@
+//! Live exposition: a tiny dependency-free blocking HTTP/1.1 server
+//! that serves the collector's state while a run is in flight, plus a
+//! periodic metrics flusher so a killed process still leaves usable
+//! metrics on disk.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the registry.
+//! * `GET /healthz` — `ok\n` (liveness for scripts and CI curls).
+//! * `GET /spans`   — JSON snapshot of the aggregated live span tree.
+//!
+//! The server runs on one named thread and handles one connection at a
+//! time — exposition traffic is a human or a scraper every few seconds,
+//! not a workload. It never touches the experiment state beyond the
+//! same snapshot accessors the end-of-run writers use, so turning it on
+//! cannot change results (the bench suite proves fig4 byte-identity
+//! with the server on vs off).
+
+use crate::Collector;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running exposition server. Dropping the handle leaves the thread
+/// running (the bench bins leak it for process lifetime); call
+/// [`ObsServer::shutdown`] for an orderly stop in tests.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, or port `0` for an
+    /// ephemeral port) and starts serving `collector` on a background
+    /// thread. Returns the bound address, which is the way tests
+    /// discover the ephemeral port.
+    pub fn start(collector: &'static Collector, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fieldswap-obs-http".into())
+            .spawn(move || serve_loop(collector, listener, thread_stop))?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // The loop blocks in accept(); poke it awake with a throwaway
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(collector: &'static Collector, listener: TcpListener, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        // Bound the read so a stalled client can't wedge the loop.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = handle_connection(collector, &mut stream);
+    }
+}
+
+fn handle_connection(collector: &Collector, stream: &mut TcpStream) -> std::io::Result<()> {
+    let path = match read_request_path(stream) {
+        Some(p) => p,
+        None => return respond(stream, 400, "text/plain", "bad request\n"),
+    };
+    match path.as_str() {
+        "/metrics" => respond(
+            stream,
+            200,
+            "text/plain; version=0.0.4",
+            &collector.render_prometheus(),
+        ),
+        "/healthz" => respond(stream, 200, "text/plain", "ok\n"),
+        "/spans" => respond(
+            stream,
+            200,
+            "application/json",
+            &collector.render_spans_json(),
+        ),
+        _ => respond(stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// Reads the request line and returns its path, tolerating whatever
+/// headers follow (they are drained only as far as the first buffer).
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 2048];
+    let mut len = 0;
+    // Read until the request line is complete (or the buffer fills).
+    loop {
+        let n = stream.read(&mut buf[len..]).ok()?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].contains(&b'\n') || len == buf.len() {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&buf[..len]).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Ignore any query string: /metrics?x=1 serves /metrics.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Periodically writes the Prometheus exposition to a file, so a run
+/// killed mid-grid (the PR 4 resume scenario) still leaves metrics on
+/// disk. Writes go through a temp file + rename, so readers never see a
+/// torn file.
+pub struct PeriodicFlush {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PeriodicFlush {
+    /// Starts flushing `collector`'s metrics to `path` every `period`.
+    /// The first write happens after one period, and an orderly
+    /// [`PeriodicFlush::shutdown`] performs a final flush.
+    pub fn start(
+        collector: &'static Collector,
+        path: &str,
+        period: Duration,
+    ) -> std::io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let path = path.to_string();
+        let handle = std::thread::Builder::new()
+            .name("fieldswap-obs-flush".into())
+            .spawn(move || {
+                // Sleep in short slices so shutdown is prompt even with
+                // a long period.
+                let slice = Duration::from_millis(50).min(period);
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    std::thread::sleep(slice);
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    elapsed += slice;
+                    if elapsed >= period {
+                        elapsed = Duration::ZERO;
+                        let _ = flush_atomic(collector, &path);
+                    }
+                }
+                let _ = flush_atomic(collector, &path);
+            })?;
+        Ok(Self {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stops the flusher after one final write.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn flush_atomic(collector: &Collector, path: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, collector.render_prometheus())?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaked_collector() -> &'static Collector {
+        Box::leak(Box::new(Collector::new()))
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let status: u16 = out
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = out
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_spans() {
+        let c = leaked_collector();
+        c.enable_tracing();
+        c.enable_metrics();
+        c.counter_add("serve_hits_total", 3);
+        drop(c.span("phase"));
+        let server = ObsServer::start(c, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("serve_hits_total 3"), "{body}");
+
+        let (status, body) = get(addr, "/spans");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"path\":\"phase\""), "{body}");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_requests() {
+        let server = ObsServer::start(leaked_collector(), "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn periodic_flush_writes_and_final_flushes() {
+        let c = leaked_collector();
+        c.enable_metrics();
+        c.counter_add("flush_total", 1);
+        let dir = std::env::temp_dir().join(format!("obs-flush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let path_str = path.to_str().unwrap();
+        let flusher = PeriodicFlush::start(c, path_str, Duration::from_millis(30)).unwrap();
+        // Wait for at least one periodic write.
+        for _ in 0..100 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(path.exists(), "periodic flush never wrote {path_str}");
+        c.counter_add("flush_total", 41);
+        flusher.shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("flush_total 42"), "final flush stale: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -72,7 +72,7 @@ pub fn to_json_line(event: &Event, out: &mut String) {
 
 /// Appends `s` as a JSON string literal, escaping quotes, backslashes,
 /// and control characters.
-fn push_json_str(s: &str, out: &mut String) {
+pub(crate) fn push_json_str(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -11,18 +11,44 @@ use crate::sink::Event;
 use crate::Collector;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
 
+/// Dense id → OS thread name, filled in the first time each thread
+/// records an event. Process-global (dense ids are process-global too)
+/// so the trace exporters can label per-worker tracks.
+static THREAD_NAMES: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+
 thread_local! {
-    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    static THREAD_ID: u64 = {
+        let id = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{id}"));
+        THREAD_NAMES
+            .lock()
+            .expect("thread names poisoned")
+            .push((id, name));
+        id
+    };
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A small dense id for the current thread (assigned on first use).
 pub(crate) fn thread_id() -> u64 {
     THREAD_ID.with(|id| *id)
+}
+
+/// A snapshot of `(dense id, thread name)` for every thread that has
+/// recorded at least one event, in id-assignment order. Unnamed threads
+/// report as `thread-<id>`; the pools name their workers
+/// (`fieldswap-pool-N`, `fieldswap-grid-N`), which is what gives the
+/// Chrome-trace export its per-worker tracks.
+pub fn thread_names() -> Vec<(u64, String)> {
+    THREAD_NAMES.lock().expect("thread names poisoned").clone()
 }
 
 /// One closed span, as recorded into the event sink.
@@ -146,19 +172,29 @@ impl SpanNode {
 /// its duration to its own path's total and to its parent path's child
 /// time.
 pub fn aggregate_spans<'a>(records: impl Iterator<Item = &'a SpanRecord>) -> Vec<SpanNode> {
+    aggregate_path_durations(records.map(|r| (r.path.as_str(), r.dur_us)))
+}
+
+/// The aggregation behind [`aggregate_spans`], keyed on bare
+/// `(path, duration)` pairs so callers that parsed a trace from disk
+/// (owned strings, no `&'static` names) can reuse it verbatim — the
+/// `trace_report` analyzer feeds it JSONL records.
+pub fn aggregate_path_durations<'a>(
+    records: impl Iterator<Item = (&'a str, u64)>,
+) -> Vec<SpanNode> {
     use std::collections::BTreeMap;
     // path -> (calls, total, child)
     let mut map: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
-    for r in records {
-        let e = map.entry(r.path.clone()).or_insert((0, 0, 0));
+    for (path, dur_us) in records {
+        let e = map.entry(path.to_string()).or_insert((0, 0, 0));
         e.0 += 1;
-        e.1 += r.dur_us;
-        if let Some(pos) = r.path.rfind('/') {
-            let parent = &r.path[..pos];
+        e.1 += dur_us;
+        if let Some(pos) = path.rfind('/') {
+            let parent = &path[..pos];
             if let Some(p) = map.get_mut(parent) {
-                p.2 += r.dur_us;
+                p.2 += dur_us;
             } else {
-                map.insert(parent.to_string(), (0, 0, r.dur_us));
+                map.insert(parent.to_string(), (0, 0, dur_us));
             }
         }
     }

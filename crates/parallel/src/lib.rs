@@ -135,16 +135,21 @@ where
         (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = run_slot(&f, i);
-                let prev = slots[i].lock().expect("slot poisoned").replace(value);
-                assert!(prev.is_none(), "slot {i} filled twice");
-            });
+        for w in 0..jobs {
+            // Named threads so per-worker tracks in trace exports and
+            // the `trace_report` utilization table are identifiable.
+            std::thread::Builder::new()
+                .name(format!("fieldswap-grid-{w}"))
+                .spawn_scoped(scope, || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = run_slot(&f, i);
+                    let prev = slots[i].lock().expect("slot poisoned").replace(value);
+                    assert!(prev.is_none(), "slot {i} filled twice");
+                })
+                .expect("spawn grid worker");
         }
     });
     slots

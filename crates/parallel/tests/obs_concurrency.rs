@@ -1,0 +1,142 @@
+//! Concurrency contract between `fieldswap-parallel` and
+//! `fieldswap-obs`: spans and counters emitted from worker threads must
+//! interleave without loss or panic, with exact counter totals and
+//! well-nested per-thread span trees.
+//!
+//! Uses the *global* collector (like the real bins do), so this lives
+//! in its own integration-test binary where enabling it is harmless.
+
+use fieldswap_obs::{Event, SpanRecord};
+use fieldswap_parallel::{par_try_map_indexed, WorkerPool};
+use std::collections::BTreeMap;
+
+const JOBS: usize = 8;
+const CELLS: usize = 200;
+const POOL_BATCHES: usize = 50;
+const POOL_ITEMS: usize = 16;
+
+fn span_records(events: &[Event]) -> Vec<SpanRecord> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span(r) => Some(r.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// For each thread, every span's interval must be either disjoint from
+/// or fully nested inside every other span's interval on that thread —
+/// the RAII guards guarantee it, and a violation means the thread-local
+/// stacks got crossed.
+fn assert_well_nested(records: &[SpanRecord]) {
+    let mut by_thread: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for r in records {
+        by_thread.entry(r.thread).or_default().push(r);
+    }
+    for (thread, spans) in by_thread {
+        for a in &spans {
+            for b in &spans {
+                let (a0, a1) = (a.start_us, a.start_us + a.dur_us);
+                let (b0, b1) = (b.start_us, b.start_us + b.dur_us);
+                let disjoint = a1 <= b0 || b1 <= a0;
+                let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+                assert!(
+                    disjoint || nested,
+                    "thread {thread}: overlapping spans {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_spans_and_counters_are_lossless_at_jobs_8() {
+    fieldswap_obs::enable_tracing();
+    fieldswap_obs::enable_metrics();
+    let collector = fieldswap_obs::global();
+    let before = collector.events_len();
+
+    // Phase 1: hammer the scoped grid pool. Each cell opens a parent
+    // span with a nested child, and bumps the shared counter.
+    let results = par_try_map_indexed(CELLS, JOBS, |i| {
+        let _cell = fieldswap_obs::span_tagged("conc_cell", || vec![("i", i.to_string())]);
+        {
+            let _inner = fieldswap_obs::span("conc_step");
+            fieldswap_obs::counter_add("conc_cells_total", 1);
+            fieldswap_obs::observe("conc_cell_units", (i % 10) as f64);
+        }
+        i * 3
+    });
+    assert_eq!(results.len(), CELLS);
+    for (i, r) in results.into_iter().enumerate() {
+        assert_eq!(r.expect("no slot panicked"), i * 3);
+    }
+
+    // Phase 2: hammer the persistent pool with many small broadcasts
+    // (the training-loop shape). Worker 0 is the caller's thread.
+    let pool = WorkerPool::new(JOBS);
+    assert!(pool.jobs() > 1, "effective_jobs must honor an explicit 8");
+    for batch in 0..POOL_BATCHES {
+        let slots: Vec<std::sync::Mutex<Option<usize>>> = (0..POOL_ITEMS)
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        pool.fill_slots(&slots, |_worker, item| {
+            let _span = fieldswap_obs::span("conc_pool_item");
+            fieldswap_obs::counter_add("conc_pool_items_total", 1);
+            batch + item
+        });
+        for (item, slot) in slots.into_iter().enumerate() {
+            assert_eq!(slot.into_inner().unwrap(), Some(batch + item));
+        }
+    }
+    drop(pool);
+
+    // Exact counter totals: no increment lost to interleaving.
+    let prom = collector.render_prometheus();
+    assert!(
+        prom.contains(&format!("conc_cells_total {CELLS}")),
+        "{prom}"
+    );
+    assert!(
+        prom.contains(&format!(
+            "conc_pool_items_total {}",
+            POOL_BATCHES * POOL_ITEMS
+        )),
+        "{prom}"
+    );
+    let hist = collector.registry().histogram("conc_cell_units");
+    assert_eq!(hist.count(), CELLS as u64);
+
+    // Exact span counts: one parent + one child per cell, one span per
+    // pool item, none dropped.
+    let records = span_records(&collector.events()[before..]);
+    let count = |path: &str| records.iter().filter(|r| r.path == path).count();
+    assert_eq!(count("conc_cell"), CELLS);
+    assert_eq!(count("conc_cell/conc_step"), CELLS);
+    assert_eq!(count("conc_pool_item"), POOL_BATCHES * POOL_ITEMS);
+
+    // Every child closed on the same thread as some parent instance,
+    // and paths never picked up a foreign prefix (the cross-thread
+    // contamination failure mode).
+    for r in &records {
+        assert!(
+            ["conc_cell", "conc_cell/conc_step", "conc_pool_item"].contains(&r.path.as_str()),
+            "unexpected path {:?}",
+            r.path
+        );
+    }
+    assert_well_nested(&records);
+
+    // The grid workers carry their pool names, so trace exports can
+    // label per-worker tracks.
+    let names = fieldswap_obs::span::thread_names();
+    assert!(
+        names.iter().any(|(_, n)| n.starts_with("fieldswap-grid-")),
+        "{names:?}"
+    );
+    assert!(
+        names.iter().any(|(_, n)| n.starts_with("fieldswap-pool-")),
+        "{names:?}"
+    );
+}
