@@ -8,6 +8,7 @@
 //! ```text
 //! bench_gate perf  --baseline BENCH_train.json --current fresh.json [--max-regress 0.30]
 //! bench_gate quant --exact f32.json --quantized q8.json [--epsilon E] [--table PATH]
+//! bench_gate serve --baseline BENCH_serve.json --current fresh.json [--max-regress 0.30]
 //! ```
 //!
 //! * `perf` fails when `extract_predict` or `infer_frozen` throughput
@@ -19,6 +20,9 @@
 //!   [`fieldswap_eval::QUANT_MACRO_F1_EPSILON`], the same bound the
 //!   in-repo guard test enforces). `--table` additionally writes the
 //!   delta table to a file for artifact upload.
+//! * `serve` fails when a fresh `serve_bench --json` dump's throughput
+//!   dropped, or its p99 latency rose, by more than `--max-regress`
+//!   versus the committed `BENCH_serve.json`.
 
 use fieldswap_bench::gate;
 use serde_json::Value;
@@ -26,7 +30,8 @@ use serde_json::Value;
 fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: bench_gate perf --baseline PATH --current PATH [--max-regress X]\n       \
-         bench_gate quant --exact PATH --quantized PATH [--epsilon E] [--table PATH]"
+         bench_gate quant --exact PATH --quantized PATH [--epsilon E] [--table PATH]\n       \
+         bench_gate serve --baseline PATH --current PATH [--max-regress X]"
     );
     fieldswap_bench::fail(msg)
 }
@@ -68,7 +73,7 @@ fn num(v: &str, flag: &str) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(mode) = args.first() else {
-        usage("missing mode (perf|quant)");
+        usage("missing mode (perf|quant|serve)");
     };
     let flags = flag_values(&args[1..]);
     let get = |name: &str| -> Option<&str> {
@@ -121,7 +126,21 @@ fn main() {
             }
             deltas.iter().any(|d| d.failed)
         }
-        other => usage(&format!("unknown mode {other:?} (perf|quant)")),
+        "serve" => {
+            for (f, _) in &flags {
+                if !["--baseline", "--current", "--max-regress"].contains(&f.as_str()) {
+                    usage(&format!("unknown serve flag {f}"));
+                }
+            }
+            let baseline = load(require("--baseline"));
+            let current = load(require("--current"));
+            let max_regress = get("--max-regress").map_or(0.30, |v| num(v, "--max-regress"));
+            let deltas = gate::serve_gate(&baseline, &current, max_regress);
+            print!("{}", gate::render_serve_table(&deltas));
+            println!("(gate fails when regression > {:.0}%)", max_regress * 100.0);
+            deltas.iter().any(|d| d.failed)
+        }
+        other => usage(&format!("unknown mode {other:?} (perf|quant|serve)")),
     };
     if failed {
         fieldswap_bench::fail("gate FAILED");

@@ -2,7 +2,7 @@
 //! plain functions over parsed JSON so they are unit-testable instead of
 //! living in workflow YAML.
 //!
-//! Two gates:
+//! Three gates:
 //!
 //! * **perf** — compares a fresh `perf_profile` report against the
 //!   committed `BENCH_train.json` baseline, stage by stage, and fails
@@ -13,6 +13,10 @@
 //!   `--quantized`) point by point, and fails when any point's macro-F1
 //!   drifts by more than the epsilon shared with the in-repo guard test
 //!   ([`fieldswap_eval::QUANT_MACRO_F1_EPSILON`]).
+//! * **serve** — compares a fresh `serve_bench --json` dump against the
+//!   committed `BENCH_serve.json` baseline on sustained throughput and
+//!   tail latency, with the same tolerance and missing/zero-value
+//!   guards as the perf gate.
 
 use serde_json::Value;
 
@@ -109,6 +113,83 @@ pub fn perf_gate(baseline: &Value, current: &Value, max_regression: f64) -> Vec<
         .collect()
 }
 
+/// One metric's comparison in the serve gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeDelta {
+    /// Metric name (`throughput_rps`, `p99_ms`).
+    pub metric: String,
+    /// Baseline value from the committed `BENCH_serve.json`.
+    pub baseline: f64,
+    /// Current value from the fresh `serve_bench` run.
+    pub current: f64,
+    /// Fractional regression in the metric's bad direction: throughput
+    /// dropping and latency rising are both positive. Negative means the
+    /// current run improved.
+    pub regression: f64,
+    /// Whether this metric alone fails the gate.
+    pub failed: bool,
+}
+
+/// The `BENCH_serve.json` metrics the serve gate watches, with the
+/// direction that counts as better. Median latency stays informational —
+/// p99 is the serving contract, p50 is too twitchy under CI noise.
+pub const SERVE_GATE_METRICS: [(&str, bool); 2] = [("throughput_rps", true), ("p99_ms", false)];
+
+/// Compares a fresh `serve_bench --json` dump (`current`) against the
+/// committed `BENCH_serve.json` (`baseline`). Throughput fails when it
+/// *dropped* by more than `max_regression`; p99 latency fails when it
+/// *rose* by more than `max_regression`.
+///
+/// The guard semantics mirror [`perf_gate`]: a metric missing from the
+/// baseline passes with a zero baseline (new metric on the commit that
+/// introduces it), a metric missing from `current` fails (the fresh run
+/// did not produce the number the gate exists to check), and a
+/// zero/negative baseline cannot express a regression fraction so it is
+/// treated as new.
+pub fn serve_gate(baseline: &Value, current: &Value, max_regression: f64) -> Vec<ServeDelta> {
+    SERVE_GATE_METRICS
+        .iter()
+        .map(|&(metric, higher_is_better)| {
+            let base = baseline.get(metric).and_then(Value::as_f64);
+            let cur = current.get(metric).and_then(Value::as_f64);
+            match (base, cur) {
+                (_, None) => ServeDelta {
+                    metric: metric.to_string(),
+                    baseline: base.unwrap_or(0.0),
+                    current: 0.0,
+                    regression: 1.0,
+                    failed: true,
+                },
+                (None, Some(c)) => ServeDelta {
+                    metric: metric.to_string(),
+                    baseline: 0.0,
+                    current: c,
+                    regression: 0.0,
+                    failed: false,
+                },
+                (Some(b), Some(c)) => {
+                    let regression = if b > 0.0 {
+                        if higher_is_better {
+                            (b - c) / b
+                        } else {
+                            (c - b) / b
+                        }
+                    } else {
+                        0.0
+                    };
+                    ServeDelta {
+                        metric: metric.to_string(),
+                        baseline: b,
+                        current: c,
+                        regression,
+                        failed: regression > max_regression,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
 fn point_entries(dump: &Value) -> Vec<(String, f64)> {
     let Some(points) = dump.as_array() else {
         return Vec::new();
@@ -183,6 +264,25 @@ pub fn render_perf_table(deltas: &[StageDelta]) -> String {
             d.stage,
             d.baseline_dps,
             d.current_dps,
+            d.regression * 100.0,
+            if d.failed { "FAIL" } else { "ok" }
+        ));
+    }
+    s
+}
+
+/// Renders the serve comparison as a fixed-width table string.
+pub fn render_serve_table(deltas: &[ServeDelta]) -> String {
+    let mut s = format!(
+        "{:<16} {:>12} {:>12} {:>12}  {}\n",
+        "metric", "baseline", "current", "regression", "verdict"
+    );
+    for d in deltas {
+        s.push_str(&format!(
+            "{:<16} {:>12.2} {:>12.2} {:>11.1}%  {}\n",
+            d.metric,
+            d.baseline,
+            d.current,
             d.regression * 100.0,
             if d.failed { "FAIL" } else { "ok" }
         ));
@@ -308,6 +408,76 @@ mod tests {
         assert!(deltas.iter().all(|d| d.regression == 0.0));
     }
 
+    fn serve_report(throughput_rps: f64, p99_ms: f64) -> Value {
+        parse(&format!(
+            r#"{{"schema_version": 1, "seed": 7, "requests": 400,
+                 "concurrency": 4, "docs_per_request": 1,
+                 "throughput_rps": {throughput_rps},
+                 "p50_ms": 2.5, "p99_ms": {p99_ms}, "errors": 0}}"#
+        ))
+    }
+
+    #[test]
+    fn serve_gate_passes_within_tolerance() {
+        // Throughput down 20%, p99 up 20% — both inside the 30% budget.
+        let deltas = serve_gate(&serve_report(1000.0, 5.0), &serve_report(800.0, 6.0), 0.30);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
+        assert!((deltas[0].regression - 0.20).abs() < 1e-12);
+        assert!((deltas[1].regression - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_gate_fails_on_throughput_drop_or_p99_rise() {
+        let base = serve_report(1000.0, 5.0);
+        let deltas = serve_gate(&base, &serve_report(600.0, 5.0), 0.30);
+        let tp = deltas
+            .iter()
+            .find(|d| d.metric == "throughput_rps")
+            .unwrap();
+        assert!(tp.failed);
+        assert!(deltas.iter().filter(|d| d.failed).count() == 1);
+
+        let deltas = serve_gate(&base, &serve_report(1000.0, 7.0), 0.30);
+        let p99 = deltas.iter().find(|d| d.metric == "p99_ms").unwrap();
+        assert!(p99.failed);
+        assert!(deltas.iter().filter(|d| d.failed).count() == 1);
+    }
+
+    #[test]
+    fn serve_gate_improvement_never_fails() {
+        // Faster and lower-latency: both regressions are negative.
+        let deltas = serve_gate(&serve_report(1000.0, 5.0), &serve_report(3000.0, 2.0), 0.30);
+        assert!(deltas.iter().all(|d| !d.failed));
+        assert!(deltas.iter().all(|d| d.regression < 0.0));
+    }
+
+    #[test]
+    fn serve_gate_new_metric_passes_missing_current_fails() {
+        // Baseline predates p99_ms: new metric must not fail the gate.
+        let old = parse(r#"{"throughput_rps": 1000.0}"#);
+        let deltas = serve_gate(&old, &serve_report(1000.0, 5.0), 0.30);
+        let p99 = deltas.iter().find(|d| d.metric == "p99_ms").unwrap();
+        assert!(!p99.failed);
+        assert_eq!(p99.baseline, 0.0);
+
+        // Current run lost a metric the baseline has: fails.
+        let deltas = serve_gate(&serve_report(1000.0, 5.0), &old, 0.30);
+        let p99 = deltas.iter().find(|d| d.metric == "p99_ms").unwrap();
+        assert!(p99.failed);
+        assert_eq!(p99.regression, 1.0);
+    }
+
+    #[test]
+    fn serve_gate_zero_baseline_guarded() {
+        // A corrupt all-zero baseline must not divide by zero or
+        // auto-fail either metric (a zero-p99 baseline would otherwise
+        // make any real latency an infinite regression).
+        let deltas = serve_gate(&serve_report(0.0, 0.0), &serve_report(1000.0, 5.0), 0.30);
+        assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
+        assert!(deltas.iter().all(|d| d.regression == 0.0));
+    }
+
     fn points(f1s: &[(&str, u64, &str, f64)]) -> Value {
         let items: Vec<String> = f1s
             .iter()
@@ -367,5 +537,10 @@ mod tests {
         let qu = points(&[("Earnings", 50, "baseline", 47.37)]);
         let table = render_quant_table(&quant_gate(&ex, &qu, 1.5), 1.5);
         assert!(table.contains("Earnings / 50 / baseline"));
+
+        let deltas = serve_gate(&serve_report(1000.0, 5.0), &serve_report(600.0, 2.0), 0.30);
+        let table = render_serve_table(&deltas);
+        assert!(table.contains("throughput_rps") && table.contains("p99_ms"));
+        assert!(table.contains("FAIL") && table.contains("ok"));
     }
 }

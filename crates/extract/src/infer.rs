@@ -475,11 +475,34 @@ impl FrozenModel {
         )
     }
 
+    /// The DF lexicon the model was trained with (used by the serving
+    /// layer for template-match routing).
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
     /// Extracts entity spans from `doc` with the frozen fast path,
     /// applying the same single-instance schema constraint as
     /// [`Extractor::predict`]. All working memory lives in `scratch`; a
     /// warm scratch allocates only the returned span vector.
     pub fn predict(&self, doc: &Document, scratch: &mut InferScratch) -> Vec<EntitySpan> {
+        self.predict_scored(doc, scratch)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// [`FrozenModel::predict`], but each retained span is paired with
+    /// its mean-emission score — the margin the single-instance schema
+    /// constraint already computes to pick the best span per field, and
+    /// the confidence the serving layer reports. The spans themselves
+    /// are exactly what `predict` returns (same arithmetic, same
+    /// ordering); only the scores ride along.
+    pub fn predict_scored(
+        &self,
+        doc: &Document,
+        scratch: &mut InferScratch,
+    ) -> Vec<(EntitySpan, f32)> {
         let InferScratch {
             feats,
             fscratch,
@@ -648,8 +671,13 @@ impl FrozenModel {
 
     /// The single-instance schema constraint, scored from the emission
     /// matrix — same mean-emission margin and keep-first tie rule as the
-    /// training-path implementation.
-    fn apply_schema_constraints(&self, e: &[f32], spans: Vec<EntitySpan>) -> Vec<EntitySpan> {
+    /// training-path implementation. Returns each kept span with its
+    /// winning mean-emission score.
+    fn apply_schema_constraints(
+        &self,
+        e: &[f32],
+        spans: Vec<EntitySpan>,
+    ) -> Vec<(EntitySpan, f32)> {
         let mut best: Vec<Option<(f32, EntitySpan)>> = vec![None; self.n_fields];
         for s in spans {
             let mut score = 0.0f32;
@@ -670,8 +698,9 @@ impl FrozenModel {
                 _ => *slot = Some((score, s)),
             }
         }
-        let mut out: Vec<EntitySpan> = best.into_iter().flatten().map(|(_, s)| s).collect();
-        out.sort_by_key(|s| (s.start, s.end));
+        let mut out: Vec<(EntitySpan, f32)> =
+            best.into_iter().flatten().map(|(sc, s)| (s, sc)).collect();
+        out.sort_by_key(|(s, _)| (s.start, s.end));
         out
     }
 }
@@ -968,6 +997,25 @@ mod tests {
         let lex = Lexicon::pretrain(&pool.documents);
         let ex = Extractor::train_on(&train.schema, lex, &train, &[], &TrainConfig::tiny());
         (ex, test)
+    }
+
+    #[test]
+    fn predict_scored_spans_match_predict() {
+        // The scored variant must be the same decode with scores riding
+        // along: identical spans, identical order, finite scores.
+        let (ex, test) = train_small(Domain::Earnings, 47, 20);
+        let frozen = ex.freeze();
+        let mut s1 = InferScratch::default();
+        let mut s2 = InferScratch::default();
+        for d in &test.documents {
+            let plain = frozen.predict(d, &mut s1);
+            let scored = frozen.predict_scored(d, &mut s2);
+            let spans: Vec<EntitySpan> = scored.iter().map(|(s, _)| *s).collect();
+            assert_eq!(plain, spans, "scored decode drift on {}", d.id);
+            for (s, sc) in &scored {
+                assert!(sc.is_finite(), "non-finite confidence on {} {s:?}", d.id);
+            }
+        }
     }
 
     #[test]

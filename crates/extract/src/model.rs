@@ -1392,7 +1392,7 @@ mod tests {
                     ..TrainConfig::tiny()
                 },
             );
-            (*ex.train_report(), ex.to_bytes())
+            (*ex.train_report(), ex.to_bytes().unwrap())
         };
         let serial = run(1);
         for jobs in [2, 3, 8] {
@@ -1412,7 +1412,7 @@ mod tests {
                 ..TrainConfig::tiny()
             };
             let ex = Extractor::train_on(&train.schema, Lexicon::empty(), &train, &[], &cfg);
-            (*ex.train_report(), ex.to_bytes())
+            (*ex.train_report(), ex.to_bytes().unwrap())
         };
         let (report1, bytes1) = run(1);
         assert_eq!(report1.retries, 1);
@@ -1456,7 +1456,7 @@ mod tests {
                                 ..TrainConfig::default()
                             },
                         );
-                        ex.to_bytes()
+                        ex.to_bytes().unwrap()
                     };
                     prop_assert_eq!(run(1), run(jobs));
                     Ok(())

@@ -97,14 +97,25 @@ fn read_f32s<R: Read>(r: &mut R) -> Result<Vec<f32>, ModelIoError> {
     Ok(out)
 }
 
-fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+/// Maximum serialized string length in bytes, enforced symmetrically:
+/// `write_string` refuses to emit what `read_string` would reject, so a
+/// model that serializes successfully is always loadable.
+const MAX_STRING_BYTES: usize = 1 << 20;
+
+fn write_string<W: Write>(w: &mut W, s: &str, section: &str) -> Result<(), ModelIoError> {
+    if s.len() > MAX_STRING_BYTES {
+        return Err(ModelIoError::Format(format!(
+            "string of {} bytes in {section} exceeds the {MAX_STRING_BYTES}-byte cap",
+            s.len()
+        )));
+    }
     write_u64(w, s.len() as u64)?;
-    w.write_all(s.as_bytes())
+    Ok(w.write_all(s.as_bytes())?)
 }
 
 fn read_string<R: Read>(r: &mut R) -> Result<String, ModelIoError> {
     let n = read_u64(r)? as usize;
-    if n > 1 << 20 {
+    if n > MAX_STRING_BYTES {
         return Err(ModelIoError::Format(format!("string too large: {n}")));
     }
     let mut b = vec![0u8; n];
@@ -141,7 +152,7 @@ impl ModelParts {
         write_u64(w, u64::from(self.lexicon_docs))?;
         write_u64(w, self.lexicon_entries.len() as u64)?;
         for (tok, count) in &self.lexicon_entries {
-            write_string(w, tok)?;
+            write_string(w, tok, "lexicon entries")?;
             write_u64(w, u64::from(*count))?;
         }
         Ok(())
@@ -209,17 +220,21 @@ pub fn lexicon_from_entries(n_docs: u32, entries: Vec<(String, u32)>) -> Lexicon
 }
 
 impl Extractor {
-    /// Serializes the trained model to a byte vector.
+    /// Serializes the trained model to a byte vector. Fails with
+    /// [`ModelIoError::Format`] when the model holds a string the
+    /// deserializer would reject (e.g. an oversized lexicon token) —
+    /// enforcing the cap at write time keeps every written model
+    /// loadable.
     ///
     /// # Panics
     /// Panics when called on an extractor that has not finished training
     /// (averaging not applied) — persisting a half-trained model is a
     /// programming error.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    pub fn to_bytes(&self) -> Result<Vec<u8>, ModelIoError> {
         let parts = self.to_parts();
         let mut out = Vec::new();
-        parts.write(&mut out).expect("writing to Vec cannot fail");
-        out
+        parts.write(&mut out)?;
+        Ok(out)
     }
 
     /// Deserializes a model previously produced by
@@ -235,41 +250,43 @@ impl FrozenModel {
     /// Serializes the frozen model (f32 or quantized) to a byte vector.
     /// Only the canonical tables are stored; the permuted inference
     /// layout is rebuilt on load, so round-tripping reproduces
-    /// predictions exactly for both emission variants.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// predictions exactly for both emission variants. Fails with
+    /// [`ModelIoError::Format`] when a lexicon token exceeds the string
+    /// cap the deserializer enforces.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, ModelIoError> {
         let (field_types, emissions, trans, lexicon) = self.serial_parts();
         let mut w: Vec<u8> = Vec::new();
         let out = &mut w;
-        out.write_all(FROZEN_MAGIC).unwrap();
-        write_u64(out, field_types.len() as u64).unwrap();
+        out.write_all(FROZEN_MAGIC)?;
+        write_u64(out, field_types.len() as u64)?;
         let discr: Vec<u8> = field_types
             .iter()
             .map(|t| BaseType::ALL.iter().position(|x| x == t).unwrap() as u8)
             .collect();
-        out.write_all(&discr).unwrap();
+        out.write_all(&discr)?;
         match emissions {
             EmissionTable::F32(weights) => {
-                write_u64(out, 0).unwrap();
-                write_f32s(out, weights).unwrap();
+                write_u64(out, 0)?;
+                write_f32s(out, weights)?;
             }
             EmissionTable::Q8 { q, min, scale } => {
-                write_u64(out, 1).unwrap();
-                write_u64(out, QBLOCK as u64).unwrap();
-                write_f32s(out, min).unwrap();
-                write_f32s(out, scale).unwrap();
-                write_u64(out, q.len() as u64).unwrap();
-                out.write_all(q).unwrap();
+                write_u64(out, 1)?;
+                write_u64(out, QBLOCK as u64)?;
+                write_f32s(out, min)?;
+                write_f32s(out, scale)?;
+                write_u64(out, q.len() as u64)?;
+                out.write_all(q)?;
             }
         }
-        write_f32s(out, trans).unwrap();
-        write_u64(out, u64::from(lexicon.n_docs())).unwrap();
+        write_f32s(out, trans)?;
+        write_u64(out, u64::from(lexicon.n_docs()))?;
         let entries = lexicon.entries();
-        write_u64(out, entries.len() as u64).unwrap();
+        write_u64(out, entries.len() as u64)?;
         for (tok, count) in &entries {
-            write_string(out, tok).unwrap();
-            write_u64(out, u64::from(*count)).unwrap();
+            write_string(out, tok, "lexicon entries")?;
+            write_u64(out, u64::from(*count))?;
         }
-        w
+        Ok(w)
     }
 
     /// Deserializes a model previously produced by
@@ -378,7 +395,7 @@ mod tests {
         let test = generate(Domain::Fara, 8, 10);
         let lex = Lexicon::pretrain(&train.documents);
         let ex = Extractor::train_on(&train.schema, lex, &train, &[], &TrainConfig::tiny());
-        let bytes = ex.to_bytes();
+        let bytes = ex.to_bytes().unwrap();
         let back = Extractor::from_bytes(&bytes).unwrap();
         for d in &test.documents {
             assert_eq!(
@@ -408,7 +425,7 @@ mod tests {
             &[],
             &TrainConfig::tiny(),
         );
-        let bytes = ex.to_bytes();
+        let bytes = ex.to_bytes().unwrap();
         let parts = ex.to_parts();
 
         // Section boundaries in the layout (see `ModelParts::write`).
@@ -483,7 +500,7 @@ mod tests {
             &[],
             &TrainConfig::tiny(),
         );
-        let mut bytes = ex.to_bytes();
+        let mut bytes = ex.to_bytes().unwrap();
         // Corrupt a base-type discriminant (first byte after magic +
         // 2 u64 lengths = 8 + 8 + 8 = offset 24).
         bytes[24] = 99;
@@ -497,7 +514,7 @@ mod tests {
         let lex = Lexicon::pretrain(&train.documents);
         let ex = Extractor::train_on(&train.schema, lex, &train, &[], &TrainConfig::tiny());
         let frozen = ex.freeze();
-        let back = FrozenModel::from_bytes(&frozen.to_bytes()).unwrap();
+        let back = FrozenModel::from_bytes(&frozen.to_bytes().unwrap()).unwrap();
         assert!(!back.is_quantized());
         let mut s1 = InferScratch::default();
         let mut s2 = InferScratch::default();
@@ -524,7 +541,7 @@ mod tests {
             &TrainConfig::tiny(),
         );
         let q = ex.freeze().quantize();
-        let back = FrozenModel::from_bytes(&q.to_bytes()).unwrap();
+        let back = FrozenModel::from_bytes(&q.to_bytes().unwrap()).unwrap();
         assert!(back.is_quantized());
         let mut s1 = InferScratch::default();
         let mut s2 = InferScratch::default();
@@ -546,10 +563,10 @@ mod tests {
             &[],
             &TrainConfig::tiny(),
         );
-        assert!(FrozenModel::from_bytes(&ex.to_bytes()).is_err());
-        assert!(Extractor::from_bytes(&ex.freeze().to_bytes()).is_err());
+        assert!(FrozenModel::from_bytes(&ex.to_bytes().unwrap()).is_err());
+        assert!(Extractor::from_bytes(&ex.freeze().to_bytes().unwrap()).is_err());
         // Truncations surface as Format errors naming a section.
-        let bytes = ex.freeze().to_bytes();
+        let bytes = ex.freeze().to_bytes().unwrap();
         for cut in [3usize, 9, 20, bytes.len() / 2, bytes.len() - 1] {
             match FrozenModel::from_bytes(&bytes[..cut]) {
                 Err(ModelIoError::Format(_)) => {}
@@ -569,9 +586,78 @@ mod tests {
             &[],
             &TrainConfig::tiny(),
         );
-        let bytes = ex.to_bytes();
+        let bytes = ex.to_bytes().unwrap();
         // 1M-bucket weight table of f32 dominates: ~4 MiB + small extras.
         assert!(bytes.len() > 4 << 20);
         assert!(bytes.len() < 8 << 20);
+    }
+
+    #[test]
+    fn string_at_cap_round_trips() {
+        // A lexicon token of exactly MAX_STRING_BYTES is legal on both
+        // sides of the boundary: it writes and loads back unchanged.
+        let train = generate(Domain::Fara, 13, 5);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::empty(),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        let mut parts = ex.to_parts();
+        let tok = "a".repeat(MAX_STRING_BYTES);
+        parts.lexicon_entries.push((tok.clone(), 3));
+        let mut bytes = Vec::new();
+        parts.write(&mut bytes).unwrap();
+        let back = ModelParts::read(&mut bytes.as_slice()).unwrap();
+        assert!(back.lexicon_entries.contains(&(tok, 3)));
+    }
+
+    #[test]
+    fn string_over_cap_fails_at_write_time() {
+        // Regression test for the write/read asymmetry: an oversized
+        // lexicon token used to serialize fine and then fail to load.
+        // Now the *write* fails, with a Format error naming the section.
+        let train = generate(Domain::Fara, 14, 5);
+        let ex = Extractor::train_on(
+            &train.schema,
+            Lexicon::empty(),
+            &train,
+            &[],
+            &TrainConfig::tiny(),
+        );
+        let mut parts = ex.to_parts();
+        parts
+            .lexicon_entries
+            .push(("a".repeat(MAX_STRING_BYTES + 1), 3));
+        let mut bytes = Vec::new();
+        match parts.write(&mut bytes) {
+            Err(ModelIoError::Format(msg)) => assert!(
+                msg.contains("lexicon entries"),
+                "error must name the offending section: {msg}"
+            ),
+            other => panic!("oversized token accepted at write time: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_write_enforces_string_cap() {
+        let train = generate(Domain::Fara, 15, 5);
+        let big = Lexicon::from_raw(1, vec![("b".repeat(MAX_STRING_BYTES + 1), 1)]);
+        let ex = Extractor::train_on(&train.schema, big, &train, &[], &TrainConfig::tiny());
+        match ex.freeze().to_bytes() {
+            Err(ModelIoError::Format(msg)) => assert!(msg.contains("lexicon entries"), "{msg}"),
+            other => panic!("oversized frozen token accepted at write time: {other:?}"),
+        }
+        // At the cap it serializes and loads back.
+        let ok = Lexicon::from_raw(1, vec![("b".repeat(MAX_STRING_BYTES), 1)]);
+        let ex = Extractor::train_on(&train.schema, ok, &train, &[], &TrainConfig::tiny());
+        let frozen = ex.freeze();
+        let back = FrozenModel::from_bytes(&frozen.to_bytes().unwrap()).unwrap();
+        let mut s1 = InferScratch::default();
+        let mut s2 = InferScratch::default();
+        for d in &train.documents {
+            assert_eq!(frozen.predict(d, &mut s1), back.predict(d, &mut s2));
+        }
     }
 }

@@ -61,7 +61,7 @@ pub mod span;
 pub use export::{render_chrome_trace, render_collapsed};
 pub use logger::{Level, Verbosity};
 pub use metrics::{Histogram, Registry};
-pub use serve::{ObsServer, PeriodicFlush};
+pub use serve::{Handler, HttpRequest, HttpResponse, HttpServer, ObsServer, PeriodicFlush};
 pub use sink::Event;
 pub use span::{
     aggregate_path_durations, aggregate_spans, render_span_tree, SpanGuard, SpanNode, SpanRecord,

@@ -1,0 +1,243 @@
+//! Load generator for the extraction service: starts an in-process
+//! server with freshly trained models, hammers it with concurrent
+//! clients over real TCP sockets, and reports sustained throughput and
+//! p50/p99 latency. `--json PATH` writes the additive-versioned
+//! `BENCH_serve.json` consumed by `bench_gate serve`.
+
+use fieldswap_datagen::{generate, Domain};
+use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
+use fieldswap_serve::{domain_key, ModelEntry, RegistrySnapshot, ServeConfig, ServeHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Additive-versioned schema of `BENCH_serve.json`. Bump when adding
+/// fields; the gate only reads fields it knows.
+const SCHEMA_VERSION: u64 = 1;
+
+struct Args {
+    requests: usize,
+    concurrency: usize,
+    docs_per_request: usize,
+    workers: usize,
+    train_docs: usize,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        requests: 400,
+        concurrency: 4,
+        docs_per_request: 1,
+        workers: 0,
+        train_docs: 15,
+        seed: 7,
+        json: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(|s| s.as_str())
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag {
+            "--requests" => args.requests = num(flag, value(i)?)?,
+            "--concurrency" => args.concurrency = num(flag, value(i)?)?,
+            "--docs-per-request" => args.docs_per_request = num(flag, value(i)?)?,
+            "--workers" => args.workers = num(flag, value(i)?)?,
+            "--train-docs" => args.train_docs = num(flag, value(i)?)?,
+            "--seed" => args.seed = num(flag, value(i)?)?,
+            "--json" => args.json = Some(value(i)?.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if args.requests == 0 || args.concurrency == 0 || args.docs_per_request == 0 {
+        return Err("requests, concurrency, and docs-per-request must be positive".into());
+    }
+    Ok(args)
+}
+
+fn num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("flag {flag}: bad value {v:?}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn train_entry(domain: Domain, seed: u64, docs: usize) -> ModelEntry {
+    let corpus = generate(domain, seed, docs);
+    let lex = Lexicon::pretrain(&corpus.documents);
+    let frozen =
+        Extractor::train_on(&corpus.schema, lex, &corpus, &[], &TrainConfig::tiny()).freeze();
+    ModelEntry {
+        name: domain_key(domain).into(),
+        model: Arc::new(frozen),
+        field_names: (0..corpus.schema.len())
+            .map(|id| corpus.schema.field(id as u16).name.clone())
+            .collect(),
+    }
+}
+
+/// One HTTP request over a fresh socket; returns latency on HTTP 200.
+fn post_extract(addr: SocketAddr, body: &[u8]) -> Result<std::time::Duration, String> {
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let header = format!(
+        "POST /v1/extract HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(header.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    if !response.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "non-200 response: {}",
+            response.lines().next().unwrap_or("<empty>")
+        ));
+    }
+    Ok(t0.elapsed())
+}
+
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    // Train one small model per benchmark domain, fully in memory.
+    let domains = [Domain::Fara, Domain::Earnings];
+    eprintln!(
+        "training {} models ({} docs each)...",
+        domains.len(),
+        args.train_docs
+    );
+    let entries: Vec<ModelEntry> = domains
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| train_entry(d, args.seed + i as u64, args.train_docs))
+        .collect();
+    let snapshot = RegistrySnapshot::from_entries(entries)?;
+
+    let handle = ServeHandle::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        models_dir: None,
+        initial: Some(snapshot),
+        workers: args.workers,
+        quantized: false,
+    })?;
+    let addr = handle.addr();
+    eprintln!("server on {addr}");
+
+    // Pre-serialize request bodies, alternating domains so routing and
+    // multi-model scratch reuse are both on the measured path.
+    let bodies: Vec<Vec<u8>> = domains
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let docs = generate(d, args.seed + 100 + i as u64, args.docs_per_request).documents;
+            let body = serde::Value::Object(vec![(
+                "documents".into(),
+                serde::Value::Array(docs.iter().map(serde::Serialize::to_value).collect()),
+            )]);
+            serde_json::to_string(&body)
+                .expect("document tree")
+                .into_bytes()
+        })
+        .collect();
+
+    // Warmup: prime scratches and the row caches off the clock.
+    for body in &bodies {
+        post_extract(addr, body).map_err(|e| format!("warmup failed: {e}"))?;
+    }
+
+    let next = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(args.requests));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..args.concurrency {
+            s.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= args.requests {
+                        break;
+                    }
+                    match post_extract(addr, &bodies[i % bodies.len()]) {
+                        Ok(lat) => local.push(lat.as_micros() as u64),
+                        Err(e) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("request {i} failed: {e}");
+                        }
+                    }
+                }
+                latencies.lock().expect("latencies").extend(local);
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    handle.shutdown();
+
+    let mut lat_us = latencies.into_inner().expect("latencies");
+    lat_us.sort_unstable();
+    let errors = errors.into_inner();
+    let ok = lat_us.len();
+    let throughput = ok as f64 / wall.as_secs_f64();
+    let p50 = percentile_ms(&lat_us, 50.0);
+    let p99 = percentile_ms(&lat_us, 99.0);
+    println!(
+        "serve_bench: {ok}/{} ok, {errors} errors, {:.1}s wall",
+        args.requests,
+        wall.as_secs_f64()
+    );
+    println!("  throughput  {throughput:>10.1} req/s");
+    println!("  p50 latency {p50:>10.3} ms");
+    println!("  p99 latency {p99:>10.3} ms");
+
+    if errors > 0 {
+        return Err(format!("{errors} requests failed"));
+    }
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"seed\": {},\n  \"requests\": {},\n  \"concurrency\": {},\n  \"docs_per_request\": {},\n  \"workers\": {},\n  \"train_docs\": {},\n  \"throughput_rps\": {throughput:.2},\n  \"p50_ms\": {p50:.4},\n  \"p99_ms\": {p99:.4},\n  \"errors\": {errors}\n}}\n",
+            args.seed,
+            args.requests,
+            args.concurrency,
+            args.docs_per_request,
+            args.workers,
+            args.train_docs,
+        );
+        std::fs::write(path, json).map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

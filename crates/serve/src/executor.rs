@@ -1,0 +1,145 @@
+//! The inference executor: a persistent worker pool with per-worker
+//! [`InferScratch`] reuse.
+//!
+//! Scratches are allocated once at startup and reused for every request,
+//! so a warm server performs no per-request scratch allocation. The
+//! scratch's own model-token check handles multi-model traffic: reusing
+//! a scratch against a different model resets only its row cache.
+//!
+//! The [`WorkerPool`] broadcast protocol forbids overlapping batches, so
+//! the pool sits behind a `Mutex` — concurrent batch requests serialize
+//! on it. Single-document requests (the common online case) skip the
+//! pool entirely and run on the connection thread with a round-robin
+//! scratch, so they proceed concurrently with each other and with any
+//! in-flight batch.
+
+use fieldswap_docmodel::{Document, EntitySpan};
+use fieldswap_extract::{FrozenModel, InferScratch};
+use fieldswap_parallel::{effective_jobs, WorkerPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Scored spans for one document: `(span, confidence)` pairs.
+pub type ScoredSpans = Vec<(EntitySpan, f32)>;
+
+/// A persistent inference executor. One per server.
+pub struct Executor {
+    pool: Mutex<WorkerPool>,
+    scratches: Vec<Mutex<InferScratch>>,
+    rr: AtomicUsize,
+}
+
+impl Executor {
+    /// An executor with `jobs` workers (0 = all cores, 1 = run inline).
+    pub fn new(jobs: usize) -> Self {
+        let jobs = effective_jobs(jobs);
+        Self {
+            pool: Mutex::new(WorkerPool::new(jobs)),
+            scratches: (0..jobs)
+                .map(|_| Mutex::new(InferScratch::default()))
+                .collect(),
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of workers (and scratches).
+    pub fn jobs(&self) -> usize {
+        self.scratches.len()
+    }
+
+    /// Scored prediction for one document on the calling thread, using a
+    /// round-robin scratch. No pool broadcast, so concurrent calls run
+    /// truly in parallel across connection threads.
+    pub fn predict_one(&self, model: &FrozenModel, doc: &Document) -> ScoredSpans {
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.scratches.len();
+        let mut scratch = self.scratches[i].lock().expect("scratch poisoned");
+        model.predict_scored(doc, &mut scratch)
+    }
+
+    /// Scored predictions for a batch, fanned over the worker pool with
+    /// each worker reusing its own scratch. `models[i]` is the routed
+    /// model for `docs[i]` — a mixed-domain batch is fine.
+    pub fn predict_batch(&self, models: &[&FrozenModel], docs: &[Document]) -> Vec<ScoredSpans> {
+        assert_eq!(models.len(), docs.len());
+        if docs.len() <= 1 {
+            return docs
+                .iter()
+                .zip(models)
+                .map(|(d, m)| self.predict_one(m, d))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<ScoredSpans>>> =
+            (0..docs.len()).map(|_| Mutex::new(None)).collect();
+        {
+            // Broadcasts must not overlap: hold the pool for the batch.
+            let pool = self.pool.lock().expect("pool poisoned");
+            pool.fill_slots(&slots, |worker, item| {
+                let mut scratch = self.scratches[worker].lock().expect("scratch poisoned");
+                models[item].predict_scored(&docs[item], &mut scratch)
+            });
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot poisoned")
+                    .expect("slot unfilled")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_datagen::{generate, Domain};
+    use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
+
+    #[test]
+    fn batch_matches_serial_prediction_across_models() {
+        let mk = |domain, seed| {
+            let corpus = generate(domain, seed, 12);
+            let lex = Lexicon::pretrain(&corpus.documents);
+            Extractor::train_on(&corpus.schema, lex, &corpus, &[], &TrainConfig::tiny()).freeze()
+        };
+        let fara = mk(Domain::Fara, 51);
+        let earn = mk(Domain::Earnings, 52);
+        let mut docs = generate(Domain::Fara, 53, 4).documents;
+        docs.extend(generate(Domain::Earnings, 54, 4).documents);
+        let models: Vec<&FrozenModel> = (0..8).map(|i| if i < 4 { &fara } else { &earn }).collect();
+
+        let ex = Executor::new(3);
+        let batch = ex.predict_batch(&models, &docs);
+        let mut scratch = InferScratch::default();
+        for (i, (m, d)) in models.iter().zip(&docs).enumerate() {
+            let serial = m.predict_scored(d, &mut scratch);
+            assert_eq!(batch[i], serial, "batch drift on doc {i}");
+            // The single-doc fast path agrees too.
+            assert_eq!(ex.predict_one(m, d), serial, "fast-path drift on doc {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_single_doc_requests_are_consistent() {
+        let corpus = generate(Domain::Fara, 55, 12);
+        let lex = Lexicon::pretrain(&corpus.documents);
+        let frozen =
+            Extractor::train_on(&corpus.schema, lex, &corpus, &[], &TrainConfig::tiny()).freeze();
+        let probe = generate(Domain::Fara, 56, 6).documents;
+        let mut scratch = InferScratch::default();
+        let expected: Vec<_> = probe
+            .iter()
+            .map(|d| frozen.predict_scored(d, &mut scratch))
+            .collect();
+        let ex = Executor::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (d, want) in probe.iter().zip(&expected) {
+                        assert_eq!(&ex.predict_one(&frozen, d), want);
+                    }
+                });
+            }
+        });
+    }
+}

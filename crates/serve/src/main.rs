@@ -1,0 +1,226 @@
+//! `fieldswap-serve` — the online extraction service CLI.
+//!
+//! Subcommands:
+//!
+//! * `serve --models DIR [--listen ADDR] [--workers N] [--quantized]` —
+//!   load every `*.fsm` in DIR and serve until `POST /quitquitquit`.
+//! * `train --domain KEY --models DIR [--seed S] [--docs N] [--epochs E]`
+//!   — train a small model on generated documents for one domain and
+//!   write `KEY.fsm` + `KEY.fields.json` into DIR.
+//! * `sample --domain KEY --out PATH [--seed S]` — write a ready-to-POST
+//!   `/v1/extract` request body containing one generated document.
+
+use fieldswap_datagen::generate;
+use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
+use fieldswap_serve::{domain_key, parse_domain, ServeConfig, ServeHandle};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "serve" => cmd_serve(rest),
+        "train" => cmd_train(rest),
+        "sample" => cmd_sample(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: fieldswap-serve <serve|train|sample> [flags]\n\
+     serve  --models DIR [--listen ADDR] [--workers N] [--quantized]\n\
+     train  --domain KEY --models DIR [--seed S] [--docs N] [--epochs E]\n\
+     sample --domain KEY --out PATH [--seed S]"
+        .into()
+}
+
+/// Pulls `--flag value` pairs and bare `--switch`es out of `args`.
+struct Flags<'a> {
+    args: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Self {
+            args,
+            used: vec![false; args.len()],
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<&'a str>, String> {
+        for i in 0..self.args.len() {
+            if self.args[i] == name {
+                let v = self
+                    .args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| format!("flag {name} needs a value"))?;
+                self.used[i] = true;
+                self.used[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn switch(&mut self, name: &str) -> bool {
+        for i in 0..self.args.len() {
+            if self.args[i] == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn finish(self) -> Result<(), String> {
+        for (i, used) in self.used.iter().enumerate() {
+            if !used {
+                return Err(format!("unrecognized argument {:?}", self.args[i]));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("flag {name}: bad value {v:?}"))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let models = flags
+        .value("--models")?
+        .ok_or("serve requires --models DIR")?
+        .to_string();
+    let listen = flags
+        .value("--listen")?
+        .unwrap_or("127.0.0.1:8080")
+        .to_string();
+    let workers = match flags.value("--workers")? {
+        Some(v) => parse_num("--workers", v)?,
+        None => 0,
+    };
+    let quantized = flags.switch("--quantized");
+    flags.finish()?;
+
+    let handle = ServeHandle::start(ServeConfig {
+        listen,
+        models_dir: Some(PathBuf::from(models)),
+        initial: None,
+        workers,
+        quantized,
+    })?;
+    println!("listening on {}", handle.addr());
+    handle.wait_for_quit();
+    // Let the quit response flush before tearing the listener down.
+    std::thread::sleep(Duration::from_millis(200));
+    handle.shutdown();
+    println!("shut down cleanly");
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let key = flags
+        .value("--domain")?
+        .ok_or("train requires --domain KEY")?
+        .to_string();
+    let models = flags
+        .value("--models")?
+        .ok_or("train requires --models DIR")?
+        .to_string();
+    let seed = match flags.value("--seed")? {
+        Some(v) => parse_num("--seed", v)?,
+        None => 7u64,
+    };
+    let docs = match flags.value("--docs")? {
+        Some(v) => parse_num("--docs", v)?,
+        None => 40usize,
+    };
+    let epochs = match flags.value("--epochs")? {
+        Some(v) => parse_num("--epochs", v)?,
+        None => TrainConfig::tiny().epochs,
+    };
+    flags.finish()?;
+
+    let domain = parse_domain(&key)
+        .ok_or_else(|| format!("unknown domain {key:?} (try: fara, earnings)"))?;
+    let corpus = generate(domain, seed, docs);
+    let lex = Lexicon::pretrain(&corpus.documents);
+    let cfg = TrainConfig {
+        epochs,
+        seed,
+        ..TrainConfig::tiny()
+    };
+    let ex = Extractor::train_on(&corpus.schema, lex, &corpus, &[], &cfg);
+    let frozen = ex.freeze();
+    let bytes = frozen.to_bytes().map_err(|e| format!("serializing: {e}"))?;
+
+    let dir = PathBuf::from(&models);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {models:?}: {e}"))?;
+    let model_path = dir.join(format!("{}.fsm", domain_key(domain)));
+    std::fs::write(&model_path, &bytes).map_err(|e| format!("writing {model_path:?}: {e}"))?;
+    let names: Vec<String> = (0..corpus.schema.len())
+        .map(|id| corpus.schema.field(id as u16).name.clone())
+        .collect();
+    let sidecar = dir.join(format!("{}.fields.json", domain_key(domain)));
+    std::fs::write(
+        &sidecar,
+        serde_json::to_string(&names).expect("string array"),
+    )
+    .map_err(|e| format!("writing {sidecar:?}: {e}"))?;
+    println!(
+        "trained {} ({} docs, {} epochs) -> {} ({} bytes)",
+        domain_key(domain),
+        docs,
+        epochs,
+        model_path.display(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_sample(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let key = flags
+        .value("--domain")?
+        .ok_or("sample requires --domain KEY")?
+        .to_string();
+    let out = flags
+        .value("--out")?
+        .ok_or("sample requires --out PATH")?
+        .to_string();
+    let seed = match flags.value("--seed")? {
+        Some(v) => parse_num("--seed", v)?,
+        None => 8u64,
+    };
+    flags.finish()?;
+
+    let domain = parse_domain(&key).ok_or_else(|| format!("unknown domain {key:?}"))?;
+    let doc = generate(domain, seed, 1).documents.remove(0);
+    let body = serde::Value::Object(vec![(
+        "documents".into(),
+        serde::Value::Array(vec![serde::Serialize::to_value(&doc)]),
+    )]);
+    std::fs::write(&out, serde_json::to_string(&body).expect("document tree"))
+        .map_err(|e| format!("writing {out:?}: {e}"))?;
+    println!("wrote sample request for {key} to {out}");
+    Ok(())
+}

@@ -1,0 +1,276 @@
+//! The model registry: immutable snapshots of loaded [`FrozenModel`]s,
+//! template-match routing, and atomic hot reload.
+//!
+//! A [`RegistrySnapshot`] is built once (from a model directory or
+//! in-memory) and never mutated; the live [`Registry`] holds the current
+//! snapshot behind an `RwLock<Arc<…>>`, so a reload is one pointer swap —
+//! requests in flight keep the snapshot they started with and can never
+//! observe a half-loaded registry.
+
+use fieldswap_docmodel::Document;
+use fieldswap_extract::{FrozenModel, Lexicon};
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// One registered model: a domain key (the model file's stem), the
+/// frozen model, and human-readable field names for responses.
+pub struct ModelEntry {
+    /// Routing/domain key, unique within a snapshot.
+    pub name: String,
+    /// The loaded inference snapshot.
+    pub model: Arc<FrozenModel>,
+    /// Display name per field id; padded with `field-<id>` when the
+    /// sidecar names fewer fields than the model has.
+    pub field_names: Vec<String>,
+}
+
+/// An immutable set of registered models, sorted by name.
+pub struct RegistrySnapshot {
+    entries: Vec<ModelEntry>,
+}
+
+/// File extension of serialized frozen models in a model directory.
+pub const MODEL_EXT: &str = "fsm";
+
+impl RegistrySnapshot {
+    /// An empty snapshot (server can start before any model exists).
+    pub fn empty() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a snapshot from loaded entries (used by tests and
+    /// benchmarks that skip the filesystem). Entries are sorted by name;
+    /// duplicate names are an error.
+    pub fn from_entries(mut entries: Vec<ModelEntry>) -> Result<Self, String> {
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        for pair in entries.windows(2) {
+            if pair[0].name == pair[1].name {
+                return Err(format!("duplicate model name {:?}", pair[0].name));
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads every `*.fsm` model in `dir` (stem = model name, optional
+    /// `<stem>.fields.json` sidecar naming the fields). With `quantized`
+    /// set, each model's emission table is int8-quantized after load.
+    /// Any unreadable or corrupt model fails the whole load — a reload
+    /// either fully succeeds or leaves the previous registry in place.
+    pub fn load_dir(dir: &Path, quantized: bool) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        let listing =
+            std::fs::read_dir(dir).map_err(|e| format!("reading model dir {dir:?}: {e}"))?;
+        for item in listing {
+            let path = item.map_err(|e| format!("listing {dir:?}: {e}"))?.path();
+            if path.extension().and_then(|x| x.to_str()) != Some(MODEL_EXT) {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("non-utf8 model file name {path:?}"))?
+                .to_string();
+            let bytes = std::fs::read(&path).map_err(|e| format!("reading model {path:?}: {e}"))?;
+            let model =
+                FrozenModel::from_bytes(&bytes).map_err(|e| format!("loading {path:?}: {e}"))?;
+            let model = if quantized { model.quantize() } else { model };
+            let sidecar = path.with_extension("fields.json");
+            let mut field_names: Vec<String> = if sidecar.exists() {
+                let text = std::fs::read_to_string(&sidecar)
+                    .map_err(|e| format!("reading {sidecar:?}: {e}"))?;
+                serde_json::from_str(&text).map_err(|e| format!("parsing {sidecar:?}: {e}"))?
+            } else {
+                Vec::new()
+            };
+            for id in field_names.len()..model.n_fields() {
+                field_names.push(format!("field-{id}"));
+            }
+            field_names.truncate(model.n_fields());
+            entries.push(ModelEntry {
+                name,
+                model: Arc::new(model),
+                field_names,
+            });
+        }
+        Self::from_entries(entries)
+    }
+
+    /// The registered models, sorted by name.
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<&ModelEntry> {
+        self.entries
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Template-match dispatch: scores every registered model's lexicon
+    /// against `doc` and returns the index of the best match plus its
+    /// score. The score is the mean DF bucket of the document's tokens
+    /// under the model's lexicon, normalized to `0..=1` — a document
+    /// drawn from the model's template vocabulary scores high, a foreign
+    /// one scores near zero. Ties break to the lexicographically first
+    /// name (entries are sorted), so routing is deterministic.
+    pub fn route(&self, doc: &Document) -> Option<(usize, f32)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, f32)> = None;
+        let mut buf = String::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            let score = lexicon_overlap(entry.model.lexicon(), doc, &mut buf);
+            match best {
+                Some((_, b)) if b >= score => {}
+                _ => best = Some((i, score)),
+            }
+        }
+        best
+    }
+}
+
+/// Template-match score of `doc` against `lexicon`: the mean DF bucket
+/// of the document's tokens, scaled to `0..=1`. This is what
+/// [`RegistrySnapshot::route`] maximizes; exposed so a pinned-model
+/// request can still report its score.
+pub fn match_score(lexicon: &Lexicon, doc: &Document) -> f32 {
+    let mut buf = String::new();
+    lexicon_overlap(lexicon, doc, &mut buf)
+}
+
+/// Mean DF bucket (0..=4, scaled to 0..=1) of `doc`'s tokens under
+/// `lexicon`. `buf` is the reusable normalization buffer from
+/// [`Lexicon::df_bucket_into`], so scoring allocates nothing once warm.
+fn lexicon_overlap(lexicon: &Lexicon, doc: &Document, buf: &mut String) -> f32 {
+    if doc.tokens.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0u32;
+    for t in &doc.tokens {
+        sum += u32::from(lexicon.df_bucket_into(&t.text, buf));
+    }
+    sum as f32 / (4.0 * doc.tokens.len() as f32)
+}
+
+/// The live registry: the current [`RegistrySnapshot`] behind one
+/// atomic pointer swap.
+pub struct Registry {
+    current: RwLock<Arc<RegistrySnapshot>>,
+}
+
+impl Registry {
+    /// A registry serving `snapshot`.
+    pub fn new(snapshot: RegistrySnapshot) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The current snapshot. Requests hold the `Arc` for their whole
+    /// lifetime, so a concurrent [`Registry::replace`] never changes the
+    /// models a request already routed against.
+    pub fn snapshot(&self) -> Arc<RegistrySnapshot> {
+        Arc::clone(&self.current.read().expect("registry poisoned"))
+    }
+
+    /// Atomically replaces the served snapshot.
+    pub fn replace(&self, snapshot: RegistrySnapshot) {
+        *self.current.write().expect("registry poisoned") = Arc::new(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fieldswap_datagen::{generate, Domain};
+    use fieldswap_extract::{Extractor, TrainConfig};
+
+    fn frozen_for(domain: Domain, seed: u64) -> (FrozenModel, Vec<Document>) {
+        let corpus = generate(domain, seed, 15);
+        let lex = Lexicon::pretrain(&corpus.documents);
+        let ex = Extractor::train_on(&corpus.schema, lex, &corpus, &[], &TrainConfig::tiny());
+        let probe = generate(domain, seed + 1, 5).documents;
+        (ex.freeze(), probe)
+    }
+
+    #[test]
+    fn routes_documents_to_their_domain() {
+        let (fara, fara_docs) = frozen_for(Domain::Fara, 101);
+        let (earnings, earnings_docs) = frozen_for(Domain::Earnings, 102);
+        let snap = RegistrySnapshot::from_entries(vec![
+            ModelEntry {
+                name: "fara".into(),
+                model: Arc::new(fara),
+                field_names: Vec::new(),
+            },
+            ModelEntry {
+                name: "earnings".into(),
+                model: Arc::new(earnings),
+                field_names: Vec::new(),
+            },
+        ])
+        .unwrap();
+        for d in &fara_docs {
+            let (i, score) = snap.route(d).unwrap();
+            assert_eq!(snap.entries()[i].name, "fara", "misrouted {}", d.id);
+            assert!(score > 0.0);
+        }
+        for d in &earnings_docs {
+            let (i, _) = snap.route(d).unwrap();
+            assert_eq!(snap.entries()[i].name, "earnings", "misrouted {}", d.id);
+        }
+    }
+
+    #[test]
+    fn empty_registry_routes_nothing() {
+        let snap = RegistrySnapshot::empty();
+        let doc = generate(Domain::Fara, 1, 1).documents.remove(0);
+        assert!(snap.route(&doc).is_none());
+        assert!(snap.get("fara").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (m, _) = frozen_for(Domain::Fara, 103);
+        let m = Arc::new(m);
+        let Err(err) = RegistrySnapshot::from_entries(vec![
+            ModelEntry {
+                name: "x".into(),
+                model: Arc::clone(&m),
+                field_names: Vec::new(),
+            },
+            ModelEntry {
+                name: "x".into(),
+                model: m,
+                field_names: Vec::new(),
+            },
+        ]) else {
+            panic!("duplicate names accepted");
+        };
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn replace_swaps_snapshots_atomically() {
+        let registry = Registry::new(RegistrySnapshot::empty());
+        let before = registry.snapshot();
+        assert!(before.entries().is_empty());
+        let (m, _) = frozen_for(Domain::Fara, 104);
+        registry.replace(
+            RegistrySnapshot::from_entries(vec![ModelEntry {
+                name: "fara".into(),
+                model: Arc::new(m),
+                field_names: Vec::new(),
+            }])
+            .unwrap(),
+        );
+        // The old handle still sees the old world; a fresh one the new.
+        assert!(before.entries().is_empty());
+        assert_eq!(registry.snapshot().entries().len(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! The HTTP/JSON service: endpoint dispatch, request parsing, routed
+//! batched inference, and per-stage instrumentation.
+//!
+//! Built on the dependency-free [`HttpServer`] from `fieldswap-obs`, so
+//! the whole service — observability included — runs on `std` alone.
+//!
+//! Endpoints:
+//!
+//! * `POST /v1/extract` — body `{"documents": [Document, …], "model":
+//!   "name"?}`. Each document is routed (or pinned to `"model"`) and
+//!   decoded on the frozen fast path; the response carries per-field
+//!   values, confidences, and boxes.
+//! * `GET /models` — the registered models and their fields.
+//! * `POST /reload` — atomically reload the registry from the model
+//!   directory; in-flight requests keep the snapshot they started with.
+//! * `GET /metrics` — Prometheus exposition (request counters, per-stage
+//!   latency histograms `fieldswap_serve_stage_ms{stage=…}`).
+//! * `GET /healthz` — liveness.
+//! * `POST /quitquitquit` — orderly shutdown (for CI and scripts).
+
+use crate::executor::Executor;
+use crate::registry::{match_score, ModelEntry, Registry, RegistrySnapshot};
+use fieldswap_docmodel::Document;
+use fieldswap_extract::FrozenModel;
+use fieldswap_obs::{Collector, Handler, HttpRequest, HttpResponse, HttpServer};
+use serde::{Deserialize, Value};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 for ephemeral).
+    pub listen: String,
+    /// Model directory for startup load and `/reload`. `None` disables
+    /// reload (registry fixed to `initial`).
+    pub models_dir: Option<PathBuf>,
+    /// A pre-built registry to serve instead of loading `models_dir` at
+    /// startup (tests and benchmarks).
+    pub initial: Option<RegistrySnapshot>,
+    /// Inference workers (0 = all cores).
+    pub workers: usize,
+    /// Quantize models to int8 at (re)load time.
+    pub quantized: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".into(),
+            models_dir: None,
+            initial: None,
+            workers: 0,
+            quantized: false,
+        }
+    }
+}
+
+struct ServeState {
+    registry: Registry,
+    executor: Executor,
+    models_dir: Option<PathBuf>,
+    quantized: bool,
+    collector: &'static Collector,
+    quit_tx: Mutex<Sender<()>>,
+}
+
+/// A running extraction server.
+pub struct ServeHandle {
+    http: HttpServer,
+    quit_rx: Receiver<()>,
+}
+
+impl ServeHandle {
+    /// Loads the registry and starts serving. Metrics recording on the
+    /// global collector is enabled so `/metrics` is live from the start.
+    pub fn start(cfg: ServeConfig) -> Result<ServeHandle, String> {
+        let snapshot = match (cfg.initial, &cfg.models_dir) {
+            (Some(snap), _) => snap,
+            (None, Some(dir)) => RegistrySnapshot::load_dir(dir, cfg.quantized)?,
+            (None, None) => RegistrySnapshot::empty(),
+        };
+        let collector = fieldswap_obs::global();
+        collector.enable_metrics();
+        let (quit_tx, quit_rx) = std::sync::mpsc::channel();
+        let state = Arc::new(ServeState {
+            registry: Registry::new(snapshot),
+            executor: Executor::new(cfg.workers),
+            models_dir: cfg.models_dir,
+            quantized: cfg.quantized,
+            collector,
+            quit_tx: Mutex::new(quit_tx),
+        });
+        let handler: Handler = Arc::new(move |req: &HttpRequest| state.handle(req));
+        let http = HttpServer::start(&cfg.listen, "fieldswap-serve", handler)
+            .map_err(|e| format!("binding listener: {e}"))?;
+        Ok(ServeHandle { http, quit_rx })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// Blocks until a client POSTs `/quitquitquit`.
+    pub fn wait_for_quit(&self) {
+        let _ = self.quit_rx.recv();
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(self) {
+        self.http.shutdown()
+    }
+}
+
+/// A request failure: status code + message for the body.
+struct Reject(u16, String);
+
+impl ServeState {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let endpoint = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => "healthz",
+            ("GET", "/metrics") => "metrics",
+            ("GET", "/models") => "models",
+            ("POST", "/reload") => "reload",
+            ("POST", "/v1/extract") => "extract",
+            ("POST", "/quitquitquit") => "quit",
+            (
+                _,
+                "/healthz" | "/metrics" | "/models" | "/reload" | "/v1/extract" | "/quitquitquit",
+            ) => return self.reject(Reject(405, "method not allowed\n".into())),
+            _ => return self.reject(Reject(404, "not found\n".into())),
+        };
+        self.collector.counter_add(
+            &format!("fieldswap_serve_requests_total{{endpoint=\"{endpoint}\"}}"),
+            1,
+        );
+        match endpoint {
+            "healthz" => HttpResponse::text(200, "ok\n"),
+            "metrics" => HttpResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: self.collector.render_prometheus().into_bytes(),
+            },
+            "models" => self.models_response(),
+            "reload" => match self.reload() {
+                Ok(n) => HttpResponse::json(200, format!("{{\"reloaded\":true,\"models\":{n}}}\n")),
+                Err(Reject(status, msg)) => self.reject(Reject(status, msg)),
+            },
+            "quit" => {
+                let _ = self.quit_tx.lock().expect("quit poisoned").send(());
+                HttpResponse::text(200, "shutting down\n")
+            }
+            _ => match self.extract(&req.body) {
+                Ok(resp) => resp,
+                Err(r) => self.reject(r),
+            },
+        }
+    }
+
+    fn reject(&self, Reject(status, msg): Reject) -> HttpResponse {
+        self.collector.counter_add(
+            &format!("fieldswap_serve_errors_total{{code=\"{status}\"}}"),
+            1,
+        );
+        HttpResponse::text(status, msg)
+    }
+
+    fn observe_stage(&self, stage: &str, since: Instant) {
+        self.collector.observe(
+            &format!("fieldswap_serve_stage_ms{{stage=\"{stage}\"}}"),
+            since.elapsed().as_secs_f64() * 1e3,
+        );
+    }
+
+    fn models_response(&self) -> HttpResponse {
+        let snap = self.registry.snapshot();
+        let models: Vec<Value> = snap
+            .entries()
+            .iter()
+            .map(|e| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(e.name.clone())),
+                    (
+                        "fields".into(),
+                        Value::Array(
+                            e.field_names
+                                .iter()
+                                .map(|f| Value::Str(f.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("quantized".into(), Value::Bool(e.model.is_quantized())),
+                ])
+            })
+            .collect();
+        let body = Value::Object(vec![("models".into(), Value::Array(models))]);
+        HttpResponse::json(200, serde_json::to_string(&body).expect("static shape"))
+    }
+
+    fn reload(&self) -> Result<usize, Reject> {
+        let Some(dir) = &self.models_dir else {
+            return Err(Reject(409, "server has no model directory\n".into()));
+        };
+        let snap = RegistrySnapshot::load_dir(dir, self.quantized)
+            .map_err(|e| Reject(500, format!("reload failed: {e}\n")))?;
+        let n = snap.entries().len();
+        self.registry.replace(snap);
+        self.collector
+            .counter_add("fieldswap_serve_reloads_total", 1);
+        Ok(n)
+    }
+
+    fn extract(&self, body: &[u8]) -> Result<HttpResponse, Reject> {
+        // Parse: bytes -> JSON -> validated documents.
+        let t_parse = Instant::now();
+        let text = std::str::from_utf8(body)
+            .map_err(|_| Reject(400, "body is not valid UTF-8\n".into()))?;
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| Reject(400, format!("malformed JSON: {e}\n")))?;
+        let docs_value = value
+            .get("documents")
+            .ok_or_else(|| Reject(422, "missing \"documents\" array\n".into()))?;
+        let docs: Vec<Document> = Vec::deserialize_docs(docs_value)
+            .map_err(|e| Reject(422, format!("bad document: {e}\n")))?;
+        for d in &docs {
+            d.validate()
+                .map_err(|e| Reject(422, format!("invalid document {:?}: {e}\n", d.id)))?;
+        }
+        let pinned = match value.get("model") {
+            None | Some(Value::Null) => None,
+            Some(Value::Str(name)) => Some(name.clone()),
+            Some(_) => return Err(Reject(422, "\"model\" must be a string\n".into())),
+        };
+        self.observe_stage("parse", t_parse);
+
+        // Route: resolve each document to a registered model.
+        let t_route = Instant::now();
+        let snap = self.registry.snapshot();
+        if snap.entries().is_empty() {
+            return Err(Reject(503, "no models registered\n".into()));
+        }
+        let routed: Vec<(&ModelEntry, f32)> = if let Some(name) = &pinned {
+            let entry = snap
+                .get(name)
+                .ok_or_else(|| Reject(404, format!("unknown model {name:?}\n")))?;
+            docs.iter()
+                .map(|d| (entry, match_score(entry.model.lexicon(), d)))
+                .collect()
+        } else {
+            docs.iter()
+                .map(|d| {
+                    let (i, score) = snap.route(d).expect("non-empty registry");
+                    (&snap.entries()[i], score)
+                })
+                .collect()
+        };
+        self.observe_stage("route", t_route);
+
+        // Infer: batched over the worker pool, per-worker scratch.
+        let t_infer = Instant::now();
+        let models: Vec<&FrozenModel> = routed.iter().map(|(e, _)| e.model.as_ref()).collect();
+        let predictions = self.executor.predict_batch(&models, &docs);
+        self.observe_stage("infer", t_infer);
+        self.collector
+            .counter_add("fieldswap_serve_documents_total", docs.len() as u64);
+
+        // Respond: render values, confidences, and boxes.
+        let t_respond = Instant::now();
+        let results: Vec<Value> = docs
+            .iter()
+            .zip(&routed)
+            .zip(&predictions)
+            .map(|((doc, (entry, route_score)), spans)| {
+                let fields: Vec<Value> = spans
+                    .iter()
+                    .map(|(s, confidence)| {
+                        let b = doc.span_bbox(s.start, s.end);
+                        Value::Object(vec![
+                            ("field".into(), Value::Int(i64::from(s.field))),
+                            (
+                                "name".into(),
+                                Value::Str(
+                                    entry
+                                        .field_names
+                                        .get(s.field as usize)
+                                        .cloned()
+                                        .unwrap_or_else(|| format!("field-{}", s.field)),
+                                ),
+                            ),
+                            ("value".into(), Value::Str(doc.span_text(s.start, s.end))),
+                            ("confidence".into(), Value::Float(f64::from(*confidence))),
+                            ("start".into(), Value::Int(i64::from(s.start))),
+                            ("end".into(), Value::Int(i64::from(s.end))),
+                            (
+                                "box".into(),
+                                Value::Object(vec![
+                                    ("x0".into(), Value::Float(f64::from(b.x0))),
+                                    ("y0".into(), Value::Float(f64::from(b.y0))),
+                                    ("x1".into(), Value::Float(f64::from(b.x1))),
+                                    ("y1".into(), Value::Float(f64::from(b.y1))),
+                                ]),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Value::Object(vec![
+                    ("doc_id".into(), Value::Str(doc.id.clone())),
+                    ("model".into(), Value::Str(entry.name.clone())),
+                    ("route_score".into(), Value::Float(f64::from(*route_score))),
+                    ("fields".into(), Value::Array(fields)),
+                ])
+            })
+            .collect();
+        let body = Value::Object(vec![("results".into(), Value::Array(results))]);
+        let rendered = serde_json::to_string(&body).expect("static shape");
+        self.observe_stage("respond", t_respond);
+        Ok(HttpResponse::json(200, rendered))
+    }
+}
+
+/// Helper trait so document deserialization reads as one call above.
+trait DeserializeDocs: Sized {
+    fn deserialize_docs(v: &Value) -> Result<Self, serde::Error>;
+}
+
+impl DeserializeDocs for Vec<Document> {
+    fn deserialize_docs(v: &Value) -> Result<Self, serde::Error> {
+        Deserialize::from_value(v)
+    }
+}

@@ -50,7 +50,8 @@ fn main() {
 
     // --- Save the trained model.
     let model_path = dir.join("brokerage.fsmodel");
-    std::fs::write(&model_path, extractor.to_bytes()).expect("write model");
+    std::fs::write(&model_path, extractor.to_bytes().expect("serialize model"))
+        .expect("write model");
     let size = std::fs::metadata(&model_path).unwrap().len();
     println!(
         "saved model: {} ({:.1} MiB)",

@@ -122,7 +122,7 @@ fn serialized_model_round_trip_end_to_end() {
             ..TrainConfig::default()
         },
     );
-    let bytes = ex.to_bytes();
+    let bytes = ex.to_bytes().expect("serialize");
     let restored = Extractor::from_bytes(&bytes).expect("round trip");
     for d in &test.documents {
         assert_eq!(ex.predict(d), restored.predict(d));
