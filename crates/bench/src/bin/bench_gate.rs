@@ -21,8 +21,10 @@
 //!   in-repo guard test enforces). `--table` additionally writes the
 //!   delta table to a file for artifact upload.
 //! * `serve` fails when a fresh `serve_bench --json` dump's throughput
-//!   dropped, or its p99 latency rose, by more than `--max-regress`
-//!   versus the committed `BENCH_serve.json`.
+//!   or availability dropped, or its p99 latency or shed rate rose, by
+//!   more than `--max-regress` versus the committed `BENCH_serve.json`
+//!   (schema v2; v1 baselines without the overload metrics still pass
+//!   per the missing-baseline guard).
 
 use fieldswap_bench::gate;
 use serde_json::Value;

@@ -133,12 +133,23 @@ pub struct ServeDelta {
 /// The `BENCH_serve.json` metrics the serve gate watches, with the
 /// direction that counts as better. Median latency stays informational —
 /// p99 is the serving contract, p50 is too twitchy under CI noise.
-pub const SERVE_GATE_METRICS: [(&str, bool); 2] = [("throughput_rps", true), ("p99_ms", false)];
+/// Schema v2 adds `availability` (fraction of requests that ultimately
+/// returned 200 — must not collapse) and `shed_rate` (fraction of
+/// responses that were `503` sheds — must not creep up; its clean-path
+/// baseline is 0, so it stays informational until a baseline records a
+/// real shed rate, per the zero-baseline guard).
+pub const SERVE_GATE_METRICS: [(&str, bool); 4] = [
+    ("throughput_rps", true),
+    ("p99_ms", false),
+    ("availability", true),
+    ("shed_rate", false),
+];
 
 /// Compares a fresh `serve_bench --json` dump (`current`) against the
 /// committed `BENCH_serve.json` (`baseline`). Throughput fails when it
 /// *dropped* by more than `max_regression`; p99 latency fails when it
-/// *rose* by more than `max_regression`.
+/// *rose* by more than `max_regression`; availability and shed rate
+/// follow their directions in [`SERVE_GATE_METRICS`].
 ///
 /// The guard semantics mirror [`perf_gate`]: a metric missing from the
 /// baseline passes with a zero baseline (new metric on the commit that
@@ -409,11 +420,22 @@ mod tests {
     }
 
     fn serve_report(throughput_rps: f64, p99_ms: f64) -> Value {
+        serve_report_v2(throughput_rps, p99_ms, 1.0, 0.0)
+    }
+
+    fn serve_report_v2(
+        throughput_rps: f64,
+        p99_ms: f64,
+        availability: f64,
+        shed_rate: f64,
+    ) -> Value {
         parse(&format!(
-            r#"{{"schema_version": 1, "seed": 7, "requests": 400,
+            r#"{{"schema_version": 2, "seed": 7, "requests": 400,
                  "concurrency": 4, "docs_per_request": 1,
                  "throughput_rps": {throughput_rps},
-                 "p50_ms": 2.5, "p99_ms": {p99_ms}, "errors": 0}}"#
+                 "p50_ms": 2.5, "p99_ms": {p99_ms}, "errors": 0,
+                 "shed_503": 0, "deadline_504": 0, "retries": 0,
+                 "shed_rate": {shed_rate}, "availability": {availability}}}"#
         ))
     }
 
@@ -421,7 +443,7 @@ mod tests {
     fn serve_gate_passes_within_tolerance() {
         // Throughput down 20%, p99 up 20% — both inside the 30% budget.
         let deltas = serve_gate(&serve_report(1000.0, 5.0), &serve_report(800.0, 6.0), 0.30);
-        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas.len(), 4);
         assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
         assert!((deltas[0].regression - 0.20).abs() < 1e-12);
         assert!((deltas[1].regression - 0.20).abs() < 1e-12);
@@ -446,26 +468,60 @@ mod tests {
 
     #[test]
     fn serve_gate_improvement_never_fails() {
-        // Faster and lower-latency: both regressions are negative.
-        let deltas = serve_gate(&serve_report(1000.0, 5.0), &serve_report(3000.0, 2.0), 0.30);
+        // Faster, lower-latency, more available, shedding less: every
+        // regression is negative.
+        let deltas = serve_gate(
+            &serve_report_v2(1000.0, 5.0, 0.9, 0.10),
+            &serve_report_v2(3000.0, 2.0, 1.0, 0.05),
+            0.30,
+        );
         assert!(deltas.iter().all(|d| !d.failed));
         assert!(deltas.iter().all(|d| d.regression < 0.0));
     }
 
     #[test]
+    fn serve_gate_availability_collapse_fails() {
+        let base = serve_report_v2(1000.0, 5.0, 1.0, 0.0);
+        // 0.8 availability is a 20% regression: inside the 30% budget.
+        let deltas = serve_gate(&base, &serve_report_v2(1000.0, 5.0, 0.8, 0.0), 0.30);
+        assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
+        // 0.6 is a 40% collapse: the availability row alone fails.
+        let deltas = serve_gate(&base, &serve_report_v2(1000.0, 5.0, 0.6, 0.0), 0.30);
+        let avail = deltas.iter().find(|d| d.metric == "availability").unwrap();
+        assert!(avail.failed);
+        assert_eq!(deltas.iter().filter(|d| d.failed).count(), 1);
+    }
+
+    #[test]
+    fn serve_gate_shed_rate_rise_fails_against_nonzero_baseline() {
+        // A clean-path baseline sheds nothing, so shed_rate is guarded by
+        // the zero-baseline rule; against a real baseline a rise fails.
+        let base = serve_report_v2(1000.0, 5.0, 1.0, 0.10);
+        let deltas = serve_gate(&base, &serve_report_v2(1000.0, 5.0, 1.0, 0.20), 0.30);
+        let shed = deltas.iter().find(|d| d.metric == "shed_rate").unwrap();
+        assert!(shed.failed);
+        assert!((shed.regression - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn serve_gate_new_metric_passes_missing_current_fails() {
-        // Baseline predates p99_ms: new metric must not fail the gate.
+        // A v1 baseline predates p99_ms and the v2 overload metrics: new
+        // metrics must not fail the gate on the commit introducing them.
         let old = parse(r#"{"throughput_rps": 1000.0}"#);
         let deltas = serve_gate(&old, &serve_report(1000.0, 5.0), 0.30);
-        let p99 = deltas.iter().find(|d| d.metric == "p99_ms").unwrap();
-        assert!(!p99.failed);
-        assert_eq!(p99.baseline, 0.0);
+        for metric in ["p99_ms", "availability", "shed_rate"] {
+            let d = deltas.iter().find(|d| d.metric == metric).unwrap();
+            assert!(!d.failed, "new metric {metric} must not fail the gate");
+            assert_eq!(d.baseline, 0.0);
+        }
 
-        // Current run lost a metric the baseline has: fails.
+        // Current run lost metrics the baseline has: each fails.
         let deltas = serve_gate(&serve_report(1000.0, 5.0), &old, 0.30);
-        let p99 = deltas.iter().find(|d| d.metric == "p99_ms").unwrap();
-        assert!(p99.failed);
-        assert_eq!(p99.regression, 1.0);
+        for metric in ["p99_ms", "availability", "shed_rate"] {
+            let d = deltas.iter().find(|d| d.metric == metric).unwrap();
+            assert!(d.failed, "missing current metric {metric} must fail");
+            assert_eq!(d.regression, 1.0);
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use crate::Collector;
 use std::io::{Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,27 +64,38 @@ pub struct HttpResponse {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers, written verbatim after `Content-Type`
+    /// (e.g. `Retry-After` on load-shedding `503`s).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
 
 impl HttpResponse {
-    /// A `text/plain` response.
-    pub fn text(status: u16, body: impl Into<String>) -> Self {
+    /// A response with an explicit content type and raw body.
+    pub fn with_body(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
         Self {
             status,
-            content_type: "text/plain",
-            body: body.into().into_bytes(),
+            content_type,
+            headers: Vec::new(),
+            body,
         }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self::with_body(status, "text/plain", body.into().into_bytes())
     }
 
     /// An `application/json` response.
     pub fn json(status: u16, body: impl Into<String>) -> Self {
-        Self {
-            status,
-            content_type: "application/json",
-            body: body.into().into_bytes(),
-        }
+        Self::with_body(status, "application/json", body.into().into_bytes())
+    }
+
+    /// Adds a response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -171,29 +183,47 @@ fn accept_loop(listener: TcpListener, handler: Handler, stop: Arc<AtomicBool>, n
         let _ = stream.set_read_timeout(Some(CONN_TIMEOUT));
         let _ = stream.set_write_timeout(Some(CONN_TIMEOUT));
         if inflight.load(Ordering::Relaxed) >= MAX_INFLIGHT {
-            let _ = write_response(&mut stream, &HttpResponse::text(503, "server overloaded\n"));
+            let _ = write_response(
+                &mut stream,
+                &HttpResponse::text(503, "server overloaded\n").with_header("Retry-After", "1"),
+            );
             continue;
         }
-        inflight.fetch_add(1, Ordering::Relaxed);
+        // RAII so the count can never leak, whatever the connection
+        // thread does — a leaked increment here would permanently eat an
+        // inflight slot until the cap rejects everything.
+        let permit = ConnPermit(Arc::clone(&inflight));
+        permit.0.fetch_add(1, Ordering::Relaxed);
         let handler = Arc::clone(&handler);
-        let conn_inflight = Arc::clone(&inflight);
         let spawned = std::thread::Builder::new()
             .name(format!("{name}-conn"))
             .spawn(move || {
+                let _permit = permit;
                 handle_connection(&handler, &mut stream);
-                conn_inflight.fetch_sub(1, Ordering::Relaxed);
             });
-        if spawned.is_err() {
-            // Thread spawn failed (resource exhaustion): the increment
-            // above must not leak.
-            inflight.fetch_sub(1, Ordering::Relaxed);
-        }
+        // Thread spawn failed (resource exhaustion): the closure (and
+        // its permit) is returned inside the error and dropped here.
+        drop(spawned);
+    }
+}
+
+/// Decrements the connection-inflight count on drop, so the count stays
+/// exact even if the connection thread panics.
+struct ConnPermit(Arc<AtomicUsize>);
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
 fn handle_connection(handler: &Handler, stream: &mut TcpStream) {
     let response = match read_request(stream) {
-        Ok(req) => handler(&req),
+        // A panicking handler must cost exactly one response, never the
+        // connection thread: catch the unwind and answer `500` so the
+        // client sees a definite outcome instead of a dropped socket.
+        Ok(req) => catch_unwind(AssertUnwindSafe(|| handler(&req)))
+            .unwrap_or_else(|_| HttpResponse::text(500, "internal server error\n")),
         // The client closed without sending anything: nothing to answer.
         Err(0) => return,
         Err(status) => HttpResponse::text(status, error_reason(status).to_string() + "\n"),
@@ -271,7 +301,9 @@ fn error_reason(status: u16) -> &'static str {
         413 => "payload too large",
         422 => "unprocessable request",
         431 => "request header too large",
+        500 => "internal server error",
         503 => "server overloaded",
+        504 => "deadline exceeded",
         _ => "error",
     }
 }
@@ -282,22 +314,32 @@ fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Error",
     }
 }
 
 fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
-    let header = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         status_reason(response.status),
         response.content_type,
         response.body.len()
     );
+    for (name, value) in &response.headers {
+        header.push_str(name);
+        header.push_str(": ");
+        header.push_str(value);
+        header.push_str("\r\n");
+    }
+    header.push_str("\r\n");
     stream.write_all(header.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
@@ -321,11 +363,11 @@ impl ObsServer {
                 return HttpResponse::text(400, "bad request\n");
             }
             match req.path.as_str() {
-                "/metrics" => HttpResponse {
-                    status: 200,
-                    content_type: "text/plain; version=0.0.4",
-                    body: collector.render_prometheus().into_bytes(),
-                },
+                "/metrics" => HttpResponse::with_body(
+                    200,
+                    "text/plain; version=0.0.4",
+                    collector.render_prometheus().into_bytes(),
+                ),
                 "/healthz" => HttpResponse::text(200, "ok\n"),
                 "/spans" => HttpResponse::json(200, collector.render_spans_json()),
                 _ => HttpResponse::text(404, "not found\n"),
@@ -550,6 +592,46 @@ mod tests {
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 200"), "{out}");
         assert!(out.ends_with(&body));
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_yields_500_and_server_survives() {
+        // A handler panic must be absorbed by the connection thread:
+        // the panicking request gets a definite 500, the inflight count
+        // does not leak, and the very next request is served normally.
+        let handler: Handler = Arc::new(|req: &HttpRequest| {
+            if req.path == "/boom" {
+                panic!("injected handler panic");
+            }
+            HttpResponse::text(200, "fine\n")
+        });
+        let server = HttpServer::start("127.0.0.1:0", "test-http", handler).unwrap();
+        let addr = server.addr();
+        for _ in 0..3 {
+            let (status, body) = get(addr, "/boom");
+            assert_eq!(status, 500, "{body}");
+            let (status, body) = get(addr, "/ok");
+            assert_eq!(status, 200);
+            assert_eq!(body, "fine\n");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let handler: Handler = Arc::new(|_req: &HttpRequest| {
+            HttpResponse::text(503, "busy\n").with_header("Retry-After", "7")
+        });
+        let server = HttpServer::start("127.0.0.1:0", "test-http", handler).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 503"), "{out}");
+        assert!(out.contains("Retry-After: 7\r\n"), "{out}");
         server.shutdown();
     }
 

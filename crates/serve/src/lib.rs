@@ -16,17 +16,25 @@
 //! * [`server`] — the HTTP endpoints (`/v1/extract`, `/models`,
 //!   `/reload`, `/metrics`, `/healthz`, `/quitquitquit`) built on the
 //!   dependency-free server machinery in `fieldswap-obs`, instrumented
-//!   with per-stage latency histograms and request/error counters.
+//!   with per-stage latency histograms and request/error counters, and
+//!   hardened for overload: admission control with `503` + `Retry-After`
+//!   shedding, per-request deadlines (`504`), panic isolation, and a
+//!   `/reload` circuit breaker.
+//! * [`chaos`] — deterministic fault injection (seeded [`FaultPlan`])
+//!   behind the hidden `--chaos` flag, driving the chaos soak test and
+//!   `serve_bench --chaos`.
 //!
 //! The `fieldswap-serve` binary wraps this into `serve` / `train` /
 //! `sample` subcommands; `serve_bench` hammers a live server over real
 //! sockets and writes `BENCH_serve.json`.
 
+pub mod chaos;
 pub mod executor;
 pub mod registry;
 pub mod server;
 
-pub use executor::Executor;
+pub use chaos::{backoff_ms, Chaos, FaultPlan};
+pub use executor::{Executor, PredictResult, ScoredSpans};
 pub use registry::{match_score, ModelEntry, Registry, RegistrySnapshot, MODEL_EXT};
 pub use server::{ServeConfig, ServeHandle};
 

@@ -2,8 +2,13 @@
 //!
 //! Subcommands:
 //!
-//! * `serve --models DIR [--listen ADDR] [--workers N] [--quantized]` —
-//!   load every `*.fsm` in DIR and serve until `POST /quitquitquit`.
+//! * `serve --models DIR [--listen ADDR] [--workers N] [--quantized]
+//!   [--max-inflight N] [--max-docs-per-request N]
+//!   [--default-deadline-ms MS]` — load every `*.fsm` in DIR and serve
+//!   until `POST /quitquitquit`. The binary defaults to a bounded
+//!   admission budget (64 inflight extracts, 256 docs/request); pass 0
+//!   to disable either limit. A hidden `--chaos SPEC` flag enables
+//!   deterministic fault injection for the chaos harness.
 //! * `train --domain KEY --models DIR [--seed S] [--docs N] [--epochs E]`
 //!   — train a small model on generated documents for one domain and
 //!   write `KEY.fsm` + `KEY.fields.json` into DIR.
@@ -12,7 +17,7 @@
 
 use fieldswap_datagen::generate;
 use fieldswap_extract::{Extractor, Lexicon, TrainConfig};
-use fieldswap_serve::{domain_key, parse_domain, ServeConfig, ServeHandle};
+use fieldswap_serve::{domain_key, parse_domain, FaultPlan, ServeConfig, ServeHandle};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -43,6 +48,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: fieldswap-serve <serve|train|sample> [flags]\n\
      serve  --models DIR [--listen ADDR] [--workers N] [--quantized]\n\
+            [--max-inflight N] [--max-docs-per-request N] [--default-deadline-ms MS]\n\
      train  --domain KEY --models DIR [--seed S] [--docs N] [--epochs E]\n\
      sample --domain KEY --out PATH [--seed S]"
         .into()
@@ -118,6 +124,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         None => 0,
     };
     let quantized = flags.switch("--quantized");
+    let max_inflight = match flags.value("--max-inflight")? {
+        Some(v) => parse_num("--max-inflight", v)?,
+        None => 64usize,
+    };
+    let max_docs_per_request = match flags.value("--max-docs-per-request")? {
+        Some(v) => parse_num("--max-docs-per-request", v)?,
+        None => 256usize,
+    };
+    let default_deadline_ms = match flags.value("--default-deadline-ms")? {
+        Some(v) => parse_num("--default-deadline-ms", v)?,
+        None => 0u64,
+    };
+    // Hidden: deterministic fault injection for the chaos harness only.
+    let chaos = match flags.value("--chaos")? {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => None,
+    };
     flags.finish()?;
 
     let handle = ServeHandle::start(ServeConfig {
@@ -126,6 +149,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         initial: None,
         workers,
         quantized,
+        max_inflight,
+        max_docs_per_request,
+        default_deadline_ms,
+        chaos,
     })?;
     println!("listening on {}", handle.addr());
     handle.wait_for_quit();

@@ -174,13 +174,17 @@ impl Registry {
     /// The current snapshot. Requests hold the `Arc` for their whole
     /// lifetime, so a concurrent [`Registry::replace`] never changes the
     /// models a request already routed against.
+    ///
+    /// Poison-safe: the guarded value is a plain `Arc` swap, so even if
+    /// a holder panicked the pointer is intact — recover instead of
+    /// propagating the poison into every future request.
     pub fn snapshot(&self) -> Arc<RegistrySnapshot> {
-        Arc::clone(&self.current.read().expect("registry poisoned"))
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
-    /// Atomically replaces the served snapshot.
+    /// Atomically replaces the served snapshot (poison-safe, as above).
     pub fn replace(&self, snapshot: RegistrySnapshot) {
-        *self.current.write().expect("registry poisoned") = Arc::new(snapshot);
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
     }
 }
 

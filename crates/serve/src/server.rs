@@ -1,5 +1,7 @@
 //! The HTTP/JSON service: endpoint dispatch, request parsing, routed
-//! batched inference, and per-stage instrumentation.
+//! batched inference, per-stage instrumentation, and the overload
+//! armor — admission control, per-request deadlines, panic isolation,
+//! and a `/reload` circuit breaker.
 //!
 //! Built on the dependency-free [`HttpServer`] from `fieldswap-obs`, so
 //! the whole service — observability included — runs on `std` alone.
@@ -7,9 +9,9 @@
 //! Endpoints:
 //!
 //! * `POST /v1/extract` — body `{"documents": [Document, …], "model":
-//!   "name"?}`. Each document is routed (or pinned to `"model"`) and
-//!   decoded on the frozen fast path; the response carries per-field
-//!   values, confidences, and boxes.
+//!   "name"?, "timeout_ms": N?}`. Each document is routed (or pinned to
+//!   `"model"`) and decoded on the frozen fast path; the response
+//!   carries per-field values, confidences, and boxes.
 //! * `GET /models` — the registered models and their fields.
 //! * `POST /reload` — atomically reload the registry from the model
 //!   directory; in-flight requests keep the snapshot they started with.
@@ -17,7 +19,33 @@
 //!   latency histograms `fieldswap_serve_stage_ms{stage=…}`).
 //! * `GET /healthz` — liveness.
 //! * `POST /quitquitquit` — orderly shutdown (for CI and scripts).
+//!
+//! Overload semantics (see README "Overload, deadlines, and fault
+//! tolerance"):
+//!
+//! * **Admission control** — `/v1/extract` holds a slot in a bounded
+//!   inflight budget (`max_inflight`); when the budget is full the
+//!   request is shed immediately with `503` + `Retry-After` and
+//!   `fieldswap_serve_shed_total` ticks. `/healthz` and `/metrics` are
+//!   never shed — liveness and visibility must survive overload.
+//!   Requests carrying more than `max_docs_per_request` documents get
+//!   `413` before any work is done.
+//! * **Deadlines** — a request may carry `"timeout_ms"`; the server may
+//!   also impose `default_deadline_ms`. The effective deadline (the
+//!   tighter of the two) is checked between the parse → route → infer →
+//!   respond stages — in particular *before* dispatching to the worker
+//!   pool — and an exceeded deadline returns `504`, counted per stage in
+//!   `fieldswap_serve_deadline_exceeded_total{stage=…}`.
+//! * **Panic isolation** — a panicking decode fails only its own request
+//!   with `500` (`fieldswap_serve_panics_total`); the worker scratch is
+//!   replaced and every other request proceeds.
+//! * **Reload circuit breaker** — after
+//!   [`RELOAD_BREAKER_THRESHOLD`] consecutive `/reload` failures the
+//!   breaker opens: reload answers `503` + `Retry-After` instantly for
+//!   [`RELOAD_BREAKER_COOLDOWN`] instead of re-reading a known-bad
+//!   directory, then half-opens to admit one probe attempt.
 
+use crate::chaos::{Chaos, FaultPlan};
 use crate::executor::Executor;
 use crate::registry::{match_score, ModelEntry, Registry, RegistrySnapshot};
 use fieldswap_docmodel::Document;
@@ -26,9 +54,19 @@ use fieldswap_obs::{Collector, Handler, HttpRequest, HttpResponse, HttpServer};
 use serde::{Deserialize, Value};
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Consecutive `/reload` failures that open the circuit breaker.
+pub const RELOAD_BREAKER_THRESHOLD: u32 = 3;
+
+/// How long an open reload breaker answers `503` before half-opening.
+pub const RELOAD_BREAKER_COOLDOWN: Duration = Duration::from_secs(2);
+
+/// `Retry-After` seconds advertised on shed (`503`) responses.
+pub const RETRY_AFTER_SECS: u64 = 1;
 
 /// Server configuration.
 pub struct ServeConfig {
@@ -44,6 +82,21 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Quantize models to int8 at (re)load time.
     pub quantized: bool,
+    /// Admission budget for `/v1/extract`: concurrent requests beyond
+    /// this are shed with `503` + `Retry-After`. 0 disables admission
+    /// control (the library default, preserving pre-PR behavior; the
+    /// `fieldswap-serve serve` binary defaults to a bounded budget).
+    pub max_inflight: usize,
+    /// Maximum documents per `/v1/extract` request (`413` beyond it).
+    /// 0 disables the cap.
+    pub max_docs_per_request: usize,
+    /// Server-imposed deadline for `/v1/extract` in milliseconds,
+    /// measured from request handling start. 0 disables it. A request's
+    /// own `"timeout_ms"` can only tighten the effective deadline.
+    pub default_deadline_ms: u64,
+    /// Deterministic fault injection (the hidden `--chaos` flag). `None`
+    /// — the default — runs the exact clean-path code.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +107,10 @@ impl Default for ServeConfig {
             initial: None,
             workers: 0,
             quantized: false,
+            max_inflight: 0,
+            max_docs_per_request: 0,
+            default_deadline_ms: 0,
+            chaos: None,
         }
     }
 }
@@ -64,7 +121,18 @@ struct ServeState {
     models_dir: Option<PathBuf>,
     quantized: bool,
     collector: &'static Collector,
-    quit_tx: Mutex<Sender<()>>,
+    // `Sender` is `Sync` for `()` sends; no lock (and no lock-poison
+    // panic path) needed.
+    quit_tx: Sender<()>,
+    max_inflight: usize,
+    max_docs_per_request: usize,
+    default_deadline_ms: u64,
+    inflight: AtomicUsize,
+    chaos: Option<Arc<Chaos>>,
+    /// Consecutive `/reload` failures (reset on success).
+    reload_failures: AtomicU32,
+    /// While `Some(t)` and `now < t`, the reload breaker is open.
+    breaker_until: Mutex<Option<Instant>>,
 }
 
 /// A running extraction server.
@@ -85,13 +153,21 @@ impl ServeHandle {
         let collector = fieldswap_obs::global();
         collector.enable_metrics();
         let (quit_tx, quit_rx) = std::sync::mpsc::channel();
+        let chaos = cfg.chaos.map(|plan| Arc::new(Chaos::new(plan)));
         let state = Arc::new(ServeState {
             registry: Registry::new(snapshot),
-            executor: Executor::new(cfg.workers),
+            executor: Executor::with_chaos(cfg.workers, chaos.clone()),
             models_dir: cfg.models_dir,
             quantized: cfg.quantized,
             collector,
-            quit_tx: Mutex::new(quit_tx),
+            quit_tx,
+            max_inflight: cfg.max_inflight,
+            max_docs_per_request: cfg.max_docs_per_request,
+            default_deadline_ms: cfg.default_deadline_ms,
+            inflight: AtomicUsize::new(0),
+            chaos,
+            reload_failures: AtomicU32::new(0),
+            breaker_until: Mutex::new(None),
         });
         let handler: Handler = Arc::new(move |req: &HttpRequest| state.handle(req));
         let http = HttpServer::start(&cfg.listen, "fieldswap-serve", handler)
@@ -115,8 +191,42 @@ impl ServeHandle {
     }
 }
 
-/// A request failure: status code + message for the body.
-struct Reject(u16, String);
+/// A request failure: status code + message for the body, plus an
+/// optional `Retry-After` (seconds) header for shed responses.
+struct Reject {
+    status: u16,
+    msg: String,
+    retry_after: Option<u64>,
+}
+
+impl Reject {
+    fn new(status: u16, msg: impl Into<String>) -> Self {
+        Self {
+            status,
+            msg: msg.into(),
+            retry_after: None,
+        }
+    }
+
+    fn retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
+    }
+}
+
+/// RAII admission slot: decrements the inflight count (and refreshes
+/// the gauge) on drop, so the budget survives any exit path — including
+/// a panicking handler.
+struct InflightSlot<'a>(&'a ServeState);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        let now = self.0.inflight.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.0
+            .collector
+            .gauge_set("fieldswap_serve_inflight", now as f64);
+    }
+}
 
 impl ServeState {
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
@@ -130,42 +240,98 @@ impl ServeState {
             (
                 _,
                 "/healthz" | "/metrics" | "/models" | "/reload" | "/v1/extract" | "/quitquitquit",
-            ) => return self.reject(Reject(405, "method not allowed\n".into())),
-            _ => return self.reject(Reject(404, "not found\n".into())),
+            ) => return self.reject(Reject::new(405, "method not allowed\n")),
+            _ => return self.reject(Reject::new(404, "not found\n")),
         };
         self.collector.counter_add(
             &format!("fieldswap_serve_requests_total{{endpoint=\"{endpoint}\"}}"),
             1,
         );
         match endpoint {
+            // Liveness and visibility are never shed: they bypass
+            // admission control entirely so overload stays observable.
             "healthz" => HttpResponse::text(200, "ok\n"),
-            "metrics" => HttpResponse {
-                status: 200,
-                content_type: "text/plain; version=0.0.4",
-                body: self.collector.render_prometheus().into_bytes(),
-            },
+            "metrics" => HttpResponse::with_body(
+                200,
+                "text/plain; version=0.0.4",
+                self.collector.render_prometheus().into_bytes(),
+            ),
             "models" => self.models_response(),
             "reload" => match self.reload() {
                 Ok(n) => HttpResponse::json(200, format!("{{\"reloaded\":true,\"models\":{n}}}\n")),
-                Err(Reject(status, msg)) => self.reject(Reject(status, msg)),
-            },
-            "quit" => {
-                let _ = self.quit_tx.lock().expect("quit poisoned").send(());
-                HttpResponse::text(200, "shutting down\n")
-            }
-            _ => match self.extract(&req.body) {
-                Ok(resp) => resp,
                 Err(r) => self.reject(r),
             },
+            "quit" => {
+                let _ = self.quit_tx.send(());
+                HttpResponse::text(200, "shutting down\n")
+            }
+            _ => {
+                let _slot = match self.admit() {
+                    Ok(slot) => slot,
+                    Err(r) => return self.reject(r),
+                };
+                match self.extract(&req.body) {
+                    Ok(resp) => resp,
+                    Err(r) => self.reject(r),
+                }
+            }
         }
     }
 
-    fn reject(&self, Reject(status, msg): Reject) -> HttpResponse {
+    /// Admission control for `/v1/extract`: claims an inflight slot or
+    /// sheds with `503` + `Retry-After` when the budget is exhausted.
+    fn admit(&self) -> Result<InflightSlot<'_>, Reject> {
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if self.max_inflight > 0 && prev >= self.max_inflight {
+            // Over budget: hand the increment straight back via the
+            // slot's drop and shed.
+            drop(InflightSlot(self));
+            self.collector.counter_add("fieldswap_serve_shed_total", 1);
+            return Err(Reject::new(
+                503,
+                format!(
+                    "server at capacity ({} inflight requests); retry later\n",
+                    self.max_inflight
+                ),
+            )
+            .retry_after(RETRY_AFTER_SECS));
+        }
+        self.collector
+            .gauge_set("fieldswap_serve_inflight", (prev + 1) as f64);
+        Ok(InflightSlot(self))
+    }
+
+    fn reject(&self, reject: Reject) -> HttpResponse {
         self.collector.counter_add(
-            &format!("fieldswap_serve_errors_total{{code=\"{status}\"}}"),
+            &format!("fieldswap_serve_errors_total{{code=\"{}\"}}", reject.status),
             1,
         );
-        HttpResponse::text(status, msg)
+        let resp = HttpResponse::text(reject.status, reject.msg);
+        match reject.retry_after {
+            Some(secs) => resp.with_header("Retry-After", secs.to_string()),
+            None => resp,
+        }
+    }
+
+    /// Fails with `504` when `deadline` has passed. Called between the
+    /// request stages — `stage` names the one just finished, so the
+    /// `route` check is also the dispatch barrier: an already-expired
+    /// request never reaches the worker pool.
+    fn check_deadline(&self, deadline: Option<Instant>, stage: &str) -> Result<(), Reject> {
+        let Some(deadline) = deadline else {
+            return Ok(());
+        };
+        if Instant::now() >= deadline {
+            self.collector.counter_add(
+                &format!("fieldswap_serve_deadline_exceeded_total{{stage=\"{stage}\"}}"),
+                1,
+            );
+            return Err(Reject::new(
+                504,
+                format!("deadline exceeded after {stage} stage\n"),
+            ));
+        }
+        Ok(())
     }
 
     fn observe_stage(&self, stage: &str, since: Instant) {
@@ -197,75 +363,157 @@ impl ServeState {
             })
             .collect();
         let body = Value::Object(vec![("models".into(), Value::Array(models))]);
-        HttpResponse::json(200, serde_json::to_string(&body).expect("static shape"))
+        match serde_json::to_string(&body) {
+            Ok(s) => HttpResponse::json(200, s),
+            Err(e) => self.reject(Reject::new(500, format!("serialization failed: {e}\n"))),
+        }
     }
 
     fn reload(&self) -> Result<usize, Reject> {
         let Some(dir) = &self.models_dir else {
-            return Err(Reject(409, "server has no model directory\n".into()));
+            return Err(Reject::new(409, "server has no model directory\n"));
         };
-        let snap = RegistrySnapshot::load_dir(dir, self.quantized)
-            .map_err(|e| Reject(500, format!("reload failed: {e}\n")))?;
-        let n = snap.entries().len();
-        self.registry.replace(snap);
-        self.collector
-            .counter_add("fieldswap_serve_reloads_total", 1);
-        Ok(n)
+        // Circuit breaker: after RELOAD_BREAKER_THRESHOLD consecutive
+        // failures, answer 503 instantly for the cool-down instead of
+        // re-reading a known-bad directory; afterwards admit one probe.
+        {
+            let mut until = self.breaker_until.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = *until {
+                if Instant::now() < t {
+                    self.collector
+                        .counter_add("fieldswap_serve_reload_breaker_open_total", 1);
+                    return Err(
+                        Reject::new(503, "reload circuit breaker open; cooling down\n")
+                            .retry_after(RELOAD_BREAKER_COOLDOWN.as_secs()),
+                    );
+                }
+                // Cool-down elapsed: half-open, let this probe through.
+                *until = None;
+            }
+        }
+        let loaded = if self.chaos.as_ref().is_some_and(|c| c.fail_reload()) {
+            Err("chaos: injected corrupt model directory".to_string())
+        } else {
+            RegistrySnapshot::load_dir(dir, self.quantized)
+        };
+        match loaded {
+            Ok(snap) => {
+                let n = snap.entries().len();
+                self.registry.replace(snap);
+                self.reload_failures.store(0, Ordering::Relaxed);
+                self.collector
+                    .counter_add("fieldswap_serve_reloads_total", 1);
+                Ok(n)
+            }
+            Err(e) => {
+                let failures = self.reload_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                if failures >= RELOAD_BREAKER_THRESHOLD {
+                    *self.breaker_until.lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some(Instant::now() + RELOAD_BREAKER_COOLDOWN);
+                }
+                Err(Reject::new(500, format!("reload failed: {e}\n")))
+            }
+        }
     }
 
     fn extract(&self, body: &[u8]) -> Result<HttpResponse, Reject> {
+        let start = Instant::now();
+
         // Parse: bytes -> JSON -> validated documents.
         let t_parse = Instant::now();
-        let text = std::str::from_utf8(body)
-            .map_err(|_| Reject(400, "body is not valid UTF-8\n".into()))?;
+        let text =
+            std::str::from_utf8(body).map_err(|_| Reject::new(400, "body is not valid UTF-8\n"))?;
         let value: Value = serde_json::from_str(text)
-            .map_err(|e| Reject(400, format!("malformed JSON: {e}\n")))?;
+            .map_err(|e| Reject::new(400, format!("malformed JSON: {e}\n")))?;
+        // The effective deadline is the tighter of the request's own
+        // "timeout_ms" and the server default, measured from entry.
+        let timeout_ms = match value.get("timeout_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                Reject::new(422, "\"timeout_ms\" must be a non-negative integer\n")
+            })?),
+        };
+        let effective_ms = match (timeout_ms, self.default_deadline_ms) {
+            (Some(t), 0) => Some(t),
+            (Some(t), d) => Some(t.min(d)),
+            (None, 0) => None,
+            (None, d) => Some(d),
+        };
+        let deadline = effective_ms.map(|ms| start + Duration::from_millis(ms));
         let docs_value = value
             .get("documents")
-            .ok_or_else(|| Reject(422, "missing \"documents\" array\n".into()))?;
+            .ok_or_else(|| Reject::new(422, "missing \"documents\" array\n"))?;
         let docs: Vec<Document> = Vec::deserialize_docs(docs_value)
-            .map_err(|e| Reject(422, format!("bad document: {e}\n")))?;
+            .map_err(|e| Reject::new(422, format!("bad document: {e}\n")))?;
+        if self.max_docs_per_request > 0 && docs.len() > self.max_docs_per_request {
+            return Err(Reject::new(
+                413,
+                format!(
+                    "request carries {} documents; the per-request cap is {}\n",
+                    docs.len(),
+                    self.max_docs_per_request
+                ),
+            ));
+        }
         for d in &docs {
             d.validate()
-                .map_err(|e| Reject(422, format!("invalid document {:?}: {e}\n", d.id)))?;
+                .map_err(|e| Reject::new(422, format!("invalid document {:?}: {e}\n", d.id)))?;
         }
         let pinned = match value.get("model") {
             None | Some(Value::Null) => None,
             Some(Value::Str(name)) => Some(name.clone()),
-            Some(_) => return Err(Reject(422, "\"model\" must be a string\n".into())),
+            Some(_) => return Err(Reject::new(422, "\"model\" must be a string\n")),
         };
         self.observe_stage("parse", t_parse);
+        self.check_deadline(deadline, "parse")?;
 
         // Route: resolve each document to a registered model.
         let t_route = Instant::now();
         let snap = self.registry.snapshot();
         if snap.entries().is_empty() {
-            return Err(Reject(503, "no models registered\n".into()));
+            return Err(Reject::new(503, "no models registered\n"));
         }
         let routed: Vec<(&ModelEntry, f32)> = if let Some(name) = &pinned {
             let entry = snap
                 .get(name)
-                .ok_or_else(|| Reject(404, format!("unknown model {name:?}\n")))?;
+                .ok_or_else(|| Reject::new(404, format!("unknown model {name:?}\n")))?;
             docs.iter()
                 .map(|d| (entry, match_score(entry.model.lexicon(), d)))
                 .collect()
         } else {
             docs.iter()
                 .map(|d| {
-                    let (i, score) = snap.route(d).expect("non-empty registry");
-                    (&snap.entries()[i], score)
+                    snap.route(d)
+                        .map(|(i, score)| (&snap.entries()[i], score))
+                        .ok_or_else(|| Reject::new(500, "routing failed on a non-empty registry\n"))
                 })
-                .collect()
+                .collect::<Result<_, _>>()?
         };
         self.observe_stage("route", t_route);
+        // The "route" check doubles as the dispatch barrier: an expired
+        // request never reaches the worker pool.
+        self.check_deadline(deadline, "route")?;
 
         // Infer: batched over the worker pool, per-worker scratch.
         let t_infer = Instant::now();
         let models: Vec<&FrozenModel> = routed.iter().map(|(e, _)| e.model.as_ref()).collect();
-        let predictions = self.executor.predict_batch(&models, &docs);
+        let outcomes = self.executor.predict_batch(&models, &docs);
         self.observe_stage("infer", t_infer);
         self.collector
             .counter_add("fieldswap_serve_documents_total", docs.len() as u64);
+        self.check_deadline(deadline, "infer")?;
+        let mut predictions = Vec::with_capacity(outcomes.len());
+        for (doc, outcome) in docs.iter().zip(outcomes) {
+            match outcome {
+                Ok(spans) => predictions.push(spans),
+                Err(e) => {
+                    return Err(Reject::new(
+                        500,
+                        format!("inference failed on document {:?}: {e}\n", doc.id),
+                    ));
+                }
+            }
+        }
 
         // Respond: render values, confidences, and boxes.
         let t_respond = Instant::now();
@@ -315,8 +563,10 @@ impl ServeState {
             })
             .collect();
         let body = Value::Object(vec![("results".into(), Value::Array(results))]);
-        let rendered = serde_json::to_string(&body).expect("static shape");
+        let rendered = serde_json::to_string(&body)
+            .map_err(|e| Reject::new(500, format!("response serialization failed: {e}\n")))?;
         self.observe_stage("respond", t_respond);
+        self.check_deadline(deadline, "respond")?;
         Ok(HttpResponse::json(200, rendered))
     }
 }

@@ -1,0 +1,289 @@
+//! End-to-end overload and deadline tests over real TCP sockets:
+//! admission control shedding with `Retry-After`, liveness of
+//! `/healthz` under saturation, the per-request document cap, and
+//! deterministic `504`s from `"timeout_ms"` / `--default-deadline-ms`
+//! driven by injected inference latency.
+
+use fieldswap_datagen::{generate, Domain};
+use fieldswap_docmodel::Document;
+use fieldswap_extract::{Extractor, FrozenModel, InferScratch, Lexicon, TrainConfig};
+use fieldswap_serve::{
+    domain_key, FaultPlan, ModelEntry, RegistrySnapshot, ServeConfig, ServeHandle,
+};
+use serde::{Serialize, Value};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn train_frozen(domain: Domain, seed: u64, docs: usize) -> FrozenModel {
+    let corpus = generate(domain, seed, docs);
+    let lex = Lexicon::pretrain(&corpus.documents);
+    Extractor::train_on(&corpus.schema, lex, &corpus, &[], &TrainConfig::tiny()).freeze()
+}
+
+fn snapshot_of(domain: Domain, model: FrozenModel) -> RegistrySnapshot {
+    RegistrySnapshot::from_entries(vec![ModelEntry {
+        name: domain_key(domain).into(),
+        model: Arc::new(model),
+        field_names: Vec::new(),
+    }])
+    .unwrap()
+}
+
+/// Raw request/response round trip; returns the full response text.
+fn http_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn post_raw(addr: SocketAddr, path: &str, body: &str) -> String {
+    http_raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn get_raw(addr: SocketAddr, path: &str) -> String {
+    http_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn extract_body(docs: &[Document], timeout_ms: Option<u64>) -> String {
+    let mut fields = vec![(
+        "documents".into(),
+        Value::Array(docs.iter().map(Serialize::to_value).collect()),
+    )];
+    if let Some(ms) = timeout_ms {
+        fields.push(("timeout_ms".into(), Value::Int(ms as i64)));
+    }
+    serde_json::to_string(&Value::Object(fields)).unwrap()
+}
+
+#[test]
+fn saturated_inflight_budget_sheds_with_retry_after_and_healthz_stays_live() {
+    // One worker, inflight budget of 2, and 150 ms of injected inference
+    // latency so concurrent clients reliably pile up on the budget.
+    let server = ServeHandle::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        initial: Some(snapshot_of(
+            Domain::Fara,
+            train_frozen(Domain::Fara, 81, 12),
+        )),
+        workers: 1,
+        max_inflight: 2,
+        chaos: Some(FaultPlan::parse("delay-ms=150").unwrap()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let doc = generate(Domain::Fara, 82, 1).documents;
+    let body = extract_body(&doc, None);
+    let clients = 8;
+    let barrier = Barrier::new(clients + 1);
+    let ok = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| {
+                barrier.wait();
+                let response = post_raw(addr, "/v1/extract", &body);
+                match status_of(&response) {
+                    200 => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    503 => {
+                        // Shed responses must advertise a retry hint.
+                        assert!(
+                            response.contains("Retry-After: 1\r\n"),
+                            "503 without Retry-After:\n{response}"
+                        );
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("unexpected status {other}:\n{response}"),
+                }
+            });
+        }
+        barrier.wait();
+        // While extracts queue behind the saturated budget, liveness
+        // must answer immediately: min-of-3 to shrug off scheduler noise.
+        std::thread::sleep(Duration::from_millis(30));
+        let healthz_min = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                let response = get_raw(addr, "/healthz");
+                assert_eq!(status_of(&response), 200, "{response}");
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        assert!(
+            healthz_min < Duration::from_millis(100),
+            "healthz took {healthz_min:?} under overload"
+        );
+    });
+
+    let ok = ok.load(Ordering::Relaxed);
+    let shed = shed.load(Ordering::Relaxed);
+    assert_eq!(ok + shed, clients);
+    assert!(ok >= 1, "every request was shed");
+    assert!(
+        shed >= 1,
+        "8 clients against budget 2 with 150 ms latency never shed"
+    );
+    let metrics = get_raw(addr, "/metrics");
+    assert!(metrics.contains("fieldswap_serve_shed_total"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_document_count_gets_413_before_any_work() {
+    let server = ServeHandle::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        initial: Some(snapshot_of(
+            Domain::Fara,
+            train_frozen(Domain::Fara, 83, 12),
+        )),
+        workers: 1,
+        max_docs_per_request: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let docs = generate(Domain::Fara, 84, 3).documents;
+    let response = post_raw(addr, "/v1/extract", &extract_body(&docs, None));
+    assert_eq!(status_of(&response), 413, "{response}");
+    // At the cap is fine.
+    let response = post_raw(addr, "/v1/extract", &extract_body(&docs[..2], None));
+    assert_eq!(status_of(&response), 200, "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn request_timeout_ms_yields_504_without_disturbing_concurrent_requests() {
+    // 60 ms of injected latency guarantees a "timeout_ms": 1 request is
+    // past its deadline by the post-infer check at the latest — the 504
+    // is deterministic, not a race.
+    let frozen = train_frozen(Domain::Fara, 85, 12);
+    let probe = generate(Domain::Fara, 86, 3).documents;
+    let mut scratch = InferScratch::default();
+    let expected: Vec<Vec<(u16, u32, u32)>> = probe
+        .iter()
+        .map(|d| {
+            frozen
+                .predict(d, &mut scratch)
+                .iter()
+                .map(|s| (s.field, s.start, s.end))
+                .collect()
+        })
+        .collect();
+
+    let server = ServeHandle::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        initial: Some(snapshot_of(Domain::Fara, frozen)),
+        workers: 2,
+        chaos: Some(FaultPlan::parse("delay-ms=60").unwrap()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    std::thread::scope(|s| {
+        // Deadline-doomed requests…
+        let doomed = s.spawn(|| {
+            let mut count = 0;
+            for _ in 0..3 {
+                let response = post_raw(addr, "/v1/extract", &extract_body(&probe[..1], Some(1)));
+                assert_eq!(status_of(&response), 504, "{response}");
+                count += 1;
+            }
+            count
+        });
+        // …while unlimited requests on the same server stay correct.
+        for (doc, want) in probe.iter().zip(&expected) {
+            let response = post_raw(
+                addr,
+                "/v1/extract",
+                &extract_body(std::slice::from_ref(doc), None),
+            );
+            assert_eq!(status_of(&response), 200, "{response}");
+            let body = response.split_once("\r\n\r\n").unwrap().1;
+            let v: Value = serde_json::from_str(body).unwrap();
+            let got: Vec<(u16, u32, u32)> = v.get("results").unwrap().as_array().unwrap()[0]
+                .get("fields")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|f| {
+                    (
+                        f.get("field").unwrap().as_u64().unwrap() as u16,
+                        f.get("start").unwrap().as_u64().unwrap() as u32,
+                        f.get("end").unwrap().as_u64().unwrap() as u32,
+                    )
+                })
+                .collect();
+            assert_eq!(&got, want, "span drift beside deadline traffic");
+        }
+        assert_eq!(doomed.join().unwrap(), 3);
+    });
+
+    // Bad timeout types are a 422, not a panic or a silent default.
+    let body = extract_body(&probe[..1], None)
+        .replace("{\"documents\"", "{\"timeout_ms\": \"soon\", \"documents\"");
+    let response = post_raw(addr, "/v1/extract", &body);
+    assert_eq!(status_of(&response), 422, "{response}");
+
+    let metrics = get_raw(addr, "/metrics");
+    assert!(
+        metrics.contains("fieldswap_serve_deadline_exceeded_total"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn server_default_deadline_applies_without_request_opt_in() {
+    let server = ServeHandle::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        initial: Some(snapshot_of(
+            Domain::Fara,
+            train_frozen(Domain::Fara, 87, 12),
+        )),
+        workers: 1,
+        default_deadline_ms: 1,
+        chaos: Some(FaultPlan::parse("delay-ms=60").unwrap()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let docs = generate(Domain::Fara, 88, 1).documents;
+    // No "timeout_ms" in the request — the server default still rules.
+    let response = post_raw(addr, "/v1/extract", &extract_body(&docs, None));
+    assert_eq!(status_of(&response), 504, "{response}");
+    // A request cannot loosen the server default, only tighten it.
+    let response = post_raw(addr, "/v1/extract", &extract_body(&docs, Some(10_000)));
+    assert_eq!(status_of(&response), 504, "{response}");
+    server.shutdown();
+}

@@ -36,7 +36,7 @@ fn start(models_dir: &Path) -> ServeHandle {
         models_dir: Some(models_dir.to_path_buf()),
         initial: None,
         workers: 2,
-        quantized: false,
+        ..ServeConfig::default()
     })
     .unwrap()
 }
